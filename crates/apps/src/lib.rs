@@ -1,0 +1,1 @@
+//! Example binaries live in ../../examples; this library is intentionally empty.

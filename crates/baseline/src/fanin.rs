@@ -1,0 +1,423 @@
+//! Fan-in supernodal factorization — the other family in Ashcraft's
+//! taxonomy the paper recounts in §2.3.
+//!
+//! Where the fan-out algorithm broadcasts *factors* and computes updates at
+//! the owner of the **target**, the fan-in algorithm computes updates at the
+//! owner of the **source** column and ships *aggregate vectors*: each rank
+//! accumulates all of its updates to a remote target supernode in a local
+//! aggregation buffer and sends the buffer once, when its last local
+//! contribution has been folded in. Messages are fewer but larger and later
+//! — the latency/volume trade the taxonomy is about.
+//!
+//! Mapping is the same 1D supernode-cyclic distribution as the
+//! right-looking baseline, so the three solvers (fan-out 2D symPACK,
+//! right-looking 1D, fan-in 1D) isolate the communication-family effect.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use sympack::map2d::ProcGrid;
+use sympack::storage::BlockStore;
+use sympack::trisolve;
+use sympack_dense::Mat;
+use sympack_gpu::KernelEngine;
+use sympack_pgas::{GlobalPtr, MemKind, PgasConfig, Rank, Runtime};
+use sympack_sparse::SparseSym;
+use sympack_ordering::compute_ordering;
+use sympack_symbolic::{analyze, SymbolicFactor};
+
+use crate::rightlooking::{BaselineOptions, BaselineReport};
+
+/// Per-receive synchronization cost (same two-sided flavor as the
+/// right-looking baseline).
+const RENDEZVOUS_OVERHEAD: f64 = 5.0e-6;
+
+fn owner_of(j: usize, p: usize) -> usize {
+    j % p
+}
+
+/// An aggregation buffer for one remote target supernode: the diagonal
+/// update plus one dense block per off-diagonal block of the target.
+struct AggBuffer {
+    diag: Mat,
+    blocks: Vec<Mat>,
+}
+
+impl AggBuffer {
+    fn new(sf: &SymbolicFactor, b: usize) -> Self {
+        let w = sf.partition.width(b);
+        let blocks = sf
+            .layout
+            .blocks_of(b)
+            .iter()
+            .map(|info| Mat::zeros(info.n_rows, w))
+            .collect();
+        AggBuffer { diag: Mat::zeros(w, w), blocks }
+    }
+
+    fn pack(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.diag.as_slice());
+        for b in &self.blocks {
+            out.extend_from_slice(b.as_slice());
+        }
+        out
+    }
+
+    fn unpack(sf: &SymbolicFactor, b: usize, data: &[f64]) -> Self {
+        let w = sf.partition.width(b);
+        let diag = Mat::from_col_major(w, w, data[..w * w].to_vec());
+        let mut off = w * w;
+        let mut blocks = Vec::new();
+        for info in sf.layout.blocks_of(b) {
+            let len = info.n_rows * w;
+            blocks.push(Mat::from_col_major(info.n_rows, w, data[off..off + len].to_vec()));
+            off += len;
+        }
+        AggBuffer { diag, blocks }
+    }
+}
+
+/// A received aggregate: pointer to the packed buffer of target `b`.
+#[derive(Clone, Copy)]
+struct AggSignal {
+    ptr: GlobalPtr,
+    target: usize,
+}
+
+struct FanInState {
+    pending: Vec<AggSignal>,
+}
+
+/// Apply the update pairs of factored supernode `j` into either the local
+/// store (owned targets) or the aggregation buffers (remote targets).
+#[allow(clippy::too_many_arguments)]
+fn scatter_updates(
+    sf: &SymbolicFactor,
+    store: &mut BlockStore,
+    aggs: &mut HashMap<usize, AggBuffer>,
+    kernels: &mut KernelEngine,
+    rank: &mut Rank,
+    p: usize,
+    me: usize,
+    j: usize,
+) -> Vec<usize> {
+    let blocks_meta = sf.layout.blocks_of(j).to_vec();
+    let mut touched = Vec::new();
+    for (bi, bb) in blocks_meta.iter().enumerate() {
+        let b = bb.target;
+        let local = owner_of(b, p) == me;
+        touched.push(b);
+        let first_b = sf.partition.first_col(b);
+        let rows_b = sf.patterns[j][bb.row_offset..bb.row_offset + bb.n_rows].to_vec();
+        let lb = store.get((b, j)).expect("factored block local").clone();
+        for ba in blocks_meta.iter().skip(bi) {
+            let a = ba.target;
+            let la = store.get((a, j)).expect("factored block local").clone();
+            if a == b {
+                let nb = lb.rows();
+                let mut temp = Mat::zeros(nb, nb);
+                let (_, secs) = kernels.syrk(&mut temp, &lb);
+                rank.advance(secs);
+                let target: &mut Mat = if local {
+                    store.get_mut((b, b)).expect("diag owned")
+                } else {
+                    &mut aggs.entry(b).or_insert_with(|| AggBuffer::new(sf, b)).diag
+                };
+                for (ci, &gc) in rows_b.iter().enumerate() {
+                    let tc = gc - first_b;
+                    for (ri, &gr) in rows_b.iter().enumerate().skip(ci) {
+                        target[(gr - first_b, tc)] += temp[(ri, ci)];
+                    }
+                }
+            } else {
+                let rows_a = &sf.patterns[j][ba.row_offset..ba.row_offset + ba.n_rows];
+                let tinfo = sf.layout.find(a, b).expect("target block exists");
+                let target_rows =
+                    &sf.patterns[b][tinfo.row_offset..tinfo.row_offset + tinfo.n_rows];
+                let row_map: Vec<usize> = rows_a
+                    .iter()
+                    .map(|r| target_rows.binary_search(r).expect("row containment"))
+                    .collect();
+                let mut temp = Mat::zeros(la.rows(), lb.rows());
+                let (_, secs) = kernels.gemm(&mut temp, &la, &lb);
+                rank.advance(secs);
+                // Which block of the target supernode does (a,b) map to?
+                let bidx = sf
+                    .layout
+                    .blocks_of(b)
+                    .iter()
+                    .position(|i2| i2.target == a)
+                    .expect("block index");
+                let target: &mut Mat = if local {
+                    store.get_mut((a, b)).expect("target block owned")
+                } else {
+                    &mut aggs.entry(b).or_insert_with(|| AggBuffer::new(sf, b)).blocks[bidx]
+                };
+                for (ci, &gc) in rows_b.iter().enumerate() {
+                    let tc = gc - first_b;
+                    for (ri, &tr) in row_map.iter().enumerate() {
+                        target[(tr, tc)] += temp[(ri, ci)];
+                    }
+                }
+            }
+        }
+    }
+    touched.sort_unstable();
+    touched.dedup();
+    touched
+}
+
+/// Add a received (or locally finished) aggregate into the owned blocks.
+fn absorb_aggregate(sf: &SymbolicFactor, store: &mut BlockStore, b: usize, agg: &AggBuffer) {
+    {
+        let diag = store.get_mut((b, b)).expect("diag owned");
+        for c in 0..agg.diag.cols() {
+            for r in c..agg.diag.rows() {
+                diag[(r, c)] += agg.diag[(r, c)];
+            }
+        }
+    }
+    for (info, buf) in sf.layout.blocks_of(b).iter().zip(&agg.blocks) {
+        let m = store.get_mut((info.target, b)).expect("block owned");
+        for c in 0..buf.cols() {
+            for r in 0..buf.rows() {
+                m[(r, c)] += buf[(r, c)];
+            }
+        }
+    }
+}
+
+/// Factor and solve with the fan-in algorithm.
+pub fn fanin_factor_and_solve(a: &SparseSym, b: &[f64], opts: &BaselineOptions) -> BaselineReport {
+    assert_eq!(b.len(), a.n());
+    let ordering = compute_ordering(a, opts.ordering);
+    let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
+    let ap = Arc::new(a.permute(sf.perm.as_slice()));
+    let bp = Arc::new(sf.perm.apply_vec(b));
+    let p = opts.n_nodes * opts.ranks_per_node;
+    let grid = ProcGrid::one_dimensional(p);
+    let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
+    config.net = opts.net.clone();
+    let opts2 = opts.clone();
+    let report = Runtime::run(config, |rank| {
+        run_rank(rank, &sf, &ap, &bp, grid, p, &opts2)
+    });
+    let outs = report.results;
+    let n = a.n();
+    let mut xp = vec![0.0; n];
+    for out in &outs {
+        for (sn, piece) in &out.x_pieces {
+            let first = sf.partition.first_col(*sn);
+            xp[first..first + piece.len()].copy_from_slice(piece);
+        }
+    }
+    let x = sf.perm.unapply_vec(&xp);
+    let relative_residual = a.relative_residual(&x, b);
+    BaselineReport {
+        x,
+        relative_residual,
+        factor_time: outs.iter().map(|o| o.factor_time).fold(0.0, f64::max),
+        solve_time: outs.iter().map(|o| o.solve_time).fold(0.0, f64::max),
+        op_counts: outs.iter().map(|o| o.counts).collect(),
+        stats: report.stats,
+    }
+}
+
+struct RankOut {
+    factor_time: f64,
+    solve_time: f64,
+    counts: sympack_gpu::OpCounts,
+    x_pieces: Vec<(usize, Vec<f64>)>,
+}
+
+fn run_rank(
+    rank: &mut Rank,
+    sf: &Arc<SymbolicFactor>,
+    ap: &SparseSym,
+    bp: &[f64],
+    grid: ProcGrid,
+    p: usize,
+    opts: &BaselineOptions,
+) -> RankOut {
+    let me = rank.id();
+    let ns = sf.n_supernodes();
+    let mut kernels =
+        if opts.gpu { KernelEngine::new_gpu() } else { KernelEngine::new_cpu() };
+    if let Some(t) = &opts.thresholds {
+        kernels.thresholds = t.clone();
+    }
+    let mut store = BlockStore::init(sf, ap, &grid, me);
+    // Dependency accounting.
+    // remaining[b] (owned b) = #own earlier supernodes contributing to b
+    //                        + #remote ranks contributing to b.
+    // my_contribs[b] (remote b) = #own supernodes contributing to b.
+    let mut remaining: HashMap<usize, usize> = HashMap::new();
+    let mut my_contribs: HashMap<usize, usize> = HashMap::new();
+    let owned: Vec<usize> = (0..ns).filter(|&j| owner_of(j, p) == me).collect();
+    for &j in &owned {
+        remaining.insert(j, 0);
+    }
+    let mut contributing_ranks: HashMap<usize, std::collections::HashSet<usize>> = HashMap::new();
+    for j in 0..ns {
+        let src_owner = owner_of(j, p);
+        for bb in sf.layout.blocks_of(j) {
+            let b = bb.target;
+            let dst_owner = owner_of(b, p);
+            if dst_owner == me {
+                if src_owner == me {
+                    *remaining.get_mut(&b).expect("owned") += 1;
+                } else {
+                    contributing_ranks.entry(b).or_default().insert(src_owner);
+                }
+            } else if src_owner == me {
+                *my_contribs.entry(b).or_default() += 1;
+            }
+        }
+    }
+    for (b, ranks) in &contributing_ranks {
+        *remaining.get_mut(b).expect("owned") += ranks.len();
+    }
+    let aggs_to_send = my_contribs.len();
+    let mut aggs: HashMap<usize, AggBuffer> = HashMap::new();
+    let mut factored = 0usize;
+    let mut is_factored: HashMap<usize, bool> = owned.iter().map(|&j| (j, false)).collect();
+    let mut sent = 0usize;
+    let start = rank.now();
+    rank.set_state(FanInState { pending: Vec::new() });
+    loop {
+        rank.progress();
+        // Receive aggregates (two-sided flavor: block on the transfer).
+        let signals =
+            rank.with_state::<FanInState, _>(|_, st| std::mem::take(&mut st.pending));
+        for s in signals {
+            let h = rank.rget(&s.ptr);
+            let data = h.wait(rank);
+            rank.advance(RENDEZVOUS_OVERHEAD);
+            let agg = AggBuffer::unpack(sf, s.target, &data);
+            absorb_aggregate(sf, &mut store, s.target, &agg);
+            *remaining.get_mut(&s.target).expect("owned target") -= 1;
+        }
+        // Factor ready supernodes and fan their updates in.
+        let ready: Vec<usize> = owned
+            .iter()
+            .copied()
+            .filter(|j| !is_factored[j] && remaining[j] == 0)
+            .collect();
+        for j in ready {
+            let mut diag = store.take((j, j)).expect("diag owned");
+            let (_, secs) = kernels.potrf(&mut diag).expect("fan-in requires SPD input");
+            rank.advance(secs);
+            for bb in sf.layout.blocks_of(j) {
+                let mut blk = store.take((bb.target, j)).expect("block owned");
+                let (_, secs) = kernels.trsm(&mut blk, &diag);
+                rank.advance(secs);
+                store.put((bb.target, j), blk);
+            }
+            store.put((j, j), diag);
+            *is_factored.get_mut(&j).expect("owned") = true;
+            factored += 1;
+            // Compute this supernode's updates at the source (fan-in).
+            let touched = scatter_updates(sf, &mut store, &mut aggs, &mut kernels, rank, p, me, j);
+            for b in touched {
+                if owner_of(b, p) == me {
+                    *remaining.get_mut(&b).expect("owned target") -= 1;
+                } else {
+                    let c = my_contribs.get_mut(&b).expect("contrib counted");
+                    *c -= 1;
+                    if *c == 0 {
+                        // Last local contribution folded in: ship the
+                        // aggregate once.
+                        let agg = aggs.remove(&b).expect("aggregate exists");
+                        let packed = agg.pack();
+                        let ptr = rank.alloc(MemKind::Host, packed.len()).expect("host alloc");
+                        rank.write_local(&ptr, &packed);
+                        let sig = AggSignal { ptr, target: b };
+                        let dest = owner_of(b, p);
+                        rank.rpc(dest, move |r| {
+                            r.with_state::<FanInState, _>(|_, st| st.pending.push(sig));
+                        });
+                        sent += 1;
+                    }
+                }
+            }
+        }
+        if factored == owned.len() && sent == aggs_to_send {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    rank.barrier();
+    let factor_time = rank.now() - start;
+    let _ = rank.take_state::<FanInState>();
+    let solve_kernels =
+        if opts.gpu { KernelEngine::new_gpu() } else { KernelEngine::new_cpu() };
+    let (x_map, solve_time) = trisolve::solve_with_overhead(
+        rank,
+        Arc::clone(sf),
+        grid,
+        &store,
+        bp,
+        solve_kernels,
+        RENDEZVOUS_OVERHEAD,
+    );
+    RankOut {
+        factor_time,
+        solve_time,
+        counts: kernels.counts,
+        x_pieces: x_map.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympack_sparse::gen::{laplacian_2d, random_spd};
+    use sympack_sparse::vecops::{max_abs_diff, test_rhs};
+
+    #[test]
+    fn fanin_is_numerically_correct() {
+        let a = laplacian_2d(9, 8);
+        let b = test_rhs(a.n());
+        let r = fanin_factor_and_solve(&a, &b, &BaselineOptions::default());
+        assert!(r.relative_residual < 1e-10, "residual {}", r.relative_residual);
+    }
+
+    #[test]
+    fn fanin_matches_fanout_across_rank_counts() {
+        let a = random_spd(80, 5, 19);
+        let b = test_rhs(80);
+        let reference = sympack::SymPack::factor_and_solve(
+            &a,
+            &b,
+            &sympack::SolverOptions::default(),
+        );
+        for (nodes, ppn) in [(1, 1), (2, 2), (3, 2)] {
+            let r = fanin_factor_and_solve(
+                &a,
+                &b,
+                &BaselineOptions { n_nodes: nodes, ranks_per_node: ppn, ..Default::default() },
+            );
+            assert!(r.relative_residual < 1e-10);
+            let d = max_abs_diff(&r.x, &reference.x);
+            assert!(d < 1e-8, "nodes={nodes} ppn={ppn}: diverges by {d}");
+        }
+    }
+
+    #[test]
+    fn fanin_sends_fewer_messages_than_rightlooking_broadcasts() {
+        // The taxonomy's point: aggregates coalesce what the panel
+        // broadcast sends piecemeal. Compare RPC counts on a problem with
+        // many supernodes.
+        let a = laplacian_2d(16, 16);
+        let b = test_rhs(a.n());
+        let opts = BaselineOptions { n_nodes: 4, ranks_per_node: 1, ..Default::default() };
+        let fi = fanin_factor_and_solve(&a, &b, &opts);
+        let rl = crate::rightlooking::baseline_factor_and_solve(&a, &b, &opts);
+        assert!(
+            fi.stats.rpcs < rl.stats.rpcs,
+            "fan-in rpcs {} vs right-looking {}",
+            fi.stats.rpcs,
+            rl.stats.rpcs
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the full pipeline (wall-clock): analysis,
+//! symPACK factorization+solve, and the right-looking baseline, on reduced
+//! instances of the paper's three problems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sympack::{SolverOptions, SymPack};
+use sympack_baseline::{baseline_factor_and_solve, BaselineOptions};
+use sympack_bench::Problem;
+use sympack_sparse::vecops::test_rhs;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    for p in Problem::ALL {
+        let a = p.matrix_quick();
+        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &a, |bench, a| {
+            bench.iter(|| SymPack::analyze_only(a, &SolverOptions::default()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sympack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sympack_factor_and_solve");
+    g.sample_size(10);
+    for p in Problem::ALL {
+        let a = p.matrix_quick();
+        let b = test_rhs(a.n());
+        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &a, |bench, a| {
+            bench.iter(|| SymPack::factor_and_solve(a, &b, &SolverOptions::default()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_factor_and_solve");
+    g.sample_size(10);
+    for p in Problem::ALL {
+        let a = p.matrix_quick();
+        let b = test_rhs(a.n());
+        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &a, |bench, a| {
+            bench.iter(|| baseline_factor_and_solve(a, &b, &BaselineOptions::default()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_sympack, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the dense BLAS-3/LAPACK kernels that carry all
+//! of the factorization's arithmetic (wall-clock, not modeled time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sympack_dense::{flops, gemm_nt, potrf, syrk_lower, trsm_right_lower_trans, Mat};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_nt");
+    g.sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        g.throughput(Throughput::Elements(flops::gemm(n, n, n)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let a = Mat::from_fn(n, n, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
+            let b = Mat::from_fn(n, n, |r, c| ((r + c * 5) % 11) as f64 - 5.0);
+            let c0 = Mat::zeros(n, n);
+            bench.iter(|| {
+                let mut cm = c0.clone();
+                gemm_nt(&mut cm, &a, &b);
+                cm
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("syrk_lower");
+    g.sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        g.throughput(Throughput::Elements(flops::syrk(n, n)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let a = Mat::from_fn(n, n, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
+            let c0 = Mat::zeros(n, n);
+            bench.iter(|| {
+                let mut cm = c0.clone();
+                syrk_lower(&mut cm, &a);
+                cm
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trsm_right_lower_trans");
+    g.sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        g.throughput(Throughput::Elements(flops::trsm(n, n)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let spd = Mat::spd_from(n, |r, c| ((r + 2 * c) % 5) as f64 - 2.0);
+            let mut l = spd.clone();
+            potrf(&mut l).unwrap();
+            let b0 = Mat::from_fn(n, n, |r, c| ((r * 7 + c) % 13) as f64 - 6.0);
+            bench.iter(|| {
+                let mut b = b0.clone();
+                trsm_right_lower_trans(&mut b, &l);
+                b
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_potrf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("potrf");
+    g.sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        g.throughput(Throughput::Elements(flops::potrf(n)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let spd = Mat::spd_from(n, |r, c| ((r * 5 + c * 3) % 9) as f64 - 4.0);
+            bench.iter(|| {
+                let mut a = spd.clone();
+                potrf(&mut a).unwrap();
+                a
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_syrk, bench_trsm, bench_potrf);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmark behind Fig. 5: flood of one-sided gets between two
+//! ranks through the real runtime (wall-clock throughput of the substrate)
+//! plus the modeled-bandwidth evaluation at the paper's payload points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sympack_pgas::{GlobalPtr, MemKind, MemKindsMode, NetModel, PgasConfig, Runtime};
+
+/// Drive a window of rgets through the actual runtime (two ranks) and
+/// return the payload bytes moved — benches the substrate's real overhead.
+fn flood_once(elems: usize, window: usize) -> u64 {
+    let report = Runtime::run(PgasConfig::multi_node(2, 1), |rank| {
+        if rank.id() == 0 {
+            let ptr = rank.alloc(MemKind::Host, elems).unwrap();
+            rank.write_local(&ptr, &vec![1.5; elems]);
+            rank.rpc(1, move |r| {
+                r.with_state::<Vec<GlobalPtr>, _>(|_, v| v.push(ptr));
+            });
+            rank.barrier();
+            rank.barrier();
+            0u64
+        } else {
+            rank.set_state(Vec::<GlobalPtr>::new());
+            rank.barrier();
+            while rank.progress() == 0 {
+                std::thread::yield_now();
+            }
+            let ptr = rank.take_state::<Vec<GlobalPtr>>()[0];
+            let mut bytes = 0u64;
+            for _ in 0..window {
+                let h = rank.rget(&ptr);
+                bytes += h.wait(rank).len() as u64 * 8;
+            }
+            rank.barrier();
+            bytes
+        }
+    });
+    report.results[1]
+}
+
+fn bench_runtime_flood(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_rget_flood");
+    g.sample_size(10);
+    for &elems in &[1024usize, 16 * 1024] {
+        g.throughput(Throughput::Bytes((elems * 8 * 64) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(elems * 8), &elems, |bench, &elems| {
+            bench.iter(|| flood_once(elems, 64));
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_eval(c: &mut Criterion) {
+    // The cost-model evaluation itself (used millions of times per run).
+    let mut g = c.benchmark_group("netmodel_eval");
+    g.sample_size(30);
+    for mode in [MemKindsMode::Native, MemKindsMode::Reference] {
+        let m = NetModel { mode, ..NetModel::default() };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &m,
+            |bench, m| {
+                bench.iter(|| {
+                    let mut acc = 0.0;
+                    for p in 4..23 {
+                        acc += m.flood_bandwidth(
+                            1usize << p,
+                            64,
+                            false,
+                            MemKind::Host,
+                            MemKind::Device,
+                        );
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime_flood, bench_model_eval);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table 1: characteristics of the evaluation matrices.
+//!
+//! The paper's table lists `n` and `nnz` of Flan_1565, boneS10 and thermal2;
+//! this prints the same columns for the reproduction stand-ins (plus the
+//! original values for reference), and the symbolic-factorization summary
+//! the solvers will see.
+
+use sympack::{SolverOptions, SymPack};
+use sympack_bench::{render_table, Problem};
+
+/// Original SuiteSparse values from the paper's Table 1.
+fn paper_values(p: Problem) -> (u64, u64) {
+    match p {
+        Problem::Flan => (1_564_794, 114_165_372),
+        Problem::Bone => (914_898, 40_878_708),
+        Problem::Thermal => (1_228_045, 8_580_313),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut rows = vec![vec![
+        "Name".to_string(),
+        "Description".to_string(),
+        "n".to_string(),
+        "nnz".to_string(),
+        "nnz/n".to_string(),
+        "paper n".to_string(),
+        "paper nnz".to_string(),
+        "paper nnz/n".to_string(),
+        "supernodes".to_string(),
+        "nnz(L)".to_string(),
+    ]];
+    for p in Problem::ALL {
+        let a = if quick { p.matrix_quick() } else { p.matrix() };
+        let sf = SymPack::analyze_only(&a, &SolverOptions::default());
+        let (pn, pnnz) = paper_values(p);
+        rows.push(vec![
+            p.name().to_string(),
+            p.description().to_string(),
+            a.n().to_string(),
+            a.nnz_full().to_string(),
+            format!("{:.1}", a.nnz_full() as f64 / a.n() as f64),
+            pn.to_string(),
+            pnnz.to_string(),
+            format!("{:.1}", pnnz as f64 / pn as f64),
+            sf.n_supernodes().to_string(),
+            sf.l_nnz.to_string(),
+        ]);
+    }
+    println!("Table 1: matrices used in the experiments (stand-ins vs paper originals)\n");
+    println!("{}", render_table(&rows));
+    println!("The stand-ins preserve the paper's structural contrast: the 3D problems");
+    println!("(flan/bone) are an order of magnitude denser per row than thermal, which");
+    println!("drives the fill, supernode-size and GPU-offload differences in Figs. 6-12.");
+}

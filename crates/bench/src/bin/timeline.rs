@@ -1,0 +1,56 @@
+//! Task-timeline export: run a traced factorization and write a
+//! Chrome/Perfetto trace (`results/timeline.json`) plus a busy-fraction and
+//! per-category time summary — the observability view of the fan-out
+//! scheduler (which tasks overlapped, where ranks idled).
+//!
+//! ```text
+//! cargo run --release -p sympack-bench --bin timeline -- [--quick] [--out PATH]
+//! ```
+
+use sympack::{SolverOptions, SymPack};
+use sympack_bench::{render_table, Problem};
+use sympack_sparse::vecops::test_rhs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/timeline.json".to_string());
+    let p = Problem::Bone;
+    let a = if quick { p.matrix_quick() } else { p.matrix() };
+    let b = test_rhs(a.n());
+    let opts = SolverOptions { n_nodes: 4, ranks_per_node: 2, trace: true, ..Default::default() };
+    let r = SymPack::factor_and_solve(&a, &b, &opts);
+    assert!(r.relative_residual < 1e-8);
+    let n_ranks = opts.n_nodes * opts.ranks_per_node;
+    println!(
+        "traced {} tasks over {} ranks, factorization makespan {:.3} ms\n",
+        r.trace.len(),
+        n_ranks,
+        r.factor_time * 1e3
+    );
+    // Busy fractions per rank.
+    let busy = sympack_trace::busy_fractions(&r.trace, r.factor_time, n_ranks);
+    let mut rows = vec![vec!["rank".to_string(), "busy fraction".to_string()]];
+    for (rk, f) in busy.iter().enumerate() {
+        rows.push(vec![rk.to_string(), format!("{:.1}%", f * 100.0)]);
+    }
+    println!("{}", render_table(&rows));
+    // Category split.
+    let mut rows = vec![vec!["kernel".to_string(), "total time".to_string()]];
+    for (cat, t) in sympack_trace::time_by_category(&r.trace) {
+        if t > 0.0 {
+            rows.push(vec![cat.label().to_string(), format!("{:.3} ms", t * 1e3)]);
+        }
+    }
+    println!("{}", render_table(&rows));
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, sympack_trace::to_chrome_json(&r.trace)).expect("write trace");
+    println!("Chrome trace written to {out} (open in chrome://tracing or ui.perfetto.dev)");
+}

@@ -1,0 +1,584 @@
+//! High-level driver: analysis → distributed factorization → solve.
+
+use crate::engine::FactoEngine;
+use crate::map2d::ProcGrid;
+use crate::taskgraph::RtqPolicy;
+use crate::trisolve;
+use crate::SolverError;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use sympack_gpu::{KernelEngine, OffloadThresholds, OomPolicy, OpCounts};
+use sympack_ordering::{compute_ordering, OrderingKind};
+use sympack_pgas::{NetModel, PgasConfig, Runtime, StatsSnapshot};
+use sympack_sparse::SparseSym;
+use sympack_symbolic::{analyze, AnalyzeOptions, SymbolicFactor};
+
+/// Everything configurable about a solve, mirroring the paper's run setup
+/// (ordering via Scotch → nested dissection; nodes × ranks-per-node; GPU
+/// mode with per-op thresholds; scheduling policy).
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Fill-reducing ordering (paper: Scotch nested dissection).
+    pub ordering: OrderingKind,
+    /// Supernode/amalgamation options.
+    pub analyze: AnalyzeOptions,
+    /// Virtual nodes in the job.
+    pub n_nodes: usize,
+    /// Ranks per node (the paper tunes this per problem; "flat MPI").
+    pub ranks_per_node: usize,
+    /// Communication cost model (Perlmutter-calibrated default).
+    pub net: NetModel,
+    /// Enable GPU offload.
+    pub gpu: bool,
+    /// Override the default per-op offload thresholds.
+    pub thresholds: Option<OffloadThresholds>,
+    /// Device-OOM fallback (§4.2).
+    pub oom_policy: OomPolicy,
+    /// Ready-task-queue scheduling policy (paper default: LIFO).
+    pub rtq_policy: RtqPolicy,
+    /// Per-rank device-memory quota in bytes.
+    pub device_quota: usize,
+    /// Override the process grid (e.g. [`ProcGrid::one_dimensional`] for the
+    /// mapping ablation); default: most-square grid.
+    pub grid: Option<ProcGrid>,
+    /// Use rayon-parallel CPU kernels inside each rank (shared-memory mode;
+    /// affects wall-clock execution, not the modeled times).
+    pub intra_parallel: bool,
+    /// Iterative-refinement steps after each solve (0 = off, as in the
+    /// paper's runs — its PaStiX driver had refinement explicitly disabled).
+    /// Each step gathers the iterate, forms the residual against the
+    /// permuted matrix, and re-runs the distributed triangular solve.
+    pub refine_steps: usize,
+    /// Collect a per-task execution timeline (see `sympack-trace`); events
+    /// are returned in the report for Chrome-trace export.
+    pub trace: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            ordering: OrderingKind::NestedDissection,
+            analyze: AnalyzeOptions::default(),
+            n_nodes: 1,
+            ranks_per_node: 2,
+            net: NetModel::default(),
+            gpu: true,
+            thresholds: None,
+            oom_policy: OomPolicy::CpuFallback,
+            rtq_policy: RtqPolicy::Lifo,
+            device_quota: usize::MAX,
+            grid: None,
+            intra_parallel: false,
+            refine_steps: 0,
+            trace: false,
+        }
+    }
+}
+
+/// Result of a factor+solve run.
+#[derive(Debug)]
+pub struct SolveReport {
+    /// Solution of `A·x = b` in the original ordering.
+    pub x: Vec<f64>,
+    /// `‖A·x − b‖₂ / ‖b‖₂` against the *original* matrix.
+    pub relative_residual: f64,
+    /// Virtual makespan of the numeric factorization (seconds).
+    pub factor_time: f64,
+    /// Virtual makespan of the triangular solve (seconds).
+    pub solve_time: f64,
+    /// Per-rank CPU/GPU kernel call counts (Fig. 6 data).
+    pub op_counts: Vec<OpCounts>,
+    /// Communication counters.
+    pub stats: StatsSnapshot,
+    /// Factor nonzeros (from the symbolic phase).
+    pub l_nnz: usize,
+    /// Factorization flops implied by the structure.
+    pub flops: u64,
+    /// Number of supernodes.
+    pub n_supernodes: usize,
+    /// Factorization task timeline (empty unless `SolverOptions::trace`).
+    pub trace: Vec<sympack_trace::TraceEvent>,
+}
+
+/// What one rank hands back to the driver.
+struct RankOut {
+    error: Option<SolverError>,
+    factor_time: f64,
+    /// One entry per right-hand side: (solve makespan, owned x pieces).
+    solves: Vec<(f64, Vec<(usize, Vec<f64>)>)>,
+    counts: OpCounts,
+    trace: Vec<sympack_trace::TraceEvent>,
+}
+
+/// Outcome of factorization without a solve (used by benches that time the
+/// phases separately).
+#[derive(Debug)]
+pub struct FactorizeOutcome {
+    /// Virtual factorization makespan.
+    pub factor_time: f64,
+    /// Per-rank op counts.
+    pub op_counts: Vec<OpCounts>,
+    /// Communication counters.
+    pub stats: StatsSnapshot,
+}
+
+/// Result of a factor-once / solve-many run.
+#[derive(Debug)]
+pub struct MultiSolveReport {
+    /// One solution per right-hand side, in the original ordering.
+    pub xs: Vec<Vec<f64>>,
+    /// Relative residual per right-hand side.
+    pub relative_residuals: Vec<f64>,
+    /// Virtual makespan of the (single) numeric factorization.
+    pub factor_time: f64,
+    /// Virtual makespan of each triangular solve.
+    pub solve_times: Vec<f64>,
+    /// Per-rank kernel call counts (factorization phase).
+    pub op_counts: Vec<OpCounts>,
+    /// Communication counters for the whole session.
+    pub stats: StatsSnapshot,
+    /// Factor nonzeros.
+    pub l_nnz: usize,
+    /// Structure-implied factorization flops.
+    pub flops: u64,
+    /// Number of supernodes.
+    pub n_supernodes: usize,
+    /// Factorization task timeline (empty unless `SolverOptions::trace`).
+    pub trace: Vec<sympack_trace::TraceEvent>,
+}
+
+/// A factor gathered to the driver: the composite permutation and the
+/// permuted Cholesky factor as a sparse matrix. Input to post-factorization
+/// computations such as [`crate::selinv`].
+#[derive(Debug)]
+pub struct GatheredFactor {
+    /// Composite permutation (`perm[new] = old`) applied before factoring.
+    pub perm: sympack_ordering::Permutation,
+    /// The factor `L` of the permuted matrix (lower triangle, diagonal
+    /// included).
+    pub l_permuted: SparseSym,
+    /// Virtual factorization makespan.
+    pub factor_time: f64,
+}
+
+/// The solver façade.
+pub struct SymPack;
+
+impl SymPack {
+    /// Analyze, factor and solve; panics on numerical failure (see
+    /// [`SymPack::try_factor_and_solve`] for the fallible form).
+    pub fn factor_and_solve(a: &SparseSym, b: &[f64], opts: &SolverOptions) -> SolveReport {
+        Self::try_factor_and_solve(a, b, opts).expect("factorization failed")
+    }
+
+    /// Analyze, factor and solve `A·x = b`.
+    ///
+    /// # Errors
+    /// [`SolverError::NotPositiveDefinite`] when a pivot fails;
+    /// [`SolverError::DeviceOom`] under the Abort OOM policy.
+    pub fn try_factor_and_solve(
+        a: &SparseSym,
+        b: &[f64],
+        opts: &SolverOptions,
+    ) -> Result<SolveReport, SolverError> {
+        let multi = Self::try_factor_and_solve_multi(a, std::slice::from_ref(&b.to_vec()), opts)?;
+        let MultiSolveReport {
+            mut xs,
+            mut relative_residuals,
+            factor_time,
+            mut solve_times,
+            op_counts,
+            stats,
+            l_nnz,
+            flops,
+            n_supernodes,
+            trace,
+        } = multi;
+        Ok(SolveReport {
+            x: xs.pop().expect("one rhs"),
+            relative_residual: relative_residuals.pop().expect("one rhs"),
+            factor_time,
+            solve_time: solve_times.pop().expect("one rhs"),
+            op_counts,
+            stats,
+            l_nnz,
+            flops,
+            n_supernodes,
+            trace,
+        })
+    }
+
+    /// Factor once and solve against several right-hand sides in the same
+    /// session — the paper's repeated-solve applications (§5.3) amortize the
+    /// factorization this way.
+    ///
+    /// # Errors
+    /// Same failure modes as [`SymPack::try_factor_and_solve`].
+    pub fn try_factor_and_solve_multi(
+        a: &SparseSym,
+        bs: &[Vec<f64>],
+        opts: &SolverOptions,
+    ) -> Result<MultiSolveReport, SolverError> {
+        assert!(!bs.is_empty(), "need at least one right-hand side");
+        for b in bs {
+            assert_eq!(b.len(), a.n(), "rhs length must match the matrix order");
+        }
+        let ordering = compute_ordering(a, opts.ordering);
+        let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
+        let ap = Arc::new(a.permute(sf.perm.as_slice()));
+        let bps: Arc<Vec<Vec<f64>>> =
+            Arc::new(bs.iter().map(|b| sf.perm.apply_vec(b)).collect());
+        let p = opts.n_nodes * opts.ranks_per_node;
+        let grid = opts.grid.unwrap_or_else(|| ProcGrid::squarest(p));
+        assert_eq!(grid.n_procs(), p, "grid size must equal rank count");
+        let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
+        config.net = opts.net.clone();
+        config.device_quota = opts.device_quota;
+        let abort = Arc::new(AtomicBool::new(false));
+        let opts2 = opts.clone();
+        let report = Runtime::run(config, |rank| {
+            let kernels = make_engine(&opts2);
+            let mut engine = FactoEngine::new(
+                Arc::clone(&sf),
+                &ap,
+                grid,
+                rank.id(),
+                kernels,
+                opts2.rtq_policy,
+                opts2.oom_policy,
+                Arc::clone(&abort),
+            );
+            if opts2.trace {
+                engine.tracer = Some(sympack_trace::Tracer::new());
+            }
+            let (mut engine, factor_time) = FactoEngine::run_to_completion(rank, engine);
+            let trace_events = engine
+                .tracer
+                .take()
+                .map(sympack_trace::Tracer::into_events)
+                .unwrap_or_default();
+            if let Some(err) = engine.error {
+                return RankOut {
+                    error: Some(err),
+                    factor_time,
+                    solves: Vec::new(),
+                    counts: engine.kernels.counts,
+                    trace: trace_events,
+                };
+            }
+            if abort.load(std::sync::atomic::Ordering::SeqCst) {
+                // Another rank failed; it carries the error.
+                return RankOut {
+                    error: None,
+                    factor_time,
+                    solves: Vec::new(),
+                    counts: engine.kernels.counts,
+                    trace: trace_events,
+                };
+            }
+            let mut solves = Vec::with_capacity(bps.len());
+            for bp in bps.iter() {
+                let solve_kernels = make_engine(&opts2);
+                let (mut x_map, mut solve_time) = trisolve::solve(
+                    rank,
+                    Arc::clone(&sf),
+                    grid,
+                    &engine.store,
+                    bp,
+                    solve_kernels,
+                );
+                for _ in 0..opts2.refine_steps {
+                    // Gather the permuted iterate, form r = b - A·x, solve
+                    // the correction and add it in — classical iterative
+                    // refinement using the same distributed solve.
+                    let t0 = rank.now();
+                    let xp = trisolve::allgather_solution(rank, &sf, &x_map);
+                    let ax = ap.spmv(&xp);
+                    let rp: Vec<f64> =
+                        bp.iter().zip(&ax).map(|(b, a)| b - a).collect();
+                    // Charge the residual SpMV (2 flops per stored entry,
+                    // both triangles) to the local clock.
+                    rank.advance(2.0 * ap.nnz_full() as f64 / 4.0e9);
+                    let refine_kernels = make_engine(&opts2);
+                    let (d_map, dt) = trisolve::solve(
+                        rank,
+                        Arc::clone(&sf),
+                        grid,
+                        &engine.store,
+                        &rp,
+                        refine_kernels,
+                    );
+                    for (sn, dx) in d_map {
+                        let x = x_map.get_mut(&sn).expect("same ownership");
+                        for (xi, di) in x.iter_mut().zip(dx) {
+                            *xi += di;
+                        }
+                    }
+                    solve_time += dt + (rank.now() - t0 - dt).max(0.0);
+                }
+                solves.push((solve_time, x_map.into_iter().collect()));
+            }
+            RankOut {
+                error: None,
+                factor_time,
+                solves,
+                counts: engine.kernels.counts,
+                trace: trace_events,
+            }
+        });
+        // Propagate the first error (rank order) if any.
+        let mut outs = report.results;
+        if let Some(pos) = outs.iter().position(|o| o.error.is_some()) {
+            return Err(outs.swap_remove(pos).error.expect("checked"));
+        }
+        // Assemble each permuted solution from the per-rank pieces.
+        let n = a.n();
+        let mut xs = Vec::with_capacity(bs.len());
+        let mut relative_residuals = Vec::with_capacity(bs.len());
+        let mut solve_times = Vec::with_capacity(bs.len());
+        for (k, b) in bs.iter().enumerate() {
+            let mut xp = vec![0.0; n];
+            for out in &outs {
+                for (sn, piece) in &out.solves[k].1 {
+                    let first = sf.partition.first_col(*sn);
+                    xp[first..first + piece.len()].copy_from_slice(piece);
+                }
+            }
+            let x = sf.perm.unapply_vec(&xp);
+            relative_residuals.push(a.relative_residual(&x, b));
+            xs.push(x);
+            solve_times.push(outs.iter().map(|o| o.solves[k].0).fold(0.0, f64::max));
+        }
+        let trace = sympack_trace::merge(outs.iter_mut().map(|o| std::mem::take(&mut o.trace)).collect());
+        Ok(MultiSolveReport {
+            xs,
+            relative_residuals,
+            factor_time: outs.iter().map(|o| o.factor_time).fold(0.0, f64::max),
+            solve_times,
+            op_counts: outs.iter().map(|o| o.counts).collect(),
+            stats: report.stats,
+            l_nnz: sf.l_nnz,
+            flops: sf.flops,
+            n_supernodes: sf.n_supernodes(),
+            trace,
+        })
+    }
+
+    /// Factor `A` and gather the distributed factor into one sparse matrix.
+    ///
+    /// # Errors
+    /// Same failure modes as [`SymPack::try_factor_and_solve`].
+    pub fn factor_gather(
+        a: &SparseSym,
+        opts: &SolverOptions,
+    ) -> Result<GatheredFactor, SolverError> {
+        let ordering = compute_ordering(a, opts.ordering);
+        let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
+        let ap = Arc::new(a.permute(sf.perm.as_slice()));
+        let p = opts.n_nodes * opts.ranks_per_node;
+        let grid = opts.grid.unwrap_or_else(|| ProcGrid::squarest(p));
+        assert_eq!(grid.n_procs(), p, "grid size must equal rank count");
+        let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
+        config.net = opts.net.clone();
+        config.device_quota = opts.device_quota;
+        let abort = Arc::new(AtomicBool::new(false));
+        let opts2 = opts.clone();
+        type BlockDump = Vec<((usize, usize), usize, usize, Vec<f64>)>;
+        let report = Runtime::run(config, |rank| -> (Option<SolverError>, f64, BlockDump) {
+            let kernels = make_engine(&opts2);
+            let engine = FactoEngine::new(
+                Arc::clone(&sf),
+                &ap,
+                grid,
+                rank.id(),
+                kernels,
+                opts2.rtq_policy,
+                opts2.oom_policy,
+                Arc::clone(&abort),
+            );
+            let (engine, factor_time) = FactoEngine::run_to_completion(rank, engine);
+            if let Some(err) = engine.error {
+                return (Some(err), factor_time, Vec::new());
+            }
+            let blocks = engine
+                .store
+                .iter()
+                .map(|(k, m)| (*k, m.rows(), m.cols(), m.as_slice().to_vec()))
+                .collect();
+            (None, factor_time, blocks)
+        });
+        let mut blocks: std::collections::HashMap<(usize, usize), (usize, usize, Vec<f64>)> =
+            std::collections::HashMap::new();
+        let mut factor_time = 0.0f64;
+        for (err, ft, dump) in report.results {
+            if let Some(e) = err {
+                return Err(e);
+            }
+            factor_time = factor_time.max(ft);
+            for (k, r, c, data) in dump {
+                blocks.insert(k, (r, c, data));
+            }
+        }
+        // Assemble the permuted L column by column.
+        let n = sf.n();
+        let ns = sf.n_supernodes();
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for j in 0..ns {
+            let first = sf.partition.first_col(j);
+            let w = sf.partition.width(j);
+            let (dr, _dc, ddata) = blocks.get(&(j, j)).expect("diag block gathered");
+            for jc in 0..w {
+                // Diagonal block: rows jc..w of column jc (lower triangle).
+                for r in jc..w {
+                    row_idx.push(first + r);
+                    values.push(ddata[jc * dr + r]);
+                }
+                // Off-diagonal blocks, ascending targets → ascending rows.
+                for b in sf.layout.blocks_of(j) {
+                    let (br, _bc, bdata) =
+                        blocks.get(&(b.target, j)).expect("block gathered");
+                    let rows =
+                        &sf.patterns[j][b.row_offset..b.row_offset + b.n_rows];
+                    for (ri, &gr) in rows.iter().enumerate() {
+                        row_idx.push(gr);
+                        values.push(bdata[jc * br + ri]);
+                    }
+                }
+                col_ptr.push(row_idx.len());
+            }
+        }
+        let l_permuted = SparseSym::from_parts(n, col_ptr, row_idx, values);
+        let perm = sympack_ordering::Permutation::from_vec(sf.perm.as_slice().to_vec());
+        Ok(GatheredFactor { perm, l_permuted, factor_time })
+    }
+
+    /// Run the symbolic phase only (shared by tools and benches).
+    pub fn analyze_only(a: &SparseSym, opts: &SolverOptions) -> SymbolicFactor {
+        let ordering = compute_ordering(a, opts.ordering);
+        analyze(a, &ordering, &opts.analyze)
+    }
+}
+
+fn make_engine(opts: &SolverOptions) -> KernelEngine {
+    let mut k = if opts.gpu { KernelEngine::new_gpu() } else { KernelEngine::new_cpu() };
+    if let Some(t) = &opts.thresholds {
+        k.thresholds = t.clone();
+    }
+    k.intra_parallel = opts.intra_parallel;
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympack_sparse::gen::{laplacian_2d, random_spd, thermal_like};
+    use sympack_sparse::vecops::test_rhs;
+
+    #[test]
+    fn solves_small_laplacian_exactly() {
+        let a = laplacian_2d(10, 9);
+        let b = test_rhs(a.n());
+        let r = SymPack::factor_and_solve(&a, &b, &SolverOptions::default());
+        assert!(r.relative_residual < 1e-10, "residual {}", r.relative_residual);
+        assert!(r.factor_time > 0.0);
+        assert!(r.solve_time > 0.0);
+        assert!(r.l_nnz >= a.nnz());
+    }
+
+    #[test]
+    fn multi_node_runs_agree_with_single_rank() {
+        let a = random_spd(80, 5, 2);
+        let b = test_rhs(80);
+        let single = SymPack::factor_and_solve(
+            &a,
+            &b,
+            &SolverOptions { n_nodes: 1, ranks_per_node: 1, ..Default::default() },
+        );
+        let multi = SymPack::factor_and_solve(
+            &a,
+            &b,
+            &SolverOptions { n_nodes: 2, ranks_per_node: 3, ..Default::default() },
+        );
+        assert!(single.relative_residual < 1e-10);
+        assert!(multi.relative_residual < 1e-10);
+        let diff = sympack_sparse::vecops::max_abs_diff(&single.x, &multi.x);
+        let scale = sympack_sparse::vecops::norm_inf(&single.x).max(1.0);
+        assert!(diff / scale < 1e-8, "solutions diverge: {diff}");
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix_with_column_info() {
+        // Make the matrix indefinite by flipping one diagonal sign.
+        let a = laplacian_2d(5, 5);
+        let full = a.to_full_csc();
+        let mut coo = sympack_sparse::Coo::new(25, 25);
+        for c in 0..25 {
+            for (&r, &v) in full.col_rows(c).iter().zip(full.col_values(c)) {
+                if r >= c {
+                    let v = if r == 12 && c == 12 { -v } else { v };
+                    coo.push(r, c, v).unwrap();
+                }
+            }
+        }
+        let bad = coo.to_csc().to_lower_sym();
+        let b = test_rhs(25);
+        match SymPack::try_factor_and_solve(&bad, &b, &SolverOptions::default()) {
+            Err(SolverError::NotPositiveDefinite { .. }) => {}
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gpu_and_cpu_modes_agree_numerically() {
+        let a = thermal_like(9, 9, 0.2, 3);
+        let b = test_rhs(a.n());
+        let gpu = SymPack::factor_and_solve(&a, &b, &SolverOptions::default());
+        let cpu = SymPack::factor_and_solve(
+            &a,
+            &b,
+            &SolverOptions { gpu: false, ..Default::default() },
+        );
+        assert!(gpu.relative_residual < 1e-10);
+        assert!(cpu.relative_residual < 1e-10);
+        // CPU-only mode must record zero GPU calls.
+        for c in &cpu.op_counts {
+            for op in sympack_gpu::Op::ALL {
+                assert_eq!(c.get(op).1, 0, "CPU run used the GPU for {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_grid_ablation_still_correct() {
+        let a = laplacian_2d(8, 8);
+        let b = test_rhs(64);
+        let r = SymPack::factor_and_solve(
+            &a,
+            &b,
+            &SolverOptions {
+                n_nodes: 2,
+                ranks_per_node: 2,
+                grid: Some(ProcGrid::one_dimensional(4)),
+                ..Default::default()
+            },
+        );
+        assert!(r.relative_residual < 1e-10);
+    }
+
+    #[test]
+    fn all_rtq_policies_solve_correctly() {
+        let a = random_spd(60, 4, 9);
+        let b = test_rhs(60);
+        for policy in [RtqPolicy::Lifo, RtqPolicy::Fifo, RtqPolicy::CriticalPath] {
+            let r = SymPack::factor_and_solve(
+                &a,
+                &b,
+                &SolverOptions { rtq_policy: policy, ..Default::default() },
+            );
+            assert!(r.relative_residual < 1e-10, "{policy:?}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! symPACK-rs: a task-based fan-out supernodal sparse Cholesky solver.
+//!
+//! A Rust reproduction of *"symPACK: A GPU-Capable Fan-Out Sparse Cholesky
+//! Solver"* (SC-W 2023). The solver factors a sparse symmetric positive
+//! definite matrix `A = L·Lᵀ` and solves `A·x = b`, distributing dense
+//! supernode blocks over PGAS ranks with a 2D block-cyclic map and driving
+//! the computation with the paper's three task types (§3.2):
+//!
+//! * `D(j)` — factor the diagonal block of supernode `j` (POTRF),
+//! * `F(i,j)` — factor off-diagonal block `B(i,j)` (TRSM),
+//! * `U(a,j,b)` — update block `B(a,b)` with the outer product of factored
+//!   blocks `L(a,j)·L(b,j)ᵀ` (GEMM, or SYRK when `a = b`).
+//!
+//! Communication follows the fan-out paradigm of §3.4: a completed factor
+//! block is *pushed* as a `signal(ptr, meta)` RPC to every rank owning a
+//! dependent task; receivers poll, issue one-sided gets (or device copies
+//! for GPU-bound blocks — the memory-kinds path of §4), and move tasks whose
+//! dependency counters reach zero onto the ready-task queue (RTQ).
+//!
+//! # Quick start
+//!
+//! ```
+//! use sympack::{SolverOptions, SymPack};
+//! use sympack_sparse::gen::laplacian_2d;
+//!
+//! let a = laplacian_2d(12, 12);
+//! let b = vec![1.0; a.n()];
+//! let result = SymPack::factor_and_solve(&a, &b, &SolverOptions::default());
+//! assert!(result.relative_residual < 1e-10);
+//! ```
+
+pub mod condest;
+pub mod driver;
+pub mod engine;
+pub mod map2d;
+pub mod selinv;
+pub mod storage;
+pub mod taskgraph;
+pub mod trisolve;
+
+pub use driver::{
+    FactorizeOutcome, GatheredFactor, MultiSolveReport, SolveReport, SolverOptions, SymPack,
+};
+pub use condest::condest;
+pub use selinv::{selected_inverse, SelectedInverse};
+pub use map2d::ProcGrid;
+pub use taskgraph::{RtqPolicy, TaskKey};
+
+/// Errors surfaced by the solver.
+#[derive(Debug)]
+pub enum SolverError {
+    /// The matrix is not positive definite; the offending column is given in
+    /// the *permuted* ordering.
+    NotPositiveDefinite {
+        /// Column (in the permuted matrix) with a non-positive pivot.
+        column: usize,
+    },
+    /// A device allocation failed and the OOM policy was
+    /// [`sympack_gpu::OomPolicy::Abort`] (paper §4.2's strict fallback).
+    DeviceOom {
+        requested: usize,
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::NotPositiveDefinite { column } => {
+                write!(f, "matrix is not positive definite (permuted column {column})")
+            }
+            SolverError::DeviceOom { requested, available } => write!(
+                f,
+                "device allocation of {requested} bytes failed ({available} bytes free) with Abort policy"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}

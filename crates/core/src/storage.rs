@@ -1,0 +1,172 @@
+//! Distributed block storage for the factor.
+//!
+//! Each rank materializes exactly the blocks the 2D map assigns to it: the
+//! diagonal block of supernode `j` is a dense `w×w` matrix (lower triangle
+//! significant), an off-diagonal block `B(i,j)` is a dense `n_rows × w`
+//! matrix whose rows are the block's slice of the supernode's row pattern.
+
+use crate::map2d::ProcGrid;
+use std::collections::HashMap;
+use sympack_dense::Mat;
+use sympack_symbolic::SymbolicFactor;
+use sympack_sparse::SparseSym;
+
+/// Key of a stored block: `(target supernode, owner supernode)`; the
+/// diagonal block of `j` is `(j, j)`.
+pub type BlockKey = (usize, usize);
+
+/// This rank's slice of the factor.
+#[derive(Debug, Default)]
+pub struct BlockStore {
+    blocks: HashMap<BlockKey, Mat>,
+}
+
+impl BlockStore {
+    /// Allocate every block owned by `rank` under `grid` and scatter the
+    /// permuted matrix values into them.
+    ///
+    /// `ap` must already carry the symbolic factor's composite permutation.
+    pub fn init(sf: &SymbolicFactor, ap: &SparseSym, grid: &ProcGrid, rank: usize) -> Self {
+        let ns = sf.n_supernodes();
+        let mut blocks = HashMap::new();
+        // Allocate.
+        for j in 0..ns {
+            let w = sf.partition.width(j);
+            if grid.map(j, j) == rank {
+                blocks.insert((j, j), Mat::zeros(w, w));
+            }
+            for b in sf.layout.blocks_of(j) {
+                if grid.map(b.target, j) == rank {
+                    blocks.insert((b.target, j), Mat::zeros(b.n_rows, w));
+                }
+            }
+        }
+        // Scatter values of A's lower triangle.
+        for j in 0..ns {
+            let first = sf.partition.first_col(j);
+            let last = sf.partition.last_col(j);
+            let pat = &sf.patterns[j];
+            for c in sf.partition.cols(j) {
+                let jc = c - first;
+                for (&r, &v) in ap.col_rows(c).iter().zip(ap.col_values(c)) {
+                    if r <= last {
+                        // Diagonal block entry.
+                        if let Some(m) = blocks.get_mut(&(j, j)) {
+                            m[(r - first, jc)] = v;
+                        }
+                    } else {
+                        let t = sf.partition.supno(r);
+                        if grid.map(t, j) != rank {
+                            continue;
+                        }
+                        let b = sf.layout.find(t, j).expect("pattern row must have a block");
+                        let rows = &pat[b.row_offset..b.row_offset + b.n_rows];
+                        let ri = rows.binary_search(&r).expect("row in block");
+                        let m = blocks.get_mut(&(t, j)).expect("owned block allocated");
+                        m[(ri, jc)] = v;
+                    }
+                }
+            }
+        }
+        BlockStore { blocks }
+    }
+
+    /// Borrow an owned block.
+    pub fn get(&self, key: BlockKey) -> Option<&Mat> {
+        self.blocks.get(&key)
+    }
+
+    /// Mutably borrow an owned block.
+    pub fn get_mut(&mut self, key: BlockKey) -> Option<&mut Mat> {
+        self.blocks.get_mut(&key)
+    }
+
+    /// Take a block out (e.g. to run a kernel without aliasing).
+    pub fn take(&mut self, key: BlockKey) -> Option<Mat> {
+        self.blocks.remove(&key)
+    }
+
+    /// Put a block (back).
+    pub fn put(&mut self, key: BlockKey, m: Mat) {
+        self.blocks.insert(key, m);
+    }
+
+    /// Number of blocks held.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when this rank owns nothing (tiny matrices on big grids).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterate over held blocks.
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockKey, &Mat)> {
+        self.blocks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympack_ordering::{compute_ordering, OrderingKind};
+    use sympack_sparse::gen::laplacian_2d;
+    use sympack_symbolic::{analyze, AnalyzeOptions};
+
+    fn setup() -> (SymbolicFactor, SparseSym) {
+        let a = laplacian_2d(6, 5);
+        let ord = compute_ordering(&a, OrderingKind::NestedDissection);
+        let sf = analyze(&a, &ord, &AnalyzeOptions::default());
+        let ap = a.permute(sf.perm.as_slice());
+        (sf, ap)
+    }
+
+    #[test]
+    fn single_rank_holds_all_blocks_and_all_values() {
+        let (sf, ap) = setup();
+        let grid = ProcGrid::squarest(1);
+        let store = BlockStore::init(&sf, &ap, &grid, 0);
+        let ns = sf.n_supernodes();
+        let expect = ns + sf.layout.n_off_diagonal();
+        assert_eq!(store.len(), expect);
+        // Every stored lower-triangle entry of A appears at the right spot.
+        for j in 0..ns {
+            let first = sf.partition.first_col(j);
+            let last = sf.partition.last_col(j);
+            for c in sf.partition.cols(j) {
+                for (&r, &v) in ap.col_rows(c).iter().zip(ap.col_values(c)) {
+                    if r <= last {
+                        let m = store.get((j, j)).unwrap();
+                        assert_eq!(m[(r - first, c - first)], v);
+                    } else {
+                        let t = sf.partition.supno(r);
+                        let b = sf.layout.find(t, j).unwrap();
+                        let rows =
+                            &sf.patterns[j][b.row_offset..b.row_offset + b.n_rows];
+                        let ri = rows.binary_search(&r).unwrap();
+                        let m = store.get((t, j)).unwrap();
+                        assert_eq!(m[(ri, c - first)], v);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rank_stores_partition_blocks_disjointly() {
+        let (sf, ap) = setup();
+        let grid = ProcGrid::squarest(4);
+        let stores: Vec<BlockStore> =
+            (0..4).map(|r| BlockStore::init(&sf, &ap, &grid, r)).collect();
+        let total: usize = stores.iter().map(BlockStore::len).sum();
+        assert_eq!(total, sf.n_supernodes() + sf.layout.n_off_diagonal());
+        // No block key appears on two ranks.
+        let mut seen = std::collections::HashSet::new();
+        for s in &stores {
+            for (k, _) in s.iter() {
+                assert!(seen.insert(*k), "block {k:?} duplicated");
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The fan-out task graph (paper §3.2, Fig. 2) and its per-rank slice.
+//!
+//! Task ownership follows the block ownership of §3.3: every task runs on
+//! the rank owning its *target* block, so the completion of an update task
+//! decrements its panel/diagonal successor *locally*, while factored panels
+//! travel between ranks (the fan-out).
+
+use crate::map2d::ProcGrid;
+use std::collections::HashMap;
+use sympack_symbolic::SymbolicFactor;
+
+/// A task in the factorization DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKey {
+    /// `D(j)`: factor the diagonal block of supernode `j` (POTRF).
+    Diag { j: usize },
+    /// `F(i,j)`: factor block `B(i,j)` (TRSM against `L(j,j)`).
+    Panel { i: usize, j: usize },
+    /// `U(a,j,b)`: update `B(a,b)` with `L(a,j)·L(b,j)ᵀ`
+    /// (SYRK when `a == b`, GEMM otherwise).
+    Update { j: usize, a: usize, b: usize },
+}
+
+/// Order in which ready tasks are picked from the RTQ.
+///
+/// The paper executes "whichever one is at the top of the queue" (LIFO) and
+/// defers a comparison of policies to future work (§6) — the scheduling
+/// ablation bench runs that comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtqPolicy {
+    /// Stack order — the paper's behavior.
+    Lifo,
+    /// Queue order.
+    Fifo,
+    /// Prefer tasks on lower-numbered target supernodes (closer to the
+    /// critical path of the left-to-right elimination).
+    CriticalPath,
+}
+
+/// Mutable scheduling state of one task.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskState {
+    /// Outstanding dependencies (input arrivals + local update completions).
+    pub deps: usize,
+    /// Virtual time at which the latest input became available.
+    pub ready_at: f64,
+}
+
+/// The slice of the task graph owned by one rank.
+#[derive(Debug, Default)]
+pub struct LocalTasks {
+    /// Scheduling state per owned task (the LTQ of §3.4).
+    pub tasks: HashMap<TaskKey, TaskState>,
+    /// For each factored input block `(i,j)`, the owned update tasks
+    /// consuming it.
+    pub consumers: HashMap<(usize, usize), Vec<TaskKey>>,
+    /// Owned panel tasks consuming each diagonal factor `(j,j)`.
+    pub diag_consumers: HashMap<usize, Vec<TaskKey>>,
+    /// Total owned tasks.
+    pub total: usize,
+}
+
+impl LocalTasks {
+    /// Enumerate the tasks owned by `rank` and compute their dependency
+    /// counters (paper: "an incoming dependency counter, initially set to
+    /// the number of incoming edges in the task graph").
+    pub fn build(sf: &SymbolicFactor, grid: &ProcGrid, rank: usize) -> Self {
+        let ns = sf.n_supernodes();
+        let mut tasks: HashMap<TaskKey, TaskState> = HashMap::new();
+        let mut consumers: HashMap<(usize, usize), Vec<TaskKey>> = HashMap::new();
+        let mut diag_consumers: HashMap<usize, Vec<TaskKey>> = HashMap::new();
+        // Update counts per owned target block (i, j) and diagonal j.
+        let mut upd_into: HashMap<(usize, usize), usize> = HashMap::new();
+        for j in 0..ns {
+            let blocks = sf.layout.blocks_of(j);
+            // Update tasks: every ordered pair (a ≥ b) of targets of j.
+            for (bi, bb) in blocks.iter().enumerate() {
+                for ba in &blocks[bi..] {
+                    let (a, b) = (ba.target, bb.target);
+                    if grid.map(a, b) != rank {
+                        continue;
+                    }
+                    let key = TaskKey::Update { j, a, b };
+                    // Inputs: L(a,j) and L(b,j) — one dependency when equal.
+                    let deps = if a == b { 1 } else { 2 };
+                    tasks.insert(key, TaskState { deps, ready_at: 0.0 });
+                    consumers.entry((a, j)).or_default().push(key);
+                    if a != b {
+                        consumers.entry((b, j)).or_default().push(key);
+                    }
+                    *upd_into.entry((a, b)).or_default() += 1;
+                }
+            }
+        }
+        for j in 0..ns {
+            if grid.map(j, j) == rank {
+                let deps = upd_into.get(&(j, j)).copied().unwrap_or(0);
+                tasks.insert(TaskKey::Diag { j }, TaskState { deps, ready_at: 0.0 });
+            }
+            for b in sf.layout.blocks_of(j) {
+                let i = b.target;
+                if grid.map(i, j) == rank {
+                    let deps = 1 + upd_into.get(&(i, j)).copied().unwrap_or(0);
+                    let key = TaskKey::Panel { i, j };
+                    tasks.insert(key, TaskState { deps, ready_at: 0.0 });
+                    diag_consumers.entry(j).or_default().push(key);
+                }
+            }
+        }
+        let total = tasks.len();
+        LocalTasks { tasks, consumers, diag_consumers, total }
+    }
+
+    /// Tasks with zero dependencies (initial RTQ contents).
+    pub fn initially_ready(&self) -> Vec<TaskKey> {
+        let mut v: Vec<TaskKey> =
+            self.tasks.iter().filter(|(_, s)| s.deps == 0).map(|(k, _)| *k).collect();
+        // Deterministic order regardless of hash iteration.
+        v.sort_by_key(|k| match *k {
+            TaskKey::Diag { j } => (j, 0, 0, 0),
+            TaskKey::Panel { i, j } => (j, 1, i, 0),
+            TaskKey::Update { j, a, b } => (j, 2, a, b),
+        });
+        v
+    }
+}
+
+/// The destination ranks a factored block must be fanned out to
+/// (the paper's `P_F(i,j)` and `P_D(i)` sets, §3.3).
+pub fn fanout_dests(
+    sf: &SymbolicFactor,
+    grid: &ProcGrid,
+    rank: usize,
+    i: usize,
+    j: usize,
+) -> Vec<usize> {
+    let mut dests = Vec::new();
+    if i == j {
+        // Diagonal factor L(j,j): needed by panel tasks F(t,j).
+        for b in sf.layout.blocks_of(j) {
+            dests.push(grid.map(b.target, j));
+        }
+    } else {
+        // Panel factor L(i,j): needed by updates U(i,j,b) for targets b ≤ i
+        // and U(a,j,i) for targets a ≥ i.
+        for b in sf.layout.blocks_of(j) {
+            let t = b.target;
+            if t <= i {
+                dests.push(grid.map(i, t));
+            }
+            if t >= i {
+                dests.push(grid.map(t, i));
+            }
+        }
+    }
+    dests.sort_unstable();
+    dests.dedup();
+    dests.retain(|&d| d != rank);
+    dests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympack_ordering::{compute_ordering, OrderingKind};
+    use sympack_sparse::gen::laplacian_2d;
+    use sympack_symbolic::{analyze, AnalyzeOptions};
+
+    fn sf() -> SymbolicFactor {
+        let a = laplacian_2d(7, 7);
+        let ord = compute_ordering(&a, OrderingKind::NestedDissection);
+        analyze(&a, &ord, &AnalyzeOptions::default())
+    }
+
+    #[test]
+    fn task_counts_partition_across_ranks() {
+        let sf = sf();
+        for p in [1usize, 2, 4, 6] {
+            let grid = ProcGrid::squarest(p);
+            let total: usize =
+                (0..p).map(|r| LocalTasks::build(&sf, &grid, r).total).sum();
+            let single = LocalTasks::build(&sf, &ProcGrid::squarest(1), 0).total;
+            assert_eq!(total, single, "p={p}");
+        }
+    }
+
+    #[test]
+    fn single_rank_initial_ready_tasks_are_leaf_diagonals() {
+        let sf = sf();
+        let lt = LocalTasks::build(&sf, &ProcGrid::squarest(1), 0);
+        let ready = lt.initially_ready();
+        assert!(!ready.is_empty());
+        for k in &ready {
+            match k {
+                TaskKey::Diag { j } => {
+                    // Leaf supernodes: nothing updates into them.
+                    let has_incoming = (0..*j)
+                        .any(|k| sf.layout.find(*j, k).is_some());
+                    assert!(!has_incoming, "diag {j} should have no incoming updates");
+                }
+                other => panic!("only diagonal tasks can start ready, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dep_count_totals_match_edge_count() {
+        // With m_j off-diagonal blocks in supernode j:
+        //   update deps  = m_j (diag pairs, 1 input) + m_j(m_j−1) (off-diag
+        //                  pairs, 2 inputs)             = m_j²
+        //   panel deps   = m_j (diag inputs)
+        //   update→target deps (into panels/diag)       = m_j(m_j+1)/2
+        let sf = sf();
+        let lt = LocalTasks::build(&sf, &ProcGrid::squarest(1), 0);
+        let mut expect = 0usize;
+        for j in 0..sf.n_supernodes() {
+            let m = sf.layout.blocks_of(j).len();
+            expect += m * m + m + m * (m + 1) / 2;
+        }
+        let total: usize = lt.tasks.values().map(|s| s.deps).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn fanout_dests_exclude_self_and_cover_consumers() {
+        let sf = sf();
+        let grid = ProcGrid::squarest(4);
+        for j in 0..sf.n_supernodes() {
+            for b in sf.layout.blocks_of(j) {
+                let i = b.target;
+                let owner = grid.map(i, j);
+                let dests = fanout_dests(&sf, &grid, owner, i, j);
+                assert!(!dests.contains(&owner));
+                // Every rank with an update consuming L(i,j) is covered.
+                for r in 0..4 {
+                    if r == owner {
+                        continue;
+                    }
+                    let lt = LocalTasks::build(&sf, &grid, r);
+                    if lt.consumers.contains_key(&(i, j)) {
+                        assert!(dests.contains(&r), "rank {r} missing for L({i},{j})");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! Distributed supernodal triangular solve: `L·y = b` then `Lᵀ·x = y`.
+//!
+//! The solve reuses the factor blocks exactly where the factorization left
+//! them. Both sweeps are organized around the diagonal-block owners:
+//!
+//! * **forward**: the owner of `L(j,j)` solves its supernode once every
+//!   contribution `B(j,k)·y_k` from descendant supernodes has been folded
+//!   into its accumulator, then fans `y_j` out to the owners of the blocks
+//!   `B(i,j)`, which compute and send their contributions onward — the same
+//!   fan-out pattern as the factorization;
+//! * **backward**: mirror image, descending order, using `B(i,j)ᵀ·x_i`.
+//!
+//! Messages are RPCs carrying their vector payloads, charged full
+//! latency+bandwidth cost. Like the factorization, all arithmetic is real
+//! and all timing is virtual.
+
+use crate::map2d::ProcGrid;
+use crate::storage::BlockStore;
+use std::collections::HashMap;
+use std::sync::Arc;
+use sympack_dense::Mat;
+use sympack_gpu::{KernelEngine, Op};
+use sympack_pgas::Rank;
+use sympack_symbolic::SymbolicFactor;
+
+/// Dense forward substitution `L·y = rhs` (lower, non-unit diagonal).
+pub fn forward_subst(l: &Mat, rhs: &mut [f64]) {
+    let n = l.rows();
+    assert_eq!(rhs.len(), n);
+    for c in 0..n {
+        let yc = rhs[c] / l[(c, c)];
+        rhs[c] = yc;
+        for r in c + 1..n {
+            rhs[r] -= l[(r, c)] * yc;
+        }
+    }
+}
+
+/// Dense backward substitution `Lᵀ·x = rhs`.
+pub fn backward_subst(l: &Mat, rhs: &mut [f64]) {
+    let n = l.rows();
+    assert_eq!(rhs.len(), n);
+    for c in (0..n).rev() {
+        let mut v = rhs[c];
+        for r in c + 1..n {
+            v -= l[(r, c)] * rhs[r];
+        }
+        rhs[c] = v / l[(c, c)];
+    }
+}
+
+/// Messages exchanged during the solve.
+enum SolveMsg {
+    /// `y_j` fanned out to block owners (forward sweep).
+    YReady { j: usize, y: Vec<f64> },
+    /// `B(i,j)·y_j` folded into supernode `i`'s accumulator.
+    FwdContrib { target: usize, rows: Vec<usize>, vals: Vec<f64> },
+    /// `x_i` fanned out to block owners (backward sweep).
+    XReady { i: usize, x: Vec<f64> },
+    /// `B(i,j)ᵀ·x_i` folded into supernode `j`'s accumulator.
+    BwdContrib { target: usize, vals: Vec<f64> },
+}
+
+/// Per-rank solve engine; installed as rank user state during the solve.
+pub struct SolveEngine {
+    sf: Arc<SymbolicFactor>,
+    grid: ProcGrid,
+    inbox: Vec<SolveMsg>,
+    /// Accumulators at diagonal owners (forward: b rows, backward: y rows).
+    acc: HashMap<usize, Vec<f64>>,
+    /// Remaining incoming contributions per owned diagonal.
+    deps: HashMap<usize, usize>,
+    /// Solved `y_j` (forward) kept for the backward sweep.
+    y: HashMap<usize, Vec<f64>>,
+    /// Solved `x_j` at diagonal owners.
+    pub x: HashMap<usize, Vec<f64>>,
+    /// Owned off-diagonal blocks pending their sweep GEMV, keyed by owner
+    /// supernode `j` → list of targets `i`.
+    my_blocks_by_j: HashMap<usize, Vec<usize>>,
+    /// Owned blocks keyed by target `i` (backward sweep lookup).
+    my_blocks_by_i: HashMap<usize, Vec<usize>>,
+    /// For each supernode `i`: the owners of blocks `B(i,j)` over all `j`
+    /// (deduplicated) — the backward fan-out destination sets.
+    rev_owners: Vec<Vec<usize>>,
+    /// Diagonal supernodes owned by this rank.
+    my_diags: Vec<usize>,
+    diags_solved: usize,
+    gemvs_done: usize,
+    gemvs_total: usize,
+    kernels: KernelEngine,
+    /// Extra per-message receive overhead (seconds). Zero for symPACK's
+    /// one-sided protocol; the two-sided baseline passes a rendezvous cost.
+    msg_overhead: f64,
+}
+
+impl SolveEngine {
+    fn new(
+        sf: Arc<SymbolicFactor>,
+        grid: ProcGrid,
+        rank: usize,
+        kernels: KernelEngine,
+        msg_overhead: f64,
+    ) -> Self {
+        let ns = sf.n_supernodes();
+        let mut my_blocks_by_j: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut my_blocks_by_i: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut rev_owners: Vec<Vec<usize>> = vec![Vec::new(); ns];
+        let mut gemvs_total = 0;
+        for j in 0..ns {
+            for b in sf.layout.blocks_of(j) {
+                let owner = grid.map(b.target, j);
+                rev_owners[b.target].push(owner);
+                if owner == rank {
+                    my_blocks_by_j.entry(j).or_default().push(b.target);
+                    my_blocks_by_i.entry(b.target).or_default().push(j);
+                    gemvs_total += 1;
+                }
+            }
+        }
+        for v in &mut rev_owners {
+            v.sort_unstable();
+            v.dedup();
+        }
+        let my_diags: Vec<usize> = (0..ns).filter(|&j| grid.map(j, j) == rank).collect();
+        SolveEngine {
+            sf,
+            grid,
+            inbox: Vec::new(),
+            acc: HashMap::new(),
+            deps: HashMap::new(),
+            y: HashMap::new(),
+            x: HashMap::new(),
+            my_blocks_by_j,
+            my_blocks_by_i,
+            rev_owners,
+            my_diags,
+            diags_solved: 0,
+            gemvs_done: 0,
+            gemvs_total,
+            kernels,
+            msg_overhead,
+        }
+    }
+
+    /// Charge the cost model for a solve kernel without redoing placement
+    /// arithmetic at call sites.
+    fn charge(&mut self, rank: &mut Rank, op: Op, elements: usize, flops: u64) {
+        let loc = self.kernels.place(op, elements);
+        let secs = match loc {
+            sympack_gpu::Loc::Cpu => self.kernels.cost.cpu_time(op, flops),
+            sympack_gpu::Loc::Gpu => self.kernels.cost.gpu_time(op, flops),
+        };
+        rank.advance(secs);
+    }
+
+    /// Route a message: local push or RPC with payload cost.
+    fn send(&mut self, rank: &mut Rank, dest: usize, msg: SolveMsg) {
+        if dest == rank.id() {
+            self.inbox.push(msg);
+            return;
+        }
+        let bytes = match &msg {
+            SolveMsg::YReady { y, .. } => y.len() * 8,
+            SolveMsg::FwdContrib { rows, vals, .. } => (rows.len() + vals.len()) * 8,
+            SolveMsg::XReady { x, .. } => x.len() * 8,
+            SolveMsg::BwdContrib { vals, .. } => vals.len() * 8,
+        };
+        // Synchronization cost of the two-sided baseline's rendezvous
+        // protocol: both sides block until the match completes, so the full
+        // cost lands on sender *and* receiver for cross-node messages and a
+        // fraction of it within a node. Zero for symPACK's one-sided path.
+        let overhead =
+            if rank.same_node(dest) { self.msg_overhead * 0.2 } else { self.msg_overhead };
+        rank.advance(overhead);
+        // Wrap so the closure is Send: vectors move into it.
+        let cell = std::sync::Mutex::new(Some(msg));
+        rank.rpc_payload(dest, bytes, move |r| {
+            r.advance(overhead);
+            let msg = cell.lock().unwrap().take().expect("message delivered once");
+            r.with_state::<SolveEngine, _>(|_, st| st.inbox.push(msg));
+        });
+    }
+}
+
+mod fwd {
+    use super::*;
+
+    pub(super) fn init(st: &mut SolveEngine, bp: &[f64]) {
+        // Accumulators = permuted RHS rows; dependency counts = number of
+        // blocks targeting each owned supernode.
+        let ns = st.sf.n_supernodes();
+        let mut incoming = vec![0usize; ns];
+        for j in 0..ns {
+            for b in st.sf.layout.blocks_of(j) {
+                incoming[b.target] += 1;
+            }
+        }
+        for &j in &st.my_diags.clone() {
+            let first = st.sf.partition.first_col(j);
+            let w = st.sf.partition.width(j);
+            st.acc.insert(j, bp[first..first + w].to_vec());
+            st.deps.insert(j, incoming[j]);
+        }
+    }
+
+    /// Solve any owned diagonals whose dependencies are met.
+    pub(super) fn try_solve_ready(st: &mut SolveEngine, rank: &mut Rank, store: &BlockStore) {
+        let ready: Vec<usize> = st
+            .my_diags
+            .iter()
+            .copied()
+            .filter(|j| st.deps.get(j) == Some(&0) && !st.y.contains_key(j))
+            .collect();
+        for j in ready {
+            let l = store.get((j, j)).expect("diag factor owned");
+            let w = l.rows();
+            let mut rhs = st.acc.remove(&j).expect("accumulator present");
+            forward_subst(l, &mut rhs);
+            st.charge(rank, Op::Trsm, w * w, (w * w) as u64);
+            st.y.insert(j, rhs.clone());
+            st.diags_solved += 1;
+            // Fan y_j out to the owners of blocks B(i,j).
+            let mut dests: Vec<usize> = st
+                .sf
+                .layout
+                .blocks_of(j)
+                .iter()
+                .map(|b| st.grid.map(b.target, j))
+                .collect();
+            dests.sort_unstable();
+            dests.dedup();
+            for d in dests {
+                let msg = SolveMsg::YReady { j, y: rhs.clone() };
+                st.send(rank, d, msg);
+            }
+        }
+    }
+
+    pub(super) fn handle_y(
+        st: &mut SolveEngine,
+        rank: &mut Rank,
+        store: &BlockStore,
+        j: usize,
+        yj: &[f64],
+    ) {
+        let Some(targets) = st.my_blocks_by_j.get(&j).cloned() else { return };
+        for i in targets {
+            let b = store.get((i, j)).expect("block owned");
+            let (m, w) = (b.rows(), b.cols());
+            // v = B(i,j) · y_j
+            let mut v = vec![0.0; m];
+            for c in 0..w {
+                let yc = yj[c];
+                for r in 0..m {
+                    v[r] += b[(r, c)] * yc;
+                }
+            }
+            st.charge(rank, Op::Gemm, m * w, (2 * m * w) as u64);
+            let binfo = st.sf.layout.find(i, j).expect("block exists");
+            let rows =
+                st.sf.patterns[j][binfo.row_offset..binfo.row_offset + binfo.n_rows].to_vec();
+            st.gemvs_done += 1;
+            let dest = st.grid.map(i, i);
+            st.send(rank, dest, SolveMsg::FwdContrib { target: i, rows, vals: v });
+        }
+    }
+
+    pub(super) fn handle_contrib(
+        st: &mut SolveEngine,
+        target: usize,
+        rows: &[usize],
+        vals: &[f64],
+    ) {
+        let first = st.sf.partition.first_col(target);
+        let acc = st.acc.get_mut(&target).expect("diag owner has accumulator");
+        for (&r, &v) in rows.iter().zip(vals) {
+            acc[r - first] -= v;
+        }
+        *st.deps.get_mut(&target).expect("dep counter") -= 1;
+    }
+}
+
+mod bwd {
+    use super::*;
+
+    pub(super) fn init(st: &mut SolveEngine) {
+        // Accumulators = y rows; dependency counts = own block count.
+        for &j in &st.my_diags.clone() {
+            let y = st.y.get(&j).expect("forward solved").clone();
+            st.acc.insert(j, y);
+            st.deps.insert(j, st.sf.layout.blocks_of(j).len());
+        }
+        st.diags_solved = 0;
+        st.gemvs_done = 0;
+    }
+
+    pub(super) fn try_solve_ready(st: &mut SolveEngine, rank: &mut Rank, store: &BlockStore) {
+        let ready: Vec<usize> = st
+            .my_diags
+            .iter()
+            .copied()
+            .filter(|j| st.deps.get(j) == Some(&0) && !st.x.contains_key(j))
+            .collect();
+        for j in ready {
+            let l = store.get((j, j)).expect("diag factor owned");
+            let w = l.rows();
+            let mut rhs = st.acc.remove(&j).expect("accumulator present");
+            backward_subst(l, &mut rhs);
+            st.charge(rank, Op::Trsm, w * w, (w * w) as u64);
+            st.x.insert(j, rhs.clone());
+            st.diags_solved += 1;
+            // Fan x_j out to owners of blocks B(j, k) — every rank holding a
+            // block whose rows live in supernode j.
+            for d in st.rev_owners[j].clone() {
+                let msg = SolveMsg::XReady { i: j, x: rhs.clone() };
+                st.send(rank, d, msg);
+            }
+        }
+    }
+
+    pub(super) fn handle_x(
+        st: &mut SolveEngine,
+        rank: &mut Rank,
+        store: &BlockStore,
+        i: usize,
+        xi: &[f64],
+    ) {
+        let Some(js) = st.my_blocks_by_i.get(&i).cloned() else { return };
+        let first_i = st.sf.partition.first_col(i);
+        for j in js {
+            let b = store.get((i, j)).expect("block owned");
+            let (m, w) = (b.rows(), b.cols());
+            let binfo = st.sf.layout.find(i, j).expect("block exists");
+            let rows = &st.sf.patterns[j][binfo.row_offset..binfo.row_offset + binfo.n_rows];
+            // v = B(i,j)ᵀ · x_i[rows]
+            let mut v = vec![0.0; w];
+            for c in 0..w {
+                let mut s = 0.0;
+                for (r, &gr) in rows.iter().enumerate() {
+                    s += b[(r, c)] * xi[gr - first_i];
+                }
+                v[c] = s;
+            }
+            st.charge(rank, Op::Gemm, m * w, (2 * m * w) as u64);
+            st.gemvs_done += 1;
+            let dest = st.grid.map(j, j);
+            st.send(rank, dest, SolveMsg::BwdContrib { target: j, vals: v });
+        }
+    }
+
+    pub(super) fn handle_contrib(st: &mut SolveEngine, target: usize, vals: &[f64]) {
+        let acc = st.acc.get_mut(&target).expect("diag owner has accumulator");
+        for (a, &v) in acc.iter_mut().zip(vals) {
+            *a -= v;
+        }
+        *st.deps.get_mut(&target).expect("dep counter") -= 1;
+    }
+}
+
+/// Run the distributed solve. `store` holds this rank's factor blocks; `bp`
+/// is the full permuted right-hand side (replicated, as in the paper's
+/// driver). Returns the per-supernode solution pieces owned by this rank and
+/// the virtual time spent.
+pub fn solve(
+    rank: &mut Rank,
+    sf: Arc<SymbolicFactor>,
+    grid: ProcGrid,
+    store: &BlockStore,
+    bp: &[f64],
+    kernels: KernelEngine,
+) -> (HashMap<usize, Vec<f64>>, f64) {
+    solve_with_overhead(rank, sf, grid, store, bp, kernels, 0.0)
+}
+
+/// [`solve`] with an extra per-message receive overhead — used by the
+/// two-sided baseline to model rendezvous synchronization.
+pub fn solve_with_overhead(
+    rank: &mut Rank,
+    sf: Arc<SymbolicFactor>,
+    grid: ProcGrid,
+    store: &BlockStore,
+    bp: &[f64],
+    kernels: KernelEngine,
+    msg_overhead: f64,
+) -> (HashMap<usize, Vec<f64>>, f64) {
+    let start = rank.now();
+    let mut st = SolveEngine::new(sf, grid, rank.id(), kernels, msg_overhead);
+    fwd::init(&mut st, bp);
+    let my_diag_count = st.my_diags.len();
+    rank.set_state(st);
+    // Forward sweep.
+    run_phase(rank, store, my_diag_count, Phase::Forward);
+    rank.barrier();
+    // Backward sweep.
+    rank.with_state::<SolveEngine, _>(|_, st| bwd::init(st));
+    run_phase(rank, store, my_diag_count, Phase::Backward);
+    rank.barrier();
+    let st = rank.take_state::<SolveEngine>();
+    (st.x, rank.now() - start)
+}
+
+/// All-gather the distributed per-supernode solution pieces so every rank
+/// holds the full permuted vector (used by iterative refinement to form the
+/// residual). Messages are RPCs with payload cost; the result is identical
+/// on every rank.
+pub fn allgather_solution(
+    rank: &mut Rank,
+    sf: &SymbolicFactor,
+    x_map: &HashMap<usize, Vec<f64>>,
+) -> Vec<f64> {
+    struct Gather {
+        pieces: Vec<(usize, Vec<f64>)>,
+    }
+    let ns = sf.n_supernodes();
+    let me = rank.id();
+    let n_ranks = rank.n_ranks();
+    rank.set_state(Gather { pieces: x_map.iter().map(|(k, v)| (*k, v.clone())).collect() });
+    for (&sn, piece) in x_map {
+        for dest in (0..n_ranks).filter(|&d| d != me) {
+            let payload = piece.clone();
+            let cell = std::sync::Mutex::new(Some((sn, payload)));
+            rank.rpc_payload(dest, piece.len() * 8, move |r| {
+                let item = cell.lock().unwrap().take().expect("delivered once");
+                r.with_state::<Gather, _>(|_, g| g.pieces.push(item));
+            });
+        }
+    }
+    loop {
+        rank.progress();
+        let have = rank.with_state::<Gather, _>(|_, g| g.pieces.len());
+        if have == ns {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let g = rank.take_state::<Gather>();
+    let mut xp = vec![0.0; sf.n()];
+    for (sn, piece) in g.pieces {
+        let first = sf.partition.first_col(sn);
+        xp[first..first + piece.len()].copy_from_slice(&piece);
+    }
+    rank.barrier();
+    xp
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Phase {
+    Forward,
+    Backward,
+}
+
+fn run_phase(rank: &mut Rank, store: &BlockStore, my_diag_count: usize, phase: Phase) {
+    loop {
+        rank.progress();
+        let finished = rank.with_state::<SolveEngine, _>(|rank, st| {
+            match phase {
+                Phase::Forward => fwd::try_solve_ready(st, rank, store),
+                Phase::Backward => bwd::try_solve_ready(st, rank, store),
+            }
+            let msgs = std::mem::take(&mut st.inbox);
+            for msg in msgs {
+                match (phase, msg) {
+                    (Phase::Forward, SolveMsg::YReady { j, y }) => {
+                        fwd::handle_y(st, rank, store, j, &y)
+                    }
+                    (Phase::Forward, SolveMsg::FwdContrib { target, rows, vals }) => {
+                        fwd::handle_contrib(st, target, &rows, &vals)
+                    }
+                    (Phase::Backward, SolveMsg::XReady { i, x }) => {
+                        bwd::handle_x(st, rank, store, i, &x)
+                    }
+                    (Phase::Backward, SolveMsg::BwdContrib { target, vals }) => {
+                        bwd::handle_contrib(st, target, &vals)
+                    }
+                    _ => unreachable!("message from the wrong phase"),
+                }
+            }
+            match phase {
+                Phase::Forward => fwd::try_solve_ready(st, rank, store),
+                Phase::Backward => bwd::try_solve_ready(st, rank, store),
+            }
+            st.diags_solved == my_diag_count && st.gemvs_done == st.gemvs_total
+        });
+        if finished {
+            break;
+        }
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_subst_known_values() {
+        // L = [[2,0],[1,3]]; L y = [4, 11] -> y = [2, 3].
+        let l = Mat::from_row_major(2, 2, vec![2.0, 0.0, 1.0, 3.0]);
+        let mut rhs = vec![4.0, 11.0];
+        forward_subst(&l, &mut rhs);
+        assert_eq!(rhs, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_subst_known_values() {
+        // L^T x = [7, 6] with L = [[2,0],[1,3]] -> x[1] = 2, x[0] = (7-2)/2.
+        let l = Mat::from_row_major(2, 2, vec![2.0, 0.0, 1.0, 3.0]);
+        let mut rhs = vec![7.0, 6.0];
+        backward_subst(&l, &mut rhs);
+        assert_eq!(rhs, vec![2.5, 2.0]);
+    }
+
+    #[test]
+    fn substitutions_handle_identity() {
+        let l = Mat::eye(5);
+        let mut rhs: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let copy = rhs.clone();
+        forward_subst(&l, &mut rhs);
+        assert_eq!(rhs, copy);
+        backward_subst(&l, &mut rhs);
+        assert_eq!(rhs, copy);
+    }
+
+    #[test]
+    fn forward_backward_substitution_invert_l() {
+        let a = Mat::spd_from(7, |r, c| ((r * 3 + c) % 5) as f64 - 2.0);
+        let mut l = a.clone();
+        sympack_dense::potrf(&mut l).unwrap();
+        l.zero_upper();
+        let x_true: Vec<f64> = (0..7).map(|i| i as f64 - 3.0).collect();
+        // b = L·Lᵀ·x
+        let xt = Mat::from_col_major(7, 1, x_true.clone());
+        let b = l.matmul(&l.transpose()).matmul(&xt);
+        let mut rhs: Vec<f64> = b.as_slice().to_vec();
+        forward_subst(&l, &mut rhs);
+        backward_subst(&l, &mut rhs);
+        for (got, want) in rhs.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type shared by the dense kernels.
+
+use std::fmt;
+
+/// Errors produced by dense factorization kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DenseError {
+    /// The matrix is not (numerically) symmetric positive definite: a
+    /// non-positive pivot was encountered at the given local column index.
+    NotPositiveDefinite {
+        /// Zero-based column index (within the block being factored) at which
+        /// the non-positive pivot appeared.
+        column: usize,
+    },
+    /// Mismatched operand dimensions, with a human-readable description.
+    DimensionMismatch(String),
+}
+
+impl fmt::Display for DenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenseError::NotPositiveDefinite { column } => {
+                write!(f, "matrix is not positive definite (pivot at column {column})")
+            }
+            DenseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DenseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = DenseError::NotPositiveDefinite { column: 3 };
+        assert!(e.to_string().contains("column 3"));
+        let e = DenseError::DimensionMismatch("a vs b".into());
+        assert!(e.to_string().contains("a vs b"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Dense linear-algebra kernels for the symPACK-rs sparse Cholesky solver.
+//!
+//! The paper's numeric factorization performs all of its arithmetic through
+//! four dense routines applied to supernode blocks:
+//!
+//! * [`potrf`] — Cholesky factorization of a dense diagonal block
+//!   (LAPACK `POTRF`), used by *Diagonal Factorization* tasks `D(i)`.
+//! * [`trsm_right_lower_trans`] — triangular solve `X · Lᵀ = B`
+//!   (BLAS `TRSM`), used by *Factorization* tasks `F(i,j)`.
+//! * [`syrk_lower`] — symmetric rank-k update `C ← C − A·Aᵀ` (BLAS `SYRK`),
+//!   used by *Update* tasks `U(i,j,k)` whose target is a diagonal block.
+//! * [`gemm_nt`] — general update `C ← C − A·Bᵀ` (BLAS `GEMM`), used by
+//!   *Update* tasks with off-diagonal targets.
+//!
+//! All matrices are stored **column-major** (Fortran/BLAS convention) so that
+//! supernode panels — tall dense column blocks — are contiguous per column.
+//! Every kernel comes in a cache-blocked sequential form; [`par`] adds
+//! rayon-parallel variants used by the shared-memory execution path.
+
+pub mod error;
+pub mod gemm;
+pub mod mat;
+pub mod naive;
+pub mod par;
+pub mod potrf;
+pub mod syrk;
+pub mod trsm;
+
+pub use error::DenseError;
+pub use gemm::gemm_nt;
+pub use mat::Mat;
+pub use potrf::potrf;
+pub use syrk::syrk_lower;
+pub use trsm::trsm_right_lower_trans;
+
+/// Floating-point operation counts for the four kernels, used by the
+/// simulated-time cost model in `sympack-gpu` and `sympack-pgas`.
+///
+/// The counts are the standard LAPACK working-note formulas and are exact
+/// for the dense case (multiplications + additions).
+pub mod flops {
+    /// Flops for a Cholesky factorization of an `n × n` block.
+    #[inline]
+    pub fn potrf(n: usize) -> u64 {
+        // n³/3 + n²/2 + n/6 = n(n+1)(2n+1)/6, computed exactly in integers.
+        let n = n as u64;
+        n * (n + 1) * (2 * n + 1) / 6
+    }
+
+    /// Flops for a triangular solve of an `m × n` right-hand side against an
+    /// `n × n` triangular block (`X · Lᵀ = B`).
+    #[inline]
+    pub fn trsm(m: usize, n: usize) -> u64 {
+        m as u64 * (n as u64) * (n as u64)
+    }
+
+    /// Flops for a symmetric rank-k update of an `n × n` lower triangle by an
+    /// `n × k` panel.
+    #[inline]
+    pub fn syrk(n: usize, k: usize) -> u64 {
+        (n as u64) * (n as u64 + 1) * (k as u64)
+    }
+
+    /// Flops for a general `m × n × k` matrix multiply-accumulate.
+    #[inline]
+    pub fn gemm(m: usize, n: usize, k: usize) -> u64 {
+        2 * m as u64 * n as u64 * k as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::flops;
+
+    #[test]
+    fn flop_formulas_are_monotone() {
+        assert!(flops::potrf(8) < flops::potrf(9));
+        assert!(flops::trsm(4, 8) < flops::trsm(5, 8));
+        assert!(flops::syrk(4, 8) < flops::syrk(4, 9));
+        assert!(flops::gemm(2, 3, 4) == 48);
+    }
+
+    #[test]
+    fn potrf_flops_match_closed_form_small() {
+        // n=1: one sqrt ~ counted as 1.
+        assert_eq!(flops::potrf(1), 1);
+        // n=2: 1/3*8 + 1/2*4 + 2/6 = 2.67+2+0.33 = 5
+        assert_eq!(flops::potrf(2), 5);
+    }
+}

@@ -1,0 +1,259 @@
+//! Column-major dense matrix container.
+//!
+//! [`Mat`] is the owning container used throughout the solver for supernode
+//! block payloads. The raw kernels in this crate operate on `&[f64]`/`&mut
+//! [f64]` slices with an explicit leading dimension (BLAS style) so that they
+//! can also run on sub-panels of a larger supernode buffer; `Mat` provides
+//! safe construction, indexing and comparison on top.
+
+use std::fmt;
+
+/// A dense column-major `rows × cols` matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Create a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create an identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from a column-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "column-major buffer length mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// Create a matrix from a row-major data vector (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major buffer length mismatch");
+        let mut m = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = data[r * cols + c];
+            }
+        }
+        m
+    }
+
+    /// Build a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for c in 0..cols {
+            for r in 0..rows {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension of the underlying storage (equals `rows`).
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.rows
+    }
+
+    /// Borrow the column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the column-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the column-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// The transpose of this matrix.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Naive dense product `self * other` (test/reference use only).
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for j in 0..other.cols {
+            for k in 0..self.cols {
+                let bkj = other[(k, j)];
+                if bkj == 0.0 {
+                    continue;
+                }
+                for i in 0..self.rows {
+                    out[(i, j)] += self[(i, k)] * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Zero out the strict upper triangle (useful after a lower Cholesky,
+    /// whose kernels leave the upper triangle untouched).
+    pub fn zero_upper(&mut self) {
+        let n = self.cols.min(self.rows);
+        for c in 1..n {
+            for r in 0..c.min(self.rows) {
+                self[(r, c)] = 0.0;
+            }
+        }
+    }
+
+    /// Max-absolute-difference between two equally-sized matrices.
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Make a symmetric positive definite matrix `G·Gᵀ + n·I` from a seed
+    /// generator closure producing entries of `G` (test helper).
+    pub fn spd_from(n: usize, mut g: impl FnMut(usize, usize) -> f64) -> Mat {
+        let gm = Mat::from_fn(n, n, &mut g);
+        let mut a = gm.matmul(&gm.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[c * self.rows + r]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[c * self.rows + r]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(12) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:>10.4} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Mat::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 1)], 5.0);
+        // column-major layout: first column is [1,4]
+        assert_eq!(&m.as_slice()[..2], &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Mat::from_fn(3, 5, |r, c| (r * 7 + c) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Mat::from_fn(4, 4, |r, c| (r + 2 * c) as f64);
+        let i = Mat::eye(4);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Mat::from_row_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Mat::from_row_major(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_row_major(2, 2, vec![19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn zero_upper_clears_strict_upper_triangle() {
+        let mut m = Mat::from_fn(3, 3, |_, _| 1.0);
+        m.zero_upper();
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m[(0, 2)], 0.0);
+        assert_eq!(m[(1, 2)], 0.0);
+        assert_eq!(m[(1, 0)], 1.0);
+        assert_eq!(m[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn spd_from_is_symmetric_with_heavy_diagonal() {
+        let a = Mat::spd_from(5, |r, c| ((r * 3 + c * 5) % 7) as f64 - 3.0);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(a[(i, j)], a[(j, i)]);
+            }
+            assert!(a[(i, i)] >= 5.0);
+        }
+    }
+
+    #[test]
+    fn fro_norm_matches_hand_computation() {
+        let m = Mat::from_row_major(1, 2, vec![3.0, 4.0]);
+        assert!((m.fro_norm() - 5.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,150 @@
+//! Straightforward reference implementations of the dense kernels.
+//!
+//! These are textbook triple-loop versions used (a) as oracles in the unit
+//! and property tests of the optimized kernels and (b) for tiny blocks where
+//! blocking buys nothing.
+
+use crate::{DenseError, Mat};
+
+/// Reference lower-triangular Cholesky: returns `L` with `A = L·Lᵀ`.
+pub fn potrf_ref(a: &Mat) -> Result<Mat, DenseError> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "potrf_ref requires a square matrix");
+    let mut l = Mat::zeros(n, n);
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(DenseError::NotPositiveDefinite { column: j });
+        }
+        let djj = d.sqrt();
+        l[(j, j)] = djj;
+        for i in j + 1..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / djj;
+        }
+    }
+    Ok(l)
+}
+
+/// Reference solve of `X · Lᵀ = B` for lower-triangular `L` (`X` returned).
+pub fn trsm_ref(l: &Mat, b: &Mat) -> Mat {
+    let n = l.rows();
+    assert_eq!(n, l.cols());
+    assert_eq!(b.cols(), n, "B must have as many columns as L has rows");
+    let m = b.rows();
+    let mut x = b.clone();
+    // X L^T = B  =>  column j of X: x_j = (b_j - sum_{k<j} x_k * L[j,k]) / L[j,j]
+    for j in 0..n {
+        for k in 0..j {
+            let ljk = l[(j, k)];
+            if ljk != 0.0 {
+                for i in 0..m {
+                    let v = x[(i, k)] * ljk;
+                    x[(i, j)] -= v;
+                }
+            }
+        }
+        let d = l[(j, j)];
+        for i in 0..m {
+            x[(i, j)] /= d;
+        }
+    }
+    x
+}
+
+/// Reference symmetric rank-k update `C ← C − A·Aᵀ` (lower triangle only).
+pub fn syrk_ref(c: &mut Mat, a: &Mat) {
+    let n = c.rows();
+    assert_eq!(n, c.cols());
+    assert_eq!(a.rows(), n);
+    let k = a.cols();
+    for j in 0..n {
+        for i in j..n {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += a[(i, p)] * a[(j, p)];
+            }
+            c[(i, j)] -= s;
+        }
+    }
+}
+
+/// Reference general update `C ← C − A·Bᵀ`.
+pub fn gemm_ref(c: &mut Mat, a: &Mat, b: &Mat) {
+    assert_eq!(a.cols(), b.cols(), "inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows());
+    assert_eq!(c.cols(), b.rows());
+    let k = a.cols();
+    for j in 0..c.cols() {
+        for i in 0..c.rows() {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += a[(i, p)] * b[(j, p)];
+            }
+            c[(i, j)] -= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn potrf_ref_reconstructs() {
+        let a = Mat::spd_from(6, |r, c| ((r * 5 + c * 3) % 11) as f64 - 5.0);
+        let l = potrf_ref(&a).unwrap();
+        let rec = l.matmul(&l.transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-10, "diff={}", rec.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn potrf_ref_rejects_indefinite() {
+        let mut a = Mat::eye(3);
+        a[(1, 1)] = -1.0;
+        match potrf_ref(&a) {
+            Err(DenseError::NotPositiveDefinite { column }) => assert_eq!(column, 1),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trsm_ref_inverts_multiplication() {
+        let a = Mat::spd_from(5, |r, c| ((r + 2 * c) % 5) as f64);
+        let l = potrf_ref(&a).unwrap();
+        let x = Mat::from_fn(3, 5, |r, c| (r * 5 + c) as f64 * 0.25 - 2.0);
+        let b = x.matmul(&l.transpose());
+        let solved = trsm_ref(&l, &b);
+        assert!(solved.max_abs_diff(&x) < 1e-10);
+    }
+
+    #[test]
+    fn syrk_ref_matches_gemm_on_lower_triangle() {
+        let a = Mat::from_fn(4, 3, |r, c| (r as f64 - c as f64) * 0.5);
+        let mut c1 = Mat::spd_from(4, |r, c| (r + c) as f64);
+        let mut c2 = c1.clone();
+        syrk_ref(&mut c1, &a);
+        gemm_ref(&mut c2, &a, &a);
+        for j in 0..4 {
+            for i in j..4 {
+                assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_ref_known_values() {
+        // C (2x2) -= A (2x1) * B^T (1x2)
+        let mut c = Mat::zeros(2, 2);
+        let a = Mat::from_row_major(2, 1, vec![1.0, 2.0]);
+        let b = Mat::from_row_major(2, 1, vec![3.0, 4.0]);
+        gemm_ref(&mut c, &a, &b);
+        assert_eq!(c, Mat::from_row_major(2, 2, vec![-3.0, -4.0, -6.0, -8.0]));
+    }
+}

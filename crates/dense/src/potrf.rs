@@ -1,0 +1,176 @@
+//! Blocked lower-triangular Cholesky factorization (LAPACK `POTRF`).
+//!
+//! Used by *Diagonal Factorization* tasks `D(i)`: the dense diagonal block of
+//! supernode `i` is factored in place into its lower Cholesky factor. The
+//! blocked algorithm is the classical right-looking panel scheme — factor a
+//! diagonal panel, TRSM the sub-panel, SYRK the trailing submatrix — so that
+//! almost all flops run through the level-3 kernels in this crate.
+
+use crate::error::DenseError;
+use crate::mat::Mat;
+use crate::syrk::syrk_lower_raw;
+use crate::trsm::trsm_right_lower_trans_raw;
+
+/// Panel width for the blocked factorization.
+const PB: usize = 48;
+
+/// Unblocked in-place lower Cholesky of the leading `n × n` of `a`
+/// (leading dimension `lda`). Only the lower triangle is read and written.
+fn potrf_unblocked(a: &mut [f64], lda: usize, n: usize, col0: usize) -> Result<(), DenseError> {
+    for j in 0..n {
+        let mut d = a[j * lda + j];
+        // d -= sum_k a[j,k]^2 was already folded in by the caller's SYRK;
+        // within the panel we still need the left-of-j columns of the panel.
+        for k in 0..j {
+            let v = a[k * lda + j];
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(DenseError::NotPositiveDefinite { column: col0 + j });
+        }
+        let djj = d.sqrt();
+        a[j * lda + j] = djj;
+        let inv = 1.0 / djj;
+        for i in j + 1..n {
+            let mut s = a[j * lda + i];
+            for k in 0..j {
+                s -= a[k * lda + i] * a[k * lda + j];
+            }
+            a[j * lda + i] = s * inv;
+        }
+    }
+    Ok(())
+}
+
+/// In-place blocked lower Cholesky on a raw column-major buffer.
+///
+/// On success the lower triangle of `a` holds `L` with `A = L·Lᵀ`; the strict
+/// upper triangle is left unmodified. On failure the buffer contents are
+/// unspecified and the error reports the offending global column.
+pub fn potrf_raw(a: &mut [f64], lda: usize, n: usize) -> Result<(), DenseError> {
+    let mut j = 0;
+    while j < n {
+        let jb = PB.min(n - j);
+        // Factor panel A[j.., j..j+jb]: first the jb x jb diagonal tile ...
+        {
+            let panel = &mut a[j * lda..];
+            potrf_unblocked(&mut panel[j..], lda, jb, j)?;
+        }
+        let m = n - j - jb;
+        if m > 0 {
+            // ... then the sub-diagonal strip: solve X * Ljj^T = A[j+jb.., j..j+jb].
+            // The diagonal tile and the strip live interleaved in the same
+            // columns, so pack the (small) jb x jb tile into a scratch buffer
+            // to keep the borrows disjoint.
+            let mut tile = vec![0.0; jb * jb];
+            for c in 0..jb {
+                let src = (j + c) * lda + j;
+                tile[c * jb..c * jb + jb].copy_from_slice(&a[src..src + jb]);
+            }
+            {
+                // Strided view of the strip: rows j+jb..n of columns j..j+jb.
+                // Solve in place column panel with ld = lda.
+                let off = j * lda + j + jb;
+                trsm_right_lower_trans_raw(&mut a[off..], lda, m, jb, &tile, jb);
+            }
+            // Trailing update: A[j+jb.., j+jb..] -= strip * strip^T (SYRK).
+            let strip_off = j * lda + j + jb;
+            let strip: Vec<f64> = {
+                // Pack the m x jb strip contiguously for the SYRK A operand.
+                let mut s = vec![0.0; m * jb];
+                for c in 0..jb {
+                    let src = strip_off + c * lda;
+                    s[c * m..c * m + m].copy_from_slice(&a[src..src + m]);
+                }
+                s
+            };
+            let trail_off = (j + jb) * lda + j + jb;
+            syrk_lower_raw(&mut a[trail_off..], lda, m, &strip, m, jb);
+        }
+        j += jb;
+    }
+    Ok(())
+}
+
+/// In-place blocked lower Cholesky of a [`Mat`].
+///
+/// On success the lower triangle of `a` holds `L`; the strict upper triangle
+/// is untouched (call [`Mat::zero_upper`] if a clean `L` is needed).
+///
+/// # Errors
+/// [`DenseError::NotPositiveDefinite`] when a non-positive pivot appears.
+pub fn potrf(a: &mut Mat) -> Result<(), DenseError> {
+    assert_eq!(a.rows(), a.cols(), "potrf requires a square matrix");
+    let n = a.rows();
+    let lda = a.ld();
+    potrf_raw(a.as_mut_slice(), lda, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::potrf_ref;
+
+    fn check(n: usize) {
+        let a0 = Mat::spd_from(n, |r, c| ((r * 17 + c * 9) % 23) as f64 * 0.25 - 2.5);
+        let mut a = a0.clone();
+        potrf(&mut a).unwrap();
+        a.zero_upper();
+        let expect = potrf_ref(&a0).unwrap();
+        assert!(a.max_abs_diff(&expect) < 1e-8, "n={n} diff={}", a.max_abs_diff(&expect));
+        let recon = a.matmul(&a.transpose());
+        assert!(recon.max_abs_diff(&a0) < 1e-7, "n={n} reconstruction");
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        for n in [1, 2, 3, 5, 8, 13] {
+            check(n);
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_panel_boundaries() {
+        for n in [47, 48, 49, 96, 97, 150] {
+            check(n);
+        }
+    }
+
+    #[test]
+    fn detects_indefinite_matrix_at_correct_column() {
+        let mut a = Mat::eye(100);
+        a[(73, 73)] = -4.0;
+        match potrf(&mut a) {
+            Err(DenseError::NotPositiveDefinite { column }) => assert_eq!(column, 73),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_semidefinite_matrix() {
+        // Rank-1 matrix: ones everywhere — fails at column 1.
+        let mut a = Mat::from_fn(5, 5, |_, _| 1.0);
+        match potrf(&mut a) {
+            Err(DenseError::NotPositiveDefinite { column }) => assert_eq!(column, 1),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn upper_triangle_preserved() {
+        let mut a = Mat::spd_from(10, |r, c| (r + c % 3) as f64);
+        // Stamp a sentinel into the strict upper triangle.
+        for j in 1..10 {
+            for i in 0..j {
+                a[(i, j)] = 777.0;
+            }
+        }
+        // Mirror lower values so the matrix used is the lower triangle.
+        potrf(&mut a).unwrap();
+        for j in 1..10 {
+            for i in 0..j {
+                assert_eq!(a[(i, j)], 777.0);
+            }
+        }
+    }
+}

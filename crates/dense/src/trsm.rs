@@ -1,0 +1,136 @@
+//! Triangular solve `X · Lᵀ = B` (BLAS `TRSM`, side=right, uplo=lower,
+//! trans=T, diag=non-unit).
+//!
+//! This is the operation performed by *Factorization* tasks `F(i,j)`: given
+//! the factored diagonal block `L(j,j)` of supernode `j`, each off-diagonal
+//! block `B(i,j)` of the supernode is turned into a factor block by solving
+//! `L(i,j) · L(j,j)ᵀ = B(i,j)` in place.
+
+use crate::gemm::gemm_nt_raw;
+use crate::mat::Mat;
+
+/// Column-block width for the blocked TRSM.
+const JB: usize = 48;
+
+/// Solve `X · Lᵀ = B` in place on raw column-major buffers.
+///
+/// * `l`: `n × n` lower-triangular, leading dimension `ldl`
+/// * `b`: `m × n`, leading dimension `ldb`; overwritten with `X`
+///
+/// The strict upper triangle of `l` is never read.
+pub fn trsm_right_lower_trans_raw(
+    b: &mut [f64],
+    ldb: usize,
+    m: usize,
+    n: usize,
+    l: &[f64],
+    ldl: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Blocked forward sweep over column panels of B. For panel J = [jj, jend):
+    //   1. update: B[:, J] -= B[:, 0..jj] * L[J, 0..jj]^T   (GEMM)
+    //   2. solve the small triangular system against L[J, J].
+    for jj in (0..n).step_by(JB) {
+        let jend = (jj + JB).min(n);
+        let jb = jend - jj;
+        if jj > 0 {
+            // B[:, jj..jend] -= B[:, 0..jj] * (L[jj..jend, 0..jj])^T
+            let (done, rest) = b.split_at_mut(jj * ldb);
+            gemm_nt_raw(rest, ldb, m, jb, done, ldb, &l[jj..], ldl, jj);
+        }
+        // Unblocked solve within the panel.
+        for j in jj..jend {
+            for k in jj..j {
+                let ljk = l[k * ldl + j];
+                if ljk != 0.0 {
+                    let (bk, bj) = {
+                        let (lo, hi) = b.split_at_mut(j * ldb);
+                        (&lo[k * ldb..k * ldb + m], &mut hi[..m])
+                    };
+                    for i in 0..m {
+                        bj[i] -= bk[i] * ljk;
+                    }
+                }
+            }
+            let d = l[j * ldl + j];
+            let inv = 1.0 / d;
+            for v in &mut b[j * ldb..j * ldb + m] {
+                *v *= inv;
+            }
+        }
+    }
+}
+
+/// Matrix-level wrapper: overwrite `B` with the solution `X` of `X·Lᵀ = B`.
+///
+/// # Panics
+/// Panics if `L` is not square or `B.cols() != L.rows()`.
+pub fn trsm_right_lower_trans(b: &mut Mat, l: &Mat) {
+    assert_eq!(l.rows(), l.cols(), "trsm: L must be square");
+    assert_eq!(b.cols(), l.rows(), "trsm: B column count must match L order");
+    let (m, n) = (b.rows(), b.cols());
+    let (ldb, ldl) = (b.ld(), l.ld());
+    trsm_right_lower_trans_raw(b.as_mut_slice(), ldb, m, n, l.as_slice(), ldl);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{potrf_ref, trsm_ref};
+
+    fn check(m: usize, n: usize) {
+        let a = Mat::spd_from(n, |r, c| ((r * 7 + c * 5) % 11) as f64 - 5.0);
+        let l = potrf_ref(&a).unwrap();
+        let b0 = Mat::from_fn(m, n, |r, c| ((r * 3 + c) % 13) as f64 - 6.0);
+        let mut b = b0.clone();
+        trsm_right_lower_trans(&mut b, &l);
+        let expect = trsm_ref(&l, &b0);
+        assert!(b.max_abs_diff(&expect) < 1e-9, "m={m} n={n}");
+        // X * L^T must reproduce B0.
+        let recon = b.matmul(&l.transpose());
+        assert!(recon.max_abs_diff(&b0) < 1e-8, "m={m} n={n} reconstruction");
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        for &(m, n) in &[(1, 1), (3, 2), (4, 4), (2, 7)] {
+            check(m, n);
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_panel_boundaries() {
+        for &(m, n) in &[(10, 47), (10, 48), (10, 49), (5, 97), (33, 96)] {
+            check(m, n);
+        }
+    }
+
+    #[test]
+    fn upper_triangle_of_l_is_ignored() {
+        let a = Mat::spd_from(5, |r, c| (r * 2 + c) as f64);
+        let mut l = potrf_ref(&a).unwrap();
+        let b0 = Mat::from_fn(3, 5, |r, c| (r + c) as f64);
+        let mut b1 = b0.clone();
+        trsm_right_lower_trans(&mut b1, &l);
+        // Poison the strict upper triangle; result must not change.
+        for j in 1..5 {
+            for i in 0..j {
+                l[(i, j)] = f64::NAN;
+            }
+        }
+        let mut b2 = b0.clone();
+        trsm_right_lower_trans(&mut b2, &l);
+        assert_eq!(b1.max_abs_diff(&b2), 0.0);
+    }
+
+    #[test]
+    fn identity_l_is_noop() {
+        let l = Mat::eye(6);
+        let b0 = Mat::from_fn(4, 6, |r, c| (r * 6 + c) as f64);
+        let mut b = b0.clone();
+        trsm_right_lower_trans(&mut b, &l);
+        assert_eq!(b, b0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The kernel engine: real math, modeled time, per-location call counts.
+
+use crate::cost::CostModel;
+use crate::offload::{Loc, OffloadThresholds};
+use crate::Op;
+use sympack_dense::{flops, Mat};
+
+/// CPU/GPU call counters per operation — the data behind the paper's Fig. 6.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    pub potrf_cpu: u64,
+    pub potrf_gpu: u64,
+    pub trsm_cpu: u64,
+    pub trsm_gpu: u64,
+    pub syrk_cpu: u64,
+    pub syrk_gpu: u64,
+    pub gemm_cpu: u64,
+    pub gemm_gpu: u64,
+}
+
+impl OpCounts {
+    /// `(cpu, gpu)` counts for `op`.
+    pub fn get(&self, op: Op) -> (u64, u64) {
+        match op {
+            Op::Potrf => (self.potrf_cpu, self.potrf_gpu),
+            Op::Trsm => (self.trsm_cpu, self.trsm_gpu),
+            Op::Syrk => (self.syrk_cpu, self.syrk_gpu),
+            Op::Gemm => (self.gemm_cpu, self.gemm_gpu),
+        }
+    }
+
+    fn bump(&mut self, op: Op, loc: Loc) {
+        let slot = match (op, loc) {
+            (Op::Potrf, Loc::Cpu) => &mut self.potrf_cpu,
+            (Op::Potrf, Loc::Gpu) => &mut self.potrf_gpu,
+            (Op::Trsm, Loc::Cpu) => &mut self.trsm_cpu,
+            (Op::Trsm, Loc::Gpu) => &mut self.trsm_gpu,
+            (Op::Syrk, Loc::Cpu) => &mut self.syrk_cpu,
+            (Op::Syrk, Loc::Gpu) => &mut self.syrk_gpu,
+            (Op::Gemm, Loc::Cpu) => &mut self.gemm_cpu,
+            (Op::Gemm, Loc::Gpu) => &mut self.gemm_gpu,
+        };
+        *slot += 1;
+    }
+
+    /// Merge another counter set into this one (rank aggregation).
+    pub fn merge(&mut self, other: &OpCounts) {
+        self.potrf_cpu += other.potrf_cpu;
+        self.potrf_gpu += other.potrf_gpu;
+        self.trsm_cpu += other.trsm_cpu;
+        self.trsm_gpu += other.trsm_gpu;
+        self.syrk_cpu += other.syrk_cpu;
+        self.syrk_gpu += other.syrk_gpu;
+        self.gemm_cpu += other.gemm_cpu;
+        self.gemm_gpu += other.gemm_gpu;
+    }
+
+    /// Total calls across both locations.
+    pub fn total(&self) -> u64 {
+        Op::ALL.iter().map(|&op| { let (c, g) = self.get(op); c + g }).sum()
+    }
+}
+
+/// Executes factorization kernels: the arithmetic is always done for real
+/// (so the factor is exact); the returned `f64` is the *modeled* execution
+/// time at the location the offload heuristic picked.
+#[derive(Debug, Clone)]
+pub struct KernelEngine {
+    /// Execution-time model.
+    pub cost: CostModel,
+    /// Per-op offload thresholds.
+    pub thresholds: OffloadThresholds,
+    /// CPU/GPU call counts so far.
+    pub counts: OpCounts,
+    /// When false, everything runs on the CPU regardless of thresholds
+    /// (the paper's non-GPU build).
+    pub gpu_enabled: bool,
+    /// Use the rayon-parallel kernel variants for CPU work (the
+    /// shared-memory single-rank execution path; distributed ranks keep
+    /// sequential kernels since each rank is one core under flat-MPI).
+    pub intra_parallel: bool,
+}
+
+impl KernelEngine {
+    /// Engine with GPU offload enabled and default calibration.
+    pub fn new_gpu() -> Self {
+        KernelEngine {
+            cost: CostModel::default(),
+            thresholds: OffloadThresholds::default(),
+            counts: OpCounts::default(),
+            gpu_enabled: true,
+            intra_parallel: false,
+        }
+    }
+
+    /// CPU-only engine.
+    pub fn new_cpu() -> Self {
+        KernelEngine { gpu_enabled: false, ..Self::new_gpu() }
+    }
+
+    /// Decide where an `op` touching `elements` matrix entries runs.
+    pub fn place(&self, op: Op, elements: usize) -> Loc {
+        if !self.gpu_enabled {
+            return Loc::Cpu;
+        }
+        self.thresholds.place(op, elements)
+    }
+
+    fn time_for(&mut self, op: Op, loc: Loc, fl: u64) -> f64 {
+        self.counts.bump(op, loc);
+        match loc {
+            Loc::Cpu => self.cost.cpu_time(op, fl),
+            Loc::Gpu => self.cost.gpu_time(op, fl),
+        }
+    }
+
+    /// Factor a diagonal block in place (lower Cholesky). Returns
+    /// `(location, modeled seconds)`.
+    ///
+    /// # Errors
+    /// Propagates [`sympack_dense::DenseError::NotPositiveDefinite`].
+    pub fn potrf(&mut self, a: &mut Mat) -> Result<(Loc, f64), sympack_dense::DenseError> {
+        let n = a.rows();
+        let loc = self.place(Op::Potrf, n * n);
+        sympack_dense::potrf(a)?;
+        Ok((loc, self.time_for(Op::Potrf, loc, flops::potrf(n))))
+    }
+
+    /// Panel solve `B ← B·L⁻ᵀ` in place. Returns `(location, seconds)`.
+    pub fn trsm(&mut self, b: &mut Mat, l: &Mat) -> (Loc, f64) {
+        let (m, n) = (b.rows(), b.cols());
+        let loc = self.place(Op::Trsm, m * n + n * n);
+        if self.intra_parallel {
+            sympack_dense::par::trsm_right_lower_trans_par(b, l);
+        } else {
+            sympack_dense::trsm_right_lower_trans(b, l);
+        }
+        (loc, self.time_for(Op::Trsm, loc, flops::trsm(m, n)))
+    }
+
+    /// Symmetric update `C ← C − A·Aᵀ` (lower). Returns `(location, seconds)`.
+    pub fn syrk(&mut self, c: &mut Mat, a: &Mat) -> (Loc, f64) {
+        let (n, k) = (c.rows(), a.cols());
+        let loc = self.place(Op::Syrk, n * k + n * n);
+        if self.intra_parallel {
+            sympack_dense::par::syrk_lower_par(c, a);
+        } else {
+            sympack_dense::syrk_lower(c, a);
+        }
+        (loc, self.time_for(Op::Syrk, loc, flops::syrk(n, k)))
+    }
+
+    /// General update `C ← C − A·Bᵀ`. Returns `(location, seconds)`.
+    pub fn gemm(&mut self, c: &mut Mat, a: &Mat, b: &Mat) -> (Loc, f64) {
+        let (m, n, k) = (c.rows(), c.cols(), a.cols());
+        let loc = self.place(Op::Gemm, m * k + n * k + m * n);
+        if self.intra_parallel {
+            sympack_dense::par::gemm_nt_par(c, a, b);
+        } else {
+            sympack_dense::gemm_nt(c, a, b);
+        }
+        (loc, self.time_for(Op::Gemm, loc, flops::gemm(m, n, k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn potrf_is_numerically_real() {
+        let a0 = Mat::spd_from(30, |r, c| ((r * 7 + c) % 5) as f64 - 2.0);
+        let mut a = a0.clone();
+        let mut eng = KernelEngine::new_gpu();
+        let (_, secs) = eng.potrf(&mut a).unwrap();
+        assert!(secs > 0.0);
+        a.zero_upper();
+        let recon = a.matmul(&a.transpose());
+        assert!(recon.max_abs_diff(&a0) < 1e-9);
+        assert_eq!(eng.counts.total(), 1);
+    }
+
+    #[test]
+    fn placement_counts_split_by_size() {
+        let mut eng = KernelEngine::new_gpu();
+        // Small gemm -> CPU.
+        let mut c = Mat::zeros(4, 4);
+        let a = Mat::from_fn(4, 4, |r, _| r as f64);
+        let b = Mat::from_fn(4, 4, |_, c| c as f64);
+        let (loc, _) = eng.gemm(&mut c, &a, &b);
+        assert_eq!(loc, Loc::Cpu);
+        // Large gemm -> GPU.
+        let mut c = Mat::zeros(96, 96);
+        let a = Mat::from_fn(96, 32, |r, _| (r % 3) as f64);
+        let b = Mat::from_fn(96, 32, |_, c| (c % 5) as f64);
+        let (loc, _) = eng.gemm(&mut c, &a, &b);
+        assert_eq!(loc, Loc::Gpu);
+        assert_eq!(eng.counts.gemm_cpu, 1);
+        assert_eq!(eng.counts.gemm_gpu, 1);
+    }
+
+    #[test]
+    fn cpu_engine_never_offloads() {
+        let mut eng = KernelEngine::new_cpu();
+        let mut c = Mat::zeros(128, 128);
+        let a = Mat::from_fn(128, 64, |r, _| (r % 7) as f64 * 0.1);
+        let b = Mat::from_fn(128, 64, |_, c| (c % 3) as f64 * 0.1);
+        let (loc, _) = eng.gemm(&mut c, &a, &b);
+        assert_eq!(loc, Loc::Cpu);
+    }
+
+    #[test]
+    fn gpu_time_reflects_launch_overhead_for_small_kernels() {
+        let mut eng = KernelEngine::new_gpu();
+        eng.thresholds = OffloadThresholds::gpu_always();
+        let mut c = Mat::zeros(2, 2);
+        let a = Mat::from_fn(2, 2, |_, _| 1.0);
+        let b = Mat::from_fn(2, 2, |_, _| 1.0);
+        let (loc, secs) = eng.gemm(&mut c, &a, &b);
+        assert_eq!(loc, Loc::Gpu);
+        assert!(secs >= eng.cost.kernel_launch);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = OpCounts { gemm_cpu: 2, ..Default::default() };
+        let b = OpCounts { gemm_cpu: 3, potrf_gpu: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.gemm_cpu, 5);
+        assert_eq!(a.potrf_gpu, 1);
+        assert_eq!(a.total(), 6);
+    }
+}

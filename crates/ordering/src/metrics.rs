@@ -1,0 +1,176 @@
+//! Ordering-quality metrics: factor nonzero counts and factorization flops.
+//!
+//! These are the quantities a fill-reducing ordering exists to minimize, and
+//! what the tests use to verify that nested dissection and minimum degree
+//! actually reduce fill. The computation uses the elimination tree and the
+//! classical row-subtree counting argument (Liu, "The role of elimination
+//! trees in sparse factorization"): column count of `L` equals, summed over
+//! rows `i`, the size of the row subtree of `i` — computed here by walking
+//! marked paths toward the root.
+
+use crate::perm::Permutation;
+use sympack_sparse::SparseSym;
+
+/// Elimination tree of the (permuted) matrix: `parent[v]` or `usize::MAX`
+/// for roots. Uses Liu's algorithm with path compression.
+pub fn etree(a: &SparseSym) -> Vec<usize> {
+    let n = a.n();
+    let mut parent = vec![usize::MAX; n];
+    let mut ancestor = vec![usize::MAX; n];
+    // For each row i (in order), for each entry A(i, k) with k < i —
+    // equivalently each column k < i that contains row i — follow ancestors
+    // of k up to i. Column k stores rows r > k, so push k into row r's list
+    // to obtain the per-row column lists.
+    let mut row_lists: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for k in 0..n {
+        for &r in &a.col_rows(k)[1..] {
+            row_lists[r].push(k);
+        }
+    }
+    for (i, row) in row_lists.iter().enumerate() {
+        for &k in row {
+            let mut v = k;
+            while ancestor[v] != usize::MAX && ancestor[v] != i {
+                let next = ancestor[v];
+                ancestor[v] = i; // path compression
+                v = next;
+            }
+            if ancestor[v] == usize::MAX {
+                ancestor[v] = i;
+                parent[v] = i;
+            }
+        }
+    }
+    parent
+}
+
+/// Per-column nonzero counts of the Cholesky factor `L` (diagonal included)
+/// for the matrix as given (apply the permutation first to evaluate an
+/// ordering).
+pub fn col_counts(a: &SparseSym) -> Vec<usize> {
+    let n = a.n();
+    let parent = etree(a);
+    let mut counts = vec![1usize; n]; // diagonal
+    let mut mark = vec![usize::MAX; n];
+    // Row subtree argument: L(i, j) != 0 iff j is on a path from some k
+    // (with A(i,k) != 0, k < i) up the etree toward i. Walk and mark.
+    let mut row_lists: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for k in 0..n {
+        for &r in &a.col_rows(k)[1..] {
+            row_lists[r].push(k);
+        }
+    }
+    for (i, row) in row_lists.iter().enumerate() {
+        mark[i] = i;
+        for &k in row {
+            let mut v = k;
+            while mark[v] != i {
+                mark[v] = i;
+                counts[v] += 1; // L(i, v) is a nonzero
+                v = parent[v];
+                if v == usize::MAX {
+                    break;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Total nonzeros of `L` (diagonal included) under ordering `perm`.
+pub fn factor_nnz(a: &SparseSym, perm: &Permutation) -> usize {
+    let pa = a.permute(perm.as_slice());
+    col_counts(&pa).iter().sum()
+}
+
+/// Factorization flop count under ordering `perm`:
+/// `sum_j cc(j)^2` (the standard `|L(:,j)|²` estimate, counting the
+/// multiply-add pair per entry pair).
+pub fn factor_flops(a: &SparseSym, perm: &Permutation) -> u64 {
+    let pa = a.permute(perm.as_slice());
+    col_counts(&pa).iter().map(|&c| (c as u64) * (c as u64)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympack_sparse::gen::{laplacian_2d, random_spd};
+    use sympack_sparse::{Coo, SparseSym};
+
+    fn tridiag(n: usize) -> SparseSym {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 4.0).unwrap();
+            if i + 1 < n {
+                c.push_sym(i + 1, i, -1.0).unwrap();
+            }
+        }
+        c.to_csc().to_lower_sym()
+    }
+
+    #[test]
+    fn etree_of_tridiagonal_is_a_path() {
+        let parent = etree(&tridiag(6));
+        assert_eq!(parent, vec![1, 2, 3, 4, 5, usize::MAX]);
+    }
+
+    #[test]
+    fn tridiagonal_has_no_fill() {
+        let a = tridiag(8);
+        let counts = col_counts(&a);
+        // Each column has diagonal + one subdiagonal except the last.
+        assert_eq!(counts, vec![2, 2, 2, 2, 2, 2, 2, 1]);
+        assert_eq!(factor_nnz(&a, &Permutation::identity(8)), a.nnz());
+    }
+
+    #[test]
+    fn arrow_matrix_fill_depends_on_ordering() {
+        // Arrow pointing the wrong way: dense first row/col. Natural order
+        // (hub first) fills completely; hub-last is fill-free.
+        let n = 8;
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 10.0).unwrap();
+        }
+        for i in 1..n {
+            c.push_sym(i, 0, -1.0).unwrap();
+        }
+        let a = c.to_csc().to_lower_sym();
+        let nat = factor_nnz(&a, &Permutation::identity(n));
+        // Hub eliminated first connects all others: L is fully dense.
+        assert_eq!(nat, n * (n + 1) / 2);
+        let hub_last = Permutation::from_vec((1..n).chain(std::iter::once(0)).collect());
+        assert_eq!(factor_nnz(&a, &hub_last), a.nnz());
+    }
+
+    #[test]
+    fn counts_match_naive_symbolic_elimination() {
+        // Brute-force symbolic elimination on a random pattern.
+        let a = random_spd(40, 4, 17);
+        let n = a.n();
+        let mut pattern: Vec<std::collections::BTreeSet<usize>> =
+            (0..n).map(|c| a.col_rows(c).iter().copied().collect()).collect();
+        // naive fill: for each column j, its pattern below j is added to the
+        // pattern of its first sub-diagonal nonzero (etree parent update).
+        for j in 0..n {
+            let below: Vec<usize> =
+                pattern[j].iter().copied().filter(|&r| r > j).collect();
+            if let Some(&p) = below.first() {
+                for &r in &below {
+                    if r != p {
+                        pattern[p].insert(r);
+                    }
+                }
+            }
+        }
+        let naive: Vec<usize> = (0..n).map(|j| pattern[j].iter().filter(|&&r| r >= j).count()).collect();
+        assert_eq!(col_counts(&a), naive);
+    }
+
+    #[test]
+    fn flops_dominate_nnz() {
+        let a = laplacian_2d(10, 10);
+        let p = Permutation::identity(a.n());
+        assert!(factor_flops(&a, &p) >= factor_nnz(&a, &p) as u64);
+    }
+}

@@ -1,0 +1,71 @@
+//! Global pointers and memory kinds.
+
+use serde::{Deserialize, Serialize};
+
+/// Which memory a segment lives in — UPC++'s "memory kinds".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemKind {
+    /// Ordinary host DRAM.
+    Host,
+    /// GPU device memory (allocated through a `device_allocator` in UPC++;
+    /// through the device segment quota here).
+    Device,
+}
+
+/// A global pointer: names `len` contiguous `f64` elements at `offset`
+/// within segment `seg` of rank `rank`'s shared heap.
+///
+/// Like `upcxx::global_ptr<T>`, it is plain data — freely copyable and
+/// sendable inside RPCs — and dereferenceable from any rank through the
+/// one-sided operations on [`crate::Rank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalPtr {
+    /// Owning rank.
+    pub rank: usize,
+    /// Segment index within the owning rank's table.
+    pub seg: usize,
+    /// Element offset within the segment.
+    pub offset: usize,
+    /// Element count.
+    pub len: usize,
+    /// Memory kind of the segment.
+    pub kind: MemKind,
+}
+
+impl GlobalPtr {
+    /// Pointer to a sub-range of this allocation.
+    ///
+    /// # Panics
+    /// Panics if the sub-range exceeds the allocation.
+    pub fn slice(&self, start: usize, len: usize) -> GlobalPtr {
+        assert!(start + len <= self.len, "sub-slice out of bounds");
+        GlobalPtr { offset: self.offset + start, len, ..*self }
+    }
+
+    /// Payload size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.len * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_narrows_range() {
+        let p = GlobalPtr { rank: 1, seg: 2, offset: 10, len: 100, kind: MemKind::Host };
+        let s = p.slice(5, 20);
+        assert_eq!(s.offset, 15);
+        assert_eq!(s.len, 20);
+        assert_eq!(s.rank, 1);
+        assert_eq!(s.bytes(), 160);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rejects_overrun() {
+        let p = GlobalPtr { rank: 0, seg: 0, offset: 0, len: 10, kind: MemKind::Device };
+        p.slice(5, 6);
+    }
+}

@@ -1,0 +1,360 @@
+//! The per-thread rank handle: one-sided RMA, RPC, progress, virtual time.
+
+use crate::netmodel::NetModel;
+use crate::ptr::{GlobalPtr, MemKind};
+use crate::runtime::Shared;
+use crate::segment::DeviceOom;
+use std::any::Any;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// CPU overhead charged for initiating any communication operation.
+const ISSUE_OVERHEAD: f64 = 0.2e-6;
+
+/// Errors surfaced to the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PgasError {
+    /// A device allocation exceeded the per-rank quota (§4.2 of the paper;
+    /// the solver chooses a fallback policy).
+    DeviceOom {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes remaining under the quota.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PgasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PgasError::DeviceOom { requested, available } => write!(
+                f,
+                "device allocation of {requested} bytes failed ({available} available)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PgasError {}
+
+impl From<DeviceOom> for PgasError {
+    fn from(e: DeviceOom) -> Self {
+        PgasError::DeviceOom { requested: e.requested, available: e.available }
+    }
+}
+
+/// A non-blocking one-sided get in flight: the payload plus the virtual time
+/// at which it is available. Mirrors `upcxx::future<T>`.
+#[derive(Debug)]
+pub struct RgetHandle {
+    data: Vec<f64>,
+    /// Virtual time at which the transfer completes.
+    pub ready_at: f64,
+}
+
+impl RgetHandle {
+    /// Block (in virtual time) until the transfer completes and take the
+    /// payload: advances the rank clock to at least `ready_at`.
+    pub fn wait(self, rank: &mut Rank) -> Vec<f64> {
+        rank.advance_to(self.ready_at);
+        self.data
+    }
+
+    /// True when the transfer has completed by the rank's current clock.
+    pub fn is_ready(&self, rank: &Rank) -> bool {
+        self.ready_at <= rank.now()
+    }
+
+    /// Take the payload without advancing any clock. For callers that track
+    /// completion times themselves (e.g. the solver records `ready_at` per
+    /// dependent task to preserve communication/computation overlap).
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+/// An RPC message queued at a target rank.
+pub(crate) struct RpcMsg {
+    pub ready_at: f64,
+    pub func: Box<dyn FnOnce(&mut Rank) + Send>,
+}
+
+/// A rank: the UPC++-process analogue. Owned by exactly one thread; all
+/// cross-rank interaction goes through the shared tables and queues.
+pub struct Rank {
+    id: usize,
+    shared: Arc<Shared>,
+    clock: f64,
+    barrier_count: usize,
+    user_state: Option<Box<dyn Any + Send>>,
+}
+
+impl Rank {
+    pub(crate) fn new(id: usize, shared: Arc<Shared>) -> Self {
+        Rank { id, shared, clock: 0.0, barrier_count: 0, user_state: None }
+    }
+
+    /// This rank's id, `0..n_ranks`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Total ranks in the job.
+    pub fn n_ranks(&self) -> usize {
+        self.shared.config.n_ranks
+    }
+
+    /// Node housing rank `r` under the configured ranks-per-node.
+    pub fn node_of(&self, r: usize) -> usize {
+        r / self.shared.config.ranks_per_node
+    }
+
+    /// True when `r` shares this rank's node.
+    pub fn same_node(&self, r: usize) -> bool {
+        self.node_of(r) == self.node_of(self.id)
+    }
+
+    /// The network cost model in effect.
+    pub fn net(&self) -> &NetModel {
+        &self.shared.config.net
+    }
+
+    // ----- virtual time -----
+
+    /// Current virtual time (seconds).
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advance the clock by `dt` seconds of local work.
+    pub fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.clock += dt;
+    }
+
+    /// Advance the clock to at least `t` (no-op if already past).
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    // ----- memory -----
+
+    /// Allocate `len` elements of `kind` in this rank's shared heap.
+    pub fn alloc(&mut self, kind: MemKind, len: usize) -> Result<GlobalPtr, PgasError> {
+        Ok(self.shared.tables[self.id].alloc(self.id, kind, len)?)
+    }
+
+    /// Free a whole allocation owned by this rank.
+    ///
+    /// # Panics
+    /// Panics when called on another rank's allocation.
+    pub fn free(&mut self, ptr: &GlobalPtr) {
+        assert_eq!(ptr.rank, self.id, "free must be called by the owner");
+        self.shared.tables[self.id].free(ptr);
+    }
+
+    /// Write into any segment this process can see *without* charging
+    /// communication (used by owners to initialize their own data, and by
+    /// tests). For modeled transfers use [`Rank::rput`]/[`Rank::copy`].
+    pub fn write_local(&self, ptr: &GlobalPtr, data: &[f64]) {
+        assert!(data.len() <= ptr.len, "payload exceeds allocation");
+        let seg = self.shared.tables[ptr.rank].get(ptr.seg);
+        seg.data.write()[ptr.offset..ptr.offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Read a segment's contents without charging communication (owner-side
+    /// access and test inspection).
+    pub fn read_local(&self, ptr: &GlobalPtr) -> Vec<f64> {
+        let seg = self.shared.tables[ptr.rank].get(ptr.seg);
+        let out = seg.data.read()[ptr.offset..ptr.offset + ptr.len].to_vec();
+        out
+    }
+
+    /// Run `f` over a mutable view of a local segment (no cost model).
+    pub fn with_local_mut<T>(&self, ptr: &GlobalPtr, f: impl FnOnce(&mut [f64]) -> T) -> T {
+        let seg = self.shared.tables[ptr.rank].get(ptr.seg);
+        let mut guard = seg.data.write();
+        f(&mut guard[ptr.offset..ptr.offset + ptr.len])
+    }
+
+    /// Device bytes currently used / quota for this rank.
+    pub fn device_usage(&self) -> (usize, usize) {
+        let t = &self.shared.tables[self.id];
+        (t.device_used(), t.device_quota())
+    }
+
+    // ----- one-sided RMA -----
+
+    /// Non-blocking one-sided get: fetch `ptr`'s payload toward this rank.
+    /// The returned handle carries the virtual completion time.
+    pub fn rget(&mut self, ptr: &GlobalPtr) -> RgetHandle {
+        self.clock += ISSUE_OVERHEAD;
+        let same_node = self.same_node(ptr.rank);
+        let t = self.net().transfer_time(ptr.bytes(), same_node, ptr.kind, MemKind::Host);
+        let seg = self.shared.tables[ptr.rank].get(ptr.seg);
+        let data = seg.data.read()[ptr.offset..ptr.offset + ptr.len].to_vec();
+        let stats = &self.shared.stats;
+        stats.rgets.fetch_add(1, Ordering::Relaxed);
+        stats.record_transfer(ptr.bytes(), same_node, ptr.kind == MemKind::Device);
+        RgetHandle { data, ready_at: self.clock + t }
+    }
+
+    /// Non-blocking one-sided put of `data` into `ptr`. Returns the virtual
+    /// completion time (remote visibility).
+    pub fn rput(&mut self, data: &[f64], ptr: &GlobalPtr) -> f64 {
+        assert!(data.len() <= ptr.len, "payload exceeds allocation");
+        self.clock += ISSUE_OVERHEAD;
+        let same_node = self.same_node(ptr.rank);
+        let t = self.net().transfer_time(ptr.bytes(), same_node, MemKind::Host, ptr.kind);
+        let seg = self.shared.tables[ptr.rank].get(ptr.seg);
+        seg.data.write()[ptr.offset..ptr.offset + data.len()].copy_from_slice(data);
+        let stats = &self.shared.stats;
+        stats.rputs.fetch_add(1, Ordering::Relaxed);
+        stats.record_transfer(ptr.bytes(), same_node, ptr.kind == MemKind::Device);
+        self.clock + t
+    }
+
+    /// `upcxx::copy()`: move data between any two memories in the system —
+    /// host or device, local or remote — choosing the cost path from the
+    /// endpoint kinds and locations. Returns the virtual completion time.
+    pub fn copy(&mut self, src: &GlobalPtr, dst: &GlobalPtr) -> f64 {
+        assert_eq!(src.len, dst.len, "copy endpoints must have equal length");
+        self.clock += ISSUE_OVERHEAD;
+        let same_node = self.node_of(src.rank) == self.node_of(dst.rank);
+        let t = self.net().transfer_time(src.bytes(), same_node, src.kind, dst.kind);
+        let data = {
+            let seg = self.shared.tables[src.rank].get(src.seg);
+            let guard = seg.data.read();
+            guard[src.offset..src.offset + src.len].to_vec()
+        };
+        let seg = self.shared.tables[dst.rank].get(dst.seg);
+        seg.data.write()[dst.offset..dst.offset + dst.len].copy_from_slice(&data);
+        let stats = &self.shared.stats;
+        stats.copies.fetch_add(1, Ordering::Relaxed);
+        stats.record_transfer(
+            src.bytes(),
+            same_node,
+            src.kind == MemKind::Device || dst.kind == MemKind::Device,
+        );
+        self.clock + t
+    }
+
+    // ----- RPC + progress -----
+
+    /// Send an RPC: `func` runs on rank `target` the next time it calls
+    /// [`Rank::progress`], no earlier (in virtual time) than the network
+    /// delivery time.
+    pub fn rpc(&mut self, target: usize, func: impl FnOnce(&mut Rank) + Send + 'static) {
+        self.clock += ISSUE_OVERHEAD;
+        let ready_at = self.clock + self.net().rpc_time(self.same_node(target));
+        self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.shared.rpc_queues[target].push(RpcMsg { ready_at, func: Box::new(func) });
+    }
+
+    /// Like [`Rank::rpc`] but the closure carries `payload_bytes` of bulk
+    /// data (e.g. a solve-phase vector), so delivery is charged the full
+    /// latency + bandwidth transfer cost instead of the bare RPC latency.
+    pub fn rpc_payload(
+        &mut self,
+        target: usize,
+        payload_bytes: usize,
+        func: impl FnOnce(&mut Rank) + Send + 'static,
+    ) {
+        self.clock += ISSUE_OVERHEAD;
+        let same_node = self.same_node(target);
+        let ready_at = self.clock
+            + self.net().rpc_time(same_node)
+            + self.net().transfer_time(payload_bytes, same_node, MemKind::Host, MemKind::Host);
+        self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.record_transfer(payload_bytes, same_node, false);
+        self.shared.rpc_queues[target].push(RpcMsg { ready_at, func: Box::new(func) });
+    }
+
+    /// Execute every queued incoming RPC (in virtual-arrival order) and
+    /// return how many ran. The UPC++ `progress()` analogue; the paper's
+    /// poll function dispatches to this.
+    pub fn progress(&mut self) -> usize {
+        let mut msgs = Vec::new();
+        while let Some(m) = self.shared.rpc_queues[self.id].pop() {
+            msgs.push(m);
+        }
+        if msgs.is_empty() {
+            return 0;
+        }
+        msgs.sort_by(|a, b| a.ready_at.total_cmp(&b.ready_at));
+        let n = msgs.len();
+        for m in msgs {
+            self.advance_to(m.ready_at);
+            (m.func)(self);
+        }
+        n
+    }
+
+    /// True when no incoming RPCs are queued (racy; for idle detection use
+    /// the solver's own completion counting).
+    pub fn rpc_queue_empty(&self) -> bool {
+        self.shared.rpc_queues[self.id].is_empty()
+    }
+
+    // ----- user state for RPC closures -----
+
+    /// Install this rank's application state; RPC closures retrieve it with
+    /// [`Rank::with_state`].
+    pub fn set_state<T: Send + 'static>(&mut self, state: T) {
+        self.user_state = Some(Box::new(state));
+    }
+
+    /// Temporarily take the application state and run `f` with both the
+    /// state and the rank borrowed mutably (communication from inside RPC
+    /// handlers, as the paper's `signal(ptr, meta)` does).
+    ///
+    /// # Panics
+    /// Panics when no state of type `T` is installed.
+    pub fn with_state<T: Send + 'static, R>(&mut self, f: impl FnOnce(&mut Rank, &mut T) -> R) -> R {
+        let mut boxed = self.user_state.take().expect("no user state installed");
+        let state = boxed.downcast_mut::<T>().expect("user state has a different type");
+        let r = f(self, state);
+        self.user_state = Some(boxed);
+        r
+    }
+
+    /// Remove whatever user state is installed (any type), for callers that
+    /// need the slot temporarily (collectives). Pair with
+    /// [`Rank::restore_state`].
+    pub fn stash_state(&mut self) -> Option<Box<dyn Any + Send>> {
+        self.user_state.take()
+    }
+
+    /// Restore state previously taken with [`Rank::stash_state`].
+    pub fn restore_state(&mut self, state: Option<Box<dyn Any + Send>>) {
+        self.user_state = state;
+    }
+
+    /// Remove and return the application state.
+    pub fn take_state<T: Send + 'static>(&mut self) -> T {
+        *self
+            .user_state
+            .take()
+            .expect("no user state installed")
+            .downcast::<T>()
+            .expect("user state has a different type")
+    }
+
+    // ----- collectives -----
+
+    /// Barrier across all ranks: physical synchronization plus virtual-clock
+    /// agreement (every rank leaves with the maximum clock).
+    pub fn barrier(&mut self) {
+        let slot = self.barrier_count % 2;
+        self.barrier_count += 1;
+        self.shared.clock_max[slot].fetch_max(self.clock.to_bits(), Ordering::SeqCst);
+        self.shared.barrier.wait();
+        self.clock = f64::from_bits(self.shared.clock_max[slot].load(Ordering::SeqCst));
+        self.shared.barrier.wait();
+        if self.id == 0 {
+            self.shared.clock_max[slot].store(0, Ordering::SeqCst);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Runtime construction: spawn ranks, run the SPMD closure, collect results.
+
+use crate::netmodel::NetModel;
+use crate::rank::{Rank, RpcMsg};
+use crate::segment::SegmentTable;
+use crate::stats::{Stats, StatsSnapshot};
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Barrier};
+
+/// Job-wide configuration.
+#[derive(Debug, Clone)]
+pub struct PgasConfig {
+    /// Number of ranks (UPC++ processes).
+    pub n_ranks: usize,
+    /// Ranks per (virtual) node — determines which transfers cross the
+    /// network. The paper runs up to 64 ranks/node on Perlmutter.
+    pub ranks_per_node: usize,
+    /// Communication cost model.
+    pub net: NetModel,
+    /// Per-rank device-memory quota in bytes (each process's share of its
+    /// GPU, §4.2). Use `usize::MAX` for unlimited.
+    pub device_quota: usize,
+}
+
+impl PgasConfig {
+    /// A convenient single-node configuration with `n_ranks` ranks.
+    pub fn single_node(n_ranks: usize) -> Self {
+        PgasConfig {
+            n_ranks,
+            ranks_per_node: n_ranks.max(1),
+            net: NetModel::default(),
+            device_quota: usize::MAX,
+        }
+    }
+
+    /// A multi-node configuration.
+    pub fn multi_node(n_nodes: usize, ranks_per_node: usize) -> Self {
+        PgasConfig {
+            n_ranks: n_nodes * ranks_per_node,
+            ranks_per_node,
+            net: NetModel::default(),
+            device_quota: usize::MAX,
+        }
+    }
+}
+
+/// Shared cross-rank structures.
+pub(crate) struct Shared {
+    pub config: PgasConfig,
+    pub tables: Vec<SegmentTable>,
+    pub rpc_queues: Vec<SegQueue<RpcMsg>>,
+    pub stats: Stats,
+    pub barrier: Barrier,
+    /// Double-buffered max-clock cells for the barrier's virtual-time
+    /// agreement (f64 bits; non-negative floats order correctly as u64).
+    pub clock_max: [AtomicU64; 2],
+}
+
+/// Result of a run: per-rank return values, the virtual makespan, final
+/// clocks and communication counters.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Per-rank closure results, indexed by rank.
+    pub results: Vec<R>,
+    /// Maximum final virtual clock over all ranks — the modeled runtime of
+    /// the SPMD region (what the scaling figures plot).
+    pub makespan: f64,
+    /// Final virtual clock of each rank.
+    pub final_clocks: Vec<f64>,
+    /// Communication counters accumulated during the run.
+    pub stats: StatsSnapshot,
+}
+
+/// The runtime: spawns one thread per rank and runs an SPMD closure.
+pub struct Runtime;
+
+impl Runtime {
+    /// Run `f` on `config.n_ranks` ranks (one OS thread each) and collect
+    /// the results.
+    ///
+    /// # Panics
+    /// Propagates panics from rank closures.
+    pub fn run<R, F>(config: PgasConfig, f: F) -> RunReport<R>
+    where
+        R: Send,
+        F: Fn(&mut Rank) -> R + Sync,
+    {
+        let n = config.n_ranks;
+        assert!(n >= 1, "need at least one rank");
+        assert!(config.ranks_per_node >= 1);
+        let shared = Arc::new(Shared {
+            tables: (0..n).map(|_| SegmentTable::new(config.device_quota)).collect(),
+            rpc_queues: (0..n).map(|_| SegQueue::new()).collect(),
+            stats: Stats::default(),
+            barrier: Barrier::new(n),
+            clock_max: [AtomicU64::new(0), AtomicU64::new(0)],
+            config,
+        });
+        let mut slots: Vec<Option<(R, f64)>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|id| {
+                    let shared = Arc::clone(&shared);
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut rank = Rank::new(id, shared);
+                        let r = f(&mut rank);
+                        (r, rank.now())
+                    })
+                })
+                .collect();
+            for (id, h) in handles.into_iter().enumerate() {
+                slots[id] = Some(h.join().expect("rank panicked"));
+            }
+        });
+        let mut results = Vec::with_capacity(n);
+        let mut final_clocks = Vec::with_capacity(n);
+        for s in slots {
+            let (r, c) = s.expect("all ranks joined");
+            results.push(r);
+            final_clocks.push(c);
+        }
+        let makespan = final_clocks.iter().copied().fold(0.0, f64::max);
+        RunReport { results, makespan, final_clocks, stats: shared.stats.snapshot() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptr::MemKind;
+
+    #[test]
+    fn ranks_see_their_ids_and_topology() {
+        let report = Runtime::run(PgasConfig::multi_node(2, 3), |rank| {
+            (rank.id(), rank.n_ranks(), rank.node_of(rank.id()))
+        });
+        assert_eq!(report.results.len(), 6);
+        for (i, &(id, n, node)) in report.results.iter().enumerate() {
+            assert_eq!(id, i);
+            assert_eq!(n, 6);
+            assert_eq!(node, i / 3);
+        }
+    }
+
+    #[test]
+    fn rget_moves_real_data_and_charges_time() {
+        let report = Runtime::run(PgasConfig::multi_node(2, 1), |rank| {
+            // Rank 0 allocates and fills; rank 1 fetches one-sidedly.
+            if rank.id() == 0 {
+                let ptr = rank.alloc(MemKind::Host, 4).unwrap();
+                rank.write_local(&ptr, &[1.0, 2.0, 3.0, 4.0]);
+                // Hand the pointer over via RPC.
+                rank.rpc(1, move |r| {
+                    let h = r.rget(&ptr);
+                    let data = h.wait(r);
+                    assert_eq!(data, vec![1.0, 2.0, 3.0, 4.0]);
+                });
+                rank.barrier();
+                0.0
+            } else {
+                rank.barrier(); // rank 0 must have enqueued before we drain…
+                let before = rank.now();
+                while rank.progress() == 0 {
+                    std::thread::yield_now();
+                }
+                rank.now() - before
+            }
+        });
+        // Rank 1 paid network latency + transfer time for 32 bytes.
+        assert!(report.results[1] > 2.0e-6, "charged {}", report.results[1]);
+        assert_eq!(report.stats.rgets, 1);
+        assert_eq!(report.stats.rpcs, 1);
+        assert!(report.stats.net_bytes >= 32);
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_clocks() {
+        let report = Runtime::run(PgasConfig::single_node(4), |rank| {
+            rank.advance(rank.id() as f64); // ranks at times 0,1,2,3
+            rank.barrier();
+            let t1 = rank.now();
+            rank.barrier();
+            (t1, rank.now())
+        });
+        for &(t1, t2) in &report.results {
+            assert_eq!(t1, 3.0);
+            assert_eq!(t2, 3.0);
+        }
+        assert_eq!(report.makespan, 3.0);
+    }
+
+    #[test]
+    fn repeated_barriers_reset_correctly() {
+        let report = Runtime::run(PgasConfig::single_node(3), |rank| {
+            let mut clocks = Vec::new();
+            for round in 0..5 {
+                rank.advance(if rank.id() == round % 3 { 1.0 } else { 0.1 });
+                rank.barrier();
+                clocks.push(rank.now());
+            }
+            clocks
+        });
+        // All ranks agree after each barrier, and clocks are increasing.
+        for round in 0..5 {
+            let c0 = report.results[0][round];
+            for r in &report.results {
+                assert_eq!(r[round], c0);
+            }
+            if round > 0 {
+                assert!(report.results[0][round] > report.results[0][round - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn copy_between_device_and_remote_host() {
+        let mut config = PgasConfig::multi_node(2, 1);
+        config.device_quota = 1 << 20;
+        let report = Runtime::run(config, |rank| {
+            if rank.id() == 0 {
+                let host = rank.alloc(MemKind::Host, 8).unwrap();
+                rank.write_local(&host, &[7.0; 8]);
+                rank.rpc(1, move |r| {
+                    let dev = r.alloc(MemKind::Device, 8).unwrap();
+                    let done = r.copy(&host, &dev);
+                    r.advance_to(done);
+                    assert_eq!(r.read_local(&dev), vec![7.0; 8]);
+                });
+                rank.barrier();
+            } else {
+                rank.barrier();
+                while rank.progress() == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            rank.now()
+        });
+        assert_eq!(report.stats.copies, 1);
+        assert!(report.stats.device_bytes >= 64);
+    }
+
+    #[test]
+    fn device_quota_produces_oom() {
+        let mut config = PgasConfig::single_node(1);
+        config.device_quota = 64; // 8 elements
+        let report = Runtime::run(config, |rank| {
+            let ok = rank.alloc(MemKind::Device, 8);
+            let oom = rank.alloc(MemKind::Device, 1);
+            (ok.is_ok(), oom.is_err())
+        });
+        assert_eq!(report.results[0], (true, true));
+    }
+
+    #[test]
+    fn user_state_reachable_from_rpc() {
+        #[derive(Default)]
+        struct Inbox {
+            got: Vec<u64>,
+        }
+        let report = Runtime::run(PgasConfig::single_node(2), |rank| {
+            rank.set_state(Inbox::default());
+            rank.barrier();
+            if rank.id() == 0 {
+                for v in [10u64, 20, 30] {
+                    rank.rpc(1, move |r| {
+                        r.with_state::<Inbox, _>(|_, inbox| inbox.got.push(v));
+                    });
+                }
+            }
+            rank.barrier();
+            if rank.id() == 1 {
+                let mut executed = 0;
+                while executed < 3 {
+                    executed += rank.progress();
+                    std::thread::yield_now();
+                }
+            }
+            let inbox = rank.take_state::<Inbox>();
+            inbox.got
+        });
+        assert_eq!(report.results[1], vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn rput_writes_remote_memory() {
+        let report = Runtime::run(PgasConfig::multi_node(2, 1), |rank| {
+            if rank.id() == 1 {
+                let ptr = rank.alloc(MemKind::Host, 3).unwrap();
+                rank.rpc(0, move |r| {
+                    let done = r.rput(&[9.0, 8.0, 7.0], &ptr);
+                    r.advance_to(done);
+                });
+                rank.barrier(); // rpc enqueued before rank 0 starts draining
+                rank.barrier(); // rank 0 has executed the rput
+                rank.read_local(&ptr)
+            } else {
+                rank.barrier();
+                while rank.progress() == 0 {
+                    std::thread::yield_now();
+                }
+                rank.barrier();
+                vec![]
+            }
+        });
+        assert_eq!(report.results[1], vec![9.0, 8.0, 7.0]);
+        assert_eq!(report.stats.rputs, 1);
+    }
+}
+
+#[cfg(test)]
+mod payload_tests {
+    use super::*;
+    use crate::ptr::MemKind;
+
+    #[test]
+    fn rpc_payload_charges_transfer_cost() {
+        let report = Runtime::run(PgasConfig::multi_node(2, 1), |rank| {
+            if rank.id() == 0 {
+                // 1 MiB payload across the network.
+                rank.rpc_payload(1, 1 << 20, |r| {
+                    r.with_state::<f64, _>(|rank, seen_at| *seen_at = rank.now());
+                });
+                rank.barrier();
+                0.0
+            } else {
+                rank.set_state(0.0f64);
+                rank.barrier();
+                while rank.progress() == 0 {
+                    std::thread::yield_now();
+                }
+                rank.take_state::<f64>()
+            }
+        });
+        // Delivery time must include ~ 1MiB / 23 GB/s ≈ 45 µs of wire time.
+        assert!(report.results[1] > 40.0e-6, "payload undercharged: {}", report.results[1]);
+    }
+
+    #[test]
+    fn rpc_payload_intra_node_is_cheaper() {
+        let run = |same_node: bool| {
+            let config = if same_node {
+                PgasConfig::single_node(2)
+            } else {
+                PgasConfig::multi_node(2, 1)
+            };
+            Runtime::run(config, |rank| {
+                if rank.id() == 0 {
+                    rank.rpc_payload(1, 256 << 10, |r| {
+                        r.with_state::<f64, _>(|rank, t| *t = rank.now());
+                    });
+                    rank.barrier();
+                    0.0
+                } else {
+                    rank.set_state(0.0f64);
+                    rank.barrier();
+                    while rank.progress() == 0 {
+                        std::thread::yield_now();
+                    }
+                    rank.take_state::<f64>()
+                }
+            })
+            .results[1]
+        };
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn stats_capture_flood_traffic() {
+        let report = Runtime::run(PgasConfig::multi_node(2, 1), |rank| {
+            if rank.id() == 0 {
+                let ptr = rank.alloc(MemKind::Host, 128).unwrap();
+                rank.rpc(1, move |r| {
+                    for _ in 0..10 {
+                        let h = r.rget(&ptr);
+                        let _ = h.wait(r);
+                    }
+                });
+            }
+            rank.barrier();
+            if rank.id() == 1 {
+                while rank.progress() == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            rank.barrier();
+        });
+        assert_eq!(report.stats.rgets, 10);
+        assert_eq!(report.stats.net_bytes, 10 * 128 * 8);
+    }
+}

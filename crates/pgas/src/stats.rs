@@ -1,0 +1,76 @@
+//! Communication and operation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters, one set per runtime.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// One-sided gets issued.
+    pub rgets: AtomicU64,
+    /// One-sided puts issued.
+    pub rputs: AtomicU64,
+    /// `copy()` operations issued.
+    pub copies: AtomicU64,
+    /// RPCs sent.
+    pub rpcs: AtomicU64,
+    /// Bytes crossing the (virtual) network.
+    pub net_bytes: AtomicU64,
+    /// Bytes moved within a node.
+    pub intra_bytes: AtomicU64,
+    /// Bytes moved to/from device memory.
+    pub device_bytes: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn record_transfer(&self, bytes: usize, same_node: bool, device: bool) {
+        if same_node {
+            self.intra_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            self.net_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+        if device {
+            self.device_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            rgets: self.rgets.load(Ordering::Relaxed),
+            rputs: self.rputs.load(Ordering::Relaxed),
+            copies: self.copies.load(Ordering::Relaxed),
+            rpcs: self.rpcs.load(Ordering::Relaxed),
+            net_bytes: self.net_bytes.load(Ordering::Relaxed),
+            intra_bytes: self.intra_bytes.load(Ordering::Relaxed),
+            device_bytes: self.device_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub rgets: u64,
+    pub rputs: u64,
+    pub copies: u64,
+    pub rpcs: u64,
+    pub net_bytes: u64,
+    pub intra_bytes: u64,
+    pub device_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_routes_bytes() {
+        let s = Stats::default();
+        s.record_transfer(100, false, false);
+        s.record_transfer(50, true, true);
+        let snap = s.snapshot();
+        assert_eq!(snap.net_bytes, 100);
+        assert_eq!(snap.intra_bytes, 50);
+        assert_eq!(snap.device_bytes, 50);
+    }
+}

@@ -1,0 +1,135 @@
+//! Structural statistics of sparse matrices: the quantities one inspects
+//! before choosing an ordering or predicting factorization behavior
+//! (bandwidth, profile, degree distribution, diagonal dominance).
+
+use crate::sym::SparseSym;
+
+/// Summary of a symmetric matrix's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Matrix order.
+    pub n: usize,
+    /// Stored lower-triangle entries.
+    pub nnz_lower: usize,
+    /// Entries of the full symmetric matrix.
+    pub nnz_full: usize,
+    /// Average nonzeros per row (full matrix).
+    pub avg_nnz_per_row: f64,
+    /// Bandwidth: max |i − j| over stored entries.
+    pub bandwidth: usize,
+    /// Profile (envelope size): Σ_j (j − min row index in column j of the
+    /// full pattern) — the storage a banded/skyline solver would need.
+    pub profile: usize,
+    /// Degree distribution (off-diagonal count per vertex): (min, avg, max).
+    pub degree: (usize, f64, usize),
+    /// Number of rows whose diagonal dominates its off-diagonal row sum.
+    pub diagonally_dominant_rows: usize,
+}
+
+/// Compute [`MatrixStats`] for a symmetric matrix.
+pub fn matrix_stats(a: &SparseSym) -> MatrixStats {
+    let n = a.n();
+    let mut bandwidth = 0usize;
+    let mut degree = vec![0usize; n];
+    let mut offsum = vec![0.0f64; n];
+    let mut diagv = vec![0.0f64; n];
+    let mut min_row_of_col = (0..n).collect::<Vec<usize>>(); // full pattern: col j reaches up to j
+    for c in 0..n {
+        let rows = a.col_rows(c);
+        let vals = a.col_values(c);
+        diagv[c] = vals[0];
+        for k in 1..rows.len() {
+            let r = rows[k];
+            let v = vals[k];
+            bandwidth = bandwidth.max(r - c);
+            degree[c] += 1;
+            degree[r] += 1;
+            offsum[c] += v.abs();
+            offsum[r] += v.abs();
+            // Full-pattern envelope: entry (r, c) also appears as (c, r),
+            // pulling column r's minimum row up to c.
+            if c < min_row_of_col[r] {
+                min_row_of_col[r] = c;
+            }
+        }
+    }
+    let profile = (0..n).map(|j| j - min_row_of_col[j]).sum();
+    let (mut dmin, mut dmax, mut dsum) = (usize::MAX, 0usize, 0usize);
+    for &d in &degree {
+        dmin = dmin.min(d);
+        dmax = dmax.max(d);
+        dsum += d;
+    }
+    if n == 0 {
+        dmin = 0;
+    }
+    let dominant = (0..n).filter(|&i| diagv[i].abs() >= offsum[i]).count();
+    MatrixStats {
+        n,
+        nnz_lower: a.nnz(),
+        nnz_full: a.nnz_full(),
+        avg_nnz_per_row: a.nnz_full() as f64 / n.max(1) as f64,
+        bandwidth,
+        profile,
+        degree: (dmin, dsum as f64 / n.max(1) as f64, dmax),
+        diagonally_dominant_rows: dominant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{laplacian_2d, random_spd};
+    use crate::Coo;
+
+    fn tridiag(n: usize) -> SparseSym {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 4.0).unwrap();
+            if i + 1 < n {
+                c.push_sym(i + 1, i, -1.0).unwrap();
+            }
+        }
+        c.to_csc().to_lower_sym()
+    }
+
+    #[test]
+    fn tridiagonal_statistics_are_exact() {
+        let st = matrix_stats(&tridiag(6));
+        assert_eq!(st.n, 6);
+        assert_eq!(st.bandwidth, 1);
+        assert_eq!(st.profile, 5); // every column after the first reaches back one
+        assert_eq!(st.degree, (1, 10.0 / 6.0, 2));
+        assert_eq!(st.diagonally_dominant_rows, 6);
+        assert_eq!(st.nnz_full, 16);
+    }
+
+    #[test]
+    fn grid_bandwidth_equals_stride() {
+        let st = matrix_stats(&laplacian_2d(7, 5));
+        assert_eq!(st.bandwidth, 7); // vertical neighbor offset
+        assert_eq!(st.n, 35);
+        assert!(st.avg_nnz_per_row < 5.0 + 1e-9);
+        assert_eq!(st.diagonally_dominant_rows, 35);
+    }
+
+    #[test]
+    fn diagonal_matrix_has_zero_bandwidth_and_profile() {
+        let mut c = Coo::new(4, 4);
+        for i in 0..4 {
+            c.push(i, i, 1.0).unwrap();
+        }
+        let st = matrix_stats(&c.to_csc().to_lower_sym());
+        assert_eq!(st.bandwidth, 0);
+        assert_eq!(st.profile, 0);
+        assert_eq!(st.degree, (0, 0.0, 0));
+    }
+
+    #[test]
+    fn random_spd_generators_report_dominance() {
+        // random_spd builds strictly dominant matrices by construction.
+        let st = matrix_stats(&random_spd(80, 5, 4));
+        assert_eq!(st.diagonally_dominant_rows, 80);
+        assert!(st.degree.2 >= st.degree.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Symmetric sparse storage: lower triangle (with diagonal) in CSC form.
+//!
+//! This is the input format consumed by the symbolic and numeric
+//! factorization phases — exactly what a Rutherford-Boeing `rsa` file or the
+//! lower triangle of a Matrix Market `symmetric` file holds.
+
+/// A symmetric matrix stored as its lower triangle (diagonal included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseSym {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseSym {
+    /// Assemble from raw CSC parts of the lower triangle.
+    ///
+    /// # Panics
+    /// Panics when the structure is inconsistent, a column is missing its
+    /// diagonal entry, rows are unsorted, or an entry lies above the diagonal.
+    pub fn from_parts(n: usize, col_ptr: Vec<usize>, row_idx: Vec<usize>, values: Vec<f64>) -> Self {
+        assert_eq!(col_ptr.len(), n + 1);
+        assert_eq!(*col_ptr.last().unwrap(), row_idx.len());
+        assert_eq!(row_idx.len(), values.len());
+        for c in 0..n {
+            let rows = &row_idx[col_ptr[c]..col_ptr[c + 1]];
+            assert!(!rows.is_empty() && rows[0] == c, "column {c} must start with its diagonal");
+            for w in rows.windows(2) {
+                assert!(w[0] < w[1], "rows must be strictly increasing within column {c}");
+            }
+            assert!(*rows.last().unwrap() < n, "row index out of bounds in column {c}");
+        }
+        SparseSym { n, col_ptr, row_idx, values }
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries (lower triangle only).
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Entries of the full symmetric matrix (`2·nnz − n`).
+    pub fn nnz_full(&self) -> usize {
+        2 * self.nnz() - self.n
+    }
+
+    /// Column pointers.
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row indices of (lower-triangle) column `c`; `col_rows(c)[0] == c`.
+    pub fn col_rows(&self, c: usize) -> &[usize] {
+        &self.row_idx[self.col_ptr[c]..self.col_ptr[c + 1]]
+    }
+
+    /// Values of (lower-triangle) column `c`.
+    pub fn col_values(&self, c: usize) -> &[f64] {
+        &self.values[self.col_ptr[c]..self.col_ptr[c + 1]]
+    }
+
+    /// Value at `(row, col)` of the full symmetric matrix.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let (r, c) = if row >= col { (row, col) } else { (col, row) };
+        match self.col_rows(c).binary_search(&r) {
+            Ok(k) => self.col_values(c)[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Symmetric matrix–vector product `y = A·x` using only the stored
+    /// lower triangle.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for c in 0..self.n {
+            let rows = self.col_rows(c);
+            let vals = self.col_values(c);
+            // Diagonal entry.
+            y[c] += vals[0] * x[c];
+            for k in 1..rows.len() {
+                let r = rows[k];
+                let v = vals[k];
+                y[r] += v * x[c];
+                y[c] += v * x[r];
+            }
+        }
+        y
+    }
+
+    /// Expand to a full (both triangles) [`crate::Csc`].
+    pub fn to_full_csc(&self) -> crate::Csc {
+        let mut coo = crate::Coo::new(self.n, self.n);
+        for c in 0..self.n {
+            for (&r, &v) in self.col_rows(c).iter().zip(self.col_values(c)) {
+                coo.push_sym(r, c, v).expect("in range");
+            }
+        }
+        coo.to_csc()
+    }
+
+    /// Apply the symmetric permutation `P·A·Pᵀ` (with `perm[new] = old`) and
+    /// return the permuted lower triangle.
+    pub fn permute(&self, perm: &[usize]) -> SparseSym {
+        self.to_full_csc().permute_sym(perm).to_lower_sym()
+    }
+
+    /// Residual norm `‖A·x − b‖₂`.
+    pub fn residual_norm(&self, x: &[f64], b: &[f64]) -> f64 {
+        let ax = self.spmv(x);
+        ax.iter().zip(b).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+    }
+
+    /// Relative residual `‖A·x − b‖₂ / ‖b‖₂` (`‖b‖` floored at machine tiny
+    /// to avoid division by zero).
+    pub fn relative_residual(&self, x: &[f64], b: &[f64]) -> f64 {
+        let bn = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+        self.residual_norm(x, b) / bn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn tridiag(n: usize) -> SparseSym {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 4.0).unwrap();
+            if i + 1 < n {
+                c.push_sym(i + 1, i, -1.0).unwrap();
+            }
+        }
+        c.to_csc().to_lower_sym()
+    }
+
+    #[test]
+    fn counts() {
+        let s = tridiag(5);
+        assert_eq!(s.n(), 5);
+        assert_eq!(s.nnz(), 9);
+        assert_eq!(s.nnz_full(), 13);
+    }
+
+    #[test]
+    fn get_uses_symmetry() {
+        let s = tridiag(4);
+        assert_eq!(s.get(1, 2), -1.0);
+        assert_eq!(s.get(2, 1), -1.0);
+        assert_eq!(s.get(0, 3), 0.0);
+    }
+
+    #[test]
+    fn spmv_matches_full_expansion() {
+        let s = tridiag(6);
+        let x: Vec<f64> = (0..6).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let via_sym = s.spmv(&x);
+        let via_full = s.to_full_csc().spmv(&x);
+        for (a, b) in via_sym.iter().zip(&via_full) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn permute_preserves_spectrum_entrywise() {
+        let s = tridiag(5);
+        let perm = [4, 2, 0, 1, 3];
+        let p = s.permute(&perm);
+        for new_c in 0..5 {
+            for new_r in 0..5 {
+                assert_eq!(p.get(new_r, new_c), s.get(perm[new_r], perm[new_c]));
+            }
+        }
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        // A = 4I on 3 nodes minus couplings; pick x, compute b = Ax.
+        let s = tridiag(3);
+        let x = [1.0, -2.0, 0.5];
+        let b = s.spmv(&x);
+        assert!(s.residual_norm(&x, &b) < 1e-14);
+        assert!(s.relative_residual(&x, &b) < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start with its diagonal")]
+    fn missing_diagonal_rejected() {
+        SparseSym::from_parts(2, vec![0, 1, 2], vec![1, 1], vec![1.0, 1.0]);
+    }
+}

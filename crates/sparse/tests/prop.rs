@@ -1,0 +1,128 @@
+//! Property-based tests for the sparse-matrix substrate: assembly,
+//! symmetric views, permutations and file-format round-trips on arbitrary
+//! random matrices.
+
+use proptest::prelude::*;
+use sympack_sparse::gen::random_spd;
+use sympack_sparse::{io, Coo, SparseSym};
+
+fn random_sym(n: usize, seed: u64) -> SparseSym {
+    random_spd(n, 4, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn coo_duplicates_sum_regardless_of_order(
+        n in 2usize..20,
+        entries in prop::collection::vec((0usize..20, 0usize..20, -5.0f64..5.0), 1..60),
+    ) {
+        let mut coo1 = Coo::new(n, n);
+        let mut coo2 = Coo::new(n, n);
+        let valid: Vec<_> = entries.iter().filter(|(r, c, _)| *r < n && *c < n).collect();
+        for (r, c, v) in &valid {
+            coo1.push(*r, *c, *v).unwrap();
+        }
+        for (r, c, v) in valid.iter().rev() {
+            coo2.push(*r, *c, *v).unwrap();
+        }
+        let (m1, m2) = (coo1.to_csc(), coo2.to_csc());
+        prop_assert_eq!(m1.nnz(), m2.nnz());
+        for c in 0..n {
+            for r in 0..n {
+                prop_assert!((m1.get(r, c) - m2.get(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_is_linear(n in 3usize..40, seed in 0u64..200, alpha in -3.0f64..3.0) {
+        let a = random_sym(n, seed);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(a, b)| alpha * a + b).collect();
+        let lhs = a.spmv(&combo);
+        let ax = a.spmv(&x);
+        let ay = a.spmv(&y);
+        for i in 0..n {
+            prop_assert!((lhs[i] - (alpha * ax[i] + ay[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrip_preserves_matrix(n in 3usize..30, seed in 0u64..200) {
+        let a = random_sym(n, seed);
+        // Deterministic shuffle from the seed.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let p = a.permute(&perm);
+        // Inverse permutation: inv[old] = new.
+        let mut inv = vec![0usize; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        let back = p.permute(&inv);
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn symmetric_spmv_matches_full_matrix(n in 3usize..40, seed in 0u64..200) {
+        let a = random_sym(n, seed);
+        let full = a.to_full_csc();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 + 1) % 7) as f64 - 3.0).collect();
+        let y1 = a.spmv(&x);
+        let y2 = full.spmv(&x);
+        for i in 0..n {
+            prop_assert!((y1[i] - y2[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(n in 2usize..25, seed in 0u64..200) {
+        let a = random_sym(n, seed);
+        let mut buf = Vec::new();
+        io::mm::write_sym(&mut buf, &a).unwrap();
+        let back = io::mm::read(&buf[..]).unwrap().to_lower_sym();
+        prop_assert_eq!(back.n(), a.n());
+        prop_assert_eq!(back.nnz(), a.nnz());
+        for c in 0..n {
+            for (x, y) in back.col_values(c).iter().zip(a.col_values(c)) {
+                prop_assert!((x - y).abs() < 1e-12 * y.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn rutherford_boeing_roundtrip(n in 2usize..25, seed in 0u64..200) {
+        let a = random_sym(n, seed);
+        let mut buf = Vec::new();
+        io::rb::write(&mut buf, &a, "prop").unwrap();
+        let back = io::rb::read(&buf[..]).unwrap();
+        prop_assert_eq!(back.n(), a.n());
+        for c in 0..n {
+            prop_assert_eq!(back.col_rows(c), a.col_rows(c));
+            for (x, y) in back.col_values(c).iter().zip(a.col_values(c)) {
+                prop_assert!((x - y).abs() < 1e-8 * y.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn graph_adjacency_is_symmetric(n in 3usize..40, seed in 0u64..200) {
+        let a = random_sym(n, seed);
+        let g = sympack_sparse::graph::Graph::from_sym(&a);
+        for v in 0..n {
+            for &w in g.neighbors(v) {
+                prop_assert!(g.neighbors(w).contains(&v), "asymmetric edge {v}-{w}");
+                prop_assert!(w != v, "self loop at {v}");
+            }
+        }
+    }
+}

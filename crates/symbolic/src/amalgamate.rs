@@ -1,0 +1,196 @@
+//! Relaxed supernode amalgamation.
+//!
+//! Fundamental supernodes on very sparse matrices (the paper's `thermal2`)
+//! can be tiny, which makes blocks too small to amortize BLAS-3 and task
+//! overheads. Relaxed amalgamation merges a supernode into the next one
+//! when the merged supernode would waste at most a bounded fraction of
+//! explicit zeros — trading a little extra storage/flops for much larger
+//! dense blocks. Only *adjacent* supernodes where the first's parent (in
+//! the supernodal elimination tree) is the second can merge, so supernode
+//! columns stay consecutive and the factorization stays correct (the merged
+//! pattern is the union, a superset of every member column's true pattern).
+
+use crate::supernodes::SupernodePartition;
+
+/// Greedily merge chains of supernodes left-to-right.
+///
+/// Returns the new partition and the matching merged patterns. `ratio` is
+/// the maximum tolerated fraction of explicit-zero entries in a merged
+/// supernode; `max_width` caps merged supernode width.
+pub fn amalgamate(
+    partition: &SupernodePartition,
+    patterns: &[Vec<usize>],
+    ratio: f64,
+    max_width: usize,
+) -> (SupernodePartition, Vec<Vec<usize>>) {
+    let ns = partition.n_supernodes();
+    let n = partition.n();
+    let mut new_starts: Vec<usize> = vec![0];
+    let mut new_patterns: Vec<Vec<usize>> = Vec::new();
+    let mut s = 0;
+    while s < ns {
+        // Current group state: columns [group_first, group_last_col], pattern.
+        let mut width = partition.width(s);
+        let mut pat: Vec<usize> = patterns[s].clone();
+        let mut nnz_members =
+            width * (width + 1) / 2 + width * patterns[s].len();
+        let mut t = s + 1;
+        while t < ns {
+            // Structural requirement: the group's parent supernode must be
+            // exactly `t` (its first pattern row in t's columns) so merged
+            // columns are consecutive AND the merge is useful.
+            match pat.first() {
+                Some(&first) if partition.supno(first) == t => {}
+                _ => break,
+            }
+            let wt = partition.width(t);
+            if width + wt > max_width {
+                break;
+            }
+            // Merged pattern: (pat \ cols(t)) ∪ patterns[t].
+            let t_last = partition.last_col(t);
+            let mut merged: Vec<usize> = Vec::with_capacity(pat.len() + patterns[t].len());
+            let tail: Vec<usize> = pat.iter().copied().filter(|&r| r > t_last).collect();
+            // Union of two sorted lists.
+            let (mut i, mut j) = (0, 0);
+            while i < tail.len() || j < patterns[t].len() {
+                let a = tail.get(i).copied().unwrap_or(usize::MAX);
+                let b = patterns[t].get(j).copied().unwrap_or(usize::MAX);
+                match a.cmp(&b) {
+                    std::cmp::Ordering::Less => {
+                        merged.push(a);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push(b);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push(a);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            let new_width = width + wt;
+            let new_nnz = new_width * (new_width + 1) / 2 + new_width * merged.len();
+            let old_nnz =
+                nnz_members + wt * (wt + 1) / 2 + wt * patterns[t].len();
+            let zeros = new_nnz.saturating_sub(old_nnz);
+            if (zeros as f64) > ratio * (new_nnz as f64) {
+                break;
+            }
+            // Accept the merge.
+            width = new_width;
+            pat = merged;
+            nnz_members = old_nnz; // real entries carried forward
+            t += 1;
+        }
+        new_starts.push(partition.first_col(s) + width);
+        new_patterns.push(pat);
+        s = t;
+    }
+    debug_assert_eq!(*new_starts.last().unwrap(), n);
+    (SupernodePartition::from_starts(new_starts, n), new_patterns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::{etree, postorder};
+    use crate::structure::{col_counts, sn_patterns};
+    use crate::supernodes::supernodes;
+    use sympack_sparse::{Coo, SparseSym};
+
+    fn tridiag(n: usize) -> SparseSym {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 4.0).unwrap();
+            if i + 1 < n {
+                c.push_sym(i + 1, i, -1.0).unwrap();
+            }
+        }
+        c.to_csc().to_lower_sym()
+    }
+
+    #[test]
+    fn tridiagonal_chain_merges_fully_with_generous_ratio() {
+        // A tridiagonal matrix has all-singleton fundamental supernodes in a
+        // parent chain; generous relaxation merges them into wide supernodes.
+        let a = tridiag(12);
+        let post = postorder(&etree(&a));
+        let ap = a.permute(post.as_slice());
+        let parent = etree(&ap);
+        let counts = col_counts(&ap, &parent);
+        let part = supernodes(&parent, &counts, 128);
+        // Columns 0..10 are singletons; the final two columns share their
+        // (empty) below-diagonal structure and fuse into one fundamental
+        // supernode, leaving 11.
+        assert_eq!(part.n_supernodes(), 11);
+        let pats = sn_patterns(&ap, &part);
+        let (merged, mpats) = amalgamate(&part, &pats, 0.9, 6);
+        assert!(merged.n_supernodes() <= 3, "got {}", merged.n_supernodes());
+        // Patterns must still link each supernode to a later one (or be empty).
+        for s in 0..merged.n_supernodes() {
+            if let Some(&first) = mpats[s].first() {
+                assert!(merged.supno(first) > s);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_ratio_changes_nothing_unless_free() {
+        let a = tridiag(8);
+        let post = postorder(&etree(&a));
+        let ap = a.permute(post.as_slice());
+        let parent = etree(&ap);
+        let counts = col_counts(&ap, &parent);
+        let part = supernodes(&parent, &counts, 128);
+        let pats = sn_patterns(&ap, &part);
+        let (merged, _) = amalgamate(&part, &pats, 0.0, 128);
+        // Tridiagonal merges are never free (each merge wastes one zero per
+        // extra column), so nothing merges at ratio 0.
+        assert_eq!(merged.n_supernodes(), part.n_supernodes());
+    }
+
+    #[test]
+    fn max_width_caps_merging() {
+        let a = tridiag(20);
+        let post = postorder(&etree(&a));
+        let ap = a.permute(post.as_slice());
+        let parent = etree(&ap);
+        let counts = col_counts(&ap, &parent);
+        let part = supernodes(&parent, &counts, 128);
+        let pats = sn_patterns(&ap, &part);
+        let (merged, _) = amalgamate(&part, &pats, 0.99, 4);
+        for s in 0..merged.n_supernodes() {
+            assert!(merged.width(s) <= 4);
+        }
+    }
+
+    #[test]
+    fn merged_pattern_is_superset_of_member_tails() {
+        let a = sympack_sparse::gen::random_spd(40, 4, 5);
+        let post = postorder(&etree(&a));
+        let ap = a.permute(post.as_slice());
+        let parent = etree(&ap);
+        let counts = col_counts(&ap, &parent);
+        let part = supernodes(&parent, &counts, 128);
+        let pats = sn_patterns(&ap, &part);
+        let (merged, mpats) = amalgamate(&part, &pats, 0.4, 32);
+        // For every original supernode, its pattern rows past the merged
+        // supernode's last column must appear in the merged pattern.
+        for s0 in 0..part.n_supernodes() {
+            let first_col = part.first_col(s0);
+            let ms = merged.supno(first_col);
+            let mlast = merged.last_col(ms);
+            let mset: std::collections::HashSet<usize> =
+                mpats[ms].iter().copied().collect();
+            for &r in &pats[s0] {
+                if r > mlast {
+                    assert!(mset.contains(&r), "row {r} of sn {s0} lost in merge");
+                }
+            }
+        }
+    }
+}

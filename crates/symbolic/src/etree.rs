@@ -1,0 +1,189 @@
+//! Elimination tree and postordering.
+//!
+//! The elimination tree (paper §2.2) encodes the column dependencies of the
+//! factorization: `parent[j]` is the row of the first off-diagonal nonzero
+//! of column `j` of `L`. Supernode detection requires the matrix to be
+//! postordered — children numbered before parents, subtrees contiguous — so
+//! [`postorder`] produces the reordering that the analysis composes with the
+//! fill-reducing permutation.
+
+use sympack_ordering::Permutation;
+use sympack_sparse::SparseSym;
+
+/// Elimination tree by Liu's algorithm with path compression.
+/// `parent[v] == usize::MAX` marks a root.
+pub fn etree(a: &SparseSym) -> Vec<usize> {
+    let n = a.n();
+    let mut parent = vec![usize::MAX; n];
+    let mut ancestor = vec![usize::MAX; n];
+    // Liu's algorithm must see rows in increasing order. Column k of the
+    // lower triangle stores rows r > k, so first bucket the entries by row.
+    let mut row_lists: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for k in 0..n {
+        for &r in &a.col_rows(k)[1..] {
+            row_lists[r].push(k);
+        }
+    }
+    for (i, row) in row_lists.iter().enumerate() {
+        for &k in row {
+            let mut v = k;
+            while ancestor[v] != usize::MAX && ancestor[v] != i {
+                let next = ancestor[v];
+                ancestor[v] = i;
+                v = next;
+            }
+            if ancestor[v] == usize::MAX {
+                ancestor[v] = i;
+                parent[v] = i;
+            }
+        }
+    }
+    parent
+}
+
+/// Children lists of a parent array (children sorted ascending).
+pub fn children_lists(parent: &[usize]) -> Vec<Vec<usize>> {
+    let n = parent.len();
+    let mut children = vec![Vec::new(); n];
+    for v in 0..n {
+        let p = parent[v];
+        if p != usize::MAX {
+            children[p].push(v);
+        }
+    }
+    children
+}
+
+/// Depth-first postorder of the forest. Returns a [`Permutation`] with
+/// `perm[new] = old`, i.e. `perm` lists vertices in postorder.
+pub fn postorder(parent: &[usize]) -> Permutation {
+    let n = parent.len();
+    let children = children_lists(parent);
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (vertex, next child index)
+    for root in 0..n {
+        if parent[root] != usize::MAX {
+            continue;
+        }
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            if *ci < children[v].len() {
+                let c = children[v][*ci];
+                *ci += 1;
+                stack.push((c, 0));
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    Permutation::from_vec(order)
+}
+
+/// Depth of each vertex (roots have depth 0).
+pub fn depths(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    let mut depth = vec![usize::MAX; n];
+    for v in 0..n {
+        if depth[v] != usize::MAX {
+            continue;
+        }
+        // Walk up to a known depth or a root, then unwind.
+        let mut path = vec![v];
+        let mut u = v;
+        while parent[u] != usize::MAX && depth[parent[u]] == usize::MAX {
+            u = parent[u];
+            path.push(u);
+        }
+        let mut d = if parent[u] == usize::MAX { 0 } else { depth[parent[u]] + 1 };
+        for &w in path.iter().rev() {
+            depth[w] = d;
+            d += 1;
+        }
+    }
+    // Roots got depth 0 via the unwind (path ends at root).
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympack_sparse::{Coo, SparseSym};
+
+    fn tridiag(n: usize) -> SparseSym {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 4.0).unwrap();
+            if i + 1 < n {
+                c.push_sym(i + 1, i, -1.0).unwrap();
+            }
+        }
+        c.to_csc().to_lower_sym()
+    }
+
+    #[test]
+    fn etree_of_tridiagonal_is_path() {
+        let p = etree(&tridiag(5));
+        assert_eq!(p, vec![1, 2, 3, 4, usize::MAX]);
+    }
+
+    #[test]
+    fn etree_matches_ordering_crate() {
+        let a = sympack_sparse::gen::random_spd(50, 5, 21);
+        assert_eq!(etree(&a), sympack_ordering::metrics::etree(&a));
+    }
+
+    #[test]
+    fn postorder_puts_children_before_parents() {
+        let a = sympack_sparse::gen::laplacian_2d(6, 6);
+        let parent = etree(&a);
+        let post = postorder(&parent);
+        let inv = post.inverse();
+        for v in 0..parent.len() {
+            if parent[v] != usize::MAX {
+                assert!(
+                    inv.old_of(v) < inv.old_of(parent[v]),
+                    "child {v} not before parent {}",
+                    parent[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_subtrees_are_contiguous() {
+        let a = sympack_sparse::gen::random_spd(40, 4, 9);
+        let parent = etree(&a);
+        let post = postorder(&parent);
+        let inv = post.inverse();
+        // Size of each subtree.
+        let mut size = vec![1usize; parent.len()];
+        for &v in post.as_slice() {
+            if parent[v] != usize::MAX {
+                size[parent[v]] += size[v];
+            }
+        }
+        // In a postorder, vertex v occupies positions
+        // [pos(v) - size(v) + 1, pos(v)] for its whole subtree.
+        for v in 0..parent.len() {
+            let pos = inv.old_of(v);
+            assert!(pos + 1 >= size[v]);
+        }
+    }
+
+    #[test]
+    fn depths_of_path() {
+        let parent = vec![1, 2, 3, usize::MAX];
+        assert_eq!(depths(&parent), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn children_lists_inverse_of_parent() {
+        let parent = vec![2, 2, 4, 4, usize::MAX];
+        let ch = children_lists(&parent);
+        assert_eq!(ch[2], vec![0, 1]);
+        assert_eq!(ch[4], vec![2, 3]);
+        assert!(ch[0].is_empty());
+    }
+}

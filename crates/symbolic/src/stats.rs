@@ -1,0 +1,183 @@
+//! Analysis statistics: the structural quantities that predict how well a
+//! problem will run — supernode widths (BLAS-3 efficiency), block counts
+//! (task granularity and message counts), elimination-tree height and width
+//! (available parallelism), and the critical-path flops (strong-scaling
+//! limit). The `analysis_stats` bench binary prints these for the paper's
+//! three problems.
+
+use crate::SymbolicFactor;
+
+/// Summary statistics of a symbolic factorization.
+#[derive(Debug, Clone)]
+pub struct AnalysisStats {
+    /// Matrix order.
+    pub n: usize,
+    /// Supernode count.
+    pub n_supernodes: usize,
+    /// Factor nonzeros (incl. diagonal).
+    pub l_nnz: usize,
+    /// Structure-implied factorization flops.
+    pub flops: u64,
+    /// Widths: (min, average, max) supernode column counts.
+    pub sn_width: (usize, f64, usize),
+    /// Off-diagonal block count.
+    pub n_blocks: usize,
+    /// Block heights: (min, average, max) rows per off-diagonal block.
+    pub block_rows: (usize, f64, usize),
+    /// Height of the supernodal elimination forest (edges on longest path).
+    pub tree_height: usize,
+    /// Supernodes per tree level, root level last — the parallelism profile.
+    pub level_widths: Vec<usize>,
+    /// Flops along the heaviest root-to-leaf path: no schedule on any
+    /// machine can beat `critical_path_flops / rate`.
+    pub critical_path_flops: u64,
+}
+
+/// Per-supernode flop count (the same formula `analyze` totals).
+fn sn_flops(sf: &SymbolicFactor, s: usize) -> u64 {
+    let w = sf.partition.width(s) as u64;
+    let h = sf.patterns[s].len() as u64;
+    let cc = h + w;
+    (0..w).map(|j| (cc - j) * (cc - j)).sum()
+}
+
+/// Compute the statistics of a symbolic factor.
+pub fn analysis_stats(sf: &SymbolicFactor) -> AnalysisStats {
+    let ns = sf.n_supernodes();
+    let mut wmin = usize::MAX;
+    let mut wmax = 0usize;
+    let mut wsum = 0usize;
+    for s in 0..ns {
+        let w = sf.partition.width(s);
+        wmin = wmin.min(w);
+        wmax = wmax.max(w);
+        wsum += w;
+    }
+    let mut n_blocks = 0usize;
+    let (mut bmin, mut bmax, mut bsum) = (usize::MAX, 0usize, 0usize);
+    for s in 0..ns {
+        for b in sf.layout.blocks_of(s) {
+            n_blocks += 1;
+            bmin = bmin.min(b.n_rows);
+            bmax = bmax.max(b.n_rows);
+            bsum += b.n_rows;
+        }
+    }
+    if n_blocks == 0 {
+        bmin = 0;
+    }
+    // Depth = distance from root; compute bottom-up over the parent array
+    // (children have smaller indices, so a reverse sweep sees parents first).
+    let mut depth = vec![0usize; ns];
+    let mut height = 0usize;
+    for s in (0..ns).rev() {
+        let p = sf.sn_parent[s];
+        if p != usize::MAX {
+            depth[s] = depth[p] + 1;
+            height = height.max(depth[s]);
+        }
+    }
+    let mut level_widths = vec![0usize; height + 1];
+    for s in 0..ns {
+        // Root level last: invert depth.
+        level_widths[height - depth[s]] += 1;
+    }
+    // Critical path: heaviest flops path from any leaf to its root.
+    let mut path = vec![0u64; ns];
+    let mut critical = 0u64;
+    for s in 0..ns {
+        // Children precede parents, so path[s] already includes the best child.
+        path[s] += sn_flops(sf, s);
+        critical = critical.max(path[s]);
+        let p = sf.sn_parent[s];
+        if p != usize::MAX {
+            path[p] = path[p].max(path[s]);
+        }
+    }
+    AnalysisStats {
+        n: sf.n(),
+        n_supernodes: ns,
+        l_nnz: sf.l_nnz,
+        flops: sf.flops,
+        sn_width: (wmin, wsum as f64 / ns.max(1) as f64, wmax),
+        n_blocks,
+        block_rows: (bmin, if n_blocks > 0 { bsum as f64 / n_blocks as f64 } else { 0.0 }, bmax),
+        tree_height: height,
+        level_widths,
+        critical_path_flops: critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, AnalyzeOptions};
+    use sympack_ordering::{compute_ordering, OrderingKind};
+    use sympack_sparse::gen::{laplacian_2d, random_spd};
+    use sympack_sparse::{Coo, SparseSym};
+
+    fn analyzed(a: &SparseSym) -> SymbolicFactor {
+        let ord = compute_ordering(a, OrderingKind::NestedDissection);
+        analyze(a, &ord, &AnalyzeOptions::default())
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let a = laplacian_2d(12, 12);
+        let sf = analyzed(&a);
+        let st = analysis_stats(&sf);
+        assert_eq!(st.n, 144);
+        assert_eq!(st.n_supernodes, sf.n_supernodes());
+        assert_eq!(st.level_widths.iter().sum::<usize>(), st.n_supernodes);
+        assert!(st.sn_width.0 >= 1);
+        assert!(st.sn_width.0 as f64 <= st.sn_width.1);
+        assert!(st.sn_width.1 <= st.sn_width.2 as f64);
+        assert!(st.critical_path_flops <= st.flops);
+        assert!(st.critical_path_flops > 0);
+        assert_eq!(st.tree_height + 1, st.level_widths.len());
+    }
+
+    #[test]
+    fn diagonal_matrix_is_flat_forest() {
+        let mut c = Coo::new(6, 6);
+        for i in 0..6 {
+            c.push(i, i, 2.0).unwrap();
+        }
+        let sf = analyzed(&c.to_csc().to_lower_sym());
+        let st = analysis_stats(&sf);
+        assert_eq!(st.tree_height, 0);
+        assert_eq!(st.n_blocks, 0);
+        assert_eq!(st.block_rows.0, 0);
+    }
+
+    #[test]
+    fn tridiagonal_critical_path_is_total_flops() {
+        // A path-shaped tree has no parallelism: critical path == total.
+        let mut c = Coo::new(10, 10);
+        for i in 0..10 {
+            c.push(i, i, 4.0).unwrap();
+            if i + 1 < 10 {
+                c.push_sym(i + 1, i, -1.0).unwrap();
+            }
+        }
+        let a = c.to_csc().to_lower_sym();
+        let ord = sympack_ordering::Permutation::identity(10);
+        let sf = analyze(&a, &ord, &AnalyzeOptions { amalgamation_ratio: 0.0, ..Default::default() });
+        let st = analysis_stats(&sf);
+        assert_eq!(st.critical_path_flops, st.flops);
+    }
+
+    #[test]
+    fn parallel_profile_narrows_toward_the_root() {
+        // Nested dissection trees end in a single root separator.
+        let a = random_spd(150, 5, 3);
+        let sf = analyzed(&a);
+        let st = analysis_stats(&sf);
+        // The root level holds the tree roots only (few), while some deeper
+        // level must expose real parallelism.
+        let root_level = *st.level_widths.last().unwrap();
+        let max_w = st.level_widths.iter().copied().max().unwrap();
+        assert!(root_level >= 1);
+        assert!(max_w > root_level, "no parallelism: profile {:?}", st.level_widths);
+    }
+}

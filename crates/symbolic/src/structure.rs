@@ -1,0 +1,150 @@
+//! Factor structure: column counts and supernodal row patterns.
+
+use crate::supernodes::SupernodePartition;
+use sympack_sparse::SparseSym;
+
+/// Per-column nonzero counts of `L` (diagonal included), by the row-subtree
+/// counting argument on the elimination tree `parent`.
+pub fn col_counts(a: &SparseSym, parent: &[usize]) -> Vec<usize> {
+    let n = a.n();
+    let mut counts = vec![1usize; n];
+    // Row lists: columns k < r whose pattern contains row r.
+    let mut row_lists: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for k in 0..n {
+        for &r in &a.col_rows(k)[1..] {
+            row_lists[r].push(k);
+        }
+    }
+    let mut mark = vec![usize::MAX; n];
+    for (i, row) in row_lists.iter().enumerate() {
+        mark[i] = i;
+        for &k in row {
+            let mut v = k;
+            while mark[v] != i {
+                mark[v] = i;
+                counts[v] += 1;
+                v = parent[v];
+                if v == usize::MAX {
+                    break;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Below-diagonal row patterns of every supernode.
+///
+/// For each supernode `s`, the returned vector holds the sorted global row
+/// indices of the nonzero rows of `L` strictly below the supernode's last
+/// column. These are the rows of the paper's off-diagonal blocks `B(·,s)`.
+///
+/// The standard supernodal symbolic recursion: the pattern of `s` is the
+/// union of (a) the original-matrix rows of its columns and (b) the patterns
+/// of its children in the supernodal elimination tree, both restricted to
+/// rows past the supernode.
+pub fn sn_patterns(a: &SparseSym, partition: &SupernodePartition) -> Vec<Vec<usize>> {
+    let n = a.n();
+    let ns = partition.n_supernodes();
+    let mut patterns: Vec<Vec<usize>> = Vec::with_capacity(ns);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); ns];
+    let mut mark = vec![usize::MAX; n];
+    for s in 0..ns {
+        let last = partition.last_col(s);
+        let mut pat = Vec::new();
+        for c in partition.cols(s) {
+            for &r in &a.col_rows(c)[1..] {
+                if r > last && mark[r] != s {
+                    mark[r] = s;
+                    pat.push(r);
+                }
+            }
+        }
+        for &t in &children[s] {
+            for &r in &patterns[t] {
+                if r > last && mark[r] != s {
+                    mark[r] = s;
+                    pat.push(r);
+                }
+            }
+        }
+        pat.sort_unstable();
+        if let Some(&first) = pat.first() {
+            let parent_sn = partition.supno(first);
+            debug_assert!(parent_sn > s);
+            children[parent_sn].push(s);
+        }
+        patterns.push(pat);
+    }
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::{etree, postorder};
+    use crate::supernodes::supernodes;
+    use sympack_sparse::gen::random_spd;
+    use sympack_sparse::SparseSym;
+
+    /// Brute-force symbolic factorization: full column patterns of L.
+    fn naive_patterns(a: &SparseSym) -> Vec<std::collections::BTreeSet<usize>> {
+        let n = a.n();
+        let mut pattern: Vec<std::collections::BTreeSet<usize>> =
+            (0..n).map(|c| a.col_rows(c).iter().copied().collect()).collect();
+        for j in 0..n {
+            let below: Vec<usize> = pattern[j].iter().copied().filter(|&r| r > j).collect();
+            if let Some(&p) = below.first() {
+                for &r in &below {
+                    if r != p {
+                        pattern[p].insert(r);
+                    }
+                }
+            }
+        }
+        pattern
+    }
+
+    fn postordered(a: &SparseSym) -> SparseSym {
+        let parent = etree(a);
+        let post = postorder(&parent);
+        a.permute(post.as_slice())
+    }
+
+    #[test]
+    fn col_counts_match_naive() {
+        let a = postordered(&random_spd(50, 4, 33));
+        let parent = etree(&a);
+        let counts = col_counts(&a, &parent);
+        let naive = naive_patterns(&a);
+        for j in 0..a.n() {
+            let expect = naive[j].iter().filter(|&&r| r >= j).count();
+            assert_eq!(counts[j], expect, "column {j}");
+        }
+    }
+
+    #[test]
+    fn sn_patterns_match_naive_per_column() {
+        let a = postordered(&random_spd(60, 5, 7));
+        let parent = etree(&a);
+        let counts = col_counts(&a, &parent);
+        let part = supernodes(&parent, &counts, 64);
+        let pats = sn_patterns(&a, &part);
+        let naive = naive_patterns(&a);
+        for s in 0..part.n_supernodes() {
+            let last = part.last_col(s);
+            // The supernodal pattern must equal the below-supernode rows of
+            // the *last* column of the supernode (fundamental supernodes all
+            // share it).
+            let expect: Vec<usize> =
+                naive[last].iter().copied().filter(|&r| r > last).collect();
+            assert_eq!(pats[s], expect, "supernode {s}");
+            // And every member column's below-supernode pattern matches too.
+            for c in part.cols(s) {
+                let col_pat: Vec<usize> =
+                    naive[c].iter().copied().filter(|&r| r > last).collect();
+                assert_eq!(col_pat, pats[s], "column {c} of supernode {s}");
+            }
+        }
+    }
+}

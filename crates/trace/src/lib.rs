@@ -1,0 +1,224 @@
+//! Execution tracing for the solvers: per-rank task timelines in virtual
+//! time, exportable as a Chrome/Perfetto trace (`chrome://tracing`,
+//! `ui.perfetto.dev`) for visualizing the fan-out schedule — which tasks
+//! overlapped, where ranks idled, how communication hid behind compute.
+
+/// Category of a traced interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCat {
+    /// Diagonal factorization (POTRF).
+    Potrf,
+    /// Panel factorization (TRSM).
+    Trsm,
+    /// Symmetric update (SYRK).
+    Syrk,
+    /// General update (GEMM).
+    Gemm,
+    /// Communication (get/copy wait).
+    Comm,
+    /// Triangular-solve work.
+    Solve,
+    /// Anything else.
+    Other,
+}
+
+impl TraceCat {
+    /// Stable lowercase label used in exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceCat::Potrf => "potrf",
+            TraceCat::Trsm => "trsm",
+            TraceCat::Syrk => "syrk",
+            TraceCat::Gemm => "gemm",
+            TraceCat::Comm => "comm",
+            TraceCat::Solve => "solve",
+            TraceCat::Other => "other",
+        }
+    }
+}
+
+/// One traced interval on one rank, in virtual seconds.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Rank the interval executed on.
+    pub rank: usize,
+    /// Human-readable label, e.g. `D(12)` or `U(3,7,5)`.
+    pub name: String,
+    /// Category for coloring/filtering.
+    pub cat: TraceCat,
+    /// Virtual start time (seconds).
+    pub start: f64,
+    /// Duration (seconds).
+    pub dur: f64,
+}
+
+/// A per-rank event collector.
+#[derive(Debug, Default, Clone)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// New empty tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Record one interval.
+    pub fn record(
+        &mut self,
+        rank: usize,
+        name: impl Into<String>,
+        cat: TraceCat,
+        start: f64,
+        dur: f64,
+    ) {
+        self.events.push(TraceEvent { rank, name: name.into(), cat, start, dur });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consume into the event list.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+/// Merge per-rank event lists into one timeline sorted by start time.
+pub fn merge(mut lists: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let mut all: Vec<TraceEvent> = lists.drain(..).flatten().collect();
+    all.sort_by(|a, b| a.start.total_cmp(&b.start));
+    all
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize a timeline as Chrome trace-event JSON (phase `X` complete
+/// events; virtual seconds mapped to microseconds; one "process" per rank).
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let rows: Vec<String> = events
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":0}}",
+                json_escape(&e.name),
+                e.cat.label(),
+                e.start * 1e6,
+                e.dur * 1e6,
+                e.rank,
+            )
+        })
+        .collect();
+    format!("{{\"traceEvents\":[\n{}\n]}}", rows.join(",\n"))
+}
+
+/// Per-rank busy-time summary from a timeline.
+pub fn busy_fractions(events: &[TraceEvent], makespan: f64, n_ranks: usize) -> Vec<f64> {
+    let mut busy = vec![0.0f64; n_ranks];
+    for e in events {
+        if e.rank < n_ranks {
+            busy[e.rank] += e.dur;
+        }
+    }
+    busy.iter().map(|b| if makespan > 0.0 { b / makespan } else { 0.0 }).collect()
+}
+
+/// Total time per category (seconds).
+pub fn time_by_category(events: &[TraceEvent]) -> Vec<(TraceCat, f64)> {
+    let cats = [
+        TraceCat::Potrf,
+        TraceCat::Trsm,
+        TraceCat::Syrk,
+        TraceCat::Gemm,
+        TraceCat::Comm,
+        TraceCat::Solve,
+        TraceCat::Other,
+    ];
+    cats.iter()
+        .map(|&c| (c, events.iter().filter(|e| e.cat == c).map(|e| e.dur).sum()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge_sorts_by_start() {
+        let mut t0 = Tracer::new();
+        t0.record(0, "D(1)", TraceCat::Potrf, 2.0, 0.5);
+        let mut t1 = Tracer::new();
+        t1.record(1, "U(1,2,3)", TraceCat::Gemm, 1.0, 0.25);
+        let merged = merge(vec![t0.into_events(), t1.into_events()]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].name, "U(1,2,3)");
+        assert_eq!(merged[1].name, "D(1)");
+    }
+
+    #[test]
+    fn chrome_json_is_valid_shape() {
+        let mut t = Tracer::new();
+        t.record(0, "D(0)", TraceCat::Potrf, 0.0, 1e-6);
+        t.record(3, "F(1,0)", TraceCat::Trsm, 1e-6, 2e-6);
+        let json = to_chrome_json(&t.into_events());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"D(0)\""));
+        assert!(json.contains("\"cat\":\"potrf\""));
+        assert!(json.contains("\"pid\":3"));
+        assert!(json.trim_end().ends_with("]}"));
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut t = Tracer::new();
+        t.record(0, "weird\"name\\x", TraceCat::Other, 0.0, 1.0);
+        let json = to_chrome_json(&t.into_events());
+        assert!(json.contains("weird\\\"name\\\\x"));
+    }
+
+    #[test]
+    fn busy_fractions_sum_durations() {
+        let mut t = Tracer::new();
+        t.record(0, "a", TraceCat::Gemm, 0.0, 2.0);
+        t.record(0, "b", TraceCat::Gemm, 2.0, 2.0);
+        t.record(1, "c", TraceCat::Gemm, 0.0, 1.0);
+        let f = busy_fractions(&t.into_events(), 8.0, 2);
+        assert_eq!(f, vec![0.5, 0.125]);
+    }
+
+    #[test]
+    fn category_totals() {
+        let mut t = Tracer::new();
+        t.record(0, "a", TraceCat::Gemm, 0.0, 2.0);
+        t.record(1, "b", TraceCat::Potrf, 0.0, 1.5);
+        t.record(0, "c", TraceCat::Gemm, 2.0, 1.0);
+        let by_cat = time_by_category(&t.into_events());
+        let gemm = by_cat.iter().find(|(c, _)| *c == TraceCat::Gemm).unwrap().1;
+        let potrf = by_cat.iter().find(|(c, _)| *c == TraceCat::Potrf).unwrap().1;
+        assert_eq!(gemm, 3.0);
+        assert_eq!(potrf, 1.5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-solver integration tests: symPACK-rs, the right-looking baseline
+//! and a dense oracle must agree on identical inputs.
+
+use sympack::{SolverOptions, SymPack};
+use sympack_baseline::{baseline_factor_and_solve, BaselineOptions};
+use sympack_dense::Mat;
+use sympack_sparse::gen;
+use sympack_sparse::vecops::{max_abs_diff, test_rhs};
+use sympack_sparse::SparseSym;
+
+/// Dense Cholesky oracle: solve via `sympack-dense` on the full matrix.
+fn dense_solve(a: &SparseSym, b: &[f64]) -> Vec<f64> {
+    let n = a.n();
+    let mut m = Mat::zeros(n, n);
+    for c in 0..n {
+        for r in 0..n {
+            m[(r, c)] = a.get(r, c);
+        }
+    }
+    sympack_dense::potrf(&mut m).expect("oracle requires SPD");
+    m.zero_upper();
+    let mut rhs = b.to_vec();
+    sympack::trisolve::forward_subst(&m, &mut rhs);
+    sympack::trisolve::backward_subst(&m, &mut rhs);
+    rhs
+}
+
+#[test]
+fn three_way_agreement_on_random_spd() {
+    for seed in [1u64, 2, 3] {
+        let a = gen::random_spd(90, 5, seed);
+        let b = test_rhs(90);
+        let oracle = dense_solve(&a, &b);
+        let sp = SymPack::factor_and_solve(&a, &b, &SolverOptions::default());
+        let bl = baseline_factor_and_solve(&a, &b, &BaselineOptions::default());
+        let scale = oracle.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        assert!(max_abs_diff(&sp.x, &oracle) / scale < 1e-9, "seed {seed}: symPACK vs oracle");
+        assert!(max_abs_diff(&bl.x, &oracle) / scale < 1e-9, "seed {seed}: baseline vs oracle");
+    }
+}
+
+#[test]
+fn three_way_agreement_on_structured_problems() {
+    for a in [gen::laplacian_2d(8, 9), gen::flan_like(4, 3, 3), gen::bone_like(3, 3, 2)] {
+        let b = test_rhs(a.n());
+        let oracle = dense_solve(&a, &b);
+        let sp = SymPack::factor_and_solve(&a, &b, &SolverOptions::default());
+        let bl = baseline_factor_and_solve(&a, &b, &BaselineOptions::default());
+        let scale = oracle.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        assert!(max_abs_diff(&sp.x, &oracle) / scale < 1e-9);
+        assert!(max_abs_diff(&bl.x, &oracle) / scale < 1e-9);
+    }
+}
+
+#[test]
+fn solver_reports_same_structure_counts() {
+    // Both solvers run the identical analysis, so their total kernel call
+    // counts must match exactly (same supernodes, same blocks, same tasks).
+    let a = gen::laplacian_2d(10, 10);
+    let b = test_rhs(a.n());
+    let sp = SymPack::factor_and_solve(
+        &a,
+        &b,
+        &SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() },
+    );
+    let bl = baseline_factor_and_solve(
+        &a,
+        &b,
+        &BaselineOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() },
+    );
+    let total = |counts: &[sympack_gpu::OpCounts]| {
+        let mut t = sympack_gpu::OpCounts::default();
+        for c in counts {
+            t.merge(c);
+        }
+        // Compare cpu+gpu totals per op (placement may differ; volume not).
+        sympack_gpu::Op::ALL.map(|op| {
+            let (c, g) = t.get(op);
+            c + g
+        })
+    };
+    // symPACK's op_counts cover the factorization only; the baseline's too.
+    assert_eq!(total(&sp.op_counts), total(&bl.op_counts));
+}
+
+#[test]
+fn symPACK_beats_baseline_on_modeled_time_at_scale() {
+    // The paper's headline claim, at reproduction scale: on a 3D problem
+    // with several nodes, the fan-out solver's modeled makespan beats the
+    // right-looking 1D baseline by a clear margin.
+    let a = gen::flan_like(8, 8, 8);
+    let b = test_rhs(a.n());
+    let sp = SymPack::factor_and_solve(
+        &a,
+        &b,
+        &SolverOptions { n_nodes: 4, ranks_per_node: 2, ..Default::default() },
+    );
+    let bl = baseline_factor_and_solve(
+        &a,
+        &b,
+        &BaselineOptions { n_nodes: 4, ranks_per_node: 2, ..Default::default() },
+    );
+    assert!(
+        sp.factor_time < bl.factor_time,
+        "symPACK {} vs baseline {}",
+        sp.factor_time,
+        bl.factor_time
+    );
+    assert!(sp.solve_time < bl.solve_time);
+}
+
+#[allow(non_snake_case)]
+fn _naming_note() {}

@@ -1,0 +1,116 @@
+//! Failure-injection integration tests: non-SPD inputs, device memory
+//! exhaustion under both fallback policies (§4.2), and malformed files.
+
+#![allow(non_snake_case)]
+
+use sympack::{SolverError, SolverOptions, SymPack};
+use sympack_gpu::OomPolicy;
+use sympack_sparse::gen;
+use sympack_sparse::vecops::test_rhs;
+use sympack_sparse::{Coo, SparseSym};
+
+/// Flip the sign of diagonal entry `k` of a SPD matrix.
+fn break_spd(a: &SparseSym, k: usize) -> SparseSym {
+    let n = a.n();
+    let mut coo = Coo::new(n, n);
+    for c in 0..n {
+        for (&r, &v) in a.col_rows(c).iter().zip(a.col_values(c)) {
+            let v = if r == k && c == k { -v } else { v };
+            coo.push(r, c, v).unwrap();
+        }
+    }
+    coo.to_csc().to_lower_sym()
+}
+
+#[test]
+fn indefinite_matrix_fails_cleanly_on_every_rank_count() {
+    let good = gen::laplacian_2d(8, 8);
+    let bad = break_spd(&good, 30);
+    let b = test_rhs(bad.n());
+    for (nodes, ppn) in [(1, 1), (2, 2), (4, 2)] {
+        let opts = SolverOptions { n_nodes: nodes, ranks_per_node: ppn, ..Default::default() };
+        match SymPack::try_factor_and_solve(&bad, &b, &opts) {
+            Err(SolverError::NotPositiveDefinite { .. }) => {}
+            other => panic!("nodes={nodes} ppn={ppn}: expected failure, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn indefinite_failure_position_is_plausible() {
+    // A semidefinite matrix (rank-deficient) must also fail; the reported
+    // column is in the permuted ordering so we only check the range.
+    let mut coo = Coo::new(20, 20);
+    for i in 0..20 {
+        coo.push(i, i, 1.0).unwrap();
+    }
+    // Two identical coupled rows -> singular 2x2 principal minor somewhere.
+    coo.push_sym(11, 10, 1.0).unwrap();
+    let a = coo.to_csc().to_lower_sym();
+    match SymPack::try_factor_and_solve(&a, &test_rhs(20), &SolverOptions::default()) {
+        Err(SolverError::NotPositiveDefinite { column }) => assert!(column < 20),
+        other => panic!("expected NotPositiveDefinite, got {other:?}"),
+    }
+}
+
+#[test]
+fn device_oom_cpu_fallback_still_solves() {
+    let a = gen::flan_like(6, 6, 6);
+    let b = test_rhs(a.n());
+    let mut opts = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    opts.device_quota = 8 << 10; // far below the biggest block
+    opts.oom_policy = OomPolicy::CpuFallback;
+    let r = SymPack::try_factor_and_solve(&a, &b, &opts).expect("fallback must complete");
+    assert!(r.relative_residual < 1e-9);
+}
+
+#[test]
+fn device_oom_abort_policy_raises() {
+    // Needs a problem big enough that some fanned-out block crosses the
+    // device-copy threshold (64x64 elements).
+    let a = gen::flan_like(12, 12, 12);
+    let b = test_rhs(a.n());
+    let mut opts = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    opts.device_quota = 8 << 10;
+    opts.oom_policy = OomPolicy::Abort;
+    match SymPack::try_factor_and_solve(&a, &b, &opts) {
+        Err(SolverError::DeviceOom { requested, available }) => {
+            assert!(requested > available);
+        }
+        other => panic!("expected DeviceOom, got {other:?}"),
+    }
+}
+
+#[test]
+fn unlimited_quota_never_oomss() {
+    let a = gen::flan_like(5, 5, 5);
+    let b = test_rhs(a.n());
+    let mut opts = SolverOptions { n_nodes: 2, ranks_per_node: 1, ..Default::default() };
+    opts.oom_policy = OomPolicy::Abort; // would fail loudly if quota hit
+    let r = SymPack::try_factor_and_solve(&a, &b, &opts).expect("no quota, no OOM");
+    assert!(r.relative_residual < 1e-9);
+}
+
+#[test]
+fn malformed_matrix_files_are_rejected_not_panicked() {
+    use sympack_sparse::io::{mm, rb};
+    // Matrix Market failures.
+    for text in [
+        "",                                                     // empty
+        "%%MatrixMarket matrix coordinate real general\n",      // no size
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5.0\n", // 0-based index
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5.0\n", // out of range
+        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", // complex
+    ] {
+        assert!(mm::read(text.as_bytes()).is_err(), "accepted: {text:?}");
+    }
+    // Rutherford-Boeing failures.
+    for text in [
+        "",                               // empty
+        "t\n1 1 1 1\n",                   // truncated header
+        "t\n1 1 1 1\nrua 2 2 1 0\nfmt\n", // unsymmetric type
+        "t\n1 1 1 1\nrsa 2 2 9 0\nfmt\n1 2 3\n", // token shortfall
+    ] {
+        assert!(rb::read(text.as_bytes()).is_err(), "accepted: {text:?}");
+    }
+}

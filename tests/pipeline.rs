@@ -1,0 +1,155 @@
+//! End-to-end pipeline integration tests: generate → order → analyze →
+//! factorize → solve, across problem classes, rank counts, orderings, GPU
+//! modes and block sizes — verified against the original matrix every time.
+
+use sympack::{ProcGrid, RtqPolicy, SolverOptions, SymPack};
+use sympack_ordering::OrderingKind;
+use sympack_sparse::gen;
+use sympack_sparse::vecops::test_rhs;
+use sympack_symbolic::AnalyzeOptions;
+
+fn solve_and_check(a: &sympack_sparse::SparseSym, opts: &SolverOptions) {
+    let b = test_rhs(a.n());
+    let r = SymPack::factor_and_solve(a, &b, opts);
+    assert!(
+        r.relative_residual < 1e-9,
+        "residual {} with {opts:?}",
+        r.relative_residual
+    );
+}
+
+#[test]
+fn all_problem_classes_solve() {
+    for a in [
+        gen::laplacian_2d(12, 11),
+        gen::laplacian_3d(6, 5, 4),
+        gen::flan_like(5, 5, 5),
+        gen::bone_like(4, 4, 3),
+        gen::thermal_like(15, 14, 0.3, 5),
+        gen::random_spd(150, 6, 44),
+    ] {
+        solve_and_check(&a, &SolverOptions::default());
+    }
+}
+
+#[test]
+fn rank_counts_sweep() {
+    let a = gen::laplacian_2d(14, 14);
+    for (nodes, ppn) in [(1, 1), (1, 3), (2, 2), (3, 2), (2, 4), (8, 1)] {
+        solve_and_check(
+            &a,
+            &SolverOptions { n_nodes: nodes, ranks_per_node: ppn, ..Default::default() },
+        );
+    }
+}
+
+#[test]
+fn orderings_sweep() {
+    let a = gen::thermal_like(13, 13, 0.4, 9);
+    for kind in [
+        OrderingKind::Natural,
+        OrderingKind::Rcm,
+        OrderingKind::MinDegree,
+        OrderingKind::NestedDissection,
+    ] {
+        solve_and_check(&a, &SolverOptions { ordering: kind, ..Default::default() });
+    }
+}
+
+#[test]
+fn supernode_width_and_amalgamation_sweep() {
+    let a = gen::laplacian_3d(5, 5, 5);
+    for max_sn_width in [1, 4, 16, 128] {
+        for amalgamation_ratio in [0.0, 0.2, 0.5] {
+            solve_and_check(
+                &a,
+                &SolverOptions {
+                    analyze: AnalyzeOptions { max_sn_width, amalgamation_ratio },
+                    ..Default::default()
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_shapes() {
+    // 1x1 matrix.
+    let mut coo = sympack_sparse::Coo::new(1, 1);
+    coo.push(0, 0, 4.0).unwrap();
+    let a = coo.to_csc().to_lower_sym();
+    solve_and_check(&a, &SolverOptions::default());
+    // Diagonal matrix (no off-diagonal structure at all).
+    let mut coo = sympack_sparse::Coo::new(9, 9);
+    for i in 0..9 {
+        coo.push(i, i, (i + 1) as f64).unwrap();
+    }
+    solve_and_check(&coo.to_csc().to_lower_sym(), &SolverOptions::default());
+    // More ranks than supernodes.
+    let mut coo = sympack_sparse::Coo::new(3, 3);
+    for i in 0..3 {
+        coo.push(i, i, 2.0).unwrap();
+    }
+    solve_and_check(
+        &coo.to_csc().to_lower_sym(),
+        &SolverOptions { n_nodes: 4, ranks_per_node: 2, ..Default::default() },
+    );
+}
+
+#[test]
+fn grid_shapes_and_policies() {
+    let a = gen::random_spd(120, 5, 77);
+    for grid in [ProcGrid::new(1, 6), ProcGrid::new(6, 1), ProcGrid::new(2, 3), ProcGrid::new(3, 2)]
+    {
+        for policy in [RtqPolicy::Lifo, RtqPolicy::Fifo, RtqPolicy::CriticalPath] {
+            solve_and_check(
+                &a,
+                &SolverOptions {
+                    n_nodes: 3,
+                    ranks_per_node: 2,
+                    grid: Some(grid),
+                    rtq_policy: policy,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_kinds_modes_agree_numerically() {
+    let a = gen::flan_like(4, 4, 4);
+    let b = test_rhs(a.n());
+    let mut native = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    native.net.mode = sympack_pgas::MemKindsMode::Native;
+    let mut reference = native.clone();
+    reference.net.mode = sympack_pgas::MemKindsMode::Reference;
+    let rn = SymPack::factor_and_solve(&a, &b, &native);
+    let rr = SymPack::factor_and_solve(&a, &b, &reference);
+    assert!(rn.relative_residual < 1e-10);
+    assert!(rr.relative_residual < 1e-10);
+    let d = sympack_sparse::vecops::max_abs_diff(&rn.x, &rr.x);
+    assert!(d < 1e-9, "memory-kinds mode changed the numerics: {d}");
+}
+
+#[test]
+fn io_roundtrip_through_rutherford_boeing_solves() {
+    // Write the matrix out in the paper's symPACK input format, read it
+    // back, and solve — the full user path for SuiteSparse downloads.
+    let a = gen::laplacian_2d(9, 9);
+    let mut buf = Vec::new();
+    sympack_sparse::io::rb::write(&mut buf, &a, "laplacian 9x9").unwrap();
+    let back = sympack_sparse::io::rb::read(&buf[..]).unwrap();
+    assert_eq!(back, a);
+    solve_and_check(&back, &SolverOptions::default());
+}
+
+#[test]
+fn io_roundtrip_through_matrix_market_solves() {
+    // The baseline (PaStiX) input format.
+    let a = gen::random_spd(60, 4, 3);
+    let mut buf = Vec::new();
+    sympack_sparse::io::mm::write_sym(&mut buf, &a).unwrap();
+    let back = sympack_sparse::io::mm::read(&buf[..]).unwrap().to_lower_sym();
+    solve_and_check(&back, &SolverOptions::default());
+}

@@ -1,0 +1,140 @@
+//! Property-based integration tests: the solver must produce small
+//! residuals for *arbitrary* SPD matrices, rank layouts, orderings and
+//! supernode configurations — and the distributed answer must match the
+//! single-rank answer bit-for-bit up to floating-point reduction order.
+
+use proptest::prelude::*;
+use sympack::{SolverOptions, SymPack};
+use sympack_ordering::OrderingKind;
+use sympack_sparse::gen::random_spd;
+use sympack_sparse::vecops::{max_abs_diff, norm_inf};
+use sympack_symbolic::AnalyzeOptions;
+
+fn ordering_strategy() -> impl Strategy<Value = OrderingKind> {
+    prop_oneof![
+        Just(OrderingKind::Natural),
+        Just(OrderingKind::Rcm),
+        Just(OrderingKind::MinDegree),
+        Just(OrderingKind::NestedDissection),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_spd_systems_solve_to_tolerance(
+        n in 10usize..120,
+        degree in 2usize..7,
+        seed in 0u64..1000,
+        nodes in 1usize..4,
+        ppn in 1usize..3,
+        ordering in ordering_strategy(),
+        max_sn_width in prop_oneof![Just(2usize), Just(8), Just(32), Just(128)],
+        amalgamation in prop_oneof![Just(0.0f64), Just(0.15), Just(0.4)],
+    ) {
+        let a = random_spd(n, degree, seed);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64 - 6.0).collect();
+        let opts = SolverOptions {
+            ordering,
+            analyze: AnalyzeOptions { max_sn_width, amalgamation_ratio: amalgamation },
+            n_nodes: nodes,
+            ranks_per_node: ppn,
+            ..Default::default()
+        };
+        let r = SymPack::factor_and_solve(&a, &b, &opts);
+        prop_assert!(
+            r.relative_residual < 1e-9,
+            "residual {} (n={n}, seed={seed}, {ordering:?})",
+            r.relative_residual
+        );
+    }
+
+    #[test]
+    fn distributed_matches_serial(
+        n in 20usize..100,
+        seed in 0u64..500,
+        nodes in 2usize..5,
+    ) {
+        let a = random_spd(n, 4, seed);
+        let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let serial = SymPack::factor_and_solve(
+            &a, &b,
+            &SolverOptions { n_nodes: 1, ranks_per_node: 1, ..Default::default() },
+        );
+        let dist = SymPack::factor_and_solve(
+            &a, &b,
+            &SolverOptions { n_nodes: nodes, ranks_per_node: 2, ..Default::default() },
+        );
+        let scale = norm_inf(&serial.x).max(1.0);
+        prop_assert!(
+            max_abs_diff(&serial.x, &dist.x) / scale < 1e-8,
+            "serial and distributed answers diverge (n={n}, seed={seed}, nodes={nodes})"
+        );
+    }
+
+    #[test]
+    fn factor_structure_counts_are_ordering_invariants(
+        n in 20usize..90,
+        seed in 0u64..300,
+    ) {
+        // nnz(L) from the analysis must match what the ordering crate's
+        // independent count predicts for the same permutation.
+        let a = random_spd(n, 4, seed);
+        let opts = SolverOptions::default();
+        let sf = SymPack::analyze_only(&a, &opts);
+        let perm = sympack_ordering::Permutation::from_vec(sf.perm.as_slice().to_vec());
+        let expect = sympack_ordering::metrics::factor_nnz(&a, &perm);
+        // Without amalgamation the counts must agree exactly; with it the
+        // symbolic count can only grow (explicit zeros).
+        prop_assert!(sf.l_nnz >= expect, "analysis lost structure");
+        let no_amalg = SymPack::analyze_only(
+            &a,
+            &SolverOptions {
+                analyze: AnalyzeOptions { amalgamation_ratio: 0.0, ..Default::default() },
+                ..opts
+            },
+        );
+        prop_assert_eq!(no_amalg.l_nnz, expect, "exact count mismatch");
+    }
+}
+
+#[test]
+fn multi_rhs_matches_individual_solves() {
+    let a = random_spd(80, 5, 42);
+    let bs: Vec<Vec<f64>> = (0..3)
+        .map(|k| (0..80).map(|i| ((i * (k + 2) + 1) % 9) as f64 - 4.0).collect())
+        .collect();
+    let opts = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    let multi = SymPack::try_factor_and_solve_multi(&a, &bs, &opts).unwrap();
+    assert_eq!(multi.xs.len(), 3);
+    assert_eq!(multi.solve_times.len(), 3);
+    for (k, b) in bs.iter().enumerate() {
+        assert!(multi.relative_residuals[k] < 1e-10);
+        let single = SymPack::factor_and_solve(&a, b, &opts);
+        let d = max_abs_diff(&multi.xs[k], &single.x);
+        assert!(d < 1e-9, "rhs {k}: multi vs single diverge by {d}");
+    }
+}
+
+#[test]
+fn iterative_refinement_improves_or_holds_residual() {
+    // Mildly ill-conditioned problem: refinement must not hurt and usually
+    // tightens the residual.
+    let a = random_spd(100, 5, 9);
+    let b: Vec<f64> = (0..100).map(|i| ((i * 11 + 5) % 23) as f64 - 11.0).collect();
+    let base = SymPack::factor_and_solve(
+        &a,
+        &b,
+        &SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() },
+    );
+    let refined = SymPack::factor_and_solve(
+        &a,
+        &b,
+        &SolverOptions { n_nodes: 2, ranks_per_node: 2, refine_steps: 2, ..Default::default() },
+    );
+    assert!(refined.relative_residual <= base.relative_residual * 10.0);
+    assert!(refined.relative_residual < 1e-12);
+    // Refinement costs extra solve time.
+    assert!(refined.solve_time > base.solve_time);
+}
