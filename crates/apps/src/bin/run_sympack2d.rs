@@ -45,7 +45,9 @@ fn parse_args() -> Result<Args, String> {
     let mut i = 0;
     while i < argv.len() {
         let need = |i: usize| -> Result<String, String> {
-            argv.get(i + 1).cloned().ok_or_else(|| format!("{} needs a value", argv[i]))
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
         };
         match argv[i].as_str() {
             "-in" => {
@@ -143,7 +145,11 @@ fn main() -> ExitCode {
     };
     println!("matrix: n = {}, nnz = {}", a.n(), a.nnz_full());
     let bs: Vec<Vec<f64>> = (0..args.nrhs)
-        .map(|k| (0..a.n()).map(|i| ((i * (k + 3) + 1) % 17) as f64 - 8.0).collect())
+        .map(|k| {
+            (0..a.n())
+                .map(|i| ((i * (k + 3) + 1) % 17) as f64 - 8.0)
+                .collect()
+        })
         .collect();
     if args.baseline {
         let opts = BaselineOptions {
@@ -170,10 +176,16 @@ fn main() -> ExitCode {
     match SymPack::try_factor_and_solve_multi(&a, &bs, &opts) {
         Ok(r) => {
             println!("solver: symPACK-rs (fan-out, 2D block-cyclic)");
-            println!("supernodes: {}, nnz(L) = {}, flops = {:.3e}", r.n_supernodes, r.l_nnz, r.flops as f64);
+            println!(
+                "supernodes: {}, nnz(L) = {}, flops = {:.3e}",
+                r.n_supernodes, r.l_nnz, r.flops as f64
+            );
             println!("factorization time: {:.6} s (modeled)", r.factor_time);
             for (k, t) in r.solve_times.iter().enumerate() {
-                println!("solve {k}: {:.6} s (modeled), residual {:.3e}", t, r.relative_residuals[k]);
+                println!(
+                    "solve {k}: {:.6} s (modeled), residual {:.3e}",
+                    t, r.relative_residuals[k]
+                );
             }
             ExitCode::SUCCESS
         }

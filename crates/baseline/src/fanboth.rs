@@ -16,410 +16,384 @@
 //! * each rank accumulates all of its products for a target block `(a,b)`
 //!   in one aggregation buffer and ships it **once** — the fan-in economy.
 //!
-//! Everything else (2D block-cyclic ownership of blocks and of the `D`/`F`
-//! tasks, asynchronous signal + one-sided get transport) matches the
-//! fan-out solver, so the comparison in the `taxonomy` bench isolates the
-//! communication family.
+//! Everything else matches the fan-out solver: 2D block-cyclic ownership,
+//! asynchronous signal + one-sided get transport, and the same task species
+//! — fan-both schedules the fan-out's own [`TaskKey`] through the shared
+//! [`sympack::sched::TaskEngine`], so the comparison in the `taxonomy`
+//! bench isolates the communication family.
 
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack::map2d::ProcGrid;
+use sympack::sched::{self, FetchConfig, TaskEngine};
 use sympack::storage::BlockStore;
-use sympack::trisolve;
+use sympack::trisolve::{self, SolveParams};
+use sympack::TaskKey;
 use sympack_dense::Mat;
 use sympack_gpu::KernelEngine;
-use sympack_pgas::{GlobalPtr, MemKind, PgasConfig, Rank, Runtime};
 use sympack_ordering::compute_ordering;
+use sympack_pgas::{GlobalPtr, MemKind, PgasConfig, Rank, Runtime};
 use sympack_sparse::SparseSym;
 use sympack_symbolic::{analyze, SymbolicFactor};
+use sympack_trace::Tracer;
 
-use crate::rightlooking::{BaselineOptions, BaselineReport};
+use crate::rightlooking::{build_report, BaselineOptions, BaselineReport, RankOut};
 
 /// Incoming notifications.
+#[derive(Debug, Clone, Copy)]
 enum Msg {
-    /// A factored block `L(i,j)` is available at `ptr` (rows × cols known
-    /// from the layout).
-    Factor { ptr: GlobalPtr, i: usize, j: usize, rows: usize, cols: usize },
-    /// An aggregate for target block `(a,b)` is available at `ptr`.
-    Aggregate { ptr: GlobalPtr, a: usize, b: usize, rows: usize, cols: usize },
-}
-
-struct FbState {
-    pending: Vec<Msg>,
-}
-
-struct RankOut {
-    factor_time: f64,
-    solve_time: f64,
-    counts: sympack_gpu::OpCounts,
-    x_pieces: Vec<(usize, Vec<f64>)>,
-}
-
-/// Factor and solve with the fan-both algorithm on a 2D grid.
-pub fn fanboth_factor_and_solve(
-    a: &SparseSym,
-    b: &[f64],
-    opts: &BaselineOptions,
-) -> BaselineReport {
-    assert_eq!(b.len(), a.n());
-    let ordering = compute_ordering(a, opts.ordering);
-    let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
-    let ap = Arc::new(a.permute(sf.perm.as_slice()));
-    let bp = Arc::new(sf.perm.apply_vec(b));
-    let p = opts.n_nodes * opts.ranks_per_node;
-    let grid = ProcGrid::squarest(p);
-    let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
-    config.net = opts.net.clone();
-    let opts2 = opts.clone();
-    let report = Runtime::run(config, |rank| run_rank(rank, &sf, &ap, &bp, grid, &opts2));
-    let outs = report.results;
-    let n = a.n();
-    let mut xp = vec![0.0; n];
-    for out in &outs {
-        for (sn, piece) in &out.x_pieces {
-            let first = sf.partition.first_col(*sn);
-            xp[first..first + piece.len()].copy_from_slice(piece);
-        }
-    }
-    let x = sf.perm.unapply_vec(&xp);
-    let relative_residual = a.relative_residual(&x, b);
-    BaselineReport {
-        x,
-        relative_residual,
-        factor_time: outs.iter().map(|o| o.factor_time).fold(0.0, f64::max),
-        solve_time: outs.iter().map(|o| o.solve_time).fold(0.0, f64::max),
-        op_counts: outs.iter().map(|o| o.counts).collect(),
-        stats: report.stats,
-    }
-}
-
-#[allow(clippy::too_many_lines)]
-fn run_rank(
-    rank: &mut Rank,
-    sf: &Arc<SymbolicFactor>,
-    ap: &SparseSym,
-    bp: &[f64],
-    grid: ProcGrid,
-    opts: &BaselineOptions,
-) -> RankOut {
-    let me = rank.id();
-    let ns = sf.n_supernodes();
-    let mut kernels =
-        if opts.gpu { KernelEngine::new_gpu() } else { KernelEngine::new_cpu() };
-    if let Some(t) = &opts.thresholds {
-        kernels.thresholds = t.clone();
-    }
-    let mut store = BlockStore::init(sf, ap, &grid, me);
-
-    // ---- static task analysis ----------------------------------------
-    // For each pair (a >= b) of targets of supernode j, the update computes
-    // on cmap = map(a, j) and lands on map(a, b).
-    // contrib_ranks[(a,b)]: distinct compute ranks -> target dep counts.
-    // my_updates grouped by source block (a, j) and by needed factor (b, j).
-    let mut contrib_ranks: HashMap<(usize, usize), std::collections::HashSet<usize>> =
-        HashMap::new();
-    // (j, a, b) tasks assigned to me.
-    #[derive(Clone, Copy)]
-    struct Upd {
+    /// A factored block `L(i,j)` is available at `ptr`.
+    Factor {
+        ptr: GlobalPtr,
+        i: usize,
         j: usize,
+        rows: usize,
+        cols: usize,
+    },
+    /// An aggregate for target block `(a,b)` is available at `ptr`.
+    Aggregate {
+        ptr: GlobalPtr,
         a: usize,
         b: usize,
-        deps: usize,
-    }
-    let mut my_updates: Vec<Upd> = Vec::new();
-    // For each input factor block (i, j), the indices of my updates using it.
-    let mut consumers: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
-    let mut my_contribs: HashMap<(usize, usize), usize> = HashMap::new();
-    for j in 0..ns {
-        let blocks = sf.layout.blocks_of(j);
-        for (bi, bb) in blocks.iter().enumerate() {
-            for ba in &blocks[bi..] {
-                let (a, b) = (ba.target, bb.target);
-                let cmap = grid.map(a, j);
-                contrib_ranks.entry((a, b)).or_default().insert(cmap);
-                if cmap == me {
-                    let deps = if a == b { 1 } else { 2 };
-                    let idx = my_updates.len();
-                    my_updates.push(Upd { j, a, b, deps });
-                    consumers.entry((a, j)).or_default().push(idx);
-                    if a != b {
-                        consumers.entry((b, j)).or_default().push(idx);
-                    }
-                    *my_contribs.entry((a, b)).or_default() += 1;
-                }
-            }
-        }
-    }
-    // D/F tasks owned by me with dependency counters.
-    let mut diag_deps: HashMap<usize, usize> = HashMap::new();
-    let mut panel_deps: HashMap<(usize, usize), usize> = HashMap::new();
-    let mut my_tasks_total = my_updates.len();
-    for j in 0..ns {
-        if grid.map(j, j) == me {
-            diag_deps.insert(j, contrib_ranks.get(&(j, j)).map_or(0, |s| s.len()));
-            my_tasks_total += 1;
-        }
-        for bb in sf.layout.blocks_of(j) {
-            let i = bb.target;
-            if grid.map(i, j) == me {
-                panel_deps
-                    .insert((i, j), 1 + contrib_ranks.get(&(i, j)).map_or(0, |s| s.len()));
-                my_tasks_total += 1;
-            }
-        }
-    }
-    let aggs_to_send = my_contribs.len();
+        rows: usize,
+        cols: usize,
+    },
+}
 
-    // ---- runtime state -------------------------------------------------
-    // Factored blocks available locally (own or fetched).
-    let mut inputs: HashMap<(usize, usize), Mat> = HashMap::new();
-    // Aggregation buffers per target block.
-    let mut aggs: HashMap<(usize, usize), Mat> = HashMap::new();
-    let mut tasks_done = 0usize;
-    let mut aggs_sent = 0usize;
-    let mut ready_updates: Vec<usize> = Vec::new();
-    let mut ready_diags: Vec<usize> =
-        diag_deps.iter().filter(|(_, &d)| d == 0).map(|(&j, _)| j).collect();
-    ready_diags.sort_unstable();
-    let mut ready_panels: Vec<(usize, usize)> = Vec::new();
-    let start = rank.now();
-    rank.set_state(FbState { pending: Vec::new() });
-
-    // Helper closures are impossible with this much shared state; use a
-    // plain event loop instead.
-    loop {
-        rank.progress();
-        let msgs = rank.with_state::<FbState, _>(|_, st| std::mem::take(&mut st.pending));
-        for m in msgs {
-            match m {
-                Msg::Factor { ptr, i, j, rows, cols } => {
-                    let h = rank.rget(&ptr);
-                    let data = Mat::from_col_major(rows, cols, h.into_data());
-                    inputs.insert((i, j), data);
-                    if i == j {
-                        // A diagonal factor unlocks this rank's panel tasks
-                        // of supernode j.
-                        for bb in sf.layout.blocks_of(j) {
-                            let t = bb.target;
-                            if let Some(d) = panel_deps.get_mut(&(t, j)) {
-                                *d -= 1;
-                                if *d == 0 {
-                                    ready_panels.push((t, j));
-                                }
-                            }
-                        }
-                    }
-                    if let Some(list) = consumers.get(&(i, j)) {
-                        for &idx in list {
-                            my_updates[idx].deps -= 1;
-                            if my_updates[idx].deps == 0 {
-                                ready_updates.push(idx);
-                            }
-                        }
-                    }
-                }
-                Msg::Aggregate { ptr, a, b, rows, cols } => {
-                    let h = rank.rget(&ptr);
-                    let buf = Mat::from_col_major(rows, cols, h.into_data());
-                    absorb(&mut store, a, b, &buf);
-                    dec_target(
-                        &mut diag_deps,
-                        &mut panel_deps,
-                        &mut ready_diags,
-                        &mut ready_panels,
-                        a,
-                        b,
-                    );
-                }
-            }
+impl sched::Signal for Msg {
+    fn ptr(&self) -> GlobalPtr {
+        match self {
+            Msg::Factor { ptr, .. } | Msg::Aggregate { ptr, .. } => *ptr,
         }
-        // Execute one ready task (diagonals first: they unlock panels).
-        if let Some(j) = ready_diags.pop() {
-            let mut diag = store.take((j, j)).expect("diag owned");
-            let (_, secs) = kernels.potrf(&mut diag).expect("fan-both requires SPD input");
-            rank.advance(secs);
-            // Fan L(j,j) to panel owners.
-            let mut dests: Vec<usize> =
-                sf.layout.blocks_of(j).iter().map(|bb| grid.map(bb.target, j)).collect();
-            dests.sort_unstable();
-            dests.dedup();
-            publish_factor(rank, sf, &grid, me, &diag, j, j, &dests);
-            if grid.map(j, j) == me {
-                // L(j,j) is also an input to local panel tasks.
-                for bb in sf.layout.blocks_of(j) {
-                    let i = bb.target;
-                    if grid.map(i, j) == me {
-                        let d = panel_deps.get_mut(&(i, j)).expect("panel task");
-                        *d -= 1;
-                        if *d == 0 {
-                            ready_panels.push((i, j));
-                        }
-                    }
-                }
-            }
-            inputs.insert((j, j), diag.clone());
-            store.put((j, j), diag);
-            tasks_done += 1;
-        } else if let Some((i, j)) = ready_panels.pop() {
-            let mut blk = store.take((i, j)).expect("panel owned");
-            let ldiag = inputs.get(&(j, j)).expect("diagonal factor present");
-            let (_, secs) = kernels.trsm(&mut blk, ldiag);
-            rank.advance(secs);
-            // Fan L(i,j) to the compute ranks of updates that use it:
-            // U(a,j,i) at map(a,j) for a >= i, and U(i,j,b) at map(i,j)=me.
-            let mut dests: Vec<usize> = sf
-                .layout
-                .blocks_of(j)
-                .iter()
-                .filter(|bb| bb.target >= i)
-                .map(|bb| grid.map(bb.target, j))
-                .collect();
-            dests.sort_unstable();
-            dests.dedup();
-            publish_factor(rank, sf, &grid, me, &blk, i, j, &dests);
-            // Local consumption.
-            if let Some(list) = consumers.get(&(i, j)) {
-                for &idx in list.clone().iter() {
-                    my_updates[idx].deps -= 1;
-                    if my_updates[idx].deps == 0 {
-                        ready_updates.push(idx);
-                    }
-                }
-            }
-            inputs.insert((i, j), blk.clone());
-            store.put((i, j), blk);
-            tasks_done += 1;
-        } else if let Some(idx) = ready_updates.pop() {
-            let Upd { j, a, b, .. } = my_updates[idx];
-            exec_update(sf, &mut aggs, &inputs, &mut kernels, rank, j, a, b);
-            tasks_done += 1;
-            // Last contribution to (a,b) from this rank? Ship or absorb.
-            let c = my_contribs.get_mut(&(a, b)).expect("contrib counted");
-            *c -= 1;
-            if *c == 0 {
-                let buf = aggs.remove(&(a, b)).expect("aggregate exists");
-                let owner = grid.map(a, b);
-                aggs_sent += 1;
-                if owner == me {
-                    absorb(&mut store, a, b, &buf);
-                    dec_target(
-                        &mut diag_deps,
-                        &mut panel_deps,
-                        &mut ready_diags,
-                        &mut ready_panels,
-                        a,
-                        b,
-                    );
-                } else {
-                    let ptr = rank
-                        .alloc(MemKind::Host, buf.rows() * buf.cols())
-                        .expect("host alloc");
-                    rank.write_local(&ptr, buf.as_slice());
-                    let (rows, cols) = (buf.rows(), buf.cols());
-                    rank.rpc(owner, move |r| {
-                        r.with_state::<FbState, _>(|_, st| {
-                            st.pending.push(Msg::Aggregate { ptr, a, b, rows, cols })
-                        });
-                    });
-                }
-            }
-        } else if tasks_done == my_tasks_total && aggs_sent == aggs_to_send {
-            break;
-        } else {
-            std::thread::yield_now();
-        }
-    }
-    rank.barrier();
-    let factor_time = rank.now() - start;
-    let _ = rank.take_state::<FbState>();
-    let solve_kernels =
-        if opts.gpu { KernelEngine::new_gpu() } else { KernelEngine::new_cpu() };
-    let (x_map, solve_time) =
-        trisolve::solve(rank, Arc::clone(sf), grid, &store, bp, solve_kernels);
-    RankOut {
-        factor_time,
-        solve_time,
-        counts: kernels.counts,
-        x_pieces: x_map.into_iter().collect(),
     }
 }
 
-/// Publish a factored block: place it in the shared heap and signal `dests`.
-fn publish_factor(
-    rank: &mut Rank,
-    _sf: &SymbolicFactor,
-    _grid: &ProcGrid,
+/// Per-rank fan-both engine, installed as the rank's user state.
+struct FbEngine {
+    sf: Arc<SymbolicFactor>,
+    grid: ProcGrid,
+    store: BlockStore,
+    kernels: KernelEngine,
+    /// The shared scheduling core: dep counters, RTQ, inbox, tracer.
+    rt: TaskEngine<TaskKey, Msg>,
+    /// Factored blocks available locally (own or fetched).
+    inputs: HashMap<(usize, usize), Mat>,
+    /// Aggregation buffers per target block.
+    aggs: HashMap<(usize, usize), Mat>,
+    /// For each input factor block `(i,j)`, the owned tasks consuming it
+    /// (updates computing here, and — for diagonal factors — owned panels).
+    consumers: HashMap<(usize, usize), Vec<TaskKey>>,
+    /// Outstanding local update contributions per target block.
+    my_contribs: HashMap<(usize, usize), usize>,
+    fetch: FetchConfig,
     me: usize,
-    data: &Mat,
-    i: usize,
-    j: usize,
-    dests: &[usize],
-) {
-    let remote: Vec<usize> = dests.iter().copied().filter(|&d| d != me).collect();
-    if remote.is_empty() {
-        return;
-    }
-    let ptr = rank.alloc(MemKind::Host, data.rows() * data.cols()).expect("host alloc");
-    rank.write_local(&ptr, data.as_slice());
-    let (rows, cols) = (data.rows(), data.cols());
-    for d in remote {
-        rank.rpc(d, move |r| {
-            r.with_state::<FbState, _>(|_, st| {
-                st.pending.push(Msg::Factor { ptr, i, j, rows, cols })
-            });
-        });
-    }
 }
 
-/// Run one update product into the aggregation buffer for `(a, b)`.
-fn exec_update(
-    sf: &SymbolicFactor,
-    aggs: &mut HashMap<(usize, usize), Mat>,
-    inputs: &HashMap<(usize, usize), Mat>,
-    kernels: &mut KernelEngine,
-    rank: &mut Rank,
-    j: usize,
-    a: usize,
-    b: usize,
-) {
-    let binfo_j = sf.layout.find(b, j).expect("source block");
-    let rows_b = &sf.patterns[j][binfo_j.row_offset..binfo_j.row_offset + binfo_j.n_rows];
-    let first_b = sf.partition.first_col(b);
-    let lb = inputs.get(&(b, j)).expect("L(b,j) present");
-    if a == b {
-        let nb = lb.rows();
-        let mut temp = Mat::zeros(nb, nb);
-        let (_, secs) = kernels.syrk(&mut temp, lb);
-        rank.advance(secs);
-        let w = sf.partition.width(b);
-        let agg = aggs.entry((b, b)).or_insert_with(|| Mat::zeros(w, w));
-        for (ci, &gc) in rows_b.iter().enumerate() {
-            let tc = gc - first_b;
-            for (ri, &gr) in rows_b.iter().enumerate().skip(ci) {
-                agg[(gr - first_b, tc)] += temp[(ri, ci)];
+impl FbEngine {
+    fn new(
+        sf: Arc<SymbolicFactor>,
+        ap: &SparseSym,
+        grid: ProcGrid,
+        rank: usize,
+        kernels: KernelEngine,
+        opts: &BaselineOptions,
+    ) -> Self {
+        let store = BlockStore::init(&sf, ap, &grid, rank);
+        let ns = sf.n_supernodes();
+        let mut rt: TaskEngine<TaskKey, Msg> =
+            TaskEngine::new(opts.rtq_policy, Arc::new(AtomicBool::new(false)));
+        if opts.trace {
+            rt.tracer = Some(Tracer::new());
+        }
+        // Static task analysis. For each pair (a >= b) of targets of
+        // supernode j, the update computes on cmap = map(a, j) and lands on
+        // map(a, b). contrib_ranks[(a,b)] collects the distinct compute
+        // ranks, which become the target-side dependency counts.
+        let mut contrib_ranks: HashMap<(usize, usize), std::collections::HashSet<usize>> =
+            HashMap::new();
+        let mut consumers: HashMap<(usize, usize), Vec<TaskKey>> = HashMap::new();
+        let mut my_contribs: HashMap<(usize, usize), usize> = HashMap::new();
+        for j in 0..ns {
+            let blocks = sf.layout.blocks_of(j);
+            for (bi, bb) in blocks.iter().enumerate() {
+                for ba in &blocks[bi..] {
+                    let (a, b) = (ba.target, bb.target);
+                    let cmap = grid.map(a, j);
+                    contrib_ranks.entry((a, b)).or_default().insert(cmap);
+                    if cmap == rank {
+                        let key = TaskKey::Update { j, a, b };
+                        rt.insert_task(key, if a == b { 1 } else { 2 });
+                        consumers.entry((a, j)).or_default().push(key);
+                        if a != b {
+                            consumers.entry((b, j)).or_default().push(key);
+                        }
+                        *my_contribs.entry((a, b)).or_default() += 1;
+                    }
+                }
             }
         }
-    } else {
-        let la = inputs.get(&(a, j)).expect("L(a,j) present");
-        let ainfo_j = sf.layout.find(a, j).expect("source block");
-        let rows_a = &sf.patterns[j][ainfo_j.row_offset..ainfo_j.row_offset + ainfo_j.n_rows];
-        let tinfo = sf.layout.find(a, b).expect("target block exists");
-        let target_rows = &sf.patterns[b][tinfo.row_offset..tinfo.row_offset + tinfo.n_rows];
-        let row_map: Vec<usize> = rows_a
+        // D/F tasks owned by me: a diagonal task waits for its incoming
+        // aggregates; a panel task additionally waits for its diagonal
+        // factor.
+        for j in 0..ns {
+            if grid.map(j, j) == rank {
+                rt.insert_task(
+                    TaskKey::Diag { j },
+                    contrib_ranks.get(&(j, j)).map_or(0, |s| s.len()),
+                );
+            }
+            for bb in sf.layout.blocks_of(j) {
+                let i = bb.target;
+                if grid.map(i, j) == rank {
+                    rt.insert_task(
+                        TaskKey::Panel { i, j },
+                        1 + contrib_ranks.get(&(i, j)).map_or(0, |s| s.len()),
+                    );
+                    consumers
+                        .entry((j, j))
+                        .or_default()
+                        .push(TaskKey::Panel { i, j });
+                }
+            }
+        }
+        rt.seed_ready();
+        FbEngine {
+            sf,
+            grid,
+            store,
+            kernels,
+            rt,
+            inputs: HashMap::new(),
+            aggs: HashMap::new(),
+            consumers,
+            my_contribs,
+            fetch: FetchConfig::host_one_sided(),
+            me: rank,
+        }
+    }
+
+    /// Resolve queued notifications through the runtime's shared one-sided
+    /// fetch path. Fan-both does not track transfer completion times (its
+    /// tasks start whenever picked), so the fetch `ready_at` is ignored.
+    fn drain_pending(&mut self, rank: &mut Rank) {
+        let signals = self.rt.take_signals();
+        if signals.is_empty() {
+            return;
+        }
+        let cfg = self.fetch;
+        let res = sched::drain_signals(rank, signals, &cfg, |rank, msg, data, _ready_at| {
+            let now = rank.now();
+            match msg {
+                Msg::Factor {
+                    i, j, rows, cols, ..
+                } => {
+                    self.inputs
+                        .insert((i, j), Mat::from_col_major(rows, cols, data));
+                    if let Some(keys) = self.consumers.get(&(i, j)).cloned() {
+                        for k in keys {
+                            self.rt.dec(k, now);
+                        }
+                    }
+                }
+                Msg::Aggregate {
+                    a, b, rows, cols, ..
+                } => {
+                    let buf = Mat::from_col_major(rows, cols, data);
+                    absorb(&mut self.store, a, b, &buf);
+                    self.dec_target(a, b, now);
+                }
+            }
+        });
+        res.expect("host fetch cannot fail");
+    }
+
+    /// Release the target-side dependency of `(a,b)` after an aggregate
+    /// lands.
+    fn dec_target(&mut self, a: usize, b: usize, now: f64) {
+        let key = if a == b {
+            TaskKey::Diag { j: b }
+        } else {
+            TaskKey::Panel { i: a, j: b }
+        };
+        self.rt.dec(key, now);
+    }
+
+    fn step(&mut self, rank: &mut Rank) -> bool {
+        self.drain_pending(rank);
+        let Some((key, ready_at)) = self.rt.pick() else {
+            return false;
+        };
+        self.rt.begin(rank, ready_at);
+        match key {
+            TaskKey::Diag { j } => self.exec_diag(rank, j),
+            TaskKey::Panel { i, j } => self.exec_panel(rank, i, j),
+            TaskKey::Update { j, a, b } => self.exec_update(rank, j, a, b),
+        }
+        self.rt.complete(key);
+        true
+    }
+
+    fn exec_diag(&mut self, rank: &mut Rank, j: usize) {
+        let mut diag = self.store.take((j, j)).expect("diag owned");
+        let (_, secs) = self
+            .kernels
+            .potrf(&mut diag)
+            .expect("fan-both requires SPD input");
+        self.rt.charge(rank, TaskKey::Diag { j }, secs);
+        // Fan L(j,j) to the panel owners down the grid column.
+        let mut dests: Vec<usize> = self
+            .sf
+            .layout
+            .blocks_of(j)
             .iter()
-            .map(|r| target_rows.binary_search(r).expect("row containment"))
+            .map(|bb| self.grid.map(bb.target, j))
             .collect();
-        let mut temp = Mat::zeros(la.rows(), lb.rows());
-        let (_, secs) = kernels.gemm(&mut temp, la, lb);
-        rank.advance(secs);
-        let w = sf.partition.width(b);
-        let agg = aggs
-            .entry((a, b))
-            .or_insert_with(|| Mat::zeros(tinfo.n_rows, w));
-        for (ci, &gc) in rows_b.iter().enumerate() {
-            let tc = gc - first_b;
-            for (ri, &tr) in row_map.iter().enumerate() {
-                agg[(tr, tc)] += temp[(ri, ci)];
+        dests.sort_unstable();
+        dests.dedup();
+        self.publish_factor(rank, &diag, j, j, &dests);
+        // L(j,j) is also an input to this rank's own panel tasks.
+        self.consume_local(rank, j, j);
+        self.inputs.insert((j, j), diag.clone());
+        self.store.put((j, j), diag);
+    }
+
+    fn exec_panel(&mut self, rank: &mut Rank, i: usize, j: usize) {
+        let mut blk = self.store.take((i, j)).expect("panel owned");
+        let ldiag = self.inputs.get(&(j, j)).expect("diagonal factor present");
+        let (_, secs) = self.kernels.trsm(&mut blk, ldiag);
+        self.rt.charge(rank, TaskKey::Panel { i, j }, secs);
+        // Fan L(i,j) to the compute ranks of updates that use it:
+        // U(a,j,i) at map(a,j) for a >= i, and U(i,j,b) at map(i,j) = me.
+        let mut dests: Vec<usize> = self
+            .sf
+            .layout
+            .blocks_of(j)
+            .iter()
+            .filter(|bb| bb.target >= i)
+            .map(|bb| self.grid.map(bb.target, j))
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        self.publish_factor(rank, &blk, i, j, &dests);
+        self.consume_local(rank, i, j);
+        self.inputs.insert((i, j), blk.clone());
+        self.store.put((i, j), blk);
+    }
+
+    /// Release this rank's own consumers of a locally produced factor block.
+    fn consume_local(&mut self, rank: &mut Rank, i: usize, j: usize) {
+        let now = rank.now();
+        if let Some(keys) = self.consumers.get(&(i, j)).cloned() {
+            for k in keys {
+                self.rt.dec(k, now);
+            }
+        }
+    }
+
+    /// Publish a factored block: place it in the shared heap and signal the
+    /// remote destinations.
+    fn publish_factor(&mut self, rank: &mut Rank, data: &Mat, i: usize, j: usize, dests: &[usize]) {
+        let remote: Vec<usize> = dests.iter().copied().filter(|&d| d != self.me).collect();
+        if remote.is_empty() {
+            return;
+        }
+        let ptr = rank
+            .alloc(MemKind::Host, data.rows() * data.cols())
+            .expect("host alloc");
+        rank.write_local(&ptr, data.as_slice());
+        let (rows, cols) = (data.rows(), data.cols());
+        for d in remote {
+            let msg = Msg::Factor {
+                ptr,
+                i,
+                j,
+                rows,
+                cols,
+            };
+            rank.rpc(d, move |r| {
+                r.with_state::<FbEngine, _>(|_, st| st.rt.post(msg));
+            });
+        }
+    }
+
+    /// Run one update product into the aggregation buffer for `(a, b)`; ship
+    /// or absorb the buffer once this rank's last contribution lands.
+    fn exec_update(&mut self, rank: &mut Rank, j: usize, a: usize, b: usize) {
+        let key = TaskKey::Update { j, a, b };
+        let binfo_j = self.sf.layout.find(b, j).expect("source block");
+        let rows_b =
+            self.sf.patterns[j][binfo_j.row_offset..binfo_j.row_offset + binfo_j.n_rows].to_vec();
+        let first_b = self.sf.partition.first_col(b);
+        let lb = self.inputs.get(&(b, j)).expect("L(b,j) present");
+        if a == b {
+            let nb = lb.rows();
+            let mut temp = Mat::zeros(nb, nb);
+            let (_, secs) = self.kernels.syrk(&mut temp, lb);
+            self.rt.charge(rank, key, secs);
+            let w = self.sf.partition.width(b);
+            let agg = self.aggs.entry((b, b)).or_insert_with(|| Mat::zeros(w, w));
+            for (ci, &gc) in rows_b.iter().enumerate() {
+                let tc = gc - first_b;
+                for (ri, &gr) in rows_b.iter().enumerate().skip(ci) {
+                    agg[(gr - first_b, tc)] += temp[(ri, ci)];
+                }
+            }
+        } else {
+            let la = self.inputs.get(&(a, j)).expect("L(a,j) present");
+            let ainfo_j = self.sf.layout.find(a, j).expect("source block");
+            let rows_a =
+                &self.sf.patterns[j][ainfo_j.row_offset..ainfo_j.row_offset + ainfo_j.n_rows];
+            let tinfo = self.sf.layout.find(a, b).expect("target block exists");
+            let target_rows =
+                &self.sf.patterns[b][tinfo.row_offset..tinfo.row_offset + tinfo.n_rows];
+            let row_map: Vec<usize> = rows_a
+                .iter()
+                .map(|r| target_rows.binary_search(r).expect("row containment"))
+                .collect();
+            let mut temp = Mat::zeros(la.rows(), lb.rows());
+            let lb = self.inputs.get(&(b, j)).expect("L(b,j) present");
+            let la = self.inputs.get(&(a, j)).expect("L(a,j) present");
+            let (_, secs) = self.kernels.gemm(&mut temp, la, lb);
+            self.rt.charge(rank, key, secs);
+            let w = self.sf.partition.width(b);
+            let agg = self
+                .aggs
+                .entry((a, b))
+                .or_insert_with(|| Mat::zeros(tinfo.n_rows, w));
+            for (ci, &gc) in rows_b.iter().enumerate() {
+                let tc = gc - first_b;
+                for (ri, &tr) in row_map.iter().enumerate() {
+                    agg[(tr, tc)] += temp[(ri, ci)];
+                }
+            }
+        }
+        // Last contribution to (a,b) from this rank? Ship or absorb.
+        let c = self.my_contribs.get_mut(&(a, b)).expect("contrib counted");
+        *c -= 1;
+        if *c == 0 {
+            let buf = self.aggs.remove(&(a, b)).expect("aggregate exists");
+            let owner = self.grid.map(a, b);
+            if owner == self.me {
+                absorb(&mut self.store, a, b, &buf);
+                let now = rank.now();
+                self.dec_target(a, b, now);
+            } else {
+                let ptr = rank
+                    .alloc(MemKind::Host, buf.rows() * buf.cols())
+                    .expect("host alloc");
+                rank.write_local(&ptr, buf.as_slice());
+                let (rows, cols) = (buf.rows(), buf.cols());
+                let msg = Msg::Aggregate {
+                    ptr,
+                    a,
+                    b,
+                    rows,
+                    cols,
+                };
+                rank.rpc(owner, move |r| {
+                    r.with_state::<FbEngine, _>(|_, st| st.rt.post(msg));
+                });
             }
         }
     }
@@ -443,27 +417,90 @@ fn absorb(store: &mut BlockStore, a: usize, b: usize, buf: &Mat) {
     }
 }
 
-/// Decrement the target-side dependency of `(a,b)` after an aggregate lands.
-fn dec_target(
-    diag_deps: &mut HashMap<usize, usize>,
-    panel_deps: &mut HashMap<(usize, usize), usize>,
-    ready_diags: &mut Vec<usize>,
-    ready_panels: &mut Vec<(usize, usize)>,
-    a: usize,
-    b: usize,
-) {
-    if a == b {
-        let d = diag_deps.get_mut(&b).expect("diag task owned");
-        *d -= 1;
-        if *d == 0 {
-            ready_diags.push(b);
-        }
+/// Factor and solve with the fan-both algorithm on a 2D grid.
+pub fn fanboth_factor_and_solve(
+    a: &SparseSym,
+    b: &[f64],
+    opts: &BaselineOptions,
+) -> BaselineReport {
+    assert_eq!(b.len(), a.n());
+    let ordering = compute_ordering(a, opts.ordering);
+    let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
+    let ap = Arc::new(a.permute(sf.perm.as_slice()));
+    let bp = Arc::new(sf.perm.apply_vec(b));
+    let p = opts.n_nodes * opts.ranks_per_node;
+    let grid = ProcGrid::squarest(p);
+    let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
+    config.net = opts.net.clone();
+    let opts2 = opts.clone();
+    let report = Runtime::run(config, |rank| run_rank(rank, &sf, &ap, &bp, grid, &opts2));
+    build_report(a, b, &sf, report.results, report.stats)
+}
+
+fn run_rank(
+    rank: &mut Rank,
+    sf: &Arc<SymbolicFactor>,
+    ap: &SparseSym,
+    bp: &[f64],
+    grid: ProcGrid,
+    opts: &BaselineOptions,
+) -> RankOut {
+    let me = rank.id();
+    let mut kernels = if opts.gpu {
+        KernelEngine::new_gpu()
     } else {
-        let d = panel_deps.get_mut(&(a, b)).expect("panel task owned");
-        *d -= 1;
-        if *d == 0 {
-            ready_panels.push((a, b));
-        }
+        KernelEngine::new_cpu()
+    };
+    if let Some(t) = &opts.thresholds {
+        kernels.thresholds = t.clone();
+    }
+    let engine = FbEngine::new(Arc::clone(sf), ap, grid, me, kernels, opts);
+    let start = rank.now();
+    let mut engine = sched::run_event_loop(rank, engine, |rank, st: &mut FbEngine| {
+        while st.step(rank) {}
+        st.rt.finished()
+    });
+    let factor_time = rank.now() - start;
+    let mut trace = engine
+        .rt
+        .tracer
+        .take()
+        .map(Tracer::into_events)
+        .unwrap_or_default();
+    let mut tasks: Vec<(String, u64)> = engine
+        .rt
+        .task_counts()
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v))
+        .collect();
+    let solve_kernels = if opts.gpu {
+        KernelEngine::new_gpu()
+    } else {
+        KernelEngine::new_cpu()
+    };
+    let params = SolveParams {
+        policy: opts.rtq_policy,
+        msg_overhead: 0.0,
+        trace: opts.trace,
+    };
+    let out = trisolve::solve(
+        rank,
+        Arc::clone(sf),
+        grid,
+        &engine.store,
+        bp,
+        solve_kernels,
+        &params,
+    );
+    trace.extend(out.trace);
+    tasks.extend(out.task_counts.iter().map(|&(k, v)| (k.to_string(), v)));
+    RankOut {
+        factor_time,
+        solve_time: out.elapsed,
+        counts: engine.kernels.counts,
+        x_pieces: out.x.into_iter().collect(),
+        trace,
+        tasks,
     }
 }
 
@@ -478,7 +515,11 @@ mod tests {
         let a = laplacian_2d(9, 8);
         let b = test_rhs(a.n());
         let r = fanboth_factor_and_solve(&a, &b, &BaselineOptions::default());
-        assert!(r.relative_residual < 1e-10, "residual {}", r.relative_residual);
+        assert!(
+            r.relative_residual < 1e-10,
+            "residual {}",
+            r.relative_residual
+        );
     }
 
     #[test]
@@ -491,7 +532,11 @@ mod tests {
             let r = fanboth_factor_and_solve(
                 &a,
                 &b,
-                &BaselineOptions { n_nodes: nodes, ranks_per_node: ppn, ..Default::default() },
+                &BaselineOptions {
+                    n_nodes: nodes,
+                    ranks_per_node: ppn,
+                    ..Default::default()
+                },
             );
             assert!(r.relative_residual < 1e-10, "nodes={nodes} ppn={ppn}");
             let d = max_abs_diff(&r.x, &reference.x);
@@ -505,8 +550,16 @@ mod tests {
         // multi-rank grid it must not exceed the fan-out's message count.
         let a = laplacian_2d(14, 14);
         let b = test_rhs(a.n());
-        let bo = BaselineOptions { n_nodes: 4, ranks_per_node: 1, ..Default::default() };
-        let so = sympack::SolverOptions { n_nodes: 4, ranks_per_node: 1, ..Default::default() };
+        let bo = BaselineOptions {
+            n_nodes: 4,
+            ranks_per_node: 1,
+            ..Default::default()
+        };
+        let so = sympack::SolverOptions {
+            n_nodes: 4,
+            ranks_per_node: 1,
+            ..Default::default()
+        };
         let fb = fanboth_factor_and_solve(&a, &b, &bo);
         let fo = sympack::SymPack::factor_and_solve(&a, &b, &so);
         assert!(

@@ -12,20 +12,26 @@
 //! Mapping is the same 1D supernode-cyclic distribution as the
 //! right-looking baseline, so the three solvers (fan-out 2D symPACK,
 //! right-looking 1D, fan-in 1D) isolate the communication-family effect.
+//! Scheduling runs through the shared [`sympack::sched::TaskEngine`]; the
+//! two-sided flavor survives as the runtime's blocking-fetch rendezvous
+//! charge.
 
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack::map2d::ProcGrid;
+use sympack::sched::{self, FetchConfig, TaskEngine, TaskKind};
 use sympack::storage::BlockStore;
-use sympack::trisolve;
+use sympack::trisolve::{self, SolveParams};
 use sympack_dense::Mat;
 use sympack_gpu::KernelEngine;
+use sympack_ordering::compute_ordering;
 use sympack_pgas::{GlobalPtr, MemKind, PgasConfig, Rank, Runtime};
 use sympack_sparse::SparseSym;
-use sympack_ordering::compute_ordering;
 use sympack_symbolic::{analyze, SymbolicFactor};
+use sympack_trace::{TraceCat, Tracer};
 
-use crate::rightlooking::{BaselineOptions, BaselineReport};
+use crate::rightlooking::{build_report, BaselineOptions, BaselineReport, RankOut};
 
 /// Per-receive synchronization cost (same two-sided flavor as the
 /// right-looking baseline).
@@ -33,6 +39,32 @@ const RENDEZVOUS_OVERHEAD: f64 = 5.0e-6;
 
 fn owner_of(j: usize, p: usize) -> usize {
     j % p
+}
+
+/// The single task species of the fan-in algorithm: factor owned supernode
+/// `j` (POTRF + TRSMs) and immediately compute every update it sources,
+/// folding them into local targets or aggregation buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FiKey {
+    j: usize,
+}
+
+impl TaskKind for FiKey {
+    fn priority_key(&self) -> (usize, usize) {
+        (self.j, 0)
+    }
+    fn seed_key(&self) -> (usize, usize, usize, usize) {
+        (self.j, 0, 0, 0)
+    }
+    fn kind_name(&self) -> &'static str {
+        "factor_scatter"
+    }
+    fn trace_label(&self) -> String {
+        format!("S({})", self.j)
+    }
+    fn trace_cat(&self) -> TraceCat {
+        TraceCat::Potrf
+    }
 }
 
 /// An aggregation buffer for one remote target supernode: the diagonal
@@ -51,7 +83,10 @@ impl AggBuffer {
             .iter()
             .map(|info| Mat::zeros(info.n_rows, w))
             .collect();
-        AggBuffer { diag: Mat::zeros(w, w), blocks }
+        AggBuffer {
+            diag: Mat::zeros(w, w),
+            blocks,
+        }
     }
 
     fn pack(&self) -> Vec<f64> {
@@ -70,7 +105,11 @@ impl AggBuffer {
         let mut blocks = Vec::new();
         for info in sf.layout.blocks_of(b) {
             let len = info.n_rows * w;
-            blocks.push(Mat::from_col_major(info.n_rows, w, data[off..off + len].to_vec()));
+            blocks.push(Mat::from_col_major(
+                info.n_rows,
+                w,
+                data[off..off + len].to_vec(),
+            ));
             off += len;
         }
         AggBuffer { diag, blocks }
@@ -78,93 +117,16 @@ impl AggBuffer {
 }
 
 /// A received aggregate: pointer to the packed buffer of target `b`.
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 struct AggSignal {
     ptr: GlobalPtr,
     target: usize,
 }
 
-struct FanInState {
-    pending: Vec<AggSignal>,
-}
-
-/// Apply the update pairs of factored supernode `j` into either the local
-/// store (owned targets) or the aggregation buffers (remote targets).
-#[allow(clippy::too_many_arguments)]
-fn scatter_updates(
-    sf: &SymbolicFactor,
-    store: &mut BlockStore,
-    aggs: &mut HashMap<usize, AggBuffer>,
-    kernels: &mut KernelEngine,
-    rank: &mut Rank,
-    p: usize,
-    me: usize,
-    j: usize,
-) -> Vec<usize> {
-    let blocks_meta = sf.layout.blocks_of(j).to_vec();
-    let mut touched = Vec::new();
-    for (bi, bb) in blocks_meta.iter().enumerate() {
-        let b = bb.target;
-        let local = owner_of(b, p) == me;
-        touched.push(b);
-        let first_b = sf.partition.first_col(b);
-        let rows_b = sf.patterns[j][bb.row_offset..bb.row_offset + bb.n_rows].to_vec();
-        let lb = store.get((b, j)).expect("factored block local").clone();
-        for ba in blocks_meta.iter().skip(bi) {
-            let a = ba.target;
-            let la = store.get((a, j)).expect("factored block local").clone();
-            if a == b {
-                let nb = lb.rows();
-                let mut temp = Mat::zeros(nb, nb);
-                let (_, secs) = kernels.syrk(&mut temp, &lb);
-                rank.advance(secs);
-                let target: &mut Mat = if local {
-                    store.get_mut((b, b)).expect("diag owned")
-                } else {
-                    &mut aggs.entry(b).or_insert_with(|| AggBuffer::new(sf, b)).diag
-                };
-                for (ci, &gc) in rows_b.iter().enumerate() {
-                    let tc = gc - first_b;
-                    for (ri, &gr) in rows_b.iter().enumerate().skip(ci) {
-                        target[(gr - first_b, tc)] += temp[(ri, ci)];
-                    }
-                }
-            } else {
-                let rows_a = &sf.patterns[j][ba.row_offset..ba.row_offset + ba.n_rows];
-                let tinfo = sf.layout.find(a, b).expect("target block exists");
-                let target_rows =
-                    &sf.patterns[b][tinfo.row_offset..tinfo.row_offset + tinfo.n_rows];
-                let row_map: Vec<usize> = rows_a
-                    .iter()
-                    .map(|r| target_rows.binary_search(r).expect("row containment"))
-                    .collect();
-                let mut temp = Mat::zeros(la.rows(), lb.rows());
-                let (_, secs) = kernels.gemm(&mut temp, &la, &lb);
-                rank.advance(secs);
-                // Which block of the target supernode does (a,b) map to?
-                let bidx = sf
-                    .layout
-                    .blocks_of(b)
-                    .iter()
-                    .position(|i2| i2.target == a)
-                    .expect("block index");
-                let target: &mut Mat = if local {
-                    store.get_mut((a, b)).expect("target block owned")
-                } else {
-                    &mut aggs.entry(b).or_insert_with(|| AggBuffer::new(sf, b)).blocks[bidx]
-                };
-                for (ci, &gc) in rows_b.iter().enumerate() {
-                    let tc = gc - first_b;
-                    for (ri, &tr) in row_map.iter().enumerate() {
-                        target[(tr, tc)] += temp[(ri, ci)];
-                    }
-                }
-            }
-        }
+impl sched::Signal for AggSignal {
+    fn ptr(&self) -> GlobalPtr {
+        self.ptr
     }
-    touched.sort_unstable();
-    touched.dedup();
-    touched
 }
 
 /// Add a received (or locally finished) aggregate into the owned blocks.
@@ -187,6 +149,251 @@ fn absorb_aggregate(sf: &SymbolicFactor, store: &mut BlockStore, b: usize, agg: 
     }
 }
 
+/// Per-rank fan-in engine, installed as the rank's user state.
+struct FiEngine {
+    sf: Arc<SymbolicFactor>,
+    store: BlockStore,
+    kernels: KernelEngine,
+    /// The shared scheduling core: dep counters, RTQ, inbox, tracer.
+    rt: TaskEngine<FiKey, AggSignal>,
+    /// Aggregation buffers for remote targets, keyed by target supernode.
+    aggs: HashMap<usize, AggBuffer>,
+    /// Outstanding local contributions per remote target.
+    my_contribs: HashMap<usize, usize>,
+    fetch: FetchConfig,
+    p: usize,
+    me: usize,
+}
+
+impl FiEngine {
+    fn new(
+        sf: Arc<SymbolicFactor>,
+        ap: &SparseSym,
+        grid: &ProcGrid,
+        rank: usize,
+        p: usize,
+        kernels: KernelEngine,
+        opts: &BaselineOptions,
+    ) -> Self {
+        let store = BlockStore::init(&sf, ap, grid, rank);
+        let ns = sf.n_supernodes();
+        let mut rt: TaskEngine<FiKey, AggSignal> =
+            TaskEngine::new(opts.rtq_policy, Arc::new(AtomicBool::new(false)));
+        if opts.trace {
+            rt.tracer = Some(Tracer::new());
+        }
+        // Dependency accounting.
+        // deps[j] (owned j) = #own earlier supernodes contributing to j
+        //                   + #remote ranks contributing to j (one aggregate
+        //                     message each).
+        // my_contribs[b] (remote b) = #own supernodes contributing to b.
+        let mut remaining: HashMap<usize, usize> = HashMap::new();
+        let mut my_contribs: HashMap<usize, usize> = HashMap::new();
+        for j in (0..ns).filter(|&j| owner_of(j, p) == rank) {
+            remaining.insert(j, 0);
+        }
+        let mut contributing_ranks: HashMap<usize, std::collections::HashSet<usize>> =
+            HashMap::new();
+        for j in 0..ns {
+            let src_owner = owner_of(j, p);
+            for bb in sf.layout.blocks_of(j) {
+                let b = bb.target;
+                let dst_owner = owner_of(b, p);
+                if dst_owner == rank {
+                    if src_owner == rank {
+                        *remaining.get_mut(&b).expect("owned") += 1;
+                    } else {
+                        contributing_ranks.entry(b).or_default().insert(src_owner);
+                    }
+                } else if src_owner == rank {
+                    *my_contribs.entry(b).or_default() += 1;
+                }
+            }
+        }
+        for (b, ranks) in &contributing_ranks {
+            *remaining.get_mut(b).expect("owned") += ranks.len();
+        }
+        for (&j, &deps) in &remaining {
+            rt.insert_task(FiKey { j }, deps);
+        }
+        rt.seed_ready();
+        FiEngine {
+            sf,
+            store,
+            kernels,
+            rt,
+            aggs: HashMap::new(),
+            my_contribs,
+            fetch: FetchConfig::host_two_sided(RENDEZVOUS_OVERHEAD),
+            p,
+            me: rank,
+        }
+    }
+
+    /// Resolve queued aggregate signals: blocking two-sided receives, then
+    /// fold each aggregate into the owned target and release its factor
+    /// task.
+    fn drain_pending(&mut self, rank: &mut Rank) {
+        let signals = self.rt.take_signals();
+        if signals.is_empty() {
+            return;
+        }
+        let cfg = self.fetch;
+        let res = sched::drain_signals(rank, signals, &cfg, |_rank, s, data, ready_at| {
+            let agg = AggBuffer::unpack(&self.sf, s.target, &data);
+            absorb_aggregate(&self.sf, &mut self.store, s.target, &agg);
+            self.rt.dec(FiKey { j: s.target }, ready_at);
+        });
+        res.expect("host fetch cannot fail");
+    }
+
+    fn step(&mut self, rank: &mut Rank) -> bool {
+        self.drain_pending(rank);
+        let Some((key, ready_at)) = self.rt.pick() else {
+            return false;
+        };
+        self.rt.begin(rank, ready_at);
+        self.exec_factor(rank, key);
+        self.rt.complete(key);
+        true
+    }
+
+    /// Factor supernode `j` and fan its updates in: owned targets are
+    /// updated in place, remote targets accumulate into aggregation buffers
+    /// shipped once the last local contribution lands.
+    fn exec_factor(&mut self, rank: &mut Rank, key: FiKey) {
+        let j = key.j;
+        let mut diag = self.store.take((j, j)).expect("diag owned");
+        let (_, secs) = self
+            .kernels
+            .potrf(&mut diag)
+            .expect("fan-in requires SPD input");
+        self.rt.charge(rank, key, secs);
+        for bb in self.sf.layout.blocks_of(j).to_vec() {
+            let mut blk = self.store.take((bb.target, j)).expect("block owned");
+            let (_, secs) = self.kernels.trsm(&mut blk, &diag);
+            self.rt.charge(rank, key, secs);
+            self.store.put((bb.target, j), blk);
+        }
+        self.store.put((j, j), diag);
+        // Compute this supernode's updates at the source (fan-in).
+        let touched = self.scatter_updates(rank, key);
+        let now = rank.now();
+        for b in touched {
+            if owner_of(b, self.p) == self.me {
+                self.rt.dec(FiKey { j: b }, now);
+            } else {
+                let c = self.my_contribs.get_mut(&b).expect("contrib counted");
+                *c -= 1;
+                if *c == 0 {
+                    // Last local contribution folded in: ship the aggregate
+                    // once.
+                    let agg = self.aggs.remove(&b).expect("aggregate exists");
+                    let packed = agg.pack();
+                    let ptr = rank.alloc(MemKind::Host, packed.len()).expect("host alloc");
+                    rank.write_local(&ptr, &packed);
+                    let sig = AggSignal { ptr, target: b };
+                    let dest = owner_of(b, self.p);
+                    rank.rpc(dest, move |r| {
+                        r.with_state::<FiEngine, _>(|_, st| st.rt.post(sig));
+                    });
+                }
+            }
+        }
+    }
+
+    /// Apply the update pairs of factored supernode `j` into either the
+    /// local store (owned targets) or the aggregation buffers (remote
+    /// targets). Returns the distinct targets touched.
+    fn scatter_updates(&mut self, rank: &mut Rank, key: FiKey) -> Vec<usize> {
+        let j = key.j;
+        let blocks_meta = self.sf.layout.blocks_of(j).to_vec();
+        let mut touched = Vec::new();
+        for (bi, bb) in blocks_meta.iter().enumerate() {
+            let b = bb.target;
+            let local = owner_of(b, self.p) == self.me;
+            touched.push(b);
+            let first_b = self.sf.partition.first_col(b);
+            let rows_b = self.sf.patterns[j][bb.row_offset..bb.row_offset + bb.n_rows].to_vec();
+            let lb = self
+                .store
+                .get((b, j))
+                .expect("factored block local")
+                .clone();
+            for ba in blocks_meta.iter().skip(bi) {
+                let a = ba.target;
+                let la = self
+                    .store
+                    .get((a, j))
+                    .expect("factored block local")
+                    .clone();
+                if a == b {
+                    let nb = lb.rows();
+                    let mut temp = Mat::zeros(nb, nb);
+                    let (_, secs) = self.kernels.syrk(&mut temp, &lb);
+                    self.rt.charge(rank, key, secs);
+                    let sf = &self.sf;
+                    let target: &mut Mat = if local {
+                        self.store.get_mut((b, b)).expect("diag owned")
+                    } else {
+                        &mut self
+                            .aggs
+                            .entry(b)
+                            .or_insert_with(|| AggBuffer::new(sf, b))
+                            .diag
+                    };
+                    for (ci, &gc) in rows_b.iter().enumerate() {
+                        let tc = gc - first_b;
+                        for (ri, &gr) in rows_b.iter().enumerate().skip(ci) {
+                            target[(gr - first_b, tc)] += temp[(ri, ci)];
+                        }
+                    }
+                } else {
+                    let rows_a =
+                        self.sf.patterns[j][ba.row_offset..ba.row_offset + ba.n_rows].to_vec();
+                    let tinfo = self.sf.layout.find(a, b).expect("target block exists");
+                    let target_rows =
+                        &self.sf.patterns[b][tinfo.row_offset..tinfo.row_offset + tinfo.n_rows];
+                    let row_map: Vec<usize> = rows_a
+                        .iter()
+                        .map(|r| target_rows.binary_search(r).expect("row containment"))
+                        .collect();
+                    let mut temp = Mat::zeros(la.rows(), lb.rows());
+                    let (_, secs) = self.kernels.gemm(&mut temp, &la, &lb);
+                    self.rt.charge(rank, key, secs);
+                    // Which block of the target supernode does (a,b) map to?
+                    let bidx = self
+                        .sf
+                        .layout
+                        .blocks_of(b)
+                        .iter()
+                        .position(|i2| i2.target == a)
+                        .expect("block index");
+                    let sf = &self.sf;
+                    let target: &mut Mat = if local {
+                        self.store.get_mut((a, b)).expect("target block owned")
+                    } else {
+                        &mut self
+                            .aggs
+                            .entry(b)
+                            .or_insert_with(|| AggBuffer::new(sf, b))
+                            .blocks[bidx]
+                    };
+                    for (ci, &gc) in rows_b.iter().enumerate() {
+                        let tc = gc - first_b;
+                        for (ri, &tr) in row_map.iter().enumerate() {
+                            target[(tr, tc)] += temp[(ri, ci)];
+                        }
+                    }
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+}
+
 /// Factor and solve with the fan-in algorithm.
 pub fn fanin_factor_and_solve(a: &SparseSym, b: &[f64], opts: &BaselineOptions) -> BaselineReport {
     assert_eq!(b.len(), a.n());
@@ -202,32 +409,7 @@ pub fn fanin_factor_and_solve(a: &SparseSym, b: &[f64], opts: &BaselineOptions) 
     let report = Runtime::run(config, |rank| {
         run_rank(rank, &sf, &ap, &bp, grid, p, &opts2)
     });
-    let outs = report.results;
-    let n = a.n();
-    let mut xp = vec![0.0; n];
-    for out in &outs {
-        for (sn, piece) in &out.x_pieces {
-            let first = sf.partition.first_col(*sn);
-            xp[first..first + piece.len()].copy_from_slice(piece);
-        }
-    }
-    let x = sf.perm.unapply_vec(&xp);
-    let relative_residual = a.relative_residual(&x, b);
-    BaselineReport {
-        x,
-        relative_residual,
-        factor_time: outs.iter().map(|o| o.factor_time).fold(0.0, f64::max),
-        solve_time: outs.iter().map(|o| o.solve_time).fold(0.0, f64::max),
-        op_counts: outs.iter().map(|o| o.counts).collect(),
-        stats: report.stats,
-    }
-}
-
-struct RankOut {
-    factor_time: f64,
-    solve_time: f64,
-    counts: sympack_gpu::OpCounts,
-    x_pieces: Vec<(usize, Vec<f64>)>,
+    build_report(a, b, &sf, report.results, report.stats)
 }
 
 fn run_rank(
@@ -240,131 +422,61 @@ fn run_rank(
     opts: &BaselineOptions,
 ) -> RankOut {
     let me = rank.id();
-    let ns = sf.n_supernodes();
-    let mut kernels =
-        if opts.gpu { KernelEngine::new_gpu() } else { KernelEngine::new_cpu() };
+    let mut kernels = if opts.gpu {
+        KernelEngine::new_gpu()
+    } else {
+        KernelEngine::new_cpu()
+    };
     if let Some(t) = &opts.thresholds {
         kernels.thresholds = t.clone();
     }
-    let mut store = BlockStore::init(sf, ap, &grid, me);
-    // Dependency accounting.
-    // remaining[b] (owned b) = #own earlier supernodes contributing to b
-    //                        + #remote ranks contributing to b.
-    // my_contribs[b] (remote b) = #own supernodes contributing to b.
-    let mut remaining: HashMap<usize, usize> = HashMap::new();
-    let mut my_contribs: HashMap<usize, usize> = HashMap::new();
-    let owned: Vec<usize> = (0..ns).filter(|&j| owner_of(j, p) == me).collect();
-    for &j in &owned {
-        remaining.insert(j, 0);
-    }
-    let mut contributing_ranks: HashMap<usize, std::collections::HashSet<usize>> = HashMap::new();
-    for j in 0..ns {
-        let src_owner = owner_of(j, p);
-        for bb in sf.layout.blocks_of(j) {
-            let b = bb.target;
-            let dst_owner = owner_of(b, p);
-            if dst_owner == me {
-                if src_owner == me {
-                    *remaining.get_mut(&b).expect("owned") += 1;
-                } else {
-                    contributing_ranks.entry(b).or_default().insert(src_owner);
-                }
-            } else if src_owner == me {
-                *my_contribs.entry(b).or_default() += 1;
-            }
-        }
-    }
-    for (b, ranks) in &contributing_ranks {
-        *remaining.get_mut(b).expect("owned") += ranks.len();
-    }
-    let aggs_to_send = my_contribs.len();
-    let mut aggs: HashMap<usize, AggBuffer> = HashMap::new();
-    let mut factored = 0usize;
-    let mut is_factored: HashMap<usize, bool> = owned.iter().map(|&j| (j, false)).collect();
-    let mut sent = 0usize;
+    let engine = FiEngine::new(Arc::clone(sf), ap, &grid, me, p, kernels, opts);
     let start = rank.now();
-    rank.set_state(FanInState { pending: Vec::new() });
-    loop {
-        rank.progress();
-        // Receive aggregates (two-sided flavor: block on the transfer).
-        let signals =
-            rank.with_state::<FanInState, _>(|_, st| std::mem::take(&mut st.pending));
-        for s in signals {
-            let h = rank.rget(&s.ptr);
-            let data = h.wait(rank);
-            rank.advance(RENDEZVOUS_OVERHEAD);
-            let agg = AggBuffer::unpack(sf, s.target, &data);
-            absorb_aggregate(sf, &mut store, s.target, &agg);
-            *remaining.get_mut(&s.target).expect("owned target") -= 1;
-        }
-        // Factor ready supernodes and fan their updates in.
-        let ready: Vec<usize> = owned
-            .iter()
-            .copied()
-            .filter(|j| !is_factored[j] && remaining[j] == 0)
-            .collect();
-        for j in ready {
-            let mut diag = store.take((j, j)).expect("diag owned");
-            let (_, secs) = kernels.potrf(&mut diag).expect("fan-in requires SPD input");
-            rank.advance(secs);
-            for bb in sf.layout.blocks_of(j) {
-                let mut blk = store.take((bb.target, j)).expect("block owned");
-                let (_, secs) = kernels.trsm(&mut blk, &diag);
-                rank.advance(secs);
-                store.put((bb.target, j), blk);
-            }
-            store.put((j, j), diag);
-            *is_factored.get_mut(&j).expect("owned") = true;
-            factored += 1;
-            // Compute this supernode's updates at the source (fan-in).
-            let touched = scatter_updates(sf, &mut store, &mut aggs, &mut kernels, rank, p, me, j);
-            for b in touched {
-                if owner_of(b, p) == me {
-                    *remaining.get_mut(&b).expect("owned target") -= 1;
-                } else {
-                    let c = my_contribs.get_mut(&b).expect("contrib counted");
-                    *c -= 1;
-                    if *c == 0 {
-                        // Last local contribution folded in: ship the
-                        // aggregate once.
-                        let agg = aggs.remove(&b).expect("aggregate exists");
-                        let packed = agg.pack();
-                        let ptr = rank.alloc(MemKind::Host, packed.len()).expect("host alloc");
-                        rank.write_local(&ptr, &packed);
-                        let sig = AggSignal { ptr, target: b };
-                        let dest = owner_of(b, p);
-                        rank.rpc(dest, move |r| {
-                            r.with_state::<FanInState, _>(|_, st| st.pending.push(sig));
-                        });
-                        sent += 1;
-                    }
-                }
-            }
-        }
-        if factored == owned.len() && sent == aggs_to_send {
-            break;
-        }
-        std::thread::yield_now();
-    }
-    rank.barrier();
+    let mut engine = sched::run_event_loop(rank, engine, |rank, st: &mut FiEngine| {
+        while st.step(rank) {}
+        st.rt.finished()
+    });
     let factor_time = rank.now() - start;
-    let _ = rank.take_state::<FanInState>();
-    let solve_kernels =
-        if opts.gpu { KernelEngine::new_gpu() } else { KernelEngine::new_cpu() };
-    let (x_map, solve_time) = trisolve::solve_with_overhead(
+    let mut trace = engine
+        .rt
+        .tracer
+        .take()
+        .map(Tracer::into_events)
+        .unwrap_or_default();
+    let mut tasks: Vec<(String, u64)> = engine
+        .rt
+        .task_counts()
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v))
+        .collect();
+    let solve_kernels = if opts.gpu {
+        KernelEngine::new_gpu()
+    } else {
+        KernelEngine::new_cpu()
+    };
+    let params = SolveParams {
+        policy: opts.rtq_policy,
+        msg_overhead: RENDEZVOUS_OVERHEAD,
+        trace: opts.trace,
+    };
+    let out = trisolve::solve(
         rank,
         Arc::clone(sf),
         grid,
-        &store,
+        &engine.store,
         bp,
         solve_kernels,
-        RENDEZVOUS_OVERHEAD,
+        &params,
     );
+    trace.extend(out.trace);
+    tasks.extend(out.task_counts.iter().map(|&(k, v)| (k.to_string(), v)));
     RankOut {
         factor_time,
-        solve_time,
-        counts: kernels.counts,
-        x_pieces: x_map.into_iter().collect(),
+        solve_time: out.elapsed,
+        counts: engine.kernels.counts,
+        x_pieces: out.x.into_iter().collect(),
+        trace,
+        tasks,
     }
 }
 
@@ -379,23 +491,28 @@ mod tests {
         let a = laplacian_2d(9, 8);
         let b = test_rhs(a.n());
         let r = fanin_factor_and_solve(&a, &b, &BaselineOptions::default());
-        assert!(r.relative_residual < 1e-10, "residual {}", r.relative_residual);
+        assert!(
+            r.relative_residual < 1e-10,
+            "residual {}",
+            r.relative_residual
+        );
     }
 
     #[test]
     fn fanin_matches_fanout_across_rank_counts() {
         let a = random_spd(80, 5, 19);
         let b = test_rhs(80);
-        let reference = sympack::SymPack::factor_and_solve(
-            &a,
-            &b,
-            &sympack::SolverOptions::default(),
-        );
+        let reference =
+            sympack::SymPack::factor_and_solve(&a, &b, &sympack::SolverOptions::default());
         for (nodes, ppn) in [(1, 1), (2, 2), (3, 2)] {
             let r = fanin_factor_and_solve(
                 &a,
                 &b,
-                &BaselineOptions { n_nodes: nodes, ranks_per_node: ppn, ..Default::default() },
+                &BaselineOptions {
+                    n_nodes: nodes,
+                    ranks_per_node: ppn,
+                    ..Default::default()
+                },
             );
             assert!(r.relative_residual < 1e-10);
             let d = max_abs_diff(&r.x, &reference.x);
@@ -410,7 +527,11 @@ mod tests {
         // many supernodes.
         let a = laplacian_2d(16, 16);
         let b = test_rhs(a.n());
-        let opts = BaselineOptions { n_nodes: 4, ranks_per_node: 1, ..Default::default() };
+        let opts = BaselineOptions {
+            n_nodes: 4,
+            ranks_per_node: 1,
+            ..Default::default()
+        };
         let fi = fanin_factor_and_solve(&a, &b, &opts);
         let rl = crate::rightlooking::baseline_factor_and_solve(&a, &b, &opts);
         assert!(

@@ -43,6 +43,10 @@ mod tests {
         let a = laplacian_2d(9, 8);
         let b = test_rhs(a.n());
         let r = baseline_factor_and_solve(&a, &b, &BaselineOptions::default());
-        assert!(r.relative_residual < 1e-10, "residual {}", r.relative_residual);
+        assert!(
+            r.relative_residual < 1e-10,
+            "residual {}",
+            r.relative_residual
+        );
     }
 }

@@ -1,16 +1,26 @@
 //! Right-looking supernodal factorization with 1D cyclic mapping.
+//!
+//! Scheduling runs through the shared [`sympack::sched::TaskEngine`]; the
+//! baseline's character survives as *parameters* of that runtime: a
+//! per-kernel submission overhead ([`RUNTIME_TASK_OVERHEAD`]) and a
+//! two-sided blocking fetch with a rendezvous charge per receive
+//! ([`FetchConfig::host_two_sided`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack::map2d::ProcGrid;
+use sympack::sched::{self, FetchConfig, TaskEngine, TaskKind};
 use sympack::storage::BlockStore;
-use sympack::trisolve;
+use sympack::trisolve::{self, SolveParams};
+use sympack::RtqPolicy;
 use sympack_dense::Mat;
 use sympack_gpu::{KernelEngine, OffloadThresholds, OpCounts};
 use sympack_ordering::{compute_ordering, OrderingKind};
 use sympack_pgas::{GlobalPtr, MemKind, NetModel, PgasConfig, Rank, Runtime, StatsSnapshot};
 use sympack_sparse::SparseSym;
 use sympack_symbolic::{analyze, AnalyzeOptions, SymbolicFactor};
+use sympack_trace::{TraceCat, TraceEvent, Tracer};
 
 /// Per-receive rendezvous overhead of the two-sided protocol (seconds).
 const RENDEZVOUS_OVERHEAD: f64 = 5.0e-6;
@@ -22,7 +32,7 @@ const RENDEZVOUS_OVERHEAD: f64 = 5.0e-6;
 const RUNTIME_TASK_OVERHEAD: f64 = 6.0e-6;
 
 /// Baseline run configuration (mirrors [`sympack::SolverOptions`] minus the
-/// choices the baseline doesn't have: mapping is 1D, scheduling is in-order).
+/// choices the baseline doesn't have: mapping is 1D).
 #[derive(Debug, Clone)]
 pub struct BaselineOptions {
     /// Fill-reducing ordering — the paper uses the same Scotch ordering for
@@ -40,6 +50,10 @@ pub struct BaselineOptions {
     pub gpu: bool,
     /// Optional threshold override.
     pub thresholds: Option<OffloadThresholds>,
+    /// Ready-task-queue ordering policy of the shared runtime.
+    pub rtq_policy: RtqPolicy,
+    /// Collect a task timeline (factorization + solve).
+    pub trace: bool,
 }
 
 impl Default for BaselineOptions {
@@ -52,6 +66,8 @@ impl Default for BaselineOptions {
             net: NetModel::default(),
             gpu: true,
             thresholds: None,
+            rtq_policy: RtqPolicy::Lifo,
+            trace: false,
         }
     }
 }
@@ -72,6 +88,99 @@ pub struct BaselineReport {
     pub op_counts: Vec<OpCounts>,
     /// Communication counters.
     pub stats: StatsSnapshot,
+    /// Task timeline across ranks (empty unless [`BaselineOptions::trace`]).
+    pub trace: Vec<TraceEvent>,
+    /// Executed tasks per kind, summed over ranks (factorization + solve).
+    pub task_counts: Vec<(String, u64)>,
+}
+
+/// What one rank reports back from a baseline run. Shared by the three
+/// baseline families (same report shape).
+pub(crate) struct RankOut {
+    pub(crate) factor_time: f64,
+    pub(crate) solve_time: f64,
+    pub(crate) counts: OpCounts,
+    pub(crate) x_pieces: Vec<(usize, Vec<f64>)>,
+    pub(crate) trace: Vec<TraceEvent>,
+    pub(crate) tasks: Vec<(String, u64)>,
+}
+
+/// Assemble the cross-rank [`BaselineReport`] from per-rank outputs.
+pub(crate) fn build_report(
+    a: &SparseSym,
+    b: &[f64],
+    sf: &SymbolicFactor,
+    outs: Vec<RankOut>,
+    stats: StatsSnapshot,
+) -> BaselineReport {
+    let n = a.n();
+    let mut xp = vec![0.0; n];
+    for out in &outs {
+        for (sn, piece) in &out.x_pieces {
+            let first = sf.partition.first_col(*sn);
+            xp[first..first + piece.len()].copy_from_slice(piece);
+        }
+    }
+    let x = sf.perm.unapply_vec(&xp);
+    let relative_residual = a.relative_residual(&x, b);
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for out in &outs {
+        for (k, v) in &out.tasks {
+            *totals.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+    BaselineReport {
+        x,
+        relative_residual,
+        factor_time: outs.iter().map(|o| o.factor_time).fold(0.0, f64::max),
+        solve_time: outs.iter().map(|o| o.solve_time).fold(0.0, f64::max),
+        op_counts: outs.iter().map(|o| o.counts).collect(),
+        stats,
+        trace: outs.into_iter().flat_map(|o| o.trace).collect(),
+        task_counts: totals.into_iter().collect(),
+    }
+}
+
+/// The two task species of the panel-granular right-looking algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RlKey {
+    /// POTRF + all TRSMs of owned supernode `j`, then the panel broadcast.
+    Factor { j: usize },
+    /// Apply every update of received panel `j` to this rank's supernodes.
+    Apply { j: usize },
+}
+
+impl TaskKind for RlKey {
+    fn priority_key(&self) -> (usize, usize) {
+        match *self {
+            RlKey::Factor { j } => (j, 0),
+            RlKey::Apply { j } => (j, 1),
+        }
+    }
+    fn seed_key(&self) -> (usize, usize, usize, usize) {
+        match *self {
+            RlKey::Factor { j } => (j, 0, 0, 0),
+            RlKey::Apply { j } => (j, 1, 0, 0),
+        }
+    }
+    fn kind_name(&self) -> &'static str {
+        match self {
+            RlKey::Factor { .. } => "factor_panel",
+            RlKey::Apply { .. } => "apply_panel",
+        }
+    }
+    fn trace_label(&self) -> String {
+        match *self {
+            RlKey::Factor { j } => format!("P({j})"),
+            RlKey::Apply { j } => format!("A({j})"),
+        }
+    }
+    fn trace_cat(&self) -> TraceCat {
+        match self {
+            RlKey::Factor { .. } => TraceCat::Potrf,
+            RlKey::Apply { .. } => TraceCat::Gemm,
+        }
+    }
 }
 
 /// A broadcast panel notification: global pointer to the packed panel of
@@ -83,9 +192,10 @@ struct PanelSignal {
     j: usize,
 }
 
-/// Rank-local state installed while the factorization runs.
-struct RlState {
-    pending: Vec<PanelSignal>,
+impl sched::Signal for PanelSignal {
+    fn ptr(&self) -> GlobalPtr {
+        self.ptr
+    }
 }
 
 /// A received (or locally produced) panel, unpacked.
@@ -107,87 +217,229 @@ fn pack_panel(sf: &SymbolicFactor, store: &BlockStore, j: usize) -> Vec<f64> {
     out
 }
 
-/// Unpack a packed panel into (diag, blocks-in-layout-order).
-fn unpack_panel(sf: &SymbolicFactor, j: usize, data: &[f64]) -> (Mat, Panel) {
+/// Unpack a packed panel into its off-diagonal blocks (the diagonal factor
+/// is not needed by the update application).
+fn unpack_panel(sf: &SymbolicFactor, j: usize, data: &[f64]) -> Panel {
     let w = sf.partition.width(j);
-    let diag = Mat::from_col_major(w, w, data[..w * w].to_vec());
     let mut off = w * w;
     let mut blocks = Vec::new();
     for b in sf.layout.blocks_of(j) {
         let len = b.n_rows * w;
-        blocks.push(Mat::from_col_major(b.n_rows, w, data[off..off + len].to_vec()));
+        blocks.push(Mat::from_col_major(
+            b.n_rows,
+            w,
+            data[off..off + len].to_vec(),
+        ));
         off += len;
     }
-    (diag, Panel { blocks })
+    Panel { blocks }
 }
 
-/// Apply every update from panel `j` into this rank's supernodes; returns
-/// the owned targets whose incoming count should drop.
-#[allow(clippy::too_many_arguments)]
-fn apply_panel(
-    sf: &SymbolicFactor,
-    store: &mut BlockStore,
-    kernels: &mut KernelEngine,
-    rank: &mut Rank,
+/// Per-rank right-looking engine, installed as the rank's user state.
+struct RlEngine {
+    sf: Arc<SymbolicFactor>,
+    store: BlockStore,
+    kernels: KernelEngine,
+    /// The shared scheduling core: dep counters, RTQ, inbox, tracer.
+    rt: TaskEngine<RlKey, PanelSignal>,
+    /// Received (or self-broadcast) panels awaiting application.
+    inputs: HashMap<usize, Panel>,
+    fetch: FetchConfig,
     p: usize,
     me: usize,
-    j: usize,
-    panel: &Panel,
-) -> Vec<usize> {
-    let blocks_meta = sf.layout.blocks_of(j);
-    let mut completed_targets = Vec::new();
-    for (bi, bb) in blocks_meta.iter().enumerate() {
-        let b = bb.target;
-        if owner_of(b, p) != me {
-            continue;
+}
+
+impl RlEngine {
+    fn new(
+        sf: Arc<SymbolicFactor>,
+        ap: &SparseSym,
+        grid: &ProcGrid,
+        rank: usize,
+        p: usize,
+        kernels: KernelEngine,
+        opts: &BaselineOptions,
+    ) -> Self {
+        let store = BlockStore::init(&sf, ap, grid, rank);
+        let ns = sf.n_supernodes();
+        let mut rt: TaskEngine<RlKey, PanelSignal> =
+            TaskEngine::new(opts.rtq_policy, Arc::new(AtomicBool::new(false)));
+        rt.set_task_overhead(RUNTIME_TASK_OVERHEAD);
+        if opts.trace {
+            rt.tracer = Some(Tracer::new());
         }
-        completed_targets.push(b);
-        let first_b = sf.partition.first_col(b);
-        let rows_b =
-            &sf.patterns[j][bb.row_offset..bb.row_offset + bb.n_rows];
-        let lb = &panel.blocks[bi];
-        for (ai, ba) in blocks_meta.iter().enumerate().skip(bi) {
-            let a = ba.target;
-            let la = &panel.blocks[ai];
-            if a == b {
-                // SYRK into the diagonal block of b.
-                let nb = lb.rows();
-                let mut temp = Mat::zeros(nb, nb);
-                let (_, secs) = kernels.syrk(&mut temp, lb);
-                rank.advance(secs + RUNTIME_TASK_OVERHEAD);
-                let target = store.get_mut((b, b)).expect("diag owned");
-                for (ci, &gc) in rows_b.iter().enumerate() {
-                    let tc = gc - first_b;
-                    for (ri, &gr) in rows_b.iter().enumerate().skip(ci) {
-                        target[(gr - first_b, tc)] += temp[(ri, ci)];
-                    }
+        // Incoming panel counts per owned supernode, and one apply task per
+        // panel this rank must process.
+        let mut incoming: HashMap<usize, usize> = HashMap::new();
+        for j in (0..ns).filter(|&j| owner_of(j, p) == rank) {
+            incoming.insert(j, 0);
+        }
+        for j in 0..ns {
+            let mut relevant = false;
+            for bb in sf.layout.blocks_of(j) {
+                if owner_of(bb.target, p) == rank {
+                    relevant = true;
+                    *incoming.get_mut(&bb.target).expect("owned") += 1;
                 }
-            } else {
-                let rows_a =
-                    &sf.patterns[j][ba.row_offset..ba.row_offset + ba.n_rows];
-                let tinfo = sf.layout.find(a, b).expect("target block exists");
-                let target_rows =
-                    &sf.patterns[b][tinfo.row_offset..tinfo.row_offset + tinfo.n_rows];
-                let row_map: Vec<usize> = rows_a
-                    .iter()
-                    .map(|r| target_rows.binary_search(r).expect("row containment"))
-                    .collect();
-                let mut temp = Mat::zeros(la.rows(), lb.rows());
-                let (_, secs) = kernels.gemm(&mut temp, la, lb);
-                rank.advance(secs + RUNTIME_TASK_OVERHEAD);
-                let target = store.get_mut((a, b)).expect("target block owned");
-                for (ci, &gc) in rows_b.iter().enumerate() {
-                    let tc = gc - first_b;
-                    for (ri, &tr) in row_map.iter().enumerate() {
-                        target[(tr, tc)] += temp[(ri, ci)];
+            }
+            if relevant {
+                rt.insert_task(RlKey::Apply { j }, 1);
+            }
+        }
+        for (&j, &deps) in &incoming {
+            rt.insert_task(RlKey::Factor { j }, deps);
+        }
+        rt.seed_ready();
+        RlEngine {
+            sf,
+            store,
+            kernels,
+            rt,
+            inputs: HashMap::new(),
+            fetch: FetchConfig::host_two_sided(RENDEZVOUS_OVERHEAD),
+            p,
+            me: rank,
+        }
+    }
+
+    /// Resolve queued panel signals: blocking two-sided receives through the
+    /// runtime's shared fetch path.
+    fn drain_pending(&mut self, rank: &mut Rank) {
+        let signals = self.rt.take_signals();
+        if signals.is_empty() {
+            return;
+        }
+        let cfg = self.fetch;
+        let res = sched::drain_signals(rank, signals, &cfg, |_rank, s, data, ready_at| {
+            self.inputs.insert(s.j, unpack_panel(&self.sf, s.j, &data));
+            self.rt.dec(RlKey::Apply { j: s.j }, ready_at);
+        });
+        res.expect("host fetch cannot fail");
+    }
+
+    fn step(&mut self, rank: &mut Rank) -> bool {
+        self.drain_pending(rank);
+        let Some((key, ready_at)) = self.rt.pick() else {
+            return false;
+        };
+        self.rt.begin(rank, ready_at);
+        match key {
+            RlKey::Factor { j } => self.exec_factor(rank, j),
+            RlKey::Apply { j } => self.exec_apply(rank, j),
+        }
+        self.rt.complete(key);
+        true
+    }
+
+    /// POTRF + TRSMs of supernode `j`, then broadcast the whole panel to
+    /// every rank owning a target (self included, without communication).
+    fn exec_factor(&mut self, rank: &mut Rank, j: usize) {
+        let key = RlKey::Factor { j };
+        let mut diag = self.store.take((j, j)).expect("diag owned");
+        let (_, secs) = self
+            .kernels
+            .potrf(&mut diag)
+            .expect("baseline requires SPD input");
+        self.rt.charge(rank, key, secs);
+        for bb in self.sf.layout.blocks_of(j).to_vec() {
+            let mut blk = self.store.take((bb.target, j)).expect("block owned");
+            let (_, secs) = self.kernels.trsm(&mut blk, &diag);
+            self.rt.charge(rank, key, secs);
+            self.store.put((bb.target, j), blk);
+        }
+        self.store.put((j, j), diag);
+        let mut dests: Vec<usize> = self
+            .sf
+            .layout
+            .blocks_of(j)
+            .iter()
+            .map(|bb| owner_of(bb.target, self.p))
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        if dests.is_empty() {
+            return;
+        }
+        let packed = pack_panel(&self.sf, &self.store, j);
+        let remote: Vec<usize> = dests.iter().copied().filter(|&d| d != self.me).collect();
+        if !remote.is_empty() {
+            let ptr = rank.alloc(MemKind::Host, packed.len()).expect("host alloc");
+            rank.write_local(&ptr, &packed);
+            for d in remote {
+                let sig = PanelSignal { ptr, j };
+                rank.rpc(d, move |r| {
+                    r.with_state::<RlEngine, _>(|_, st| st.rt.post(sig));
+                });
+            }
+        }
+        if dests.contains(&self.me) {
+            // Self-application without communication.
+            self.inputs.insert(j, unpack_panel(&self.sf, j, &packed));
+            let now = rank.now();
+            self.rt.dec(RlKey::Apply { j }, now);
+        }
+    }
+
+    /// Apply every update from panel `j` into this rank's supernodes and
+    /// release the owned factor tasks whose last input this was.
+    fn exec_apply(&mut self, rank: &mut Rank, j: usize) {
+        let key = RlKey::Apply { j };
+        let panel = self.inputs.remove(&j).expect("panel present");
+        let blocks_meta = self.sf.layout.blocks_of(j).to_vec();
+        let mut completed_targets = Vec::new();
+        for (bi, bb) in blocks_meta.iter().enumerate() {
+            let b = bb.target;
+            if owner_of(b, self.p) != self.me {
+                continue;
+            }
+            completed_targets.push(b);
+            let first_b = self.sf.partition.first_col(b);
+            let rows_b = self.sf.patterns[j][bb.row_offset..bb.row_offset + bb.n_rows].to_vec();
+            let lb = &panel.blocks[bi];
+            for (ai, ba) in blocks_meta.iter().enumerate().skip(bi) {
+                let a = ba.target;
+                let la = &panel.blocks[ai];
+                if a == b {
+                    // SYRK into the diagonal block of b.
+                    let nb = lb.rows();
+                    let mut temp = Mat::zeros(nb, nb);
+                    let (_, secs) = self.kernels.syrk(&mut temp, lb);
+                    self.rt.charge(rank, key, secs);
+                    let target = self.store.get_mut((b, b)).expect("diag owned");
+                    for (ci, &gc) in rows_b.iter().enumerate() {
+                        let tc = gc - first_b;
+                        for (ri, &gr) in rows_b.iter().enumerate().skip(ci) {
+                            target[(gr - first_b, tc)] += temp[(ri, ci)];
+                        }
+                    }
+                } else {
+                    let rows_a = &self.sf.patterns[j][ba.row_offset..ba.row_offset + ba.n_rows];
+                    let tinfo = self.sf.layout.find(a, b).expect("target block exists");
+                    let target_rows =
+                        &self.sf.patterns[b][tinfo.row_offset..tinfo.row_offset + tinfo.n_rows];
+                    let row_map: Vec<usize> = rows_a
+                        .iter()
+                        .map(|r| target_rows.binary_search(r).expect("row containment"))
+                        .collect();
+                    let mut temp = Mat::zeros(la.rows(), lb.rows());
+                    let (_, secs) = self.kernels.gemm(&mut temp, la, lb);
+                    self.rt.charge(rank, key, secs);
+                    let target = self.store.get_mut((a, b)).expect("target block owned");
+                    for (ci, &gc) in rows_b.iter().enumerate() {
+                        let tc = gc - first_b;
+                        for (ri, &tr) in row_map.iter().enumerate() {
+                            target[(tr, tc)] += temp[(ri, ci)];
+                        }
                     }
                 }
             }
         }
+        completed_targets.sort_unstable();
+        completed_targets.dedup();
+        let now = rank.now();
+        for t in completed_targets {
+            self.rt.dec(RlKey::Factor { j: t }, now);
+        }
     }
-    completed_targets.sort_unstable();
-    completed_targets.dedup();
-    completed_targets
 }
 
 /// Factor and solve with the right-looking baseline.
@@ -209,32 +461,7 @@ pub fn baseline_factor_and_solve(
     let report = Runtime::run(config, |rank| {
         run_rank(rank, &sf, &ap, &bp, grid, p, &opts2)
     });
-    let outs = report.results;
-    let n = a.n();
-    let mut xp = vec![0.0; n];
-    for out in &outs {
-        for (sn, piece) in &out.x_pieces {
-            let first = sf.partition.first_col(*sn);
-            xp[first..first + piece.len()].copy_from_slice(piece);
-        }
-    }
-    let x = sf.perm.unapply_vec(&xp);
-    let relative_residual = a.relative_residual(&x, b);
-    BaselineReport {
-        x,
-        relative_residual,
-        factor_time: outs.iter().map(|o| o.factor_time).fold(0.0, f64::max),
-        solve_time: outs.iter().map(|o| o.solve_time).fold(0.0, f64::max),
-        op_counts: outs.iter().map(|o| o.counts).collect(),
-        stats: report.stats,
-    }
-}
-
-struct RankOut {
-    factor_time: f64,
-    solve_time: f64,
-    counts: OpCounts,
-    x_pieces: Vec<(usize, Vec<f64>)>,
+    build_report(a, b, &sf, report.results, report.stats)
 }
 
 fn run_rank(
@@ -247,135 +474,63 @@ fn run_rank(
     opts: &BaselineOptions,
 ) -> RankOut {
     let me = rank.id();
-    let ns = sf.n_supernodes();
-    let mut kernels =
-        if opts.gpu { KernelEngine::new_gpu() } else { KernelEngine::new_cpu() };
+    let mut kernels = if opts.gpu {
+        KernelEngine::new_gpu()
+    } else {
+        KernelEngine::new_cpu()
+    };
     if let Some(t) = &opts.thresholds {
         kernels.thresholds = t.clone();
     }
-    let mut store = BlockStore::init(sf, ap, &grid, me);
-    // Incoming panel counts per owned supernode, and the set of panels this
-    // rank must process.
-    let mut incoming: HashMap<usize, usize> = HashMap::new();
-    let mut panels_expected = 0usize;
-    let owned: Vec<usize> = (0..ns).filter(|&j| owner_of(j, p) == me).collect();
-    for &j in &owned {
-        incoming.insert(j, 0);
-    }
-    for j in 0..ns {
-        let mut relevant = false;
-        for bb in sf.layout.blocks_of(j) {
-            if owner_of(bb.target, p) == me {
-                relevant = true;
-                *incoming.get_mut(&bb.target).expect("owned") += 1;
-            }
-        }
-        if relevant {
-            panels_expected += 1;
-        }
-    }
-    let mut inputs: HashMap<usize, (Mat, Panel)> = HashMap::new();
-    let mut factored: HashMap<usize, bool> = owned.iter().map(|&j| (j, false)).collect();
-    let mut factored_count = 0usize;
-    let mut processed = 0usize;
+    let engine = RlEngine::new(Arc::clone(sf), ap, &grid, me, p, kernels, opts);
     let start = rank.now();
-    rank.set_state(RlState { pending: Vec::new() });
-    loop {
-        rank.progress();
-        // Receive panels synchronously (two-sided flavor): block the virtual
-        // clock on the transfer plus a rendezvous overhead.
-        let signals =
-            rank.with_state::<RlState, _>(|_, st| std::mem::take(&mut st.pending));
-        for s in signals {
-            let h = rank.rget(&s.ptr);
-            let data = h.wait(rank);
-            rank.advance(RENDEZVOUS_OVERHEAD);
-            inputs.insert(s.j, unpack_panel(sf, s.j, &data));
-        }
-        // Apply any unapplied received panels.
-        let ready_panels: Vec<usize> = inputs.keys().copied().collect();
-        for j in ready_panels {
-            let (_, panel) = inputs.remove(&j).expect("present");
-            let targets = apply_panel(sf, &mut store, &mut kernels, rank, p, me, j, &panel);
-            for t in targets {
-                *incoming.get_mut(&t).expect("owned target") -= 1;
-            }
-            processed += 1;
-        }
-        // Factor every owned supernode whose updates are all in.
-        let ready: Vec<usize> = owned
-            .iter()
-            .copied()
-            .filter(|j| !factored[j] && incoming[&{ *j }] == 0)
-            .collect();
-        for j in ready {
-            let mut diag = store.take((j, j)).expect("diag owned");
-            let (_, secs) = kernels.potrf(&mut diag).expect("baseline requires SPD input");
-            rank.advance(secs + RUNTIME_TASK_OVERHEAD);
-            for bb in sf.layout.blocks_of(j) {
-                let mut blk = store.take((bb.target, j)).expect("block owned");
-                let (_, secs) = kernels.trsm(&mut blk, &diag);
-                rank.advance(secs + RUNTIME_TASK_OVERHEAD);
-                store.put((bb.target, j), blk);
-            }
-            store.put((j, j), diag);
-            *factored.get_mut(&j).expect("owned") = true;
-            factored_count += 1;
-            // Broadcast the whole panel to every rank owning a target.
-            let mut dests: Vec<usize> =
-                sf.layout.blocks_of(j).iter().map(|bb| owner_of(bb.target, p)).collect();
-            dests.sort_unstable();
-            dests.dedup();
-            if dests.is_empty() {
-                continue;
-            }
-            let packed = pack_panel(sf, &store, j);
-            let ptr = rank.alloc(MemKind::Host, packed.len()).expect("host alloc");
-            rank.write_local(&ptr, &packed);
-            for d in dests {
-                if d == me {
-                    // Self-application without communication.
-                    let (_, panel) = unpack_panel(sf, j, &packed);
-                    let targets =
-                        apply_panel(sf, &mut store, &mut kernels, rank, p, me, j, &panel);
-                    for t in targets {
-                        *incoming.get_mut(&t).expect("owned target") -= 1;
-                    }
-                    processed += 1;
-                } else {
-                    let sig = PanelSignal { ptr, j };
-                    rank.rpc(d, move |r| {
-                        r.with_state::<RlState, _>(|_, st| st.pending.push(sig));
-                    });
-                }
-            }
-        }
-        if factored_count == owned.len() && processed == panels_expected {
-            break;
-        }
-        std::thread::yield_now();
-    }
-    rank.barrier();
+    let mut engine = sched::run_event_loop(rank, engine, |rank, st: &mut RlEngine| {
+        while st.step(rank) {}
+        st.rt.finished()
+    });
     let factor_time = rank.now() - start;
-    let _ = rank.take_state::<RlState>();
+    let mut trace = engine
+        .rt
+        .tracer
+        .take()
+        .map(Tracer::into_events)
+        .unwrap_or_default();
+    let mut tasks: Vec<(String, u64)> = engine
+        .rt
+        .task_counts()
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v))
+        .collect();
     // Solve with the shared distributed algorithm, 1D grid + rendezvous
     // overhead per message.
-    let solve_kernels =
-        if opts.gpu { KernelEngine::new_gpu() } else { KernelEngine::new_cpu() };
-    let (x_map, solve_time) = trisolve::solve_with_overhead(
+    let solve_kernels = if opts.gpu {
+        KernelEngine::new_gpu()
+    } else {
+        KernelEngine::new_cpu()
+    };
+    let params = SolveParams {
+        policy: opts.rtq_policy,
+        msg_overhead: RENDEZVOUS_OVERHEAD,
+        trace: opts.trace,
+    };
+    let out = trisolve::solve(
         rank,
         Arc::clone(sf),
         grid,
-        &store,
+        &engine.store,
         bp,
         solve_kernels,
-        RENDEZVOUS_OVERHEAD,
+        &params,
     );
+    trace.extend(out.trace);
+    tasks.extend(out.task_counts.iter().map(|&(k, v)| (k.to_string(), v)));
     RankOut {
         factor_time,
-        solve_time,
-        counts: kernels.counts,
-        x_pieces: x_map.into_iter().collect(),
+        solve_time: out.elapsed,
+        counts: engine.kernels.counts,
+        x_pieces: out.x.into_iter().collect(),
+        trace,
+        tasks,
     }
 }
 
@@ -392,12 +547,20 @@ mod tests {
         let one = baseline_factor_and_solve(
             &a,
             &b,
-            &BaselineOptions { n_nodes: 1, ranks_per_node: 1, ..Default::default() },
+            &BaselineOptions {
+                n_nodes: 1,
+                ranks_per_node: 1,
+                ..Default::default()
+            },
         );
         let four = baseline_factor_and_solve(
             &a,
             &b,
-            &BaselineOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() },
+            &BaselineOptions {
+                n_nodes: 2,
+                ranks_per_node: 2,
+                ..Default::default()
+            },
         );
         assert!(one.relative_residual < 1e-10);
         assert!(four.relative_residual < 1e-10);
@@ -410,11 +573,7 @@ mod tests {
         let a = laplacian_2d(8, 7);
         let b = test_rhs(a.n());
         let base = baseline_factor_and_solve(&a, &b, &BaselineOptions::default());
-        let sp = sympack::SymPack::factor_and_solve(
-            &a,
-            &b,
-            &sympack::SolverOptions::default(),
-        );
+        let sp = sympack::SymPack::factor_and_solve(&a, &b, &sympack::SolverOptions::default());
         let diff = sympack_sparse::vecops::max_abs_diff(&base.x, &sp.x);
         assert!(diff < 1e-8, "solvers disagree: {diff}");
     }
@@ -428,6 +587,31 @@ mod tests {
             for i in j..30 {
                 assert_eq!(g.map(i, j), j % 5);
             }
+        }
+    }
+
+    #[test]
+    fn baseline_trace_and_counts_cover_both_phases() {
+        let a = laplacian_2d(7, 7);
+        let b = test_rhs(a.n());
+        let r = baseline_factor_and_solve(
+            &a,
+            &b,
+            &BaselineOptions {
+                trace: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !r.trace.is_empty(),
+            "tracer wired through the shared runtime"
+        );
+        let kinds: Vec<&str> = r.task_counts.iter().map(|(k, _)| k.as_str()).collect();
+        for expected in ["factor_panel", "apply_panel", "fwd_diag", "bwd_diag"] {
+            assert!(
+                kinds.contains(&expected),
+                "missing task kind {expected}: {kinds:?}"
+            );
         }
     }
 }

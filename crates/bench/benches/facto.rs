@@ -1,50 +1,49 @@
-//! Criterion benchmarks of the full pipeline (wall-clock): analysis,
-//! symPACK factorization+solve, and the right-looking baseline, on reduced
+//! Wall-clock benchmarks of the full pipeline: analysis, symPACK
+//! factorization+solve, and the right-looking baseline, on reduced
 //! instances of the paper's three problems.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sympack::{SolverOptions, SymPack};
 use sympack_baseline::{baseline_factor_and_solve, BaselineOptions};
+use sympack_bench::microbench::Sampler;
 use sympack_bench::Problem;
 use sympack_sparse::vecops::test_rhs;
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("analysis");
-    g.sample_size(10);
+fn bench_analysis(s: &Sampler) {
     for p in Problem::ALL {
         let a = p.matrix_quick();
-        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &a, |bench, a| {
-            bench.iter(|| SymPack::analyze_only(a, &SolverOptions::default()));
+        s.run("analysis", p.name(), 0, || {
+            SymPack::analyze_only(&a, &SolverOptions::default())
         });
     }
-    g.finish();
 }
 
-fn bench_sympack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sympack_factor_and_solve");
-    g.sample_size(10);
+fn bench_sympack(s: &Sampler) {
     for p in Problem::ALL {
         let a = p.matrix_quick();
         let b = test_rhs(a.n());
-        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &a, |bench, a| {
-            bench.iter(|| SymPack::factor_and_solve(a, &b, &SolverOptions::default()));
+        s.run("sympack_factor_and_solve", p.name(), 0, || {
+            SymPack::factor_and_solve(&a, &b, &SolverOptions::default())
         });
     }
-    g.finish();
 }
 
-fn bench_baseline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("baseline_factor_and_solve");
-    g.sample_size(10);
+fn bench_baseline(s: &Sampler) {
     for p in Problem::ALL {
         let a = p.matrix_quick();
         let b = test_rhs(a.n());
-        g.bench_with_input(BenchmarkId::from_parameter(p.name()), &a, |bench, a| {
-            bench.iter(|| baseline_factor_and_solve(a, &b, &BaselineOptions::default()));
+        s.run("baseline_factor_and_solve", p.name(), 0, || {
+            baseline_factor_and_solve(&a, &b, &BaselineOptions::default())
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_analysis, bench_sympack, bench_baseline);
-criterion_main!(benches);
+fn main() {
+    let s = Sampler {
+        samples: 10,
+        iters_per_sample: 1,
+        warmup: 1,
+    };
+    bench_analysis(&s);
+    bench_sympack(&s);
+    bench_baseline(&s);
+}

@@ -1,82 +1,71 @@
-//! Criterion benchmarks of the dense BLAS-3/LAPACK kernels that carry all
-//! of the factorization's arithmetic (wall-clock, not modeled time).
+//! Wall-clock benchmarks of the dense BLAS-3/LAPACK kernels that carry all
+//! of the factorization's arithmetic (not modeled time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sympack_bench::microbench::Sampler;
 use sympack_dense::{flops, gemm_nt, potrf, syrk_lower, trsm_right_lower_trans, Mat};
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gemm_nt");
-    g.sample_size(20);
+fn bench_gemm(s: &Sampler) {
     for &n in &[64usize, 128, 256] {
-        g.throughput(Throughput::Elements(flops::gemm(n, n, n)));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
-            let a = Mat::from_fn(n, n, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
-            let b = Mat::from_fn(n, n, |r, c| ((r + c * 5) % 11) as f64 - 5.0);
-            let c0 = Mat::zeros(n, n);
-            bench.iter(|| {
-                let mut cm = c0.clone();
-                gemm_nt(&mut cm, &a, &b);
-                cm
-            });
+        let a = Mat::from_fn(n, n, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
+        let b = Mat::from_fn(n, n, |r, c| ((r + c * 5) % 11) as f64 - 5.0);
+        let c0 = Mat::zeros(n, n);
+        s.run("gemm_nt", &n.to_string(), flops::gemm(n, n, n), || {
+            let mut cm = c0.clone();
+            gemm_nt(&mut cm, &a, &b);
+            cm
         });
     }
-    g.finish();
 }
 
-fn bench_syrk(c: &mut Criterion) {
-    let mut g = c.benchmark_group("syrk_lower");
-    g.sample_size(20);
+fn bench_syrk(s: &Sampler) {
     for &n in &[64usize, 128, 256] {
-        g.throughput(Throughput::Elements(flops::syrk(n, n)));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
-            let a = Mat::from_fn(n, n, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
-            let c0 = Mat::zeros(n, n);
-            bench.iter(|| {
-                let mut cm = c0.clone();
-                syrk_lower(&mut cm, &a);
-                cm
-            });
+        let a = Mat::from_fn(n, n, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
+        let c0 = Mat::zeros(n, n);
+        s.run("syrk_lower", &n.to_string(), flops::syrk(n, n), || {
+            let mut cm = c0.clone();
+            syrk_lower(&mut cm, &a);
+            cm
         });
     }
-    g.finish();
 }
 
-fn bench_trsm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trsm_right_lower_trans");
-    g.sample_size(20);
+fn bench_trsm(s: &Sampler) {
     for &n in &[64usize, 128, 256] {
-        g.throughput(Throughput::Elements(flops::trsm(n, n)));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
-            let spd = Mat::spd_from(n, |r, c| ((r + 2 * c) % 5) as f64 - 2.0);
-            let mut l = spd.clone();
-            potrf(&mut l).unwrap();
-            let b0 = Mat::from_fn(n, n, |r, c| ((r * 7 + c) % 13) as f64 - 6.0);
-            bench.iter(|| {
+        let spd = Mat::spd_from(n, |r, c| ((r + 2 * c) % 5) as f64 - 2.0);
+        let mut l = spd.clone();
+        potrf(&mut l).unwrap();
+        let b0 = Mat::from_fn(n, n, |r, c| ((r * 7 + c) % 13) as f64 - 6.0);
+        s.run(
+            "trsm_right_lower_trans",
+            &n.to_string(),
+            flops::trsm(n, n),
+            || {
                 let mut b = b0.clone();
                 trsm_right_lower_trans(&mut b, &l);
                 b
-            });
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_potrf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("potrf");
-    g.sample_size(20);
+fn bench_potrf(s: &Sampler) {
     for &n in &[64usize, 128, 256] {
-        g.throughput(Throughput::Elements(flops::potrf(n)));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
-            let spd = Mat::spd_from(n, |r, c| ((r * 5 + c * 3) % 9) as f64 - 4.0);
-            bench.iter(|| {
-                let mut a = spd.clone();
-                potrf(&mut a).unwrap();
-                a
-            });
+        let spd = Mat::spd_from(n, |r, c| ((r * 5 + c * 3) % 9) as f64 - 4.0);
+        s.run("potrf", &n.to_string(), flops::potrf(n), || {
+            let mut a = spd.clone();
+            potrf(&mut a).unwrap();
+            a
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_syrk, bench_trsm, bench_potrf);
-criterion_main!(benches);
+fn main() {
+    let s = Sampler {
+        samples: 20,
+        ..Default::default()
+    };
+    bench_gemm(&s);
+    bench_syrk(&s);
+    bench_trsm(&s);
+    bench_potrf(&s);
+}

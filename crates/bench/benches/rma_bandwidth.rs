@@ -1,8 +1,8 @@
-//! Criterion benchmark behind Fig. 5: flood of one-sided gets between two
-//! ranks through the real runtime (wall-clock throughput of the substrate)
-//! plus the modeled-bandwidth evaluation at the paper's payload points.
+//! Benchmark behind Fig. 5: flood of one-sided gets between two ranks
+//! through the real runtime (wall-clock throughput of the substrate) plus
+//! the modeled-bandwidth evaluation at the paper's payload points.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sympack_bench::microbench::Sampler;
 use sympack_pgas::{GlobalPtr, MemKind, MemKindsMode, NetModel, PgasConfig, Runtime};
 
 /// Drive a window of rgets through the actual runtime (two ranks) and
@@ -37,46 +37,43 @@ fn flood_once(elems: usize, window: usize) -> u64 {
     report.results[1]
 }
 
-fn bench_runtime_flood(c: &mut Criterion) {
-    let mut g = c.benchmark_group("runtime_rget_flood");
-    g.sample_size(10);
+fn bench_runtime_flood(s: &Sampler) {
     for &elems in &[1024usize, 16 * 1024] {
-        g.throughput(Throughput::Bytes((elems * 8 * 64) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(elems * 8), &elems, |bench, &elems| {
-            bench.iter(|| flood_once(elems, 64));
-        });
-    }
-    g.finish();
-}
-
-fn bench_model_eval(c: &mut Criterion) {
-    // The cost-model evaluation itself (used millions of times per run).
-    let mut g = c.benchmark_group("netmodel_eval");
-    g.sample_size(30);
-    for mode in [MemKindsMode::Native, MemKindsMode::Reference] {
-        let m = NetModel { mode, ..NetModel::default() };
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{mode:?}")),
-            &m,
-            |bench, m| {
-                bench.iter(|| {
-                    let mut acc = 0.0;
-                    for p in 4..23 {
-                        acc += m.flood_bandwidth(
-                            1usize << p,
-                            64,
-                            false,
-                            MemKind::Host,
-                            MemKind::Device,
-                        );
-                    }
-                    acc
-                });
-            },
+        s.run(
+            "runtime_rget_flood",
+            &format!("{}B", elems * 8),
+            (elems * 64) as u64,
+            || flood_once(elems, 64),
         );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_runtime_flood, bench_model_eval);
-criterion_main!(benches);
+fn bench_model_eval(s: &Sampler) {
+    // The cost-model evaluation itself (used millions of times per run).
+    for mode in [MemKindsMode::Native, MemKindsMode::Reference] {
+        let m = NetModel {
+            mode,
+            ..NetModel::default()
+        };
+        s.run("netmodel_eval", &format!("{mode:?}"), 0, || {
+            let mut acc = 0.0;
+            for p in 4..23 {
+                acc += m.flood_bandwidth(1usize << p, 64, false, MemKind::Host, MemKind::Device);
+            }
+            acc
+        });
+    }
+}
+
+fn main() {
+    let s = Sampler {
+        samples: 10,
+        ..Default::default()
+    };
+    bench_runtime_flood(&s);
+    let s = Sampler {
+        samples: 30,
+        ..Default::default()
+    };
+    bench_model_eval(&s);
+}

@@ -35,8 +35,10 @@ fn main() {
             format!("{}/{}", st.diagonally_dominant_rows, st.n),
         ]);
     }
-    println!("Input-matrix structure
-");
+    println!(
+        "Input-matrix structure
+"
+    );
     println!("{}", render_table(&mrows));
 
     let mut rows = vec![vec![
@@ -64,8 +66,16 @@ fn main() {
             st.n_blocks.to_string(),
             format!("{:.1}", st.block_rows.1),
             st.tree_height.to_string(),
-            st.level_widths.iter().copied().max().unwrap_or(0).to_string(),
-            format!("{:.1}%", 100.0 * st.critical_path_flops as f64 / st.flops as f64),
+            st.level_widths
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0)
+                .to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * st.critical_path_flops as f64 / st.flops as f64
+            ),
         ]);
     }
     println!("Structural analysis of the evaluation problems\n");

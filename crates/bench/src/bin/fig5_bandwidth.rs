@@ -19,13 +19,23 @@ const MIB: f64 = 1024.0 * 1024.0;
 /// native memory kinds across the measured range (paper §5.1), modeled as a
 /// slightly higher-latency native path.
 fn mpi_model() -> NetModel {
-    NetModel { net_latency: 3.0e-6, net_bandwidth: 22.0e9, ..NetModel::default() }
+    NetModel {
+        net_latency: 3.0e-6,
+        net_bandwidth: 22.0e9,
+        ..NetModel::default()
+    }
 }
 
 fn main() {
     let sizes: Vec<usize> = (4..=22).map(|p| 1usize << p).collect(); // 16 B .. 4 MiB
-    let native = NetModel { mode: MemKindsMode::Native, ..NetModel::default() };
-    let reference = NetModel { mode: MemKindsMode::Reference, ..NetModel::default() };
+    let native = NetModel {
+        mode: MemKindsMode::Native,
+        ..NetModel::default()
+    };
+    let reference = NetModel {
+        mode: MemKindsMode::Reference,
+        ..NetModel::default()
+    };
     let mpi = mpi_model();
     let mut rows = vec![vec![
         "Transfer size".to_string(),
@@ -58,7 +68,10 @@ fn main() {
         ]);
     }
     println!("Fig. 5: RMA get flood bandwidth (remote host memory -> local GPU memory)");
-    println!("window = {WINDOW} gets, limiting wire speed 25 GB/s = {:.0} MiB/s\n", 25.0e9 / MIB);
+    println!(
+        "window = {WINDOW} gets, limiting wire speed 25 GB/s = {:.0} MiB/s\n",
+        25.0e9 / MIB
+    );
     println!("{}", render_table(&rows));
     println!("paper reference points: native/reference = 5.9x at 8 KiB (here {r8k:.1}x),");
     println!("2.3x for payloads over 1 MiB (here {r_large:.1}x); MPI within 20% of native.");

@@ -13,7 +13,11 @@ fn main() {
     let a = if quick { p.matrix_quick() } else { p.matrix() };
     let b = test_rhs(a.n());
     // Paper setup: 4 UPC++ processes, one node with 4 GPUs.
-    let opts = SolverOptions { n_nodes: 1, ranks_per_node: 4, ..Default::default() };
+    let opts = SolverOptions {
+        n_nodes: 1,
+        ranks_per_node: 4,
+        ..Default::default()
+    };
     let r = SymPack::factor_and_solve(&a, &b, &opts);
     assert!(r.relative_residual < 1e-8);
     let rank0 = &r.op_counts[0];
@@ -25,7 +29,11 @@ fn main() {
     ]];
     for op in Op::ALL {
         let (cpu, gpu) = rank0.get(op);
-        let share = if cpu + gpu > 0 { 100.0 * gpu as f64 / (cpu + gpu) as f64 } else { 0.0 };
+        let share = if cpu + gpu > 0 {
+            100.0 * gpu as f64 / (cpu + gpu) as f64
+        } else {
+            0.0
+        };
         rows.push(vec![
             op.name().to_string(),
             cpu.to_string(),

@@ -3,14 +3,21 @@
 //! of a (multilevel) nested-dissection ordering.
 
 use sympack_bench::{render_table, Problem};
-use sympack_ordering::{metrics, nested_dissection, min_degree, rcm, NdOptions, Permutation, SeparatorStrategy};
+use sympack_ordering::{
+    metrics, min_degree, nested_dissection, rcm, NdOptions, Permutation, SeparatorStrategy,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     for p in Problem::ALL {
         let a = if quick { p.matrix_quick() } else { p.matrix() };
         println!("\n=== {} (n={}) ===", p.name(), a.n());
-        let mut rows = vec![vec!["ordering".to_string(), "nnz(L)".to_string(), "flops".to_string(), "time".to_string()]];
+        let mut rows = vec![vec![
+            "ordering".to_string(),
+            "nnz(L)".to_string(),
+            "flops".to_string(),
+            "time".to_string(),
+        ]];
         let t0 = std::time::Instant::now();
         let nat = Permutation::identity(a.n());
         rows.push(row("natural", &a, &nat, t0));
@@ -21,17 +28,39 @@ fn main() {
         let md = min_degree(&a);
         rows.push(row("minimum degree", &a, &md, t0));
         let t0 = std::time::Instant::now();
-        let ls = nested_dissection(&a, &NdOptions { strategy: SeparatorStrategy::LevelSet, ..Default::default() });
+        let ls = nested_dissection(
+            &a,
+            &NdOptions {
+                strategy: SeparatorStrategy::LevelSet,
+                ..Default::default()
+            },
+        );
         rows.push(row("ND (level-set)", &a, &ls, t0));
         let t0 = std::time::Instant::now();
-        let ml = nested_dissection(&a, &NdOptions { strategy: SeparatorStrategy::Multilevel, ..Default::default() });
+        let ml = nested_dissection(
+            &a,
+            &NdOptions {
+                strategy: SeparatorStrategy::Multilevel,
+                ..Default::default()
+            },
+        );
         rows.push(row("ND (multilevel, Scotch-like)", &a, &ml, t0));
         println!("{}", render_table(&rows));
     }
 }
 
-fn row(name: &str, a: &sympack_sparse::SparseSym, p: &Permutation, t0: std::time::Instant) -> Vec<String> {
+fn row(
+    name: &str,
+    a: &sympack_sparse::SparseSym,
+    p: &Permutation,
+    t0: std::time::Instant,
+) -> Vec<String> {
     let nnz = metrics::factor_nnz(a, p);
     let fl = metrics::factor_flops(a, p);
-    vec![name.to_string(), nnz.to_string(), format!("{:.3e}", fl as f64), format!("{:?}", t0.elapsed())]
+    vec![
+        name.to_string(),
+        nnz.to_string(),
+        format!("{:.3e}", fl as f64),
+        format!("{:?}", t0.elapsed()),
+    ]
 }

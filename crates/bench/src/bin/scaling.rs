@@ -33,13 +33,26 @@ fn main() {
         Some(p) => vec![p],
         None => Problem::ALL.to_vec(),
     };
-    let nodes: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let nodes: &[usize] = if quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
     // The paper reports the best over several processes-per-node choices;
     // on big node counts use 1 rank/node to bound thread counts.
     for problem in problems {
-        let a = if quick { problem.matrix_quick() } else { problem.matrix() };
+        let a = if quick {
+            problem.matrix_quick()
+        } else {
+            problem.matrix()
+        };
         let b = test_rhs(a.n());
-        println!("\n=== {} — n={}, nnz={} ===", problem.name(), a.n(), a.nnz_full());
+        println!(
+            "\n=== {} — n={}, nnz={} ===",
+            problem.name(),
+            a.n(),
+            a.nnz_full()
+        );
         let mut rows = vec![vec![
             "Nodes".to_string(),
             "symPACK facto".to_string(),
@@ -60,21 +73,29 @@ fn main() {
                 let sp = SymPack::factor_and_solve(
                     &a,
                     &b,
-                    &SolverOptions { n_nodes, ranks_per_node: ppn, ..Default::default() },
+                    &SolverOptions {
+                        n_nodes,
+                        ranks_per_node: ppn,
+                        ..Default::default()
+                    },
                 );
                 assert!(sp.relative_residual < 1e-8, "symPACK residual blew up");
                 let cand = (sp.factor_time, sp.solve_time);
-                if best_sp.map_or(true, |(f, _)| cand.0 < f) {
+                if best_sp.is_none_or(|(f, _)| cand.0 < f) {
                     best_sp = Some(cand);
                 }
                 let bl = baseline_factor_and_solve(
                     &a,
                     &b,
-                    &BaselineOptions { n_nodes, ranks_per_node: ppn, ..Default::default() },
+                    &BaselineOptions {
+                        n_nodes,
+                        ranks_per_node: ppn,
+                        ..Default::default()
+                    },
                 );
                 assert!(bl.relative_residual < 1e-8, "baseline residual blew up");
                 let cand = (bl.factor_time, bl.solve_time);
-                if best_bl.map_or(true, |(f, _)| cand.0 < f) {
+                if best_bl.is_none_or(|(f, _)| cand.0 < f) {
                     best_bl = Some(cand);
                 }
             }

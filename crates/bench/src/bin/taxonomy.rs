@@ -24,9 +24,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| Problem::from_name(s).expect("unknown matrix"))
         .unwrap_or(Problem::Flan);
-    let a = if quick { problem.matrix_quick() } else { problem.matrix() };
+    let a = if quick {
+        problem.matrix_quick()
+    } else {
+        problem.matrix()
+    };
     let b = test_rhs(a.n());
-    println!("Taxonomy comparison on {} (n={}, nnz={})\n", problem.name(), a.n(), a.nnz_full());
+    println!(
+        "Taxonomy comparison on {} (n={}, nnz={})\n",
+        problem.name(),
+        a.n(),
+        a.nnz_full()
+    );
     let nodes_list: &[usize] = if quick { &[1, 4] } else { &[1, 4, 16] };
     let mut rows = vec![vec![
         "Nodes".to_string(),
@@ -41,8 +50,16 @@ fn main() {
     ]];
     for &nodes in nodes_list {
         let ppn = 2;
-        let so = SolverOptions { n_nodes: nodes, ranks_per_node: ppn, ..Default::default() };
-        let bo = BaselineOptions { n_nodes: nodes, ranks_per_node: ppn, ..Default::default() };
+        let so = SolverOptions {
+            n_nodes: nodes,
+            ranks_per_node: ppn,
+            ..Default::default()
+        };
+        let bo = BaselineOptions {
+            n_nodes: nodes,
+            ranks_per_node: ppn,
+            ..Default::default()
+        };
         let fo = SymPack::factor_and_solve(&a, &b, &so);
         let fb = fanboth_factor_and_solve(&a, &b, &bo);
         let rl = baseline_factor_and_solve(&a, &b, &bo);

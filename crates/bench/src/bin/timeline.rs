@@ -1,15 +1,46 @@
 //! Task-timeline export: run a traced factorization and write a
 //! Chrome/Perfetto trace (`results/timeline.json`) plus a busy-fraction and
 //! per-category time summary — the observability view of the fan-out
-//! scheduler (which tasks overlapped, where ranks idled).
+//! scheduler (which tasks overlapped, where ranks idled). The shared task
+//! runtime traces the baselines too, so a right-looking timeline
+//! (`results/timeline_baseline.json`) is emitted alongside for a
+//! side-by-side of the two schedules.
 //!
 //! ```text
 //! cargo run --release -p sympack-bench --bin timeline -- [--quick] [--out PATH]
 //! ```
 
 use sympack::{SolverOptions, SymPack};
+use sympack_baseline::{baseline_factor_and_solve, BaselineOptions};
 use sympack_bench::{render_table, Problem};
 use sympack_sparse::vecops::test_rhs;
+use sympack_trace::TraceEvent;
+
+/// Print busy fractions and the per-category kernel-time split of a trace.
+fn summarize(trace: &[TraceEvent], makespan: f64, n_ranks: usize) {
+    let busy = sympack_trace::busy_fractions(trace, makespan, n_ranks);
+    let mut rows = vec![vec!["rank".to_string(), "busy fraction".to_string()]];
+    for (rk, f) in busy.iter().enumerate() {
+        rows.push(vec![rk.to_string(), format!("{:.1}%", f * 100.0)]);
+    }
+    println!("{}", render_table(&rows));
+    let mut rows = vec![vec!["kernel".to_string(), "total time".to_string()]];
+    for (cat, t) in sympack_trace::time_by_category(trace) {
+        if t > 0.0 {
+            rows.push(vec![cat.label().to_string(), format!("{:.3} ms", t * 1e3)]);
+        }
+    }
+    println!("{}", render_table(&rows));
+}
+
+/// Write `trace` as a Chrome/Perfetto JSON file at `out`.
+fn write_trace(out: &str, trace: &[TraceEvent]) {
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(out, sympack_trace::to_chrome_json(trace)).expect("write trace");
+    println!("Chrome trace written to {out} (open in chrome://tracing or ui.perfetto.dev)");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -23,34 +54,44 @@ fn main() {
     let p = Problem::Bone;
     let a = if quick { p.matrix_quick() } else { p.matrix() };
     let b = test_rhs(a.n());
-    let opts = SolverOptions { n_nodes: 4, ranks_per_node: 2, trace: true, ..Default::default() };
+    let opts = SolverOptions {
+        n_nodes: 4,
+        ranks_per_node: 2,
+        trace: true,
+        ..Default::default()
+    };
     let r = SymPack::factor_and_solve(&a, &b, &opts);
     assert!(r.relative_residual < 1e-8);
     let n_ranks = opts.n_nodes * opts.ranks_per_node;
     println!(
-        "traced {} tasks over {} ranks, factorization makespan {:.3} ms\n",
+        "fan-out: traced {} tasks over {} ranks, factorization makespan {:.3} ms\n",
         r.trace.len(),
         n_ranks,
         r.factor_time * 1e3
     );
-    // Busy fractions per rank.
-    let busy = sympack_trace::busy_fractions(&r.trace, r.factor_time, n_ranks);
-    let mut rows = vec![vec!["rank".to_string(), "busy fraction".to_string()]];
-    for (rk, f) in busy.iter().enumerate() {
-        rows.push(vec![rk.to_string(), format!("{:.1}%", f * 100.0)]);
-    }
-    println!("{}", render_table(&rows));
-    // Category split.
-    let mut rows = vec![vec!["kernel".to_string(), "total time".to_string()]];
-    for (cat, t) in sympack_trace::time_by_category(&r.trace) {
-        if t > 0.0 {
-            rows.push(vec![cat.label().to_string(), format!("{:.3} ms", t * 1e3)]);
-        }
-    }
-    println!("{}", render_table(&rows));
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    std::fs::write(&out, sympack_trace::to_chrome_json(&r.trace)).expect("write trace");
-    println!("Chrome trace written to {out} (open in chrome://tracing or ui.perfetto.dev)");
+    summarize(&r.trace, r.factor_time, n_ranks);
+    write_trace(&out, &r.trace);
+
+    // The right-looking baseline through the same traced runtime.
+    let bopts = BaselineOptions {
+        n_nodes: opts.n_nodes,
+        ranks_per_node: opts.ranks_per_node,
+        trace: true,
+        ..Default::default()
+    };
+    let br = baseline_factor_and_solve(&a, &b, &bopts);
+    assert!(br.relative_residual < 1e-8);
+    println!(
+        "\nright-looking baseline: traced {} tasks over {} ranks, factorization makespan {:.3} ms\n",
+        br.trace.len(),
+        n_ranks,
+        br.factor_time * 1e3
+    );
+    summarize(&br.trace, br.factor_time, n_ranks);
+    let bout = if out.ends_with(".json") {
+        format!("{}_baseline.json", out.trim_end_matches(".json"))
+    } else {
+        format!("{out}_baseline")
+    };
+    write_trace(&bout, &br.trace);
 }

@@ -1,0 +1,56 @@
+//! Minimal wall-clock micro-benchmark harness for the `benches/` targets.
+//!
+//! Each measurement warms up, then runs timed batches until a time budget
+//! is spent, reporting median/min per-iteration latency and (optionally)
+//! throughput against a caller-supplied element or byte count.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement over `f`.
+pub struct Sampler {
+    /// Samples to collect (each sample times one call batch).
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: usize,
+    /// Warm-up calls before measuring.
+    pub warmup: usize,
+}
+
+impl Default for Sampler {
+    fn default() -> Self {
+        Sampler {
+            samples: 10,
+            iters_per_sample: 3,
+            warmup: 2,
+        }
+    }
+}
+
+impl Sampler {
+    /// Run `f` and print `<group>/<id>  median  min  [throughput]`.
+    /// `work` is the per-iteration element count for the throughput column
+    /// (0 to omit).
+    pub fn run<R, F: FnMut() -> R>(&self, group: &str, id: &str, work: u64, mut f: F) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    std::hint::black_box(f());
+                }
+                t0.elapsed() / self.iters_per_sample as u32
+            })
+            .collect();
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let mut line = format!("{group}/{id:<24} median {:>12?}  min {:>12?}", median, min);
+        if work > 0 {
+            let rate = work as f64 / median.as_secs_f64();
+            line.push_str(&format!("  {:>10.3} Melem/s", rate / 1e6));
+        }
+        println!("{line}");
+    }
+}

@@ -66,7 +66,10 @@ pub fn inv_norm1_estimate(a: &SparseSym, g: &GatheredFactor, max_iter: usize) ->
         let y = solve_with_factor(g, &x);
         let est: f64 = y.iter().map(|v| v.abs()).sum();
         best = best.max(est);
-        let xi: Vec<f64> = y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let xi: Vec<f64> = y
+            .iter()
+            .map(|v| if *v >= 0.0 { 1.0 } else { -1.0 })
+            .collect();
         let z = solve_with_factor(g, &xi); // A symmetric: Aᵀ = A
         let (mut j, mut zmax) = (0usize, 0.0f64);
         for (k, v) in z.iter().enumerate() {

@@ -98,16 +98,25 @@ pub struct SolveReport {
     pub n_supernodes: usize,
     /// Factorization task timeline (empty unless `SolverOptions::trace`).
     pub trace: Vec<sympack_trace::TraceEvent>,
+    /// Executed scheduler tasks per kind, summed over ranks
+    /// (factorization kinds `diag`/`panel`/`update` plus the solve sweep
+    /// kinds) — a schedule-invariant the cross-solver tests check.
+    pub task_counts: Vec<(String, u64)>,
 }
+
+/// The pieces of `x` a rank owns after one triangular solve.
+type XPieces = Vec<(usize, Vec<f64>)>;
 
 /// What one rank hands back to the driver.
 struct RankOut {
     error: Option<SolverError>,
     factor_time: f64,
     /// One entry per right-hand side: (solve makespan, owned x pieces).
-    solves: Vec<(f64, Vec<(usize, Vec<f64>)>)>,
+    solves: Vec<(f64, XPieces)>,
     counts: OpCounts,
     trace: Vec<sympack_trace::TraceEvent>,
+    /// Executed scheduler tasks per kind (factorization + first solve).
+    tasks: Vec<(String, u64)>,
 }
 
 /// Outcome of factorization without a solve (used by benches that time the
@@ -145,6 +154,9 @@ pub struct MultiSolveReport {
     pub n_supernodes: usize,
     /// Factorization task timeline (empty unless `SolverOptions::trace`).
     pub trace: Vec<sympack_trace::TraceEvent>,
+    /// Executed scheduler tasks per kind, summed over ranks (factorization
+    /// plus the first solve).
+    pub task_counts: Vec<(String, u64)>,
 }
 
 /// A factor gathered to the driver: the composite permutation and the
@@ -193,6 +205,7 @@ impl SymPack {
             flops,
             n_supernodes,
             trace,
+            task_counts,
         } = multi;
         Ok(SolveReport {
             x: xs.pop().expect("one rhs"),
@@ -205,6 +218,7 @@ impl SymPack {
             flops,
             n_supernodes,
             trace,
+            task_counts,
         })
     }
 
@@ -226,8 +240,7 @@ impl SymPack {
         let ordering = compute_ordering(a, opts.ordering);
         let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
         let ap = Arc::new(a.permute(sf.perm.as_slice()));
-        let bps: Arc<Vec<Vec<f64>>> =
-            Arc::new(bs.iter().map(|b| sf.perm.apply_vec(b)).collect());
+        let bps: Arc<Vec<Vec<f64>>> = Arc::new(bs.iter().map(|b| sf.perm.apply_vec(b)).collect());
         let p = opts.n_nodes * opts.ranks_per_node;
         let grid = opts.grid.unwrap_or_else(|| ProcGrid::squarest(p));
         assert_eq!(grid.n_procs(), p, "grid size must equal rank count");
@@ -249,21 +262,29 @@ impl SymPack {
                 Arc::clone(&abort),
             );
             if opts2.trace {
-                engine.tracer = Some(sympack_trace::Tracer::new());
+                engine.rt.tracer = Some(sympack_trace::Tracer::new());
             }
             let (mut engine, factor_time) = FactoEngine::run_to_completion(rank, engine);
             let trace_events = engine
+                .rt
                 .tracer
                 .take()
                 .map(sympack_trace::Tracer::into_events)
                 .unwrap_or_default();
-            if let Some(err) = engine.error {
+            let facto_tasks: Vec<(String, u64)> = engine
+                .rt
+                .task_counts()
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect();
+            if let Some(err) = engine.rt.error.take() {
                 return RankOut {
                     error: Some(err),
                     factor_time,
                     solves: Vec::new(),
                     counts: engine.kernels.counts,
                     trace: trace_events,
+                    tasks: facto_tasks,
                 };
             }
             if abort.load(std::sync::atomic::Ordering::SeqCst) {
@@ -274,19 +295,37 @@ impl SymPack {
                     solves: Vec::new(),
                     counts: engine.kernels.counts,
                     trace: trace_events,
+                    tasks: facto_tasks,
                 };
             }
             let mut solves = Vec::with_capacity(bps.len());
+            let mut solve_trace: Vec<sympack_trace::TraceEvent> = Vec::new();
+            let mut solve_tasks: Vec<(String, u64)> = Vec::new();
             for bp in bps.iter() {
                 let solve_kernels = make_engine(&opts2);
-                let (mut x_map, mut solve_time) = trisolve::solve(
+                let params = trisolve::SolveParams {
+                    policy: opts2.rtq_policy,
+                    msg_overhead: 0.0,
+                    trace: opts2.trace && solve_trace.is_empty(),
+                };
+                let mut out = trisolve::solve(
                     rank,
                     Arc::clone(&sf),
                     grid,
                     &engine.store,
                     bp,
                     solve_kernels,
+                    &params,
                 );
+                solve_trace.extend(std::mem::take(&mut out.trace));
+                if solve_tasks.is_empty() {
+                    solve_tasks = out
+                        .task_counts
+                        .iter()
+                        .map(|&(k, v)| (k.to_string(), v))
+                        .collect();
+                }
+                let (mut x_map, mut solve_time) = (out.x, out.elapsed);
                 for _ in 0..opts2.refine_steps {
                     // Gather the permuted iterate, form r = b - A·x, solve
                     // the correction and add it in — classical iterative
@@ -294,20 +333,25 @@ impl SymPack {
                     let t0 = rank.now();
                     let xp = trisolve::allgather_solution(rank, &sf, &x_map);
                     let ax = ap.spmv(&xp);
-                    let rp: Vec<f64> =
-                        bp.iter().zip(&ax).map(|(b, a)| b - a).collect();
+                    let rp: Vec<f64> = bp.iter().zip(&ax).map(|(b, a)| b - a).collect();
                     // Charge the residual SpMV (2 flops per stored entry,
                     // both triangles) to the local clock.
                     rank.advance(2.0 * ap.nnz_full() as f64 / 4.0e9);
                     let refine_kernels = make_engine(&opts2);
-                    let (d_map, dt) = trisolve::solve(
+                    let refine_params = trisolve::SolveParams {
+                        policy: opts2.rtq_policy,
+                        ..Default::default()
+                    };
+                    let dout = trisolve::solve(
                         rank,
                         Arc::clone(&sf),
                         grid,
                         &engine.store,
                         &rp,
                         refine_kernels,
+                        &refine_params,
                     );
+                    let (d_map, dt) = (dout.x, dout.elapsed);
                     for (sn, dx) in d_map {
                         let x = x_map.get_mut(&sn).expect("same ownership");
                         for (xi, di) in x.iter_mut().zip(dx) {
@@ -318,12 +362,17 @@ impl SymPack {
                 }
                 solves.push((solve_time, x_map.into_iter().collect()));
             }
+            let mut trace = trace_events;
+            trace.extend(solve_trace);
+            let mut tasks = facto_tasks;
+            tasks.extend(solve_tasks);
             RankOut {
                 error: None,
                 factor_time,
                 solves,
                 counts: engine.kernels.counts,
-                trace: trace_events,
+                trace,
+                tasks,
             }
         });
         // Propagate the first error (rank order) if any.
@@ -349,7 +398,19 @@ impl SymPack {
             xs.push(x);
             solve_times.push(outs.iter().map(|o| o.solves[k].0).fold(0.0, f64::max));
         }
-        let trace = sympack_trace::merge(outs.iter_mut().map(|o| std::mem::take(&mut o.trace)).collect());
+        let trace = sympack_trace::merge(
+            outs.iter_mut()
+                .map(|o| std::mem::take(&mut o.trace))
+                .collect(),
+        );
+        // Sum per-kind task counts over ranks.
+        let mut by_kind: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        for out in &outs {
+            for (k, v) in &out.tasks {
+                *by_kind.entry(k.clone()).or_insert(0) += v;
+            }
+        }
         Ok(MultiSolveReport {
             xs,
             relative_residuals,
@@ -361,6 +422,7 @@ impl SymPack {
             flops: sf.flops,
             n_supernodes: sf.n_supernodes(),
             trace,
+            task_counts: by_kind.into_iter().collect(),
         })
     }
 
@@ -397,7 +459,7 @@ impl SymPack {
                 Arc::clone(&abort),
             );
             let (engine, factor_time) = FactoEngine::run_to_completion(rank, engine);
-            if let Some(err) = engine.error {
+            if let Some(err) = engine.rt.error {
                 return (Some(err), factor_time, Vec::new());
             }
             let blocks = engine
@@ -438,10 +500,8 @@ impl SymPack {
                 }
                 // Off-diagonal blocks, ascending targets → ascending rows.
                 for b in sf.layout.blocks_of(j) {
-                    let (br, _bc, bdata) =
-                        blocks.get(&(b.target, j)).expect("block gathered");
-                    let rows =
-                        &sf.patterns[j][b.row_offset..b.row_offset + b.n_rows];
+                    let (br, _bc, bdata) = blocks.get(&(b.target, j)).expect("block gathered");
+                    let rows = &sf.patterns[j][b.row_offset..b.row_offset + b.n_rows];
                     for (ri, &gr) in rows.iter().enumerate() {
                         row_idx.push(gr);
                         values.push(bdata[jc * br + ri]);
@@ -452,7 +512,11 @@ impl SymPack {
         }
         let l_permuted = SparseSym::from_parts(n, col_ptr, row_idx, values);
         let perm = sympack_ordering::Permutation::from_vec(sf.perm.as_slice().to_vec());
-        Ok(GatheredFactor { perm, l_permuted, factor_time })
+        Ok(GatheredFactor {
+            perm,
+            l_permuted,
+            factor_time,
+        })
     }
 
     /// Run the symbolic phase only (shared by tools and benches).
@@ -463,7 +527,11 @@ impl SymPack {
 }
 
 fn make_engine(opts: &SolverOptions) -> KernelEngine {
-    let mut k = if opts.gpu { KernelEngine::new_gpu() } else { KernelEngine::new_cpu() };
+    let mut k = if opts.gpu {
+        KernelEngine::new_gpu()
+    } else {
+        KernelEngine::new_cpu()
+    };
     if let Some(t) = &opts.thresholds {
         k.thresholds = t.clone();
     }
@@ -482,7 +550,11 @@ mod tests {
         let a = laplacian_2d(10, 9);
         let b = test_rhs(a.n());
         let r = SymPack::factor_and_solve(&a, &b, &SolverOptions::default());
-        assert!(r.relative_residual < 1e-10, "residual {}", r.relative_residual);
+        assert!(
+            r.relative_residual < 1e-10,
+            "residual {}",
+            r.relative_residual
+        );
         assert!(r.factor_time > 0.0);
         assert!(r.solve_time > 0.0);
         assert!(r.l_nnz >= a.nnz());
@@ -495,12 +567,20 @@ mod tests {
         let single = SymPack::factor_and_solve(
             &a,
             &b,
-            &SolverOptions { n_nodes: 1, ranks_per_node: 1, ..Default::default() },
+            &SolverOptions {
+                n_nodes: 1,
+                ranks_per_node: 1,
+                ..Default::default()
+            },
         );
         let multi = SymPack::factor_and_solve(
             &a,
             &b,
-            &SolverOptions { n_nodes: 2, ranks_per_node: 3, ..Default::default() },
+            &SolverOptions {
+                n_nodes: 2,
+                ranks_per_node: 3,
+                ..Default::default()
+            },
         );
         assert!(single.relative_residual < 1e-10);
         assert!(multi.relative_residual < 1e-10);
@@ -539,7 +619,10 @@ mod tests {
         let cpu = SymPack::factor_and_solve(
             &a,
             &b,
-            &SolverOptions { gpu: false, ..Default::default() },
+            &SolverOptions {
+                gpu: false,
+                ..Default::default()
+            },
         );
         assert!(gpu.relative_residual < 1e-10);
         assert!(cpu.relative_residual < 1e-10);
@@ -576,7 +659,10 @@ mod tests {
             let r = SymPack::factor_and_solve(
                 &a,
                 &b,
-                &SolverOptions { rtq_policy: policy, ..Default::default() },
+                &SolverOptions {
+                    rtq_policy: policy,
+                    ..Default::default()
+                },
             );
             assert!(r.relative_residual < 1e-10, "{policy:?}");
         }

@@ -1,18 +1,20 @@
-//! The per-rank factorization executor: LTQ/RTQ scheduling, fan-out
-//! communication, and the poll loop of the paper's Figs. 3–4.
+//! The per-rank factorization executor: fan-out communication and the
+//! task-execution bodies of the paper's Figs. 3–4. All scheduling (LTQ,
+//! RTQ, signal inbox, dependency counters, abort) runs through the shared
+//! [`crate::sched::TaskEngine`].
 
 use crate::map2d::ProcGrid;
+use crate::sched::{self, FetchConfig, FetchMode, TaskEngine};
 use crate::storage::BlockStore;
 use crate::taskgraph::{fanout_dests, LocalTasks, RtqPolicy, TaskKey};
 use crate::SolverError;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack_dense::Mat;
 use sympack_gpu::{KernelEngine, OomPolicy};
 use sympack_pgas::{GlobalPtr, MemKind, Rank};
 use sympack_symbolic::SymbolicFactor;
-use sympack_trace::{TraceCat, Tracer};
 
 /// A factored block available to this rank (produced locally or fetched).
 /// Availability *time* is tracked on the consuming tasks (via their
@@ -33,6 +35,12 @@ pub struct Signal {
     cols: usize,
 }
 
+impl sched::Signal for Signal {
+    fn ptr(&self) -> GlobalPtr {
+        self.ptr
+    }
+}
+
 /// Per-rank factorization engine. Installed as the rank's user state so the
 /// RPC `signal` closures can reach it.
 pub struct FactoEngine {
@@ -40,32 +48,25 @@ pub struct FactoEngine {
     grid: ProcGrid,
     /// This rank's blocks of `A` (progressively overwritten with `L`).
     pub store: BlockStore,
-    lt: LocalTasks,
-    rtq: Vec<TaskKey>,
-    policy: RtqPolicy,
+    /// For each factored input block `(i,j)`, the owned update tasks
+    /// consuming it.
+    consumers: HashMap<(usize, usize), Vec<TaskKey>>,
+    /// Owned panel tasks consuming each diagonal factor `(j,j)`.
+    diag_consumers: HashMap<usize, Vec<TaskKey>>,
+    /// The shared scheduling core: LTQ, RTQ, inbox, abort, tracer.
+    pub rt: TaskEngine<TaskKey, Signal>,
     inputs: HashMap<(usize, usize), InputBlock>,
-    /// Notifications delivered but not yet turned into gets.
-    pub pending: Vec<Signal>,
-    done: usize,
     /// Dense-kernel executor with offload heuristic and op counters.
     pub kernels: KernelEngine,
-    /// Blocks with at least this many elements are fetched straight into
-    /// device memory with `copy()` (the §4.2 "GPU blocks" path) instead of
-    /// an `rget` into host memory.
-    pub gpu_copy_threshold: usize,
-    /// Device-OOM fallback policy (§4.2).
-    pub oom_policy: OomPolicy,
-    /// First error observed (local or broadcast from another rank).
-    pub error: Option<SolverError>,
-    /// Job-wide abort flag, set by whichever rank first hits an error.
-    abort: Arc<AtomicBool>,
-    /// Optional task-timeline collector.
-    pub tracer: Option<Tracer>,
+    /// Signal-resolution data path: host `rget`s, or direct device copies
+    /// for blocks of at least `device_threshold` elements (§4.2).
+    pub fetch: FetchConfig,
 }
 
 impl FactoEngine {
     /// Build the engine for `rank`: enumerate owned tasks, allocate owned
     /// blocks and scatter the permuted matrix into them.
+    #[allow(clippy::too_many_arguments)] // one-shot constructor called by the driver only
     pub fn new(
         sf: Arc<SymbolicFactor>,
         ap: &sympack_sparse::SparseSym,
@@ -77,30 +78,36 @@ impl FactoEngine {
         abort: Arc<AtomicBool>,
     ) -> Self {
         let store = BlockStore::init(&sf, ap, &grid, rank);
-        let lt = LocalTasks::build(&sf, &grid, rank);
-        let rtq = lt.initially_ready();
+        let LocalTasks {
+            tasks,
+            consumers,
+            diag_consumers,
+            total: _,
+        } = LocalTasks::build(&sf, &grid, rank);
+        let mut rt = TaskEngine::with_tasks(tasks, policy, abort);
+        rt.seed_ready();
+        let fetch = FetchConfig {
+            device_enabled: kernels.gpu_enabled,
+            device_threshold: 64 * 64,
+            oom_policy,
+            mode: FetchMode::NonBlocking,
+        };
         FactoEngine {
             sf,
             grid,
             store,
-            lt,
-            rtq,
-            policy,
+            consumers,
+            diag_consumers,
+            rt,
             inputs: HashMap::new(),
-            pending: Vec::new(),
-            done: 0,
             kernels,
-            gpu_copy_threshold: 64 * 64,
-            oom_policy,
-            error: None,
-            abort,
-            tracer: None,
+            fetch,
         }
     }
 
     /// True when every owned task has executed (or the job aborted).
     pub fn finished(&self) -> bool {
-        self.done == self.lt.total || self.abort.load(Ordering::Relaxed)
+        self.rt.finished()
     }
 
     /// Global pattern rows of block `(i, j)`.
@@ -112,107 +119,33 @@ impl FactoEngine {
     /// Record an available factored block and decrement its consumers.
     fn add_input(&mut self, i: usize, j: usize, data: Mat, ready_at: f64) {
         if i == j {
-            if let Some(keys) = self.lt.diag_consumers.get(&j).cloned() {
+            if let Some(keys) = self.diag_consumers.get(&j).cloned() {
                 for k in keys {
-                    self.dec(k, ready_at);
+                    self.rt.dec(k, ready_at);
                 }
             }
-        } else if let Some(keys) = self.lt.consumers.get(&(i, j)).cloned() {
+        } else if let Some(keys) = self.consumers.get(&(i, j)).cloned() {
             for k in keys {
-                self.dec(k, ready_at);
+                self.rt.dec(k, ready_at);
             }
         }
         self.inputs.insert((i, j), InputBlock { data });
     }
 
-    /// Decrement one dependency of `key`; move it to the RTQ at zero.
-    fn dec(&mut self, key: TaskKey, ready_at: f64) {
-        let st = self.lt.tasks.get_mut(&key).expect("task exists");
-        debug_assert!(st.deps > 0, "over-decrement of {key:?}");
-        st.deps -= 1;
-        if ready_at > st.ready_at {
-            st.ready_at = ready_at;
-        }
-        if st.deps == 0 {
-            self.rtq.push(key);
-        }
-    }
-
-    /// Resolve pending signals into data movement (Fig. 4 step 5): a
-    /// one-sided `rget` into host memory, or — for GPU-bound blocks — a
-    /// direct `copy()` into device memory (memory kinds, §4.2).
+    /// Resolve pending signals into data movement (Fig. 4 step 5) through
+    /// the runtime's shared fetch path.
     fn drain_pending(&mut self, rank: &mut Rank) {
-        let signals = std::mem::take(&mut self.pending);
-        for s in signals {
-            let use_device = self.kernels.gpu_enabled && s.ptr.len >= self.gpu_copy_threshold;
-            let (data, ready_at) = if use_device {
-                match rank.alloc(MemKind::Device, s.ptr.len) {
-                    Ok(dev) => {
-                        let done_at = rank.copy(&s.ptr, &dev);
-                        let v = rank.read_local(&dev);
-                        rank.free(&dev);
-                        (v, done_at)
-                    }
-                    Err(e) => match self.oom_policy {
-                        OomPolicy::CpuFallback => {
-                            let h = rank.rget(&s.ptr);
-                            let ready = h.ready_at;
-                            (h.wait_nonblocking(), ready)
-                        }
-                        OomPolicy::Abort => {
-                            let sympack_pgas::PgasError::DeviceOom { requested, available } = e;
-                            self.fail(rank, SolverError::DeviceOom { requested, available });
-                            return;
-                        }
-                    },
-                }
-            } else {
-                let h = rank.rget(&s.ptr);
-                let ready = h.ready_at;
-                (h.wait_nonblocking(), ready)
-            };
+        let signals = self.rt.take_signals();
+        if signals.is_empty() {
+            return;
+        }
+        let cfg = self.fetch;
+        let res = sched::drain_signals(rank, signals, &cfg, |_rank, s, data, ready_at| {
             let m = Mat::from_col_major(s.rows, s.cols, data);
             self.add_input(s.i, s.j, m, ready_at);
-        }
-    }
-
-    /// Pick the next ready task according to the RTQ policy.
-    fn pick(&mut self) -> Option<TaskKey> {
-        if self.rtq.is_empty() {
-            return None;
-        }
-        match self.policy {
-            RtqPolicy::Lifo => self.rtq.pop(),
-            RtqPolicy::Fifo => Some(self.rtq.remove(0)),
-            RtqPolicy::CriticalPath => {
-                let (idx, _) = self
-                    .rtq
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, k)| match **k {
-                        TaskKey::Diag { j } => (j, 0),
-                        TaskKey::Panel { i, j } => (j, i),
-                        TaskKey::Update { j, a, b } => (b, j.max(a)),
-                    })?;
-                Some(self.rtq.swap_remove(idx))
-            }
-        }
-    }
-
-    /// Record an error and broadcast the abort to every rank.
-    fn fail(&mut self, rank: &mut Rank, err: SolverError) {
-        if self.error.is_none() {
-            self.error = Some(err);
-        }
-        self.abort.store(true, Ordering::SeqCst);
-        let n = rank.n_ranks();
-        let me = rank.id();
-        for r in (0..n).filter(|&r| r != me) {
-            rank.rpc(r, |target| {
-                target.with_state::<FactoEngine, _>(|_, st| {
-                    st.abort.store(true, Ordering::SeqCst);
-                });
-            });
+        });
+        if let Err(err) = res {
+            self.rt.fail(rank, err);
         }
     }
 
@@ -229,9 +162,15 @@ impl FactoEngine {
         rank.write_local(&ptr, data.as_slice());
         let (rows, cols) = (data.rows(), data.cols());
         for d in dests {
-            let sig = Signal { ptr, i, j, rows, cols };
+            let sig = Signal {
+                ptr,
+                i,
+                j,
+                rows,
+                cols,
+            };
             rank.rpc(d, move |target| {
-                target.with_state::<FactoEngine, _>(|_, st| st.pending.push(sig));
+                target.with_state::<FactoEngine, _>(|_, st| st.rt.post(sig));
             });
         }
     }
@@ -240,32 +179,27 @@ impl FactoEngine {
     /// task. Returns `true` if a task executed.
     pub fn step(&mut self, rank: &mut Rank) -> bool {
         self.drain_pending(rank);
-        let Some(key) = self.pick() else {
+        let Some((key, ready_at)) = self.rt.pick() else {
             return false;
         };
-        let ready_at = self.lt.tasks[&key].ready_at;
-        rank.advance_to(ready_at);
+        self.rt.begin(rank, ready_at);
         match key {
             TaskKey::Diag { j } => self.exec_diag(rank, j),
             TaskKey::Panel { i, j } => self.exec_panel(rank, i, j),
             TaskKey::Update { j, a, b } => self.exec_update(rank, j, a, b),
         }
-        self.done += 1;
+        self.rt.complete(key);
         true
     }
 
     fn exec_diag(&mut self, rank: &mut Rank, j: usize) {
         let mut m = self.store.take((j, j)).expect("diag block owned");
         match self.kernels.potrf(&mut m) {
-            Ok((_loc, secs)) => {
-                rank.advance(secs);
-                if let Some(tr) = &mut self.tracer {
-                    tr.record(rank.id(), format!("D({j})"), TraceCat::Potrf, rank.now() - secs, secs);
-                }
-            }
+            Ok((_loc, secs)) => self.rt.charge(rank, TaskKey::Diag { j }, secs),
             Err(sympack_dense::DenseError::NotPositiveDefinite { column }) => {
                 let col = self.sf.partition.first_col(j) + column;
-                self.fail(rank, SolverError::NotPositiveDefinite { column: col });
+                self.rt
+                    .fail(rank, SolverError::NotPositiveDefinite { column: col });
                 self.store.put((j, j), m);
                 return;
             }
@@ -279,12 +213,13 @@ impl FactoEngine {
 
     fn exec_panel(&mut self, rank: &mut Rank, i: usize, j: usize) {
         let mut b = self.store.take((i, j)).expect("panel block owned");
-        let ldiag = &self.inputs.get(&(j, j)).expect("diagonal factor present").data;
+        let ldiag = &self
+            .inputs
+            .get(&(j, j))
+            .expect("diagonal factor present")
+            .data;
         let (_loc, secs) = self.kernels.trsm(&mut b, ldiag);
-        rank.advance(secs);
-        if let Some(tr) = &mut self.tracer {
-            tr.record(rank.id(), format!("F({i},{j})"), TraceCat::Trsm, rank.now() - secs, secs);
-        }
+        self.rt.charge(rank, TaskKey::Panel { i, j }, secs);
         self.fanout(rank, i, j, &b);
         let now = rank.now();
         self.store.put((i, j), b.clone());
@@ -292,17 +227,13 @@ impl FactoEngine {
     }
 
     fn exec_update(&mut self, rank: &mut Rank, j: usize, a: usize, b: usize) {
-        let now_ready;
         if a == b {
             // SYRK into the diagonal block of b.
             let lb = &self.inputs.get(&(b, j)).expect("input L(b,j) present").data;
             let nb = lb.rows();
             let mut temp = Mat::zeros(nb, nb);
             let (_loc, secs) = self.kernels.syrk(&mut temp, lb);
-            rank.advance(secs);
-            if let Some(tr) = &mut self.tracer {
-                tr.record(rank.id(), format!("U({b},{j},{b})"), TraceCat::Syrk, rank.now() - secs, secs);
-            }
+            self.rt.charge(rank, TaskKey::Update { j, a, b }, secs);
             let rows_b: Vec<usize> = self.block_rows(b, j).to_vec();
             let first = self.sf.partition.first_col(b);
             let target = self.store.get_mut((b, b)).expect("diag target owned");
@@ -313,7 +244,6 @@ impl FactoEngine {
                     target[(tr, tc)] += temp[(ri, ci)];
                 }
             }
-            now_ready = rank.now();
         } else {
             // GEMM into block (a, b).
             let (la, lb) = (
@@ -323,10 +253,7 @@ impl FactoEngine {
             let (ma, nb) = (la.rows(), lb.rows());
             let mut temp = Mat::zeros(ma, nb);
             let (_loc, secs) = self.kernels.gemm(&mut temp, la, lb);
-            rank.advance(secs);
-            if let Some(tr) = &mut self.tracer {
-                tr.record(rank.id(), format!("U({a},{j},{b})"), TraceCat::Gemm, rank.now() - secs, secs);
-            }
+            self.rt.charge(rank, TaskKey::Update { j, a, b }, secs);
             let rows_a: Vec<usize> = self.block_rows(a, j).to_vec();
             let rows_b: Vec<usize> = self.block_rows(b, j).to_vec();
             let target_rows: Vec<usize> = self.block_rows(a, b).to_vec();
@@ -344,46 +271,27 @@ impl FactoEngine {
                     target[(tr, tc)] += temp[(ri, ci)];
                 }
             }
-            now_ready = rank.now();
         }
+        let now_ready = rank.now();
         // Local successor: the panel (or diagonal) task of the target block.
-        let succ = if a == b { TaskKey::Diag { j: b } } else { TaskKey::Panel { i: a, j: b } };
-        self.dec(succ, now_ready);
+        let succ = if a == b {
+            TaskKey::Diag { j: b }
+        } else {
+            TaskKey::Panel { i: a, j: b }
+        };
+        self.rt.dec(succ, now_ready);
     }
 
     /// Drive the factorization to completion. Returns the error if any rank
     /// failed.
-    pub fn run_to_completion(rank: &mut Rank, mut engine: FactoEngine) -> (FactoEngine, f64) {
+    pub fn run_to_completion(rank: &mut Rank, engine: FactoEngine) -> (FactoEngine, f64) {
         let start = rank.now();
-        rank.set_state(engine);
-        loop {
-            rank.progress();
-            let finished = rank.with_state::<FactoEngine, _>(|rank, st| {
-                // Run until we go idle, then re-poll.
-                while st.step(rank) {}
-                st.finished()
-            });
-            if finished {
-                break;
-            }
-            std::thread::yield_now();
-        }
-        rank.barrier();
-        engine = rank.take_state::<FactoEngine>();
+        let engine = sched::run_event_loop(rank, engine, |rank, st: &mut FactoEngine| {
+            // Run until we go idle, then re-poll.
+            while st.step(rank) {}
+            st.finished()
+        });
         let elapsed = rank.now() - start;
         (engine, elapsed)
-    }
-}
-
-/// Extension used by [`FactoEngine::drain_pending`]: take the payload out of
-/// an rget handle without blocking the virtual clock (the engine tracks
-/// per-task readiness itself to preserve communication/computation overlap).
-trait NonBlockingWait {
-    fn wait_nonblocking(self) -> Vec<f64>;
-}
-
-impl NonBlockingWait for sympack_pgas::RgetHandle {
-    fn wait_nonblocking(self) -> Vec<f64> {
-        self.into_data()
     }
 }

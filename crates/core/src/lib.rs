@@ -33,17 +33,18 @@ pub mod condest;
 pub mod driver;
 pub mod engine;
 pub mod map2d;
+pub mod sched;
 pub mod selinv;
 pub mod storage;
 pub mod taskgraph;
 pub mod trisolve;
 
+pub use condest::condest;
 pub use driver::{
     FactorizeOutcome, GatheredFactor, MultiSolveReport, SolveReport, SolverOptions, SymPack,
 };
-pub use condest::condest;
-pub use selinv::{selected_inverse, SelectedInverse};
 pub use map2d::ProcGrid;
+pub use selinv::{selected_inverse, SelectedInverse};
 pub use taskgraph::{RtqPolicy, TaskKey};
 
 /// Errors surfaced by the solver.
@@ -57,10 +58,7 @@ pub enum SolverError {
     },
     /// A device allocation failed and the OOM policy was
     /// [`sympack_gpu::OomPolicy::Abort`] (paper §4.2's strict fallback).
-    DeviceOom {
-        requested: usize,
-        available: usize,
-    },
+    DeviceOom { requested: usize, available: usize },
 }
 
 impl std::fmt::Display for SolverError {

@@ -22,7 +22,10 @@ impl ProcGrid {
         while pr > 1 && !p.is_multiple_of(pr) {
             pr -= 1;
         }
-        ProcGrid { pr: pr.max(1), pc: p / pr.max(1) }
+        ProcGrid {
+            pr: pr.max(1),
+            pc: p / pr.max(1),
+        }
     }
 
     /// Explicit grid dimensions.
@@ -85,8 +88,7 @@ mod tests {
     #[test]
     fn two_d_map_spreads_a_column_over_pr_processes() {
         let g = ProcGrid::new(4, 4);
-        let owners: std::collections::HashSet<usize> =
-            (0..16).map(|i| g.map(i, 3)).collect();
+        let owners: std::collections::HashSet<usize> = (0..16).map(|i| g.map(i, 3)).collect();
         assert_eq!(owners.len(), 4); // pr distinct owners within one column
     }
 

@@ -1,0 +1,313 @@
+//! The generic per-rank task engine: dependency counters, RTQ, signal
+//! inbox, abort broadcast, virtual-clock accounting and tracer hooks.
+
+use super::queue::{ReadyQueue, RtqPolicy};
+use super::TaskKind;
+use crate::SolverError;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use sympack_pgas::Rank;
+use sympack_trace::Tracer;
+
+/// Mutable scheduling state of one task.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskState {
+    /// Outstanding dependencies (input arrivals + local completions).
+    pub deps: usize,
+    /// Virtual time at which the latest input became available.
+    pub ready_at: f64,
+}
+
+/// The scheduling core shared by every engine: the LTQ (per-task dependency
+/// counters), the RTQ, the signal inbox and the bookkeeping around them.
+///
+/// `K` is the engine's task species, `S` its signal (notification) type.
+/// Engines embed one `TaskEngine` and route *all* scheduling through it;
+/// this is the only definition of `dec`/`pick`/inbox draining in the tree.
+pub struct TaskEngine<K: TaskKind, S = ()> {
+    /// Scheduling state per owned task (the LTQ of §3.4).
+    tasks: HashMap<K, TaskState>,
+    rtq: ReadyQueue<K>,
+    /// Notifications delivered by RPC but not yet turned into gets.
+    inbox: Vec<S>,
+    total: usize,
+    done: usize,
+    /// Executed tasks per kind (schedule-invariant; checked by tests).
+    counts: BTreeMap<&'static str, u64>,
+    /// Fixed overhead charged to the virtual clock per executed task — the
+    /// classical-runtime tax the right-looking baseline models (zero for
+    /// the fan-out engine).
+    task_overhead: f64,
+    /// First error observed (local or broadcast from another rank).
+    pub error: Option<SolverError>,
+    /// Job-wide abort flag, set by whichever rank first hits an error.
+    abort: Arc<AtomicBool>,
+    /// Optional task-timeline collector.
+    pub tracer: Option<Tracer>,
+}
+
+impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
+    /// An empty engine; add tasks with [`insert_task`](Self::insert_task)
+    /// and seed the RTQ with [`seed_ready`](Self::seed_ready).
+    pub fn new(policy: RtqPolicy, abort: Arc<AtomicBool>) -> Self {
+        Self::with_tasks(HashMap::new(), policy, abort)
+    }
+
+    /// An engine over a pre-built task table (the fan-out path, where
+    /// `LocalTasks::build` computes the counters).
+    pub fn with_tasks(
+        tasks: HashMap<K, TaskState>,
+        policy: RtqPolicy,
+        abort: Arc<AtomicBool>,
+    ) -> Self {
+        let total = tasks.len();
+        TaskEngine {
+            tasks,
+            rtq: ReadyQueue::new(policy),
+            inbox: Vec::new(),
+            total,
+            done: 0,
+            counts: BTreeMap::new(),
+            task_overhead: 0.0,
+            error: None,
+            abort,
+            tracer: None,
+        }
+    }
+
+    /// Set the per-task virtual-clock overhead (baseline runtime tax).
+    pub fn set_task_overhead(&mut self, secs: f64) {
+        self.task_overhead = secs;
+    }
+
+    /// Register an owned task with `deps` outstanding dependencies.
+    pub fn insert_task(&mut self, key: K, deps: usize) {
+        if self
+            .tasks
+            .insert(
+                key,
+                TaskState {
+                    deps,
+                    ready_at: 0.0,
+                },
+            )
+            .is_none()
+        {
+            self.total += 1;
+        }
+    }
+
+    /// Move every zero-dependency task onto the RTQ, in the deterministic
+    /// [`TaskKind::seed_key`] order (hash iteration must not leak into the
+    /// schedule).
+    pub fn seed_ready(&mut self) {
+        let mut v: Vec<K> = self
+            .tasks
+            .iter()
+            .filter(|(_, s)| s.deps == 0)
+            .map(|(k, _)| *k)
+            .collect();
+        v.sort_by_key(|k| k.seed_key());
+        for k in v {
+            self.rtq.push(k);
+        }
+    }
+
+    /// Decrement one dependency of `key`; move it to the RTQ at zero.
+    pub fn dec(&mut self, key: K, ready_at: f64) {
+        let st = self.tasks.get_mut(&key).expect("task exists");
+        debug_assert!(st.deps > 0, "over-decrement of {key:?}");
+        st.deps -= 1;
+        if ready_at > st.ready_at {
+            st.ready_at = ready_at;
+        }
+        if st.deps == 0 {
+            self.rtq.push(key);
+        }
+    }
+
+    /// Scheduling state of a task (tests and engine assertions).
+    pub fn state(&self, key: &K) -> Option<TaskState> {
+        self.tasks.get(key).copied()
+    }
+
+    /// Pick the next ready task under the RTQ policy, with the virtual time
+    /// its last input became available.
+    pub fn pick(&mut self) -> Option<(K, f64)> {
+        let key = self.rtq.pop()?;
+        let ready_at = self.tasks[&key].ready_at;
+        Some((key, ready_at))
+    }
+
+    /// Advance the rank's clock to a picked task's ready time (dependencies
+    /// must have arrived before work can start).
+    pub fn begin(&self, rank: &mut Rank, ready_at: f64) {
+        rank.advance_to(ready_at);
+    }
+
+    /// Charge an executed task's kernel time (plus the engine's per-task
+    /// overhead) to the virtual clock and record it on the timeline.
+    pub fn charge(&mut self, rank: &mut Rank, key: K, secs: f64) {
+        let total = secs + self.task_overhead;
+        rank.advance(total);
+        if let Some(tr) = &mut self.tracer {
+            tr.record(
+                rank.id(),
+                key.trace_label(),
+                key.trace_cat(),
+                rank.now() - total,
+                total,
+            );
+        }
+    }
+
+    /// Mark a task executed (progress + per-kind accounting).
+    pub fn complete(&mut self, key: K) {
+        self.done += 1;
+        *self.counts.entry(key.kind_name()).or_insert(0) += 1;
+    }
+
+    /// Executed-task totals per kind, in stable (sorted) order.
+    pub fn task_counts(&self) -> Vec<(&'static str, u64)> {
+        self.counts.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Executed tasks of one kind (phase-completion checks).
+    pub fn count_of(&self, kind: &str) -> u64 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total owned tasks.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Executed owned tasks.
+    pub fn done_count(&self) -> usize {
+        self.done
+    }
+
+    /// True when every owned task has executed (or the job aborted).
+    pub fn finished(&self) -> bool {
+        self.done == self.total || self.abort.load(Ordering::Relaxed)
+    }
+
+    /// True once any rank failed.
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    /// Record an error and broadcast the abort to every rank. The RPC
+    /// closures capture the shared abort flag directly, so the broadcast is
+    /// independent of the concrete engine type installed at the target.
+    pub fn fail(&mut self, rank: &mut Rank, err: SolverError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+        self.abort.store(true, Ordering::SeqCst);
+        let n = rank.n_ranks();
+        let me = rank.id();
+        for r in (0..n).filter(|&r| r != me) {
+            let flag = Arc::clone(&self.abort);
+            rank.rpc(r, move |_| flag.store(true, Ordering::SeqCst));
+        }
+    }
+
+    /// Queue an incoming signal (called from RPC closures).
+    pub fn post(&mut self, signal: S) {
+        self.inbox.push(signal);
+    }
+
+    /// Take every queued signal for resolution (see
+    /// [`drain_signals`](super::drain_signals)).
+    pub fn take_signals(&mut self) -> Vec<S> {
+        std::mem::take(&mut self.inbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympack_trace::TraceCat;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    struct T(usize);
+
+    impl TaskKind for T {
+        fn priority_key(&self) -> (usize, usize) {
+            (self.0, 0)
+        }
+        fn seed_key(&self) -> (usize, usize, usize, usize) {
+            (self.0, 0, 0, 0)
+        }
+        fn kind_name(&self) -> &'static str {
+            "t"
+        }
+        fn trace_label(&self) -> String {
+            format!("T({})", self.0)
+        }
+        fn trace_cat(&self) -> TraceCat {
+            TraceCat::Other
+        }
+    }
+
+    fn engine() -> TaskEngine<T> {
+        TaskEngine::new(RtqPolicy::Lifo, Arc::new(AtomicBool::new(false)))
+    }
+
+    #[test]
+    fn dec_releases_at_zero_with_max_ready_time() {
+        let mut e = engine();
+        e.insert_task(T(0), 2);
+        assert!(e.pick().is_none());
+        e.dec(T(0), 3.0);
+        assert!(e.pick().is_none(), "one dependency still outstanding");
+        e.dec(T(0), 1.5);
+        let (k, ready_at) = e.pick().expect("released");
+        assert_eq!(k, T(0));
+        assert_eq!(ready_at, 3.0, "ready time is the max over inputs");
+    }
+
+    #[test]
+    fn seed_ready_orders_deterministically() {
+        let mut e = engine();
+        for v in [5, 1, 3] {
+            e.insert_task(T(v), 0);
+        }
+        e.insert_task(T(2), 1);
+        e.seed_ready();
+        // LIFO pops the highest seed key first.
+        assert_eq!(e.pick().map(|(k, _)| k), Some(T(5)));
+        assert_eq!(e.pick().map(|(k, _)| k), Some(T(3)));
+        assert_eq!(e.pick().map(|(k, _)| k), Some(T(1)));
+        assert!(e.pick().is_none());
+    }
+
+    #[test]
+    fn finished_tracks_done_and_abort() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let mut e: TaskEngine<T> = TaskEngine::new(RtqPolicy::Lifo, Arc::clone(&abort));
+        e.insert_task(T(0), 0);
+        assert!(!e.finished());
+        e.complete(T(0));
+        assert!(e.finished());
+        assert_eq!(e.task_counts(), vec![("t", 1)]);
+
+        let mut e2: TaskEngine<T> = TaskEngine::new(RtqPolicy::Lifo, Arc::clone(&abort));
+        e2.insert_task(T(1), 1);
+        assert!(!e2.finished());
+        abort.store(true, Ordering::SeqCst);
+        assert!(e2.finished(), "abort short-circuits completion");
+    }
+
+    #[test]
+    fn inbox_roundtrip() {
+        let mut e: TaskEngine<T, usize> =
+            TaskEngine::new(RtqPolicy::Lifo, Arc::new(AtomicBool::new(false)));
+        e.post(7);
+        e.post(9);
+        assert_eq!(e.take_signals(), vec![7, 9]);
+        assert!(e.take_signals().is_empty());
+    }
+}

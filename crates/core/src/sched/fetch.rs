@@ -1,0 +1,126 @@
+//! The data-movement half of signal resolution (paper Fig. 4 step 5): turn
+//! an advertised remote block into local data — a one-sided `rget` into
+//! host memory, or, for GPU-bound blocks, a direct `copy()` into device
+//! memory (the memory-kinds path of §4.2).
+
+use super::Signal;
+use crate::SolverError;
+use sympack_gpu::OomPolicy;
+use sympack_pgas::{GlobalPtr, MemKind, Rank};
+
+/// How a fetched payload's arrival is charged to the virtual clock.
+#[derive(Debug, Clone, Copy)]
+pub enum FetchMode {
+    /// One-sided: take the payload immediately and report the virtual time
+    /// it becomes valid, without blocking the clock — the engine tracks
+    /// per-task readiness itself to preserve communication/computation
+    /// overlap (the fan-out path).
+    NonBlocking,
+    /// Two-sided flavored: block the virtual clock until the payload has
+    /// arrived, then charge an MPI-style rendezvous `overhead` per message
+    /// (the right-looking / fan-in baselines).
+    Blocking {
+        /// Per-message rendezvous charge, in seconds.
+        overhead: f64,
+    },
+}
+
+/// Configuration of the fetch path, copied per engine from its options.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchConfig {
+    /// Fetch into device memory when enabled and the block is large enough.
+    pub device_enabled: bool,
+    /// Blocks with at least this many elements take the device path.
+    pub device_threshold: usize,
+    /// Device-OOM fallback policy (§4.2).
+    pub oom_policy: OomPolicy,
+    /// Clock-accounting mode.
+    pub mode: FetchMode,
+}
+
+impl FetchConfig {
+    /// Host-only, one-sided fetches (no device path, no rendezvous).
+    pub fn host_one_sided() -> Self {
+        FetchConfig {
+            device_enabled: false,
+            device_threshold: usize::MAX,
+            oom_policy: OomPolicy::CpuFallback,
+            mode: FetchMode::NonBlocking,
+        }
+    }
+
+    /// Host-only blocking fetches charging `overhead` per receive.
+    pub fn host_two_sided(overhead: f64) -> Self {
+        FetchConfig {
+            mode: FetchMode::Blocking { overhead },
+            ..Self::host_one_sided()
+        }
+    }
+}
+
+/// Fetch the payload behind `ptr` according to `cfg`. Returns the data and
+/// the virtual time at which it is valid. This is the only
+/// `rget`/device-copy resolution path in the solver.
+pub fn fetch(
+    rank: &mut Rank,
+    ptr: &GlobalPtr,
+    cfg: &FetchConfig,
+) -> Result<(Vec<f64>, f64), SolverError> {
+    if cfg.device_enabled && ptr.len >= cfg.device_threshold {
+        match rank.alloc(MemKind::Device, ptr.len) {
+            Ok(dev) => {
+                let done_at = rank.copy(ptr, &dev);
+                let v = rank.read_local(&dev);
+                rank.free(&dev);
+                return Ok((v, done_at));
+            }
+            Err(e) => match cfg.oom_policy {
+                // Fall through to the host rget below.
+                OomPolicy::CpuFallback => {}
+                OomPolicy::Abort => {
+                    let sympack_pgas::PgasError::DeviceOom {
+                        requested,
+                        available,
+                    } = e;
+                    return Err(SolverError::DeviceOom {
+                        requested,
+                        available,
+                    });
+                }
+            },
+        }
+    }
+    let h = rank.rget(ptr);
+    match cfg.mode {
+        FetchMode::NonBlocking => {
+            let ready = h.ready_at;
+            Ok((h.into_data(), ready))
+        }
+        FetchMode::Blocking { overhead } => {
+            let data = h.wait(rank);
+            rank.advance(overhead);
+            Ok((data, rank.now()))
+        }
+    }
+}
+
+/// Resolve a batch of queued signals into data movement: the shared drain
+/// loop behind every engine's inbox. `handle` receives the signal, its
+/// payload and the payload's validity time. Stops at the first fetch
+/// failure (remaining signals are dropped — the job is aborting).
+pub fn drain_signals<S, F>(
+    rank: &mut Rank,
+    signals: Vec<S>,
+    cfg: &FetchConfig,
+    mut handle: F,
+) -> Result<(), SolverError>
+where
+    S: Signal,
+    F: FnMut(&mut Rank, S, Vec<f64>, f64),
+{
+    for s in signals {
+        let (data, ready_at) = fetch(rank, &s.ptr(), cfg)?;
+        handle(rank, s, data, ready_at);
+    }
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! The per-rank task runtime shared by every solver engine.
+//!
+//! All five engines in this repository — the fan-out factorization
+//! ([`crate::engine::FactoEngine`]), the distributed triangular solve
+//! ([`crate::trisolve::SolveEngine`]) and the three taxonomy baselines
+//! (right-looking, fan-in, fan-both) — are event-driven loops with the same
+//! skeleton (paper Figs. 3–4):
+//!
+//! 1. poll the runtime for incoming RPCs ([`poll_until`]),
+//! 2. resolve queued `signal(ptr, meta)` notifications into data movement
+//!    (one-sided `rget`, or a direct device copy for GPU-bound blocks —
+//!    [`fetch`]/[`drain_signals`]),
+//! 3. decrement dependency counters and move tasks whose counter reaches
+//!    zero onto the ready-task queue ([`TaskEngine::dec`]),
+//! 4. pick a ready task under the configured [`RtqPolicy`]
+//!    ([`TaskEngine::pick`]) and execute it, charging its cost to the
+//!    rank's virtual clock ([`TaskEngine::charge`]).
+//!
+//! This module owns that skeleton *once*: the RTQ, the signal inbox, the
+//! dependency counters, the abort/error broadcast, the virtual-clock
+//! accounting and the tracer hooks. Engines keep only their domain state
+//! (block stores, kernel executors, message formats) and describe their
+//! tasks to the runtime through the [`TaskKind`] trait. Baseline-specific
+//! costs (the per-task runtime overhead a classical solver pays, the
+//! rendezvous charge of two-sided receives) are runtime *parameters*
+//! ([`TaskEngine::set_task_overhead`], [`FetchMode::Blocking`]), not
+//! per-engine code.
+
+mod engine;
+mod fetch;
+mod queue;
+
+pub use engine::{TaskEngine, TaskState};
+pub use fetch::{drain_signals, fetch, FetchConfig, FetchMode};
+pub use queue::{ReadyQueue, RtqPolicy};
+
+use sympack_pgas::{GlobalPtr, Rank};
+use sympack_trace::TraceCat;
+
+/// A task species schedulable by the [`TaskEngine`].
+///
+/// Implementations are cheap value types (the fan-out `TaskKey`, the solve
+/// sweep keys, the baselines' panel/aggregate tasks) that tell the runtime
+/// how to order, count and trace them.
+pub trait TaskKind: Copy + Eq + std::hash::Hash + std::fmt::Debug + Send + 'static {
+    /// Urgency under [`RtqPolicy::CriticalPath`]: lower keys pop first.
+    fn priority_key(&self) -> (usize, usize);
+
+    /// Deterministic total order used to seed the initial RTQ contents
+    /// (hash-map iteration order must never leak into the schedule).
+    fn seed_key(&self) -> (usize, usize, usize, usize);
+
+    /// Stable name used for per-kind executed-task accounting.
+    fn kind_name(&self) -> &'static str;
+
+    /// Timeline label for the tracer, e.g. `D(3)` or `U(5,2,4)`.
+    fn trace_label(&self) -> String;
+
+    /// Timeline category for the tracer.
+    fn trace_cat(&self) -> TraceCat;
+}
+
+/// A `signal(ptr, meta)` notification: an incoming RPC advertising a remote
+/// block. The runtime turns these into data movement via [`drain_signals`];
+/// the engine-specific `meta` rides along untouched.
+pub trait Signal: Copy + Send + 'static {
+    /// Shared-heap location of the advertised payload.
+    fn ptr(&self) -> GlobalPtr;
+}
+
+/// The event loop every engine runs: poll the runtime, let the engine work,
+/// stop when it reports completion. `body` returns `true` when the engine
+/// is finished (all owned tasks done, or the job aborted).
+///
+/// The engine must already be installed as the rank's user state (so RPC
+/// closures can reach it); this is the *only* progress/poll loop definition
+/// in the solver.
+pub fn poll_until<E, F>(rank: &mut Rank, mut body: F)
+where
+    E: Send + 'static,
+    F: FnMut(&mut Rank, &mut E) -> bool,
+{
+    loop {
+        rank.progress();
+        let finished = rank.with_state::<E, _>(|rank, st| body(rank, st));
+        if finished {
+            break;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Install `engine` as the rank's user state, run [`poll_until`] with
+/// `body`, synchronize on a barrier, and hand the engine back.
+pub fn run_event_loop<E, F>(rank: &mut Rank, engine: E, body: F) -> E
+where
+    E: Send + 'static,
+    F: FnMut(&mut Rank, &mut E) -> bool,
+{
+    rank.set_state(engine);
+    poll_until::<E, F>(rank, body);
+    rank.barrier();
+    rank.take_state::<E>()
+}

@@ -119,7 +119,11 @@ pub fn selected_inverse(
         }
     }
     let inv = Permutation::from_vec(gathered.perm.as_slice().to_vec()).inverse();
-    Ok(SelectedInverse { rows, vals: svals, inv_perm: inv.as_slice().to_vec() })
+    Ok(SelectedInverse {
+        rows,
+        vals: svals,
+        inv_perm: inv.as_slice().to_vec(),
+    })
 }
 
 #[cfg(test)]
@@ -202,19 +206,24 @@ mod tests {
         let a = random_spd(50, 4, 77);
         let serial = selected_inverse(
             &a,
-            &SolverOptions { n_nodes: 1, ranks_per_node: 1, ..Default::default() },
+            &SolverOptions {
+                n_nodes: 1,
+                ranks_per_node: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let dist = selected_inverse(
             &a,
-            &SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() },
+            &SolverOptions {
+                n_nodes: 2,
+                ranks_per_node: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         for i in 0..50 {
-            let (a1, a2) = (
-                serial.get(i, i).unwrap(),
-                dist.get(i, i).unwrap(),
-            );
+            let (a1, a2) = (serial.get(i, i).unwrap(), dist.get(i, i).unwrap());
             assert!((a1 - a2).abs() < 1e-9);
         }
     }

@@ -8,8 +8,8 @@
 use crate::map2d::ProcGrid;
 use std::collections::HashMap;
 use sympack_dense::Mat;
-use sympack_symbolic::SymbolicFactor;
 use sympack_sparse::SparseSym;
+use sympack_symbolic::SymbolicFactor;
 
 /// Key of a stored block: `(target supernode, owner supernode)`; the
 /// diagonal block of `j` is `(j, j)`.
@@ -142,8 +142,7 @@ mod tests {
                     } else {
                         let t = sf.partition.supno(r);
                         let b = sf.layout.find(t, j).unwrap();
-                        let rows =
-                            &sf.patterns[j][b.row_offset..b.row_offset + b.n_rows];
+                        let rows = &sf.patterns[j][b.row_offset..b.row_offset + b.n_rows];
                         let ri = rows.binary_search(&r).unwrap();
                         let m = store.get((t, j)).unwrap();
                         assert_eq!(m[(ri, c - first)], v);
@@ -157,8 +156,9 @@ mod tests {
     fn multi_rank_stores_partition_blocks_disjointly() {
         let (sf, ap) = setup();
         let grid = ProcGrid::squarest(4);
-        let stores: Vec<BlockStore> =
-            (0..4).map(|r| BlockStore::init(&sf, &ap, &grid, r)).collect();
+        let stores: Vec<BlockStore> = (0..4)
+            .map(|r| BlockStore::init(&sf, &ap, &grid, r))
+            .collect();
         let total: usize = stores.iter().map(BlockStore::len).sum();
         assert_eq!(total, sf.n_supernodes() + sf.layout.n_off_diagonal());
         // No block key appears on two ranks.

@@ -6,8 +6,14 @@
 //! travel between ranks (the fan-out).
 
 use crate::map2d::ProcGrid;
+use crate::sched::TaskKind;
 use std::collections::HashMap;
 use sympack_symbolic::SymbolicFactor;
+use sympack_trace::TraceCat;
+
+// Scheduling-state types live in the shared runtime layer; re-exported here
+// because the fan-out task graph is their historical home.
+pub use crate::sched::{RtqPolicy, TaskState};
 
 /// A task in the factorization DAG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,29 +27,52 @@ pub enum TaskKey {
     Update { j: usize, a: usize, b: usize },
 }
 
-/// Order in which ready tasks are picked from the RTQ.
-///
-/// The paper executes "whichever one is at the top of the queue" (LIFO) and
-/// defers a comparison of policies to future work (§6) — the scheduling
-/// ablation bench runs that comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RtqPolicy {
-    /// Stack order — the paper's behavior.
-    Lifo,
-    /// Queue order.
-    Fifo,
-    /// Prefer tasks on lower-numbered target supernodes (closer to the
-    /// critical path of the left-to-right elimination).
-    CriticalPath,
-}
+impl TaskKind for TaskKey {
+    fn priority_key(&self) -> (usize, usize) {
+        match *self {
+            TaskKey::Diag { j } => (j, 0),
+            TaskKey::Panel { i, j } => (j, i),
+            TaskKey::Update { j, a, b } => (b, j.max(a)),
+        }
+    }
 
-/// Mutable scheduling state of one task.
-#[derive(Debug, Clone, Copy)]
-pub struct TaskState {
-    /// Outstanding dependencies (input arrivals + local update completions).
-    pub deps: usize,
-    /// Virtual time at which the latest input became available.
-    pub ready_at: f64,
+    fn seed_key(&self) -> (usize, usize, usize, usize) {
+        match *self {
+            TaskKey::Diag { j } => (j, 0, 0, 0),
+            TaskKey::Panel { i, j } => (j, 1, i, 0),
+            TaskKey::Update { j, a, b } => (j, 2, a, b),
+        }
+    }
+
+    fn kind_name(&self) -> &'static str {
+        match self {
+            TaskKey::Diag { .. } => "diag",
+            TaskKey::Panel { .. } => "panel",
+            TaskKey::Update { .. } => "update",
+        }
+    }
+
+    fn trace_label(&self) -> String {
+        match *self {
+            TaskKey::Diag { j } => format!("D({j})"),
+            TaskKey::Panel { i, j } => format!("F({i},{j})"),
+            TaskKey::Update { j, a, b } => format!("U({a},{j},{b})"),
+        }
+    }
+
+    fn trace_cat(&self) -> TraceCat {
+        match *self {
+            TaskKey::Diag { .. } => TraceCat::Potrf,
+            TaskKey::Panel { .. } => TraceCat::Trsm,
+            TaskKey::Update { a, b, .. } => {
+                if a == b {
+                    TraceCat::Syrk
+                } else {
+                    TraceCat::Gemm
+                }
+            }
+        }
+    }
 }
 
 /// The slice of the task graph owned by one rank.
@@ -83,7 +112,13 @@ impl LocalTasks {
                     let key = TaskKey::Update { j, a, b };
                     // Inputs: L(a,j) and L(b,j) — one dependency when equal.
                     let deps = if a == b { 1 } else { 2 };
-                    tasks.insert(key, TaskState { deps, ready_at: 0.0 });
+                    tasks.insert(
+                        key,
+                        TaskState {
+                            deps,
+                            ready_at: 0.0,
+                        },
+                    );
                     consumers.entry((a, j)).or_default().push(key);
                     if a != b {
                         consumers.entry((b, j)).or_default().push(key);
@@ -95,32 +130,49 @@ impl LocalTasks {
         for j in 0..ns {
             if grid.map(j, j) == rank {
                 let deps = upd_into.get(&(j, j)).copied().unwrap_or(0);
-                tasks.insert(TaskKey::Diag { j }, TaskState { deps, ready_at: 0.0 });
+                tasks.insert(
+                    TaskKey::Diag { j },
+                    TaskState {
+                        deps,
+                        ready_at: 0.0,
+                    },
+                );
             }
             for b in sf.layout.blocks_of(j) {
                 let i = b.target;
                 if grid.map(i, j) == rank {
                     let deps = 1 + upd_into.get(&(i, j)).copied().unwrap_or(0);
                     let key = TaskKey::Panel { i, j };
-                    tasks.insert(key, TaskState { deps, ready_at: 0.0 });
+                    tasks.insert(
+                        key,
+                        TaskState {
+                            deps,
+                            ready_at: 0.0,
+                        },
+                    );
                     diag_consumers.entry(j).or_default().push(key);
                 }
             }
         }
         let total = tasks.len();
-        LocalTasks { tasks, consumers, diag_consumers, total }
+        LocalTasks {
+            tasks,
+            consumers,
+            diag_consumers,
+            total,
+        }
     }
 
     /// Tasks with zero dependencies (initial RTQ contents).
     pub fn initially_ready(&self) -> Vec<TaskKey> {
-        let mut v: Vec<TaskKey> =
-            self.tasks.iter().filter(|(_, s)| s.deps == 0).map(|(k, _)| *k).collect();
+        let mut v: Vec<TaskKey> = self
+            .tasks
+            .iter()
+            .filter(|(_, s)| s.deps == 0)
+            .map(|(k, _)| *k)
+            .collect();
         // Deterministic order regardless of hash iteration.
-        v.sort_by_key(|k| match *k {
-            TaskKey::Diag { j } => (j, 0, 0, 0),
-            TaskKey::Panel { i, j } => (j, 1, i, 0),
-            TaskKey::Update { j, a, b } => (j, 2, a, b),
-        });
+        v.sort_by_key(|k| k.seed_key());
         v
     }
 }
@@ -177,8 +229,7 @@ mod tests {
         let sf = sf();
         for p in [1usize, 2, 4, 6] {
             let grid = ProcGrid::squarest(p);
-            let total: usize =
-                (0..p).map(|r| LocalTasks::build(&sf, &grid, r).total).sum();
+            let total: usize = (0..p).map(|r| LocalTasks::build(&sf, &grid, r).total).sum();
             let single = LocalTasks::build(&sf, &ProcGrid::squarest(1), 0).total;
             assert_eq!(total, single, "p={p}");
         }
@@ -194,8 +245,7 @@ mod tests {
             match k {
                 TaskKey::Diag { j } => {
                     // Leaf supernodes: nothing updates into them.
-                    let has_incoming = (0..*j)
-                        .any(|k| sf.layout.find(*j, k).is_some());
+                    let has_incoming = (0..*j).any(|k| sf.layout.find(*j, k).is_some());
                     assert!(!has_incoming, "diag {j} should have no incoming updates");
                 }
                 other => panic!("only diagonal tasks can start ready, got {other:?}"),

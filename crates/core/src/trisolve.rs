@@ -13,15 +13,24 @@
 //! Messages are RPCs carrying their vector payloads, charged full
 //! latency+bandwidth cost. Like the factorization, all arithmetic is real
 //! and all timing is virtual.
+//!
+//! Scheduling (dependency counters, the policy-driven RTQ, tracing) runs
+//! through the shared [`crate::sched::TaskEngine`]: each sweep's supernode
+//! solves and block GEMVs are tasks, released by incoming messages and
+//! picked under the session's [`RtqPolicy`] — the same queue the
+//! factorization uses.
 
 use crate::map2d::ProcGrid;
+use crate::sched::{self, RtqPolicy, TaskEngine, TaskKind};
 use crate::storage::BlockStore;
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack_dense::Mat;
 use sympack_gpu::{KernelEngine, Op};
 use sympack_pgas::Rank;
 use sympack_symbolic::SymbolicFactor;
+use sympack_trace::{TraceCat, TraceEvent, Tracer};
 
 /// Dense forward substitution `L·y = rhs` (lower, non-unit diagonal).
 pub fn forward_subst(l: &Mat, rhs: &mut [f64]) {
@@ -49,12 +58,95 @@ pub fn backward_subst(l: &Mat, rhs: &mut [f64]) {
     }
 }
 
+/// Knobs of one distributed solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveParams {
+    /// RTQ pop policy for the solve tasks (paper default: LIFO).
+    pub policy: RtqPolicy,
+    /// Extra per-message receive overhead (seconds). Zero for symPACK's
+    /// one-sided protocol; the two-sided baselines pass a rendezvous cost.
+    pub msg_overhead: f64,
+    /// Collect a solve-task timeline.
+    pub trace: bool,
+}
+
+impl Default for SolveParams {
+    fn default() -> Self {
+        SolveParams {
+            policy: RtqPolicy::Lifo,
+            msg_overhead: 0.0,
+            trace: false,
+        }
+    }
+}
+
+/// Tasks of the triangular solve, per sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveKey {
+    /// Forward-substitute supernode `j` once its contributions arrived.
+    FwdDiag { j: usize },
+    /// `B(i,j)·y_j`, released by the arrival of `y_j`.
+    FwdGemv { i: usize, j: usize },
+    /// Backward-substitute supernode `j`.
+    BwdDiag { j: usize },
+    /// `B(i,j)ᵀ·x_i`, released by the arrival of `x_i`.
+    BwdGemv { i: usize, j: usize },
+}
+
+impl TaskKind for SolveKey {
+    fn priority_key(&self) -> (usize, usize) {
+        match *self {
+            // Forward critical path runs left-to-right…
+            SolveKey::FwdDiag { j } => (j, 0),
+            SolveKey::FwdGemv { i, j } => (j, i),
+            // …the backward sweep mirrors it right-to-left.
+            SolveKey::BwdDiag { j } => (usize::MAX - j, 0),
+            SolveKey::BwdGemv { i, j } => (usize::MAX - i, j),
+        }
+    }
+
+    fn seed_key(&self) -> (usize, usize, usize, usize) {
+        match *self {
+            SolveKey::FwdDiag { j } => (0, j, 0, 0),
+            SolveKey::FwdGemv { i, j } => (1, j, i, 0),
+            SolveKey::BwdDiag { j } => (2, usize::MAX - j, 0, 0),
+            SolveKey::BwdGemv { i, j } => (3, usize::MAX - i, j, 0),
+        }
+    }
+
+    fn kind_name(&self) -> &'static str {
+        match self {
+            SolveKey::FwdDiag { .. } => "fwd_diag",
+            SolveKey::FwdGemv { .. } => "fwd_gemv",
+            SolveKey::BwdDiag { .. } => "bwd_diag",
+            SolveKey::BwdGemv { .. } => "bwd_gemv",
+        }
+    }
+
+    fn trace_label(&self) -> String {
+        match *self {
+            SolveKey::FwdDiag { j } => format!("Ly({j})"),
+            SolveKey::FwdGemv { i, j } => format!("Gv({i},{j})"),
+            SolveKey::BwdDiag { j } => format!("Ltx({j})"),
+            SolveKey::BwdGemv { i, j } => format!("Gv'({i},{j})"),
+        }
+    }
+
+    fn trace_cat(&self) -> TraceCat {
+        TraceCat::Solve
+    }
+}
+
 /// Messages exchanged during the solve.
-enum SolveMsg {
+pub enum SolveMsg {
     /// `y_j` fanned out to block owners (forward sweep).
     YReady { j: usize, y: Vec<f64> },
     /// `B(i,j)·y_j` folded into supernode `i`'s accumulator.
-    FwdContrib { target: usize, rows: Vec<usize>, vals: Vec<f64> },
+    FwdContrib {
+        target: usize,
+        rows: Vec<usize>,
+        vals: Vec<f64>,
+    },
     /// `x_i` fanned out to block owners (backward sweep).
     XReady { i: usize, x: Vec<f64> },
     /// `B(i,j)ᵀ·x_i` folded into supernode `j`'s accumulator.
@@ -65,17 +157,19 @@ enum SolveMsg {
 pub struct SolveEngine {
     sf: Arc<SymbolicFactor>,
     grid: ProcGrid,
-    inbox: Vec<SolveMsg>,
+    /// The shared scheduling core: dependency counters, RTQ, inbox, tracer.
+    pub rt: TaskEngine<SolveKey, SolveMsg>,
     /// Accumulators at diagonal owners (forward: b rows, backward: y rows).
     acc: HashMap<usize, Vec<f64>>,
-    /// Remaining incoming contributions per owned diagonal.
-    deps: HashMap<usize, usize>,
     /// Solved `y_j` (forward) kept for the backward sweep.
     y: HashMap<usize, Vec<f64>>,
     /// Solved `x_j` at diagonal owners.
     pub x: HashMap<usize, Vec<f64>>,
-    /// Owned off-diagonal blocks pending their sweep GEMV, keyed by owner
-    /// supernode `j` → list of targets `i`.
+    /// Received `y_j` vectors awaiting their GEMV tasks.
+    yin: HashMap<usize, Vec<f64>>,
+    /// Received `x_i` vectors awaiting their GEMV tasks.
+    xin: HashMap<usize, Vec<f64>>,
+    /// Owned off-diagonal blocks keyed by owner supernode `j` → targets `i`.
     my_blocks_by_j: HashMap<usize, Vec<usize>>,
     /// Owned blocks keyed by target `i` (backward sweep lookup).
     my_blocks_by_i: HashMap<usize, Vec<usize>>,
@@ -84,12 +178,9 @@ pub struct SolveEngine {
     rev_owners: Vec<Vec<usize>>,
     /// Diagonal supernodes owned by this rank.
     my_diags: Vec<usize>,
-    diags_solved: usize,
-    gemvs_done: usize,
-    gemvs_total: usize,
+    gemvs_total: u64,
     kernels: KernelEngine,
-    /// Extra per-message receive overhead (seconds). Zero for symPACK's
-    /// one-sided protocol; the two-sided baseline passes a rendezvous cost.
+    /// Extra per-message receive overhead (seconds).
     msg_overhead: f64,
 }
 
@@ -99,17 +190,19 @@ impl SolveEngine {
         grid: ProcGrid,
         rank: usize,
         kernels: KernelEngine,
-        msg_overhead: f64,
+        params: &SolveParams,
     ) -> Self {
         let ns = sf.n_supernodes();
         let mut my_blocks_by_j: HashMap<usize, Vec<usize>> = HashMap::new();
         let mut my_blocks_by_i: HashMap<usize, Vec<usize>> = HashMap::new();
         let mut rev_owners: Vec<Vec<usize>> = vec![Vec::new(); ns];
-        let mut gemvs_total = 0;
+        let mut incoming = vec![0usize; ns];
+        let mut gemvs_total = 0u64;
         for j in 0..ns {
             for b in sf.layout.blocks_of(j) {
                 let owner = grid.map(b.target, j);
                 rev_owners[b.target].push(owner);
+                incoming[b.target] += 1;
                 if owner == rank {
                     my_blocks_by_j.entry(j).or_default().push(b.target);
                     my_blocks_by_i.entry(b.target).or_default().push(j);
@@ -122,41 +215,55 @@ impl SolveEngine {
             v.dedup();
         }
         let my_diags: Vec<usize> = (0..ns).filter(|&j| grid.map(j, j) == rank).collect();
+        let mut rt = TaskEngine::new(params.policy, Arc::new(AtomicBool::new(false)));
+        if params.trace {
+            rt.tracer = Some(Tracer::new());
+        }
+        // Register both sweeps' tasks up front. Backward diagonal solves
+        // carry one extra guard dependency, released at the phase switch, so
+        // a root supernode (no off-diagonal blocks) cannot start early.
+        for &j in &my_diags {
+            rt.insert_task(SolveKey::FwdDiag { j }, incoming[j]);
+            rt.insert_task(SolveKey::BwdDiag { j }, sf.layout.blocks_of(j).len() + 1);
+        }
+        for (&j, targets) in &my_blocks_by_j {
+            for &i in targets {
+                rt.insert_task(SolveKey::FwdGemv { i, j }, 1);
+                rt.insert_task(SolveKey::BwdGemv { i, j }, 1);
+            }
+        }
         SolveEngine {
             sf,
             grid,
-            inbox: Vec::new(),
+            rt,
             acc: HashMap::new(),
-            deps: HashMap::new(),
             y: HashMap::new(),
             x: HashMap::new(),
+            yin: HashMap::new(),
+            xin: HashMap::new(),
             my_blocks_by_j,
             my_blocks_by_i,
             rev_owners,
             my_diags,
-            diags_solved: 0,
-            gemvs_done: 0,
             gemvs_total,
             kernels,
-            msg_overhead,
+            msg_overhead: params.msg_overhead,
         }
     }
 
-    /// Charge the cost model for a solve kernel without redoing placement
-    /// arithmetic at call sites.
-    fn charge(&mut self, rank: &mut Rank, op: Op, elements: usize, flops: u64) {
+    /// Cost-model seconds for a solve kernel (placement included).
+    fn kernel_secs(&mut self, op: Op, elements: usize, flops: u64) -> f64 {
         let loc = self.kernels.place(op, elements);
-        let secs = match loc {
+        match loc {
             sympack_gpu::Loc::Cpu => self.kernels.cost.cpu_time(op, flops),
             sympack_gpu::Loc::Gpu => self.kernels.cost.gpu_time(op, flops),
-        };
-        rank.advance(secs);
+        }
     }
 
     /// Route a message: local push or RPC with payload cost.
     fn send(&mut self, rank: &mut Rank, dest: usize, msg: SolveMsg) {
         if dest == rank.id() {
-            self.inbox.push(msg);
+            self.rt.post(msg);
             return;
         }
         let bytes = match &msg {
@@ -169,198 +276,223 @@ impl SolveEngine {
         // protocol: both sides block until the match completes, so the full
         // cost lands on sender *and* receiver for cross-node messages and a
         // fraction of it within a node. Zero for symPACK's one-sided path.
-        let overhead =
-            if rank.same_node(dest) { self.msg_overhead * 0.2 } else { self.msg_overhead };
+        let overhead = if rank.same_node(dest) {
+            self.msg_overhead * 0.2
+        } else {
+            self.msg_overhead
+        };
         rank.advance(overhead);
         // Wrap so the closure is Send: vectors move into it.
         let cell = std::sync::Mutex::new(Some(msg));
         rank.rpc_payload(dest, bytes, move |r| {
             r.advance(overhead);
             let msg = cell.lock().unwrap().take().expect("message delivered once");
-            r.with_state::<SolveEngine, _>(|_, st| st.inbox.push(msg));
+            r.with_state::<SolveEngine, _>(|_, st| st.rt.post(msg));
         });
     }
-}
 
-mod fwd {
-    use super::*;
-
-    pub(super) fn init(st: &mut SolveEngine, bp: &[f64]) {
-        // Accumulators = permuted RHS rows; dependency counts = number of
-        // blocks targeting each owned supernode.
-        let ns = st.sf.n_supernodes();
-        let mut incoming = vec![0usize; ns];
-        for j in 0..ns {
-            for b in st.sf.layout.blocks_of(j) {
-                incoming[b.target] += 1;
-            }
+    /// Seed the forward sweep: accumulators = permuted RHS rows; the ready
+    /// queue starts with the leaf supernode solves.
+    fn fwd_init(&mut self, bp: &[f64]) {
+        for &j in &self.my_diags {
+            let first = self.sf.partition.first_col(j);
+            let w = self.sf.partition.width(j);
+            self.acc.insert(j, bp[first..first + w].to_vec());
         }
-        for &j in &st.my_diags.clone() {
-            let first = st.sf.partition.first_col(j);
-            let w = st.sf.partition.width(j);
-            st.acc.insert(j, bp[first..first + w].to_vec());
-            st.deps.insert(j, incoming[j]);
+        self.rt.seed_ready();
+    }
+
+    /// Switch to the backward sweep: accumulators = y rows; release the
+    /// guard dependency on every owned backward diagonal solve.
+    fn bwd_init(&mut self, rank: &mut Rank) {
+        let now = rank.now();
+        for &j in &self.my_diags.clone() {
+            let y = self.y.get(&j).expect("forward solved").clone();
+            self.acc.insert(j, y);
+            self.rt.dec(SolveKey::BwdDiag { j }, now);
         }
     }
 
-    /// Solve any owned diagonals whose dependencies are met.
-    pub(super) fn try_solve_ready(st: &mut SolveEngine, rank: &mut Rank, store: &BlockStore) {
-        let ready: Vec<usize> = st
-            .my_diags
-            .iter()
-            .copied()
-            .filter(|j| st.deps.get(j) == Some(&0) && !st.y.contains_key(j))
-            .collect();
-        for j in ready {
-            let l = store.get((j, j)).expect("diag factor owned");
-            let w = l.rows();
-            let mut rhs = st.acc.remove(&j).expect("accumulator present");
-            forward_subst(l, &mut rhs);
-            st.charge(rank, Op::Trsm, w * w, (w * w) as u64);
-            st.y.insert(j, rhs.clone());
-            st.diags_solved += 1;
-            // Fan y_j out to the owners of blocks B(i,j).
-            let mut dests: Vec<usize> = st
-                .sf
-                .layout
-                .blocks_of(j)
-                .iter()
-                .map(|b| st.grid.map(b.target, j))
-                .collect();
-            dests.sort_unstable();
-            dests.dedup();
-            for d in dests {
-                let msg = SolveMsg::YReady { j, y: rhs.clone() };
-                st.send(rank, d, msg);
-            }
-        }
-    }
-
-    pub(super) fn handle_y(
-        st: &mut SolveEngine,
-        rank: &mut Rank,
-        store: &BlockStore,
-        j: usize,
-        yj: &[f64],
-    ) {
-        let Some(targets) = st.my_blocks_by_j.get(&j).cloned() else { return };
-        for i in targets {
-            let b = store.get((i, j)).expect("block owned");
-            let (m, w) = (b.rows(), b.cols());
-            // v = B(i,j) · y_j
-            let mut v = vec![0.0; m];
-            for c in 0..w {
-                let yc = yj[c];
-                for r in 0..m {
-                    v[r] += b[(r, c)] * yc;
+    /// Fold an incoming message into state and release dependent tasks.
+    fn handle(&mut self, rank: &mut Rank, msg: SolveMsg) {
+        let now = rank.now();
+        match msg {
+            SolveMsg::YReady { j, y } => {
+                self.yin.insert(j, y);
+                if let Some(targets) = self.my_blocks_by_j.get(&j).cloned() {
+                    for i in targets {
+                        self.rt.dec(SolveKey::FwdGemv { i, j }, now);
+                    }
                 }
             }
-            st.charge(rank, Op::Gemm, m * w, (2 * m * w) as u64);
-            let binfo = st.sf.layout.find(i, j).expect("block exists");
-            let rows =
-                st.sf.patterns[j][binfo.row_offset..binfo.row_offset + binfo.n_rows].to_vec();
-            st.gemvs_done += 1;
-            let dest = st.grid.map(i, i);
-            st.send(rank, dest, SolveMsg::FwdContrib { target: i, rows, vals: v });
+            SolveMsg::FwdContrib { target, rows, vals } => {
+                let first = self.sf.partition.first_col(target);
+                let acc = self
+                    .acc
+                    .get_mut(&target)
+                    .expect("diag owner has accumulator");
+                for (&r, &v) in rows.iter().zip(&vals) {
+                    acc[r - first] -= v;
+                }
+                self.rt.dec(SolveKey::FwdDiag { j: target }, now);
+            }
+            SolveMsg::XReady { i, x } => {
+                self.xin.insert(i, x);
+                if let Some(js) = self.my_blocks_by_i.get(&i).cloned() {
+                    for j in js {
+                        self.rt.dec(SolveKey::BwdGemv { i, j }, now);
+                    }
+                }
+            }
+            SolveMsg::BwdContrib { target, vals } => {
+                let acc = self
+                    .acc
+                    .get_mut(&target)
+                    .expect("diag owner has accumulator");
+                for (a, &v) in acc.iter_mut().zip(&vals) {
+                    *a -= v;
+                }
+                self.rt.dec(SolveKey::BwdDiag { j: target }, now);
+            }
         }
     }
 
-    pub(super) fn handle_contrib(
-        st: &mut SolveEngine,
-        target: usize,
-        rows: &[usize],
-        vals: &[f64],
-    ) {
-        let first = st.sf.partition.first_col(target);
-        let acc = st.acc.get_mut(&target).expect("diag owner has accumulator");
-        for (&r, &v) in rows.iter().zip(vals) {
-            acc[r - first] -= v;
+    /// Execute one picked task.
+    fn exec(&mut self, rank: &mut Rank, store: &BlockStore, key: SolveKey) {
+        match key {
+            SolveKey::FwdDiag { j } => {
+                let l = store.get((j, j)).expect("diag factor owned");
+                let w = l.rows();
+                let mut rhs = self.acc.remove(&j).expect("accumulator present");
+                forward_subst(l, &mut rhs);
+                let secs = self.kernel_secs(Op::Trsm, w * w, (w * w) as u64);
+                self.rt.charge(rank, key, secs);
+                self.y.insert(j, rhs.clone());
+                // Fan y_j out to the owners of blocks B(i,j).
+                let mut dests: Vec<usize> = self
+                    .sf
+                    .layout
+                    .blocks_of(j)
+                    .iter()
+                    .map(|b| self.grid.map(b.target, j))
+                    .collect();
+                dests.sort_unstable();
+                dests.dedup();
+                for d in dests {
+                    let msg = SolveMsg::YReady { j, y: rhs.clone() };
+                    self.send(rank, d, msg);
+                }
+            }
+            SolveKey::FwdGemv { i, j } => {
+                let yj = self.yin.get(&j).expect("y_j arrived").clone();
+                let b = store.get((i, j)).expect("block owned");
+                let (m, w) = (b.rows(), b.cols());
+                // v = B(i,j) · y_j
+                let mut v = vec![0.0; m];
+                for c in 0..w {
+                    let yc = yj[c];
+                    for r in 0..m {
+                        v[r] += b[(r, c)] * yc;
+                    }
+                }
+                let secs = self.kernel_secs(Op::Gemm, m * w, (2 * m * w) as u64);
+                self.rt.charge(rank, key, secs);
+                let binfo = self.sf.layout.find(i, j).expect("block exists");
+                let rows =
+                    self.sf.patterns[j][binfo.row_offset..binfo.row_offset + binfo.n_rows].to_vec();
+                let dest = self.grid.map(i, i);
+                self.send(
+                    rank,
+                    dest,
+                    SolveMsg::FwdContrib {
+                        target: i,
+                        rows,
+                        vals: v,
+                    },
+                );
+            }
+            SolveKey::BwdDiag { j } => {
+                let l = store.get((j, j)).expect("diag factor owned");
+                let w = l.rows();
+                let mut rhs = self.acc.remove(&j).expect("accumulator present");
+                backward_subst(l, &mut rhs);
+                let secs = self.kernel_secs(Op::Trsm, w * w, (w * w) as u64);
+                self.rt.charge(rank, key, secs);
+                self.x.insert(j, rhs.clone());
+                // Fan x_j out to owners of blocks B(j, k) — every rank
+                // holding a block whose rows live in supernode j.
+                for d in self.rev_owners[j].clone() {
+                    let msg = SolveMsg::XReady {
+                        i: j,
+                        x: rhs.clone(),
+                    };
+                    self.send(rank, d, msg);
+                }
+            }
+            SolveKey::BwdGemv { i, j } => {
+                let xi = self.xin.get(&i).expect("x_i arrived").clone();
+                let first_i = self.sf.partition.first_col(i);
+                let b = store.get((i, j)).expect("block owned");
+                let (m, w) = (b.rows(), b.cols());
+                let binfo = self.sf.layout.find(i, j).expect("block exists");
+                let rows = &self.sf.patterns[j][binfo.row_offset..binfo.row_offset + binfo.n_rows];
+                // v = B(i,j)ᵀ · x_i[rows]
+                let mut v = vec![0.0; w];
+                for c in 0..w {
+                    let mut s = 0.0;
+                    for (r, &gr) in rows.iter().enumerate() {
+                        s += b[(r, c)] * xi[gr - first_i];
+                    }
+                    v[c] = s;
+                }
+                let secs = self.kernel_secs(Op::Gemm, m * w, (2 * m * w) as u64);
+                self.rt.charge(rank, key, secs);
+                let dest = self.grid.map(j, j);
+                self.send(rank, dest, SolveMsg::BwdContrib { target: j, vals: v });
+            }
         }
-        *st.deps.get_mut(&target).expect("dep counter") -= 1;
+    }
+
+    /// Run every ready task to exhaustion.
+    fn pump(&mut self, rank: &mut Rank, store: &BlockStore) {
+        while let Some((key, ready_at)) = self.rt.pick() {
+            self.rt.begin(rank, ready_at);
+            self.exec(rank, store, key);
+            self.rt.complete(key);
+        }
+    }
+
+    /// True when the given sweep's tasks have all executed on this rank.
+    fn phase_done(&self, phase: Phase) -> bool {
+        let diags = self.my_diags.len() as u64;
+        match phase {
+            Phase::Forward => {
+                self.rt.count_of("fwd_diag") == diags
+                    && self.rt.count_of("fwd_gemv") == self.gemvs_total
+            }
+            Phase::Backward => {
+                self.rt.count_of("bwd_diag") == diags
+                    && self.rt.count_of("bwd_gemv") == self.gemvs_total
+            }
+        }
     }
 }
 
-mod bwd {
-    use super::*;
-
-    pub(super) fn init(st: &mut SolveEngine) {
-        // Accumulators = y rows; dependency counts = own block count.
-        for &j in &st.my_diags.clone() {
-            let y = st.y.get(&j).expect("forward solved").clone();
-            st.acc.insert(j, y);
-            st.deps.insert(j, st.sf.layout.blocks_of(j).len());
-        }
-        st.diags_solved = 0;
-        st.gemvs_done = 0;
-    }
-
-    pub(super) fn try_solve_ready(st: &mut SolveEngine, rank: &mut Rank, store: &BlockStore) {
-        let ready: Vec<usize> = st
-            .my_diags
-            .iter()
-            .copied()
-            .filter(|j| st.deps.get(j) == Some(&0) && !st.x.contains_key(j))
-            .collect();
-        for j in ready {
-            let l = store.get((j, j)).expect("diag factor owned");
-            let w = l.rows();
-            let mut rhs = st.acc.remove(&j).expect("accumulator present");
-            backward_subst(l, &mut rhs);
-            st.charge(rank, Op::Trsm, w * w, (w * w) as u64);
-            st.x.insert(j, rhs.clone());
-            st.diags_solved += 1;
-            // Fan x_j out to owners of blocks B(j, k) — every rank holding a
-            // block whose rows live in supernode j.
-            for d in st.rev_owners[j].clone() {
-                let msg = SolveMsg::XReady { i: j, x: rhs.clone() };
-                st.send(rank, d, msg);
-            }
-        }
-    }
-
-    pub(super) fn handle_x(
-        st: &mut SolveEngine,
-        rank: &mut Rank,
-        store: &BlockStore,
-        i: usize,
-        xi: &[f64],
-    ) {
-        let Some(js) = st.my_blocks_by_i.get(&i).cloned() else { return };
-        let first_i = st.sf.partition.first_col(i);
-        for j in js {
-            let b = store.get((i, j)).expect("block owned");
-            let (m, w) = (b.rows(), b.cols());
-            let binfo = st.sf.layout.find(i, j).expect("block exists");
-            let rows = &st.sf.patterns[j][binfo.row_offset..binfo.row_offset + binfo.n_rows];
-            // v = B(i,j)ᵀ · x_i[rows]
-            let mut v = vec![0.0; w];
-            for c in 0..w {
-                let mut s = 0.0;
-                for (r, &gr) in rows.iter().enumerate() {
-                    s += b[(r, c)] * xi[gr - first_i];
-                }
-                v[c] = s;
-            }
-            st.charge(rank, Op::Gemm, m * w, (2 * m * w) as u64);
-            st.gemvs_done += 1;
-            let dest = st.grid.map(j, j);
-            st.send(rank, dest, SolveMsg::BwdContrib { target: j, vals: v });
-        }
-    }
-
-    pub(super) fn handle_contrib(st: &mut SolveEngine, target: usize, vals: &[f64]) {
-        let acc = st.acc.get_mut(&target).expect("diag owner has accumulator");
-        for (a, &v) in acc.iter_mut().zip(vals) {
-            *a -= v;
-        }
-        *st.deps.get_mut(&target).expect("dep counter") -= 1;
-    }
+/// What one rank gets back from a distributed solve.
+pub struct SolveOutcome {
+    /// Per-supernode solution pieces owned by this rank.
+    pub x: HashMap<usize, Vec<f64>>,
+    /// Virtual time spent in the solve.
+    pub elapsed: f64,
+    /// Solve-task timeline (empty unless [`SolveParams::trace`]).
+    pub trace: Vec<TraceEvent>,
+    /// Executed solve tasks per kind on this rank.
+    pub task_counts: Vec<(&'static str, u64)>,
 }
 
 /// Run the distributed solve. `store` holds this rank's factor blocks; `bp`
 /// is the full permuted right-hand side (replicated, as in the paper's
-/// driver). Returns the per-supernode solution pieces owned by this rank and
-/// the virtual time spent.
+/// driver).
 pub fn solve(
     rank: &mut Rank,
     sf: Arc<SymbolicFactor>,
@@ -368,35 +500,32 @@ pub fn solve(
     store: &BlockStore,
     bp: &[f64],
     kernels: KernelEngine,
-) -> (HashMap<usize, Vec<f64>>, f64) {
-    solve_with_overhead(rank, sf, grid, store, bp, kernels, 0.0)
-}
-
-/// [`solve`] with an extra per-message receive overhead — used by the
-/// two-sided baseline to model rendezvous synchronization.
-pub fn solve_with_overhead(
-    rank: &mut Rank,
-    sf: Arc<SymbolicFactor>,
-    grid: ProcGrid,
-    store: &BlockStore,
-    bp: &[f64],
-    kernels: KernelEngine,
-    msg_overhead: f64,
-) -> (HashMap<usize, Vec<f64>>, f64) {
+    params: &SolveParams,
+) -> SolveOutcome {
     let start = rank.now();
-    let mut st = SolveEngine::new(sf, grid, rank.id(), kernels, msg_overhead);
-    fwd::init(&mut st, bp);
-    let my_diag_count = st.my_diags.len();
+    let mut st = SolveEngine::new(sf, grid, rank.id(), kernels, params);
+    st.fwd_init(bp);
     rank.set_state(st);
     // Forward sweep.
-    run_phase(rank, store, my_diag_count, Phase::Forward);
+    run_phase(rank, store, Phase::Forward);
     rank.barrier();
     // Backward sweep.
-    rank.with_state::<SolveEngine, _>(|_, st| bwd::init(st));
-    run_phase(rank, store, my_diag_count, Phase::Backward);
+    rank.with_state::<SolveEngine, _>(|rank, st| st.bwd_init(rank));
+    run_phase(rank, store, Phase::Backward);
     rank.barrier();
-    let st = rank.take_state::<SolveEngine>();
-    (st.x, rank.now() - start)
+    let mut st = rank.take_state::<SolveEngine>();
+    let trace = st
+        .rt
+        .tracer
+        .take()
+        .map(sympack_trace::Tracer::into_events)
+        .unwrap_or_default();
+    SolveOutcome {
+        x: st.x,
+        elapsed: rank.now() - start,
+        trace,
+        task_counts: st.rt.task_counts(),
+    }
 }
 
 /// All-gather the distributed per-supernode solution pieces so every rank
@@ -414,7 +543,9 @@ pub fn allgather_solution(
     let ns = sf.n_supernodes();
     let me = rank.id();
     let n_ranks = rank.n_ranks();
-    rank.set_state(Gather { pieces: x_map.iter().map(|(k, v)| (*k, v.clone())).collect() });
+    rank.set_state(Gather {
+        pieces: x_map.iter().map(|(k, v)| (*k, v.clone())).collect(),
+    });
     for (&sn, piece) in x_map {
         for dest in (0..n_ranks).filter(|&d| d != me) {
             let payload = piece.clone();
@@ -425,14 +556,7 @@ pub fn allgather_solution(
             });
         }
     }
-    loop {
-        rank.progress();
-        let have = rank.with_state::<Gather, _>(|_, g| g.pieces.len());
-        if have == ns {
-            break;
-        }
-        std::thread::yield_now();
-    }
+    sched::poll_until::<Gather, _>(rank, |_, g| g.pieces.len() == ns);
     let g = rank.take_state::<Gather>();
     let mut xp = vec![0.0; sf.n()];
     for (sn, piece) in g.pieces {
@@ -449,43 +573,16 @@ enum Phase {
     Backward,
 }
 
-fn run_phase(rank: &mut Rank, store: &BlockStore, my_diag_count: usize, phase: Phase) {
-    loop {
-        rank.progress();
-        let finished = rank.with_state::<SolveEngine, _>(|rank, st| {
-            match phase {
-                Phase::Forward => fwd::try_solve_ready(st, rank, store),
-                Phase::Backward => bwd::try_solve_ready(st, rank, store),
-            }
-            let msgs = std::mem::take(&mut st.inbox);
-            for msg in msgs {
-                match (phase, msg) {
-                    (Phase::Forward, SolveMsg::YReady { j, y }) => {
-                        fwd::handle_y(st, rank, store, j, &y)
-                    }
-                    (Phase::Forward, SolveMsg::FwdContrib { target, rows, vals }) => {
-                        fwd::handle_contrib(st, target, &rows, &vals)
-                    }
-                    (Phase::Backward, SolveMsg::XReady { i, x }) => {
-                        bwd::handle_x(st, rank, store, i, &x)
-                    }
-                    (Phase::Backward, SolveMsg::BwdContrib { target, vals }) => {
-                        bwd::handle_contrib(st, target, &vals)
-                    }
-                    _ => unreachable!("message from the wrong phase"),
-                }
-            }
-            match phase {
-                Phase::Forward => fwd::try_solve_ready(st, rank, store),
-                Phase::Backward => bwd::try_solve_ready(st, rank, store),
-            }
-            st.diags_solved == my_diag_count && st.gemvs_done == st.gemvs_total
-        });
-        if finished {
-            break;
+fn run_phase(rank: &mut Rank, store: &BlockStore, phase: Phase) {
+    sched::poll_until::<SolveEngine, _>(rank, |rank, st| {
+        st.pump(rank, store);
+        let msgs = st.rt.take_signals();
+        for msg in msgs {
+            st.handle(rank, msg);
         }
-        std::thread::yield_now();
-    }
+        st.pump(rank, store);
+        st.phase_done(phase)
+    });
 }
 
 #[cfg(test)]

@@ -20,7 +20,10 @@ impl fmt::Display for DenseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DenseError::NotPositiveDefinite { column } => {
-                write!(f, "matrix is not positive definite (pivot at column {column})")
+                write!(
+                    f,
+                    "matrix is not positive definite (pivot at column {column})"
+                )
             }
             DenseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
         }

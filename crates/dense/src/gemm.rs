@@ -25,6 +25,7 @@ const KB: usize = 128;
 /// # Panics
 /// Panics (via debug assertions and slice bounds) when the buffers are too
 /// small for the given dimensions.
+#[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
 pub fn gemm_nt_raw(
     c: &mut [f64],
     ldc: usize,
@@ -123,7 +124,17 @@ pub fn gemm_nt(c: &mut Mat, a: &Mat, b: &Mat) {
     assert_eq!(c.cols(), b.rows(), "gemm_nt: column dimensions differ");
     let (m, n, k) = (c.rows(), c.cols(), a.cols());
     let (ldc, lda, ldb) = (c.ld(), a.ld(), b.ld());
-    gemm_nt_raw(c.as_mut_slice(), ldc, m, n, a.as_slice(), lda, b.as_slice(), ldb, k);
+    gemm_nt_raw(
+        c.as_mut_slice(),
+        ldc,
+        m,
+        n,
+        a.as_slice(),
+        lda,
+        b.as_slice(),
+        ldb,
+        k,
+    );
 }
 
 #[cfg(test)]

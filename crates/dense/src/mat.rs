@@ -19,7 +19,11 @@ pub struct Mat {
 impl Mat {
     /// Create a zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create an identity matrix of order `n`.
@@ -36,7 +40,11 @@ impl Mat {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "column-major buffer length mismatch");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "column-major buffer length mismatch"
+        );
         Mat { rows, cols, data }
     }
 

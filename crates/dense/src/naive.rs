@@ -101,7 +101,11 @@ mod tests {
         let a = Mat::spd_from(6, |r, c| ((r * 5 + c * 3) % 11) as f64 - 5.0);
         let l = potrf_ref(&a).unwrap();
         let rec = l.matmul(&l.transpose());
-        assert!(rec.max_abs_diff(&a) < 1e-10, "diff={}", rec.max_abs_diff(&a));
+        assert!(
+            rec.max_abs_diff(&a) < 1e-10,
+            "diff={}",
+            rec.max_abs_diff(&a)
+        );
     }
 
     #[test]

@@ -1,18 +1,40 @@
-//! Rayon-parallel variants of the dense kernels.
+//! Thread-parallel variants of the dense kernels.
 //!
 //! The distributed solver runs one PGAS rank per thread, so its kernels stay
 //! sequential. The *shared-memory* execution path (one rank, many cores — the
 //! paper's single-node configuration) instead uses these variants, which
-//! split the target matrix into independent column panels and update them in
-//! parallel. Rayon guarantees data-race freedom: each panel is a disjoint
-//! `&mut` chunk of the column-major buffer.
+//! split the target matrix into independent column panels and update them on
+//! scoped `std::thread` workers. Data-race freedom is structural: each panel
+//! is a disjoint `&mut` chunk of the column-major buffer handed to exactly
+//! one worker.
 
 use crate::gemm::gemm_nt_raw;
 use crate::mat::Mat;
-use rayon::prelude::*;
 
 /// Minimum per-task flop count before parallelism pays for itself.
 const PAR_FLOP_THRESHOLD: u64 = 256 * 1024;
+
+/// Worker count for the shared-memory kernels.
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `buf` into chunks of `chunk_len` elements and run `f` on each chunk
+/// concurrently. `f` receives `(chunk_index, chunk)`; the last chunk may be
+/// short. Equivalent to `par_chunks_mut(..).enumerate().for_each(..)`.
+fn par_chunks_mut<F>(buf: &mut [f64], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    std::thread::scope(|s| {
+        for (idx, chunk) in buf.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            s.spawn(move || f(idx, chunk));
+        }
+    });
+}
 
 /// Parallel `C ← C − A·Bᵀ`: column panels of `C` are updated concurrently.
 pub fn gemm_nt_par(c: &mut Mat, a: &Mat, b: &Mat) {
@@ -26,18 +48,25 @@ pub fn gemm_nt_par(c: &mut Mat, a: &Mat, b: &Mat) {
     }
     let ldc = c.ld();
     let (lda, ldb) = (a.ld(), b.ld());
-    let nchunks = rayon::current_num_threads().min(n);
+    let nchunks = num_threads().min(n);
     let cols_per = n.div_ceil(nchunks);
-    c.as_mut_slice()
-        .par_chunks_mut(cols_per * ldc)
-        .enumerate()
-        .for_each(|(chunk, cpanel)| {
-            let j0 = chunk * cols_per;
-            let jn = cols_per.min(n - j0);
-            // Panel of C covers columns j0..j0+jn; the matching operand is
-            // rows j0..j0+jn of B.
-            gemm_nt_raw(cpanel, ldc, m, jn, a.as_slice(), lda, &b.as_slice()[j0..], ldb, k);
-        });
+    par_chunks_mut(c.as_mut_slice(), cols_per * ldc, |chunk, cpanel| {
+        let j0 = chunk * cols_per;
+        let jn = cols_per.min(n - j0);
+        // Panel of C covers columns j0..j0+jn; the matching operand is
+        // rows j0..j0+jn of B.
+        gemm_nt_raw(
+            cpanel,
+            ldc,
+            m,
+            jn,
+            a.as_slice(),
+            lda,
+            &b.as_slice()[j0..],
+            ldb,
+            k,
+        );
+    });
 }
 
 /// Parallel `C ← C − A·Aᵀ` (lower triangle): the triangle is split into
@@ -52,37 +81,34 @@ pub fn syrk_lower_par(c: &mut Mat, a: &Mat) {
     }
     let ldc = c.ld();
     let lda = a.ld();
-    let nchunks = rayon::current_num_threads().min(n);
+    let nchunks = num_threads().min(n);
     let cols_per = n.div_ceil(nchunks);
-    c.as_mut_slice()
-        .par_chunks_mut(cols_per * ldc)
-        .enumerate()
-        .for_each(|(chunk, cpanel)| {
-            let j0 = chunk * cols_per;
-            let jn = cols_per.min(n - j0);
-            // Columns j0..j0+jn of the lower triangle: rows j0..n.
-            // Work on the sub-triangle starting at (j0, j0): within the panel
-            // buffer, the (j0 + i)-th row of column j lives at offset
-            // j_local * ldc + row. Use the sequential SYRK on the diagonal
-            // part and GEMM for the strictly-below rows, both via raw calls.
-            // Diagonal jn x jn sub-triangle at rows j0..j0+jn:
-            crate::syrk::syrk_lower_raw(&mut cpanel[j0..], ldc, jn, &a.as_slice()[j0..], lda, k);
-            // Rows j0+jn..n of this panel: full GEMM block.
-            let m = n - j0 - jn;
-            if m > 0 {
-                gemm_nt_raw(
-                    &mut cpanel[j0 + jn..],
-                    ldc,
-                    m,
-                    jn,
-                    &a.as_slice()[j0 + jn..],
-                    lda,
-                    &a.as_slice()[j0..],
-                    lda,
-                    k,
-                );
-            }
-        });
+    par_chunks_mut(c.as_mut_slice(), cols_per * ldc, |chunk, cpanel| {
+        let j0 = chunk * cols_per;
+        let jn = cols_per.min(n - j0);
+        // Columns j0..j0+jn of the lower triangle: rows j0..n.
+        // Work on the sub-triangle starting at (j0, j0): within the panel
+        // buffer, the (j0 + i)-th row of column j lives at offset
+        // j_local * ldc + row. Use the sequential SYRK on the diagonal
+        // part and GEMM for the strictly-below rows, both via raw calls.
+        // Diagonal jn x jn sub-triangle at rows j0..j0+jn:
+        crate::syrk::syrk_lower_raw(&mut cpanel[j0..], ldc, jn, &a.as_slice()[j0..], lda, k);
+        // Rows j0+jn..n of this panel: full GEMM block.
+        let m = n - j0 - jn;
+        if m > 0 {
+            gemm_nt_raw(
+                &mut cpanel[j0 + jn..],
+                ldc,
+                m,
+                jn,
+                &a.as_slice()[j0 + jn..],
+                lda,
+                &a.as_slice()[j0..],
+                lda,
+                k,
+            );
+        }
+    });
 }
 
 /// Parallel `X · Lᵀ = B` in place: the rows of `B` are independent, so the
@@ -98,7 +124,7 @@ pub fn trsm_right_lower_trans_par(b: &mut Mat, l: &Mat) {
     }
     // Rows are independent but interleaved in column-major storage, so we
     // split by copying horizontal strips out, solving, and copying back.
-    let nthreads = rayon::current_num_threads().min(m);
+    let nthreads = num_threads().min(m);
     let rows_per = m.div_ceil(nthreads);
     let ldb = b.ld();
     let bslice = b.as_mut_slice();
@@ -114,9 +140,13 @@ pub fn trsm_right_lower_trans_par(b: &mut Mat, l: &Mat) {
             (r0, s)
         })
         .collect();
-    strips.par_iter_mut().for_each(|(r0, s)| {
-        let rn = rows_per.min(m - *r0);
-        crate::trsm::trsm_right_lower_trans_raw(s, rn, rn, n, l.as_slice(), l.ld());
+    std::thread::scope(|scope| {
+        for (r0, s) in strips.iter_mut() {
+            let rn = rows_per.min(m - *r0);
+            scope.spawn(move || {
+                crate::trsm::trsm_right_lower_trans_raw(s, rn, rn, n, l.as_slice(), l.ld());
+            });
+        }
     });
     for (r0, s) in strips {
         let rn = rows_per.min(m - r0);
@@ -154,7 +184,10 @@ mod tests {
             syrk_ref(&mut c2, &a);
             for j in 0..n {
                 for i in j..n {
-                    assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-9, "n={n} k={k} ({i},{j})");
+                    assert!(
+                        (c1[(i, j)] - c2[(i, j)]).abs() < 1e-9,
+                        "n={n} k={k} ({i},{j})"
+                    );
                 }
             }
         }

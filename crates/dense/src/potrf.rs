@@ -117,7 +117,11 @@ mod tests {
         potrf(&mut a).unwrap();
         a.zero_upper();
         let expect = potrf_ref(&a0).unwrap();
-        assert!(a.max_abs_diff(&expect) < 1e-8, "n={n} diff={}", a.max_abs_diff(&expect));
+        assert!(
+            a.max_abs_diff(&expect) < 1e-8,
+            "n={n} diff={}",
+            a.max_abs_diff(&expect)
+        );
         let recon = a.matmul(&a.transpose());
         assert!(recon.max_abs_diff(&a0) < 1e-7, "n={n} reconstruction");
     }

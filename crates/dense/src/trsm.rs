@@ -69,7 +69,11 @@ pub fn trsm_right_lower_trans_raw(
 /// Panics if `L` is not square or `B.cols() != L.rows()`.
 pub fn trsm_right_lower_trans(b: &mut Mat, l: &Mat) {
     assert_eq!(l.rows(), l.cols(), "trsm: L must be square");
-    assert_eq!(b.cols(), l.rows(), "trsm: B column count must match L order");
+    assert_eq!(
+        b.cols(),
+        l.rows(),
+        "trsm: B column count must match L order"
+    );
     let (m, n) = (b.rows(), b.cols());
     let (ldb, ldl) = (b.ld(), l.ld());
     trsm_right_lower_trans_raw(b.as_mut_slice(), ldb, m, n, l.as_slice(), ldl);

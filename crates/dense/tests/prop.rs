@@ -1,77 +1,103 @@
-//! Property-based tests for the dense kernels: random shapes and contents,
-//! checked against the naive reference implementations and against algebraic
-//! identities (reconstruction, inverse-of-multiply).
+//! Randomized tests for the dense kernels: seeded random shapes and
+//! contents, checked against the naive reference implementations and
+//! against algebraic identities (reconstruction, inverse-of-multiply).
 
-use proptest::prelude::*;
 use sympack_dense::naive::{gemm_ref, potrf_ref, syrk_ref, trsm_ref};
 use sympack_dense::par::{gemm_nt_par, syrk_lower_par, trsm_right_lower_trans_par};
 use sympack_dense::{gemm_nt, potrf, syrk_lower, trsm_right_lower_trans, Mat};
 
-fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
-    prop::collection::vec(-10.0f64..10.0, rows * cols)
-        .prop_map(move |v| Mat::from_col_major(rows, cols, v))
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn mat(&mut self, rows: usize, cols: usize) -> Mat {
+        let v: Vec<f64> = (0..rows * cols).map(|_| self.f64_in(-10.0, 10.0)).collect();
+        Mat::from_col_major(rows, cols, v)
+    }
 }
 
-fn spd_strategy(n: usize) -> impl Strategy<Value = Mat> {
-    // G·Gᵀ + n·I is SPD for any G.
-    mat_strategy(n, n).prop_map(move |g| {
+const CASES: u64 = 48;
+
+#[test]
+fn potrf_reconstructs_random_spd() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = rng.usize_in(1, 60);
+        let g = rng.mat(n, n);
         let mut a = g.matmul(&g.transpose());
         for i in 0..n {
             a[(i, i)] += n as f64 * 10.0 + 1.0;
         }
-        a
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn potrf_reconstructs_random_spd(n in 1usize..60, seedmat in mat_strategy(60, 60)) {
-        let g = Mat::from_fn(n, n, |r, c| seedmat[(r, c)]);
-        let mut a = g.matmul(&g.transpose());
-        for i in 0..n { a[(i,i)] += n as f64 * 10.0 + 1.0; }
         let a0 = a.clone();
         potrf(&mut a).unwrap();
         a.zero_upper();
         let recon = a.matmul(&a.transpose());
         let scale = a0.fro_norm().max(1.0);
-        prop_assert!(recon.max_abs_diff(&a0) / scale < 1e-10);
+        assert!(recon.max_abs_diff(&a0) / scale < 1e-10);
     }
+}
 
-    #[test]
-    fn blocked_potrf_agrees_with_reference(a in spd_strategy(37)) {
+#[test]
+fn blocked_potrf_agrees_with_reference() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = 37;
+        // G·Gᵀ + n·I is SPD for any G.
+        let g = rng.mat(n, n);
+        let mut a = g.matmul(&g.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64 * 10.0 + 1.0;
+        }
         let mut blocked = a.clone();
         potrf(&mut blocked).unwrap();
         blocked.zero_upper();
         let reference = potrf_ref(&a).unwrap();
-        prop_assert!(blocked.max_abs_diff(&reference) < 1e-8);
+        assert!(blocked.max_abs_diff(&reference) < 1e-8);
     }
+}
 
-    #[test]
-    fn gemm_agrees_with_reference(
-        m in 1usize..40, n in 1usize..40, k in 1usize..40,
-        a in mat_strategy(40, 40), b in mat_strategy(40, 40), c0 in mat_strategy(40, 40),
-    ) {
-        let a = Mat::from_fn(m, k, |r, c| a[(r, c)]);
-        let b = Mat::from_fn(n, k, |r, c| b[(r, c)]);
-        let mut c1 = Mat::from_fn(m, n, |r, c| c0[(r, c)]);
+#[test]
+fn gemm_agrees_with_reference() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let m = rng.usize_in(1, 40);
+        let n = rng.usize_in(1, 40);
+        let k = rng.usize_in(1, 40);
+        let a = rng.mat(m, k);
+        let b = rng.mat(n, k);
+        let mut c1 = rng.mat(m, n);
         let mut c2 = c1.clone();
         let mut c3 = c1.clone();
         gemm_nt(&mut c1, &a, &b);
         gemm_ref(&mut c2, &a, &b);
         gemm_nt_par(&mut c3, &a, &b);
-        prop_assert!(c1.max_abs_diff(&c2) < 1e-9);
-        prop_assert!(c3.max_abs_diff(&c2) < 1e-9);
+        assert!(c1.max_abs_diff(&c2) < 1e-9);
+        assert!(c3.max_abs_diff(&c2) < 1e-9);
     }
+}
 
-    #[test]
-    fn syrk_agrees_with_reference(
-        n in 1usize..40, k in 1usize..40,
-        a in mat_strategy(40, 40), c0 in mat_strategy(40, 40),
-    ) {
-        let a = Mat::from_fn(n, k, |r, c| a[(r, c)]);
-        let mut c1 = Mat::from_fn(n, n, |r, c| c0[(r, c)]);
+#[test]
+fn syrk_agrees_with_reference() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = rng.usize_in(1, 40);
+        let k = rng.usize_in(1, 40);
+        let a = rng.mat(n, k);
+        let mut c1 = rng.mat(n, n);
         let mut c2 = c1.clone();
         let mut c3 = c1.clone();
         syrk_lower(&mut c1, &a);
@@ -79,22 +105,26 @@ proptest! {
         syrk_lower_par(&mut c3, &a);
         for j in 0..n {
             for i in j..n {
-                prop_assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-9);
-                prop_assert!((c3[(i, j)] - c2[(i, j)]).abs() < 1e-9);
+                assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-9);
+                assert!((c3[(i, j)] - c2[(i, j)]).abs() < 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn trsm_inverts_multiplication(
-        m in 1usize..30, n in 1usize..30,
-        g in mat_strategy(30, 30), x0 in mat_strategy(30, 30),
-    ) {
-        let g = Mat::from_fn(n, n, |r, c| g[(r, c)]);
+#[test]
+fn trsm_inverts_multiplication() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let m = rng.usize_in(1, 30);
+        let n = rng.usize_in(1, 30);
+        let g = rng.mat(n, n);
         let mut spd = g.matmul(&g.transpose());
-        for i in 0..n { spd[(i, i)] += n as f64 * 10.0 + 1.0; }
+        for i in 0..n {
+            spd[(i, i)] += n as f64 * 10.0 + 1.0;
+        }
         let l = potrf_ref(&spd).unwrap();
-        let x = Mat::from_fn(m, n, |r, c| x0[(r, c)]);
+        let x = rng.mat(m, n);
         let b = x.matmul(&l.transpose());
         let mut solved = b.clone();
         trsm_right_lower_trans(&mut solved, &l);
@@ -102,8 +132,8 @@ proptest! {
         trsm_right_lower_trans_par(&mut solved_par, &l);
         let reference = trsm_ref(&l, &b);
         let scale = x.fro_norm().max(1.0);
-        prop_assert!(solved.max_abs_diff(&x) / scale < 1e-8);
-        prop_assert!(solved.max_abs_diff(&reference) < 1e-8);
-        prop_assert!(solved_par.max_abs_diff(&reference) < 1e-8);
+        assert!(solved.max_abs_diff(&x) / scale < 1e-8);
+        assert!(solved.max_abs_diff(&reference) < 1e-8);
+        assert!(solved_par.max_abs_diff(&reference) < 1e-8);
     }
 }

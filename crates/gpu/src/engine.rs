@@ -57,7 +57,13 @@ impl OpCounts {
 
     /// Total calls across both locations.
     pub fn total(&self) -> u64 {
-        Op::ALL.iter().map(|&op| { let (c, g) = self.get(op); c + g }).sum()
+        Op::ALL
+            .iter()
+            .map(|&op| {
+                let (c, g) = self.get(op);
+                c + g
+            })
+            .sum()
     }
 }
 
@@ -95,7 +101,10 @@ impl KernelEngine {
 
     /// CPU-only engine.
     pub fn new_cpu() -> Self {
-        KernelEngine { gpu_enabled: false, ..Self::new_gpu() }
+        KernelEngine {
+            gpu_enabled: false,
+            ..Self::new_gpu()
+        }
     }
 
     /// Decide where an `op` touching `elements` matrix entries runs.
@@ -223,8 +232,15 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = OpCounts { gemm_cpu: 2, ..Default::default() };
-        let b = OpCounts { gemm_cpu: 3, potrf_gpu: 1, ..Default::default() };
+        let mut a = OpCounts {
+            gemm_cpu: 2,
+            ..Default::default()
+        };
+        let b = OpCounts {
+            gemm_cpu: 3,
+            potrf_gpu: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.gemm_cpu, 5);
         assert_eq!(a.potrf_gpu, 1);

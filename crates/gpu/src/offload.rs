@@ -45,21 +45,36 @@ impl Default for OffloadThresholds {
         // Defaults hand-tuned against CostModel::default(), mirroring the
         // paper's brute-force tuning: GEMM/SYRK amortize launches soonest,
         // TRSM later, POTRF last.
-        OffloadThresholds { potrf: 112 * 112, trsm: 96 * 96, syrk: 64 * 64, gemm: 48 * 48 }
+        OffloadThresholds {
+            potrf: 112 * 112,
+            trsm: 96 * 96,
+            syrk: 64 * 64,
+            gemm: 48 * 48,
+        }
     }
 }
 
 impl OffloadThresholds {
     /// Thresholds that keep every kernel on the CPU (GPU mode off).
     pub fn cpu_only() -> Self {
-        OffloadThresholds { potrf: usize::MAX, trsm: usize::MAX, syrk: usize::MAX, gemm: usize::MAX }
+        OffloadThresholds {
+            potrf: usize::MAX,
+            trsm: usize::MAX,
+            syrk: usize::MAX,
+            gemm: usize::MAX,
+        }
     }
 
     /// Thresholds that push every kernel to the GPU (a deliberately bad
     /// "GPU-only" configuration; the ablation bench shows why the paper's
     /// hybrid beats it).
     pub fn gpu_always() -> Self {
-        OffloadThresholds { potrf: 0, trsm: 0, syrk: 0, gemm: 0 }
+        OffloadThresholds {
+            potrf: 0,
+            trsm: 0,
+            syrk: 0,
+            gemm: 0,
+        }
     }
 
     /// The threshold for `op`.

@@ -44,7 +44,10 @@ pub struct MfOptions {
 
 impl Default for MfOptions {
     fn default() -> Self {
-        MfOptions { ordering: OrderingKind::NestedDissection, analyze: AnalyzeOptions::default() }
+        MfOptions {
+            ordering: OrderingKind::NestedDissection,
+            analyze: AnalyzeOptions::default(),
+        }
     }
 }
 
@@ -67,7 +70,10 @@ pub struct MultifrontalFactor {
 /// # Errors
 /// [`SolverError::NotPositiveDefinite`] on a failed pivot (column reported
 /// in the permuted ordering).
-pub fn multifrontal_factor(a: &SparseSym, opts: &MfOptions) -> Result<MultifrontalFactor, SolverError> {
+pub fn multifrontal_factor(
+    a: &SparseSym,
+    opts: &MfOptions,
+) -> Result<MultifrontalFactor, SolverError> {
     let ordering = compute_ordering(a, opts.ordering);
     let sf = analyze(a, &ordering, &opts.analyze);
     let ap = a.permute(sf.perm.as_slice());
@@ -139,7 +145,9 @@ pub fn multifrontal_factor(a: &SparseSym, opts: &MfOptions) -> Result<Multifront
         match kernels.potrf(&mut diag) {
             Ok((_, secs)) => modeled_time += secs,
             Err(sympack_dense::DenseError::NotPositiveDefinite { column }) => {
-                return Err(SolverError::NotPositiveDefinite { column: first + column });
+                return Err(SolverError::NotPositiveDefinite {
+                    column: first + column,
+                });
             }
             Err(e) => panic!("unexpected dense error: {e}"),
         }
@@ -152,13 +160,17 @@ pub fn multifrontal_factor(a: &SparseSym, opts: &MfOptions) -> Result<Multifront
         }
         //    (c) Schur complement U = F22 − panel·panelᵀ.
         if m > 0 {
-            let mut u = Mat::from_fn(m, m, |r, c| {
-                if r >= c {
-                    front[(w + r, w + c)]
-                } else {
-                    0.0
-                }
-            });
+            let mut u = Mat::from_fn(
+                m,
+                m,
+                |r, c| {
+                    if r >= c {
+                        front[(w + r, w + c)]
+                    } else {
+                        0.0
+                    }
+                },
+            );
             let (_, secs) = kernels.syrk(&mut u, &panel);
             modeled_time += secs;
             // Only the lower triangle of U is meaningful; extend-add reads
@@ -195,7 +207,11 @@ pub fn multifrontal_factor(a: &SparseSym, opts: &MfOptions) -> Result<Multifront
     let l_permuted = SparseSym::from_parts(n, col_ptr, row_idx, values);
     let perm = Permutation::from_vec(sf.perm.as_slice().to_vec());
     Ok(MultifrontalFactor {
-        factor: GatheredFactor { perm, l_permuted, factor_time: modeled_time },
+        factor: GatheredFactor {
+            perm,
+            l_permuted,
+            factor_time: modeled_time,
+        },
         peak_stack_elements: peak_stack,
         modeled_time,
     })
@@ -252,9 +268,16 @@ mod tests {
         assert_eq!(lm.n(), lf.n());
         assert_eq!(lm.nnz(), lf.nnz());
         for c in 0..lm.n() {
-            assert_eq!(lm.col_rows(c), lf.col_rows(c), "pattern differs in column {c}");
+            assert_eq!(
+                lm.col_rows(c),
+                lf.col_rows(c),
+                "pattern differs in column {c}"
+            );
             for (x, y) in lm.col_values(c).iter().zip(lf.col_values(c)) {
-                assert!((x - y).abs() < 1e-8 * y.abs().max(1.0), "column {c}: {x} vs {y}");
+                assert!(
+                    (x - y).abs() < 1e-8 * y.abs().max(1.0),
+                    "column {c}: {x} vs {y}"
+                );
             }
         }
     }
@@ -297,11 +320,17 @@ mod tests {
     fn amalgamation_reduces_tree_and_still_solves() {
         let a = thermal_like(14, 14, 0.35, 6);
         let none = MfOptions {
-            analyze: AnalyzeOptions { amalgamation_ratio: 0.0, ..Default::default() },
+            analyze: AnalyzeOptions {
+                amalgamation_ratio: 0.0,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let some = MfOptions {
-            analyze: AnalyzeOptions { amalgamation_ratio: 0.4, ..Default::default() },
+            analyze: AnalyzeOptions {
+                amalgamation_ratio: 0.4,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let b = test_rhs(a.n());

@@ -88,7 +88,10 @@ pub fn factor_nnz(a: &SparseSym, perm: &Permutation) -> usize {
 /// multiply-add pair per entry pair).
 pub fn factor_flops(a: &SparseSym, perm: &Permutation) -> u64 {
     let pa = a.permute(perm.as_slice());
-    col_counts(&pa).iter().map(|&c| (c as u64) * (c as u64)).sum()
+    col_counts(&pa)
+        .iter()
+        .map(|&c| (c as u64) * (c as u64))
+        .sum()
 }
 
 #[cfg(test)]
@@ -148,13 +151,13 @@ mod tests {
         // Brute-force symbolic elimination on a random pattern.
         let a = random_spd(40, 4, 17);
         let n = a.n();
-        let mut pattern: Vec<std::collections::BTreeSet<usize>> =
-            (0..n).map(|c| a.col_rows(c).iter().copied().collect()).collect();
+        let mut pattern: Vec<std::collections::BTreeSet<usize>> = (0..n)
+            .map(|c| a.col_rows(c).iter().copied().collect())
+            .collect();
         // naive fill: for each column j, its pattern below j is added to the
         // pattern of its first sub-diagonal nonzero (etree parent update).
         for j in 0..n {
-            let below: Vec<usize> =
-                pattern[j].iter().copied().filter(|&r| r > j).collect();
+            let below: Vec<usize> = pattern[j].iter().copied().filter(|&r| r > j).collect();
             if let Some(&p) = below.first() {
                 for &r in &below {
                     if r != p {
@@ -163,7 +166,9 @@ mod tests {
                 }
             }
         }
-        let naive: Vec<usize> = (0..n).map(|j| pattern[j].iter().filter(|&&r| r >= j).count()).collect();
+        let naive: Vec<usize> = (0..n)
+            .map(|j| pattern[j].iter().filter(|&&r| r >= j).count())
+            .collect();
         assert_eq!(col_counts(&a), naive);
     }
 

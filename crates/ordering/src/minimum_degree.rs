@@ -135,9 +135,9 @@ pub fn min_degree_graph(g: &Graph) -> Permutation {
     let mut qg = QuotientGraph::new(g);
     let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::with_capacity(n);
     let mut cur_deg = vec![0usize; n];
-    for v in 0..n {
-        cur_deg[v] = qg.degree(v);
-        heap.push(Reverse((cur_deg[v], v)));
+    for (v, deg) in cur_deg.iter_mut().enumerate() {
+        *deg = qg.degree(v);
+        heap.push(Reverse((*deg, v)));
     }
     let mut order = Vec::with_capacity(n);
     while let Some(Reverse((d, v))) = heap.pop() {

@@ -44,7 +44,11 @@ impl WGraph {
         let n = vertices.len();
         let mut adj_ptr = vec![0usize; n + 1];
         for (li, &v) in vertices.iter().enumerate() {
-            let deg = g.neighbors(v).iter().filter(|&&w| local[w] != usize::MAX).count();
+            let deg = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| local[w] != usize::MAX)
+                .count();
             adj_ptr[li + 1] = adj_ptr[li] + deg;
         }
         let mut adj = vec![0usize; adj_ptr[n]];
@@ -59,7 +63,13 @@ impl WGraph {
         }
         let ne = adj.len();
         (
-            WGraph { n, adj_ptr, adj, ewgt: vec![1; ne], vwgt: vec![1; n] },
+            WGraph {
+                n,
+                adj_ptr,
+                adj,
+                ewgt: vec![1; ne],
+                vwgt: vec![1; n],
+            },
             vertices.to_vec(),
         )
     }
@@ -171,7 +181,16 @@ impl WGraph {
             adj_ptr[c + 1] = adj.len();
             let _ = start;
         }
-        (WGraph { n: nc, adj_ptr, adj, ewgt, vwgt }, coarse_of)
+        (
+            WGraph {
+                n: nc,
+                adj_ptr,
+                adj,
+                ewgt,
+                vwgt,
+            },
+            coarse_of,
+        )
     }
 
     /// Initial bisection by weighted BFS region growing from a
@@ -270,8 +289,8 @@ impl WGraph {
     /// Separator weight and side weights.
     pub fn weights(&self, part: &[u8]) -> (u64, u64, u64) {
         let (mut wa, mut wb, mut ws) = (0, 0, 0);
-        for v in 0..self.n {
-            match part[v] {
+        for (v, &side) in part.iter().enumerate() {
+            match side {
                 SIDE_A => wa += self.vwgt[v],
                 SIDE_B => wb += self.vwgt[v],
                 _ => ws += self.vwgt[v],
@@ -313,7 +332,7 @@ impl WGraph {
                     if imbalance > 0.5 + max_imbalance {
                         continue;
                     }
-                    if gain > 0 && best.map_or(true, |(g, _, _)| gain > g) {
+                    if gain > 0 && best.is_none_or(|(g, _, _)| gain > g) {
                         best = Some((gain, v, side));
                     }
                 }
@@ -449,8 +468,8 @@ mod tests {
         assert_eq!(coarse.total_vwgt(), 64);
         assert!(coarse.n() < 64);
         assert!(coarse.n() >= 32);
-        for v in 0..64 {
-            assert!(coarse_of[v] < coarse.n());
+        for &c in coarse_of.iter().take(64) {
+            assert!(c < coarse.n());
         }
         // Coarse adjacency must not contain self loops.
         for c in 0..coarse.n() {

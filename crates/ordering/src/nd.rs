@@ -44,7 +44,10 @@ pub struct NdOptions {
 
 impl Default for NdOptions {
     fn default() -> Self {
-        NdOptions { leaf_size: 64, strategy: SeparatorStrategy::LevelSet }
+        NdOptions {
+            leaf_size: 64,
+            strategy: SeparatorStrategy::LevelSet,
+        }
     }
 }
 
@@ -186,7 +189,10 @@ fn level_set_separator(
         } else if l > sep_level {
             right.push(v);
         } else {
-            let has_upper = g.neighbors(v).iter().any(|&w| mask[w] && levels[w] == l + 1);
+            let has_upper = g
+                .neighbors(v)
+                .iter()
+                .any(|&w| mask[w] && levels[w] == l + 1);
             if has_upper {
                 sep.push(v);
             } else {
@@ -217,7 +223,13 @@ mod tests {
     #[test]
     fn beats_natural_ordering_on_2d_grid() {
         let a = laplacian_2d(24, 24);
-        let nd = nested_dissection(&a, &NdOptions { leaf_size: 16, ..Default::default() });
+        let nd = nested_dissection(
+            &a,
+            &NdOptions {
+                leaf_size: 16,
+                ..Default::default()
+            },
+        );
         let nd_nnz = factor_nnz(&a, &nd);
         let nat_nnz = factor_nnz(&a, &Permutation::identity(a.n()));
         assert!(
@@ -229,7 +241,13 @@ mod tests {
     #[test]
     fn beats_natural_ordering_on_3d_grid() {
         let a = laplacian_3d(8, 8, 8);
-        let nd = nested_dissection(&a, &NdOptions { leaf_size: 32, ..Default::default() });
+        let nd = nested_dissection(
+            &a,
+            &NdOptions {
+                leaf_size: 32,
+                ..Default::default()
+            },
+        );
         let nd_nnz = factor_nnz(&a, &nd);
         let nat_nnz = factor_nnz(&a, &Permutation::identity(a.n()));
         assert!(nd_nnz < nat_nnz, "nd {nd_nnz} vs natural {nat_nnz}");
@@ -238,7 +256,13 @@ mod tests {
     #[test]
     fn handles_irregular_graphs() {
         let a = thermal_like(15, 15, 0.4, 5);
-        let p = nested_dissection(&a, &NdOptions { leaf_size: 10, ..Default::default() });
+        let p = nested_dissection(
+            &a,
+            &NdOptions {
+                leaf_size: 10,
+                ..Default::default()
+            },
+        );
         p.validate().unwrap();
     }
 

@@ -14,7 +14,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity permutation of length `n`.
     pub fn identity(n: usize) -> Self {
-        Permutation { perm: (0..n).collect() }
+        Permutation {
+            perm: (0..n).collect(),
+        }
     }
 
     /// Wrap an existing `perm[new] = old` vector.
@@ -59,7 +61,9 @@ impl Permutation {
     /// Compose: apply `self` after `first` (`result[new] = first[self[new]]`).
     pub fn compose(&self, first: &Permutation) -> Permutation {
         assert_eq!(self.len(), first.len());
-        Permutation { perm: self.perm.iter().map(|&m| first.perm[m]).collect() }
+        Permutation {
+            perm: self.perm.iter().map(|&m| first.perm[m]).collect(),
+        }
     }
 
     /// Verify this is a bijection on `0..n`.

@@ -44,8 +44,12 @@ pub fn rcm(a: &SparseSym) -> Permutation {
         queue.push_back(root);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut nbrs: Vec<usize> =
-                g.neighbors(v).iter().copied().filter(|&w| !visited[w]).collect();
+            let mut nbrs: Vec<usize> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| !visited[w])
+                .collect();
             nbrs.sort_by_key(|&w| g.degree(w));
             for w in nbrs {
                 visited[w] = true;

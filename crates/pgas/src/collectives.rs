@@ -26,7 +26,11 @@ struct CollInbox {
 /// tree with `⌈log₂ n⌉` depth.
 fn tree_children(me: usize, root: usize, n: usize) -> Vec<usize> {
     let rel = (me + n - root) % n;
-    let limit = if rel == 0 { n } else { rel & rel.wrapping_neg() };
+    let limit = if rel == 0 {
+        n
+    } else {
+        rel & rel.wrapping_neg()
+    };
     let mut children = Vec::new();
     let mut bit = 1usize;
     while bit < limit {
@@ -116,7 +120,11 @@ pub fn reduce(
             rank.progress();
             let msgs = rank.with_state::<CollInbox, _>(|_, inbox| std::mem::take(&mut inbox.msgs));
             for v in msgs {
-                assert_eq!(v.len(), acc.len(), "reduce contributions must have equal length");
+                assert_eq!(
+                    v.len(),
+                    acc.len(),
+                    "reduce contributions must have equal length"
+                );
                 for (a, b) in acc.iter_mut().zip(v) {
                     *a = op(*a, b);
                 }
@@ -168,12 +176,12 @@ mod tests {
                         indeg[c] += 1;
                     }
                 }
-                for v in 0..n {
+                for (v, &deg) in indeg.iter().enumerate() {
                     if v == root {
-                        assert_eq!(indeg[v], 0);
+                        assert_eq!(deg, 0);
                         assert_eq!(tree_parent(v, root, n), None);
                     } else {
-                        assert_eq!(indeg[v], 1, "n={n} root={root} v={v}");
+                        assert_eq!(deg, 1, "n={n} root={root} v={v}");
                     }
                 }
             }
@@ -183,7 +191,11 @@ mod tests {
     #[test]
     fn broadcast_reaches_all_ranks() {
         let report = Runtime::run(PgasConfig::multi_node(3, 2), |rank| {
-            let data = if rank.id() == 2 { Some(vec![1.0, 2.0, 3.0]) } else { None };
+            let data = if rank.id() == 2 {
+                Some(vec![1.0, 2.0, 3.0])
+            } else {
+                None
+            };
             broadcast(rank, 2, data)
         });
         for r in &report.results {
@@ -194,7 +206,11 @@ mod tests {
     #[test]
     fn broadcast_charges_tree_latency() {
         let report = Runtime::run(PgasConfig::multi_node(8, 1), |rank| {
-            let data = if rank.id() == 0 { Some(vec![0.5; 1024]) } else { None };
+            let data = if rank.id() == 0 {
+                Some(vec![0.5; 1024])
+            } else {
+                None
+            };
             let _ = broadcast(rank, 0, data);
             rank.now()
         });
@@ -210,7 +226,10 @@ mod tests {
             let contrib = vec![rank.id() as f64, 1.0];
             reduce(rank, 0, contrib, |a, b| a + b)
         });
-        assert_eq!(report.results[0], Some(vec![0.0 + 1.0 + 2.0 + 3.0 + 4.0, 5.0]));
+        assert_eq!(
+            report.results[0],
+            Some(vec![0.0 + 1.0 + 2.0 + 3.0 + 4.0, 5.0])
+        );
         for r in &report.results[1..] {
             assert!(r.is_none());
         }

@@ -34,6 +34,7 @@ pub mod rank;
 pub mod runtime;
 pub mod segment;
 pub mod stats;
+pub mod sync;
 
 pub use collectives::{allreduce, broadcast, reduce};
 pub use netmodel::{MemKindsMode, NetModel};

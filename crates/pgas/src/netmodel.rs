@@ -17,10 +17,9 @@
 //! `-disable-kind-cuda-uva` reference implementation in the paper does.
 
 use crate::ptr::MemKind;
-use serde::{Deserialize, Serialize};
 
 /// Which memory-kinds implementation the model simulates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemKindsMode {
     /// GPUDirect-RDMA zero-copy path (GASNet-EX "native" memory kinds).
     Native,
@@ -30,7 +29,7 @@ pub enum MemKindsMode {
 
 /// Calibrated latency/bandwidth parameters. All times in seconds, all
 /// bandwidths in bytes/second.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetModel {
     /// Inter-node small-message latency (one-sided RMA initiation).
     pub net_latency: f64,
@@ -84,8 +83,7 @@ impl NetModel {
         dst_kind: MemKind,
     ) -> f64 {
         let b = bytes as f64;
-        let device_involved =
-            src_kind == MemKind::Device || dst_kind == MemKind::Device;
+        let device_involved = src_kind == MemKind::Device || dst_kind == MemKind::Device;
         if same_node {
             // Same-node transfers: shared-memory or PCIe copy.
             if device_involved {
@@ -145,7 +143,11 @@ impl NetModel {
         let b = bytes as f64;
         let device_involved = src_kind == MemKind::Device || dst_kind == MemKind::Device;
         let serial = if same_node {
-            if device_involved { b / self.pcie_bandwidth } else { b / self.intra_bandwidth }
+            if device_involved {
+                b / self.pcie_bandwidth
+            } else {
+                b / self.intra_bandwidth
+            }
         } else {
             match (self.mode, device_involved) {
                 (_, false) | (MemKindsMode::Native, true) => b / self.net_bandwidth,
@@ -189,14 +191,19 @@ mod tests {
             let tn = m.transfer_time(bytes, false, MemKind::Host, MemKind::Device);
             m.mode = MemKindsMode::Reference;
             let tr = m.transfer_time(bytes, false, MemKind::Host, MemKind::Device);
-            assert!(tr > tn, "bytes={bytes}: reference {tr} should exceed native {tn}");
+            assert!(
+                tr > tn,
+                "bytes={bytes}: reference {tr} should exceed native {tn}"
+            );
         }
     }
 
     #[test]
     fn host_only_transfers_ignore_mode() {
-        let mut m = NetModel::default();
-        m.mode = MemKindsMode::Native;
+        let mut m = NetModel {
+            mode: MemKindsMode::Native,
+            ..Default::default()
+        };
         let a = m.transfer_time(4096, false, MemKind::Host, MemKind::Host);
         m.mode = MemKindsMode::Reference;
         let b = m.transfer_time(4096, false, MemKind::Host, MemKind::Host);

@@ -1,9 +1,7 @@
 //! Global pointers and memory kinds.
 
-use serde::{Deserialize, Serialize};
-
 /// Which memory a segment lives in — UPC++'s "memory kinds".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemKind {
     /// Ordinary host DRAM.
     Host,
@@ -18,7 +16,7 @@ pub enum MemKind {
 /// Like `upcxx::global_ptr<T>`, it is plain data — freely copyable and
 /// sendable inside RPCs — and dereferenceable from any rank through the
 /// one-sided operations on [`crate::Rank`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GlobalPtr {
     /// Owning rank.
     pub rank: usize,
@@ -39,7 +37,11 @@ impl GlobalPtr {
     /// Panics if the sub-range exceeds the allocation.
     pub fn slice(&self, start: usize, len: usize) -> GlobalPtr {
         assert!(start + len <= self.len, "sub-slice out of bounds");
-        GlobalPtr { offset: self.offset + start, len, ..*self }
+        GlobalPtr {
+            offset: self.offset + start,
+            len,
+            ..*self
+        }
     }
 
     /// Payload size in bytes.
@@ -54,7 +56,13 @@ mod tests {
 
     #[test]
     fn slice_narrows_range() {
-        let p = GlobalPtr { rank: 1, seg: 2, offset: 10, len: 100, kind: MemKind::Host };
+        let p = GlobalPtr {
+            rank: 1,
+            seg: 2,
+            offset: 10,
+            len: 100,
+            kind: MemKind::Host,
+        };
         let s = p.slice(5, 20);
         assert_eq!(s.offset, 15);
         assert_eq!(s.len, 20);
@@ -65,7 +73,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn slice_rejects_overrun() {
-        let p = GlobalPtr { rank: 0, seg: 0, offset: 0, len: 10, kind: MemKind::Device };
+        let p = GlobalPtr {
+            rank: 0,
+            seg: 0,
+            offset: 0,
+            len: 10,
+            kind: MemKind::Device,
+        };
         p.slice(5, 6);
     }
 }

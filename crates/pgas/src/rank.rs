@@ -27,7 +27,10 @@ pub enum PgasError {
 impl std::fmt::Display for PgasError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PgasError::DeviceOom { requested, available } => write!(
+            PgasError::DeviceOom {
+                requested,
+                available,
+            } => write!(
                 f,
                 "device allocation of {requested} bytes failed ({available} available)"
             ),
@@ -39,7 +42,10 @@ impl std::error::Error for PgasError {}
 
 impl From<DeviceOom> for PgasError {
     fn from(e: DeviceOom) -> Self {
-        PgasError::DeviceOom { requested: e.requested, available: e.available }
+        PgasError::DeviceOom {
+            requested: e.requested,
+            available: e.available,
+        }
     }
 }
 
@@ -91,7 +97,13 @@ pub struct Rank {
 
 impl Rank {
     pub(crate) fn new(id: usize, shared: Arc<Shared>) -> Self {
-        Rank { id, shared, clock: 0.0, barrier_count: 0, user_state: None }
+        Rank {
+            id,
+            shared,
+            clock: 0.0,
+            barrier_count: 0,
+            user_state: None,
+        }
     }
 
     /// This rank's id, `0..n_ranks`.
@@ -192,13 +204,18 @@ impl Rank {
     pub fn rget(&mut self, ptr: &GlobalPtr) -> RgetHandle {
         self.clock += ISSUE_OVERHEAD;
         let same_node = self.same_node(ptr.rank);
-        let t = self.net().transfer_time(ptr.bytes(), same_node, ptr.kind, MemKind::Host);
+        let t = self
+            .net()
+            .transfer_time(ptr.bytes(), same_node, ptr.kind, MemKind::Host);
         let seg = self.shared.tables[ptr.rank].get(ptr.seg);
         let data = seg.data.read()[ptr.offset..ptr.offset + ptr.len].to_vec();
         let stats = &self.shared.stats;
         stats.rgets.fetch_add(1, Ordering::Relaxed);
         stats.record_transfer(ptr.bytes(), same_node, ptr.kind == MemKind::Device);
-        RgetHandle { data, ready_at: self.clock + t }
+        RgetHandle {
+            data,
+            ready_at: self.clock + t,
+        }
     }
 
     /// Non-blocking one-sided put of `data` into `ptr`. Returns the virtual
@@ -207,7 +224,9 @@ impl Rank {
         assert!(data.len() <= ptr.len, "payload exceeds allocation");
         self.clock += ISSUE_OVERHEAD;
         let same_node = self.same_node(ptr.rank);
-        let t = self.net().transfer_time(ptr.bytes(), same_node, MemKind::Host, ptr.kind);
+        let t = self
+            .net()
+            .transfer_time(ptr.bytes(), same_node, MemKind::Host, ptr.kind);
         let seg = self.shared.tables[ptr.rank].get(ptr.seg);
         seg.data.write()[ptr.offset..ptr.offset + data.len()].copy_from_slice(data);
         let stats = &self.shared.stats;
@@ -223,7 +242,9 @@ impl Rank {
         assert_eq!(src.len, dst.len, "copy endpoints must have equal length");
         self.clock += ISSUE_OVERHEAD;
         let same_node = self.node_of(src.rank) == self.node_of(dst.rank);
-        let t = self.net().transfer_time(src.bytes(), same_node, src.kind, dst.kind);
+        let t = self
+            .net()
+            .transfer_time(src.bytes(), same_node, src.kind, dst.kind);
         let data = {
             let seg = self.shared.tables[src.rank].get(src.seg);
             let guard = seg.data.read();
@@ -250,7 +271,10 @@ impl Rank {
         self.clock += ISSUE_OVERHEAD;
         let ready_at = self.clock + self.net().rpc_time(self.same_node(target));
         self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-        self.shared.rpc_queues[target].push(RpcMsg { ready_at, func: Box::new(func) });
+        self.shared.rpc_queues[target].push(RpcMsg {
+            ready_at,
+            func: Box::new(func),
+        });
     }
 
     /// Like [`Rank::rpc`] but the closure carries `payload_bytes` of bulk
@@ -266,10 +290,17 @@ impl Rank {
         let same_node = self.same_node(target);
         let ready_at = self.clock
             + self.net().rpc_time(same_node)
-            + self.net().transfer_time(payload_bytes, same_node, MemKind::Host, MemKind::Host);
+            + self
+                .net()
+                .transfer_time(payload_bytes, same_node, MemKind::Host, MemKind::Host);
         self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-        self.shared.stats.record_transfer(payload_bytes, same_node, false);
-        self.shared.rpc_queues[target].push(RpcMsg { ready_at, func: Box::new(func) });
+        self.shared
+            .stats
+            .record_transfer(payload_bytes, same_node, false);
+        self.shared.rpc_queues[target].push(RpcMsg {
+            ready_at,
+            func: Box::new(func),
+        });
     }
 
     /// Execute every queued incoming RPC (in virtual-arrival order) and
@@ -312,9 +343,14 @@ impl Rank {
     ///
     /// # Panics
     /// Panics when no state of type `T` is installed.
-    pub fn with_state<T: Send + 'static, R>(&mut self, f: impl FnOnce(&mut Rank, &mut T) -> R) -> R {
+    pub fn with_state<T: Send + 'static, R>(
+        &mut self,
+        f: impl FnOnce(&mut Rank, &mut T) -> R,
+    ) -> R {
         let mut boxed = self.user_state.take().expect("no user state installed");
-        let state = boxed.downcast_mut::<T>().expect("user state has a different type");
+        let state = boxed
+            .downcast_mut::<T>()
+            .expect("user state has a different type");
         let r = f(self, state);
         self.user_state = Some(boxed);
         r

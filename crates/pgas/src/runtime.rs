@@ -4,7 +4,7 @@ use crate::netmodel::NetModel;
 use crate::rank::{Rank, RpcMsg};
 use crate::segment::SegmentTable;
 use crate::stats::{Stats, StatsSnapshot};
-use crossbeam::queue::SegQueue;
+use crate::sync::SegQueue;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Barrier};
 
@@ -90,7 +90,9 @@ impl Runtime {
         assert!(n >= 1, "need at least one rank");
         assert!(config.ranks_per_node >= 1);
         let shared = Arc::new(Shared {
-            tables: (0..n).map(|_| SegmentTable::new(config.device_quota)).collect(),
+            tables: (0..n)
+                .map(|_| SegmentTable::new(config.device_quota))
+                .collect(),
             rpc_queues: (0..n).map(|_| SegQueue::new()).collect(),
             stats: Stats::default(),
             barrier: Barrier::new(n),
@@ -122,7 +124,12 @@ impl Runtime {
             final_clocks.push(c);
         }
         let makespan = final_clocks.iter().copied().fold(0.0, f64::max);
-        RunReport { results, makespan, final_clocks, stats: shared.stats.snapshot() }
+        RunReport {
+            results,
+            makespan,
+            final_clocks,
+            stats: shared.stats.snapshot(),
+        }
     }
 }
 
@@ -334,7 +341,11 @@ mod payload_tests {
             }
         });
         // Delivery time must include ~ 1MiB / 23 GB/s ≈ 45 µs of wire time.
-        assert!(report.results[1] > 40.0e-6, "payload undercharged: {}", report.results[1]);
+        assert!(
+            report.results[1] > 40.0e-6,
+            "payload undercharged: {}",
+            report.results[1]
+        );
     }
 
     #[test]

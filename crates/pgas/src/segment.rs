@@ -6,7 +6,7 @@
 //! job, exactly as in a real PGAS system.
 
 use crate::ptr::{GlobalPtr, MemKind};
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -74,7 +74,10 @@ impl SegmentTable {
                 }
             }
         }
-        let seg = Arc::new(Segment { kind, data: RwLock::new(vec![0.0; len]) });
+        let seg = Arc::new(Segment {
+            kind,
+            data: RwLock::new(vec![0.0; len]),
+        });
         let mut slots = self.slots.lock();
         // Reuse a free slot if any.
         let idx = slots.iter().position(Option::is_none).unwrap_or_else(|| {
@@ -82,7 +85,13 @@ impl SegmentTable {
             slots.len() - 1
         });
         slots[idx] = Some(seg);
-        Ok(GlobalPtr { rank, seg: idx, offset: 0, len, kind })
+        Ok(GlobalPtr {
+            rank,
+            seg: idx,
+            offset: 0,
+            len,
+            kind,
+        })
     }
 
     /// Free a segment (whole allocations only).
@@ -102,7 +111,10 @@ impl SegmentTable {
     /// Panics when the segment was freed (a use-after-free at the protocol
     /// level — always a solver bug worth failing loudly on).
     pub fn get(&self, seg: usize) -> Arc<Segment> {
-        self.slots.lock()[seg].as_ref().expect("segment was freed").clone()
+        self.slots.lock()[seg]
+            .as_ref()
+            .expect("segment was freed")
+            .clone()
     }
 
     /// Device bytes currently in use.

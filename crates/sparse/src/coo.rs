@@ -19,7 +19,11 @@ pub struct Coo {
 impl Coo {
     /// Create an empty `n_rows × n_cols` assembly.
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        Coo { n_rows, n_cols, entries: Vec::new() }
+        Coo {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -49,7 +53,11 @@ impl Coo {
     /// matrix dimensions.
     pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), SparseError> {
         if row >= self.n_rows || col >= self.n_cols {
-            return Err(SparseError::IndexOutOfBounds { row, col, n: self.n_rows.max(self.n_cols) });
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n: self.n_rows.max(self.n_cols),
+            });
         }
         self.entries.push((row, col, value));
         Ok(())
@@ -126,8 +134,14 @@ mod tests {
     fn push_bounds_check() {
         let mut c = Coo::new(3, 3);
         assert!(c.push(2, 2, 1.0).is_ok());
-        assert!(matches!(c.push(3, 0, 1.0), Err(SparseError::IndexOutOfBounds { .. })));
-        assert!(matches!(c.push(0, 3, 1.0), Err(SparseError::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            c.push(3, 0, 1.0),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            c.push(0, 3, 1.0),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -32,18 +32,31 @@ impl Csc {
         values: Vec<f64>,
     ) -> Self {
         assert_eq!(col_ptr.len(), n_cols + 1, "col_ptr length must be n_cols+1");
-        assert_eq!(*col_ptr.last().unwrap(), row_idx.len(), "col_ptr must end at nnz");
+        assert_eq!(
+            *col_ptr.last().unwrap(),
+            row_idx.len(),
+            "col_ptr must end at nnz"
+        );
         assert_eq!(row_idx.len(), values.len(), "row/value arrays must match");
         for c in 0..n_cols {
             let s = &row_idx[col_ptr[c]..col_ptr[c + 1]];
             for w in s.windows(2) {
-                assert!(w[0] < w[1], "rows must be strictly increasing within a column");
+                assert!(
+                    w[0] < w[1],
+                    "rows must be strictly increasing within a column"
+                );
             }
             if let Some(&last) = s.last() {
                 assert!(last < n_rows, "row index out of bounds");
             }
         }
-        Csc { n_rows, n_cols, col_ptr, row_idx, values }
+        Csc {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -89,8 +102,7 @@ impl Csc {
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n_cols);
         let mut y = vec![0.0; self.n_rows];
-        for c in 0..self.n_cols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc == 0.0 {
                 continue;
             }
@@ -121,7 +133,10 @@ impl Csc {
     /// # Panics
     /// Panics when the matrix is not square.
     pub fn to_lower_sym(&self) -> SparseSym {
-        assert_eq!(self.n_rows, self.n_cols, "symmetric view requires a square matrix");
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "symmetric view requires a square matrix"
+        );
         let n = self.n_cols;
         let mut col_ptr = Vec::with_capacity(n + 1);
         let mut row_idx = Vec::new();
@@ -151,13 +166,17 @@ impl Csc {
         assert_eq!(perm.len(), n);
         let mut inv = vec![usize::MAX; n];
         for (new, &old) in perm.iter().enumerate() {
-            assert!(old < n && inv[old] == usize::MAX, "perm is not a permutation");
+            assert!(
+                old < n && inv[old] == usize::MAX,
+                "perm is not a permutation"
+            );
             inv[old] = new;
         }
         let mut coo = crate::coo::Coo::new(n, n);
         for c in 0..n {
             for (&r, &v) in self.col_rows(c).iter().zip(self.col_values(c)) {
-                coo.push(inv[r], inv[c], v).expect("permuted index in range");
+                coo.push(inv[r], inv[c], v)
+                    .expect("permuted index in range");
             }
         }
         coo.to_csc()

@@ -30,7 +30,9 @@ pub struct XorShift64 {
 impl XorShift64 {
     /// Seeded constructor; a zero seed is mapped to a fixed nonzero value.
     pub fn new(seed: u64) -> Self {
-        XorShift64 { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+        XorShift64 {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
     }
 
     /// Next raw 64-bit value.
@@ -120,8 +122,7 @@ pub fn flan_like(nx: usize, ny: usize, nz: usize) -> SparseSym {
                             if dx == 0 && dy == 0 && dz == 0 {
                                 continue;
                             }
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if xx >= 0
                                 && yy >= 0
                                 && zz >= 0
@@ -221,7 +222,11 @@ pub fn thermal_like(nx: usize, ny: usize, extra_edge_fraction: f64, seed: u64) -
         let off = rng.next_below(2 * w) as i64 - w as i64;
         let b = a as i64 + off;
         if b >= 0 && (b as usize) < n && b as usize != a {
-            let (hi, lo) = if a > b as usize { (a, b as usize) } else { (b as usize, a) };
+            let (hi, lo) = if a > b as usize {
+                (a, b as usize)
+            } else {
+                (b as usize, a)
+            };
             edges.push((hi, lo));
         }
     }
@@ -232,8 +237,8 @@ pub fn thermal_like(nx: usize, ny: usize, extra_edge_fraction: f64, seed: u64) -
         degree[hi] += 1;
         degree[lo] += 1;
     }
-    for i in 0..n {
-        coo.push(i, i, degree[i] as f64 + 1.0).unwrap();
+    for (i, &deg) in degree.iter().enumerate() {
+        coo.push(i, i, deg as f64 + 1.0).unwrap();
     }
     coo.to_csc().to_lower_sym()
 }
@@ -262,8 +267,8 @@ pub fn random_spd(n: usize, avg_degree: usize, seed: u64) -> SparseSym {
         rowsum[hi] += v.abs();
         rowsum[lo] += v.abs();
     }
-    for i in 0..n {
-        coo.push(i, i, rowsum[i] + 1.0 + rng.next_f64()).unwrap();
+    for (i, &rs) in rowsum.iter().enumerate() {
+        coo.push(i, i, rs + 1.0 + rng.next_f64()).unwrap();
     }
     coo.to_csc().to_lower_sym()
 }
@@ -350,7 +355,11 @@ mod tests {
 
     #[test]
     fn generators_pass_spd_smoke_via_gershgorin() {
-        for a in [laplacian_2d(5, 4), laplacian_3d(3, 3, 3), flan_like(3, 2, 2)] {
+        for a in [
+            laplacian_2d(5, 4),
+            laplacian_3d(3, 3, 3),
+            flan_like(3, 2, 2),
+        ] {
             for c in 0..a.n() {
                 let mut off = 0.0;
                 for r in 0..a.n() {

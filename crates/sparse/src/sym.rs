@@ -19,19 +19,38 @@ impl SparseSym {
     /// # Panics
     /// Panics when the structure is inconsistent, a column is missing its
     /// diagonal entry, rows are unsorted, or an entry lies above the diagonal.
-    pub fn from_parts(n: usize, col_ptr: Vec<usize>, row_idx: Vec<usize>, values: Vec<f64>) -> Self {
+    pub fn from_parts(
+        n: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
         assert_eq!(col_ptr.len(), n + 1);
         assert_eq!(*col_ptr.last().unwrap(), row_idx.len());
         assert_eq!(row_idx.len(), values.len());
         for c in 0..n {
             let rows = &row_idx[col_ptr[c]..col_ptr[c + 1]];
-            assert!(!rows.is_empty() && rows[0] == c, "column {c} must start with its diagonal");
+            assert!(
+                !rows.is_empty() && rows[0] == c,
+                "column {c} must start with its diagonal"
+            );
             for w in rows.windows(2) {
-                assert!(w[0] < w[1], "rows must be strictly increasing within column {c}");
+                assert!(
+                    w[0] < w[1],
+                    "rows must be strictly increasing within column {c}"
+                );
             }
-            assert!(*rows.last().unwrap() < n, "row index out of bounds in column {c}");
+            assert!(
+                *rows.last().unwrap() < n,
+                "row index out of bounds in column {c}"
+            );
         }
-        SparseSym { n, col_ptr, row_idx, values }
+        SparseSym {
+            n,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Matrix order.
@@ -113,13 +132,22 @@ impl SparseSym {
     /// Residual norm `‖A·x − b‖₂`.
     pub fn residual_norm(&self, x: &[f64], b: &[f64]) -> f64 {
         let ax = self.spmv(x);
-        ax.iter().zip(b).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+        ax.iter()
+            .zip(b)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Relative residual `‖A·x − b‖₂ / ‖b‖₂` (`‖b‖` floored at machine tiny
     /// to avoid division by zero).
     pub fn relative_residual(&self, x: &[f64], b: &[f64]) -> f64 {
-        let bn = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+        let bn = b
+            .iter()
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+            .max(f64::MIN_POSITIVE);
         self.residual_norm(x, b) / bn
     }
 }

@@ -27,7 +27,10 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 /// Componentwise maximum absolute difference.
 pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
 }
 
 /// A deterministic "interesting" right-hand side for experiments: entries

@@ -1,26 +1,61 @@
-//! Property-based tests for the sparse-matrix substrate: assembly,
-//! symmetric views, permutations and file-format round-trips on arbitrary
-//! random matrices.
+//! Randomized property tests for the sparse-matrix substrate: assembly,
+//! symmetric views, permutations and file-format round-trips. Cases are
+//! drawn from a seeded xorshift generator so every run is deterministic
+//! while still covering a broad swath of shapes and contents.
 
-use proptest::prelude::*;
 use sympack_sparse::gen::random_spd;
 use sympack_sparse::{io, Coo, SparseSym};
+
+/// Deterministic xorshift64* stream used to drive the case generators.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    /// Uniform in `[lo, hi)`.
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+    /// Uniform float in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 fn random_sym(n: usize, seed: u64) -> SparseSym {
     random_spd(n, 4, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+const CASES: u64 = 40;
 
-    #[test]
-    fn coo_duplicates_sum_regardless_of_order(
-        n in 2usize..20,
-        entries in prop::collection::vec((0usize..20, 0usize..20, -5.0f64..5.0), 1..60),
-    ) {
+#[test]
+fn coo_duplicates_sum_regardless_of_order() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = rng.usize_in(2, 20);
+        let n_entries = rng.usize_in(1, 60);
+        let entries: Vec<(usize, usize, f64)> = (0..n_entries)
+            .map(|_| {
+                (
+                    rng.usize_in(0, 20),
+                    rng.usize_in(0, 20),
+                    rng.f64_in(-5.0, 5.0),
+                )
+            })
+            .collect();
         let mut coo1 = Coo::new(n, n);
         let mut coo2 = Coo::new(n, n);
-        let valid: Vec<_> = entries.iter().filter(|(r, c, _)| *r < n && *c < n).collect();
+        let valid: Vec<_> = entries
+            .iter()
+            .filter(|(r, c, _)| *r < n && *c < n)
+            .collect();
         for (r, c, v) in &valid {
             coo1.push(*r, *c, *v).unwrap();
         }
@@ -28,16 +63,22 @@ proptest! {
             coo2.push(*r, *c, *v).unwrap();
         }
         let (m1, m2) = (coo1.to_csc(), coo2.to_csc());
-        prop_assert_eq!(m1.nnz(), m2.nnz());
+        assert_eq!(m1.nnz(), m2.nnz());
         for c in 0..n {
             for r in 0..n {
-                prop_assert!((m1.get(r, c) - m2.get(r, c)).abs() < 1e-12);
+                assert!((m1.get(r, c) - m2.get(r, c)).abs() < 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn spmv_is_linear(n in 3usize..40, seed in 0u64..200, alpha in -3.0f64..3.0) {
+#[test]
+fn spmv_is_linear() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = rng.usize_in(3, 40);
+        let seed = rng.next() % 200;
+        let alpha = rng.f64_in(-3.0, 3.0);
         let a = random_sym(n, seed);
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
         let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
@@ -46,21 +87,22 @@ proptest! {
         let ax = a.spmv(&x);
         let ay = a.spmv(&y);
         for i in 0..n {
-            prop_assert!((lhs[i] - (alpha * ax[i] + ay[i])).abs() < 1e-9);
+            assert!((lhs[i] - (alpha * ax[i] + ay[i])).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn permutation_roundtrip_preserves_matrix(n in 3usize..30, seed in 0u64..200) {
+#[test]
+fn permutation_roundtrip_preserves_matrix() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = rng.usize_in(3, 30);
+        let seed = rng.next() % 200;
         let a = random_sym(n, seed);
-        // Deterministic shuffle from the seed.
+        // Deterministic shuffle from the stream.
         let mut perm: Vec<usize> = (0..n).collect();
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         for i in (1..n).rev() {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            perm.swap(i, (state % (i as u64 + 1)) as usize);
+            perm.swap(i, (rng.next() % (i as u64 + 1)) as usize);
         }
         let p = a.permute(&perm);
         // Inverse permutation: inv[old] = new.
@@ -69,59 +111,79 @@ proptest! {
             inv[old] = new;
         }
         let back = p.permute(&inv);
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a);
     }
+}
 
-    #[test]
-    fn symmetric_spmv_matches_full_matrix(n in 3usize..40, seed in 0u64..200) {
+#[test]
+fn symmetric_spmv_matches_full_matrix() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = rng.usize_in(3, 40);
+        let seed = rng.next() % 200;
         let a = random_sym(n, seed);
         let full = a.to_full_csc();
         let x: Vec<f64> = (0..n).map(|i| ((i * 13 + 1) % 7) as f64 - 3.0).collect();
         let y1 = a.spmv(&x);
         let y2 = full.spmv(&x);
         for i in 0..n {
-            prop_assert!((y1[i] - y2[i]).abs() < 1e-10);
+            assert!((y1[i] - y2[i]).abs() < 1e-10);
         }
     }
+}
 
-    #[test]
-    fn matrix_market_roundtrip(n in 2usize..25, seed in 0u64..200) {
+#[test]
+fn matrix_market_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = rng.usize_in(2, 25);
+        let seed = rng.next() % 200;
         let a = random_sym(n, seed);
         let mut buf = Vec::new();
         io::mm::write_sym(&mut buf, &a).unwrap();
         let back = io::mm::read(&buf[..]).unwrap().to_lower_sym();
-        prop_assert_eq!(back.n(), a.n());
-        prop_assert_eq!(back.nnz(), a.nnz());
+        assert_eq!(back.n(), a.n());
+        assert_eq!(back.nnz(), a.nnz());
         for c in 0..n {
             for (x, y) in back.col_values(c).iter().zip(a.col_values(c)) {
-                prop_assert!((x - y).abs() < 1e-12 * y.abs().max(1.0));
+                assert!((x - y).abs() < 1e-12 * y.abs().max(1.0));
             }
         }
     }
+}
 
-    #[test]
-    fn rutherford_boeing_roundtrip(n in 2usize..25, seed in 0u64..200) {
+#[test]
+fn rutherford_boeing_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = rng.usize_in(2, 25);
+        let seed = rng.next() % 200;
         let a = random_sym(n, seed);
         let mut buf = Vec::new();
         io::rb::write(&mut buf, &a, "prop").unwrap();
         let back = io::rb::read(&buf[..]).unwrap();
-        prop_assert_eq!(back.n(), a.n());
+        assert_eq!(back.n(), a.n());
         for c in 0..n {
-            prop_assert_eq!(back.col_rows(c), a.col_rows(c));
+            assert_eq!(back.col_rows(c), a.col_rows(c));
             for (x, y) in back.col_values(c).iter().zip(a.col_values(c)) {
-                prop_assert!((x - y).abs() < 1e-8 * y.abs().max(1.0));
+                assert!((x - y).abs() < 1e-8 * y.abs().max(1.0));
             }
         }
     }
+}
 
-    #[test]
-    fn graph_adjacency_is_symmetric(n in 3usize..40, seed in 0u64..200) {
+#[test]
+fn graph_adjacency_is_symmetric() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = rng.usize_in(3, 40);
+        let seed = rng.next() % 200;
         let a = random_sym(n, seed);
         let g = sympack_sparse::graph::Graph::from_sym(&a);
         for v in 0..n {
             for &w in g.neighbors(v) {
-                prop_assert!(g.neighbors(w).contains(&v), "asymmetric edge {v}-{w}");
-                prop_assert!(w != v, "self loop at {v}");
+                assert!(g.neighbors(w).contains(&v), "asymmetric edge {v}-{w}");
+                assert!(w != v, "self loop at {v}");
             }
         }
     }

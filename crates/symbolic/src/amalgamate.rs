@@ -32,8 +32,7 @@ pub fn amalgamate(
         // Current group state: columns [group_first, group_last_col], pattern.
         let mut width = partition.width(s);
         let mut pat: Vec<usize> = patterns[s].clone();
-        let mut nnz_members =
-            width * (width + 1) / 2 + width * patterns[s].len();
+        let mut nnz_members = width * (width + 1) / 2 + width * patterns[s].len();
         let mut t = s + 1;
         while t < ns {
             // Structural requirement: the group's parent supernode must be
@@ -74,8 +73,7 @@ pub fn amalgamate(
             }
             let new_width = width + wt;
             let new_nnz = new_width * (new_width + 1) / 2 + new_width * merged.len();
-            let old_nnz =
-                nnz_members + wt * (wt + 1) / 2 + wt * patterns[t].len();
+            let old_nnz = nnz_members + wt * (wt + 1) / 2 + wt * patterns[t].len();
             let zeros = new_nnz.saturating_sub(old_nnz);
             if (zeros as f64) > ratio * (new_nnz as f64) {
                 break;
@@ -184,8 +182,7 @@ mod tests {
             let first_col = part.first_col(s0);
             let ms = merged.supno(first_col);
             let mlast = merged.last_col(ms);
-            let mset: std::collections::HashSet<usize> =
-                mpats[ms].iter().copied().collect();
+            let mset: std::collections::HashSet<usize> = mpats[ms].iter().copied().collect();
             for &r in &pats[s0] {
                 if r > mlast {
                     assert!(mset.contains(&r), "row {r} of sn {s0} lost in merge");

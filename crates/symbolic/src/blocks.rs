@@ -78,7 +78,11 @@ pub fn build_layout(partition: &SupernodePartition, patterns: &[Vec<usize>]) -> 
             while k < pat.len() && pat[k] <= last_col {
                 k += 1;
             }
-            blocks.push(BlockInfo { target, row_offset: start, n_rows: k - start });
+            blocks.push(BlockInfo {
+                target,
+                row_offset: start,
+                n_rows: k - start,
+            });
         }
         per_sn.push(blocks);
     }
@@ -101,11 +105,32 @@ mod tests {
         let layout = build_layout(&p, &pats);
         let b0 = layout.blocks_of(0);
         assert_eq!(b0.len(), 2);
-        assert_eq!(b0[0], BlockInfo { target: 1, row_offset: 0, n_rows: 2 });
-        assert_eq!(b0[1], BlockInfo { target: 2, row_offset: 2, n_rows: 1 });
+        assert_eq!(
+            b0[0],
+            BlockInfo {
+                target: 1,
+                row_offset: 0,
+                n_rows: 2
+            }
+        );
+        assert_eq!(
+            b0[1],
+            BlockInfo {
+                target: 2,
+                row_offset: 2,
+                n_rows: 1
+            }
+        );
         let b1 = layout.blocks_of(1);
         assert_eq!(b1.len(), 1);
-        assert_eq!(b1[0], BlockInfo { target: 2, row_offset: 0, n_rows: 2 });
+        assert_eq!(
+            b1[0],
+            BlockInfo {
+                target: 2,
+                row_offset: 0,
+                n_rows: 2
+            }
+        );
         assert!(layout.blocks_of(2).is_empty());
         assert_eq!(layout.n_off_diagonal(), 3);
     }
@@ -130,7 +155,11 @@ mod tests {
         let layout = build_layout(&p, &pats);
         assert_eq!(
             layout.blocks_of(0),
-            &[BlockInfo { target: 1, row_offset: 0, n_rows: 2 }]
+            &[BlockInfo {
+                target: 1,
+                row_offset: 0,
+                n_rows: 2
+            }]
         );
     }
 }

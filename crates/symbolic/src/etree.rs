@@ -96,10 +96,13 @@ pub fn depths(parent: &[usize]) -> Vec<usize> {
             u = parent[u];
             path.push(u);
         }
-        let mut d = if parent[u] == usize::MAX { 0 } else { depth[parent[u]] + 1 };
-        for &w in path.iter().rev() {
-            depth[w] = d;
-            d += 1;
+        let base = if parent[u] == usize::MAX {
+            0
+        } else {
+            depth[parent[u]] + 1
+        };
+        for (d, &w) in path.iter().rev().enumerate() {
+            depth[w] = base + d;
         }
     }
     // Roots got depth 0 via the unwind (path ends at root).

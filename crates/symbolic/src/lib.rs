@@ -21,8 +21,8 @@ pub mod structure;
 pub mod supernodes;
 
 pub use blocks::{BlockId, BlockInfo, BlockLayout};
-pub use structure::col_counts;
 pub use stats::{analysis_stats, AnalysisStats};
+pub use structure::col_counts;
 pub use supernodes::{supernodes, SupernodePartition};
 
 use sympack_ordering::Permutation;
@@ -42,7 +42,10 @@ pub struct AnalyzeOptions {
 
 impl Default for AnalyzeOptions {
     fn default() -> Self {
-        AnalyzeOptions { max_sn_width: 128, amalgamation_ratio: 0.1 }
+        AnalyzeOptions {
+            max_sn_width: 128,
+            amalgamation_ratio: 0.1,
+        }
     }
 }
 
@@ -135,7 +138,15 @@ pub fn analyze(a: &SparseSym, ordering: &Permutation, opts: &AnalyzeOptions) -> 
             flops += len * len;
         }
     }
-    SymbolicFactor { perm, partition, sn_parent, patterns, layout, l_nnz, flops }
+    SymbolicFactor {
+        perm,
+        partition,
+        sn_parent,
+        patterns,
+        layout,
+        l_nnz,
+        flops,
+    }
 }
 
 #[cfg(test)]
@@ -185,8 +196,22 @@ mod tests {
     fn amalgamation_never_increases_supernode_count() {
         let a = laplacian_2d(10, 10);
         let ord = compute_ordering(&a, OrderingKind::NestedDissection);
-        let none = analyze(&a, &ord, &AnalyzeOptions { amalgamation_ratio: 0.0, ..Default::default() });
-        let some = analyze(&a, &ord, &AnalyzeOptions { amalgamation_ratio: 0.3, ..Default::default() });
+        let none = analyze(
+            &a,
+            &ord,
+            &AnalyzeOptions {
+                amalgamation_ratio: 0.0,
+                ..Default::default()
+            },
+        );
+        let some = analyze(
+            &a,
+            &ord,
+            &AnalyzeOptions {
+                amalgamation_ratio: 0.3,
+                ..Default::default()
+            },
+        );
         assert!(some.n_supernodes() <= none.n_supernodes());
         // Amalgamation may add explicit zeros but never loses structure.
         assert!(some.l_nnz >= none.l_nnz);

@@ -101,7 +101,15 @@ pub fn analysis_stats(sf: &SymbolicFactor) -> AnalysisStats {
         flops: sf.flops,
         sn_width: (wmin, wsum as f64 / ns.max(1) as f64, wmax),
         n_blocks,
-        block_rows: (bmin, if n_blocks > 0 { bsum as f64 / n_blocks as f64 } else { 0.0 }, bmax),
+        block_rows: (
+            bmin,
+            if n_blocks > 0 {
+                bsum as f64 / n_blocks as f64
+            } else {
+                0.0
+            },
+            bmax,
+        ),
         tree_height: height,
         level_widths,
         critical_path_flops: critical,
@@ -162,7 +170,14 @@ mod tests {
         }
         let a = c.to_csc().to_lower_sym();
         let ord = sympack_ordering::Permutation::identity(10);
-        let sf = analyze(&a, &ord, &AnalyzeOptions { amalgamation_ratio: 0.0, ..Default::default() });
+        let sf = analyze(
+            &a,
+            &ord,
+            &AnalyzeOptions {
+                amalgamation_ratio: 0.0,
+                ..Default::default()
+            },
+        );
         let st = analysis_stats(&sf);
         assert_eq!(st.critical_path_flops, st.flops);
     }
@@ -178,6 +193,10 @@ mod tests {
         let root_level = *st.level_widths.last().unwrap();
         let max_w = st.level_widths.iter().copied().max().unwrap();
         assert!(root_level >= 1);
-        assert!(max_w > root_level, "no parallelism: profile {:?}", st.level_widths);
+        assert!(
+            max_w > root_level,
+            "no parallelism: profile {:?}",
+            st.level_widths
+        );
     }
 }

@@ -90,8 +90,9 @@ mod tests {
     /// Brute-force symbolic factorization: full column patterns of L.
     fn naive_patterns(a: &SparseSym) -> Vec<std::collections::BTreeSet<usize>> {
         let n = a.n();
-        let mut pattern: Vec<std::collections::BTreeSet<usize>> =
-            (0..n).map(|c| a.col_rows(c).iter().copied().collect()).collect();
+        let mut pattern: Vec<std::collections::BTreeSet<usize>> = (0..n)
+            .map(|c| a.col_rows(c).iter().copied().collect())
+            .collect();
         for j in 0..n {
             let below: Vec<usize> = pattern[j].iter().copied().filter(|&r| r > j).collect();
             if let Some(&p) = below.first() {
@@ -136,13 +137,11 @@ mod tests {
             // The supernodal pattern must equal the below-supernode rows of
             // the *last* column of the supernode (fundamental supernodes all
             // share it).
-            let expect: Vec<usize> =
-                naive[last].iter().copied().filter(|&r| r > last).collect();
+            let expect: Vec<usize> = naive[last].iter().copied().filter(|&r| r > last).collect();
             assert_eq!(pats[s], expect, "supernode {s}");
             // And every member column's below-supernode pattern matches too.
             for c in part.cols(s) {
-                let col_pat: Vec<usize> =
-                    naive[c].iter().copied().filter(|&r| r > last).collect();
+                let col_pat: Vec<usize> = naive[c].iter().copied().filter(|&r| r > last).collect();
                 assert_eq!(col_pat, pats[s], "column {c} of supernode {s}");
             }
         }

@@ -180,8 +180,9 @@ mod tests {
         let p = supernodes(&parent, &counts, 128);
         // Naive fill patterns.
         let n = ap.n();
-        let mut pattern: Vec<std::collections::BTreeSet<usize>> =
-            (0..n).map(|c| ap.col_rows(c).iter().copied().collect()).collect();
+        let mut pattern: Vec<std::collections::BTreeSet<usize>> = (0..n)
+            .map(|c| ap.col_rows(c).iter().copied().collect())
+            .collect();
         for j in 0..n {
             let below: Vec<usize> = pattern[j].iter().copied().filter(|&r| r > j).collect();
             if let Some(&pp) = below.first() {
@@ -194,11 +195,13 @@ mod tests {
         }
         for s in 0..p.n_supernodes() {
             let last = p.last_col(s);
-            let base: Vec<usize> =
-                pattern[last].iter().copied().filter(|&r| r > last).collect();
+            let base: Vec<usize> = pattern[last]
+                .iter()
+                .copied()
+                .filter(|&r| r > last)
+                .collect();
             for c in p.cols(s) {
-                let below: Vec<usize> =
-                    pattern[c].iter().copied().filter(|&r| r > last).collect();
+                let below: Vec<usize> = pattern[c].iter().copied().filter(|&r| r > last).collect();
                 assert_eq!(below, base, "column {c} differs in supernode {s}");
                 // Dense inside the supernode: all rows c..=last present.
                 for r in c..=last {

@@ -73,7 +73,13 @@ impl Tracer {
         start: f64,
         dur: f64,
     ) {
-        self.events.push(TraceEvent { rank, name: name.into(), cat, start, dur });
+        self.events.push(TraceEvent {
+            rank,
+            name: name.into(),
+            cat,
+            start,
+            dur,
+        });
     }
 
     /// Number of recorded events.
@@ -140,7 +146,9 @@ pub fn busy_fractions(events: &[TraceEvent], makespan: f64, n_ranks: usize) -> V
             busy[e.rank] += e.dur;
         }
     }
-    busy.iter().map(|b| if makespan > 0.0 { b / makespan } else { 0.0 }).collect()
+    busy.iter()
+        .map(|b| if makespan > 0.0 { b / makespan } else { 0.0 })
+        .collect()
 }
 
 /// Total time per category (seconds).
@@ -217,7 +225,11 @@ mod tests {
         t.record(0, "c", TraceCat::Gemm, 2.0, 1.0);
         let by_cat = time_by_category(&t.into_events());
         let gemm = by_cat.iter().find(|(c, _)| *c == TraceCat::Gemm).unwrap().1;
-        let potrf = by_cat.iter().find(|(c, _)| *c == TraceCat::Potrf).unwrap().1;
+        let potrf = by_cat
+            .iter()
+            .find(|(c, _)| *c == TraceCat::Potrf)
+            .unwrap()
+            .1;
         assert_eq!(gemm, 3.0);
         assert_eq!(potrf, 1.5);
     }

@@ -11,7 +11,7 @@
 //! cargo run --release -p sympack-apps --example gpu_offload_tuning
 //! ```
 
-use sympack::{SolverOptions, SolverError, SymPack};
+use sympack::{SolverError, SolverOptions, SymPack};
 use sympack_gpu::{OffloadThresholds, OomPolicy, Op};
 use sympack_sparse::gen::flan_like;
 use sympack_sparse::vecops::test_rhs;
@@ -19,7 +19,11 @@ use sympack_sparse::vecops::test_rhs;
 fn main() {
     let a = flan_like(14, 14, 14);
     let b = test_rhs(a.n());
-    println!("tuning on a 3D 27-point brick: n = {}, nnz = {}\n", a.n(), a.nnz_full());
+    println!(
+        "tuning on a 3D 27-point brick: n = {}, nnz = {}\n",
+        a.n(),
+        a.nnz_full()
+    );
     println!(
         "{:>18} {:>12} {:>10} {:>10}",
         "threshold scale", "facto", "GPU calls", "CPU calls"
@@ -67,11 +71,17 @@ fn main() {
 
     // Device-OOM fallbacks (§4.2): tiny quota forces the paths.
     println!("\ndevice-OOM fallback options with a 16 KiB per-rank quota:");
-    let mut opts = SolverOptions { ranks_per_node: 2, ..Default::default() };
+    let mut opts = SolverOptions {
+        ranks_per_node: 2,
+        ..Default::default()
+    };
     opts.device_quota = 16 << 10;
     opts.oom_policy = OomPolicy::CpuFallback;
     let r = SymPack::try_factor_and_solve(&a, &b, &opts).expect("CpuFallback must succeed");
-    println!("  CpuFallback: completed, residual {:.1e}", r.relative_residual);
+    println!(
+        "  CpuFallback: completed, residual {:.1e}",
+        r.relative_residual
+    );
     opts.oom_policy = OomPolicy::Abort;
     match SymPack::try_factor_and_solve(&a, &b, &opts) {
         Err(SolverError::DeviceOom { requested, available }) => println!(

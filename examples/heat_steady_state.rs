@@ -15,8 +15,12 @@ fn main() {
     // Irregular conduction problem: 2D grid plus random long-range couplings
     // (thermal bridges), ~7 nonzeros per row like thermal2.
     let a = thermal_like(60, 60, 0.35, 7);
-    println!("thermal matrix: n = {}, nnz = {} ({:.1} nnz/row)", a.n(), a.nnz_full(),
-        a.nnz_full() as f64 / a.n() as f64);
+    println!(
+        "thermal matrix: n = {}, nnz = {} ({:.1} nnz/row)",
+        a.n(),
+        a.nnz_full(),
+        a.nnz_full() as f64 / a.n() as f64
+    );
 
     // Heat sources along one edge, sinks along the other.
     let n = a.n();
@@ -37,9 +41,16 @@ fn main() {
         ("minimum degree", OrderingKind::MinDegree),
         ("nested dissection", OrderingKind::NestedDissection),
     ] {
-        let opts = SolverOptions { ordering: kind, ..Default::default() };
+        let opts = SolverOptions {
+            ordering: kind,
+            ..Default::default()
+        };
         let r = SymPack::factor_and_solve(&a, &b, &opts);
-        assert!(r.relative_residual < 1e-8, "{name}: residual {}", r.relative_residual);
+        assert!(
+            r.relative_residual < 1e-8,
+            "{name}: residual {}",
+            r.relative_residual
+        );
         println!(
             "{:<22} {:>12} {:>14.3e} {:>9.3} ms {:>12.2e}",
             name,
@@ -56,6 +67,9 @@ fn main() {
     let tmax = r.x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let tmin = r.x.iter().cloned().fold(f64::INFINITY, f64::min);
     println!("\nsteady-state temperature range: [{tmin:.4}, {tmax:.4}]");
-    assert!(tmax > 0.0 && tmin < 0.0, "heated and cooled regions must differ in sign");
+    assert!(
+        tmax > 0.0 && tmin < 0.0,
+        "heated and cooled regions must differ in sign"
+    );
     println!("OK");
 }

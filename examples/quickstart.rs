@@ -30,8 +30,14 @@ fn main() {
     println!("factor nonzeros:   {}", report.l_nnz);
     println!("factor flops:      {:.2e}", report.flops as f64);
     println!("relative residual: {:.2e}", report.relative_residual);
-    println!("modeled factorization time: {:.3} ms", report.factor_time * 1e3);
-    println!("modeled solve time:         {:.3} ms", report.solve_time * 1e3);
+    println!(
+        "modeled factorization time: {:.3} ms",
+        report.factor_time * 1e3
+    );
+    println!(
+        "modeled solve time:         {:.3} ms",
+        report.solve_time * 1e3
+    );
     let err = x_true
         .iter()
         .zip(&report.x)

@@ -25,10 +25,17 @@ fn main() {
         })
         .collect();
 
-    let opts = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    let opts = SolverOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
     let r = SymPack::try_factor_and_solve_multi(&a, &bs, &opts).expect("SPD input");
 
-    println!("factorization (once): {:.3} ms (modeled)", r.factor_time * 1e3);
+    println!(
+        "factorization (once): {:.3} ms (modeled)",
+        r.factor_time * 1e3
+    );
     let total_solve: f64 = r.solve_times.iter().sum();
     for (k, (t, res)) in r.solve_times.iter().zip(&r.relative_residuals).enumerate() {
         println!("  solve {k}: {:.3} ms, residual {:.1e}", t * 1e3, res);

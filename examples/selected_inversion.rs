@@ -18,7 +18,11 @@ fn main() {
     let n = a.n();
     println!("matrix: n = {n}, nnz = {}", a.nnz_full());
 
-    let opts = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    let opts = SolverOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
     let s = selected_inverse(&a, &opts).expect("SPD input");
     println!(
         "selected entries of A^-1: {} (vs {} for the dense inverse, {:.1}%)",
@@ -38,9 +42,15 @@ fn main() {
         let r = sympack::SymPack::factor_and_solve(&a, &e, &opts);
         let err = (r.x[i] - diag[i]).abs();
         worst = worst.max(err);
-        println!("diag(A^-1)[{i:>4}] = {:.6}  (direct solve: {:.6})", diag[i], r.x[i]);
+        println!(
+            "diag(A^-1)[{i:>4}] = {:.6}  (direct solve: {:.6})",
+            diag[i], r.x[i]
+        );
     }
-    assert!(worst < 1e-10, "selected inversion disagrees with direct solves");
+    assert!(
+        worst < 1e-10,
+        "selected inversion disagrees with direct solves"
+    );
 
     // Off-diagonal selected entries are available too; entries outside the
     // factor pattern are not computed (that is the point of *selected*).

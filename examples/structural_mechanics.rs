@@ -41,8 +41,16 @@ fn main() {
     );
     let shifts = [0.0, 1.5, 4.0];
     let b: Vec<f64> = (0..a.n()).map(|i| ((i * 13) % 11) as f64 - 5.0).collect();
-    let opts = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
-    let bopts = BaselineOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    let opts = SolverOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
+    let bopts = BaselineOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
     let mut total_sp = 0.0;
     let mut total_bl = 0.0;
     for &sigma in &shifts {

@@ -34,14 +34,24 @@ fn three_way_agreement_on_random_spd() {
         let sp = SymPack::factor_and_solve(&a, &b, &SolverOptions::default());
         let bl = baseline_factor_and_solve(&a, &b, &BaselineOptions::default());
         let scale = oracle.iter().fold(1.0f64, |m, v| m.max(v.abs()));
-        assert!(max_abs_diff(&sp.x, &oracle) / scale < 1e-9, "seed {seed}: symPACK vs oracle");
-        assert!(max_abs_diff(&bl.x, &oracle) / scale < 1e-9, "seed {seed}: baseline vs oracle");
+        assert!(
+            max_abs_diff(&sp.x, &oracle) / scale < 1e-9,
+            "seed {seed}: symPACK vs oracle"
+        );
+        assert!(
+            max_abs_diff(&bl.x, &oracle) / scale < 1e-9,
+            "seed {seed}: baseline vs oracle"
+        );
     }
 }
 
 #[test]
 fn three_way_agreement_on_structured_problems() {
-    for a in [gen::laplacian_2d(8, 9), gen::flan_like(4, 3, 3), gen::bone_like(3, 3, 2)] {
+    for a in [
+        gen::laplacian_2d(8, 9),
+        gen::flan_like(4, 3, 3),
+        gen::bone_like(3, 3, 2),
+    ] {
         let b = test_rhs(a.n());
         let oracle = dense_solve(&a, &b);
         let sp = SymPack::factor_and_solve(&a, &b, &SolverOptions::default());
@@ -61,12 +71,20 @@ fn solver_reports_same_structure_counts() {
     let sp = SymPack::factor_and_solve(
         &a,
         &b,
-        &SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() },
+        &SolverOptions {
+            n_nodes: 2,
+            ranks_per_node: 2,
+            ..Default::default()
+        },
     );
     let bl = baseline_factor_and_solve(
         &a,
         &b,
-        &BaselineOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() },
+        &BaselineOptions {
+            n_nodes: 2,
+            ranks_per_node: 2,
+            ..Default::default()
+        },
     );
     let total = |counts: &[sympack_gpu::OpCounts]| {
         let mut t = sympack_gpu::OpCounts::default();
@@ -84,6 +102,7 @@ fn solver_reports_same_structure_counts() {
 }
 
 #[test]
+#[allow(non_snake_case)] // keep the paper's capitalization in the test name
 fn symPACK_beats_baseline_on_modeled_time_at_scale() {
     // The paper's headline claim, at reproduction scale: on a 3D problem
     // with several nodes, the fan-out solver's modeled makespan beats the
@@ -93,12 +112,20 @@ fn symPACK_beats_baseline_on_modeled_time_at_scale() {
     let sp = SymPack::factor_and_solve(
         &a,
         &b,
-        &SolverOptions { n_nodes: 4, ranks_per_node: 2, ..Default::default() },
+        &SolverOptions {
+            n_nodes: 4,
+            ranks_per_node: 2,
+            ..Default::default()
+        },
     );
     let bl = baseline_factor_and_solve(
         &a,
         &b,
-        &BaselineOptions { n_nodes: 4, ranks_per_node: 2, ..Default::default() },
+        &BaselineOptions {
+            n_nodes: 4,
+            ranks_per_node: 2,
+            ..Default::default()
+        },
     );
     assert!(
         sp.factor_time < bl.factor_time,
@@ -107,6 +134,95 @@ fn symPACK_beats_baseline_on_modeled_time_at_scale() {
         bl.factor_time
     );
     assert!(sp.solve_time < bl.solve_time);
+}
+
+#[test]
+fn all_engines_agree_across_ranks_and_rtq_policies() {
+    // The shared task runtime makes the RTQ policy a parameter of every
+    // engine. Whatever the policy and rank count: (a) every solver family
+    // returns the right answer, and (b) the per-kind executed-task totals
+    // are schedule-invariant — the policy reorders work, it must never
+    // change what work exists.
+    use std::collections::BTreeMap;
+    use sympack::RtqPolicy;
+
+    let a = gen::laplacian_2d(9, 9);
+    let b = test_rhs(a.n());
+    type Counts = BTreeMap<String, u64>;
+    let to_map = |v: &[(String, u64)]| -> Counts { v.iter().cloned().collect() };
+
+    // (engine, P) -> counts under the first policy, for invariance checks.
+    let mut reference: BTreeMap<(&str, usize), Counts> = BTreeMap::new();
+    for (n_nodes, ranks_per_node) in [(1, 1), (1, 2), (2, 2)] {
+        let p = n_nodes * ranks_per_node;
+        for policy in [RtqPolicy::Lifo, RtqPolicy::Fifo, RtqPolicy::CriticalPath] {
+            let sp = SymPack::factor_and_solve(
+                &a,
+                &b,
+                &SolverOptions {
+                    n_nodes,
+                    ranks_per_node,
+                    rtq_policy: policy,
+                    ..Default::default()
+                },
+            );
+            let bopts = BaselineOptions {
+                n_nodes,
+                ranks_per_node,
+                rtq_policy: policy,
+                ..Default::default()
+            };
+            let rl = baseline_factor_and_solve(&a, &b, &bopts);
+            let fi = sympack_baseline::fanin_factor_and_solve(&a, &b, &bopts);
+            let fb = sympack_baseline::fanboth_factor_and_solve(&a, &b, &bopts);
+            let runs: [(&str, f64, Counts); 4] = [
+                ("fan-out", sp.relative_residual, to_map(&sp.task_counts)),
+                (
+                    "right-looking",
+                    rl.relative_residual,
+                    to_map(&rl.task_counts),
+                ),
+                ("fan-in", fi.relative_residual, to_map(&fi.task_counts)),
+                ("fan-both", fb.relative_residual, to_map(&fb.task_counts)),
+            ];
+            for (name, residual, counts) in runs {
+                assert!(
+                    residual <= 1e-8,
+                    "{name} P={p} {policy:?}: residual {residual}"
+                );
+                assert!(
+                    !counts.is_empty(),
+                    "{name} P={p} {policy:?}: no task counts"
+                );
+                let entry = reference.entry((name, p)).or_insert_with(|| counts.clone());
+                assert_eq!(
+                    *entry, counts,
+                    "{name} P={p} {policy:?}: task counts changed with the RTQ policy"
+                );
+            }
+        }
+    }
+    // Task totals are also rank-count-invariant for the engines whose task
+    // graph is owner-partitioned (fan-out, fan-in, fan-both). The
+    // right-looking baseline replicates panel applications per rank, so
+    // only its factor-task count is P-invariant.
+    for name in ["fan-out", "fan-in", "fan-both"] {
+        let one = reference[&(name, 1)].clone();
+        for p in [2, 4] {
+            assert_eq!(
+                one,
+                reference[&(name, p)],
+                "{name}: task totals changed between P=1 and P={p}"
+            );
+        }
+    }
+    for p in [2, 4] {
+        assert_eq!(
+            reference[&("right-looking", 1)]["factor_panel"],
+            reference[&("right-looking", p)]["factor_panel"],
+            "right-looking: factor task count changed with P"
+        );
+    }
 }
 
 #[allow(non_snake_case)]

@@ -28,7 +28,11 @@ fn indefinite_matrix_fails_cleanly_on_every_rank_count() {
     let bad = break_spd(&good, 30);
     let b = test_rhs(bad.n());
     for (nodes, ppn) in [(1, 1), (2, 2), (4, 2)] {
-        let opts = SolverOptions { n_nodes: nodes, ranks_per_node: ppn, ..Default::default() };
+        let opts = SolverOptions {
+            n_nodes: nodes,
+            ranks_per_node: ppn,
+            ..Default::default()
+        };
         match SymPack::try_factor_and_solve(&bad, &b, &opts) {
             Err(SolverError::NotPositiveDefinite { .. }) => {}
             other => panic!("nodes={nodes} ppn={ppn}: expected failure, got {other:?}"),
@@ -57,7 +61,11 @@ fn indefinite_failure_position_is_plausible() {
 fn device_oom_cpu_fallback_still_solves() {
     let a = gen::flan_like(6, 6, 6);
     let b = test_rhs(a.n());
-    let mut opts = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    let mut opts = SolverOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
     opts.device_quota = 8 << 10; // far below the biggest block
     opts.oom_policy = OomPolicy::CpuFallback;
     let r = SymPack::try_factor_and_solve(&a, &b, &opts).expect("fallback must complete");
@@ -70,11 +78,18 @@ fn device_oom_abort_policy_raises() {
     // device-copy threshold (64x64 elements).
     let a = gen::flan_like(12, 12, 12);
     let b = test_rhs(a.n());
-    let mut opts = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    let mut opts = SolverOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
     opts.device_quota = 8 << 10;
     opts.oom_policy = OomPolicy::Abort;
     match SymPack::try_factor_and_solve(&a, &b, &opts) {
-        Err(SolverError::DeviceOom { requested, available }) => {
+        Err(SolverError::DeviceOom {
+            requested,
+            available,
+        }) => {
             assert!(requested > available);
         }
         other => panic!("expected DeviceOom, got {other:?}"),
@@ -85,7 +100,11 @@ fn device_oom_abort_policy_raises() {
 fn unlimited_quota_never_oomss() {
     let a = gen::flan_like(5, 5, 5);
     let b = test_rhs(a.n());
-    let mut opts = SolverOptions { n_nodes: 2, ranks_per_node: 1, ..Default::default() };
+    let mut opts = SolverOptions {
+        n_nodes: 2,
+        ranks_per_node: 1,
+        ..Default::default()
+    };
     opts.oom_policy = OomPolicy::Abort; // would fail loudly if quota hit
     let r = SymPack::try_factor_and_solve(&a, &b, &opts).expect("no quota, no OOM");
     assert!(r.relative_residual < 1e-9);
@@ -96,19 +115,19 @@ fn malformed_matrix_files_are_rejected_not_panicked() {
     use sympack_sparse::io::{mm, rb};
     // Matrix Market failures.
     for text in [
-        "",                                                     // empty
-        "%%MatrixMarket matrix coordinate real general\n",      // no size
-        "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5.0\n", // 0-based index
-        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5.0\n", // out of range
+        "",                                                                   // empty
+        "%%MatrixMarket matrix coordinate real general\n",                    // no size
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5.0\n",    // 0-based index
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5.0\n",    // out of range
         "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", // complex
     ] {
         assert!(mm::read(text.as_bytes()).is_err(), "accepted: {text:?}");
     }
     // Rutherford-Boeing failures.
     for text in [
-        "",                               // empty
-        "t\n1 1 1 1\n",                   // truncated header
-        "t\n1 1 1 1\nrua 2 2 1 0\nfmt\n", // unsymmetric type
+        "",                                      // empty
+        "t\n1 1 1 1\n",                          // truncated header
+        "t\n1 1 1 1\nrua 2 2 1 0\nfmt\n",        // unsymmetric type
         "t\n1 1 1 1\nrsa 2 2 9 0\nfmt\n1 2 3\n", // token shortfall
     ] {
         assert!(rb::read(text.as_bytes()).is_err(), "accepted: {text:?}");

@@ -38,7 +38,11 @@ fn rank_counts_sweep() {
     for (nodes, ppn) in [(1, 1), (1, 3), (2, 2), (3, 2), (2, 4), (8, 1)] {
         solve_and_check(
             &a,
-            &SolverOptions { n_nodes: nodes, ranks_per_node: ppn, ..Default::default() },
+            &SolverOptions {
+                n_nodes: nodes,
+                ranks_per_node: ppn,
+                ..Default::default()
+            },
         );
     }
 }
@@ -52,7 +56,13 @@ fn orderings_sweep() {
         OrderingKind::MinDegree,
         OrderingKind::NestedDissection,
     ] {
-        solve_and_check(&a, &SolverOptions { ordering: kind, ..Default::default() });
+        solve_and_check(
+            &a,
+            &SolverOptions {
+                ordering: kind,
+                ..Default::default()
+            },
+        );
     }
 }
 
@@ -64,7 +74,10 @@ fn supernode_width_and_amalgamation_sweep() {
             solve_and_check(
                 &a,
                 &SolverOptions {
-                    analyze: AnalyzeOptions { max_sn_width, amalgamation_ratio },
+                    analyze: AnalyzeOptions {
+                        max_sn_width,
+                        amalgamation_ratio,
+                    },
                     ..Default::default()
                 },
             );
@@ -92,15 +105,23 @@ fn degenerate_shapes() {
     }
     solve_and_check(
         &coo.to_csc().to_lower_sym(),
-        &SolverOptions { n_nodes: 4, ranks_per_node: 2, ..Default::default() },
+        &SolverOptions {
+            n_nodes: 4,
+            ranks_per_node: 2,
+            ..Default::default()
+        },
     );
 }
 
 #[test]
 fn grid_shapes_and_policies() {
     let a = gen::random_spd(120, 5, 77);
-    for grid in [ProcGrid::new(1, 6), ProcGrid::new(6, 1), ProcGrid::new(2, 3), ProcGrid::new(3, 2)]
-    {
+    for grid in [
+        ProcGrid::new(1, 6),
+        ProcGrid::new(6, 1),
+        ProcGrid::new(2, 3),
+        ProcGrid::new(3, 2),
+    ] {
         for policy in [RtqPolicy::Lifo, RtqPolicy::Fifo, RtqPolicy::CriticalPath] {
             solve_and_check(
                 &a,
@@ -120,7 +141,11 @@ fn grid_shapes_and_policies() {
 fn memory_kinds_modes_agree_numerically() {
     let a = gen::flan_like(4, 4, 4);
     let b = test_rhs(a.n());
-    let mut native = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    let mut native = SolverOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
     native.net.mode = sympack_pgas::MemKindsMode::Native;
     let mut reference = native.clone();
     reference.net.mode = sympack_pgas::MemKindsMode::Reference;
@@ -150,6 +175,8 @@ fn io_roundtrip_through_matrix_market_solves() {
     let a = gen::random_spd(60, 4, 3);
     let mut buf = Vec::new();
     sympack_sparse::io::mm::write_sym(&mut buf, &a).unwrap();
-    let back = sympack_sparse::io::mm::read(&buf[..]).unwrap().to_lower_sym();
+    let back = sympack_sparse::io::mm::read(&buf[..])
+        .unwrap()
+        .to_lower_sym();
     solve_and_check(&back, &SolverOptions::default());
 }

@@ -1,83 +1,114 @@
-//! Property-based integration tests: the solver must produce small
-//! residuals for *arbitrary* SPD matrices, rank layouts, orderings and
-//! supernode configurations — and the distributed answer must match the
-//! single-rank answer bit-for-bit up to floating-point reduction order.
+//! Randomized integration tests: the solver must produce small residuals
+//! for *arbitrary* SPD matrices, rank layouts, orderings and supernode
+//! configurations — and the distributed answer must match the single-rank
+//! answer bit-for-bit up to floating-point reduction order. Cases are
+//! drawn from a seeded deterministic stream.
 
-use proptest::prelude::*;
 use sympack::{SolverOptions, SymPack};
 use sympack_ordering::OrderingKind;
 use sympack_sparse::gen::random_spd;
 use sympack_sparse::vecops::{max_abs_diff, norm_inf};
 use sympack_symbolic::AnalyzeOptions;
 
-fn ordering_strategy() -> impl Strategy<Value = OrderingKind> {
-    prop_oneof![
-        Just(OrderingKind::Natural),
-        Just(OrderingKind::Rcm),
-        Just(OrderingKind::MinDegree),
-        Just(OrderingKind::NestedDissection),
-    ]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[(self.next() % options.len() as u64) as usize]
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_spd_systems_solve_to_tolerance(
-        n in 10usize..120,
-        degree in 2usize..7,
-        seed in 0u64..1000,
-        nodes in 1usize..4,
-        ppn in 1usize..3,
-        ordering in ordering_strategy(),
-        max_sn_width in prop_oneof![Just(2usize), Just(8), Just(32), Just(128)],
-        amalgamation in prop_oneof![Just(0.0f64), Just(0.15), Just(0.4)],
-    ) {
+#[test]
+fn random_spd_systems_solve_to_tolerance() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(case);
+        let n = rng.usize_in(10, 120);
+        let degree = rng.usize_in(2, 7);
+        let seed = rng.next() % 1000;
+        let nodes = rng.usize_in(1, 4);
+        let ppn = rng.usize_in(1, 3);
+        let ordering = rng.pick(&[
+            OrderingKind::Natural,
+            OrderingKind::Rcm,
+            OrderingKind::MinDegree,
+            OrderingKind::NestedDissection,
+        ]);
+        let max_sn_width = rng.pick(&[2usize, 8, 32, 128]);
+        let amalgamation = rng.pick(&[0.0f64, 0.15, 0.4]);
         let a = random_spd(n, degree, seed);
         let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64 - 6.0).collect();
         let opts = SolverOptions {
             ordering,
-            analyze: AnalyzeOptions { max_sn_width, amalgamation_ratio: amalgamation },
+            analyze: AnalyzeOptions {
+                max_sn_width,
+                amalgamation_ratio: amalgamation,
+            },
             n_nodes: nodes,
             ranks_per_node: ppn,
             ..Default::default()
         };
         let r = SymPack::factor_and_solve(&a, &b, &opts);
-        prop_assert!(
+        assert!(
             r.relative_residual < 1e-9,
             "residual {} (n={n}, seed={seed}, {ordering:?})",
             r.relative_residual
         );
     }
+}
 
-    #[test]
-    fn distributed_matches_serial(
-        n in 20usize..100,
-        seed in 0u64..500,
-        nodes in 2usize..5,
-    ) {
+#[test]
+fn distributed_matches_serial() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(case.wrapping_add(1000));
+        let n = rng.usize_in(20, 100);
+        let seed = rng.next() % 500;
+        let nodes = rng.usize_in(2, 5);
         let a = random_spd(n, 4, seed);
         let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
         let serial = SymPack::factor_and_solve(
-            &a, &b,
-            &SolverOptions { n_nodes: 1, ranks_per_node: 1, ..Default::default() },
+            &a,
+            &b,
+            &SolverOptions {
+                n_nodes: 1,
+                ranks_per_node: 1,
+                ..Default::default()
+            },
         );
         let dist = SymPack::factor_and_solve(
-            &a, &b,
-            &SolverOptions { n_nodes: nodes, ranks_per_node: 2, ..Default::default() },
+            &a,
+            &b,
+            &SolverOptions {
+                n_nodes: nodes,
+                ranks_per_node: 2,
+                ..Default::default()
+            },
         );
         let scale = norm_inf(&serial.x).max(1.0);
-        prop_assert!(
+        assert!(
             max_abs_diff(&serial.x, &dist.x) / scale < 1e-8,
             "serial and distributed answers diverge (n={n}, seed={seed}, nodes={nodes})"
         );
     }
+}
 
-    #[test]
-    fn factor_structure_counts_are_ordering_invariants(
-        n in 20usize..90,
-        seed in 0u64..300,
-    ) {
+#[test]
+fn factor_structure_counts_are_ordering_invariants() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(case.wrapping_add(2000));
+        let n = rng.usize_in(20, 90);
+        let seed = rng.next() % 300;
         // nnz(L) from the analysis must match what the ordering crate's
         // independent count predicts for the same permutation.
         let a = random_spd(n, 4, seed);
@@ -87,15 +118,18 @@ proptest! {
         let expect = sympack_ordering::metrics::factor_nnz(&a, &perm);
         // Without amalgamation the counts must agree exactly; with it the
         // symbolic count can only grow (explicit zeros).
-        prop_assert!(sf.l_nnz >= expect, "analysis lost structure");
+        assert!(sf.l_nnz >= expect, "analysis lost structure");
         let no_amalg = SymPack::analyze_only(
             &a,
             &SolverOptions {
-                analyze: AnalyzeOptions { amalgamation_ratio: 0.0, ..Default::default() },
+                analyze: AnalyzeOptions {
+                    amalgamation_ratio: 0.0,
+                    ..Default::default()
+                },
                 ..opts
             },
         );
-        prop_assert_eq!(no_amalg.l_nnz, expect, "exact count mismatch");
+        assert_eq!(no_amalg.l_nnz, expect, "exact count mismatch");
     }
 }
 
@@ -103,9 +137,17 @@ proptest! {
 fn multi_rhs_matches_individual_solves() {
     let a = random_spd(80, 5, 42);
     let bs: Vec<Vec<f64>> = (0..3)
-        .map(|k| (0..80).map(|i| ((i * (k + 2) + 1) % 9) as f64 - 4.0).collect())
+        .map(|k| {
+            (0..80)
+                .map(|i| ((i * (k + 2) + 1) % 9) as f64 - 4.0)
+                .collect()
+        })
         .collect();
-    let opts = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    let opts = SolverOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
     let multi = SymPack::try_factor_and_solve_multi(&a, &bs, &opts).unwrap();
     assert_eq!(multi.xs.len(), 3);
     assert_eq!(multi.solve_times.len(), 3);
@@ -122,16 +164,27 @@ fn iterative_refinement_improves_or_holds_residual() {
     // Mildly ill-conditioned problem: refinement must not hurt and usually
     // tightens the residual.
     let a = random_spd(100, 5, 9);
-    let b: Vec<f64> = (0..100).map(|i| ((i * 11 + 5) % 23) as f64 - 11.0).collect();
+    let b: Vec<f64> = (0..100)
+        .map(|i| ((i * 11 + 5) % 23) as f64 - 11.0)
+        .collect();
     let base = SymPack::factor_and_solve(
         &a,
         &b,
-        &SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() },
+        &SolverOptions {
+            n_nodes: 2,
+            ranks_per_node: 2,
+            ..Default::default()
+        },
     );
     let refined = SymPack::factor_and_solve(
         &a,
         &b,
-        &SolverOptions { n_nodes: 2, ranks_per_node: 2, refine_steps: 2, ..Default::default() },
+        &SolverOptions {
+            n_nodes: 2,
+            ranks_per_node: 2,
+            refine_steps: 2,
+            ..Default::default()
+        },
     );
     assert!(refined.relative_residual <= base.relative_residual * 10.0);
     assert!(refined.relative_residual < 1e-12);

@@ -11,10 +11,17 @@ use sympack_sparse::vecops::{max_abs_diff, test_rhs};
 fn trace_covers_every_task_of_the_factorization() {
     let a = laplacian_2d(10, 10);
     let b = test_rhs(a.n());
-    let opts = SolverOptions { n_nodes: 2, ranks_per_node: 2, trace: true, ..Default::default() };
+    let opts = SolverOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        trace: true,
+        ..Default::default()
+    };
     let r = SymPack::factor_and_solve(&a, &b, &opts);
     assert!(r.relative_residual < 1e-10);
-    // One trace event per task: D + F + U counts from the analysis.
+    // One trace event per factorization task: D + F + U counts from the
+    // analysis. The trace also carries the solve sweep (category `Solve`),
+    // which is counted separately.
     let sf = SymPack::analyze_only(&a, &opts);
     let mut expected = sf.n_supernodes(); // diagonals
     for j in 0..sf.n_supernodes() {
@@ -22,11 +29,28 @@ fn trace_covers_every_task_of_the_factorization() {
         expected += m; // panels
         expected += m * (m + 1) / 2; // updates
     }
-    assert_eq!(r.trace.len(), expected, "trace must cover every task exactly once");
+    let facto_events = r
+        .trace
+        .iter()
+        .filter(|e| !matches!(e.cat, sympack_trace::TraceCat::Solve))
+        .count();
+    assert_eq!(
+        facto_events, expected,
+        "trace must cover every task exactly once"
+    );
+    let solve_events = r
+        .trace
+        .iter()
+        .filter(|e| matches!(e.cat, sympack_trace::TraceCat::Solve))
+        .count();
+    assert!(solve_events > 0, "solve sweep must be traced too");
     // Events never overlap on a single rank.
     let mut by_rank: std::collections::HashMap<usize, Vec<(f64, f64)>> = Default::default();
     for e in &r.trace {
-        by_rank.entry(e.rank).or_default().push((e.start, e.start + e.dur));
+        by_rank
+            .entry(e.rank)
+            .or_default()
+            .push((e.start, e.start + e.dur));
     }
     for (rank, mut iv) in by_rank {
         iv.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -81,7 +105,11 @@ fn condest_never_underestimates_observed_amplification() {
 fn all_five_solver_families_agree() {
     let a = random_spd(75, 5, 2024);
     let b = test_rhs(75);
-    let opts = SolverOptions { n_nodes: 2, ranks_per_node: 2, ..Default::default() };
+    let opts = SolverOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
     let bopts = sympack_baseline::BaselineOptions {
         n_nodes: 2,
         ranks_per_node: 2,
@@ -149,7 +177,11 @@ fn gathered_factor_reconstructs_the_matrix() {
 fn vendor_gpu_presets_change_modeled_times_not_answers() {
     let a = sympack_sparse::gen::flan_like(6, 6, 6);
     let b = test_rhs(a.n());
-    let mut opts = SolverOptions { n_nodes: 1, ranks_per_node: 2, ..Default::default() };
+    let mut opts = SolverOptions {
+        n_nodes: 1,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
     let nvidia = SymPack::factor_and_solve(&a, &b, &opts);
     // Swap the cost model via analytical thresholds for an AMD-class device.
     let amd_cost = sympack_gpu::CostModel::amd_mi250x();
