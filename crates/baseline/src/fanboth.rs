@@ -26,10 +26,10 @@ use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack::map2d::ProcGrid;
-use sympack::sched::{self, FetchConfig, TaskEngine};
+use sympack::sched::{self, FetchConfig, FetchMode, TaskEngine};
 use sympack::storage::BlockStore;
 use sympack::trisolve::{self, SolveParams};
-use sympack::TaskKey;
+use sympack::{SolverError, TaskKey};
 use sympack_dense::Mat;
 use sympack_gpu::KernelEngine;
 use sympack_ordering::compute_ordering;
@@ -67,6 +67,13 @@ impl sched::Signal for Msg {
             Msg::Factor { ptr, .. } | Msg::Aggregate { ptr, .. } => *ptr,
         }
     }
+
+    fn describe(&self) -> String {
+        match self {
+            Msg::Factor { i, j, .. } => format!("factored block L({i},{j})"),
+            Msg::Aggregate { a, b, .. } => format!("aggregate update for block ({a},{b})"),
+        }
+    }
 }
 
 /// Per-rank fan-both engine, installed as the rank's user state.
@@ -98,11 +105,11 @@ impl FbEngine {
         rank: usize,
         kernels: KernelEngine,
         opts: &BaselineOptions,
+        abort: Arc<AtomicBool>,
     ) -> Self {
         let store = BlockStore::init(&sf, ap, &grid, rank);
         let ns = sf.n_supernodes();
-        let mut rt: TaskEngine<TaskKey, Msg> =
-            TaskEngine::new(opts.rtq_policy, Arc::new(AtomicBool::new(false)));
+        let mut rt: TaskEngine<TaskKey, Msg> = TaskEngine::new(opts.rtq_policy, abort);
         if opts.trace {
             rt.tracer = Some(Tracer::new());
         }
@@ -158,6 +165,12 @@ impl FbEngine {
             }
         }
         rt.seed_ready();
+        let fetch = FetchConfig {
+            device_enabled: kernels.gpu_enabled,
+            device_threshold: 64 * 64,
+            oom_policy: opts.oom_policy,
+            mode: FetchMode::NonBlocking,
+        };
         FbEngine {
             sf,
             grid,
@@ -168,7 +181,7 @@ impl FbEngine {
             aggs: HashMap::new(),
             consumers,
             my_contribs,
-            fetch: FetchConfig::host_one_sided(),
+            fetch,
             me: rank,
         }
     }
@@ -205,7 +218,9 @@ impl FbEngine {
                 }
             }
         });
-        res.expect("host fetch cannot fail");
+        if let Err(err) = res {
+            self.rt.fail(rank, err);
+        }
     }
 
     /// Release the target-side dependency of `(a,b)` after an aggregate
@@ -311,8 +326,14 @@ impl FbEngine {
                 rows,
                 cols,
             };
-            rank.rpc(d, move |r| {
-                r.with_state::<FbEngine, _>(|_, st| st.rt.post(msg));
+            // Factor notifications ride the droppable/duplicable signal
+            // path; the inbox deduplicates and the stall detector diagnoses
+            // drops. try_with_state: a straggling duplicate may land after
+            // the state is torn down.
+            rank.rpc_signal(d, move |r| {
+                r.try_with_state::<FbEngine, _>(|_, st| {
+                    st.rt.post_unique(msg);
+                });
             });
         }
     }
@@ -391,8 +412,10 @@ impl FbEngine {
                     rows,
                     cols,
                 };
-                rank.rpc(owner, move |r| {
-                    r.with_state::<FbEngine, _>(|_, st| st.rt.post(msg));
+                rank.rpc_signal(owner, move |r| {
+                    r.try_with_state::<FbEngine, _>(|_, st| {
+                        st.rt.post_unique(msg);
+                    });
                 });
             }
         }
@@ -417,12 +440,27 @@ fn absorb(store: &mut BlockStore, a: usize, b: usize, buf: &Mat) {
     }
 }
 
-/// Factor and solve with the fan-both algorithm on a 2D grid.
+/// Factor and solve with the fan-both algorithm on a 2D grid; panics on
+/// failure (see [`try_fanboth_factor_and_solve`] for the fallible form).
 pub fn fanboth_factor_and_solve(
     a: &SparseSym,
     b: &[f64],
     opts: &BaselineOptions,
 ) -> BaselineReport {
+    try_fanboth_factor_and_solve(a, b, opts).expect("fan-both factorization failed")
+}
+
+/// Factor and solve with the fan-both algorithm on a 2D grid.
+///
+/// # Errors
+/// [`SolverError::DeviceOom`] under the Abort OOM policy;
+/// [`SolverError::FetchTimeout`] / [`SolverError::Stalled`] under fault
+/// injection when the retry budget or the quiescence detector gives up.
+pub fn try_fanboth_factor_and_solve(
+    a: &SparseSym,
+    b: &[f64],
+    opts: &BaselineOptions,
+) -> Result<BaselineReport, SolverError> {
     assert_eq!(b.len(), a.n());
     let ordering = compute_ordering(a, opts.ordering);
     let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
@@ -432,8 +470,14 @@ pub fn fanboth_factor_and_solve(
     let grid = ProcGrid::squarest(p);
     let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
     config.net = opts.net.clone();
+    config.device_quota = opts.device_quota;
+    config.faults = opts.faults;
+    config.deterministic = opts.deterministic;
+    let abort = Arc::new(AtomicBool::new(false));
     let opts2 = opts.clone();
-    let report = Runtime::run(config, |rank| run_rank(rank, &sf, &ap, &bp, grid, &opts2));
+    let report = Runtime::run(config, |rank| {
+        run_rank(rank, &sf, &ap, &bp, grid, &opts2, &abort)
+    });
     build_report(a, b, &sf, report.results, report.stats)
 }
 
@@ -444,6 +488,7 @@ fn run_rank(
     bp: &[f64],
     grid: ProcGrid,
     opts: &BaselineOptions,
+    abort: &Arc<AtomicBool>,
 ) -> RankOut {
     let me = rank.id();
     let mut kernels = if opts.gpu {
@@ -454,13 +499,43 @@ fn run_rank(
     if let Some(t) = &opts.thresholds {
         kernels.thresholds = t.clone();
     }
-    let engine = FbEngine::new(Arc::clone(sf), ap, grid, me, kernels, opts);
+    let engine = FbEngine::new(
+        Arc::clone(sf),
+        ap,
+        grid,
+        me,
+        kernels,
+        opts,
+        Arc::clone(abort),
+    );
     let start = rank.now();
-    let mut engine = sched::run_event_loop(rank, engine, |rank, st: &mut FbEngine| {
-        while st.step(rank) {}
-        st.rt.finished()
-    });
+    let mut engine = sched::run_event_loop(
+        rank,
+        engine,
+        |rank, st: &mut FbEngine| {
+            while st.step(rank) {}
+            st.rt.finished() || rank.job_aborted()
+        },
+        |rank, st| {
+            let (done, total) = (st.rt.done_count(), st.rt.total());
+            st.rt.fail(
+                rank,
+                SolverError::Stalled {
+                    rank: rank.id(),
+                    done,
+                    total,
+                    detail: "fan-both factorization quiesced with unfinished tasks \
+                             (dropped factor or aggregate suspected)"
+                        .into(),
+                },
+            );
+        },
+    );
     let factor_time = rank.now() - start;
+    let aborted = engine.rt.aborted() || rank.job_aborted();
+    if !aborted {
+        engine.rt.debug_assert_completed();
+    }
     let mut trace = engine
         .rt
         .tracer
@@ -473,6 +548,19 @@ fn run_rank(
         .iter()
         .map(|&(k, v)| (k.to_string(), v))
         .collect();
+    if aborted {
+        // Skip the solve collectively (sticky job-abort keeps every rank's
+        // barrier sequence aligned).
+        return RankOut {
+            error: engine.rt.error.take(),
+            factor_time,
+            solve_time: 0.0,
+            counts: engine.kernels.counts,
+            x_pieces: Vec::new(),
+            trace,
+            tasks,
+        };
+    }
     let solve_kernels = if opts.gpu {
         KernelEngine::new_gpu()
     } else {
@@ -483,7 +571,7 @@ fn run_rank(
         msg_overhead: 0.0,
         trace: opts.trace,
     };
-    let out = trisolve::solve(
+    let mut out = trisolve::solve(
         rank,
         Arc::clone(sf),
         grid,
@@ -492,9 +580,10 @@ fn run_rank(
         solve_kernels,
         &params,
     );
-    trace.extend(out.trace);
+    trace.extend(std::mem::take(&mut out.trace));
     tasks.extend(out.task_counts.iter().map(|&(k, v)| (k.to_string(), v)));
     RankOut {
+        error: out.error.take(),
         factor_time,
         solve_time: out.elapsed,
         counts: engine.kernels.counts,

@@ -20,9 +20,10 @@ use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack::map2d::ProcGrid;
-use sympack::sched::{self, FetchConfig, TaskEngine, TaskKind};
+use sympack::sched::{self, FetchConfig, FetchMode, TaskEngine, TaskKind};
 use sympack::storage::BlockStore;
 use sympack::trisolve::{self, SolveParams};
+use sympack::SolverError;
 use sympack_dense::Mat;
 use sympack_gpu::KernelEngine;
 use sympack_ordering::compute_ordering;
@@ -127,6 +128,10 @@ impl sched::Signal for AggSignal {
     fn ptr(&self) -> GlobalPtr {
         self.ptr
     }
+
+    fn describe(&self) -> String {
+        format!("aggregate update for supernode {}", self.target)
+    }
 }
 
 /// Add a received (or locally finished) aggregate into the owned blocks.
@@ -166,6 +171,7 @@ struct FiEngine {
 }
 
 impl FiEngine {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         sf: Arc<SymbolicFactor>,
         ap: &SparseSym,
@@ -174,11 +180,11 @@ impl FiEngine {
         p: usize,
         kernels: KernelEngine,
         opts: &BaselineOptions,
+        abort: Arc<AtomicBool>,
     ) -> Self {
         let store = BlockStore::init(&sf, ap, grid, rank);
         let ns = sf.n_supernodes();
-        let mut rt: TaskEngine<FiKey, AggSignal> =
-            TaskEngine::new(opts.rtq_policy, Arc::new(AtomicBool::new(false)));
+        let mut rt: TaskEngine<FiKey, AggSignal> = TaskEngine::new(opts.rtq_policy, abort);
         if opts.trace {
             rt.tracer = Some(Tracer::new());
         }
@@ -217,6 +223,14 @@ impl FiEngine {
             rt.insert_task(FiKey { j }, deps);
         }
         rt.seed_ready();
+        let fetch = FetchConfig {
+            device_enabled: kernels.gpu_enabled,
+            device_threshold: 64 * 64,
+            oom_policy: opts.oom_policy,
+            mode: FetchMode::Blocking {
+                overhead: RENDEZVOUS_OVERHEAD,
+            },
+        };
         FiEngine {
             sf,
             store,
@@ -224,7 +238,7 @@ impl FiEngine {
             rt,
             aggs: HashMap::new(),
             my_contribs,
-            fetch: FetchConfig::host_two_sided(RENDEZVOUS_OVERHEAD),
+            fetch,
             p,
             me: rank,
         }
@@ -244,7 +258,9 @@ impl FiEngine {
             absorb_aggregate(&self.sf, &mut self.store, s.target, &agg);
             self.rt.dec(FiKey { j: s.target }, ready_at);
         });
-        res.expect("host fetch cannot fail");
+        if let Err(err) = res {
+            self.rt.fail(rank, err);
+        }
     }
 
     fn step(&mut self, rank: &mut Rank) -> bool {
@@ -294,8 +310,14 @@ impl FiEngine {
                     rank.write_local(&ptr, &packed);
                     let sig = AggSignal { ptr, target: b };
                     let dest = owner_of(b, self.p);
-                    rank.rpc(dest, move |r| {
-                        r.with_state::<FiEngine, _>(|_, st| st.rt.post(sig));
+                    // Aggregates ride the droppable/duplicable signal path;
+                    // the inbox deduplicates and the stall detector
+                    // diagnoses drops. try_with_state: a straggling
+                    // duplicate may land after the state is torn down.
+                    rank.rpc_signal(dest, move |r| {
+                        r.try_with_state::<FiEngine, _>(|_, st| {
+                            st.rt.post_unique(sig);
+                        });
                     });
                 }
             }
@@ -394,8 +416,23 @@ impl FiEngine {
     }
 }
 
-/// Factor and solve with the fan-in algorithm.
+/// Factor and solve with the fan-in algorithm; panics on failure (see
+/// [`try_fanin_factor_and_solve`] for the fallible form).
 pub fn fanin_factor_and_solve(a: &SparseSym, b: &[f64], opts: &BaselineOptions) -> BaselineReport {
+    try_fanin_factor_and_solve(a, b, opts).expect("fan-in factorization failed")
+}
+
+/// Factor and solve with the fan-in algorithm.
+///
+/// # Errors
+/// [`SolverError::DeviceOom`] under the Abort OOM policy;
+/// [`SolverError::FetchTimeout`] / [`SolverError::Stalled`] under fault
+/// injection when the retry budget or the quiescence detector gives up.
+pub fn try_fanin_factor_and_solve(
+    a: &SparseSym,
+    b: &[f64],
+    opts: &BaselineOptions,
+) -> Result<BaselineReport, SolverError> {
     assert_eq!(b.len(), a.n());
     let ordering = compute_ordering(a, opts.ordering);
     let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
@@ -405,13 +442,18 @@ pub fn fanin_factor_and_solve(a: &SparseSym, b: &[f64], opts: &BaselineOptions) 
     let grid = ProcGrid::one_dimensional(p);
     let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
     config.net = opts.net.clone();
+    config.device_quota = opts.device_quota;
+    config.faults = opts.faults;
+    config.deterministic = opts.deterministic;
+    let abort = Arc::new(AtomicBool::new(false));
     let opts2 = opts.clone();
     let report = Runtime::run(config, |rank| {
-        run_rank(rank, &sf, &ap, &bp, grid, p, &opts2)
+        run_rank(rank, &sf, &ap, &bp, grid, p, &opts2, &abort)
     });
     build_report(a, b, &sf, report.results, report.stats)
 }
 
+#[allow(clippy::too_many_arguments)] // one-shot per-rank closure body
 fn run_rank(
     rank: &mut Rank,
     sf: &Arc<SymbolicFactor>,
@@ -420,6 +462,7 @@ fn run_rank(
     grid: ProcGrid,
     p: usize,
     opts: &BaselineOptions,
+    abort: &Arc<AtomicBool>,
 ) -> RankOut {
     let me = rank.id();
     let mut kernels = if opts.gpu {
@@ -430,13 +473,44 @@ fn run_rank(
     if let Some(t) = &opts.thresholds {
         kernels.thresholds = t.clone();
     }
-    let engine = FiEngine::new(Arc::clone(sf), ap, &grid, me, p, kernels, opts);
+    let engine = FiEngine::new(
+        Arc::clone(sf),
+        ap,
+        &grid,
+        me,
+        p,
+        kernels,
+        opts,
+        Arc::clone(abort),
+    );
     let start = rank.now();
-    let mut engine = sched::run_event_loop(rank, engine, |rank, st: &mut FiEngine| {
-        while st.step(rank) {}
-        st.rt.finished()
-    });
+    let mut engine = sched::run_event_loop(
+        rank,
+        engine,
+        |rank, st: &mut FiEngine| {
+            while st.step(rank) {}
+            st.rt.finished() || rank.job_aborted()
+        },
+        |rank, st| {
+            let (done, total) = (st.rt.done_count(), st.rt.total());
+            st.rt.fail(
+                rank,
+                SolverError::Stalled {
+                    rank: rank.id(),
+                    done,
+                    total,
+                    detail: "fan-in factorization quiesced with unfinished tasks \
+                             (dropped aggregate suspected)"
+                        .into(),
+                },
+            );
+        },
+    );
     let factor_time = rank.now() - start;
+    let aborted = engine.rt.aborted() || rank.job_aborted();
+    if !aborted {
+        engine.rt.debug_assert_completed();
+    }
     let mut trace = engine
         .rt
         .tracer
@@ -449,6 +523,19 @@ fn run_rank(
         .iter()
         .map(|&(k, v)| (k.to_string(), v))
         .collect();
+    if aborted {
+        // Skip the solve collectively (sticky job-abort keeps every rank's
+        // barrier sequence aligned).
+        return RankOut {
+            error: engine.rt.error.take(),
+            factor_time,
+            solve_time: 0.0,
+            counts: engine.kernels.counts,
+            x_pieces: Vec::new(),
+            trace,
+            tasks,
+        };
+    }
     let solve_kernels = if opts.gpu {
         KernelEngine::new_gpu()
     } else {
@@ -459,7 +546,7 @@ fn run_rank(
         msg_overhead: RENDEZVOUS_OVERHEAD,
         trace: opts.trace,
     };
-    let out = trisolve::solve(
+    let mut out = trisolve::solve(
         rank,
         Arc::clone(sf),
         grid,
@@ -468,9 +555,10 @@ fn run_rank(
         solve_kernels,
         &params,
     );
-    trace.extend(out.trace);
+    trace.extend(std::mem::take(&mut out.trace));
     tasks.extend(out.task_counts.iter().map(|&(k, v)| (k.to_string(), v)));
     RankOut {
+        error: out.error.take(),
         factor_time,
         solve_time: out.elapsed,
         counts: engine.kernels.counts,

@@ -28,9 +28,11 @@ pub mod fanboth;
 pub mod fanin;
 pub mod rightlooking;
 
-pub use fanboth::fanboth_factor_and_solve;
-pub use fanin::fanin_factor_and_solve;
-pub use rightlooking::{baseline_factor_and_solve, BaselineOptions, BaselineReport};
+pub use fanboth::{fanboth_factor_and_solve, try_fanboth_factor_and_solve};
+pub use fanin::{fanin_factor_and_solve, try_fanin_factor_and_solve};
+pub use rightlooking::{
+    baseline_factor_and_solve, try_baseline_factor_and_solve, BaselineOptions, BaselineReport,
+};
 
 #[cfg(test)]
 mod tests {

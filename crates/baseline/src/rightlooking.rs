@@ -10,14 +10,16 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack::map2d::ProcGrid;
-use sympack::sched::{self, FetchConfig, TaskEngine, TaskKind};
+use sympack::sched::{self, FetchConfig, FetchMode, TaskEngine, TaskKind};
 use sympack::storage::BlockStore;
 use sympack::trisolve::{self, SolveParams};
-use sympack::RtqPolicy;
+use sympack::{RtqPolicy, SolverError};
 use sympack_dense::Mat;
-use sympack_gpu::{KernelEngine, OffloadThresholds, OpCounts};
+use sympack_gpu::{KernelEngine, OffloadThresholds, OomPolicy, OpCounts};
 use sympack_ordering::{compute_ordering, OrderingKind};
-use sympack_pgas::{GlobalPtr, MemKind, NetModel, PgasConfig, Rank, Runtime, StatsSnapshot};
+use sympack_pgas::{
+    FaultPlan, GlobalPtr, MemKind, NetModel, PgasConfig, Rank, Runtime, StatsSnapshot,
+};
 use sympack_sparse::SparseSym;
 use sympack_symbolic::{analyze, AnalyzeOptions, SymbolicFactor};
 use sympack_trace::{TraceCat, TraceEvent, Tracer};
@@ -54,6 +56,15 @@ pub struct BaselineOptions {
     pub rtq_policy: RtqPolicy,
     /// Collect a task timeline (factorization + solve).
     pub trace: bool,
+    /// Device-OOM fallback policy on the fetch path (§4.2 semantics, shared
+    /// with the fan-out solver).
+    pub oom_policy: OomPolicy,
+    /// Per-rank device-memory quota in bytes.
+    pub device_quota: usize,
+    /// Seeded network fault injection; `None` = reliable network.
+    pub faults: Option<FaultPlan>,
+    /// Run ranks in deterministic lockstep (reproducible schedules).
+    pub deterministic: bool,
 }
 
 impl Default for BaselineOptions {
@@ -68,6 +79,10 @@ impl Default for BaselineOptions {
             thresholds: None,
             rtq_policy: RtqPolicy::Lifo,
             trace: false,
+            oom_policy: OomPolicy::CpuFallback,
+            device_quota: usize::MAX,
+            faults: None,
+            deterministic: false,
         }
     }
 }
@@ -97,6 +112,7 @@ pub struct BaselineReport {
 /// What one rank reports back from a baseline run. Shared by the three
 /// baseline families (same report shape).
 pub(crate) struct RankOut {
+    pub(crate) error: Option<SolverError>,
     pub(crate) factor_time: f64,
     pub(crate) solve_time: f64,
     pub(crate) counts: OpCounts,
@@ -105,14 +121,18 @@ pub(crate) struct RankOut {
     pub(crate) tasks: Vec<(String, u64)>,
 }
 
-/// Assemble the cross-rank [`BaselineReport`] from per-rank outputs.
+/// Assemble the cross-rank [`BaselineReport`] from per-rank outputs,
+/// propagating the first per-rank error (rank order) if any.
 pub(crate) fn build_report(
     a: &SparseSym,
     b: &[f64],
     sf: &SymbolicFactor,
-    outs: Vec<RankOut>,
+    mut outs: Vec<RankOut>,
     stats: StatsSnapshot,
-) -> BaselineReport {
+) -> Result<BaselineReport, SolverError> {
+    if let Some(pos) = outs.iter().position(|o| o.error.is_some()) {
+        return Err(outs.swap_remove(pos).error.expect("checked"));
+    }
     let n = a.n();
     let mut xp = vec![0.0; n];
     for out in &outs {
@@ -129,7 +149,7 @@ pub(crate) fn build_report(
             *totals.entry(k.clone()).or_insert(0) += v;
         }
     }
-    BaselineReport {
+    Ok(BaselineReport {
         x,
         relative_residual,
         factor_time: outs.iter().map(|o| o.factor_time).fold(0.0, f64::max),
@@ -138,7 +158,7 @@ pub(crate) fn build_report(
         stats,
         trace: outs.into_iter().flat_map(|o| o.trace).collect(),
         task_counts: totals.into_iter().collect(),
-    }
+    })
 }
 
 /// The two task species of the panel-granular right-looking algorithm.
@@ -196,6 +216,10 @@ impl sched::Signal for PanelSignal {
     fn ptr(&self) -> GlobalPtr {
         self.ptr
     }
+
+    fn describe(&self) -> String {
+        format!("broadcast panel of supernode {}", self.j)
+    }
 }
 
 /// A received (or locally produced) panel, unpacked.
@@ -250,6 +274,7 @@ struct RlEngine {
 }
 
 impl RlEngine {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         sf: Arc<SymbolicFactor>,
         ap: &SparseSym,
@@ -258,11 +283,11 @@ impl RlEngine {
         p: usize,
         kernels: KernelEngine,
         opts: &BaselineOptions,
+        abort: Arc<AtomicBool>,
     ) -> Self {
         let store = BlockStore::init(&sf, ap, grid, rank);
         let ns = sf.n_supernodes();
-        let mut rt: TaskEngine<RlKey, PanelSignal> =
-            TaskEngine::new(opts.rtq_policy, Arc::new(AtomicBool::new(false)));
+        let mut rt: TaskEngine<RlKey, PanelSignal> = TaskEngine::new(opts.rtq_policy, abort);
         rt.set_task_overhead(RUNTIME_TASK_OVERHEAD);
         if opts.trace {
             rt.tracer = Some(Tracer::new());
@@ -289,13 +314,21 @@ impl RlEngine {
             rt.insert_task(RlKey::Factor { j }, deps);
         }
         rt.seed_ready();
+        let fetch = FetchConfig {
+            device_enabled: kernels.gpu_enabled,
+            device_threshold: 64 * 64,
+            oom_policy: opts.oom_policy,
+            mode: FetchMode::Blocking {
+                overhead: RENDEZVOUS_OVERHEAD,
+            },
+        };
         RlEngine {
             sf,
             store,
             kernels,
             rt,
             inputs: HashMap::new(),
-            fetch: FetchConfig::host_two_sided(RENDEZVOUS_OVERHEAD),
+            fetch,
             p,
             me: rank,
         }
@@ -313,7 +346,9 @@ impl RlEngine {
             self.inputs.insert(s.j, unpack_panel(&self.sf, s.j, &data));
             self.rt.dec(RlKey::Apply { j: s.j }, ready_at);
         });
-        res.expect("host fetch cannot fail");
+        if let Err(err) = res {
+            self.rt.fail(rank, err);
+        }
     }
 
     fn step(&mut self, rank: &mut Rank) -> bool {
@@ -366,8 +401,14 @@ impl RlEngine {
             rank.write_local(&ptr, &packed);
             for d in remote {
                 let sig = PanelSignal { ptr, j };
-                rank.rpc(d, move |r| {
-                    r.with_state::<RlEngine, _>(|_, st| st.rt.post(sig));
+                // Signals ride the droppable/duplicable path; the receiving
+                // inbox deduplicates and the stall detector diagnoses drops.
+                // try_with_state: a straggling duplicate may land after the
+                // factorization state is torn down.
+                rank.rpc_signal(d, move |r| {
+                    r.try_with_state::<RlEngine, _>(|_, st| {
+                        st.rt.post_unique(sig);
+                    });
                 });
             }
         }
@@ -442,12 +483,27 @@ impl RlEngine {
     }
 }
 
-/// Factor and solve with the right-looking baseline.
+/// Factor and solve with the right-looking baseline; panics on failure
+/// (see [`try_baseline_factor_and_solve`] for the fallible form).
 pub fn baseline_factor_and_solve(
     a: &SparseSym,
     b: &[f64],
     opts: &BaselineOptions,
 ) -> BaselineReport {
+    try_baseline_factor_and_solve(a, b, opts).expect("baseline factorization failed")
+}
+
+/// Factor and solve with the right-looking baseline.
+///
+/// # Errors
+/// [`SolverError::DeviceOom`] under the Abort OOM policy;
+/// [`SolverError::FetchTimeout`] / [`SolverError::Stalled`] under fault
+/// injection when the retry budget or the quiescence detector gives up.
+pub fn try_baseline_factor_and_solve(
+    a: &SparseSym,
+    b: &[f64],
+    opts: &BaselineOptions,
+) -> Result<BaselineReport, SolverError> {
     assert_eq!(b.len(), a.n());
     let ordering = compute_ordering(a, opts.ordering);
     let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
@@ -457,13 +513,18 @@ pub fn baseline_factor_and_solve(
     let grid = ProcGrid::one_dimensional(p);
     let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
     config.net = opts.net.clone();
+    config.device_quota = opts.device_quota;
+    config.faults = opts.faults;
+    config.deterministic = opts.deterministic;
+    let abort = Arc::new(AtomicBool::new(false));
     let opts2 = opts.clone();
     let report = Runtime::run(config, |rank| {
-        run_rank(rank, &sf, &ap, &bp, grid, p, &opts2)
+        run_rank(rank, &sf, &ap, &bp, grid, p, &opts2, &abort)
     });
     build_report(a, b, &sf, report.results, report.stats)
 }
 
+#[allow(clippy::too_many_arguments)] // one-shot per-rank closure body
 fn run_rank(
     rank: &mut Rank,
     sf: &Arc<SymbolicFactor>,
@@ -472,6 +533,7 @@ fn run_rank(
     grid: ProcGrid,
     p: usize,
     opts: &BaselineOptions,
+    abort: &Arc<AtomicBool>,
 ) -> RankOut {
     let me = rank.id();
     let mut kernels = if opts.gpu {
@@ -482,13 +544,44 @@ fn run_rank(
     if let Some(t) = &opts.thresholds {
         kernels.thresholds = t.clone();
     }
-    let engine = RlEngine::new(Arc::clone(sf), ap, &grid, me, p, kernels, opts);
+    let engine = RlEngine::new(
+        Arc::clone(sf),
+        ap,
+        &grid,
+        me,
+        p,
+        kernels,
+        opts,
+        Arc::clone(abort),
+    );
     let start = rank.now();
-    let mut engine = sched::run_event_loop(rank, engine, |rank, st: &mut RlEngine| {
-        while st.step(rank) {}
-        st.rt.finished()
-    });
+    let mut engine = sched::run_event_loop(
+        rank,
+        engine,
+        |rank, st: &mut RlEngine| {
+            while st.step(rank) {}
+            st.rt.finished() || rank.job_aborted()
+        },
+        |rank, st| {
+            let (done, total) = (st.rt.done_count(), st.rt.total());
+            st.rt.fail(
+                rank,
+                SolverError::Stalled {
+                    rank: rank.id(),
+                    done,
+                    total,
+                    detail: "right-looking factorization quiesced with unfinished tasks \
+                             (dropped panel broadcast suspected)"
+                        .into(),
+                },
+            );
+        },
+    );
     let factor_time = rank.now() - start;
+    let aborted = engine.rt.aborted() || rank.job_aborted();
+    if !aborted {
+        engine.rt.debug_assert_completed();
+    }
     let mut trace = engine
         .rt
         .tracer
@@ -501,6 +594,19 @@ fn run_rank(
         .iter()
         .map(|&(k, v)| (k.to_string(), v))
         .collect();
+    if aborted {
+        // Skip the solve collectively: the sticky job-abort flag makes every
+        // rank take this early return, keeping the barriers aligned.
+        return RankOut {
+            error: engine.rt.error.take(),
+            factor_time,
+            solve_time: 0.0,
+            counts: engine.kernels.counts,
+            x_pieces: Vec::new(),
+            trace,
+            tasks,
+        };
+    }
     // Solve with the shared distributed algorithm, 1D grid + rendezvous
     // overhead per message.
     let solve_kernels = if opts.gpu {
@@ -513,7 +619,7 @@ fn run_rank(
         msg_overhead: RENDEZVOUS_OVERHEAD,
         trace: opts.trace,
     };
-    let out = trisolve::solve(
+    let mut out = trisolve::solve(
         rank,
         Arc::clone(sf),
         grid,
@@ -522,9 +628,10 @@ fn run_rank(
         solve_kernels,
         &params,
     );
-    trace.extend(out.trace);
+    trace.extend(std::mem::take(&mut out.trace));
     tasks.extend(out.task_counts.iter().map(|&(k, v)| (k.to_string(), v)));
     RankOut {
+        error: out.error.take(),
         factor_time,
         solve_time: out.elapsed,
         counts: engine.kernels.counts,

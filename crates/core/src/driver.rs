@@ -52,6 +52,12 @@ pub struct SolverOptions {
     /// Collect a per-task execution timeline (see `sympack-trace`); events
     /// are returned in the report for Chrome-trace export.
     pub trace: bool,
+    /// Seeded network fault injection (delays, drops, duplicates) on the
+    /// signal/rget paths; `None` = reliable network.
+    pub faults: Option<sympack_pgas::FaultPlan>,
+    /// Run ranks in deterministic lockstep (round-robin turnstile) so a
+    /// given seed reproduces the exact same schedule and virtual clocks.
+    pub deterministic: bool,
 }
 
 impl Default for SolverOptions {
@@ -71,6 +77,8 @@ impl Default for SolverOptions {
             intra_parallel: false,
             refine_steps: 0,
             trace: false,
+            faults: None,
+            deterministic: false,
         }
     }
 }
@@ -247,6 +255,8 @@ impl SymPack {
         let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
         config.net = opts.net.clone();
         config.device_quota = opts.device_quota;
+        config.faults = opts.faults;
+        config.deterministic = opts.deterministic;
         let abort = Arc::new(AtomicBool::new(false));
         let opts2 = opts.clone();
         let report = Runtime::run(config, |rank| {
@@ -301,6 +311,7 @@ impl SymPack {
             let mut solves = Vec::with_capacity(bps.len());
             let mut solve_trace: Vec<sympack_trace::TraceEvent> = Vec::new();
             let mut solve_tasks: Vec<(String, u64)> = Vec::new();
+            let mut solve_error: Option<SolverError> = None;
             for bp in bps.iter() {
                 let solve_kernels = make_engine(&opts2);
                 let params = trisolve::SolveParams {
@@ -325,7 +336,15 @@ impl SymPack {
                         .map(|&(k, v)| (k.to_string(), v))
                         .collect();
                 }
+                solve_error = out.error.take();
                 let (mut x_map, mut solve_time) = (out.x, out.elapsed);
+                // A diagnosed solve stall aborts the job; every rank breaks
+                // out of the per-rhs loop together (the solve itself is
+                // collective, so the break points stay aligned).
+                if solve_error.is_some() || rank.job_aborted() {
+                    solves.push((solve_time, x_map.into_iter().collect()));
+                    break;
+                }
                 for _ in 0..opts2.refine_steps {
                     // Gather the permuted iterate, form r = b - A·x, solve
                     // the correction and add it in — classical iterative
@@ -367,7 +386,7 @@ impl SymPack {
             let mut tasks = facto_tasks;
             tasks.extend(solve_tasks);
             RankOut {
-                error: None,
+                error: solve_error,
                 factor_time,
                 solves,
                 counts: engine.kernels.counts,
@@ -443,6 +462,8 @@ impl SymPack {
         let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
         config.net = opts.net.clone();
         config.device_quota = opts.device_quota;
+        config.faults = opts.faults;
+        config.deterministic = opts.deterministic;
         let abort = Arc::new(AtomicBool::new(false));
         let opts2 = opts.clone();
         type BlockDump = Vec<((usize, usize), usize, usize, Vec<f64>)>;

@@ -39,6 +39,14 @@ impl sched::Signal for Signal {
     fn ptr(&self) -> GlobalPtr {
         self.ptr
     }
+
+    fn describe(&self) -> String {
+        if self.i == self.j {
+            format!("factored diagonal block L({},{})", self.i, self.j)
+        } else {
+            format!("factored panel block L({},{})", self.i, self.j)
+        }
+    }
 }
 
 /// Per-rank factorization engine. Installed as the rank's user state so the
@@ -169,8 +177,14 @@ impl FactoEngine {
                 rows,
                 cols,
             };
-            rank.rpc(d, move |target| {
-                target.with_state::<FactoEngine, _>(|_, st| st.rt.post(sig));
+            // Signals ride the droppable/duplicable path; the receiving
+            // inbox deduplicates (post_unique) and the stall detector
+            // diagnoses drops. try_with_state: a straggling duplicate may
+            // land after the factorization state is torn down.
+            rank.rpc_signal(d, move |target| {
+                target.try_with_state::<FactoEngine, _>(|_, st| {
+                    st.rt.post_unique(sig);
+                });
             });
         }
     }
@@ -286,11 +300,32 @@ impl FactoEngine {
     /// failed.
     pub fn run_to_completion(rank: &mut Rank, engine: FactoEngine) -> (FactoEngine, f64) {
         let start = rank.now();
-        let engine = sched::run_event_loop(rank, engine, |rank, st: &mut FactoEngine| {
-            // Run until we go idle, then re-poll.
-            while st.step(rank) {}
-            st.finished()
-        });
+        let engine = sched::run_event_loop(
+            rank,
+            engine,
+            |rank, st: &mut FactoEngine| {
+                // Run until we go idle, then re-poll.
+                while st.step(rank) {}
+                st.finished() || rank.job_aborted()
+            },
+            |rank, st| {
+                let (done, total) = (st.rt.done_count(), st.rt.total());
+                st.rt.fail(
+                    rank,
+                    SolverError::Stalled {
+                        rank: rank.id(),
+                        done,
+                        total,
+                        detail: "factorization quiesced with unfinished tasks \
+                                 (dropped signal suspected)"
+                            .into(),
+                    },
+                );
+            },
+        );
+        if !engine.rt.aborted() && !rank.job_aborted() {
+            engine.rt.debug_assert_completed();
+        }
         let elapsed = rank.now() - start;
         (engine, elapsed)
     }

@@ -48,7 +48,7 @@ pub use selinv::{selected_inverse, SelectedInverse};
 pub use taskgraph::{RtqPolicy, TaskKey};
 
 /// Errors surfaced by the solver.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum SolverError {
     /// The matrix is not positive definite; the offending column is given in
     /// the *permuted* ordering.
@@ -58,7 +58,33 @@ pub enum SolverError {
     },
     /// A device allocation failed and the OOM policy was
     /// [`sympack_gpu::OomPolicy::Abort`] (paper §4.2's strict fallback).
-    DeviceOom { requested: usize, available: usize },
+    DeviceOom {
+        requested: usize,
+        available: usize,
+        /// Which task/block the allocation served (for diagnosis).
+        context: String,
+    },
+    /// A one-sided get kept timing out and the bounded retry budget ran
+    /// out (only possible under network fault injection).
+    FetchTimeout {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Which task/block the fetch served.
+        context: String,
+    },
+    /// The quiescence detector diagnosed a stall: every rank went idle with
+    /// unfinished tasks and no messages in flight — the signature of a
+    /// dropped notification. Reported instead of hanging.
+    Stalled {
+        /// Rank that diagnosed the stall.
+        rank: usize,
+        /// Tasks that rank had executed.
+        done: usize,
+        /// Tasks that rank owns in total.
+        total: usize,
+        /// Engine-specific diagnosis.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SolverError {
@@ -67,9 +93,17 @@ impl std::fmt::Display for SolverError {
             SolverError::NotPositiveDefinite { column } => {
                 write!(f, "matrix is not positive definite (permuted column {column})")
             }
-            SolverError::DeviceOom { requested, available } => write!(
+            SolverError::DeviceOom { requested, available, context } => write!(
                 f,
-                "device allocation of {requested} bytes failed ({available} bytes free) with Abort policy"
+                "device allocation of {requested} bytes failed ({available} bytes free) with Abort policy while fetching {context}"
+            ),
+            SolverError::FetchTimeout { attempts, context } => write!(
+                f,
+                "one-sided get of {context} failed after {attempts} attempts (injected transient faults exhausted the retry budget)"
+            ),
+            SolverError::Stalled { rank, done, total, detail } => write!(
+                f,
+                "stall diagnosed on rank {rank} after {done}/{total} tasks: {detail}"
             ),
         }
     }

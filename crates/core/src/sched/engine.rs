@@ -2,12 +2,12 @@
 //! inbox, abort broadcast, virtual-clock accounting and tracer hooks.
 
 use super::queue::{ReadyQueue, RtqPolicy};
-use super::TaskKind;
+use super::{Signal, TaskKind};
 use crate::SolverError;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use sympack_pgas::Rank;
+use sympack_pgas::{GlobalPtr, Rank};
 use sympack_trace::Tracer;
 
 /// Mutable scheduling state of one task.
@@ -45,6 +45,12 @@ pub struct TaskEngine<K: TaskKind, S = ()> {
     abort: Arc<AtomicBool>,
     /// Optional task-timeline collector.
     pub tracer: Option<Tracer>,
+    /// Signal pointers already accepted: the inbox is idempotent, so a
+    /// duplicated `signal(ptr, meta)` delivery (network retry, fault
+    /// injection) is absorbed instead of double-decrementing dependants.
+    seen_signals: HashSet<GlobalPtr>,
+    /// Tasks that have executed — the exactly-once invariant checker.
+    executed: HashSet<K>,
 }
 
 impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
@@ -73,6 +79,8 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
             error: None,
             abort,
             tracer: None,
+            seen_signals: HashSet::new(),
+            executed: HashSet::new(),
         }
     }
 
@@ -116,6 +124,10 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
 
     /// Decrement one dependency of `key`; move it to the RTQ at zero.
     pub fn dec(&mut self, key: K, ready_at: f64) {
+        debug_assert!(
+            !self.executed.contains(&key),
+            "dependency decrement of already-executed task {key:?}"
+        );
         let st = self.tasks.get_mut(&key).expect("task exists");
         debug_assert!(st.deps > 0, "over-decrement of {key:?}");
         st.deps -= 1;
@@ -164,8 +176,45 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
 
     /// Mark a task executed (progress + per-kind accounting).
     pub fn complete(&mut self, key: K) {
+        if cfg!(debug_assertions) {
+            debug_assert!(
+                self.executed.insert(key),
+                "task {key:?} executed more than once"
+            );
+            debug_assert!(
+                self.tasks.contains_key(&key),
+                "completed task {key:?} was never inserted"
+            );
+        }
         self.done += 1;
         *self.counts.entry(key.kind_name()).or_insert(0) += 1;
+    }
+
+    /// Invariant check at a clean finish (debug builds): every inserted
+    /// task executed exactly once and no dependency counter is dangling.
+    /// Call only when the engine finished *without* aborting.
+    pub fn debug_assert_completed(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        debug_assert_eq!(
+            self.done, self.total,
+            "engine finished with {}/{} tasks executed",
+            self.done, self.total
+        );
+        debug_assert_eq!(
+            self.executed.len(),
+            self.total,
+            "execution multiset does not match the task table"
+        );
+        for (k, st) in &self.tasks {
+            debug_assert!(
+                st.deps == 0,
+                "task {k:?} still has {} outstanding dependencies",
+                st.deps
+            );
+            debug_assert!(self.executed.contains(k), "task {k:?} never executed");
+        }
     }
 
     /// Executed-task totals per kind, in stable (sorted) order.
@@ -206,6 +255,10 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
             self.error = Some(err);
         }
         self.abort.store(true, Ordering::SeqCst);
+        // Job-level abort: reaches every rank even when engines hold
+        // per-rank abort flags, and cannot itself be dropped by fault
+        // injection (it is not a signal).
+        rank.signal_abort();
         let n = rank.n_ranks();
         let me = rank.id();
         for r in (0..n).filter(|&r| r != me) {
@@ -223,6 +276,23 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
     /// [`drain_signals`](super::drain_signals)).
     pub fn take_signals(&mut self) -> Vec<S> {
         std::mem::take(&mut self.inbox)
+    }
+}
+
+impl<K: TaskKind, S: Signal> TaskEngine<K, S> {
+    /// Idempotent [`post`](Self::post): accept the signal only on first
+    /// delivery, keyed by its global pointer (each advertised block gets a
+    /// fresh shared-heap allocation, so the pointer identifies the
+    /// notification). Returns whether the signal was accepted. Duplicate
+    /// deliveries — fault-injected or from a retrying network — are
+    /// dropped here, keeping dependency decrements exactly-once.
+    pub fn post_unique(&mut self, signal: S) -> bool {
+        if self.seen_signals.insert(signal.ptr()) {
+            self.inbox.push(signal);
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -309,5 +379,70 @@ mod tests {
         e.post(9);
         assert_eq!(e.take_signals(), vec![7, 9]);
         assert!(e.take_signals().is_empty());
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Sig(GlobalPtr);
+
+    impl Signal for Sig {
+        fn ptr(&self) -> GlobalPtr {
+            self.0
+        }
+    }
+
+    fn ptr_at(offset: usize) -> GlobalPtr {
+        GlobalPtr {
+            rank: 0,
+            seg: 1,
+            offset,
+            len: 4,
+            kind: sympack_pgas::MemKind::Host,
+        }
+    }
+
+    #[test]
+    fn post_unique_absorbs_duplicate_deliveries() {
+        let mut e: TaskEngine<T, Sig> =
+            TaskEngine::new(RtqPolicy::Lifo, Arc::new(AtomicBool::new(false)));
+        assert!(e.post_unique(Sig(ptr_at(0))));
+        assert!(!e.post_unique(Sig(ptr_at(0))), "duplicate must be dropped");
+        assert!(e.post_unique(Sig(ptr_at(8))), "distinct pointer accepted");
+        assert_eq!(e.take_signals().len(), 2);
+        // Draining does not forget: a straggler duplicate arriving after
+        // the original was resolved is still absorbed.
+        assert!(!e.post_unique(Sig(ptr_at(0))));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "executed more than once")]
+    fn invariant_checker_catches_double_execution() {
+        let mut e = engine();
+        e.insert_task(T(0), 0);
+        e.complete(T(0));
+        e.complete(T(0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "decrement of already-executed")]
+    fn invariant_checker_catches_dec_after_execute() {
+        let mut e = engine();
+        e.insert_task(T(0), 1);
+        e.dec(T(0), 0.0);
+        e.complete(T(0));
+        e.dec(T(0), 0.0);
+    }
+
+    #[test]
+    fn debug_assert_completed_passes_on_clean_finish() {
+        let mut e = engine();
+        e.insert_task(T(0), 0);
+        e.insert_task(T(1), 1);
+        e.seed_ready();
+        e.complete(T(0));
+        e.dec(T(1), 1.0);
+        e.complete(T(1));
+        e.debug_assert_completed();
     }
 }

@@ -58,9 +58,21 @@ impl FetchConfig {
     }
 }
 
+/// Bounded retry budget for transiently failing one-sided gets (fault
+/// injection): the first attempt plus this many retries.
+pub const MAX_FETCH_ATTEMPTS: u32 = 5;
+
+/// Initial retry backoff (virtual seconds), doubling per attempt.
+const FETCH_BACKOFF_BASE: f64 = 10.0e-6;
+
 /// Fetch the payload behind `ptr` according to `cfg`. Returns the data and
 /// the virtual time at which it is valid. This is the only
 /// `rget`/device-copy resolution path in the solver.
+///
+/// Under fault injection an rget attempt may time out transiently; the
+/// fetch retries with bounded exponential backoff (charged to the virtual
+/// clock) and surfaces [`SolverError::FetchTimeout`] when the budget runs
+/// out — the caller routes that into the abort broadcast.
 pub fn fetch(
     rank: &mut Rank,
     ptr: &GlobalPtr,
@@ -85,12 +97,33 @@ pub fn fetch(
                     return Err(SolverError::DeviceOom {
                         requested,
                         available,
+                        context: String::new(),
                     });
                 }
             },
         }
     }
-    let h = rank.rget(ptr);
+    let mut backoff = FETCH_BACKOFF_BASE;
+    let mut handle = None;
+    for _attempt in 0..MAX_FETCH_ATTEMPTS {
+        match rank.try_rget(ptr) {
+            Some(h) => {
+                handle = Some(h);
+                break;
+            }
+            None => {
+                // Transient timeout: wait out the backoff window and retry.
+                rank.advance(backoff);
+                backoff *= 2.0;
+            }
+        }
+    }
+    let Some(h) = handle else {
+        return Err(SolverError::FetchTimeout {
+            attempts: MAX_FETCH_ATTEMPTS,
+            context: String::new(),
+        });
+    };
     match cfg.mode {
         FetchMode::NonBlocking => {
             let ready = h.ready_at;
@@ -107,7 +140,9 @@ pub fn fetch(
 /// Resolve a batch of queued signals into data movement: the shared drain
 /// loop behind every engine's inbox. `handle` receives the signal, its
 /// payload and the payload's validity time. Stops at the first fetch
-/// failure (remaining signals are dropped — the job is aborting).
+/// failure (remaining signals are dropped — the job is aborting); the
+/// failing signal's [`Signal::describe`] labels the error so the report
+/// names the task/column that died.
 pub fn drain_signals<S, F>(
     rank: &mut Rank,
     signals: Vec<S>,
@@ -119,8 +154,30 @@ where
     F: FnMut(&mut Rank, S, Vec<f64>, f64),
 {
     for s in signals {
-        let (data, ready_at) = fetch(rank, &s.ptr(), cfg)?;
-        handle(rank, s, data, ready_at);
+        match fetch(rank, &s.ptr(), cfg) {
+            Ok((data, ready_at)) => handle(rank, s, data, ready_at),
+            Err(err) => return Err(with_context(err, s.describe())),
+        }
     }
     Ok(())
+}
+
+/// Attach a signal's description to a fetch error's context slot.
+fn with_context(err: SolverError, ctx: String) -> SolverError {
+    match err {
+        SolverError::DeviceOom {
+            requested,
+            available,
+            ..
+        } => SolverError::DeviceOom {
+            requested,
+            available,
+            context: ctx,
+        },
+        SolverError::FetchTimeout { attempts, .. } => SolverError::FetchTimeout {
+            attempts,
+            context: ctx,
+        },
+        other => other,
+    }
 }

@@ -66,6 +66,42 @@ pub trait TaskKind: Copy + Eq + std::hash::Hash + std::fmt::Debug + Send + 'stat
 pub trait Signal: Copy + Send + 'static {
     /// Shared-heap location of the advertised payload.
     fn ptr(&self) -> GlobalPtr;
+
+    /// Human-readable name of the advertised block/task, used to label
+    /// fetch failures ("which column died?").
+    fn describe(&self) -> String {
+        let p = self.ptr();
+        format!("block at rank {} seg {} offset {}", p.rank, p.seg, p.offset)
+    }
+}
+
+/// Why a polling loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopExit {
+    /// The body reported completion.
+    Finished,
+    /// The quiescence detector fired: nothing executed, no clock moved and
+    /// no message was sent anywhere in the job for the detection window,
+    /// yet the body still reports unfinished work. Under fault injection
+    /// this is the signature of a dropped signal.
+    Stalled,
+}
+
+/// Idle polls (with no global activity) before the quiescence detector
+/// declares a stall. In deterministic lockstep mode every idle poll hands
+/// the turn around the whole rotation, so a short window is conclusive; in
+/// free-running mode the window must out-wait OS scheduling noise.
+fn stall_threshold(rank: &Rank) -> Option<u64> {
+    if rank.deterministic() {
+        Some(64)
+    } else if rank.faults_active() {
+        Some(2_000_000)
+    } else {
+        // No faults, free-running: preserve the original never-give-up
+        // semantics (nothing can be dropped, so quiescence implies a bug
+        // that the test suite would catch as a hang, not a silent pass).
+        None
+    }
 }
 
 /// The event loop every engine runs: poll the runtime, let the engine work,
@@ -75,30 +111,76 @@ pub trait Signal: Copy + Send + 'static {
 /// The engine must already be installed as the rank's user state (so RPC
 /// closures can reach it); this is the *only* progress/poll loop definition
 /// in the solver.
-pub fn poll_until<E, F>(rank: &mut Rank, mut body: F)
+pub fn poll_until<E, F>(rank: &mut Rank, body: F)
 where
     E: Send + 'static,
     F: FnMut(&mut Rank, &mut E) -> bool,
 {
+    let exit = poll_until_or_stall::<E, F>(rank, body);
+    debug_assert_eq!(exit, LoopExit::Finished, "unhandled stall");
+}
+
+/// Stall-aware [`poll_until`]: returns [`LoopExit::Stalled`] instead of
+/// spinning forever when the whole job has quiesced with unfinished work.
+pub fn poll_until_or_stall<E, F>(rank: &mut Rank, mut body: F) -> LoopExit
+where
+    E: Send + 'static,
+    F: FnMut(&mut Rank, &mut E) -> bool,
+{
+    let threshold = stall_threshold(rank);
+    let mut idle: u64 = 0;
+    let mut last_activity = rank.global_activity();
     loop {
-        rank.progress();
+        let executed = rank.progress();
+        let clock_before = rank.now();
         let finished = rank.with_state::<E, _>(|rank, st| body(rank, st));
         if finished {
-            break;
+            return LoopExit::Finished;
         }
-        std::thread::yield_now();
+        let activity = rank.global_activity();
+        if executed > 0 || activity != last_activity || rank.now() > clock_before {
+            idle = 0;
+            last_activity = activity;
+        } else if let Some(limit) = threshold {
+            idle += 1;
+            if idle >= limit && rank.rpc_queue_empty() {
+                return LoopExit::Stalled;
+            }
+        }
+        if !rank.deterministic() {
+            std::thread::yield_now();
+        }
     }
 }
 
-/// Install `engine` as the rank's user state, run [`poll_until`] with
-/// `body`, synchronize on a barrier, and hand the engine back.
-pub fn run_event_loop<E, F>(rank: &mut Rank, engine: E, body: F) -> E
+/// Install `engine` as the rank's user state, poll with `body` until it
+/// reports completion, synchronize on a barrier, and hand the engine back.
+///
+/// When the quiescence detector diagnoses a stall, `on_stall` runs once per
+/// detection with the rank and engine; it is expected to record a
+/// [`crate::SolverError::Stalled`] and abort the job (which makes `body`
+/// report completion). The loop never hangs and never silently succeeds.
+pub fn run_event_loop<E, F, G>(rank: &mut Rank, engine: E, mut body: F, mut on_stall: G) -> E
 where
     E: Send + 'static,
     F: FnMut(&mut Rank, &mut E) -> bool,
+    G: FnMut(&mut Rank, &mut E),
 {
     rank.set_state(engine);
-    poll_until::<E, F>(rank, body);
+    let mut stall_rounds = 0;
+    loop {
+        match poll_until_or_stall::<E, _>(rank, &mut body) {
+            LoopExit::Finished => break,
+            LoopExit::Stalled => {
+                stall_rounds += 1;
+                assert!(
+                    stall_rounds < 16,
+                    "stall handler failed to terminate the event loop"
+                );
+                rank.with_state::<E, _>(|rank, st| on_stall(rank, st));
+            }
+        }
+    }
     rank.barrier();
     rank.take_state::<E>()
 }

@@ -21,8 +21,9 @@
 //! factorization uses.
 
 use crate::map2d::ProcGrid;
-use crate::sched::{self, RtqPolicy, TaskEngine, TaskKind};
+use crate::sched::{self, LoopExit, RtqPolicy, TaskEngine, TaskKind};
 use crate::storage::BlockStore;
+use crate::SolverError;
 use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -488,6 +489,8 @@ pub struct SolveOutcome {
     pub trace: Vec<TraceEvent>,
     /// Executed solve tasks per kind on this rank.
     pub task_counts: Vec<(&'static str, u64)>,
+    /// Error observed during the solve (diagnosed stall, abort).
+    pub error: Option<SolverError>,
 }
 
 /// Run the distributed solve. `store` holds this rank's factor blocks; `bp`
@@ -509,8 +512,14 @@ pub fn solve(
     // Forward sweep.
     run_phase(rank, store, Phase::Forward);
     rank.barrier();
-    // Backward sweep.
-    rank.with_state::<SolveEngine, _>(|rank, st| st.bwd_init(rank));
+    // Backward sweep. When the forward sweep aborted (anywhere in the job),
+    // this rank may be missing y pieces — skip the seed; the phase loop
+    // exits immediately on the sticky abort.
+    rank.with_state::<SolveEngine, _>(|rank, st| {
+        if !st.rt.aborted() && !rank.job_aborted() {
+            st.bwd_init(rank);
+        }
+    });
     run_phase(rank, store, Phase::Backward);
     rank.barrier();
     let mut st = rank.take_state::<SolveEngine>();
@@ -520,11 +529,15 @@ pub fn solve(
         .take()
         .map(sympack_trace::Tracer::into_events)
         .unwrap_or_default();
+    if st.rt.error.is_none() && !st.rt.aborted() && !rank.job_aborted() {
+        st.rt.debug_assert_completed();
+    }
     SolveOutcome {
         x: st.x,
         elapsed: rank.now() - start,
         trace,
         task_counts: st.rt.task_counts(),
+        error: st.rt.error.take(),
     }
 }
 
@@ -546,7 +559,11 @@ pub fn allgather_solution(
     rank.set_state(Gather {
         pieces: x_map.iter().map(|(k, v)| (*k, v.clone())).collect(),
     });
-    for (&sn, piece) in x_map {
+    // Send in supernode order: hash-map iteration order must not leak into
+    // the receivers' virtual clocks (bit-determinism of the makespan).
+    let mut owned: Vec<(&usize, &Vec<f64>)> = x_map.iter().collect();
+    owned.sort_by_key(|(sn, _)| **sn);
+    for (&sn, piece) in owned {
         for dest in (0..n_ranks).filter(|&d| d != me) {
             let payload = piece.clone();
             let cell = std::sync::Mutex::new(Some((sn, payload)));
@@ -574,15 +591,41 @@ enum Phase {
 }
 
 fn run_phase(rank: &mut Rank, store: &BlockStore, phase: Phase) {
-    sched::poll_until::<SolveEngine, _>(rank, |rank, st| {
-        st.pump(rank, store);
-        let msgs = st.rt.take_signals();
-        for msg in msgs {
-            st.handle(rank, msg);
+    let mut stall_rounds = 0;
+    loop {
+        let exit = sched::poll_until_or_stall::<SolveEngine, _>(rank, |rank, st| {
+            st.pump(rank, store);
+            let msgs = st.rt.take_signals();
+            for msg in msgs {
+                st.handle(rank, msg);
+            }
+            st.pump(rank, store);
+            st.phase_done(phase) || st.rt.aborted() || rank.job_aborted()
+        });
+        match exit {
+            LoopExit::Finished => break,
+            LoopExit::Stalled => {
+                stall_rounds += 1;
+                assert!(stall_rounds < 16, "solve stall handler failed to abort");
+                rank.with_state::<SolveEngine, _>(|rank, st| {
+                    let (done, total) = (st.rt.done_count(), st.rt.total());
+                    let which = match phase {
+                        Phase::Forward => "forward",
+                        Phase::Backward => "backward",
+                    };
+                    st.rt.fail(
+                        rank,
+                        SolverError::Stalled {
+                            rank: rank.id(),
+                            done,
+                            total,
+                            detail: format!("{which} solve sweep quiesced with unfinished tasks"),
+                        },
+                    );
+                });
+            }
         }
-        st.pump(rank, store);
-        st.phase_done(phase)
-    });
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,159 @@
+//! Property tests for [`sympack::sched::ReadyQueue`].
+//!
+//! Randomized over a house xorshift64* generator (the workspace carries no
+//! external crates, so no proptest): for arbitrary push sequences, every
+//! policy must pop a permutation of what was pushed, `CriticalPath` must
+//! pop in non-decreasing `priority_key` order, and the popped *multiset*
+//! must be identical across policies — the policy chooses an order, never
+//! the set of work that runs.
+
+use sympack::sched::{ReadyQueue, RtqPolicy, TaskKind};
+use sympack_trace::TraceCat;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct T(usize);
+
+impl TaskKind for T {
+    fn priority_key(&self) -> (usize, usize) {
+        (self.0, 0)
+    }
+    fn seed_key(&self) -> (usize, usize, usize, usize) {
+        (self.0, 0, 0, 0)
+    }
+    fn kind_name(&self) -> &'static str {
+        "t"
+    }
+    fn trace_label(&self) -> String {
+        format!("T({})", self.0)
+    }
+    fn trace_cat(&self) -> TraceCat {
+        TraceCat::Other
+    }
+}
+
+/// xorshift64* — deterministic per seed, no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+const POLICIES: [RtqPolicy; 3] = [RtqPolicy::Lifo, RtqPolicy::Fifo, RtqPolicy::CriticalPath];
+
+/// A random push sequence (duplicates included: ties exercise the
+/// `CriticalPath` first-minimum rule).
+fn random_pushes(rng: &mut Rng) -> Vec<T> {
+    let len = rng.below(32);
+    (0..len).map(|_| T(rng.below(10))).collect()
+}
+
+fn drain(mut q: ReadyQueue<T>) -> Vec<T> {
+    let mut out = Vec::new();
+    while let Some(t) = q.pop() {
+        out.push(t);
+    }
+    out
+}
+
+#[test]
+fn every_policy_pops_a_permutation_of_the_pushes() {
+    for case in 0..40u64 {
+        let mut rng = Rng::new(case);
+        let pushes = random_pushes(&mut rng);
+        for policy in POLICIES {
+            let mut q = ReadyQueue::new(policy);
+            for &t in &pushes {
+                q.push(t);
+            }
+            assert_eq!(q.len(), pushes.len());
+            let popped = drain(q);
+            let mut want = pushes.clone();
+            let mut got = popped.clone();
+            want.sort_by_key(|t| t.0);
+            got.sort_by_key(|t| t.0);
+            assert_eq!(
+                got, want,
+                "case {case} {policy:?}: popped {popped:?} is not a permutation of {pushes:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn critical_path_pops_in_priority_order() {
+    for case in 0..40u64 {
+        let mut rng = Rng::new(0xC0FFEE ^ case);
+        let pushes = random_pushes(&mut rng);
+        let mut q = ReadyQueue::new(RtqPolicy::CriticalPath);
+        for &t in &pushes {
+            q.push(t);
+        }
+        let popped = drain(q);
+        for w in popped.windows(2) {
+            assert!(
+                w[0].priority_key() <= w[1].priority_key(),
+                "case {case}: {:?} popped before {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaved_push_pop_never_changes_the_popped_set() {
+    // Interleave pushes and pops under a shared random script; across
+    // policies the union of popped + left-over tasks must be the same
+    // multiset (and all pushed tasks must be accounted for exactly once).
+    for case in 0..40u64 {
+        let mut rng = Rng::new(0xDEAD_BEEF ^ case);
+        let script: Vec<Option<T>> = (0..48)
+            .map(|_| {
+                if rng.below(3) < 2 {
+                    Some(T(rng.below(10)))
+                } else {
+                    None // a pop
+                }
+            })
+            .collect();
+        let mut outcomes: Vec<Vec<T>> = Vec::new();
+        for policy in POLICIES {
+            let mut q = ReadyQueue::new(policy);
+            let mut seen = Vec::new();
+            for step in &script {
+                match step {
+                    Some(t) => q.push(*t),
+                    None => {
+                        if let Some(t) = q.pop() {
+                            seen.push(t);
+                        } else {
+                            assert!(q.is_empty());
+                        }
+                    }
+                }
+            }
+            seen.extend(drain(q));
+            seen.sort_by_key(|t| t.0);
+            outcomes.push(seen);
+        }
+        let mut pushed: Vec<T> = script.iter().flatten().copied().collect();
+        pushed.sort_by_key(|t| t.0);
+        for (policy, seen) in POLICIES.iter().zip(&outcomes) {
+            assert_eq!(
+                seen, &pushed,
+                "case {case} {policy:?}: tasks lost or invented by the queue"
+            );
+        }
+    }
+}

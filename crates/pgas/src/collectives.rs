@@ -10,6 +10,12 @@
 //! Collectives temporarily use the rank's user-state slot; any state the
 //! caller installed is stashed and restored around the call, so they may be
 //! invoked between solver phases.
+//!
+//! Messages carry no collective tag, so two *independent* collectives must
+//! not overlap: separate back-to-back calls with a [`Rank::barrier`] (or a
+//! data dependency, as [`allreduce`] has internally), or a fast root's
+//! message for the second collective can be consumed — and then discarded —
+//! by a rank still inside the first.
 
 use crate::rank::Rank;
 
@@ -242,6 +248,85 @@ mod tests {
         });
         for r in &report.results {
             assert_eq!(r, &vec![7.5]); // max id 5 * 1.5
+        }
+    }
+
+    #[test]
+    fn broadcast_at_odd_rank_counts_and_roots() {
+        // Non-power-of-two trees have ragged bottom levels; sweep odd rank
+        // counts with the root at every position.
+        for n in [3usize, 5, 7] {
+            for root in 0..n {
+                let report = Runtime::run(PgasConfig::single_node(n), move |rank| {
+                    let data = if rank.id() == root {
+                        Some(vec![root as f64, n as f64])
+                    } else {
+                        None
+                    };
+                    broadcast(rank, root, data)
+                });
+                for r in &report.results {
+                    assert_eq!(r, &vec![root as f64, n as f64], "n={n} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_at_odd_rank_counts_and_roots() {
+        for n in [3usize, 5, 6, 7] {
+            for root in [0, n - 1] {
+                let report = Runtime::run(PgasConfig::single_node(n), move |rank| {
+                    reduce(rank, root, vec![rank.id() as f64], |a, b| a + b)
+                });
+                let want = (0..n).sum::<usize>() as f64;
+                for (id, r) in report.results.iter().enumerate() {
+                    if id == root {
+                        assert_eq!(r, &Some(vec![want]), "n={n} root={root}");
+                    } else {
+                        assert!(r.is_none(), "n={n} root={root} id={id}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_agrees_at_non_power_of_two_counts() {
+        for n in [3usize, 5, 6, 7] {
+            let report = Runtime::run(PgasConfig::single_node(n), |rank| {
+                allreduce(rank, vec![rank.id() as f64, 1.0], |a, b| a + b)
+            });
+            let want = vec![(0..n).sum::<usize>() as f64, n as f64];
+            for r in &report.results {
+                assert_eq!(r, &want, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn collective_virtual_time_is_monotone() {
+        // Every rank's clock must move strictly forward through a chain of
+        // collectives, and a multi-rank collective must charge at least one
+        // network-latency hop somewhere (never time-travel, never free).
+        for n in [3usize, 5, 7] {
+            let report = Runtime::run(PgasConfig::single_node(n), |rank| {
+                let t0 = rank.now();
+                let _ = allreduce(rank, vec![1.0], |a, b| a + b);
+                let t1 = rank.now();
+                // Independent collectives must not overlap (see module
+                // docs): fence before the standalone broadcast.
+                rank.barrier();
+                let _ = broadcast(rank, 0, (rank.id() == 0).then(|| vec![2.0; 256]));
+                let t2 = rank.now();
+                (t0, t1, t2)
+            });
+            let mut max_t1 = 0.0f64;
+            for &(t0, t1, t2) in &report.results {
+                assert!(t0 <= t1 && t1 <= t2, "n={n}: clock went backwards");
+                max_t1 = max_t1.max(t1);
+            }
+            assert!(max_t1 > 0.0, "n={n}: allreduce charged no virtual time");
         }
     }
 

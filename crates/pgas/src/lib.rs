@@ -28,6 +28,7 @@
 //!   memory, extra legs + latency), reproducing the paper's Fig. 5 contrast.
 
 pub mod collectives;
+pub mod faults;
 pub mod netmodel;
 pub mod ptr;
 pub mod rank;
@@ -37,6 +38,7 @@ pub mod stats;
 pub mod sync;
 
 pub use collectives::{allreduce, broadcast, reduce};
+pub use faults::FaultPlan;
 pub use netmodel::{MemKindsMode, NetModel};
 pub use ptr::{GlobalPtr, MemKind};
 pub use rank::{PgasError, Rank, RgetHandle};

@@ -92,6 +92,8 @@ pub struct Rank {
     shared: Arc<Shared>,
     clock: f64,
     barrier_count: usize,
+    /// Monotone counter feeding the fault plan's per-op decisions.
+    fault_ctr: u64,
     user_state: Option<Box<dyn Any + Send>>,
 }
 
@@ -102,6 +104,7 @@ impl Rank {
             shared,
             clock: 0.0,
             barrier_count: 0,
+            fault_ctr: 0,
             user_state: None,
         }
     }
@@ -131,6 +134,43 @@ impl Rank {
         &self.shared.config.net
     }
 
+    /// True when the runtime is in deterministic lockstep mode.
+    pub fn deterministic(&self) -> bool {
+        self.shared.config.deterministic
+    }
+
+    /// True when a fault-injection plan is active for this job.
+    pub fn faults_active(&self) -> bool {
+        self.shared.config.faults.is_some()
+    }
+
+    // ----- quiescence + abort -----
+
+    /// Current value of the job-wide activity counter: it changes whenever
+    /// any rank sends, executes, or advances its clock. A polling loop that
+    /// sees no change (and no local progress) for long enough may conclude
+    /// the job is stalled rather than slow.
+    pub fn global_activity(&self) -> u64 {
+        self.shared.activity.load(Ordering::SeqCst)
+    }
+
+    fn bump_activity(&self) {
+        self.shared.activity.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Raise the job-wide abort flag; every rank observes it via
+    /// [`Rank::job_aborted`]. Used to terminate all event loops after a
+    /// fatal per-rank error.
+    pub fn signal_abort(&self) {
+        self.shared.abort.store(true, Ordering::SeqCst);
+        self.bump_activity();
+    }
+
+    /// True once any rank has called [`Rank::signal_abort`].
+    pub fn job_aborted(&self) -> bool {
+        self.shared.abort.load(Ordering::SeqCst)
+    }
+
     // ----- virtual time -----
 
     /// Current virtual time (seconds).
@@ -141,13 +181,34 @@ impl Rank {
     /// Advance the clock by `dt` seconds of local work.
     pub fn advance(&mut self, dt: f64) {
         debug_assert!(dt >= 0.0);
+        if dt > 0.0 {
+            self.bump_activity();
+        }
         self.clock += dt;
     }
 
     /// Advance the clock to at least `t` (no-op if already past).
     pub fn advance_to(&mut self, t: f64) {
         if t > self.clock {
+            self.bump_activity();
             self.clock = t;
+        }
+    }
+
+    // ----- fault injection -----
+
+    /// Take the next fault-op counter value (monotone per rank).
+    fn next_fault_op(&mut self) -> u64 {
+        let c = self.fault_ctr;
+        self.fault_ctr += 1;
+        c
+    }
+
+    /// Injected delay for the next message op (0.0 without faults).
+    fn fault_delay(&mut self, ctr: u64) -> f64 {
+        match &self.shared.config.faults {
+            Some(plan) => plan.delay(self.id, ctr),
+            None => 0.0,
         }
     }
 
@@ -218,6 +279,33 @@ impl Rank {
         }
     }
 
+    /// Fault-aware [`Rank::rget`]: under an active [`crate::FaultPlan`] the
+    /// attempt may time out transiently (returning `None` after charging
+    /// the wasted timeout window) or suffer an injected delay spike. The
+    /// caller is expected to retry with bounded backoff and surface a
+    /// diagnosed error when retries are exhausted. Without faults this is
+    /// exactly `Some(self.rget(ptr))`.
+    pub fn try_rget(&mut self, ptr: &GlobalPtr) -> Option<RgetHandle> {
+        let Some(plan) = self.shared.config.faults else {
+            return Some(self.rget(ptr));
+        };
+        let ctr = self.next_fault_op();
+        if plan.rget_times_out(self.id, ctr) {
+            // The initiator pays the issue overhead plus the timeout window
+            // it spent waiting before giving up on this attempt.
+            self.advance(ISSUE_OVERHEAD + plan.delay_secs.max(10.0e-6));
+            self.shared
+                .stats
+                .rget_timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let spike = plan.delay(self.id, ctr);
+        let mut h = self.rget(ptr);
+        h.ready_at += spike;
+        Some(h)
+    }
+
     /// Non-blocking one-sided put of `data` into `ptr`. Returns the virtual
     /// completion time (remote visibility).
     pub fn rput(&mut self, data: &[f64], ptr: &GlobalPtr) -> f64 {
@@ -267,10 +355,64 @@ impl Rank {
     /// Send an RPC: `func` runs on rank `target` the next time it calls
     /// [`Rank::progress`], no earlier (in virtual time) than the network
     /// delivery time.
+    ///
+    /// Reliable even under fault injection (only delay spikes apply):
+    /// control messages that cannot be made idempotent — abort broadcasts,
+    /// solve-phase payload handoffs — use this path.
     pub fn rpc(&mut self, target: usize, func: impl FnOnce(&mut Rank) + Send + 'static) {
         self.clock += ISSUE_OVERHEAD;
-        let ready_at = self.clock + self.net().rpc_time(self.same_node(target));
+        let ctr = self.next_fault_op();
+        let ready_at =
+            self.clock + self.net().rpc_time(self.same_node(target)) + self.fault_delay(ctr);
         self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.bump_activity();
+        self.shared.rpc_queues[target].push(RpcMsg {
+            ready_at,
+            func: Box::new(func),
+        });
+    }
+
+    /// Send a *signal* RPC — the paper's `signal(ptr, meta)` notification.
+    /// Signals are the drop/duplicate-eligible path under fault injection:
+    /// the receiver's inbox must deduplicate (the closure is `Fn + Clone`
+    /// so a duplicate really is delivered twice), and the task runtime's
+    /// stall detector must diagnose a dropped one. Without a fault plan
+    /// this behaves exactly like [`Rank::rpc`].
+    pub fn rpc_signal(&mut self, target: usize, func: impl Fn(&mut Rank) + Send + Clone + 'static) {
+        self.clock += ISSUE_OVERHEAD;
+        let base = self.clock + self.net().rpc_time(self.same_node(target));
+        let Some(plan) = self.shared.config.faults else {
+            self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+            self.bump_activity();
+            self.shared.rpc_queues[target].push(RpcMsg {
+                ready_at: base,
+                func: Box::new(func),
+            });
+            return;
+        };
+        let ctr = self.next_fault_op();
+        if plan.drops_signal(self.id, ctr) {
+            self.shared
+                .stats
+                .rpcs_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let ready_at = base + plan.delay(self.id, ctr);
+        self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.bump_activity();
+        if plan.duplicates_signal(self.id, ctr) {
+            self.shared
+                .stats
+                .rpcs_duplicated
+                .fetch_add(1, Ordering::Relaxed);
+            let dup = func.clone();
+            // The ghost copy arrives strictly later, as a straggler would.
+            self.shared.rpc_queues[target].push(RpcMsg {
+                ready_at: ready_at + plan.delay_secs.max(1.0e-6),
+                func: Box::new(dup),
+            });
+        }
         self.shared.rpc_queues[target].push(RpcMsg {
             ready_at,
             func: Box::new(func),
@@ -288,12 +430,15 @@ impl Rank {
     ) {
         self.clock += ISSUE_OVERHEAD;
         let same_node = self.same_node(target);
+        let ctr = self.next_fault_op();
         let ready_at = self.clock
             + self.net().rpc_time(same_node)
             + self
                 .net()
-                .transfer_time(payload_bytes, same_node, MemKind::Host, MemKind::Host);
+                .transfer_time(payload_bytes, same_node, MemKind::Host, MemKind::Host)
+            + self.fault_delay(ctr);
         self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.bump_activity();
         self.shared
             .stats
             .record_transfer(payload_bytes, same_node, false);
@@ -307,6 +452,13 @@ impl Rank {
     /// return how many ran. The UPC++ `progress()` analogue; the paper's
     /// poll function dispatches to this.
     pub fn progress(&mut self) -> usize {
+        // In lockstep mode every progress call is a scheduling point: hand
+        // the turn around the rotation *before* draining, so whatever the
+        // other ranks send this round is in our queue when we drain it —
+        // the interleaving becomes a pure function of the program.
+        if let Some(ts) = &self.shared.turnstile {
+            ts.pass(self.id);
+        }
         let mut msgs = Vec::new();
         while let Some(m) = self.shared.rpc_queues[self.id].pop() {
             msgs.push(m);
@@ -316,6 +468,7 @@ impl Rank {
         }
         msgs.sort_by(|a, b| a.ready_at.total_cmp(&b.ready_at));
         let n = msgs.len();
+        self.bump_activity();
         for m in msgs {
             self.advance_to(m.ready_at);
             (m.func)(self);
@@ -356,6 +509,27 @@ impl Rank {
         r
     }
 
+    /// Like [`Rank::with_state`], but a no-op returning `None` when no
+    /// state — or state of a different type — is installed. Signal-delivery
+    /// closures use this: under fault injection a duplicated (or abandoned,
+    /// after a job abort) signal may be drained only after its phase's
+    /// engine state was torn down, and such stragglers are ignorable by
+    /// construction — the idempotent inbox would absorb them anyway.
+    pub fn try_with_state<T: Send + 'static, R>(
+        &mut self,
+        f: impl FnOnce(&mut Rank, &mut T) -> R,
+    ) -> Option<R> {
+        let mut boxed = self.user_state.take()?;
+        if boxed.downcast_mut::<T>().is_none() {
+            self.user_state = Some(boxed);
+            return None;
+        }
+        let state = boxed.downcast_mut::<T>().expect("checked above");
+        let r = f(self, state);
+        self.user_state = Some(boxed);
+        Some(r)
+    }
+
     /// Remove whatever user state is installed (any type), for callers that
     /// need the slot temporarily (collectives). Pair with
     /// [`Rank::restore_state`].
@@ -383,6 +557,12 @@ impl Rank {
     /// Barrier across all ranks: physical synchronization plus virtual-clock
     /// agreement (every rank leaves with the maximum clock).
     pub fn barrier(&mut self) {
+        // Lockstep mode: park in the turnstile first, handing the turn to a
+        // rank still short of the barrier (otherwise the physical barrier
+        // below would deadlock with everyone waiting for a parked rank).
+        if let Some(ts) = &self.shared.turnstile {
+            ts.barrier_enter(self.id);
+        }
         let slot = self.barrier_count % 2;
         self.barrier_count += 1;
         self.shared.clock_max[slot].fetch_max(self.clock.to_bits(), Ordering::SeqCst);
@@ -391,6 +571,10 @@ impl Rank {
         self.shared.barrier.wait();
         if self.id == 0 {
             self.shared.clock_max[slot].store(0, Ordering::SeqCst);
+        }
+        // Resume the rotation from the lowest live rank.
+        if let Some(ts) = &self.shared.turnstile {
+            ts.wait_turn(self.id);
         }
     }
 }

@@ -1,12 +1,13 @@
 //! Runtime construction: spawn ranks, run the SPMD closure, collect results.
 
+use crate::faults::FaultPlan;
 use crate::netmodel::NetModel;
 use crate::rank::{Rank, RpcMsg};
 use crate::segment::SegmentTable;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::sync::SegQueue;
-use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 
 /// Job-wide configuration.
 #[derive(Debug, Clone)]
@@ -21,6 +22,12 @@ pub struct PgasConfig {
     /// Per-rank device-memory quota in bytes (each process's share of its
     /// GPU, §4.2). Use `usize::MAX` for unlimited.
     pub device_quota: usize,
+    /// Optional seeded fault injection on the signal/rget paths.
+    pub faults: Option<FaultPlan>,
+    /// Run ranks in deterministic lockstep (round-robin turnstile) instead
+    /// of free-running threads: same inputs ⇒ bit-identical schedules,
+    /// clocks and makespan. Slower; meant for fuzzing and repro.
+    pub deterministic: bool,
 }
 
 impl PgasConfig {
@@ -31,6 +38,8 @@ impl PgasConfig {
             ranks_per_node: n_ranks.max(1),
             net: NetModel::default(),
             device_quota: usize::MAX,
+            faults: None,
+            deterministic: false,
         }
     }
 
@@ -41,7 +50,109 @@ impl PgasConfig {
             ranks_per_node,
             net: NetModel::default(),
             device_quota: usize::MAX,
+            faults: None,
+            deterministic: false,
         }
+    }
+}
+
+/// Round-robin turnstile for deterministic lockstep execution: exactly one
+/// rank runs at a time, and the turn rotates in rank order at explicit
+/// yield points ([`Rank::progress`] and [`Rank::barrier`]). With a fixed
+/// rotation the interleaving of sends and drains is a pure function of the
+/// program, which makes virtual clocks — and therefore the makespan —
+/// bit-reproducible.
+pub(crate) struct Turnstile {
+    state: Mutex<TState>,
+    cv: Condvar,
+}
+
+struct TState {
+    /// Rank currently holding the turn.
+    current: usize,
+    /// Ranks whose closure has returned; skipped by the rotation.
+    retired: Vec<bool>,
+    /// Ranks parked at a barrier; skipped until the barrier opens.
+    parked: Vec<bool>,
+    /// Arrivals at the currently filling barrier.
+    arrivals: usize,
+}
+
+impl TState {
+    /// Next rank after `from` (exclusive, wrapping) that can hold the turn.
+    fn next_live(&self, from: usize) -> Option<usize> {
+        let n = self.retired.len();
+        (1..=n)
+            .map(|d| (from + d) % n)
+            .find(|&r| !self.retired[r] && !self.parked[r])
+    }
+}
+
+impl Turnstile {
+    fn new(n: usize) -> Self {
+        Turnstile {
+            state: Mutex::new(TState {
+                current: 0,
+                retired: vec![false; n],
+                parked: vec![false; n],
+                arrivals: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until it is `id`'s turn.
+    pub(crate) fn wait_turn(&self, id: usize) {
+        let mut st = self.state.lock().unwrap();
+        while st.current != id {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Hand the turn to the next live rank and wait for it to come back.
+    /// No-op (turn retained) when no other rank can run.
+    pub(crate) fn pass(&self, id: usize) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert_eq!(st.current, id, "pass() without holding the turn");
+        if let Some(next) = st.next_live(id) {
+            st.current = next;
+            self.cv.notify_all();
+            while st.current != id {
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+    }
+
+    /// Park `id` at a barrier and hand the turn onward. The last arriver
+    /// unparks everyone and resets the turn to the lowest live rank, so the
+    /// post-barrier rotation order is schedule-independent.
+    pub(crate) fn barrier_enter(&self, id: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.parked[id] = true;
+        st.arrivals += 1;
+        if st.arrivals == st.retired.len() {
+            st.arrivals = 0;
+            st.parked.iter_mut().for_each(|p| *p = false);
+            st.current = (0..st.retired.len()).find(|&r| !st.retired[r]).unwrap_or(0);
+        } else {
+            let next = st
+                .next_live(id)
+                .expect("barrier underfilled yet no runnable rank");
+            st.current = next;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Permanently remove `id` from the rotation (its closure returned).
+    fn retire(&self, id: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.retired[id] = true;
+        if st.current == id {
+            if let Some(next) = st.next_live(id) {
+                st.current = next;
+            }
+        }
+        self.cv.notify_all();
     }
 }
 
@@ -55,6 +166,15 @@ pub(crate) struct Shared {
     /// Double-buffered max-clock cells for the barrier's virtual-time
     /// agreement (f64 bits; non-negative floats order correctly as u64).
     pub clock_max: [AtomicU64; 2],
+    /// Global activity counter for quiescence detection: bumped whenever a
+    /// message is sent or executed or a clock moves. A stretch of polling
+    /// with no change anywhere means the job is stalled, not slow.
+    pub activity: AtomicU64,
+    /// Job-level abort flag: any rank may raise it to terminate every
+    /// rank's event loop (cross-rank error propagation).
+    pub abort: AtomicBool,
+    /// Lockstep scheduler, present iff `config.deterministic`.
+    pub turnstile: Option<Turnstile>,
 }
 
 /// Result of a run: per-rank return values, the virtual makespan, final
@@ -89,6 +209,7 @@ impl Runtime {
         let n = config.n_ranks;
         assert!(n >= 1, "need at least one rank");
         assert!(config.ranks_per_node >= 1);
+        let turnstile = config.deterministic.then(|| Turnstile::new(n));
         let shared = Arc::new(Shared {
             tables: (0..n)
                 .map(|_| SegmentTable::new(config.device_quota))
@@ -97,6 +218,9 @@ impl Runtime {
             stats: Stats::default(),
             barrier: Barrier::new(n),
             clock_max: [AtomicU64::new(0), AtomicU64::new(0)],
+            activity: AtomicU64::new(0),
+            abort: AtomicBool::new(false),
+            turnstile,
             config,
         });
         let mut slots: Vec<Option<(R, f64)>> = (0..n).map(|_| None).collect();
@@ -106,9 +230,17 @@ impl Runtime {
                     let shared = Arc::clone(&shared);
                     let f = &f;
                     scope.spawn(move || {
-                        let mut rank = Rank::new(id, shared);
+                        if let Some(ts) = &shared.turnstile {
+                            ts.wait_turn(id);
+                        }
+                        let mut rank = Rank::new(id, Arc::clone(&shared));
                         let r = f(&mut rank);
-                        (r, rank.now())
+                        let clock = rank.now();
+                        drop(rank);
+                        if let Some(ts) = &shared.turnstile {
+                            ts.retire(id);
+                        }
+                        (r, clock)
                     })
                 })
                 .collect();
@@ -288,6 +420,60 @@ mod tests {
             inbox.got
         });
         assert_eq!(report.results[1], vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn deterministic_mode_reproduces_clocks_bit_exactly() {
+        // A racy ping-pong workload: every rank RPCs every other rank, and
+        // handlers trigger further traffic. In free-running mode the drain
+        // interleaving (hence per-rank clocks) may vary; in lockstep mode
+        // two runs must agree to the bit.
+        let run_once = || {
+            let mut config = PgasConfig::multi_node(2, 2);
+            config.deterministic = true;
+            let report = Runtime::run(config, |rank| {
+                rank.set_state(0u64);
+                rank.barrier();
+                let me = rank.id();
+                for t in 0..rank.n_ranks() {
+                    if t != me {
+                        rank.rpc(t, move |r| {
+                            r.advance(1.0e-6 * (me as f64 + 1.0));
+                            r.with_state::<u64, _>(|_, got| *got += 1);
+                        });
+                    }
+                }
+                let expect = (rank.n_ranks() - 1) as u64;
+                loop {
+                    rank.progress();
+                    if rank.with_state::<u64, _>(|_, got| *got >= expect) {
+                        break;
+                    }
+                }
+                rank.barrier();
+                rank.now()
+            });
+            (report.makespan.to_bits(), report.final_clocks)
+        };
+        let (m1, c1) = run_once();
+        let (m2, c2) = run_once();
+        assert_eq!(m1, m2, "makespan must be bit-identical");
+        assert_eq!(c1, c2, "per-rank clocks must be identical");
+    }
+
+    #[test]
+    fn job_abort_flag_reaches_every_rank() {
+        let report = Runtime::run(PgasConfig::single_node(3), |rank| {
+            rank.barrier();
+            if rank.id() == 1 {
+                rank.signal_abort();
+            }
+            while !rank.job_aborted() {
+                std::thread::yield_now();
+            }
+            rank.job_aborted()
+        });
+        assert!(report.results.iter().all(|&a| a));
     }
 
     #[test]

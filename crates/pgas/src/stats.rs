@@ -19,6 +19,12 @@ pub struct Stats {
     pub intra_bytes: AtomicU64,
     /// Bytes moved to/from device memory.
     pub device_bytes: AtomicU64,
+    /// Signal RPCs dropped by fault injection.
+    pub rpcs_dropped: AtomicU64,
+    /// Signal RPCs duplicated by fault injection.
+    pub rpcs_duplicated: AtomicU64,
+    /// rget attempts that timed out transiently under fault injection.
+    pub rget_timeouts: AtomicU64,
 }
 
 impl Stats {
@@ -43,6 +49,9 @@ impl Stats {
             net_bytes: self.net_bytes.load(Ordering::Relaxed),
             intra_bytes: self.intra_bytes.load(Ordering::Relaxed),
             device_bytes: self.device_bytes.load(Ordering::Relaxed),
+            rpcs_dropped: self.rpcs_dropped.load(Ordering::Relaxed),
+            rpcs_duplicated: self.rpcs_duplicated.load(Ordering::Relaxed),
+            rget_timeouts: self.rget_timeouts.load(Ordering::Relaxed),
         }
     }
 }
@@ -57,6 +66,9 @@ pub struct StatsSnapshot {
     pub net_bytes: u64,
     pub intra_bytes: u64,
     pub device_bytes: u64,
+    pub rpcs_dropped: u64,
+    pub rpcs_duplicated: u64,
+    pub rget_timeouts: u64,
 }
 
 #[cfg(test)]

@@ -84,8 +84,8 @@ fn main() {
     );
     opts.oom_policy = OomPolicy::Abort;
     match SymPack::try_factor_and_solve(&a, &b, &opts) {
-        Err(SolverError::DeviceOom { requested, available }) => println!(
-            "  Abort: factorization terminated (requested {requested} B, {available} B free) — rerun with more device memory"
+        Err(SolverError::DeviceOom { requested, available, context }) => println!(
+            "  Abort: factorization terminated fetching {context} (requested {requested} B, {available} B free) — rerun with more device memory"
         ),
         Ok(_) => println!("  Abort: quota was never exceeded on this problem"),
         Err(e) => panic!("unexpected error: {e}"),

@@ -1,0 +1,336 @@
+//! Deterministic schedule-fuzzing and network fault-injection harness.
+//!
+//! Sweeps seeds × fault plans × engines × rank counts through the shared
+//! task runtime in deterministic lockstep mode, asserting that
+//!
+//! * with faults disabled, a run is bit-reproducible (identical virtual
+//!   makespans and per-kind task counts across repeats);
+//! * delay and duplication plans never change the numerical result
+//!   (residual ≤ 1e-8) — the inbox deduplicates, the schedule just shifts;
+//! * drop plans either complete with the correct result (the dropped
+//!   message was redundant or a duplicate survived) or surface a
+//!   *diagnosed* failure ([`SolverError::Stalled`] /
+//!   [`SolverError::FetchTimeout`]) — never a hang.
+//!
+//! Every run exercises the triangular-solve engine on top of the selected
+//! factorization engine, so the sweep covers all five engines on the shared
+//! runtime (fan-out, right-looking, fan-in, fan-both, solve).
+//!
+//! A failing case panics with a one-line repro command of the form
+//! `CHAOS_SEED=<n> CHAOS_PLAN=<p> CHAOS_ENGINE=<e> CHAOS_RANKS=<r> cargo
+//! test -p sympack-integration --test chaos -- repro --nocapture` and is
+//! appended to `target/chaos-failures.txt` for CI artifact upload.
+//!
+//! `CHAOS_SEED_BUDGET` scales the number of seeds per (plan, engine, ranks)
+//! combination (default 2 → ≥ 100 fuzz runs across the two sweep tests).
+
+use sympack::{SolverError, SolverOptions, SymPack};
+use sympack_baseline::{
+    try_baseline_factor_and_solve, try_fanboth_factor_and_solve, try_fanin_factor_and_solve,
+    BaselineOptions,
+};
+use sympack_pgas::FaultPlan;
+use sympack_sparse::gen;
+use sympack_sparse::vecops::test_rhs;
+
+const ENGINES: [&str; 4] = ["fanout", "rightlooking", "fanin", "fanboth"];
+const RANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const RESIDUAL_TOL: f64 = 1e-8;
+
+/// Seeds per (plan, engine, ranks) combination.
+fn seed_budget() -> u64 {
+    std::env::var("CHAOS_SEED_BUDGET")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+/// Build the named fault plan for `seed`. `none` disables injection.
+fn plan_of(name: &str, seed: u64) -> Option<FaultPlan> {
+    match name {
+        "none" => None,
+        "delays" => Some(FaultPlan::delays_only(seed)),
+        "dup" => Some(FaultPlan::duplication(seed)),
+        "drops" => Some(FaultPlan::drops(seed)),
+        "chaos" => Some(FaultPlan::chaos(seed)),
+        other => panic!("unknown fault plan {other:?}"),
+    }
+}
+
+/// What one fuzz run reports: virtual makespans, per-kind task counts and
+/// the relative residual.
+struct RunOutcome {
+    factor_time: f64,
+    solve_time: f64,
+    task_counts: Vec<(String, u64)>,
+    residual: f64,
+}
+
+/// One factor+solve run of `engine` under `plan_name`/`seed` at `ranks`
+/// ranks, in deterministic lockstep mode.
+fn run_one(
+    engine: &str,
+    plan_name: &str,
+    seed: u64,
+    ranks: usize,
+) -> Result<RunOutcome, SolverError> {
+    let a = gen::laplacian_2d(6, 6);
+    let b = test_rhs(a.n());
+    let faults = plan_of(plan_name, seed);
+    if engine == "fanout" {
+        let opts = SolverOptions {
+            n_nodes: 1,
+            ranks_per_node: ranks,
+            faults,
+            deterministic: true,
+            refine_steps: 0,
+            ..Default::default()
+        };
+        let r = SymPack::try_factor_and_solve(&a, &b, &opts)?;
+        return Ok(RunOutcome {
+            factor_time: r.factor_time,
+            solve_time: r.solve_time,
+            task_counts: r.task_counts,
+            residual: r.relative_residual,
+        });
+    }
+    let opts = BaselineOptions {
+        n_nodes: 1,
+        ranks_per_node: ranks,
+        faults,
+        deterministic: true,
+        ..Default::default()
+    };
+    let run = match engine {
+        "rightlooking" => try_baseline_factor_and_solve,
+        "fanin" => try_fanin_factor_and_solve,
+        "fanboth" => try_fanboth_factor_and_solve,
+        other => panic!("unknown engine {other:?}"),
+    };
+    let r = run(&a, &b, &opts)?;
+    Ok(RunOutcome {
+        factor_time: r.factor_time,
+        solve_time: r.solve_time,
+        task_counts: r.task_counts,
+        residual: r.relative_residual,
+    })
+}
+
+/// One-line command reproducing a failing case.
+fn repro_cmd(engine: &str, plan: &str, seed: u64, ranks: usize) -> String {
+    format!(
+        "CHAOS_SEED={seed} CHAOS_PLAN={plan} CHAOS_ENGINE={engine} CHAOS_RANKS={ranks} \
+         cargo test -p sympack-integration --test chaos -- repro --nocapture"
+    )
+}
+
+/// Append a failing case to `target/chaos-failures.txt` (CI artifact).
+fn record_failure(line: &str) {
+    use std::io::Write;
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/chaos-failures.txt");
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Fail the sweep with a repro command, recording it for artifact upload.
+fn fail_case(engine: &str, plan: &str, seed: u64, ranks: usize, why: &str) -> ! {
+    let cmd = repro_cmd(engine, plan, seed, ranks);
+    record_failure(&format!("{why} :: {cmd}"));
+    panic!("{why}\nrepro: {cmd}");
+}
+
+#[test]
+fn fault_free_runs_are_bit_deterministic() {
+    for engine in ENGINES {
+        for ranks in [2, 4] {
+            let first = run_one(engine, "none", 0, ranks)
+                .unwrap_or_else(|e| panic!("{engine} P={ranks}: fault-free run failed: {e}"));
+            let second = run_one(engine, "none", 0, ranks)
+                .unwrap_or_else(|e| panic!("{engine} P={ranks}: fault-free rerun failed: {e}"));
+            assert_eq!(
+                first.factor_time.to_bits(),
+                second.factor_time.to_bits(),
+                "{engine} P={ranks}: factor makespan not bit-reproducible \
+                 ({} vs {})",
+                first.factor_time,
+                second.factor_time
+            );
+            assert_eq!(
+                first.solve_time.to_bits(),
+                second.solve_time.to_bits(),
+                "{engine} P={ranks}: solve makespan not bit-reproducible \
+                 ({} vs {})",
+                first.solve_time,
+                second.solve_time
+            );
+            assert_eq!(
+                first.task_counts, second.task_counts,
+                "{engine} P={ranks}: task counts not reproducible"
+            );
+            assert!(first.residual < RESIDUAL_TOL);
+        }
+    }
+}
+
+#[test]
+fn delay_plans_shift_schedules_without_changing_results() {
+    // Delays reorder message arrival but lose nothing: every seed must
+    // complete with the correct result, and per-kind task counts must match
+    // the fault-free schedule (a schedule invariant).
+    let budget = seed_budget();
+    for engine in ENGINES {
+        for &ranks in &RANK_COUNTS {
+            let baseline = run_one(engine, "none", 0, ranks)
+                .unwrap_or_else(|e| panic!("{engine} P={ranks}: fault-free run failed: {e}"));
+            for seed in 0..budget {
+                match run_one(engine, "delays", seed, ranks) {
+                    Ok(out) => {
+                        if out.residual >= RESIDUAL_TOL {
+                            fail_case(
+                                engine,
+                                "delays",
+                                seed,
+                                ranks,
+                                &format!("residual {} exceeds {RESIDUAL_TOL}", out.residual),
+                            );
+                        }
+                        if out.task_counts != baseline.task_counts {
+                            fail_case(
+                                engine,
+                                "delays",
+                                seed,
+                                ranks,
+                                "per-kind task counts diverge from the fault-free schedule",
+                            );
+                        }
+                    }
+                    Err(e) => fail_case(
+                        engine,
+                        "delays",
+                        seed,
+                        ranks,
+                        &format!("delay-only plan must complete, got {e}"),
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn duplication_plans_are_absorbed_by_the_idempotent_inbox() {
+    let budget = seed_budget();
+    for engine in ENGINES {
+        for &ranks in &RANK_COUNTS {
+            for seed in 0..budget {
+                match run_one(engine, "dup", seed, ranks) {
+                    Ok(out) => {
+                        if out.residual >= RESIDUAL_TOL {
+                            fail_case(
+                                engine,
+                                "dup",
+                                seed,
+                                ranks,
+                                &format!(
+                                    "duplicate delivery changed the result \
+                                     (residual {})",
+                                    out.residual
+                                ),
+                            );
+                        }
+                    }
+                    Err(e) => fail_case(
+                        engine,
+                        "dup",
+                        seed,
+                        ranks,
+                        &format!("duplication plan must complete, got {e}"),
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn drop_plans_complete_or_diagnose_a_stall_never_hang() {
+    let budget = seed_budget();
+    let (mut completed, mut diagnosed) = (0u64, 0u64);
+    for plan in ["drops", "chaos"] {
+        for engine in ENGINES {
+            for &ranks in &RANK_COUNTS {
+                for seed in 0..budget {
+                    match run_one(engine, plan, seed, ranks) {
+                        Ok(out) => {
+                            completed += 1;
+                            if out.residual >= RESIDUAL_TOL {
+                                fail_case(
+                                    engine,
+                                    plan,
+                                    seed,
+                                    ranks,
+                                    &format!(
+                                        "completed with wrong result \
+                                         (residual {})",
+                                        out.residual
+                                    ),
+                                );
+                            }
+                        }
+                        // The two diagnosed failure modes of a lossy
+                        // network: the quiescence detector named the stall,
+                        // or the rget retry budget ran out. Reaching here at
+                        // all means the run terminated (no hang).
+                        Err(SolverError::Stalled { .. })
+                        | Err(SolverError::FetchTimeout { .. }) => {
+                            diagnosed += 1;
+                        }
+                        Err(e) => fail_case(
+                            engine,
+                            plan,
+                            seed,
+                            ranks,
+                            &format!("undiagnosed failure mode: {e}"),
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    eprintln!("drop sweep: {completed} completed, {diagnosed} diagnosed stalls");
+    assert!(
+        completed + diagnosed > 0,
+        "sweep executed no cases — budget misconfigured?"
+    );
+}
+
+/// Re-run a single failing case from its environment description:
+/// `CHAOS_SEED=<n> CHAOS_PLAN=<p> CHAOS_ENGINE=<e> CHAOS_RANKS=<r> cargo
+/// test -p sympack-integration --test chaos -- repro --nocapture`.
+#[test]
+fn repro() {
+    let Ok(seed) = std::env::var("CHAOS_SEED") else {
+        return; // not invoked as a repro; nothing to do
+    };
+    let seed: u64 = seed.parse().expect("CHAOS_SEED must be an integer");
+    let plan = std::env::var("CHAOS_PLAN").unwrap_or_else(|_| "chaos".into());
+    let engine = std::env::var("CHAOS_ENGINE").unwrap_or_else(|_| "fanout".into());
+    let ranks: usize = std::env::var("CHAOS_RANKS")
+        .unwrap_or_else(|_| "4".into())
+        .parse()
+        .expect("CHAOS_RANKS must be an integer");
+    match run_one(&engine, &plan, seed, ranks) {
+        Ok(out) => eprintln!(
+            "repro {engine}/{plan}/seed={seed}/P={ranks}: completed, \
+             residual {} factor {}s solve {}s",
+            out.residual, out.factor_time, out.solve_time
+        ),
+        Err(e) => eprintln!("repro {engine}/{plan}/seed={seed}/P={ranks}: failed with {e}"),
+    }
+}

@@ -1,13 +1,27 @@
 //! Failure-injection integration tests: non-SPD inputs, device memory
-//! exhaustion under both fallback policies (§4.2), and malformed files.
+//! exhaustion under both fallback policies (§4.2) — for the fan-out solver
+//! and for every baseline engine — and malformed files.
 
 #![allow(non_snake_case)]
 
 use sympack::{SolverError, SolverOptions, SymPack};
+use sympack_baseline::{
+    try_baseline_factor_and_solve, try_fanboth_factor_and_solve, try_fanin_factor_and_solve,
+    BaselineOptions, BaselineReport,
+};
 use sympack_gpu::OomPolicy;
 use sympack_sparse::gen;
 use sympack_sparse::vecops::test_rhs;
 use sympack_sparse::{Coo, SparseSym};
+
+/// All three baseline engines behind one fallible signature.
+type BaselineFn = fn(&SparseSym, &[f64], &BaselineOptions) -> Result<BaselineReport, SolverError>;
+
+const BASELINES: [(&str, BaselineFn); 3] = [
+    ("right-looking", try_baseline_factor_and_solve),
+    ("fan-in", try_fanin_factor_and_solve),
+    ("fan-both", try_fanboth_factor_and_solve),
+];
 
 /// Flip the sign of diagonal entry `k` of a SPD matrix.
 fn break_spd(a: &SparseSym, k: usize) -> SparseSym {
@@ -89,10 +103,65 @@ fn device_oom_abort_policy_raises() {
         Err(SolverError::DeviceOom {
             requested,
             available,
+            context,
         }) => {
             assert!(requested > available);
+            // The error names the block whose fetch overflowed the device.
+            assert!(
+                context.contains("L("),
+                "error should name the failing block, got context {context:?}"
+            );
         }
         other => panic!("expected DeviceOom, got {other:?}"),
+    }
+}
+
+#[test]
+fn device_oom_cpu_fallback_covers_baseline_engines() {
+    let a = gen::flan_like(6, 6, 6);
+    let b = test_rhs(a.n());
+    let mut opts = BaselineOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
+    opts.device_quota = 8 << 10; // far below the biggest panel
+    opts.oom_policy = OomPolicy::CpuFallback;
+    for (name, run) in BASELINES {
+        let r = run(&a, &b, &opts)
+            .unwrap_or_else(|e| panic!("{name}: fallback must complete, got {e}"));
+        assert!(r.relative_residual < 1e-9, "{name}");
+    }
+}
+
+#[test]
+fn device_oom_abort_names_the_failing_fetch_in_baselines() {
+    // Big enough that some shipped panel/aggregate crosses the device-copy
+    // threshold (64x64 elements) and overflows the tiny quota.
+    let a = gen::flan_like(12, 12, 12);
+    let b = test_rhs(a.n());
+    let mut opts = BaselineOptions {
+        n_nodes: 2,
+        ranks_per_node: 2,
+        ..Default::default()
+    };
+    opts.device_quota = 8 << 10;
+    opts.oom_policy = OomPolicy::Abort;
+    for (name, run) in BASELINES {
+        match run(&a, &b, &opts) {
+            Err(SolverError::DeviceOom {
+                requested,
+                available,
+                context,
+            }) => {
+                assert!(requested > available, "{name}");
+                assert!(
+                    !context.is_empty(),
+                    "{name}: error should name the failing panel/aggregate"
+                );
+            }
+            other => panic!("{name}: expected DeviceOom, got {other:?}"),
+        }
     }
 }
 
