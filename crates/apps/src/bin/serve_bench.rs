@@ -1,0 +1,311 @@
+//! `serve_bench` — exercise the solver-session serving layer on a fixed,
+//! reproducible request mix and report its metrics.
+//!
+//! ```text
+//! serve_bench [--nx N] [--ny N] [--nodes N] [--ppn N] [--jobs N]
+//!             [--max-batch N] [--max-pending N] [--refactor-every N]
+//!             [--seed S] [--metrics-json <path>]
+//! ```
+//!
+//! Builds a 2D Laplacian, creates one [`Session`], fronts it with a
+//! [`Server`], and replays a bursty arrival pattern: jobs arrive in bursts
+//! (so the server has something to coalesce) separated by idle gaps, with a
+//! numeric re-factorization every `--refactor-every` jobs. Every completed
+//! job's residual is checked against the right-hand side it was submitted
+//! with.
+//!
+//! Exit status is non-zero when the run is unhealthy: any residual above
+//! `1e-8`, or zero coalesced jobs (batching never combined two requests —
+//! the serving layer's reason to exist). `--metrics-json` writes the
+//! session's [`ServiceMetrics`] JSON for CI artifact upload.
+
+use std::process::ExitCode;
+use sympack::SolverOptions;
+use sympack_service::{Server, ServerConfig, ServiceError, Session};
+use sympack_sparse::gen::{laplacian_2d, XorShift64};
+
+struct Args {
+    nx: usize,
+    ny: usize,
+    nodes: usize,
+    ppn: usize,
+    jobs: usize,
+    max_batch: usize,
+    max_pending: usize,
+    refactor_every: usize,
+    seed: u64,
+    metrics_json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        nx: 16,
+        ny: 16,
+        nodes: 2,
+        ppn: 2,
+        jobs: 48,
+        max_batch: 8,
+        max_pending: 32,
+        refactor_every: 16,
+        seed: 20230,
+        metrics_json: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> Result<String, String> {
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        let parse = |v: String, flag: &str| -> Result<usize, String> {
+            v.parse().map_err(|_| format!("bad {flag}"))
+        };
+        match argv[i].as_str() {
+            "--nx" => args.nx = parse(need(i)?, "--nx")?,
+            "--ny" => args.ny = parse(need(i)?, "--ny")?,
+            "--nodes" => args.nodes = parse(need(i)?, "--nodes")?,
+            "--ppn" => args.ppn = parse(need(i)?, "--ppn")?,
+            "--jobs" => args.jobs = parse(need(i)?, "--jobs")?,
+            "--max-batch" => args.max_batch = parse(need(i)?, "--max-batch")?,
+            "--max-pending" => args.max_pending = parse(need(i)?, "--max-pending")?,
+            "--refactor-every" => args.refactor_every = parse(need(i)?, "--refactor-every")?,
+            "--seed" => args.seed = need(i)?.parse().map_err(|_| "bad --seed".to_string())?,
+            "--metrics-json" => args.metrics_json = Some(need(i)?),
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: serve_bench [--nx N] [--ny N] [--nodes N] [--ppn N] [--jobs N] \
+                 [--max-batch N] [--max-pending N] [--refactor-every N] [--seed S] \
+                 [--metrics-json <path>]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let a = laplacian_2d(args.nx, args.ny);
+    let n = a.n();
+    println!(
+        "matrix: {}x{} Laplacian, n = {n}, nnz = {}",
+        args.nx,
+        args.ny,
+        a.nnz_full()
+    );
+    let opts = SolverOptions {
+        n_nodes: args.nodes,
+        ranks_per_node: args.ppn,
+        ..Default::default()
+    };
+    let session = match Session::new(&a, &opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("session creation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "session: {} ranks, analyze {:.1} ms (wall), first factor {:.6} s (virtual)",
+        args.nodes * args.ppn,
+        session.analyze_wall_ms(),
+        session.first_factor_time()
+    );
+    let mut server = Server::new(
+        session,
+        ServerConfig {
+            max_pending: args.max_pending,
+            max_batch: args.max_batch,
+        },
+    );
+
+    // Fixed request mix: bursts of up to max_batch jobs in a tight window,
+    // then an idle gap long enough that the server drains between bursts.
+    let mut rng = XorShift64::new(args.seed);
+    let mut clock = 0.0f64;
+    let mut submitted = 0usize;
+    let mut outstanding: Vec<(u64, Vec<f64>)> = Vec::new();
+    let mut worst_residual = 0.0f64;
+    let mut served = 0usize;
+    while submitted < args.jobs {
+        let burst = 2 + rng.next_below(args.max_batch);
+        for _ in 0..burst.min(args.jobs - submitted) {
+            let rhs: Vec<f64> = (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
+            clock += rng.next_f64() * 1e-5;
+            match server.submit_at(rhs.clone(), clock) {
+                Ok(id) => outstanding.push((id, rhs)),
+                Err(ServiceError::QueueFull { .. }) => {
+                    // Admission pushed back; serve a batch, then retry once.
+                    if drain_and_check(
+                        &mut server,
+                        &a,
+                        &mut outstanding,
+                        &mut worst_residual,
+                        &mut served,
+                    )
+                    .is_err()
+                    {
+                        return ExitCode::FAILURE;
+                    }
+                    match server.submit_at(rhs.clone(), clock) {
+                        Ok(id) => outstanding.push((id, rhs)),
+                        Err(e) => {
+                            eprintln!("resubmission failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("submission failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            submitted += 1;
+            if args.refactor_every > 0 && submitted.is_multiple_of(args.refactor_every) {
+                // Re-factor on the same pattern with rescaled values (a
+                // time-stepping matrix update).
+                let scale = 1.0 + 0.25 * rng.next_f64();
+                let mut values = Vec::new();
+                for c in 0..a.n() {
+                    values.extend(a.col_values(c).iter().map(|v| v * scale));
+                }
+                // Serve what is queued against the current factor first —
+                // refactorize changes the operator under pending solves.
+                if drain_and_check(
+                    &mut server,
+                    &a,
+                    &mut outstanding,
+                    &mut worst_residual,
+                    &mut served,
+                )
+                .is_err()
+                {
+                    return ExitCode::FAILURE;
+                }
+                if let Err(e) = server.refactorize(&values) {
+                    eprintln!("refactorize failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                // Subsequent residual checks are against the rescaled matrix:
+                // b and x both scale, so checking vs A with b/scale still
+                // holds; simplest is to check vs the scaled operator by
+                // rescaling the recorded rhs. We instead reset the matrix to
+                // the original values right away, keeping one ground truth.
+                let mut orig = Vec::new();
+                for c in 0..a.n() {
+                    orig.extend_from_slice(a.col_values(c));
+                }
+                if let Err(e) = server.refactorize(&orig) {
+                    eprintln!("refactorize (restore) failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        // Idle gap after the burst: the server catches up.
+        clock += 1.0;
+        if drain_and_check(
+            &mut server,
+            &a,
+            &mut outstanding,
+            &mut worst_residual,
+            &mut served,
+        )
+        .is_err()
+        {
+            return ExitCode::FAILURE;
+        }
+    }
+    if drain_and_check(
+        &mut server,
+        &a,
+        &mut outstanding,
+        &mut worst_residual,
+        &mut served,
+    )
+    .is_err()
+    {
+        return ExitCode::FAILURE;
+    }
+
+    let m = server.metrics();
+    println!(
+        "jobs: submitted {}, served {served}, rejected-then-retried {}",
+        m.jobs_submitted, m.jobs_rejected
+    );
+    println!(
+        "batches: {} ({} coalesced jobs, mean batch {:.2}, max {})",
+        m.batches,
+        m.coalesced_jobs,
+        m.batch_sizes.mean(),
+        m.batch_sizes.max() as usize
+    );
+    println!(
+        "latency (virtual): p50 {:.6} s, p99 {:.6} s",
+        m.latency.p50(),
+        m.latency.p99()
+    );
+    println!("refactorizations: {}", m.refactorizations);
+    println!(
+        "amortized cost/job {:.6} s vs one-shot {:.6} s ({:.1}x cheaper)",
+        m.amortized_cost_per_job(),
+        m.one_shot_cost_per_job(),
+        m.one_shot_cost_per_job() / m.amortized_cost_per_job().max(1e-30)
+    );
+    println!("worst residual: {worst_residual:.3e}");
+
+    if let Some(path) = &args.metrics_json {
+        if let Err(e) = std::fs::write(path, m.to_json()) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path}");
+    }
+    if m.coalesced_jobs == 0 {
+        eprintln!("FAIL: batching never coalesced two jobs into one panel solve");
+        return ExitCode::FAILURE;
+    }
+    if worst_residual > 1e-8 {
+        eprintln!("FAIL: residual {worst_residual:.3e} above 1e-8");
+        return ExitCode::FAILURE;
+    }
+    println!("OK");
+    ExitCode::SUCCESS
+}
+
+/// Drain the server and verify every completed job against its recorded
+/// right-hand side. Returns `Err(())` after printing the failure.
+fn drain_and_check(
+    server: &mut Server,
+    a: &sympack_sparse::SparseSym,
+    outstanding: &mut Vec<(u64, Vec<f64>)>,
+    worst: &mut f64,
+    served: &mut usize,
+) -> Result<(), ()> {
+    let done = match server.drain() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("solve failed: {e}");
+            return Err(());
+        }
+    };
+    for job in done {
+        let idx = outstanding
+            .iter()
+            .position(|(id, _)| *id == job.id)
+            .expect("completed job was submitted");
+        let (_, rhs) = outstanding.swap_remove(idx);
+        let r = a.relative_residual(&job.x, &rhs);
+        if r > *worst {
+            *worst = r;
+        }
+        *served += 1;
+    }
+    Ok(())
+}

@@ -2,14 +2,15 @@
 
 use crate::engine::FactoEngine;
 use crate::map2d::ProcGrid;
+use crate::plan::{make_kernels, SolvePlan};
 use crate::taskgraph::RtqPolicy;
 use crate::trisolve;
 use crate::SolverError;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use sympack_gpu::{KernelEngine, OffloadThresholds, OomPolicy, OpCounts};
+use sympack_gpu::{OffloadThresholds, OomPolicy, OpCounts};
 use sympack_ordering::{compute_ordering, OrderingKind};
-use sympack_pgas::{NetModel, PgasConfig, Runtime, StatsSnapshot};
+use sympack_pgas::{NetModel, Runtime, StatsSnapshot};
 use sympack_sparse::SparseSym;
 use sympack_symbolic::{analyze, AnalyzeOptions, SymbolicFactor};
 
@@ -245,22 +246,16 @@ impl SymPack {
         for b in bs {
             assert_eq!(b.len(), a.n(), "rhs length must match the matrix order");
         }
-        let ordering = compute_ordering(a, opts.ordering);
-        let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
-        let ap = Arc::new(a.permute(sf.perm.as_slice()));
+        let plan = SolvePlan::new(a, opts);
+        let sf = Arc::clone(&plan.sf);
+        let ap = Arc::new(plan.permute(a));
         let bps: Arc<Vec<Vec<f64>>> = Arc::new(bs.iter().map(|b| sf.perm.apply_vec(b)).collect());
-        let p = opts.n_nodes * opts.ranks_per_node;
-        let grid = opts.grid.unwrap_or_else(|| ProcGrid::squarest(p));
-        assert_eq!(grid.n_procs(), p, "grid size must equal rank count");
-        let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
-        config.net = opts.net.clone();
-        config.device_quota = opts.device_quota;
-        config.faults = opts.faults;
-        config.deterministic = opts.deterministic;
+        let grid = plan.grid;
+        let config = plan.pgas_config();
         let abort = Arc::new(AtomicBool::new(false));
         let opts2 = opts.clone();
         let report = Runtime::run(config, |rank| {
-            let kernels = make_engine(&opts2);
+            let kernels = make_kernels(&opts2);
             let mut engine = FactoEngine::new(
                 Arc::clone(&sf),
                 &ap,
@@ -313,7 +308,7 @@ impl SymPack {
             let mut solve_tasks: Vec<(String, u64)> = Vec::new();
             let mut solve_error: Option<SolverError> = None;
             for bp in bps.iter() {
-                let solve_kernels = make_engine(&opts2);
+                let solve_kernels = make_kernels(&opts2);
                 let params = trisolve::SolveParams {
                     policy: opts2.rtq_policy,
                     msg_overhead: 0.0,
@@ -356,7 +351,7 @@ impl SymPack {
                     // Charge the residual SpMV (2 flops per stored entry,
                     // both triangles) to the local clock.
                     rank.advance(2.0 * ap.nnz_full() as f64 / 4.0e9);
-                    let refine_kernels = make_engine(&opts2);
+                    let refine_kernels = make_kernels(&opts2);
                     let refine_params = trisolve::SolveParams {
                         policy: opts2.rtq_policy,
                         ..Default::default()
@@ -453,22 +448,16 @@ impl SymPack {
         a: &SparseSym,
         opts: &SolverOptions,
     ) -> Result<GatheredFactor, SolverError> {
-        let ordering = compute_ordering(a, opts.ordering);
-        let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
-        let ap = Arc::new(a.permute(sf.perm.as_slice()));
-        let p = opts.n_nodes * opts.ranks_per_node;
-        let grid = opts.grid.unwrap_or_else(|| ProcGrid::squarest(p));
-        assert_eq!(grid.n_procs(), p, "grid size must equal rank count");
-        let mut config = PgasConfig::multi_node(opts.n_nodes, opts.ranks_per_node);
-        config.net = opts.net.clone();
-        config.device_quota = opts.device_quota;
-        config.faults = opts.faults;
-        config.deterministic = opts.deterministic;
+        let plan = SolvePlan::new(a, opts);
+        let sf = Arc::clone(&plan.sf);
+        let ap = Arc::new(plan.permute(a));
+        let grid = plan.grid;
+        let config = plan.pgas_config();
         let abort = Arc::new(AtomicBool::new(false));
         let opts2 = opts.clone();
         type BlockDump = Vec<((usize, usize), usize, usize, Vec<f64>)>;
         let report = Runtime::run(config, |rank| -> (Option<SolverError>, f64, BlockDump) {
-            let kernels = make_engine(&opts2);
+            let kernels = make_kernels(&opts2);
             let engine = FactoEngine::new(
                 Arc::clone(&sf),
                 &ap,
@@ -545,19 +534,6 @@ impl SymPack {
         let ordering = compute_ordering(a, opts.ordering);
         analyze(a, &ordering, &opts.analyze)
     }
-}
-
-fn make_engine(opts: &SolverOptions) -> KernelEngine {
-    let mut k = if opts.gpu {
-        KernelEngine::new_gpu()
-    } else {
-        KernelEngine::new_cpu()
-    };
-    if let Some(t) = &opts.thresholds {
-        k.thresholds = t.clone();
-    }
-    k.intra_parallel = opts.intra_parallel;
-    k
 }
 
 #[cfg(test)]

@@ -85,13 +85,35 @@ impl FactoEngine {
         oom_policy: OomPolicy,
         abort: Arc<AtomicBool>,
     ) -> Self {
+        let local = LocalTasks::build(&sf, &grid, rank);
+        Self::with_tasks(
+            sf, ap, grid, rank, kernels, policy, oom_policy, abort, local,
+        )
+    }
+
+    /// Like [`FactoEngine::new`], but reuses a prebuilt task graph slice —
+    /// the re-factorization path of a solver session, which keeps the
+    /// symbolic factor, 2D mapping and per-rank [`LocalTasks`] across
+    /// numeric factorizations and only re-scatters block storage.
+    #[allow(clippy::too_many_arguments)] // one-shot constructor called by the driver only
+    pub fn with_tasks(
+        sf: Arc<SymbolicFactor>,
+        ap: &sympack_sparse::SparseSym,
+        grid: ProcGrid,
+        rank: usize,
+        kernels: KernelEngine,
+        policy: RtqPolicy,
+        oom_policy: OomPolicy,
+        abort: Arc<AtomicBool>,
+        local: LocalTasks,
+    ) -> Self {
         let store = BlockStore::init(&sf, ap, &grid, rank);
         let LocalTasks {
             tasks,
             consumers,
             diag_consumers,
             total: _,
-        } = LocalTasks::build(&sf, &grid, rank);
+        } = local;
         let mut rt = TaskEngine::with_tasks(tasks, policy, abort);
         rt.seed_ready();
         let fetch = FetchConfig {

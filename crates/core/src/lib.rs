@@ -33,6 +33,7 @@ pub mod condest;
 pub mod driver;
 pub mod engine;
 pub mod map2d;
+pub mod plan;
 pub mod sched;
 pub mod selinv;
 pub mod storage;
@@ -44,6 +45,7 @@ pub use driver::{
     FactorizeOutcome, GatheredFactor, MultiSolveReport, SolveReport, SolverOptions, SymPack,
 };
 pub use map2d::ProcGrid;
+pub use plan::{make_kernels, pattern_hash, NumericFactor, PanelSolve, SolvePlan};
 pub use selinv::{selected_inverse, SelectedInverse};
 pub use taskgraph::{RtqPolicy, TaskKey};
 
@@ -71,6 +73,19 @@ pub enum SolverError {
         attempts: u32,
         /// Which task/block the fetch served.
         context: String,
+    },
+    /// A numeric re-factorization was handed values that do not match the
+    /// sparsity pattern the session was analyzed for — either a value array
+    /// of the wrong length or a matrix whose structure differs. The
+    /// symbolic factor, mapping and task graph are pattern-specific, so the
+    /// request is rejected instead of producing garbage.
+    PatternMismatch {
+        /// Lower-triangle nonzeros of the session's pattern.
+        expected_nnz: usize,
+        /// Lower-triangle nonzeros (or value count) actually supplied.
+        actual_nnz: usize,
+        /// What differed (length vs. structure).
+        detail: String,
     },
     /// The quiescence detector diagnosed a stall: every rank went idle with
     /// unfinished tasks and no messages in flight — the signature of a
@@ -100,6 +115,10 @@ impl std::fmt::Display for SolverError {
             SolverError::FetchTimeout { attempts, context } => write!(
                 f,
                 "one-sided get of {context} failed after {attempts} attempts (injected transient faults exhausted the retry budget)"
+            ),
+            SolverError::PatternMismatch { expected_nnz, actual_nnz, detail } => write!(
+                f,
+                "refactorization rejected: {detail} (session pattern has {expected_nnz} lower-triangle nonzeros, got {actual_nnz})"
             ),
             SolverError::Stalled { rank, done, total, detail } => write!(
                 f,

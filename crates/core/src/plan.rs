@@ -1,0 +1,358 @@
+//! The reusable half of the driver: analysis/mapping state that outlives a
+//! single factorization, plus the distributed numeric phases that run
+//! against it.
+//!
+//! [`crate::driver::SymPack`] is the one-shot façade: every call re-runs
+//! ordering, symbolic analysis and mapping. A [`SolvePlan`] splits those
+//! phases out so they can be paid once and reused — the shape needed by
+//! `sympack-service` sessions, which factor once, solve many right-hand
+//! sides and re-factor repeatedly on an unchanged sparsity pattern (the
+//! paper's §5.3 applications). The plan owns the symbolic factor, the 2D
+//! process grid and the solver options, and knows how to
+//!
+//! * build per-rank task-graph slices ([`SolvePlan::build_local_tasks`]),
+//! * run a numeric factorization that hands the per-rank block stores back
+//!   to the caller ([`factor_numeric`]), and
+//! * run a batched panel triangular solve against retained stores
+//!   ([`solve_panel_distributed`]).
+
+use crate::engine::FactoEngine;
+use crate::map2d::ProcGrid;
+use crate::storage::BlockStore;
+use crate::taskgraph::LocalTasks;
+use crate::trisolve;
+use crate::{SolverError, SolverOptions};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use sympack_gpu::{KernelEngine, OpCounts};
+use sympack_ordering::compute_ordering;
+use sympack_pgas::{PgasConfig, Runtime, StatsSnapshot};
+use sympack_sparse::SparseSym;
+use sympack_symbolic::{analyze, SymbolicFactor};
+
+/// Build the kernel executor a rank uses under `opts` (GPU mode, offload
+/// thresholds, intra-rank parallelism).
+pub fn make_kernels(opts: &SolverOptions) -> KernelEngine {
+    let mut k = if opts.gpu {
+        KernelEngine::new_gpu()
+    } else {
+        KernelEngine::new_cpu()
+    };
+    if let Some(t) = &opts.thresholds {
+        k.thresholds = t.clone();
+    }
+    k.intra_parallel = opts.intra_parallel;
+    k
+}
+
+/// FNV-1a hash of a matrix's sparsity structure (order, column pointers,
+/// row indices — values excluded). Two matrices with equal hashes share the
+/// symbolic factorization; sessions use this to validate re-factorization
+/// requests against the analyzed pattern.
+pub fn pattern_hash(a: &SparseSym) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(a.n() as u64);
+    for &p in a.col_ptr() {
+        eat(p as u64);
+    }
+    for c in 0..a.n() {
+        for &r in a.col_rows(c) {
+            eat(r as u64);
+        }
+    }
+    h
+}
+
+/// Analysis and mapping state reused across numeric phases: the composite
+/// ordering, the symbolic factor, the 2D block-cyclic grid and the solver
+/// options, plus the pattern hash the analysis was performed for.
+#[derive(Debug, Clone)]
+pub struct SolvePlan {
+    /// The symbolic factor (ordering, supernode partition, block layout).
+    pub sf: Arc<SymbolicFactor>,
+    /// 2D block-cyclic process grid.
+    pub grid: ProcGrid,
+    /// Options the plan was built with (rank layout, net model, GPU mode…).
+    pub opts: SolverOptions,
+    /// Structure hash of the analyzed matrix (see [`pattern_hash`]).
+    pub pattern: u64,
+}
+
+impl SolvePlan {
+    /// Run ordering + symbolic analysis and fix the process grid.
+    ///
+    /// # Panics
+    /// Panics if an explicit [`SolverOptions::grid`] disagrees with
+    /// `n_nodes × ranks_per_node`.
+    pub fn new(a: &SparseSym, opts: &SolverOptions) -> SolvePlan {
+        let ordering = compute_ordering(a, opts.ordering);
+        let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
+        let p = opts.n_nodes * opts.ranks_per_node;
+        let grid = opts.grid.unwrap_or_else(|| ProcGrid::squarest(p));
+        assert_eq!(grid.n_procs(), p, "grid size must equal rank count");
+        SolvePlan {
+            sf,
+            grid,
+            opts: opts.clone(),
+            pattern: pattern_hash(a),
+        }
+    }
+
+    /// Total ranks in the job.
+    pub fn n_ranks(&self) -> usize {
+        self.opts.n_nodes * self.opts.ranks_per_node
+    }
+
+    /// PGAS runtime configuration for one distributed phase under this plan
+    /// (fresh per phase: `Runtime::run` consumes it).
+    pub fn pgas_config(&self) -> PgasConfig {
+        let mut config = PgasConfig::multi_node(self.opts.n_nodes, self.opts.ranks_per_node);
+        config.net = self.opts.net.clone();
+        config.device_quota = self.opts.device_quota;
+        config.faults = self.opts.faults;
+        config.deterministic = self.opts.deterministic;
+        config
+    }
+
+    /// Apply the composite permutation to a matrix with this plan's pattern.
+    pub fn permute(&self, a: &SparseSym) -> SparseSym {
+        a.permute(self.sf.perm.as_slice())
+    }
+
+    /// Build every rank's slice of the factorization task graph. Sessions
+    /// cache the result and clone per re-factorization.
+    pub fn build_local_tasks(&self) -> Vec<LocalTasks> {
+        (0..self.n_ranks())
+            .map(|r| LocalTasks::build(&self.sf, &self.grid, r))
+            .collect()
+    }
+}
+
+/// A completed distributed numeric factorization whose per-rank block
+/// stores were handed back to the caller — the retained factor of a solver
+/// session, indexed by rank id.
+#[derive(Debug)]
+pub struct NumericFactor {
+    /// Factor blocks per rank (`stores[r]` belongs to rank `r`).
+    pub stores: Vec<BlockStore>,
+    /// Virtual factorization makespan.
+    pub factor_time: f64,
+    /// Per-rank kernel call counts.
+    pub op_counts: Vec<OpCounts>,
+    /// Communication counters of the factorization run.
+    pub stats: StatsSnapshot,
+}
+
+/// Run the numeric factorization under `plan`, reusing prebuilt per-rank
+/// task graphs, and return the per-rank block stores.
+///
+/// `ap` must be the permuted matrix ([`SolvePlan::permute`]) and `tasks`
+/// one [`LocalTasks`] per rank ([`SolvePlan::build_local_tasks`]).
+///
+/// # Errors
+/// [`SolverError::NotPositiveDefinite`] on a pivot failure,
+/// [`SolverError::DeviceOom`] under the Abort OOM policy, plus the
+/// fault-injection failure modes ([`SolverError::Stalled`],
+/// [`SolverError::FetchTimeout`]).
+pub fn factor_numeric(
+    plan: &SolvePlan,
+    ap: &Arc<SparseSym>,
+    tasks: &[LocalTasks],
+) -> Result<NumericFactor, SolverError> {
+    assert_eq!(tasks.len(), plan.n_ranks(), "one task slice per rank");
+    let abort = Arc::new(AtomicBool::new(false));
+    let sf = Arc::clone(&plan.sf);
+    let ap = Arc::clone(ap);
+    let grid = plan.grid;
+    let opts = plan.opts.clone();
+    let report = Runtime::run(plan.pgas_config(), |rank| {
+        let kernels = make_kernels(&opts);
+        let engine = FactoEngine::with_tasks(
+            Arc::clone(&sf),
+            &ap,
+            grid,
+            rank.id(),
+            kernels,
+            opts.rtq_policy,
+            opts.oom_policy,
+            Arc::clone(&abort),
+            tasks[rank.id()].clone(),
+        );
+        let (mut engine, factor_time) = FactoEngine::run_to_completion(rank, engine);
+        let error = engine.rt.error.take();
+        (error, factor_time, engine.store, engine.kernels.counts)
+    });
+    let mut stores = Vec::with_capacity(report.results.len());
+    let mut op_counts = Vec::with_capacity(report.results.len());
+    let mut factor_time = 0.0f64;
+    let mut first_error = None;
+    for (error, ft, store, counts) in report.results {
+        if first_error.is_none() {
+            first_error = error;
+        }
+        factor_time = factor_time.max(ft);
+        stores.push(store);
+        op_counts.push(counts);
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(NumericFactor {
+        stores,
+        factor_time,
+        op_counts,
+        stats: report.stats,
+    })
+}
+
+/// Result of one distributed panel solve.
+#[derive(Debug)]
+pub struct PanelSolve {
+    /// The full *permuted* solution panel, `n × nrhs` column-major. Callers
+    /// undo the composite permutation per column.
+    pub xp: Vec<f64>,
+    /// Virtual makespan of the panel solve (max over ranks).
+    pub solve_time: f64,
+}
+
+/// Run one distributed triangular panel solve against retained factor
+/// stores. `bp` is the full permuted `n × nrhs` right-hand-side panel,
+/// column-major; `stores[r]` is rank `r`'s slice of the factor (from
+/// [`factor_numeric`]).
+///
+/// # Errors
+/// The solve's diagnosed failure modes under fault injection:
+/// [`SolverError::Stalled`] and [`SolverError::FetchTimeout`].
+pub fn solve_panel_distributed(
+    plan: &SolvePlan,
+    stores: &[BlockStore],
+    bp: &[f64],
+    nrhs: usize,
+) -> Result<PanelSolve, SolverError> {
+    assert_eq!(stores.len(), plan.n_ranks(), "one block store per rank");
+    assert_eq!(bp.len(), plan.sf.n() * nrhs, "rhs panel must be n × nrhs");
+    let sf = Arc::clone(&plan.sf);
+    let grid = plan.grid;
+    let opts = plan.opts.clone();
+    let report = Runtime::run(plan.pgas_config(), |rank| {
+        let kernels = make_kernels(&opts);
+        let params = trisolve::SolveParams {
+            policy: opts.rtq_policy,
+            msg_overhead: 0.0,
+            trace: false,
+        };
+        let mut out = trisolve::solve_panel(
+            rank,
+            Arc::clone(&sf),
+            grid,
+            &stores[rank.id()],
+            bp,
+            nrhs,
+            kernels,
+            &params,
+        );
+        let pieces: Vec<(usize, Vec<f64>)> = out.x.drain().collect();
+        (out.error, out.elapsed, pieces)
+    });
+    let n = plan.sf.n();
+    let mut xp = vec![0.0; n * nrhs];
+    let mut solve_time = 0.0f64;
+    let mut first_error = None;
+    for (error, elapsed, pieces) in report.results {
+        if first_error.is_none() {
+            first_error = error;
+        }
+        solve_time = solve_time.max(elapsed);
+        for (sn, panel) in pieces {
+            let first = plan.sf.partition.first_col(sn);
+            let w = panel.len() / nrhs;
+            for k in 0..nrhs {
+                xp[k * n + first..k * n + first + w].copy_from_slice(&panel[k * w..(k + 1) * w]);
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(PanelSolve { xp, solve_time })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympack_sparse::gen::{laplacian_2d, random_spd};
+    use sympack_sparse::vecops::test_rhs;
+
+    #[test]
+    fn pattern_hash_ignores_values_but_not_structure() {
+        let a = laplacian_2d(6, 6);
+        // Same structure, different values.
+        let mut values: Vec<f64> = Vec::new();
+        let mut row_idx: Vec<usize> = Vec::new();
+        for c in 0..a.n() {
+            values.extend(a.col_values(c).iter().map(|v| v * 3.0));
+            row_idx.extend_from_slice(a.col_rows(c));
+        }
+        let scaled = SparseSym::from_parts(a.n(), a.col_ptr().to_vec(), row_idx, values);
+        assert_eq!(pattern_hash(&a), pattern_hash(&scaled));
+        // Different structure.
+        let b = laplacian_2d(6, 5);
+        assert_ne!(pattern_hash(&a), pattern_hash(&b));
+    }
+
+    #[test]
+    fn factor_then_panel_solve_matches_one_shot() {
+        let a = random_spd(70, 4, 5);
+        let opts = SolverOptions {
+            n_nodes: 1,
+            ranks_per_node: 4,
+            ..Default::default()
+        };
+        let plan = SolvePlan::new(&a, &opts);
+        let ap = Arc::new(plan.permute(&a));
+        let tasks = plan.build_local_tasks();
+        let nf = factor_numeric(&plan, &ap, &tasks).unwrap();
+        assert!(nf.factor_time > 0.0);
+        let b = test_rhs(a.n());
+        let bp = plan.sf.perm.apply_vec(&b);
+        let ps = solve_panel_distributed(&plan, &nf.stores, &bp, 1).unwrap();
+        let x = plan.sf.perm.unapply_vec(&ps.xp);
+        assert!(a.relative_residual(&x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn multi_rhs_panel_solves_each_column() {
+        let a = laplacian_2d(8, 7);
+        let n = a.n();
+        let opts = SolverOptions {
+            n_nodes: 2,
+            ranks_per_node: 2,
+            ..Default::default()
+        };
+        let plan = SolvePlan::new(&a, &opts);
+        let ap = Arc::new(plan.permute(&a));
+        let tasks = plan.build_local_tasks();
+        let nf = factor_numeric(&plan, &ap, &tasks).unwrap();
+        let nrhs = 3;
+        let bs: Vec<Vec<f64>> = (0..nrhs)
+            .map(|k| (0..n).map(|i| ((i + k) as f64 * 0.3).cos()).collect())
+            .collect();
+        let mut bp = vec![0.0; n * nrhs];
+        for (k, b) in bs.iter().enumerate() {
+            bp[k * n..(k + 1) * n].copy_from_slice(&plan.sf.perm.apply_vec(b));
+        }
+        let ps = solve_panel_distributed(&plan, &nf.stores, &bp, nrhs).unwrap();
+        for (k, b) in bs.iter().enumerate() {
+            let x = plan.sf.perm.unapply_vec(&ps.xp[k * n..(k + 1) * n]);
+            assert!(a.relative_residual(&x, b) < 1e-10, "rhs {k}");
+        }
+    }
+}

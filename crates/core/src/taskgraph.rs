@@ -75,8 +75,10 @@ impl TaskKind for TaskKey {
     }
 }
 
-/// The slice of the task graph owned by one rank.
-#[derive(Debug, Default)]
+/// The slice of the task graph owned by one rank. `Clone` lets a solver
+/// session build the graph once per rank and reuse it across numeric
+/// re-factorizations (the dependency counters are rebuilt-by-copy).
+#[derive(Debug, Default, Clone)]
 pub struct LocalTasks {
     /// Scheduling state per owned task (the LTQ of §3.4).
     pub tasks: HashMap<TaskKey, TaskState>,

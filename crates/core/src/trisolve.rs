@@ -10,7 +10,17 @@
 //!   fan-out pattern as the factorization;
 //! * **backward**: mirror image, descending order, using `B(i,j)ᵀ·x_i`.
 //!
-//! Messages are RPCs carrying their vector payloads, charged full
+//! The engine is *panel-native*: a solve carries `nrhs` right-hand sides as
+//! one dense `n × nrhs` column panel, every message payload is a block-row
+//! panel, and the task bodies run the panel kernels from `sympack-dense`
+//! ([`sympack_dense::panel`]). [`solve`] is the single-vector special case
+//! (`nrhs = 1`), which charges exactly the costs and bytes of the original
+//! vector path; [`solve_panel`] is the batched entry point used by
+//! `sympack-service` sessions. Batching amortizes per-message latency and
+//! per-task overhead across the panel width — the messages per sweep stay
+//! constant while their payloads grow.
+//!
+//! Messages are RPCs carrying their panel payloads, charged full
 //! latency+bandwidth cost. Like the factorization, all arithmetic is real
 //! and all timing is virtual.
 //!
@@ -27,6 +37,9 @@ use crate::SolverError;
 use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use sympack_dense::panel::{
+    gemm_nn_acc_raw, gemm_tn_acc_raw, trsm_left_lower_notrans_raw, trsm_left_lower_trans_raw,
+};
 use sympack_dense::Mat;
 use sympack_gpu::{KernelEngine, Op};
 use sympack_pgas::Rank;
@@ -138,19 +151,20 @@ impl TaskKind for SolveKey {
     }
 }
 
-/// Messages exchanged during the solve.
+/// Messages exchanged during the solve. All payloads are column-major
+/// panels of `nrhs` columns (`nrhs = 1` for the vector solve).
 pub enum SolveMsg {
-    /// `y_j` fanned out to block owners (forward sweep).
+    /// `Y_j` (`w × nrhs`) fanned out to block owners (forward sweep).
     YReady { j: usize, y: Vec<f64> },
-    /// `B(i,j)·y_j` folded into supernode `i`'s accumulator.
+    /// `B(i,j)·Y_j` (`m × nrhs`) folded into supernode `i`'s accumulator.
     FwdContrib {
         target: usize,
         rows: Vec<usize>,
         vals: Vec<f64>,
     },
-    /// `x_i` fanned out to block owners (backward sweep).
+    /// `X_i` (`w × nrhs`) fanned out to block owners (backward sweep).
     XReady { i: usize, x: Vec<f64> },
-    /// `B(i,j)ᵀ·x_i` folded into supernode `j`'s accumulator.
+    /// `B(i,j)ᵀ·X_i` (`w × nrhs`) folded into supernode `j`'s accumulator.
     BwdContrib { target: usize, vals: Vec<f64> },
 }
 
@@ -158,17 +172,20 @@ pub enum SolveMsg {
 pub struct SolveEngine {
     sf: Arc<SymbolicFactor>,
     grid: ProcGrid,
+    /// Right-hand sides carried through this solve (panel width).
+    nrhs: usize,
     /// The shared scheduling core: dependency counters, RTQ, inbox, tracer.
     pub rt: TaskEngine<SolveKey, SolveMsg>,
-    /// Accumulators at diagonal owners (forward: b rows, backward: y rows).
+    /// Accumulator panels (`w × nrhs`) at diagonal owners (forward: b rows,
+    /// backward: y rows).
     acc: HashMap<usize, Vec<f64>>,
-    /// Solved `y_j` (forward) kept for the backward sweep.
+    /// Solved `Y_j` panels (forward) kept for the backward sweep.
     y: HashMap<usize, Vec<f64>>,
-    /// Solved `x_j` at diagonal owners.
+    /// Solved `X_j` panels at diagonal owners.
     pub x: HashMap<usize, Vec<f64>>,
-    /// Received `y_j` vectors awaiting their GEMV tasks.
+    /// Received `Y_j` panels awaiting their GEMM tasks.
     yin: HashMap<usize, Vec<f64>>,
-    /// Received `x_i` vectors awaiting their GEMV tasks.
+    /// Received `X_i` panels awaiting their GEMM tasks.
     xin: HashMap<usize, Vec<f64>>,
     /// Owned off-diagonal blocks keyed by owner supernode `j` → targets `i`.
     my_blocks_by_j: HashMap<usize, Vec<usize>>,
@@ -190,6 +207,7 @@ impl SolveEngine {
         sf: Arc<SymbolicFactor>,
         grid: ProcGrid,
         rank: usize,
+        nrhs: usize,
         kernels: KernelEngine,
         params: &SolveParams,
     ) -> Self {
@@ -236,6 +254,7 @@ impl SolveEngine {
         SolveEngine {
             sf,
             grid,
+            nrhs,
             rt,
             acc: HashMap::new(),
             y: HashMap::new(),
@@ -292,13 +311,19 @@ impl SolveEngine {
         });
     }
 
-    /// Seed the forward sweep: accumulators = permuted RHS rows; the ready
-    /// queue starts with the leaf supernode solves.
+    /// Seed the forward sweep: accumulator panels = this supernode's rows of
+    /// every permuted RHS column; the ready queue starts with the leaf
+    /// supernode solves. `bp` is the full `n × nrhs` panel, column-major.
     fn fwd_init(&mut self, bp: &[f64]) {
+        let n = self.sf.n();
         for &j in &self.my_diags {
             let first = self.sf.partition.first_col(j);
             let w = self.sf.partition.width(j);
-            self.acc.insert(j, bp[first..first + w].to_vec());
+            let mut panel = vec![0.0; w * self.nrhs];
+            for k in 0..self.nrhs {
+                panel[k * w..(k + 1) * w].copy_from_slice(&bp[k * n + first..k * n + first + w]);
+            }
+            self.acc.insert(j, panel);
         }
         self.rt.seed_ready();
     }
@@ -328,12 +353,16 @@ impl SolveEngine {
             }
             SolveMsg::FwdContrib { target, rows, vals } => {
                 let first = self.sf.partition.first_col(target);
+                let w = self.sf.partition.width(target);
+                let m = rows.len();
                 let acc = self
                     .acc
                     .get_mut(&target)
                     .expect("diag owner has accumulator");
-                for (&r, &v) in rows.iter().zip(&vals) {
-                    acc[r - first] -= v;
+                for k in 0..self.nrhs {
+                    for (ri, &r) in rows.iter().enumerate() {
+                        acc[k * w + (r - first)] -= vals[k * m + ri];
+                    }
                 }
                 self.rt.dec(SolveKey::FwdDiag { j: target }, now);
             }
@@ -365,8 +394,8 @@ impl SolveEngine {
                 let l = store.get((j, j)).expect("diag factor owned");
                 let w = l.rows();
                 let mut rhs = self.acc.remove(&j).expect("accumulator present");
-                forward_subst(l, &mut rhs);
-                let secs = self.kernel_secs(Op::Trsm, w * w, (w * w) as u64);
+                trsm_left_lower_notrans_raw(&mut rhs, w, w, self.nrhs, l.as_slice(), l.ld());
+                let secs = self.kernel_secs(Op::Trsm, w * w, (w * w * self.nrhs) as u64);
                 self.rt.charge(rank, key, secs);
                 self.y.insert(j, rhs.clone());
                 // Fan y_j out to the owners of blocks B(i,j).
@@ -388,15 +417,10 @@ impl SolveEngine {
                 let yj = self.yin.get(&j).expect("y_j arrived").clone();
                 let b = store.get((i, j)).expect("block owned");
                 let (m, w) = (b.rows(), b.cols());
-                // v = B(i,j) · y_j
-                let mut v = vec![0.0; m];
-                for c in 0..w {
-                    let yc = yj[c];
-                    for r in 0..m {
-                        v[r] += b[(r, c)] * yc;
-                    }
-                }
-                let secs = self.kernel_secs(Op::Gemm, m * w, (2 * m * w) as u64);
+                // V = B(i,j) · Y_j
+                let mut v = vec![0.0; m * self.nrhs];
+                gemm_nn_acc_raw(&mut v, m, m, self.nrhs, b.as_slice(), b.ld(), &yj, w, w);
+                let secs = self.kernel_secs(Op::Gemm, m * w, (2 * m * w * self.nrhs) as u64);
                 self.rt.charge(rank, key, secs);
                 let binfo = self.sf.layout.find(i, j).expect("block exists");
                 let rows =
@@ -416,8 +440,8 @@ impl SolveEngine {
                 let l = store.get((j, j)).expect("diag factor owned");
                 let w = l.rows();
                 let mut rhs = self.acc.remove(&j).expect("accumulator present");
-                backward_subst(l, &mut rhs);
-                let secs = self.kernel_secs(Op::Trsm, w * w, (w * w) as u64);
+                trsm_left_lower_trans_raw(&mut rhs, w, w, self.nrhs, l.as_slice(), l.ld());
+                let secs = self.kernel_secs(Op::Trsm, w * w, (w * w * self.nrhs) as u64);
                 self.rt.charge(rank, key, secs);
                 self.x.insert(j, rhs.clone());
                 // Fan x_j out to owners of blocks B(j, k) — every rank
@@ -433,20 +457,22 @@ impl SolveEngine {
             SolveKey::BwdGemv { i, j } => {
                 let xi = self.xin.get(&i).expect("x_i arrived").clone();
                 let first_i = self.sf.partition.first_col(i);
+                let wi = self.sf.partition.width(i);
                 let b = store.get((i, j)).expect("block owned");
                 let (m, w) = (b.rows(), b.cols());
                 let binfo = self.sf.layout.find(i, j).expect("block exists");
                 let rows = &self.sf.patterns[j][binfo.row_offset..binfo.row_offset + binfo.n_rows];
-                // v = B(i,j)ᵀ · x_i[rows]
-                let mut v = vec![0.0; w];
-                for c in 0..w {
-                    let mut s = 0.0;
-                    for (r, &gr) in rows.iter().enumerate() {
-                        s += b[(r, c)] * xi[gr - first_i];
+                // Gather the block's rows of X_i into a dense m × nrhs
+                // sub-panel, then V = B(i,j)ᵀ · X_i[rows].
+                let mut xsub = vec![0.0; m * self.nrhs];
+                for k in 0..self.nrhs {
+                    for (ri, &gr) in rows.iter().enumerate() {
+                        xsub[k * m + ri] = xi[k * wi + (gr - first_i)];
                     }
-                    v[c] = s;
                 }
-                let secs = self.kernel_secs(Op::Gemm, m * w, (2 * m * w) as u64);
+                let mut v = vec![0.0; w * self.nrhs];
+                gemm_tn_acc_raw(&mut v, w, w, self.nrhs, b.as_slice(), b.ld(), &xsub, m, m);
+                let secs = self.kernel_secs(Op::Gemm, m * w, (2 * m * w * self.nrhs) as u64);
                 self.rt.charge(rank, key, secs);
                 let dest = self.grid.map(j, j);
                 self.send(rank, dest, SolveMsg::BwdContrib { target: j, vals: v });
@@ -481,7 +507,9 @@ impl SolveEngine {
 
 /// What one rank gets back from a distributed solve.
 pub struct SolveOutcome {
-    /// Per-supernode solution pieces owned by this rank.
+    /// Per-supernode solution pieces owned by this rank: a `w × nrhs`
+    /// column-major panel per diagonal supernode (`w`-vectors for the
+    /// single-RHS [`solve`]).
     pub x: HashMap<usize, Vec<f64>>,
     /// Virtual time spent in the solve.
     pub elapsed: f64,
@@ -493,9 +521,10 @@ pub struct SolveOutcome {
     pub error: Option<SolverError>,
 }
 
-/// Run the distributed solve. `store` holds this rank's factor blocks; `bp`
-/// is the full permuted right-hand side (replicated, as in the paper's
-/// driver).
+/// Run the distributed solve for one right-hand side. `store` holds this
+/// rank's factor blocks; `bp` is the full permuted right-hand side
+/// (replicated, as in the paper's driver). Equivalent to [`solve_panel`]
+/// with `nrhs = 1` — identical arithmetic, costs and message bytes.
 pub fn solve(
     rank: &mut Rank,
     sf: Arc<SymbolicFactor>,
@@ -505,8 +534,31 @@ pub fn solve(
     kernels: KernelEngine,
     params: &SolveParams,
 ) -> SolveOutcome {
+    solve_panel(rank, sf, grid, store, bp, 1, kernels, params)
+}
+
+/// Run the distributed solve for a dense panel of `nrhs` right-hand sides.
+///
+/// `bp` is the full permuted `n × nrhs` panel, column-major and replicated
+/// on every rank. The returned [`SolveOutcome::x`] pieces are `w × nrhs`
+/// panels per owned diagonal supernode. One panel solve issues the same
+/// number of messages and tasks as a single-vector solve — the panel width
+/// rides along in the payloads, which is where the batching win comes from.
+#[allow(clippy::too_many_arguments)] // mirrors `solve` plus the panel width
+pub fn solve_panel(
+    rank: &mut Rank,
+    sf: Arc<SymbolicFactor>,
+    grid: ProcGrid,
+    store: &BlockStore,
+    bp: &[f64],
+    nrhs: usize,
+    kernels: KernelEngine,
+    params: &SolveParams,
+) -> SolveOutcome {
+    assert!(nrhs > 0, "panel solve needs at least one right-hand side");
+    assert_eq!(bp.len(), sf.n() * nrhs, "rhs panel must be n × nrhs");
     let start = rank.now();
-    let mut st = SolveEngine::new(sf, grid, rank.id(), kernels, params);
+    let mut st = SolveEngine::new(sf, grid, rank.id(), nrhs, kernels, params);
     st.fwd_init(bp);
     rank.set_state(st);
     // Forward sweep.

@@ -12,6 +12,10 @@
 //! * [`gemm_nt`] — general update `C ← C − A·Bᵀ` (BLAS `GEMM`), used by
 //!   *Update* tasks with off-diagonal targets.
 //!
+//! The blocked multi-NRHS triangular solve adds the [`panel`] kernels:
+//! left-side substitutions `L·Y = B` / `Lᵀ·X = B` and the accumulating
+//! products `C += A·B` / `C += Aᵀ·B` over dense right-hand-side panels.
+//!
 //! All matrices are stored **column-major** (Fortran/BLAS convention) so that
 //! supernode panels — tall dense column blocks — are contiguous per column.
 //! Every kernel comes in a cache-blocked sequential form; [`par`] adds
@@ -21,6 +25,7 @@ pub mod error;
 pub mod gemm;
 pub mod mat;
 pub mod naive;
+pub mod panel;
 pub mod par;
 pub mod potrf;
 pub mod syrk;
@@ -29,6 +34,7 @@ pub mod trsm;
 pub use error::DenseError;
 pub use gemm::gemm_nt;
 pub use mat::Mat;
+pub use panel::{gemm_nn_acc, gemm_tn_acc, trsm_left_lower_notrans, trsm_left_lower_trans};
 pub use potrf::potrf;
 pub use syrk::syrk_lower;
 pub use trsm::trsm_right_lower_trans;

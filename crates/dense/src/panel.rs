@@ -1,0 +1,360 @@
+//! Panel kernels for the blocked multi-NRHS triangular solve.
+//!
+//! The distributed solve in `sympack::trisolve` operates on dense column
+//! panels `B` of shape `n × nrhs` (one column per right-hand side) instead of
+//! single vectors. Its four task bodies map onto four kernels:
+//!
+//! * [`trsm_left_lower_notrans`] — `L · Y = B` (forward substitution on a
+//!   panel; BLAS `TRSM` side=left, trans=N),
+//! * [`trsm_left_lower_trans`] — `Lᵀ · X = B` (backward substitution on a
+//!   panel; side=left, trans=T),
+//! * [`gemm_nn_acc`] — `C ← C + A·B` (a block's forward contribution),
+//! * [`gemm_tn_acc`] — `C ← C + Aᵀ·B` (a block's backward contribution).
+//!
+//! Accumulation is *additive* here (the solve subtracts contributions at the
+//! owning accumulator), in contrast to [`crate::gemm::gemm_nt`]'s built-in
+//! subtraction. With `nrhs = 1` the substitution kernels perform exactly the
+//! arithmetic of the scalar `forward_subst`/`backward_subst` routines, column
+//! sweep for column sweep, so the single-vector solve path is unchanged.
+
+use crate::mat::Mat;
+
+/// Solve `L · Y = B` in place on raw column-major buffers.
+///
+/// * `l`: `n × n` lower-triangular, leading dimension `ldl`
+/// * `b`: `n × nrhs`, leading dimension `ldb`; overwritten with `Y`
+///
+/// The strict upper triangle of `l` is never read.
+pub fn trsm_left_lower_notrans_raw(
+    b: &mut [f64],
+    ldb: usize,
+    n: usize,
+    nrhs: usize,
+    l: &[f64],
+    ldl: usize,
+) {
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    for c in 0..n {
+        let lc = &l[c * ldl..c * ldl + n];
+        let d = lc[c];
+        for k in 0..nrhs {
+            let col = &mut b[k * ldb..k * ldb + n];
+            let yc = col[c] / d;
+            col[c] = yc;
+            for r in c + 1..n {
+                col[r] -= lc[r] * yc;
+            }
+        }
+    }
+}
+
+/// Solve `Lᵀ · X = B` in place on raw column-major buffers.
+///
+/// Same shapes as [`trsm_left_lower_notrans_raw`]; `b` is overwritten with
+/// `X`. The strict upper triangle of `l` is never read.
+pub fn trsm_left_lower_trans_raw(
+    b: &mut [f64],
+    ldb: usize,
+    n: usize,
+    nrhs: usize,
+    l: &[f64],
+    ldl: usize,
+) {
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    for c in (0..n).rev() {
+        let lc = &l[c * ldl..c * ldl + n];
+        let d = lc[c];
+        for k in 0..nrhs {
+            let col = &mut b[k * ldb..k * ldb + n];
+            let mut v = col[c];
+            for r in c + 1..n {
+                v -= lc[r] * col[r];
+            }
+            col[c] = v / d;
+        }
+    }
+}
+
+/// Matrix-level wrapper: overwrite `B` with the solution `Y` of `L·Y = B`.
+///
+/// # Panics
+/// Panics if `L` is not square or `B.rows() != L.rows()`.
+pub fn trsm_left_lower_notrans(b: &mut Mat, l: &Mat) {
+    assert_eq!(l.rows(), l.cols(), "trsm: L must be square");
+    assert_eq!(b.rows(), l.rows(), "trsm: B row count must match L order");
+    let (n, nrhs) = (b.rows(), b.cols());
+    let (ldb, ldl) = (b.ld(), l.ld());
+    trsm_left_lower_notrans_raw(b.as_mut_slice(), ldb, n, nrhs, l.as_slice(), ldl);
+}
+
+/// Matrix-level wrapper: overwrite `B` with the solution `X` of `Lᵀ·X = B`.
+///
+/// # Panics
+/// Panics if `L` is not square or `B.rows() != L.rows()`.
+pub fn trsm_left_lower_trans(b: &mut Mat, l: &Mat) {
+    assert_eq!(l.rows(), l.cols(), "trsm: L must be square");
+    assert_eq!(b.rows(), l.rows(), "trsm: B row count must match L order");
+    let (n, nrhs) = (b.rows(), b.cols());
+    let (ldb, ldl) = (b.ld(), l.ld());
+    trsm_left_lower_trans_raw(b.as_mut_slice(), ldb, n, nrhs, l.as_slice(), ldl);
+}
+
+/// Compute `C ← C + A · B` on raw column-major buffers.
+///
+/// * `c`: `m × n`, leading dimension `ldc`
+/// * `a`: `m × k`, leading dimension `lda`
+/// * `b`: `k × n`, leading dimension `ldb`
+#[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
+pub fn gemm_nn_acc_raw(
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    k: usize,
+) {
+    debug_assert!(ldc >= m.max(1) && lda >= m.max(1) && ldb >= k.max(1));
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for j in 0..n {
+        let cj = &mut c[j * ldc..j * ldc + m];
+        let bj = &b[j * ldb..j * ldb + k];
+        for p in 0..k {
+            let bpj = bj[p];
+            if bpj != 0.0 {
+                let ap = &a[p * lda..p * lda + m];
+                for i in 0..m {
+                    cj[i] += ap[i] * bpj;
+                }
+            }
+        }
+    }
+}
+
+/// Compute `C ← C + Aᵀ · B` on raw column-major buffers.
+///
+/// * `c`: `m × n`, leading dimension `ldc`
+/// * `a`: `k × m`, leading dimension `lda` (transposed operand)
+/// * `b`: `k × n`, leading dimension `ldb`
+#[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
+pub fn gemm_tn_acc_raw(
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    k: usize,
+) {
+    debug_assert!(ldc >= m.max(1) && lda >= k.max(1) && ldb >= k.max(1));
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for j in 0..n {
+        let bj = &b[j * ldb..j * ldb + k];
+        let cj = &mut c[j * ldc..j * ldc + m];
+        for i in 0..m {
+            let ai = &a[i * lda..i * lda + k];
+            let mut s = 0.0;
+            for p in 0..k {
+                s += ai[p] * bj[p];
+            }
+            cj[i] += s;
+        }
+    }
+}
+
+/// Matrix-level wrapper: `C ← C + A·B`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm_nn_acc(c: &mut Mat, a: &Mat, b: &Mat) {
+    assert_eq!(a.cols(), b.rows(), "gemm_nn: inner dimensions differ");
+    assert_eq!(c.rows(), a.rows(), "gemm_nn: row dimensions differ");
+    assert_eq!(c.cols(), b.cols(), "gemm_nn: column dimensions differ");
+    let (m, n, k) = (c.rows(), c.cols(), a.cols());
+    let (ldc, lda, ldb) = (c.ld(), a.ld(), b.ld());
+    gemm_nn_acc_raw(
+        c.as_mut_slice(),
+        ldc,
+        m,
+        n,
+        a.as_slice(),
+        lda,
+        b.as_slice(),
+        ldb,
+        k,
+    );
+}
+
+/// Matrix-level wrapper: `C ← C + Aᵀ·B`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm_tn_acc(c: &mut Mat, a: &Mat, b: &Mat) {
+    assert_eq!(a.rows(), b.rows(), "gemm_tn: inner dimensions differ");
+    assert_eq!(c.rows(), a.cols(), "gemm_tn: row dimensions differ");
+    assert_eq!(c.cols(), b.cols(), "gemm_tn: column dimensions differ");
+    let (m, n, k) = (c.rows(), c.cols(), a.rows());
+    let (ldc, lda, ldb) = (c.ld(), a.ld(), b.ld());
+    gemm_tn_acc_raw(
+        c.as_mut_slice(),
+        ldc,
+        m,
+        n,
+        a.as_slice(),
+        lda,
+        b.as_slice(),
+        ldb,
+        k,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::potrf_ref;
+
+    fn spd_factor(n: usize) -> Mat {
+        let a = Mat::spd_from(n, |r, c| ((r * 7 + c * 5) % 11) as f64 - 5.0);
+        potrf_ref(&a).unwrap()
+    }
+
+    fn panel(n: usize, nrhs: usize) -> Mat {
+        Mat::from_fn(n, nrhs, |r, c| ((r * 3 + c * 5) % 13) as f64 - 6.0)
+    }
+
+    #[test]
+    fn left_notrans_solves_each_column() {
+        for &(n, nrhs) in &[(1, 1), (4, 1), (5, 3), (9, 8), (17, 16)] {
+            let l = spd_factor(n);
+            let b0 = panel(n, nrhs);
+            let mut y = b0.clone();
+            trsm_left_lower_notrans(&mut y, &l);
+            // L·Y must reproduce B0.
+            let recon = l.matmul(&y);
+            assert!(recon.max_abs_diff(&b0) < 1e-9, "n={n} nrhs={nrhs}");
+        }
+    }
+
+    #[test]
+    fn left_trans_solves_each_column() {
+        for &(n, nrhs) in &[(1, 1), (4, 1), (5, 3), (9, 8), (17, 16)] {
+            let l = spd_factor(n);
+            let b0 = panel(n, nrhs);
+            let mut x = b0.clone();
+            trsm_left_lower_trans(&mut x, &l);
+            let recon = l.transpose().matmul(&x);
+            assert!(recon.max_abs_diff(&b0) < 1e-9, "n={n} nrhs={nrhs}");
+        }
+    }
+
+    #[test]
+    fn single_column_matches_scalar_substitution() {
+        // nrhs = 1 must be arithmetically identical to the scalar routines
+        // the vector solve path used (bit-equality, not just tolerance).
+        let l = spd_factor(11);
+        let b0 = panel(11, 1);
+        let mut fwd_panel = b0.clone();
+        trsm_left_lower_notrans(&mut fwd_panel, &l);
+        let mut fwd_scalar: Vec<f64> = b0.as_slice().to_vec();
+        for c in 0..11 {
+            let yc = fwd_scalar[c] / l[(c, c)];
+            fwd_scalar[c] = yc;
+            for r in c + 1..11 {
+                fwd_scalar[r] -= l[(r, c)] * yc;
+            }
+        }
+        assert_eq!(fwd_panel.as_slice(), &fwd_scalar[..]);
+    }
+
+    #[test]
+    fn upper_triangle_of_l_is_ignored() {
+        let mut l = spd_factor(6);
+        let b0 = panel(6, 4);
+        let mut y1 = b0.clone();
+        trsm_left_lower_notrans(&mut y1, &l);
+        let mut x1 = b0.clone();
+        trsm_left_lower_trans(&mut x1, &l);
+        for j in 1..6 {
+            for i in 0..j {
+                l[(i, j)] = f64::NAN;
+            }
+        }
+        let mut y2 = b0.clone();
+        trsm_left_lower_notrans(&mut y2, &l);
+        let mut x2 = b0.clone();
+        trsm_left_lower_trans(&mut x2, &l);
+        assert_eq!(y1.max_abs_diff(&y2), 0.0);
+        assert_eq!(x1.max_abs_diff(&x2), 0.0);
+    }
+
+    #[test]
+    fn gemm_nn_acc_matches_matmul() {
+        for &(m, n, k) in &[(1, 1, 1), (3, 2, 4), (7, 5, 3), (16, 9, 11)] {
+            let a = Mat::from_fn(m, k, |r, c| ((r * 13 + c * 7) % 9) as f64 - 4.0);
+            let b = Mat::from_fn(k, n, |r, c| ((r * 5 + c * 11) % 13) as f64 * 0.5 - 3.0);
+            let c0 = Mat::from_fn(m, n, |r, c| (r + c) as f64);
+            let mut c1 = c0.clone();
+            gemm_nn_acc(&mut c1, &a, &b);
+            let mut expect = a.matmul(&b);
+            for (e, base) in expect.as_mut_slice().iter_mut().zip(c0.as_slice()) {
+                *e += base;
+            }
+            assert!(c1.max_abs_diff(&expect) < 1e-10, "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn gemm_tn_acc_matches_matmul() {
+        for &(m, n, k) in &[(1, 1, 1), (3, 2, 4), (7, 5, 3), (16, 9, 11)] {
+            let a = Mat::from_fn(k, m, |r, c| ((r * 13 + c * 7) % 9) as f64 - 4.0);
+            let b = Mat::from_fn(k, n, |r, c| ((r * 5 + c * 11) % 13) as f64 * 0.5 - 3.0);
+            let c0 = Mat::from_fn(m, n, |r, c| (2 * r + c) as f64);
+            let mut c1 = c0.clone();
+            gemm_tn_acc(&mut c1, &a, &b);
+            let mut expect = a.transpose().matmul(&b);
+            for (e, base) in expect.as_mut_slice().iter_mut().zip(c0.as_slice()) {
+                *e += base;
+            }
+            assert!(c1.max_abs_diff(&expect) < 1e-10, "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn raw_kernels_respect_leading_dimensions() {
+        // Embed a 2×2 C in a 4-row buffer; rows 2..4 of each column must stay
+        // untouched by both accumulating kernels.
+        let mut c = vec![1.0; 8];
+        let a = [1.0, 2.0]; // 2×1, lda = 2
+        let b = [3.0, 4.0]; // 1×2, ldb = 1
+        gemm_nn_acc_raw(&mut c, 4, 2, 2, &a, 2, &b, 1, 1);
+        assert_eq!(&c, &[4.0, 7.0, 1.0, 1.0, 5.0, 9.0, 1.0, 1.0]);
+        let mut c = vec![0.0; 8];
+        let at = [1.0, 2.0]; // 2×1 transposed operand (k=2, m=1), lda = 2
+        let bt = [3.0, 4.0, 5.0, 6.0]; // 2×2, ldb = 2
+        gemm_tn_acc_raw(&mut c, 4, 1, 2, &at, 2, &bt, 2, 2);
+        assert_eq!(&c, &[11.0, 0.0, 0.0, 0.0, 17.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_noops() {
+        let mut empty: Vec<f64> = Vec::new();
+        trsm_left_lower_notrans_raw(&mut empty, 1, 0, 3, &[], 1);
+        trsm_left_lower_trans_raw(&mut empty, 1, 4, 0, &[1.0; 16], 4);
+        let mut c = vec![7.0; 4];
+        gemm_nn_acc_raw(&mut c, 2, 2, 2, &[], 2, &[], 1, 0);
+        gemm_tn_acc_raw(&mut c, 2, 2, 2, &[], 1, &[], 1, 0);
+        assert_eq!(&c, &[7.0; 4]);
+    }
+}

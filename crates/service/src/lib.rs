@@ -1,0 +1,693 @@
+//! Solver sessions: factor once, serve many.
+//!
+//! The one-shot [`sympack::SymPack`] driver re-runs ordering, symbolic
+//! analysis, mapping and factorization on every call — the right shape for
+//! a benchmark, the wrong one for the paper's §5.3 applications
+//! (optimization loops, selected inversion, time-stepping), which solve
+//! against one factorization hundreds of times and periodically re-factor
+//! on an unchanged sparsity pattern. This crate adds the serving layer:
+//!
+//! * [`Session`] — owns the analyzed plan (ordering, symbolic factor, 2D
+//!   mapping, per-rank task graphs) and the distributed numeric factor.
+//!   Exposes [`Session::solve_batch`] (one distributed *panel* triangular
+//!   solve over many right-hand sides — same message and task count as a
+//!   single-vector solve) and [`Session::refactorize`] (numeric-only
+//!   re-factorization reusing all symbolic state, with typed rejection of
+//!   pattern-mismatched input).
+//! * [`Server`] — a virtual-time job queue in front of a session: bounded
+//!   admission ([`ServiceError::QueueFull`]), batching that coalesces
+//!   pending right-hand sides into one panel solve, and per-session
+//!   [`ServiceMetrics`] (batch sizes, p50/p99 latency, amortized vs
+//!   one-shot cost).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sympack::plan::{factor_numeric, solve_panel_distributed};
+use sympack::storage::BlockStore;
+use sympack::taskgraph::LocalTasks;
+use sympack::{pattern_hash, SolvePlan, SolverError, SolverOptions};
+use sympack_sparse::SparseSym;
+use sympack_trace::metrics::ServiceMetrics;
+
+/// A dense column panel of right-hand sides (or solutions): `n × nrhs`,
+/// column-major.
+#[derive(Debug, Clone)]
+pub struct RhsPanel {
+    n: usize,
+    nrhs: usize,
+    data: Vec<f64>,
+}
+
+impl RhsPanel {
+    /// Wrap a column-major `n × nrhs` buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != n * nrhs` or `nrhs == 0`.
+    pub fn new(n: usize, nrhs: usize, data: Vec<f64>) -> RhsPanel {
+        assert!(nrhs > 0, "a panel has at least one column");
+        assert_eq!(data.len(), n * nrhs, "panel buffer must be n × nrhs");
+        RhsPanel { n, nrhs, data }
+    }
+
+    /// Single-column panel from one right-hand-side vector.
+    pub fn from_vector(b: &[f64]) -> RhsPanel {
+        RhsPanel::new(b.len(), 1, b.to_vec())
+    }
+
+    /// Panel from equal-length columns.
+    ///
+    /// # Panics
+    /// Panics when `cols` is empty or the columns disagree in length.
+    pub fn from_columns(cols: &[Vec<f64>]) -> RhsPanel {
+        assert!(!cols.is_empty(), "a panel has at least one column");
+        let n = cols[0].len();
+        let mut data = Vec::with_capacity(n * cols.len());
+        for c in cols {
+            assert_eq!(c.len(), n, "panel columns must agree in length");
+            data.extend_from_slice(c);
+        }
+        RhsPanel::new(n, cols.len(), data)
+    }
+
+    /// Rows (matrix order).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Columns (right-hand sides).
+    pub fn nrhs(&self) -> usize {
+        self.nrhs
+    }
+
+    /// One column as a slice.
+    pub fn column(&self, k: usize) -> &[f64] {
+        &self.data[k * self.n..(k + 1) * self.n]
+    }
+
+    /// The whole column-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Result of one [`Session::solve_batch`]: solution panels aligned with the
+/// input panels, plus the virtual makespan of the single distributed panel
+/// solve that served all of them.
+#[derive(Debug)]
+pub struct BatchSolve {
+    /// One solution panel per input panel, same shapes.
+    pub panels: Vec<RhsPanel>,
+    /// Virtual makespan of the coalesced panel solve.
+    pub solve_time: f64,
+    /// Total right-hand sides served.
+    pub nrhs: usize,
+}
+
+/// A persistent solver session: analysis and mapping paid once, the numeric
+/// factor retained across solves, numeric-only re-factorization on the same
+/// pattern.
+#[derive(Debug)]
+pub struct Session {
+    plan: SolvePlan,
+    tasks: Vec<LocalTasks>,
+    stores: Vec<BlockStore>,
+    /// Original (unpermuted) pattern, kept to validate and rebuild matrices
+    /// for [`Session::refactorize`].
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    factor_time: f64,
+    first_factor_time: f64,
+    analyze_wall_ms: f64,
+    refactorizations: u64,
+}
+
+impl Session {
+    /// Analyze `a`, build per-rank task graphs and run the first numeric
+    /// factorization.
+    ///
+    /// # Errors
+    /// Any factorization failure ([`SolverError::NotPositiveDefinite`],
+    /// device OOM under the Abort policy, fault-injection diagnoses).
+    pub fn new(a: &SparseSym, opts: &SolverOptions) -> Result<Session, SolverError> {
+        let t0 = Instant::now();
+        let plan = SolvePlan::new(a, opts);
+        let tasks = plan.build_local_tasks();
+        let analyze_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let ap = Arc::new(plan.permute(a));
+        let nf = factor_numeric(&plan, &ap, &tasks)?;
+        let mut row_idx = Vec::with_capacity(a.nnz());
+        for c in 0..a.n() {
+            row_idx.extend_from_slice(a.col_rows(c));
+        }
+        Ok(Session {
+            plan,
+            tasks,
+            stores: nf.stores,
+            n: a.n(),
+            col_ptr: a.col_ptr().to_vec(),
+            row_idx,
+            factor_time: nf.factor_time,
+            first_factor_time: nf.factor_time,
+            analyze_wall_ms,
+            refactorizations: 0,
+        })
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Lower-triangle stored nonzeros of the analyzed pattern — the value
+    /// count [`Session::refactorize`] expects.
+    pub fn pattern_nnz(&self) -> usize {
+        self.col_ptr[self.n]
+    }
+
+    /// Structure hash of the analyzed pattern.
+    pub fn pattern(&self) -> u64 {
+        self.plan.pattern
+    }
+
+    /// Virtual makespan of the most recent factorization.
+    pub fn factor_time(&self) -> f64 {
+        self.factor_time
+    }
+
+    /// Virtual makespan of the session's first factorization.
+    pub fn first_factor_time(&self) -> f64 {
+        self.first_factor_time
+    }
+
+    /// Wall-clock milliseconds of ordering + symbolic analysis + task-graph
+    /// construction (paid once at session creation).
+    pub fn analyze_wall_ms(&self) -> f64 {
+        self.analyze_wall_ms
+    }
+
+    /// Numeric re-factorizations performed so far.
+    pub fn refactorizations(&self) -> u64 {
+        self.refactorizations
+    }
+
+    /// The analysis/mapping plan the session runs under.
+    pub fn plan(&self) -> &SolvePlan {
+        &self.plan
+    }
+
+    /// Solve every right-hand side in `panels` with one distributed panel
+    /// triangular solve and return the solution panels in the same shapes.
+    /// Returns the coalesced solve's virtual makespan; an empty batch is a
+    /// no-op with zero cost.
+    ///
+    /// # Panics
+    /// Panics when a panel's row count differs from the session matrix.
+    ///
+    /// # Errors
+    /// The solve's fault-injection diagnoses ([`SolverError::Stalled`],
+    /// [`SolverError::FetchTimeout`]).
+    pub fn solve_batch(&self, panels: &[RhsPanel]) -> Result<BatchSolve, SolverError> {
+        let total: usize = panels.iter().map(|p| p.nrhs()).sum();
+        if total == 0 {
+            return Ok(BatchSolve {
+                panels: Vec::new(),
+                solve_time: 0.0,
+                nrhs: 0,
+            });
+        }
+        let n = self.n;
+        let mut bp = vec![0.0; n * total];
+        let mut k = 0;
+        for p in panels {
+            assert_eq!(p.n(), n, "rhs panel rows must match the session matrix");
+            for c in 0..p.nrhs() {
+                let col = self.plan.sf.perm.apply_vec(p.column(c));
+                bp[k * n..(k + 1) * n].copy_from_slice(&col);
+                k += 1;
+            }
+        }
+        let ps = solve_panel_distributed(&self.plan, &self.stores, &bp, total)?;
+        let mut out = Vec::with_capacity(panels.len());
+        let mut k = 0;
+        for p in panels {
+            let mut data = Vec::with_capacity(n * p.nrhs());
+            for _ in 0..p.nrhs() {
+                data.extend(self.plan.sf.perm.unapply_vec(&ps.xp[k * n..(k + 1) * n]));
+                k += 1;
+            }
+            out.push(RhsPanel::new(n, p.nrhs(), data));
+        }
+        Ok(BatchSolve {
+            panels: out,
+            solve_time: ps.solve_time,
+            nrhs: total,
+        })
+    }
+
+    /// Solve one right-hand side (a 1-column [`Session::solve_batch`]).
+    ///
+    /// # Errors
+    /// Same as [`Session::solve_batch`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+        let out = self.solve_batch(&[RhsPanel::from_vector(b)])?;
+        Ok(out.panels[0].column(0).to_vec())
+    }
+
+    /// Numeric re-factorization from a new value array laid out exactly like
+    /// the analyzed matrix's lower-triangle storage (concatenated column
+    /// values, [`Session::pattern_nnz`] entries). Reuses the ordering,
+    /// symbolic factor, mapping and task graphs; rebuilds only the numeric
+    /// block storage. On success returns the new factorization's virtual
+    /// makespan; on any error the previous factor stays installed.
+    ///
+    /// # Errors
+    /// [`SolverError::PatternMismatch`] when `values` has the wrong length;
+    /// otherwise the factorization failure modes.
+    pub fn refactorize(&mut self, values: &[f64]) -> Result<f64, SolverError> {
+        let expected = self.pattern_nnz();
+        if values.len() != expected {
+            return Err(SolverError::PatternMismatch {
+                expected_nnz: expected,
+                actual_nnz: values.len(),
+                detail: "value array length does not match the analyzed pattern".to_string(),
+            });
+        }
+        let a = SparseSym::from_parts(
+            self.n,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+            values.to_vec(),
+        );
+        self.refactor_with(&a)
+    }
+
+    /// Numeric re-factorization from a full matrix, which must have exactly
+    /// the session's sparsity structure (checked by [`pattern_hash`]).
+    ///
+    /// # Errors
+    /// [`SolverError::PatternMismatch`] when the structure differs;
+    /// otherwise the factorization failure modes.
+    pub fn refactorize_matrix(&mut self, a: &SparseSym) -> Result<f64, SolverError> {
+        if pattern_hash(a) != self.plan.pattern {
+            return Err(SolverError::PatternMismatch {
+                expected_nnz: self.pattern_nnz(),
+                actual_nnz: a.nnz(),
+                detail: "matrix structure differs from the analyzed pattern".to_string(),
+            });
+        }
+        self.refactor_with(a)
+    }
+
+    fn refactor_with(&mut self, a: &SparseSym) -> Result<f64, SolverError> {
+        let ap = Arc::new(self.plan.permute(a));
+        let nf = factor_numeric(&self.plan, &ap, &self.tasks)?;
+        self.stores = nf.stores;
+        self.factor_time = nf.factor_time;
+        self.refactorizations += 1;
+        Ok(nf.factor_time)
+    }
+}
+
+/// Errors surfaced by the serving front-end.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Admission control rejected the job: the pending queue is at capacity.
+    QueueFull {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// A distributed phase failed underneath the server.
+    Solver(SolverError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "job rejected: pending queue is full ({capacity} jobs)")
+            }
+            ServiceError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SolverError> for ServiceError {
+    fn from(e: SolverError) -> ServiceError {
+        ServiceError::Solver(e)
+    }
+}
+
+/// Admission and batching policy for a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum jobs waiting in the queue; submissions beyond this are
+    /// rejected with [`ServiceError::QueueFull`].
+    pub max_pending: usize,
+    /// Maximum right-hand sides coalesced into one panel solve.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_pending: 64,
+            max_batch: 16,
+        }
+    }
+}
+
+/// One queued solve request.
+#[derive(Debug)]
+struct Job {
+    id: u64,
+    rhs: Vec<f64>,
+    arrival: f64,
+}
+
+/// A completed solve request: the solution plus its virtual-time timeline.
+#[derive(Debug)]
+pub struct CompletedJob {
+    /// Ticket returned by [`Server::submit_at`].
+    pub id: u64,
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Virtual arrival time the job was submitted with.
+    pub arrival: f64,
+    /// Virtual time the coalesced solve serving this job finished.
+    pub completion: f64,
+}
+
+/// A virtual-time serving front-end over one [`Session`]: jobs are submitted
+/// with arrival timestamps, admission is bounded, and each [`Server::step`]
+/// coalesces up to [`ServerConfig::max_batch`] pending jobs into a single
+/// distributed panel solve. All queueing/latency accounting runs in the
+/// solver's virtual clock, so a given workload is exactly reproducible.
+#[derive(Debug)]
+pub struct Server {
+    session: Session,
+    config: ServerConfig,
+    pending: VecDeque<Job>,
+    clock: f64,
+    next_id: u64,
+    metrics: ServiceMetrics,
+}
+
+impl Server {
+    /// Wrap a factored session. The session's first factorization seeds the
+    /// amortization baseline in [`Server::metrics`].
+    pub fn new(session: Session, config: ServerConfig) -> Server {
+        let mut metrics = ServiceMetrics::new();
+        metrics.one_shot_factor_cost = session.first_factor_time();
+        metrics.factor_virtual_total = session.first_factor_time();
+        metrics.analyze_wall_ms = session.analyze_wall_ms();
+        Server {
+            session,
+            config,
+            pending: VecDeque::new(),
+            clock: 0.0,
+            next_id: 0,
+            metrics,
+        }
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Current virtual time.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Jobs currently queued.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Serving metrics accumulated so far.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Submit one right-hand side arriving at virtual time `arrival`.
+    /// Returns a job ticket matched by [`CompletedJob::id`].
+    ///
+    /// # Panics
+    /// Panics when `rhs` length differs from the session matrix order.
+    ///
+    /// # Errors
+    /// [`ServiceError::QueueFull`] when the queue is at
+    /// [`ServerConfig::max_pending`].
+    pub fn submit_at(&mut self, rhs: Vec<f64>, arrival: f64) -> Result<u64, ServiceError> {
+        assert_eq!(
+            rhs.len(),
+            self.session.n(),
+            "rhs length must match the session matrix"
+        );
+        if self.pending.len() >= self.config.max_pending {
+            self.metrics.jobs_rejected += 1;
+            return Err(ServiceError::QueueFull {
+                capacity: self.config.max_pending,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.metrics.jobs_submitted += 1;
+        self.pending.push_back(Job { id, rhs, arrival });
+        Ok(id)
+    }
+
+    /// Serve one batch: pop up to [`ServerConfig::max_batch`] pending jobs,
+    /// coalesce them into a single panel solve, advance the virtual clock
+    /// past the latest arrival plus the solve makespan, and return the
+    /// completed jobs. Returns an empty list when the queue is empty.
+    ///
+    /// # Errors
+    /// [`ServiceError::Solver`] when the distributed solve fails.
+    pub fn step(&mut self) -> Result<Vec<CompletedJob>, ServiceError> {
+        if self.pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        let take = self.config.max_batch.min(self.pending.len());
+        let jobs: Vec<Job> = self.pending.drain(..take).collect();
+        for j in &jobs {
+            self.clock = self.clock.max(j.arrival);
+        }
+        let cols: Vec<Vec<f64>> = jobs.iter().map(|j| j.rhs.clone()).collect();
+        let batch = self.session.solve_batch(&[RhsPanel::from_columns(&cols)])?;
+        self.clock += batch.solve_time;
+        self.metrics.record_batch(take, batch.solve_time);
+        let panel = &batch.panels[0];
+        let mut done = Vec::with_capacity(take);
+        for (i, j) in jobs.into_iter().enumerate() {
+            self.metrics.latency.record(self.clock - j.arrival);
+            done.push(CompletedJob {
+                id: j.id,
+                x: panel.column(i).to_vec(),
+                arrival: j.arrival,
+                completion: self.clock,
+            });
+        }
+        Ok(done)
+    }
+
+    /// Serve batches until the queue is empty.
+    ///
+    /// # Errors
+    /// [`ServiceError::Solver`] when a distributed solve fails.
+    pub fn drain(&mut self) -> Result<Vec<CompletedJob>, ServiceError> {
+        let mut all = Vec::new();
+        while !self.pending.is_empty() {
+            all.extend(self.step()?);
+        }
+        Ok(all)
+    }
+
+    /// Numeric re-factorization on the wrapped session (see
+    /// [`Session::refactorize`]); the server's virtual clock advances by the
+    /// factorization makespan, modeling the service pause.
+    ///
+    /// # Errors
+    /// [`ServiceError::Solver`] wrapping the session's rejection or
+    /// factorization failure.
+    pub fn refactorize(&mut self, values: &[f64]) -> Result<(), ServiceError> {
+        let ft = self.session.refactorize(values)?;
+        self.clock += ft;
+        self.metrics.refactorizations += 1;
+        self.metrics.factor_virtual_total += ft;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympack::SymPack;
+    use sympack_sparse::gen::laplacian_2d;
+    use sympack_sparse::vecops::test_rhs;
+
+    fn opts(p: usize) -> SolverOptions {
+        SolverOptions {
+            n_nodes: 1,
+            ranks_per_node: p,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn session_solve_matches_one_shot_driver() {
+        let a = laplacian_2d(9, 8);
+        let b = test_rhs(a.n());
+        let session = Session::new(&a, &opts(4)).unwrap();
+        let x = session.solve(&b).unwrap();
+        assert!(a.relative_residual(&x, &b) < 1e-10);
+        let one_shot = SymPack::factor_and_solve(&a, &b, &opts(4));
+        for (xs, xo) in x.iter().zip(one_shot.x.iter()) {
+            assert!((xs - xo).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_solve_returns_per_panel_solutions() {
+        let a = laplacian_2d(7, 7);
+        let n = a.n();
+        let session = Session::new(&a, &opts(2)).unwrap();
+        let p1 = RhsPanel::from_columns(&[
+            (0..n).map(|i| (i as f64 * 0.1).sin()).collect(),
+            (0..n).map(|i| (i as f64 * 0.2).cos()).collect(),
+        ]);
+        let p2 = RhsPanel::from_vector(&test_rhs(n));
+        let out = session.solve_batch(&[p1.clone(), p2.clone()]).unwrap();
+        assert_eq!(out.nrhs, 3);
+        assert_eq!(out.panels.len(), 2);
+        assert_eq!(out.panels[0].nrhs(), 2);
+        for (pin, pout) in [(&p1, &out.panels[0]), (&p2, &out.panels[1])] {
+            for k in 0..pin.nrhs() {
+                let r = a.relative_residual(pout.column(k), pin.column(k));
+                assert!(r < 1e-10, "panel col {k}: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let a = laplacian_2d(5, 5);
+        let session = Session::new(&a, &opts(1)).unwrap();
+        let out = session.solve_batch(&[]).unwrap();
+        assert_eq!(out.nrhs, 0);
+        assert_eq!(out.solve_time, 0.0);
+    }
+
+    #[test]
+    fn refactorize_wrong_length_is_typed_rejection() {
+        let a = laplacian_2d(6, 6);
+        let mut session = Session::new(&a, &opts(2)).unwrap();
+        let bad = vec![1.0; session.pattern_nnz() + 3];
+        match session.refactorize(&bad) {
+            Err(SolverError::PatternMismatch {
+                expected_nnz,
+                actual_nnz,
+                ..
+            }) => {
+                assert_eq!(expected_nnz, session.pattern_nnz());
+                assert_eq!(actual_nnz, session.pattern_nnz() + 3);
+            }
+            other => panic!("expected PatternMismatch, got {other:?}"),
+        }
+        // The original factor must still serve solves.
+        let b = test_rhs(a.n());
+        let x = session.solve(&b).unwrap();
+        assert!(a.relative_residual(&x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn refactorize_matrix_rejects_different_structure() {
+        let a = laplacian_2d(6, 6);
+        let mut session = Session::new(&a, &opts(2)).unwrap();
+        let other = laplacian_2d(6, 5);
+        match session.refactorize_matrix(&other) {
+            Err(SolverError::PatternMismatch { .. }) => {}
+            other => panic!("expected PatternMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refactorize_installs_new_values() {
+        let a = laplacian_2d(8, 6);
+        let mut session = Session::new(&a, &opts(4)).unwrap();
+        // Scale the matrix by 2: solutions must halve.
+        let mut values = Vec::with_capacity(session.pattern_nnz());
+        for c in 0..a.n() {
+            values.extend(a.col_values(c).iter().map(|v| v * 2.0));
+        }
+        session.refactorize(&values).unwrap();
+        assert_eq!(session.refactorizations(), 1);
+        let b = test_rhs(a.n());
+        let x = session.solve(&b).unwrap();
+        let x_orig = SymPack::factor_and_solve(&a, &b, &opts(4)).x;
+        for (h, f) in x.iter().zip(x_orig.iter()) {
+            assert!((2.0 * h - f).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn server_coalesces_and_bounds_the_queue() {
+        let a = laplacian_2d(6, 6);
+        let n = a.n();
+        let session = Session::new(&a, &opts(2)).unwrap();
+        let mut server = Server::new(
+            session,
+            ServerConfig {
+                max_pending: 4,
+                max_batch: 3,
+            },
+        );
+        for i in 0..4 {
+            server.submit_at(test_rhs(n), i as f64 * 0.5).unwrap();
+        }
+        match server.submit_at(test_rhs(n), 2.5) {
+            Err(ServiceError::QueueFull { capacity: 4 }) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        let done = server.drain().unwrap();
+        assert_eq!(done.len(), 4);
+        let m = server.metrics();
+        assert_eq!(m.jobs_submitted, 4);
+        assert_eq!(m.jobs_rejected, 1);
+        assert_eq!(m.jobs_served, 4);
+        assert_eq!(m.batches, 2); // 3 + 1 under max_batch = 3
+        assert_eq!(m.coalesced_jobs, 2);
+        assert!(m.latency.count() == 4);
+        for j in &done {
+            assert!(a.relative_residual(&j.x, &test_rhs(n)) < 1e-10);
+            assert!(j.completion >= j.arrival);
+        }
+        // Clock advanced past the last arrival plus solve work.
+        assert!(server.clock() > 1.5);
+    }
+
+    #[test]
+    fn server_refactorize_advances_clock_and_metrics() {
+        let a = laplacian_2d(6, 6);
+        let session = Session::new(&a, &opts(2)).unwrap();
+        let mut server = Server::new(session, ServerConfig::default());
+        let values: Vec<f64> = {
+            let mut v = Vec::new();
+            for c in 0..a.n() {
+                v.extend_from_slice(a.col_values(c));
+            }
+            v
+        };
+        let before = server.clock();
+        server.refactorize(&values).unwrap();
+        assert!(server.clock() > before);
+        assert_eq!(server.metrics().refactorizations, 1);
+        assert!(server.metrics().factor_virtual_total > server.metrics().one_shot_factor_cost);
+    }
+}

@@ -2,6 +2,12 @@
 //! time, exportable as a Chrome/Perfetto trace (`chrome://tracing`,
 //! `ui.perfetto.dev`) for visualizing the fan-out schedule — which tasks
 //! overlapped, where ranks idled, how communication hid behind compute.
+//!
+//! The [`metrics`] module adds serving-layer observability: counters,
+//! latency distributions and amortization figures for `sympack-service`
+//! sessions, exported as JSON in the same zero-dependency style.
+
+pub mod metrics;
 
 /// Category of a traced interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,253 @@
+//! Serving-layer metrics: counters, virtual-time latency distributions and
+//! amortization figures for a solver session, exportable as JSON (same
+//! hand-rolled, zero-dependency style as the Chrome-trace exporter).
+//!
+//! The `sympack-service` server records one [`ServiceMetrics`] per session:
+//! jobs admitted/rejected/served, how many jobs each panel solve coalesced,
+//! per-job virtual-time latency (p50/p99), and the amortized cost per job —
+//! the session's one factorization plus all panel solves divided by jobs
+//! served, against the one-shot cost a fresh factor-and-solve would pay per
+//! job.
+
+/// A sample distribution with exact quantiles (samples are kept; serving
+/// sessions record thousands of jobs, not millions).
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// New empty distribution.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Exact quantile `q ∈ [0, 1]` by nearest-rank on the sorted samples
+    /// (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round()) as usize;
+        sorted[idx]
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// JSON object with count/mean/p50/p99/max.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+            self.count(),
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+/// Per-session serving metrics. All times are virtual seconds from the
+/// solver's cost model; wall-clock milliseconds appear only in the
+/// explicitly named `*_wall_ms` fields.
+#[derive(Debug, Default, Clone)]
+pub struct ServiceMetrics {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: u64,
+    /// Jobs rejected by admission control (queue full).
+    pub jobs_rejected: u64,
+    /// Jobs completed by a panel solve.
+    pub jobs_served: u64,
+    /// Panel solves executed.
+    pub batches: u64,
+    /// Jobs that shared a panel solve with at least one other job
+    /// (Σ max(batch − 1, 0) over batches) — nonzero means batching coalesced.
+    pub coalesced_jobs: u64,
+    /// Numeric re-factorizations performed on the session.
+    pub refactorizations: u64,
+    /// Jobs per batch.
+    pub batch_sizes: Histogram,
+    /// Per-job virtual-time latency: completion − arrival.
+    pub latency: Histogram,
+    /// Virtual seconds spent in panel solves (summed).
+    pub solve_virtual_total: f64,
+    /// Virtual seconds of the session's factorization(s), including
+    /// re-factorizations.
+    pub factor_virtual_total: f64,
+    /// Virtual cost of one fresh factorization (the session's first) — the
+    /// per-job factor cost an unbatched one-shot driver would pay.
+    pub one_shot_factor_cost: f64,
+    /// Wall-clock milliseconds of ordering + symbolic analysis (paid once).
+    pub analyze_wall_ms: f64,
+}
+
+impl ServiceMetrics {
+    /// New zeroed metrics.
+    pub fn new() -> Self {
+        ServiceMetrics::default()
+    }
+
+    /// Record one executed batch: `size` jobs served by one panel solve of
+    /// virtual makespan `solve_time`.
+    pub fn record_batch(&mut self, size: usize, solve_time: f64) {
+        self.batches += 1;
+        self.jobs_served += size as u64;
+        self.coalesced_jobs += (size as u64).saturating_sub(1);
+        self.batch_sizes.record(size as f64);
+        self.solve_virtual_total += solve_time;
+    }
+
+    /// Amortized virtual cost per served job: all factorizations plus all
+    /// panel solves, divided by jobs served (0 when no jobs ran).
+    pub fn amortized_cost_per_job(&self) -> f64 {
+        if self.jobs_served == 0 {
+            0.0
+        } else {
+            (self.factor_virtual_total + self.solve_virtual_total) / self.jobs_served as f64
+        }
+    }
+
+    /// Virtual cost per job of the one-shot alternative: a fresh
+    /// factorization plus a mean solve for every job.
+    pub fn one_shot_cost_per_job(&self) -> f64 {
+        let mean_solve = if self.batches == 0 {
+            0.0
+        } else {
+            self.solve_virtual_total / self.batches as f64
+        };
+        self.one_shot_factor_cost + mean_solve
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"jobs_submitted\":{},\"jobs_rejected\":{},\"jobs_served\":{},\
+             \"batches\":{},\"coalesced_jobs\":{},\"refactorizations\":{},\
+             \"batch_sizes\":{},\"latency_virtual_secs\":{},\
+             \"solve_virtual_total\":{},\"factor_virtual_total\":{},\
+             \"amortized_cost_per_job\":{},\"one_shot_cost_per_job\":{},\
+             \"analyze_wall_ms\":{}}}",
+            self.jobs_submitted,
+            self.jobs_rejected,
+            self.jobs_served,
+            self.batches,
+            self.coalesced_jobs,
+            self.refactorizations,
+            self.batch_sizes.to_json(),
+            self.latency.to_json(),
+            self.solve_virtual_total,
+            self.factor_virtual_total,
+            self.amortized_cost_per_job(),
+            self.one_shot_cost_per_job(),
+            self.analyze_wall_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_on_known_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.mean(), 50.5);
+        assert_eq!(h.max(), 100.0);
+        assert_eq!(h.p50(), 51.0); // nearest rank on 0-based index 49.5 → 50
+        assert_eq!(h.p99(), 99.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn batch_recording_accumulates_coalescing() {
+        let mut m = ServiceMetrics::new();
+        m.record_batch(1, 0.5);
+        m.record_batch(4, 1.0);
+        m.record_batch(3, 0.5);
+        assert_eq!(m.batches, 3);
+        assert_eq!(m.jobs_served, 8);
+        assert_eq!(m.coalesced_jobs, 5); // (1-1) + (4-1) + (3-1)
+        assert_eq!(m.solve_virtual_total, 2.0);
+    }
+
+    #[test]
+    fn amortization_beats_one_shot_once_jobs_accumulate() {
+        let mut m = ServiceMetrics::new();
+        m.factor_virtual_total = 10.0;
+        m.one_shot_factor_cost = 10.0;
+        for _ in 0..8 {
+            m.record_batch(4, 1.0);
+        }
+        // Amortized: (10 + 8) / 32 ≈ 0.56 ≪ one-shot 10 + 1 = 11.
+        assert!(m.amortized_cost_per_job() < 1.0);
+        assert!(m.one_shot_cost_per_job() > 10.0);
+    }
+
+    #[test]
+    fn json_export_is_balanced_and_contains_fields() {
+        let mut m = ServiceMetrics::new();
+        m.jobs_submitted = 7;
+        m.jobs_rejected = 2;
+        m.record_batch(5, 0.25);
+        m.latency.record(1.5);
+        let json = m.to_json();
+        assert!(json.contains("\"jobs_submitted\":7"));
+        assert!(json.contains("\"coalesced_jobs\":4"));
+        assert!(json.contains("\"latency_virtual_secs\":{"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -10,6 +10,7 @@
 //! ```
 
 use sympack::{selected_inverse, SolverOptions};
+use sympack_service::{RhsPanel, Session};
 use sympack_sparse::gen::laplacian_2d;
 
 fn main() {
@@ -32,19 +33,32 @@ fn main() {
     );
 
     // The PEXSI-style quantity: the diagonal of the inverse ("local density
-    // of states" analogue). Verify a few entries against a direct solve of
-    // A x = e_i.
+    // of states" analogue). Verify a few entries against direct solves of
+    // A x = e_i — through one Session, so the verification factors once and
+    // serves every unit vector from a single panel solve instead of paying a
+    // fresh factorization per entry.
+    let session = Session::new(&a, &opts).expect("SPD input");
+    let probes = [0usize, n / 3, n / 2, n - 1];
+    let unit_vectors: Vec<Vec<f64>> = probes
+        .iter()
+        .map(|&i| {
+            let mut e = vec![0.0; n];
+            e[i] = 1.0;
+            e
+        })
+        .collect();
+    let batch = session
+        .solve_batch(&[RhsPanel::from_columns(&unit_vectors)])
+        .expect("solve");
     let diag = s.diagonal();
     let mut worst = 0.0f64;
-    for &i in &[0usize, n / 3, n / 2, n - 1] {
-        let mut e = vec![0.0; n];
-        e[i] = 1.0;
-        let r = sympack::SymPack::factor_and_solve(&a, &e, &opts);
-        let err = (r.x[i] - diag[i]).abs();
+    for (k, &i) in probes.iter().enumerate() {
+        let direct = batch.panels[0].column(k)[i];
+        let err = (direct - diag[i]).abs();
         worst = worst.max(err);
         println!(
             "diag(A^-1)[{i:>4}] = {:.6}  (direct solve: {:.6})",
-            diag[i], r.x[i]
+            diag[i], direct
         );
     }
     assert!(
