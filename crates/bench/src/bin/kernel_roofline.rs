@@ -1,0 +1,343 @@
+//! Wall-clock roofline benchmark for the dense kernel engine.
+//!
+//! Sweeps the four factorization kernels (GEMM, POTRF, TRSM, SYRK) over
+//! square and skinny supernode-shaped problems, reporting achieved Gflop/s
+//! and arithmetic intensity (flops per byte of operand/result footprint —
+//! the x-axis of a roofline plot) per shape and code path. For GEMM the
+//! sweep covers three variants: the pre-packing loop nest
+//! (`gemm_nt_unpacked_raw`, the pre-PR baseline), the packed
+//! register-blocked engine, and the shared-A thread-parallel form.
+//!
+//! Two appendix sweeps justify the dispatch constants baked into
+//! `sympack-dense`:
+//!
+//! * `--crossover`-style small-size scan: unpacked vs forced-packed GEMM
+//!   around `GEMM_PACK_MIN_FLOPS`,
+//! * fork-join cost of a scoped worker set, the measurement behind
+//!   `PAR_FLOP_THRESHOLD`.
+//!
+//! Output: `BENCH_kernels.json` (a `sympack_trace::metrics::RooflineReport`)
+//! and a human-readable table in `results/kernel_roofline.txt`. `--quick`
+//! shrinks sizes and repetitions for the CI smoke job.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sympack_dense::gemm::{gemm_nt_packed_raw, gemm_nt_unpacked_raw};
+use sympack_dense::microkernel;
+use sympack_dense::par;
+use sympack_dense::potrf::potrf_raw;
+use sympack_dense::syrk::syrk_lower_raw;
+use sympack_dense::trsm::trsm_right_lower_trans_raw;
+use sympack_dense::{flops, Mat};
+use sympack_trace::metrics::{KernelSample, RooflineReport};
+
+/// Median wall-clock seconds per call: each sample loops `f` often enough to
+/// exceed a minimum window, and the median over `samples` windows rejects
+/// the scheduling outliers a shared host produces.
+fn median_secs<F: FnMut()>(mut f: F, flop: u64, samples: usize) -> f64 {
+    // Aim for ~8 ms windows assuming ≥ 2 Gflop/s; at least one call.
+    let reps = ((0.008 * 2e9) as u64 / flop.max(1)).clamp(1, 10_000) as usize;
+    f(); // warm caches, pack buffers and the ISA detector
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn fill(n: usize, seed: usize) -> Vec<f64> {
+    (0..n)
+        .map(|v| (((v * 13 + seed * 7) % 19) as f64) * 0.25 - 2.0)
+        .collect()
+}
+
+/// SPD buffer for POTRF/TRSM inputs: diagonally dominant column-major n×n.
+fn spd(n: usize) -> Vec<f64> {
+    let mut a = fill(n * n, 3);
+    for i in 0..n {
+        a[i * n + i] = a[i * n + i].abs() + 4.0 * n as f64;
+    }
+    // Symmetrize.
+    for j in 0..n {
+        for i in 0..j {
+            a[j * n + i] = a[i * n + j];
+        }
+    }
+    a
+}
+
+struct Ctx {
+    report: RooflineReport,
+    txt: String,
+    samples: usize,
+}
+
+impl Ctx {
+    #[allow(clippy::too_many_arguments)]
+    fn record<F: FnMut()>(
+        &mut self,
+        kernel: &str,
+        variant: &str,
+        m: usize,
+        n: usize,
+        k: usize,
+        flop: u64,
+        bytes: u64,
+        f: F,
+    ) -> f64 {
+        let secs = median_secs(f, flop, self.samples);
+        let s = KernelSample {
+            kernel: kernel.into(),
+            variant: variant.into(),
+            m,
+            n,
+            k,
+            secs,
+            flops: flop,
+            bytes,
+        };
+        let gf = s.gflops();
+        let _ = writeln!(
+            self.txt,
+            "{kernel:8} {variant:9} m={m:5} n={n:5} k={k:5}  {gf:7.2} GF/s  ai={ai:6.1}",
+            ai = s.arithmetic_intensity()
+        );
+        self.report.push(s);
+        gf
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg_val = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_path = arg_val("--json").unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let txt_path = arg_val("--out").unwrap_or_else(|| "results/kernel_roofline.txt".to_string());
+    let samples = if quick { 3 } else { 7 };
+
+    let mut ctx = Ctx {
+        report: RooflineReport::new(par::num_threads(), microkernel::isa_name()),
+        txt: String::new(),
+        samples,
+    };
+    let _ = writeln!(
+        ctx.txt,
+        "kernel roofline ({} mode): isa={} worker_budget={}\n\
+         rates are median wall-clock over {samples} windows; ai = flops per\n\
+         byte of operand/result footprint (8 bytes per f64, each matrix\n\
+         counted once, destinations twice for read+write).\n",
+        if quick { "quick" } else { "full" },
+        microkernel::isa_name(),
+        par::num_threads(),
+    );
+
+    // ---- GEMM: square and skinny supernode shapes, three variants. ----
+    let square: &[usize] = if quick {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
+    let skinny: &[(usize, usize, usize)] = if quick {
+        &[(512, 64, 64)]
+    } else {
+        // Tall-panel × small-separator shapes typical of supernodal updates.
+        &[(2048, 128, 128), (4096, 64, 64), (1024, 256, 64)]
+    };
+    let mut shapes: Vec<(usize, usize, usize)> = square.iter().map(|&s| (s, s, s)).collect();
+    shapes.extend_from_slice(skinny);
+
+    let mut gemm_512_packed = 0.0_f64;
+    let mut best_packed = 0.0_f64;
+    for &(m, n, k) in &shapes {
+        let a = fill(m * k, 1);
+        let b = fill(n * k, 2);
+        let mut c = vec![0.0; m * n];
+        let flop = flops::gemm(m, n, k);
+        let bytes = 8 * (m * k + n * k + 2 * m * n) as u64;
+        ctx.record("gemm_nt", "unpacked", m, n, k, flop, bytes, || {
+            gemm_nt_unpacked_raw(&mut c, m, m, n, &a, m, &b, n, k)
+        });
+        let gf = ctx.record("gemm_nt", "packed", m, n, k, flop, bytes, || {
+            gemm_nt_packed_raw(&mut c, m, m, n, &a, m, &b, n, k)
+        });
+        if (m, n, k) == (512, 512, 512) {
+            gemm_512_packed = gf;
+        }
+        best_packed = best_packed.max(gf);
+        let (am, bm) = (Mat::from_fn(m, k, |r, c| a[c * m + r]), {
+            Mat::from_fn(n, k, |r, c| b[c * n + r])
+        });
+        let mut cm = Mat::zeros(m, n);
+        ctx.record("gemm_nt", "par", m, n, k, flop, bytes, || {
+            par::gemm_nt_par(&mut cm, &am, &bm)
+        });
+    }
+
+    // Headline speedups: packed engine vs the pre-PR unpacked loop nest.
+    let _ = writeln!(ctx.txt, "\npacked speedup over unpacked baseline:");
+    for &(m, n, k) in &shapes {
+        let (Some(u), Some(p)) = (
+            ctx.report.find("gemm_nt", "unpacked", m, n, k),
+            ctx.report.find("gemm_nt", "packed", m, n, k),
+        ) else {
+            continue;
+        };
+        let _ = writeln!(
+            ctx.txt,
+            "  m={m:5} n={n:5} k={k:5}  {:4.2}x",
+            p.gflops() / u.gflops()
+        );
+    }
+
+    // ---- Factorization kernels. ----
+    let factor_sizes: &[usize] = if quick { &[128, 256] } else { &[128, 256, 512] };
+    for &n in factor_sizes {
+        let l = spd(n);
+        // POTRF (re-copies the SPD input each call; the copy is timed but is
+        // O(n²) against the O(n³) factorization).
+        let mut buf = l.clone();
+        ctx.record(
+            "potrf",
+            "blocked",
+            0,
+            n,
+            0,
+            flops::potrf(n),
+            8 * 2 * (n * n) as u64,
+            || {
+                buf.copy_from_slice(&l);
+                potrf_raw(&mut buf, n, n).unwrap();
+            },
+        );
+        // TRSM: tall panel m = 4n against the factored diagonal block.
+        let mut lf = l.clone();
+        potrf_raw(&mut lf, n, n).unwrap();
+        let m = 4 * n;
+        let b0 = fill(m * n, 5);
+        let mut b = b0.clone();
+        ctx.record(
+            "trsm",
+            "blocked",
+            m,
+            n,
+            0,
+            flops::trsm(m, n),
+            8 * (2 * m * n + n * n / 2) as u64,
+            || {
+                b.copy_from_slice(&b0);
+                trsm_right_lower_trans_raw(&mut b, m, m, n, &lf, n);
+            },
+        );
+        // SYRK: n×n lower update by an n×k panel, k = n.
+        let k = n;
+        let ap = fill(n * k, 6);
+        let mut cs = vec![0.0; n * n];
+        ctx.record(
+            "syrk",
+            "blocked",
+            0,
+            n,
+            k,
+            flops::syrk(n, k),
+            8 * (n * k + n * n) as u64,
+            || syrk_lower_raw(&mut cs, n, n, &ap, n, k),
+        );
+    }
+
+    // Factored-kernel efficiency against the packed GEMM rate at n = 512.
+    if !quick && gemm_512_packed > 0.0 {
+        let _ = writeln!(
+            ctx.txt,
+            "\nfactor-kernel rate vs packed gemm at n=512 ({gemm_512_packed:.2} GF/s):"
+        );
+        for (kernel, m, n, k) in [
+            ("potrf", 0usize, 512usize, 0usize),
+            ("trsm", 2048, 512, 0),
+            ("syrk", 0, 512, 512),
+        ] {
+            if let Some(s) = ctx.report.find(kernel, "blocked", m, n, k) {
+                let _ = writeln!(
+                    ctx.txt,
+                    "  {kernel:6} {:6.2} GF/s  ({:5.1}% of gemm)",
+                    s.gflops(),
+                    100.0 * s.gflops() / gemm_512_packed
+                );
+            }
+        }
+    }
+
+    // ---- Appendix 1: pack/no-pack crossover scan (GEMM_PACK_MIN_FLOPS). ----
+    let _ = writeln!(
+        ctx.txt,
+        "\npack crossover scan (unpacked vs forced-packed; dispatch constant \
+         GEMM_PACK_MIN_FLOPS = {}):",
+        sympack_dense::gemm::GEMM_PACK_MIN_FLOPS
+    );
+    let scan: &[usize] = if quick {
+        &[16, 24, 32]
+    } else {
+        &[8, 12, 16, 20, 24, 28, 32, 40, 48]
+    };
+    for &n in scan {
+        let a = fill(n * n, 1);
+        let b = fill(n * n, 2);
+        let mut c = vec![0.0; n * n];
+        let flop = flops::gemm(n, n, n);
+        let bytes = 8 * 4 * (n * n) as u64;
+        let gu = ctx.record("gemm_nt", "xover-unpacked", n, n, n, flop, bytes, || {
+            gemm_nt_unpacked_raw(&mut c, n, n, n, &a, n, &b, n, n)
+        });
+        let gp = ctx.record("gemm_nt", "xover-packed", n, n, n, flop, bytes, || {
+            gemm_nt_packed_raw(&mut c, n, n, n, &a, n, &b, n, n)
+        });
+        let _ = writeln!(
+            ctx.txt,
+            "  n={n:3} ({flop:7} flop): packed/unpacked = {:4.2}x",
+            gp / gu
+        );
+    }
+
+    // ---- Appendix 2: fork-join cost (PAR_FLOP_THRESHOLD). ----
+    let workers = par::num_threads().max(2);
+    let fork_join = median_secs(
+        || {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| std::hint::black_box(0u64));
+                }
+            });
+        },
+        1,
+        samples,
+    );
+    let _ = writeln!(
+        ctx.txt,
+        "\nfork-join of {workers} scoped workers: {:.1} us \
+         (PAR_FLOP_THRESHOLD = {} flop ~ {:.0} us of packed sequential work)",
+        fork_join * 1e6,
+        par::PAR_FLOP_THRESHOLD,
+        // Quick mode never measures n=512, so fall back to the best packed
+        // rate seen this run for the microseconds-of-work conversion.
+        par::PAR_FLOP_THRESHOLD as f64 / (gemm_512_packed.max(best_packed).max(1.0) * 1e3),
+    );
+
+    print!("{}", ctx.txt);
+    if let Some(dir) = std::path::Path::new(&txt_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&txt_path, &ctx.txt).expect("write text report");
+    std::fs::write(&json_path, ctx.report.to_json()).expect("write json report");
+    println!("\nwrote {txt_path} and {json_path}");
+}

@@ -42,8 +42,10 @@ pub struct SolverOptions {
     /// Override the process grid (e.g. [`ProcGrid::one_dimensional`] for the
     /// mapping ablation); default: most-square grid.
     pub grid: Option<ProcGrid>,
-    /// Use rayon-parallel CPU kernels inside each rank (shared-memory mode;
-    /// affects wall-clock execution, not the modeled times).
+    /// Use thread-parallel CPU kernels inside each rank (shared-memory mode;
+    /// affects wall-clock execution, not the modeled times). The worker
+    /// budget is rank-aware: hardware threads are divided by the number of
+    /// live PGAS ranks, so enabling this under flat-MPI cannot oversubscribe.
     pub intra_parallel: bool,
     /// Iterative-refinement steps after each solve (0 = off, as in the
     /// paper's runs — its PaStiX driver had refinement explicitly disabled).

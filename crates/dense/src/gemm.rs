@@ -6,21 +6,35 @@
 //!
 //! The kernel operates on raw column-major slices with explicit leading
 //! dimensions so the solver can apply it directly to sub-panels of supernode
-//! buffers. Cache blocking follows the usual three-level scheme: panels of
-//! `B` (n-blocking) × strips of `k` × contiguous runs over `i`, with the
-//! innermost `i` loop written so it auto-vectorizes.
+//! buffers. Large problems run through the packed register-blocked core
+//! ([`crate::microkernel`]); tiny problems — where packing cannot amortize —
+//! keep the direct two-column loop nest, preserved in
+//! [`gemm_nt_unpacked_raw`] (also the measured "pre-PR" baseline of the
+//! `kernel_roofline` benchmark).
 
 use crate::mat::Mat;
+use crate::microkernel;
+use crate::pack;
 
-/// Tile sizes tuned for L1/L2-resident panels of `f64`.
+/// Tile sizes of the unpacked fallback, tuned for L1/L2-resident panels.
 const NB: usize = 64;
 const KB: usize = 128;
+
+/// Flop count below which the packed path's pack/writeback traffic costs
+/// more than it saves. Measured by `kernel_roofline --crossover` (see
+/// `results/kernel_roofline.txt`): the packed kernel overtakes the unpacked
+/// one between n = 16 and n = 32 cubed; 2·24³ ≈ 27.6 kflop sits at the
+/// observed break-even.
+pub const GEMM_PACK_MIN_FLOPS: u64 = 28 * 1024;
 
 /// Compute `C ← C − A · Bᵀ` on raw column-major buffers.
 ///
 /// * `c`: `m × n` with leading dimension `ldc`
 /// * `a`: `m × k` with leading dimension `lda`
 /// * `b`: `n × k` with leading dimension `ldb`
+///
+/// Dispatches to the packed register-blocked core when the problem is large
+/// enough to amortize packing, and to [`gemm_nt_unpacked_raw`] otherwise.
 ///
 /// # Panics
 /// Panics (via debug assertions and slice bounds) when the buffers are too
@@ -41,11 +55,82 @@ pub fn gemm_nt_raw(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    if crate::flops::gemm(m, n, k) < GEMM_PACK_MIN_FLOPS {
+        gemm_nt_unpacked_raw(c, ldc, m, n, a, lda, b, ldb, k);
+        return;
+    }
+    gemm_nt_packed_raw(c, ldc, m, n, a, lda, b, ldb, k);
+}
+
+/// The packed register-blocked path, unconditionally — no size dispatch.
+///
+/// [`gemm_nt_raw`] is the entry point the solver uses; this one exists so
+/// the `kernel_roofline` benchmark can measure the packed engine on both
+/// sides of [`GEMM_PACK_MIN_FLOPS`] (the crossover sweep that the constant's
+/// value is derived from).
+#[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
+pub fn gemm_nt_packed_raw(
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    k: usize,
+) {
+    debug_assert!(ldc >= m.max(1) && lda >= m.max(1) && ldb >= n.max(1));
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    microkernel::gemm_packed(
+        c,
+        ldc,
+        m,
+        n,
+        k,
+        |dst, i0, mb, p0, kb| pack::pack_a_nt(dst, a, lda, i0, mb, p0, kb),
+        |dst, j0, nb, p0, kb| pack::pack_b_t(dst, b, ldb, j0, nb, p0, kb),
+        true,
+    );
+}
+
+/// The pre-packing two-column loop nest: `C ← C − A · Bᵀ` reading operands
+/// in place through their leading dimensions.
+///
+/// Kept (a) as the small-problem fast path — no packing traffic, which wins
+/// below [`GEMM_PACK_MIN_FLOPS`] — and (b) as the measured baseline the
+/// `kernel_roofline` benchmark compares the packed engine against.
+#[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
+pub fn gemm_nt_unpacked_raw(
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    k: usize,
+) {
+    debug_assert!(ldc >= m.max(1) && lda >= m.max(1) && ldb >= n.max(1));
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
     // Loop order: jj (n tiles) -> kk (k strips) -> 2-column register
     // microkernel over j -> p -> i. Updating two C columns per k-strip pass
     // reuses every loaded A column twice, which roughly doubles arithmetic
     // intensity versus a plain rank-1 sweep; the inner i-loops stay
     // contiguous so LLVM vectorizes them.
+    //
+    // No skip-zero guards anywhere: factored supernode panels are dense, so
+    // a `b == 0.0` test almost never fires after the first panel while its
+    // branch sits inside the hot loop nest. The remainder column used to
+    // guard and the main path did not; `kernel_roofline` measured the
+    // guarded variant no faster on dense operands (within noise at n = 256),
+    // so both paths now uniformly skip the test — which also keeps the
+    // remainder column's rounding behavior identical to the main path's.
     for jj in (0..n).step_by(NB) {
         let jend = (jj + NB).min(n);
         for kk in (0..k).step_by(KB) {
@@ -90,22 +175,18 @@ pub fn gemm_nt_raw(
                 while p + 1 < kend {
                     let bj0 = b[p * ldb + j];
                     let bj1 = b[(p + 1) * ldb + j];
-                    if bj0 != 0.0 || bj1 != 0.0 {
-                        let a0 = &a[p * lda..p * lda + m];
-                        let a1 = &a[(p + 1) * lda..(p + 1) * lda + m];
-                        for i in 0..m {
-                            cj[i] -= a0[i] * bj0 + a1[i] * bj1;
-                        }
+                    let a0 = &a[p * lda..p * lda + m];
+                    let a1 = &a[(p + 1) * lda..(p + 1) * lda + m];
+                    for i in 0..m {
+                        cj[i] -= a0[i] * bj0 + a1[i] * bj1;
                     }
                     p += 2;
                 }
                 if p < kend {
                     let bjp = b[p * ldb + j];
-                    if bjp != 0.0 {
-                        let ap = &a[p * lda..p * lda + m];
-                        for i in 0..m {
-                            cj[i] -= ap[i] * bjp;
-                        }
+                    let ap = &a[p * lda..p * lda + m];
+                    for i in 0..m {
+                        cj[i] -= ap[i] * bjp;
                     }
                 }
             }
@@ -161,8 +242,39 @@ mod tests {
 
     #[test]
     fn matches_reference_across_tile_boundaries() {
-        for &(m, n, k) in &[(65, 64, 129), (63, 65, 127), (100, 70, 130), (129, 2, 1)] {
+        // Spans the unpacked tile sizes, the packed dispatch threshold and
+        // the packed cache blocks.
+        for &(m, n, k) in &[
+            (65, 64, 129),
+            (63, 65, 127),
+            (100, 70, 130),
+            (129, 2, 1),
+            (260, 140, 300),
+        ] {
             check(m, n, k);
+        }
+    }
+
+    #[test]
+    fn unpacked_baseline_matches_reference() {
+        for &(m, n, k) in &[(5, 3, 4), (65, 64, 129), (100, 70, 130)] {
+            let a = Mat::from_fn(m, k, |r, c| ((r * 13 + c * 7) % 9) as f64 - 4.0);
+            let b = Mat::from_fn(n, k, |r, c| ((r * 5 + c * 11) % 13) as f64 * 0.5 - 3.0);
+            let mut c1 = Mat::from_fn(m, n, |r, c| (r + c) as f64);
+            let mut c2 = c1.clone();
+            gemm_nt_unpacked_raw(
+                c1.as_mut_slice(),
+                m,
+                m,
+                n,
+                a.as_slice(),
+                m,
+                b.as_slice(),
+                n,
+                k,
+            );
+            gemm_ref(&mut c2, &a, &b);
+            assert!(c1.max_abs_diff(&c2) < 1e-10, "m={m} n={n} k={k}");
         }
     }
 

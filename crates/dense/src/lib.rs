@@ -18,13 +18,22 @@
 //!
 //! All matrices are stored **column-major** (Fortran/BLAS convention) so that
 //! supernode panels — tall dense column blocks — are contiguous per column.
-//! Every kernel comes in a cache-blocked sequential form; [`par`] adds
-//! rayon-parallel variants used by the shared-memory execution path.
+//!
+//! Large problems run on a BLIS-style packed engine: [`pack`] copies
+//! operands into MR/NR-strip tile-major buffers and [`microkernel`] drives
+//! an 8×4 register-tile FMA kernel under MC/KC/NC cache blocking, with the
+//! AVX2+FMA instantiation selected once at runtime. Problems too small to
+//! amortize packing keep direct loop nests ([`naive`] remains the
+//! correctness oracle). [`par`] adds scoped-thread parallel variants whose
+//! worker count is bounded by the hardware budget divided across registered
+//! PGAS ranks ([`par::num_threads`]), bit-identical to the sequential path.
 
 pub mod error;
 pub mod gemm;
 pub mod mat;
+pub mod microkernel;
 pub mod naive;
+pub mod pack;
 pub mod panel;
 pub mod par;
 pub mod potrf;

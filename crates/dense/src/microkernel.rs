@@ -1,0 +1,449 @@
+//! Register-blocked GEMM core: MR×NR microkernel plus cache-level blocking.
+//!
+//! This is the single flop engine behind every level-3 kernel in the crate
+//! (GEMM, SYRK, TRSM updates, the blocked POTRF trailing update and the
+//! panel-solve accumulations). The structure is the classical BLIS
+//! decomposition:
+//!
+//! ```text
+//! for jc in 0..n step NC            // B panel       (stays in L3)
+//!   for pc in 0..k step KC          // pack B(pc,jc) (stays in L2)
+//!     for ic in 0..m step MC        // pack A(ic,pc) (stays in L2/L1)
+//!       for jr in 0..nb step NR     //   macro-kernel over register tiles
+//!         for ir in 0..mb step MR
+//!           C[ir:ir+MR, jr:jr+NR] ∓= Apack · Bpack   // microkernel
+//! ```
+//!
+//! The microkernel holds an MR×NR tile of `C` in registers across the entire
+//! `kb`-long inner product — the inner loop performs `MR·NR` fused
+//! multiply-adds per iteration with **no loads or stores of `C`** — and reads
+//! its operands from the contiguous zero-padded strips produced by
+//! [`crate::pack`], so edge tiles take the same code path as interior tiles.
+//!
+//! Accumulation order per element of `C` is fixed (k ascending, one k-block
+//! at a time) and independent of the surrounding blocking, so results are
+//! bit-deterministic run to run and identical between the sequential path
+//! and the column-partitioned parallel path.
+
+use crate::pack;
+
+/// Register-tile rows. An 8×4 tile holds eight 4-lane AVX2 accumulators
+/// (two `ymm` per C column) plus the two A vectors and one broadcast B value
+/// in the sixteen x86-64 vector registers without spilling; measured best of
+/// 4×4 / 8×4 / 12×4 / 8×6 in `results/kernel_roofline.txt`.
+pub const MR: usize = 8;
+/// Register-tile columns.
+pub const NR: usize = 4;
+/// Row cache-block: the packed `MC × KC` A panel (≈256 KiB) stays L2-resident
+/// across all NR-strips of the current B panel.
+pub const MC: usize = 128;
+/// Inner-product cache-block: one packed A strip (`MR × KC` ≈ 8 KiB) plus one
+/// packed B strip (`KC × NR` ≈ 8 KiB) fit in L1 together.
+pub const KC: usize = 256;
+/// Column cache-block bounding the packed B panel (`KC × NC` ≈ 1 MiB).
+pub const NC: usize = 512;
+
+// The macro-kernel and the shared-A parallel path both assume cache blocks
+// are whole register tiles.
+const _: () = assert!(MC.is_multiple_of(MR) && NC.is_multiple_of(NR));
+
+/// Instruction set the microkernel was compiled for. Detected once per
+/// process; the choice is a pure function of the hardware, so kernel results
+/// stay bit-reproducible run to run on a given machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Isa {
+    /// Baseline codegen (SSE2 on x86-64).
+    Portable,
+    /// AVX2 + FMA via runtime feature detection.
+    #[cfg(target_arch = "x86_64")]
+    Avx2Fma,
+}
+
+/// Detect the best microkernel ISA available on this machine.
+pub fn isa() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static DETECTED: OnceLock<Isa> = OnceLock::new();
+        *DETECTED.get_or_init(|| {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                Isa::Avx2Fma
+            } else {
+                Isa::Portable
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Isa::Portable
+    }
+}
+
+/// Human-readable ISA name (for the roofline benchmark report).
+pub fn isa_name() -> &'static str {
+    match isa() {
+        Isa::Portable => "portable",
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => "avx2+fma",
+    }
+}
+
+/// The MR×NR register microkernel body: `acc[j][i] += Σ_p a[p][i] · b[p][j]`
+/// over `kc` packed positions. `acc` is column-major (`acc[j]` is a C column
+/// fragment) so the write-back and the i-direction vectorize together. The
+/// explicit leading sub-slices let LLVM hoist the bounds checks and keep the
+/// tile in registers for the whole loop.
+#[inline(always)]
+fn microkernel_body(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; MR]; NR]) {
+    let ap = &ap[..kc * MR];
+    let bp = &bp[..kc * NR];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for j in 0..NR {
+            let bj = b[j];
+            for i in 0..MR {
+                acc[j][i] += a[i] * bj;
+            }
+        }
+    }
+}
+
+/// AVX2+FMA instantiation of the microkernel: identical Rust body, compiled
+/// with 4-lane `ymm` vectors and fused multiply-add.
+///
+/// # Safety
+/// Requires the `avx2` and `fma` CPU features (guaranteed by the
+/// [`Isa::Avx2Fma`] dispatch, which only selects this after runtime
+/// detection).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn microkernel_avx2(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; MR]; NR]) {
+    microkernel_body(kc, ap, bp, acc);
+}
+
+/// Dispatch one register-tile accumulation to the selected ISA.
+#[inline(always)]
+fn microkernel(isa: Isa, kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; MR]; NR]) {
+    match isa {
+        Isa::Portable => microkernel_body(kc, ap, bp, acc),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Isa::Avx2Fma is only produced by isa() after
+        // is_x86_feature_detected!("avx2") && ("fma") both passed.
+        Isa::Avx2Fma => unsafe { microkernel_avx2(kc, ap, bp, acc) },
+    }
+}
+
+/// Apply an accumulated register tile to `C`: `C[i0.., j0..] ∓= acc`,
+/// masked to the `mv × nv` valid region (edge tiles).
+#[inline]
+#[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
+fn writeback(
+    c: &mut [f64],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mv: usize,
+    nv: usize,
+    acc: &[[f64; MR]; NR],
+    sub: bool,
+) {
+    for j in 0..nv {
+        let col = &mut c[(j0 + j) * ldc + i0..(j0 + j) * ldc + i0 + mv];
+        if sub {
+            for (ci, &av) in col.iter_mut().zip(&acc[j][..mv]) {
+                *ci -= av;
+            }
+        } else {
+            for (ci, &av) in col.iter_mut().zip(&acc[j][..mv]) {
+                *ci += av;
+            }
+        }
+    }
+}
+
+/// Macro-kernel: sweep register tiles over one packed `(mb × kb)` A block ×
+/// `(kb × nb)` B block, updating `C` at offset `(i0, j0)`.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    isa: Isa,
+    c: &mut [f64],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    pa: &[f64],
+    pb: &[f64],
+    sub: bool,
+) {
+    let a_strips = mb.div_ceil(MR);
+    let b_strips = nb.div_ceil(NR);
+    for js in 0..b_strips {
+        let bstrip = &pb[js * kb * NR..(js + 1) * kb * NR];
+        let nv = NR.min(nb - js * NR);
+        for is in 0..a_strips {
+            let astrip = &pa[is * kb * MR..(is + 1) * kb * MR];
+            let mv = MR.min(mb - is * MR);
+            let mut acc = [[0.0; MR]; NR];
+            microkernel(isa, kb, astrip, bstrip, &mut acc);
+            writeback(c, ldc, i0 + is * MR, j0 + js * NR, mv, nv, &acc, sub);
+        }
+    }
+}
+
+/// Blocked packed GEMM: `C ∓= op(A)·op(B)` on an `m × n × k` problem.
+///
+/// The operand orientations are abstracted behind the two block packers
+/// (`pack_a(dst, i0, mb, p0, kb)` / `pack_b(dst, j0, nb, p0, kb)`), so the
+/// same core serves `A·Bᵀ` (factorization updates), `A·B` (forward panel
+/// solve) and `Aᵀ·B` (backward panel solve). `sub` selects `-=` vs `+=`.
+#[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
+pub(crate) fn gemm_packed<PA, PB>(
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    pack_a: PA,
+    pack_b: PB,
+    sub: bool,
+) where
+    PA: Fn(&mut Vec<f64>, usize, usize, usize, usize),
+    PB: Fn(&mut Vec<f64>, usize, usize, usize, usize),
+{
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let isa = isa();
+    pack::with_buffers(|pa, pb| {
+        for jc in (0..n).step_by(NC) {
+            let nb = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kb = KC.min(k - pc);
+                pack_b(pb, jc, nb, pc, kb);
+                for ic in (0..m).step_by(MC) {
+                    let mb = MC.min(m - ic);
+                    pack_a(pa, ic, mb, pc, kb);
+                    macro_kernel(isa, c, ldc, ic, jc, mb, nb, kb, pa, pb, sub);
+                }
+            }
+        }
+    });
+}
+
+/// Blocked packed GEMM against a pre-packed shared `A` operand
+/// ([`pack::ApackFull`]): used by the parallel path, where `A` is packed
+/// once and read concurrently by every column-panel worker while each worker
+/// packs only its own `B` strips into thread-local scratch.
+///
+/// `c` is an `m × n` panel (leading dimension `ldc`) and `pack_b` receives
+/// panel-relative column offsets.
+pub(crate) fn gemm_packed_shared_a<PB>(
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    apack: &pack::ApackFull,
+    pack_b: PB,
+    sub: bool,
+) where
+    PB: Fn(&mut Vec<f64>, usize, usize, usize, usize),
+{
+    gemm_packed_shared_a_rows(c, ldc, 0, m, n, apack, pack_b, sub);
+}
+
+/// Row-ranged form of [`gemm_packed_shared_a`]: use rows `row0..row0+m` of
+/// the pre-packed `A` operand. `row0` must be MR-aligned (the packed strips
+/// cannot be split mid-strip); row 0 of `c` corresponds to packed row
+/// `row0`. This lets one [`pack::ApackFull`] serve several sub-problems —
+/// SYRK packs its panel once and runs every diagonal tile and sub-diagonal
+/// block against strip subranges instead of re-packing per tile.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_packed_shared_a_rows<PB>(
+    c: &mut [f64],
+    ldc: usize,
+    row0: usize,
+    m: usize,
+    n: usize,
+    apack: &pack::ApackFull,
+    pack_b: PB,
+    sub: bool,
+) where
+    PB: Fn(&mut Vec<f64>, usize, usize, usize, usize),
+{
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(row0.is_multiple_of(MR), "row0 must be a whole packed strip");
+    let s_begin = row0 / MR;
+    let s_end = (row0 + m).div_ceil(MR);
+    debug_assert!(s_end <= apack.strips());
+    let isa = isa();
+    pack::with_buffers(|_pa, pb| {
+        for jc in (0..n).step_by(NC) {
+            let nb = NC.min(n - jc);
+            for (q, (p0, kb)) in apack.blocks().enumerate() {
+                pack_b(pb, jc, nb, p0, kb);
+                // MC blocking over the shared strips keeps the L2 footprint
+                // identical to the thread-local path.
+                let strips_per_mc = MC / MR;
+                let mut s0 = s_begin;
+                while s0 < s_end {
+                    let s1 = (s0 + strips_per_mc).min(s_end);
+                    let ic = (s0 - s_begin) * MR;
+                    let mb = ((s1 - s_begin) * MR).min(m) - ic;
+                    macro_kernel(
+                        isa,
+                        c,
+                        ldc,
+                        ic,
+                        jc,
+                        mb,
+                        nb,
+                        kb,
+                        apack.block_strips(q, s0, s1),
+                        pb,
+                        sub,
+                    );
+                    s0 = s1;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference for `C -= A·Bᵀ` on raw buffers.
+    fn gemm_nt_ref(c: &mut [f64], ldc: usize, m: usize, n: usize, a: &[f64], b: &[f64], k: usize) {
+        for j in 0..n {
+            for i in 0..m {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a[p * m + i] * b[p * n + j];
+                }
+                c[j * ldc + i] -= s;
+            }
+        }
+    }
+
+    fn check(m: usize, n: usize, k: usize) {
+        let a: Vec<f64> = (0..m * k).map(|v| ((v * 13) % 9) as f64 - 4.0).collect();
+        let b: Vec<f64> = (0..n * k)
+            .map(|v| ((v * 7) % 11) as f64 * 0.5 - 2.0)
+            .collect();
+        let mut c1: Vec<f64> = (0..m * n).map(|v| (v % 5) as f64).collect();
+        let mut c2 = c1.clone();
+        gemm_packed(
+            &mut c1,
+            m.max(1),
+            m,
+            n,
+            k,
+            |dst, i0, mb, p0, kb| pack::pack_a_nt(dst, &a, m, i0, mb, p0, kb),
+            |dst, j0, nb, p0, kb| pack::pack_b_t(dst, &b, n, j0, nb, p0, kb),
+            true,
+        );
+        gemm_nt_ref(&mut c2, m.max(1), m, n, &a, &b, k);
+        for (i, (x, y)) in c1.iter().zip(&c2).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-10,
+                "m={m} n={n} k={k} idx={i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_core_matches_reference_across_tile_edges() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (MR - 1, NR - 1, 3),
+            (MR + 1, NR + 1, KC + 1),
+            (2 * MR + 3, 2 * NR + 1, 17),
+            (MC + 5, NC.min(70) + 3, KC + 9),
+            (130, 70, 130),
+        ] {
+            check(m, n, k);
+        }
+    }
+
+    #[test]
+    fn shared_a_path_is_bit_identical_to_thread_local_path() {
+        let (m, n, k) = (67, 41, KC + 19);
+        let a: Vec<f64> = (0..m * k).map(|v| ((v * 3) % 13) as f64 - 6.0).collect();
+        let b: Vec<f64> = (0..n * k).map(|v| ((v * 5) % 7) as f64 - 3.0).collect();
+        let c0: Vec<f64> = (0..m * n).map(|v| (v % 11) as f64 * 0.25).collect();
+        let mut c1 = c0.clone();
+        gemm_packed(
+            &mut c1,
+            m,
+            m,
+            n,
+            k,
+            |dst, i0, mb, p0, kb| pack::pack_a_nt(dst, &a, m, i0, mb, p0, kb),
+            |dst, j0, nb, p0, kb| pack::pack_b_t(dst, &b, n, j0, nb, p0, kb),
+            true,
+        );
+        let apack = pack::ApackFull::pack_nt(&a, m, m, k);
+        let mut c2 = c0.clone();
+        gemm_packed_shared_a(
+            &mut c2,
+            m,
+            m,
+            n,
+            &apack,
+            |dst, j0, nb, p0, kb| pack::pack_b_t(dst, &b, n, j0, nb, p0, kb),
+            true,
+        );
+        assert!(
+            c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "shared-A packing must not change the accumulation order"
+        );
+    }
+
+    #[test]
+    fn row_ranged_shared_a_matches_full_product_rows() {
+        let (m, n, k) = (61, 23, KC + 7);
+        let a: Vec<f64> = (0..m * k).map(|v| ((v * 3) % 13) as f64 - 6.0).collect();
+        let b: Vec<f64> = (0..n * k).map(|v| ((v * 5) % 7) as f64 - 3.0).collect();
+        let mut cfull = vec![0.0; m * n];
+        gemm_packed(
+            &mut cfull,
+            m,
+            m,
+            n,
+            k,
+            |dst, i0, mb, p0, kb| pack::pack_a_nt(dst, &a, m, i0, mb, p0, kb),
+            |dst, j0, nb, p0, kb| pack::pack_b_t(dst, &b, n, j0, nb, p0, kb),
+            true,
+        );
+        let apack = pack::ApackFull::pack_nt(&a, m, m, k);
+        // Sub-ranges: an interior MR-aligned window and the padded tail.
+        for (row0, mm) in [(16usize, 24usize), (40, m - 40), (0, m)] {
+            let mut csub = vec![0.0; mm * n];
+            gemm_packed_shared_a_rows(
+                &mut csub,
+                mm,
+                row0,
+                mm,
+                n,
+                &apack,
+                |dst, j0, nb, p0, kb| pack::pack_b_t(dst, &b, n, j0, nb, p0, kb),
+                true,
+            );
+            for j in 0..n {
+                for i in 0..mm {
+                    assert_eq!(
+                        csub[j * mm + i].to_bits(),
+                        cfull[j * m + row0 + i].to_bits(),
+                        "row0={row0} mm={mm} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+}

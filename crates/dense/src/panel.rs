@@ -17,15 +17,20 @@
 //! arithmetic of the scalar `forward_subst`/`backward_subst` routines, column
 //! sweep for column sweep, so the single-vector solve path is unchanged.
 
+use crate::gemm::GEMM_PACK_MIN_FLOPS;
 use crate::mat::Mat;
+use crate::microkernel;
+use crate::pack;
 
-/// Solve `L · Y = B` in place on raw column-major buffers.
-///
-/// * `l`: `n × n` lower-triangular, leading dimension `ldl`
-/// * `b`: `n × nrhs`, leading dimension `ldb`; overwritten with `Y`
-///
-/// The strict upper triangle of `l` is never read.
-pub fn trsm_left_lower_notrans_raw(
+/// Solve-block width for the blocked left TRSMs. Problems with `n <= SB` run
+/// the original unblocked substitution sweep unchanged — the `nrhs = 1` case
+/// must stay arithmetically identical to the scalar `forward_subst` /
+/// `backward_subst` routines, and small panels gain nothing from blocking.
+const SB: usize = 64;
+
+/// Unblocked forward substitution sweep over rows `0..n` (the pre-blocking
+/// kernel, kept verbatim as the within-panel solve).
+fn trsm_left_notrans_unblocked(
     b: &mut [f64],
     ldb: usize,
     n: usize,
@@ -33,9 +38,6 @@ pub fn trsm_left_lower_notrans_raw(
     l: &[f64],
     ldl: usize,
 ) {
-    if n == 0 || nrhs == 0 {
-        return;
-    }
     for c in 0..n {
         let lc = &l[c * ldl..c * ldl + n];
         let d = lc[c];
@@ -50,11 +52,8 @@ pub fn trsm_left_lower_notrans_raw(
     }
 }
 
-/// Solve `Lᵀ · X = B` in place on raw column-major buffers.
-///
-/// Same shapes as [`trsm_left_lower_notrans_raw`]; `b` is overwritten with
-/// `X`. The strict upper triangle of `l` is never read.
-pub fn trsm_left_lower_trans_raw(
+/// Unblocked backward substitution sweep over rows `0..n`.
+fn trsm_left_trans_unblocked(
     b: &mut [f64],
     ldb: usize,
     n: usize,
@@ -62,9 +61,6 @@ pub fn trsm_left_lower_trans_raw(
     l: &[f64],
     ldl: usize,
 ) {
-    if n == 0 || nrhs == 0 {
-        return;
-    }
     for c in (0..n).rev() {
         let lc = &l[c * ldl..c * ldl + n];
         let d = lc[c];
@@ -76,6 +72,124 @@ pub fn trsm_left_lower_trans_raw(
             }
             col[c] = v / d;
         }
+    }
+}
+
+/// Solve `L · Y = B` in place on raw column-major buffers.
+///
+/// * `l`: `n × n` lower-triangular, leading dimension `ldl`
+/// * `b`: `n × nrhs`, leading dimension `ldb`; overwritten with `Y`
+///
+/// The strict upper triangle of `l` is never read. For `n > SB` the solve is
+/// blocked: an unblocked sweep on each `SB`-column diagonal block followed by
+/// a rank-`SB` GEMM update of the rows below, so the bulk of the flops run
+/// through the packed register-blocked core.
+pub fn trsm_left_lower_notrans_raw(
+    b: &mut [f64],
+    ldb: usize,
+    n: usize,
+    nrhs: usize,
+    l: &[f64],
+    ldl: usize,
+) {
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    if n <= SB {
+        trsm_left_notrans_unblocked(b, ldb, n, nrhs, l, ldl);
+        return;
+    }
+    // Scratch copy of the solved diagonal-block rows: each column of `b`
+    // interleaves solved (read) and trailing (written) rows, so the GEMM
+    // operands cannot be split borrows of `b` itself. The copy is
+    // O(SB · nrhs) per block — SB× below the update's flop count.
+    let mut ysolved: Vec<f64> = Vec::new();
+    let mut c0 = 0;
+    while c0 < n {
+        let cb = SB.min(n - c0);
+        // Solve the cb × cb diagonal block in place on rows c0..c0+cb.
+        {
+            let lblock = &l[c0 * ldl + c0..];
+            trsm_left_notrans_unblocked(&mut b[c0..], ldb, cb, nrhs, lblock, ldl);
+        }
+        let rows_below = n - c0 - cb;
+        if rows_below > 0 {
+            ysolved.resize(cb * nrhs, 0.0);
+            for k in 0..nrhs {
+                let src = k * ldb + c0;
+                ysolved[k * cb..k * cb + cb].copy_from_slice(&b[src..src + cb]);
+            }
+            // B[c0+cb.., :] -= L[c0+cb.., c0..c0+cb] · Y[c0..c0+cb, :].
+            gemm_nn_raw_impl(
+                &mut b[c0 + cb..],
+                ldb,
+                rows_below,
+                nrhs,
+                &l[c0 * ldl + c0 + cb..],
+                ldl,
+                &ysolved,
+                cb,
+                cb,
+                true,
+            );
+        }
+        c0 += cb;
+    }
+}
+
+/// Solve `Lᵀ · X = B` in place on raw column-major buffers.
+///
+/// Same shapes as [`trsm_left_lower_notrans_raw`]; `b` is overwritten with
+/// `X`. The strict upper triangle of `l` is never read. For `n > SB` the
+/// solve is blocked bottom-up: each diagonal block first absorbs the
+/// contribution of the already-solved rows below it through a packed
+/// `Aᵀ·B` GEMM, then runs the unblocked sweep.
+pub fn trsm_left_lower_trans_raw(
+    b: &mut [f64],
+    ldb: usize,
+    n: usize,
+    nrhs: usize,
+    l: &[f64],
+    ldl: usize,
+) {
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    if n <= SB {
+        trsm_left_trans_unblocked(b, ldb, n, nrhs, l, ldl);
+        return;
+    }
+    // Scratch copy of the already-solved rows below the current block (same
+    // borrow-splitting constraint as the notrans case).
+    let mut xsolved: Vec<f64> = Vec::new();
+    let nblocks = n.div_ceil(SB);
+    for blk in (0..nblocks).rev() {
+        let c0 = blk * SB;
+        let cb = SB.min(n - c0);
+        let rows_below = n - c0 - cb;
+        if rows_below > 0 {
+            xsolved.resize(rows_below * nrhs, 0.0);
+            for k in 0..nrhs {
+                let src = k * ldb + c0 + cb;
+                xsolved[k * rows_below..(k + 1) * rows_below]
+                    .copy_from_slice(&b[src..src + rows_below]);
+            }
+            // B[c0..c0+cb, :] -= L[c0+cb.., c0..c0+cb]ᵀ · X[c0+cb.., :].
+            gemm_tn_raw_impl(
+                &mut b[c0..],
+                ldb,
+                cb,
+                nrhs,
+                &l[c0 * ldl + c0 + cb..],
+                ldl,
+                &xsolved,
+                rows_below,
+                rows_below,
+                true,
+            );
+        }
+        let lblock = &l[c0 * ldl + c0..];
+        trsm_left_trans_unblocked(&mut b[c0..], ldb, cb, nrhs, lblock, ldl);
     }
 }
 
@@ -103,6 +217,107 @@ pub fn trsm_left_lower_trans(b: &mut Mat, l: &Mat) {
     trsm_left_lower_trans_raw(b.as_mut_slice(), ldb, n, nrhs, l.as_slice(), ldl);
 }
 
+/// Shared `C ← C ± A · B` body: packed register-blocked core when the
+/// problem amortizes packing, the direct loop nest otherwise. `sub` selects
+/// subtraction (used by the blocked forward solve's trailing update).
+#[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
+fn gemm_nn_raw_impl(
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    k: usize,
+    sub: bool,
+) {
+    debug_assert!(ldc >= m.max(1) && lda >= m.max(1) && ldb >= k.max(1));
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if crate::flops::gemm(m, n, k) >= GEMM_PACK_MIN_FLOPS {
+        microkernel::gemm_packed(
+            c,
+            ldc,
+            m,
+            n,
+            k,
+            |dst, i0, mb, p0, kb| pack::pack_a_nt(dst, a, lda, i0, mb, p0, kb),
+            |dst, j0, nb, p0, kb| pack::pack_b_nn(dst, b, ldb, j0, nb, p0, kb),
+            sub,
+        );
+        return;
+    }
+    // Small path. Negating `b` instead of branching on `sub` in the inner
+    // loop is exact (multiplication by ±1.0 never rounds), so the add and
+    // subtract variants share one loop nest with identical rounding. No
+    // skip-zero guard, matching `gemm::gemm_nt_unpacked_raw`'s choice: solve
+    // panels are dense once a supernode has been visited.
+    let sign = if sub { -1.0 } else { 1.0 };
+    for j in 0..n {
+        let cj = &mut c[j * ldc..j * ldc + m];
+        let bj = &b[j * ldb..j * ldb + k];
+        for p in 0..k {
+            let bpj = sign * bj[p];
+            let ap = &a[p * lda..p * lda + m];
+            for i in 0..m {
+                cj[i] += ap[i] * bpj;
+            }
+        }
+    }
+}
+
+/// Shared `C ← C ± Aᵀ · B` body; see [`gemm_nn_raw_impl`].
+#[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
+fn gemm_tn_raw_impl(
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    k: usize,
+    sub: bool,
+) {
+    debug_assert!(ldc >= m.max(1) && lda >= k.max(1) && ldb >= k.max(1));
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if crate::flops::gemm(m, n, k) >= GEMM_PACK_MIN_FLOPS {
+        microkernel::gemm_packed(
+            c,
+            ldc,
+            m,
+            n,
+            k,
+            |dst, i0, mb, p0, kb| pack::pack_a_tn(dst, a, lda, i0, mb, p0, kb),
+            |dst, j0, nb, p0, kb| pack::pack_b_nn(dst, b, ldb, j0, nb, p0, kb),
+            sub,
+        );
+        return;
+    }
+    for j in 0..n {
+        let bj = &b[j * ldb..j * ldb + k];
+        let cj = &mut c[j * ldc..j * ldc + m];
+        for i in 0..m {
+            let ai = &a[i * lda..i * lda + k];
+            let mut s = 0.0;
+            for p in 0..k {
+                s += ai[p] * bj[p];
+            }
+            if sub {
+                cj[i] -= s;
+            } else {
+                cj[i] += s;
+            }
+        }
+    }
+}
+
 /// Compute `C ← C + A · B` on raw column-major buffers.
 ///
 /// * `c`: `m × n`, leading dimension `ldc`
@@ -120,23 +335,7 @@ pub fn gemm_nn_acc_raw(
     ldb: usize,
     k: usize,
 ) {
-    debug_assert!(ldc >= m.max(1) && lda >= m.max(1) && ldb >= k.max(1));
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    for j in 0..n {
-        let cj = &mut c[j * ldc..j * ldc + m];
-        let bj = &b[j * ldb..j * ldb + k];
-        for p in 0..k {
-            let bpj = bj[p];
-            if bpj != 0.0 {
-                let ap = &a[p * lda..p * lda + m];
-                for i in 0..m {
-                    cj[i] += ap[i] * bpj;
-                }
-            }
-        }
-    }
+    gemm_nn_raw_impl(c, ldc, m, n, a, lda, b, ldb, k, false);
 }
 
 /// Compute `C ← C + Aᵀ · B` on raw column-major buffers.
@@ -156,22 +355,7 @@ pub fn gemm_tn_acc_raw(
     ldb: usize,
     k: usize,
 ) {
-    debug_assert!(ldc >= m.max(1) && lda >= k.max(1) && ldb >= k.max(1));
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    for j in 0..n {
-        let bj = &b[j * ldb..j * ldb + k];
-        let cj = &mut c[j * ldc..j * ldc + m];
-        for i in 0..m {
-            let ai = &a[i * lda..i * lda + k];
-            let mut s = 0.0;
-            for p in 0..k {
-                s += ai[p] * bj[p];
-            }
-            cj[i] += s;
-        }
-    }
+    gemm_tn_raw_impl(c, ldc, m, n, a, lda, b, ldb, k, false);
 }
 
 /// Matrix-level wrapper: `C ← C + A·B`.
@@ -328,6 +512,64 @@ mod tests {
                 *e += base;
             }
             assert!(c1.max_abs_diff(&expect) < 1e-10, "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn blocked_solves_match_unblocked_across_sb_boundary() {
+        // n spans the SB = 64 solve-block boundary; the blocked path must
+        // agree with the unblocked sweep to rounding.
+        for &(n, nrhs) in &[(63, 5), (64, 5), (65, 5), (130, 3), (200, 8), (200, 1)] {
+            let l = spd_factor(n);
+            let b0 = panel(n, nrhs);
+            let mut blocked = b0.clone();
+            trsm_left_lower_notrans(&mut blocked, &l);
+            let mut sweep = b0.clone();
+            {
+                let (ldb, ldl) = (sweep.ld(), l.ld());
+                trsm_left_notrans_unblocked(sweep.as_mut_slice(), ldb, n, nrhs, l.as_slice(), ldl);
+            }
+            assert!(
+                blocked.max_abs_diff(&sweep) < 1e-8,
+                "notrans n={n} nrhs={nrhs}"
+            );
+            let mut blocked = b0.clone();
+            trsm_left_lower_trans(&mut blocked, &l);
+            let mut sweep = b0.clone();
+            {
+                let (ldb, ldl) = (sweep.ld(), l.ld());
+                trsm_left_trans_unblocked(sweep.as_mut_slice(), ldb, n, nrhs, l.as_slice(), ldl);
+            }
+            assert!(
+                blocked.max_abs_diff(&sweep) < 1e-8,
+                "trans n={n} nrhs={nrhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulating_gemms_match_matmul_above_pack_threshold() {
+        // Shapes large enough to take the packed register-blocked path.
+        for &(m, n, k) in &[(150, 40, 90), (257, 33, 129)] {
+            let a = Mat::from_fn(m, k, |r, c| ((r * 13 + c * 7) % 9) as f64 - 4.0);
+            let b = Mat::from_fn(k, n, |r, c| ((r * 5 + c * 11) % 13) as f64 * 0.5 - 3.0);
+            let c0 = Mat::from_fn(m, n, |r, c| (r + c) as f64);
+            let mut c1 = c0.clone();
+            gemm_nn_acc(&mut c1, &a, &b);
+            let mut expect = a.matmul(&b);
+            for (e, base) in expect.as_mut_slice().iter_mut().zip(c0.as_slice()) {
+                *e += base;
+            }
+            assert!(c1.max_abs_diff(&expect) < 1e-9, "nn m={m} n={n} k={k}");
+
+            let at = Mat::from_fn(k, m, |r, c| ((r * 13 + c * 7) % 9) as f64 - 4.0);
+            let mut c1 = c0.clone();
+            gemm_tn_acc(&mut c1, &at, &b);
+            let mut expect = at.transpose().matmul(&b);
+            for (e, base) in expect.as_mut_slice().iter_mut().zip(c0.as_slice()) {
+                *e += base;
+            }
+            assert!(c1.max_abs_diff(&expect) < 1e-9, "tn m={m} n={n} k={k}");
         }
     }
 

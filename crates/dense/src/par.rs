@@ -7,66 +7,143 @@
 //! scoped `std::thread` workers. Data-race freedom is structural: each panel
 //! is a disjoint `&mut` chunk of the column-major buffer handed to exactly
 //! one worker.
+//!
+//! Two rules bound the live thread count:
+//!
+//! 1. At most [`num_threads`] workers exist per kernel call — chunk lists are
+//!    statically partitioned across a fixed worker set, never spawned
+//!    one-thread-per-chunk.
+//! 2. The budget is *rank-aware*: `sympack_pgas::Runtime` registers its rank
+//!    threads through [`rank_scope`], and [`num_threads`] divides the
+//!    hardware parallelism by the number of live ranks, so a distributed run
+//!    whose engine also enables intra-task parallelism never oversubscribes
+//!    the machine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::gemm::gemm_nt_raw;
 use crate::mat::Mat;
+use crate::microkernel;
+use crate::pack;
 
-/// Minimum per-task flop count before parallelism pays for itself.
-const PAR_FLOP_THRESHOLD: u64 = 256 * 1024;
+/// Minimum per-call flop count before parallelism pays for itself.
+///
+/// Measured constant (see `results/kernel_roofline.txt`): forking and joining
+/// one scoped worker costs tens of microseconds, during which the packed
+/// sequential kernel retires on the order of a megaflop. Splitting a problem
+/// smaller than a few megaflops therefore loses to running it sequentially;
+/// 2 Mflop is the break-even with a ~2× amortization margin.
+pub const PAR_FLOP_THRESHOLD: u64 = 2 * 1024 * 1024;
 
-/// Worker count for the shared-memory kernels.
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
+/// Count of PGAS rank threads currently live (see [`rank_scope`]).
+static ACTIVE_RANKS: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII guard registering `n` live rank threads; see [`rank_scope`].
+pub struct RankScope {
+    n: usize,
+}
+
+impl Drop for RankScope {
+    fn drop(&mut self) {
+        ACTIVE_RANKS.fetch_sub(self.n, Ordering::Relaxed);
+    }
+}
+
+/// Register `nranks` concurrently running rank threads for the lifetime of
+/// the returned guard. While any ranks are registered, [`num_threads`]
+/// divides the hardware thread budget evenly among them so nested kernel
+/// parallelism cannot oversubscribe the machine. Scopes nest additively
+/// (two concurrent runtimes simply add their rank counts).
+pub fn rank_scope(nranks: usize) -> RankScope {
+    ACTIVE_RANKS.fetch_add(nranks, Ordering::Relaxed);
+    RankScope { n: nranks }
+}
+
+/// Worker budget for the shared-memory kernels: hardware parallelism divided
+/// by the number of live PGAS ranks (at least 1).
+pub fn num_threads() -> usize {
+    let hw = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    let ranks = ACTIVE_RANKS.load(Ordering::Relaxed).max(1);
+    (hw / ranks).max(1)
 }
 
 /// Split `buf` into chunks of `chunk_len` elements and run `f` on each chunk
-/// concurrently. `f` receives `(chunk_index, chunk)`; the last chunk may be
-/// short. Equivalent to `par_chunks_mut(..).enumerate().for_each(..)`.
-fn par_chunks_mut<F>(buf: &mut [f64], chunk_len: usize, f: F)
+/// from a pool of at most `nworkers` scoped threads. `f` receives
+/// `(chunk_index, chunk)`; the last chunk may be short. Unlike a naive
+/// spawn-per-chunk loop, the live thread count is bounded by `nworkers`
+/// regardless of how many chunks the split produces.
+fn par_chunks_mut<F>(buf: &mut [f64], chunk_len: usize, nworkers: usize, f: F)
 where
     F: Fn(usize, &mut [f64]) + Sync,
 {
-    std::thread::scope(|s| {
+    if nworkers <= 1 {
         for (idx, chunk) in buf.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk);
+        }
+        return;
+    }
+    let mut chunks: Vec<(usize, &mut [f64])> = buf.chunks_mut(chunk_len).enumerate().collect();
+    let per_worker = chunks.len().div_ceil(nworkers);
+    std::thread::scope(|s| {
+        for run in chunks.chunks_mut(per_worker) {
             let f = &f;
-            s.spawn(move || f(idx, chunk));
+            s.spawn(move || {
+                for (idx, chunk) in run.iter_mut() {
+                    f(*idx, chunk);
+                }
+            });
         }
     });
 }
 
 /// Parallel `C ← C − A·Bᵀ`: column panels of `C` are updated concurrently.
+///
+/// The `A` operand is packed **once** into MR-strip format
+/// ([`pack::ApackFull`]) and shared read-only by every column-panel worker,
+/// instead of each worker re-packing the same `A` block inside its own
+/// sequential GEMM. Per-element accumulation order (ascending `k`, one
+/// KC-block at a time) is identical to the sequential packed kernel and
+/// independent of the worker count.
 pub fn gemm_nt_par(c: &mut Mat, a: &Mat, b: &Mat) {
     assert_eq!(a.cols(), b.cols(), "gemm_nt_par: inner dimensions differ");
     assert_eq!(c.rows(), a.rows(), "gemm_nt_par: row dimensions differ");
     assert_eq!(c.cols(), b.rows(), "gemm_nt_par: column dimensions differ");
+    gemm_nt_par_impl(c, a, b, num_threads());
+}
+
+fn gemm_nt_par_impl(c: &mut Mat, a: &Mat, b: &Mat, nworkers: usize) {
     let (m, n, k) = (c.rows(), c.cols(), a.cols());
-    if crate::flops::gemm(m, n, k) < PAR_FLOP_THRESHOLD || n < 2 {
+    if crate::flops::gemm(m, n, k) < PAR_FLOP_THRESHOLD || n < 2 || nworkers < 2 {
         crate::gemm::gemm_nt(c, a, b);
         return;
     }
     let ldc = c.ld();
     let (lda, ldb) = (a.ld(), b.ld());
-    let nchunks = num_threads().min(n);
+    let apack = pack::ApackFull::pack_nt(a.as_slice(), lda, m, k);
+    let nchunks = nworkers.min(n);
     let cols_per = n.div_ceil(nchunks);
-    par_chunks_mut(c.as_mut_slice(), cols_per * ldc, |chunk, cpanel| {
-        let j0 = chunk * cols_per;
-        let jn = cols_per.min(n - j0);
-        // Panel of C covers columns j0..j0+jn; the matching operand is
-        // rows j0..j0+jn of B.
-        gemm_nt_raw(
-            cpanel,
-            ldc,
-            m,
-            jn,
-            a.as_slice(),
-            lda,
-            &b.as_slice()[j0..],
-            ldb,
-            k,
-        );
-    });
+    par_chunks_mut(
+        c.as_mut_slice(),
+        cols_per * ldc,
+        nworkers,
+        |chunk, cpanel| {
+            let j0 = chunk * cols_per;
+            let jn = cols_per.min(n - j0);
+            // Panel of C covers columns j0..j0+jn; the matching operand is
+            // rows j0..j0+jn of B.
+            microkernel::gemm_packed_shared_a(
+                cpanel,
+                ldc,
+                m,
+                jn,
+                &apack,
+                |dst, jj, nb, p0, kb| pack::pack_b_t(dst, b.as_slice(), ldb, j0 + jj, nb, p0, kb),
+                true,
+            );
+        },
+    );
 }
 
 /// Parallel `C ← C − A·Aᵀ` (lower triangle): the triangle is split into
@@ -74,41 +151,50 @@ pub fn gemm_nt_par(c: &mut Mat, a: &Mat, b: &Mat) {
 pub fn syrk_lower_par(c: &mut Mat, a: &Mat) {
     assert_eq!(c.rows(), c.cols(), "syrk_lower_par: C must be square");
     assert_eq!(a.rows(), c.rows(), "syrk_lower_par: A rows must match C");
+    syrk_lower_par_impl(c, a, num_threads());
+}
+
+fn syrk_lower_par_impl(c: &mut Mat, a: &Mat, nworkers: usize) {
     let (n, k) = (c.rows(), a.cols());
-    if crate::flops::syrk(n, k) < PAR_FLOP_THRESHOLD || n < 2 {
+    if crate::flops::syrk(n, k) < PAR_FLOP_THRESHOLD || n < 2 || nworkers < 2 {
         crate::syrk::syrk_lower(c, a);
         return;
     }
     let ldc = c.ld();
     let lda = a.ld();
-    let nchunks = num_threads().min(n);
+    let nchunks = nworkers.min(n);
     let cols_per = n.div_ceil(nchunks);
-    par_chunks_mut(c.as_mut_slice(), cols_per * ldc, |chunk, cpanel| {
-        let j0 = chunk * cols_per;
-        let jn = cols_per.min(n - j0);
-        // Columns j0..j0+jn of the lower triangle: rows j0..n.
-        // Work on the sub-triangle starting at (j0, j0): within the panel
-        // buffer, the (j0 + i)-th row of column j lives at offset
-        // j_local * ldc + row. Use the sequential SYRK on the diagonal
-        // part and GEMM for the strictly-below rows, both via raw calls.
-        // Diagonal jn x jn sub-triangle at rows j0..j0+jn:
-        crate::syrk::syrk_lower_raw(&mut cpanel[j0..], ldc, jn, &a.as_slice()[j0..], lda, k);
-        // Rows j0+jn..n of this panel: full GEMM block.
-        let m = n - j0 - jn;
-        if m > 0 {
-            gemm_nt_raw(
-                &mut cpanel[j0 + jn..],
-                ldc,
-                m,
-                jn,
-                &a.as_slice()[j0 + jn..],
-                lda,
-                &a.as_slice()[j0..],
-                lda,
-                k,
-            );
-        }
-    });
+    par_chunks_mut(
+        c.as_mut_slice(),
+        cols_per * ldc,
+        nworkers,
+        |chunk, cpanel| {
+            let j0 = chunk * cols_per;
+            let jn = cols_per.min(n - j0);
+            // Columns j0..j0+jn of the lower triangle: rows j0..n.
+            // Work on the sub-triangle starting at (j0, j0): within the panel
+            // buffer, the (j0 + i)-th row of column j lives at offset
+            // j_local * ldc + row. Use the sequential SYRK on the diagonal
+            // part and GEMM for the strictly-below rows, both via raw calls.
+            // Diagonal jn x jn sub-triangle at rows j0..j0+jn:
+            crate::syrk::syrk_lower_raw(&mut cpanel[j0..], ldc, jn, &a.as_slice()[j0..], lda, k);
+            // Rows j0+jn..n of this panel: full GEMM block.
+            let m = n - j0 - jn;
+            if m > 0 {
+                gemm_nt_raw(
+                    &mut cpanel[j0 + jn..],
+                    ldc,
+                    m,
+                    jn,
+                    &a.as_slice()[j0 + jn..],
+                    lda,
+                    &a.as_slice()[j0..],
+                    lda,
+                    k,
+                );
+            }
+        },
+    );
 }
 
 /// Parallel `X · Lᵀ = B` in place: the rows of `B` are independent, so the
@@ -117,14 +203,19 @@ pub fn syrk_lower_par(c: &mut Mat, a: &Mat) {
 pub fn trsm_right_lower_trans_par(b: &mut Mat, l: &Mat) {
     assert_eq!(l.rows(), l.cols(), "trsm_par: L must be square");
     assert_eq!(b.cols(), l.rows(), "trsm_par: B columns must match L order");
+    trsm_right_lower_trans_par_impl(b, l, num_threads());
+}
+
+fn trsm_right_lower_trans_par_impl(b: &mut Mat, l: &Mat, nworkers: usize) {
     let (m, n) = (b.rows(), b.cols());
-    if crate::flops::trsm(m, n) < PAR_FLOP_THRESHOLD || m < 2 {
+    if crate::flops::trsm(m, n) < PAR_FLOP_THRESHOLD || m < 2 || nworkers < 2 {
         crate::trsm::trsm_right_lower_trans(b, l);
         return;
     }
     // Rows are independent but interleaved in column-major storage, so we
     // split by copying horizontal strips out, solving, and copying back.
-    let nthreads = num_threads().min(m);
+    // At most `nworkers` strips exist, so the spawn loop below is bounded.
+    let nthreads = nworkers.min(m);
     let rows_per = m.div_ceil(nthreads);
     let ldb = b.ld();
     let bslice = b.as_mut_slice();
@@ -175,6 +266,32 @@ mod tests {
     }
 
     #[test]
+    fn gemm_par_multi_worker_matches_reference_and_is_deterministic() {
+        // Force the multi-worker shared-A path regardless of the host's core
+        // count; the result must match the oracle and be bit-identical to
+        // the sequential packed kernel (same per-element accumulation order).
+        let (m, n, k) = (160, 120, 140);
+        let a = Mat::from_fn(m, k, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
+        let b = Mat::from_fn(n, k, |r, c| ((r + c * 2) % 5) as f64 - 2.0);
+        let c0 = Mat::from_fn(m, n, |r, c| (r + c) as f64);
+        let mut cpar = c0.clone();
+        gemm_nt_par_impl(&mut cpar, &a, &b, 4);
+        let mut cref = c0.clone();
+        gemm_ref(&mut cref, &a, &b);
+        assert!(cpar.max_abs_diff(&cref) < 1e-9);
+        let mut cseq = c0.clone();
+        crate::gemm::gemm_nt(&mut cseq, &a, &b);
+        assert_eq!(cpar.as_slice(), cseq.as_slice(), "par != seq bitwise");
+        let mut cpar3 = c0.clone();
+        gemm_nt_par_impl(&mut cpar3, &a, &b, 3);
+        assert_eq!(
+            cpar.as_slice(),
+            cpar3.as_slice(),
+            "worker count changed bits"
+        );
+    }
+
+    #[test]
     fn syrk_par_matches_reference() {
         for &(n, k) in &[(5, 3), (90, 40), (200, 64)] {
             let a = Mat::from_fn(n, k, |r, c| ((r * 5 + c) % 9) as f64 - 4.0);
@@ -194,6 +311,21 @@ mod tests {
     }
 
     #[test]
+    fn syrk_par_multi_worker_matches_reference() {
+        let (n, k) = (220, 80);
+        let a = Mat::from_fn(n, k, |r, c| ((r * 5 + c) % 9) as f64 - 4.0);
+        let mut c1 = Mat::from_fn(n, n, |r, c| (r * 2 + c) as f64 * 0.5);
+        let mut c2 = c1.clone();
+        syrk_lower_par_impl(&mut c1, &a, 4);
+        syrk_ref(&mut c2, &a);
+        for j in 0..n {
+            for i in j..n {
+                assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
     fn trsm_par_matches_reference() {
         for &(m, n) in &[(4, 3), (120, 60), (301, 97)] {
             let spd = Mat::spd_from(n, |r, c| ((r + c * 3) % 7) as f64);
@@ -203,6 +335,47 @@ mod tests {
             trsm_right_lower_trans_par(&mut b, &l);
             let expect = trsm_ref(&l, &b0);
             assert!(b.max_abs_diff(&expect) < 1e-8, "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn trsm_par_multi_worker_matches_reference() {
+        let (m, n) = (310, 100);
+        let spd = Mat::spd_from(n, |r, c| ((r + c * 3) % 7) as f64);
+        let l = potrf_ref(&spd).unwrap();
+        let b0 = Mat::from_fn(m, n, |r, c| ((r * 2 + c) % 11) as f64 - 5.0);
+        let mut b = b0.clone();
+        trsm_right_lower_trans_par_impl(&mut b, &l, 4);
+        let expect = trsm_ref(&l, &b0);
+        assert!(b.max_abs_diff(&expect) < 1e-8);
+    }
+
+    #[test]
+    fn rank_scope_divides_thread_budget() {
+        let base = num_threads();
+        {
+            // Registering more ranks than cores floors the budget at 1.
+            let _guard = rank_scope(1024);
+            assert_eq!(num_threads(), 1);
+            {
+                let _inner = rank_scope(2);
+                assert_eq!(num_threads(), 1, "nested scopes add");
+            }
+        }
+        assert_eq!(num_threads(), base, "guard drop restores the budget");
+    }
+
+    #[test]
+    fn par_chunks_mut_bounds_workers_and_visits_every_chunk() {
+        let mut buf = vec![0.0; 103];
+        // 11 chunks, 3 workers: every chunk must be visited exactly once.
+        par_chunks_mut(&mut buf, 10, 3, |idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1.0 + idx as f64;
+            }
+        });
+        for (i, v) in buf.iter().enumerate() {
+            assert_eq!(*v, 1.0 + (i / 10) as f64, "element {i}");
         }
     }
 }

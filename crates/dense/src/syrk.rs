@@ -5,11 +5,15 @@
 //! symmetric, so only the lower triangle is computed — this halves the work
 //! relative to GEMM, exactly as BLAS `SYRK` does.
 
-use crate::gemm::gemm_nt_raw;
+use crate::gemm::{gemm_nt_raw, GEMM_PACK_MIN_FLOPS};
 use crate::mat::Mat;
+use crate::microkernel;
+use crate::pack;
 
-/// Diagonal-tile width for the blocked SYRK.
+/// Diagonal-tile width for the blocked SYRK. Must be a multiple of
+/// [`microkernel::MR`] so tile boundaries land on packed-strip boundaries.
 const DB: usize = 48;
+const _: () = assert!(DB.is_multiple_of(microkernel::MR));
 
 /// Compute `C ← C − A·Aᵀ` updating only the lower triangle, on raw
 /// column-major buffers. `c` is `n × n` (leading dimension `ldc`), `a` is
@@ -18,13 +22,15 @@ pub fn syrk_lower_raw(c: &mut [f64], ldc: usize, n: usize, a: &[f64], lda: usize
     if n == 0 || k == 0 {
         return;
     }
-    // Tile the diagonal: each diagonal DB×DB tile gets a triangular update,
-    // and the sub-diagonal panel below it is a plain GEMM against the tile's
-    // rows of A. This routes >90% of the flops through the blocked GEMM.
+    if crate::flops::syrk(n, k) >= GEMM_PACK_MIN_FLOPS {
+        syrk_lower_packed(c, ldc, n, a, lda, k);
+        return;
+    }
+    // Small problem: tile the diagonal; each diagonal DB×DB tile gets a
+    // triangular update and the panel below it a plain GEMM.
     for jj in (0..n).step_by(DB) {
         let jend = (jj + DB).min(n);
         let jb = jend - jj;
-        // Triangular part of the diagonal tile.
         for j in jj..jend {
             for p in 0..k {
                 let ajp = a[p * lda + j];
@@ -53,6 +59,61 @@ pub fn syrk_lower_raw(c: &mut [f64], ldc: usize, n: usize, a: &[f64], lda: usize
                 &a[jj..],
                 lda,
                 k,
+            );
+        }
+    }
+}
+
+/// Packed-core SYRK: the `n × k` panel is packed into MR-strip format
+/// **once** ([`pack::ApackFull`]), then every diagonal tile and every
+/// sub-diagonal block runs against strip subranges of that shared pack —
+/// the per-tile GEMM calls of the naive tiling would otherwise re-pack the
+/// same `A` rows `n/DB` times over.
+///
+/// Diagonal tiles compute the *full* DB×DB product on the packed core into
+/// a zeroed scratch and fold in only its lower half: the redundant upper
+/// half costs jb²k extra flops, but at the packed rate that beats running
+/// the needed half on a scalar triangular loop — and the doubling is
+/// confined to a DB/n fraction of the whole update.
+fn syrk_lower_packed(c: &mut [f64], ldc: usize, n: usize, a: &[f64], lda: usize, k: usize) {
+    let apack = pack::ApackFull::pack_nt(a, lda, n, k);
+    let mut tile: Vec<f64> = Vec::new();
+    for jj in (0..n).step_by(DB) {
+        let jend = (jj + DB).min(n);
+        let jb = jend - jj;
+        // Full jb×jb diagonal-tile product, lower half folded into C.
+        tile.clear();
+        tile.resize(jb * jb, 0.0);
+        microkernel::gemm_packed_shared_a_rows(
+            &mut tile,
+            jb,
+            jj,
+            jb,
+            jb,
+            &apack,
+            |dst, j0, nb, p0, kb| pack::pack_b_t(dst, a, lda, jj + j0, nb, p0, kb),
+            true,
+        );
+        for j in 0..jb {
+            let col = &mut c[(jj + j) * ldc + jj..(jj + j) * ldc + jend];
+            let tcol = &tile[j * jb..j * jb + jb];
+            for i in j..jb {
+                col[i] += tcol[i];
+            }
+        }
+        // Rectangular panel below the diagonal tile: rows jend..n, cols jj..jend.
+        let m = n - jend;
+        if m > 0 {
+            // C[jend.., jj..jend] -= A[jend.., :] * A[jj..jend, :]^T
+            microkernel::gemm_packed_shared_a_rows(
+                &mut c[jj * ldc + jend..],
+                ldc,
+                jend,
+                m,
+                jb,
+                &apack,
+                |dst, j0, nb, p0, kb| pack::pack_b_t(dst, a, lda, jj + j0, nb, p0, kb),
+                true,
             );
         }
     }

@@ -9,8 +9,28 @@
 use crate::gemm::gemm_nt_raw;
 use crate::mat::Mat;
 
-/// Column-block width for the blocked TRSM.
-const JB: usize = 48;
+/// Outer column-panel width. Wide, so the trailing update — the GEMM that
+/// dominates the flops — runs with inner dimension `JB` and streams the
+/// trailing columns of `B` only `n/JB` times. Narrowing JB makes the scalar
+/// in-panel share smaller but multiplies those memory-bound passes over `C`;
+/// 64 measured best on the `kernel_roofline` sweep (see
+/// `results/kernel_roofline.txt`).
+const JB: usize = 64;
+
+/// Inner sub-block width within a panel. The scalar triangular sweep is
+/// confined to SJ columns at a time; the rest of the in-panel work
+/// (updating columns `send..jend` by the just-solved SJ columns) runs on
+/// the GEMM path, so the truly-scalar flop share is O(SJ/n).
+const SJ: usize = 16;
+
+/// Row-strip height for the scalar triangular sweep. Row strips of the
+/// solve are independent (row `i` of column `j` depends only on row `i` of
+/// earlier columns), so the sweep runs strip-by-strip: an RS×SJ strip of
+/// `B` (RS·SJ·8 = 16 KiB) stays L1-resident across the whole k-loop instead
+/// of streaming every full column from L2 per AXPY. Each element still sees
+/// the identical k-ascending update sequence, so results are bit-identical
+/// to the unstripped sweep.
+const RS: usize = 128;
 
 /// Solve `X · Lᵀ = B` in place on raw column-major buffers.
 ///
@@ -29,36 +49,77 @@ pub fn trsm_right_lower_trans_raw(
     if m == 0 || n == 0 {
         return;
     }
-    // Blocked forward sweep over column panels of B. For panel J = [jj, jend):
-    //   1. update: B[:, J] -= B[:, 0..jj] * L[J, 0..jj]^T   (GEMM)
-    //   2. solve the small triangular system against L[J, J].
+    // Right-looking blocked sweep over column panels of B. For panel
+    // J = [jj, jend):
+    //   1. solve the small triangular system against L[J, J] (all updates
+    //      from earlier panels have already been applied),
+    //   2. update the trailing columns:
+    //      B[:, jend..] -= B[:, J] * (L[jend.., J])^T   (GEMM).
+    // Right-looking keeps the GEMM's A operand at a fixed jb columns — the
+    // just-solved panel, packed once — instead of the left-looking form
+    // whose A operand is *all* solved columns, re-packed on every panel
+    // (O(m·n²/JB) packing traffic against O(m·n²) flops).
     for jj in (0..n).step_by(JB) {
         let jend = (jj + JB).min(n);
         let jb = jend - jj;
-        if jj > 0 {
-            // B[:, jj..jend] -= B[:, 0..jj] * (L[jj..jend, 0..jj])^T
-            let (done, rest) = b.split_at_mut(jj * ldb);
-            gemm_nt_raw(rest, ldb, m, jb, done, ldb, &l[jj..], ldl, jj);
-        }
-        // Unblocked solve within the panel.
-        for j in jj..jend {
-            for k in jj..j {
-                let ljk = l[k * ldl + j];
-                if ljk != 0.0 {
-                    let (bk, bj) = {
-                        let (lo, hi) = b.split_at_mut(j * ldb);
-                        (&lo[k * ldb..k * ldb + m], &mut hi[..m])
-                    };
-                    for i in 0..m {
-                        bj[i] -= bk[i] * ljk;
+        // In-panel solve, itself blocked: scalar-solve SJ columns, then push
+        // their contribution into the remaining panel columns as a GEMM.
+        for sj in (jj..jend).step_by(SJ) {
+            let send = (sj + SJ).min(jend);
+            // Unblocked solve of columns sj..send against L[sj..send, sj..send],
+            // strip-mined over rows (see [`RS`]).
+            for i0 in (0..m).step_by(RS) {
+                let rows = RS.min(m - i0);
+                for j in sj..send {
+                    for k in sj..j {
+                        let ljk = l[k * ldl + j];
+                        if ljk != 0.0 {
+                            let (bk, bj) = {
+                                let (lo, hi) = b.split_at_mut(j * ldb + i0);
+                                (&lo[k * ldb + i0..k * ldb + i0 + rows], &mut hi[..rows])
+                            };
+                            for i in 0..rows {
+                                bj[i] -= bk[i] * ljk;
+                            }
+                        }
+                    }
+                    let d = l[j * ldl + j];
+                    let inv = 1.0 / d;
+                    for v in &mut b[j * ldb + i0..j * ldb + i0 + rows] {
+                        *v *= inv;
                     }
                 }
             }
-            let d = l[j * ldl + j];
-            let inv = 1.0 / d;
-            for v in &mut b[j * ldb..j * ldb + m] {
-                *v *= inv;
+            if send < jend {
+                // B[:, send..jend] -= B[:, sj..send] * (L[send..jend, sj..send])^T
+                let (done, rest) = b.split_at_mut(send * ldb);
+                gemm_nt_raw(
+                    rest,
+                    ldb,
+                    m,
+                    jend - send,
+                    &done[sj * ldb..],
+                    ldb,
+                    &l[sj * ldl + send..],
+                    ldl,
+                    send - sj,
+                );
             }
+        }
+        if jend < n {
+            // B[:, jend..] -= B[:, jj..jend] * (L[jend.., jj..jend])^T
+            let (done, rest) = b.split_at_mut(jend * ldb);
+            gemm_nt_raw(
+                rest,
+                ldb,
+                m,
+                n - jend,
+                &done[jj * ldb..],
+                ldb,
+                &l[jj * ldl + jend..],
+                ldl,
+                jb,
+            );
         }
     }
 }

@@ -1,0 +1,339 @@
+//! Property tests for the packed register-blocked engine against the naive
+//! oracle (`sympack_dense::naive` and plain triple loops).
+//!
+//! The shape set is adversarial around the microkernel geometry: every
+//! dimension sweeps `{0, 1, MR−1, MR, MR+1, 2·MR+3, …}` so each test hits
+//! empty problems, single-element tiles, full register tiles, one-past
+//! boundaries, and ragged edge strips in both the `m` (MR) and `n` (NR)
+//! directions, as well as shapes that cross the MC/KC/NC cache blocks.
+//!
+//! Every call runs on a sub-panel of a larger buffer: leading dimensions are
+//! strictly greater than the logical dimension and the operand starts at a
+//! nonzero offset, so any kernel that confuses `ld` with the row count or
+//! writes outside its panel trips the sentinel checks here.
+
+use sympack_dense::gemm::{gemm_nt_packed_raw, gemm_nt_raw};
+use sympack_dense::microkernel::{KC, MC, MR, NR};
+use sympack_dense::panel::{gemm_nn_acc_raw, gemm_tn_acc_raw};
+use sympack_dense::syrk::syrk_lower_raw;
+use sympack_dense::trsm::trsm_right_lower_trans_raw;
+
+/// Adversarial sizes for the `m`/`n`/`k` dimensions (MR = 8, NR = 4: the
+/// NR-critical values 3/4/5 are covered by MR−1 = 7 edges plus 2·MR+3 = 19,
+/// which is ≡ 3 mod 4).
+const DIMS: &[usize] = &[0, 1, MR - 1, MR, MR + 1, 2 * MR + 3, 61];
+
+/// Larger sizes that cross the cache-blocking boundaries; kept to a few so
+/// the full cartesian sweep stays fast.
+const BIG_DIMS: &[usize] = &[MC + 5, KC + 9];
+
+const SENTINEL: f64 = -777.25;
+
+fn deterministic_fill(buf: &mut [f64], salt: u64) {
+    for (i, x) in buf.iter_mut().enumerate() {
+        let h = (i as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(salt)
+            .wrapping_mul(0x2545F4914F6CDD1D);
+        // Values in [-1, 1): keeps products O(k), so 1e-13 relative slack
+        // is many ulps of headroom without hiding real blunders.
+        *x = ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+    }
+}
+
+/// Max relative difference |x−y| / max(1, |y|) over two equal-length slices.
+fn max_rel_diff(got: &[f64], want: &[f64]) -> f64 {
+    got.iter()
+        .zip(want)
+        .map(|(g, w)| (g - w).abs() / w.abs().max(1.0))
+        .fold(0.0, f64::max)
+}
+
+/// A column-major operand embedded in an oversized buffer: `ld > rows`
+/// strictly, nonzero starting offset, sentinel-filled padding.
+struct Panel {
+    buf: Vec<f64>,
+    off: usize,
+    ld: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl Panel {
+    fn new(rows: usize, cols: usize, salt: u64) -> Self {
+        // ld strictly greater than rows, misaligned w.r.t. MR on purpose.
+        let ld = rows + 3 + (salt as usize % 5);
+        let off = 2 + (salt as usize % 7);
+        let buf = vec![SENTINEL; off + ld * cols.max(1) + 4];
+        let mut p = Panel {
+            buf,
+            off,
+            ld,
+            rows,
+            cols,
+        };
+        // Fill only the logical rows of each column; padding rows keep the
+        // sentinel so out-of-panel writes are detectable.
+        let mut col = vec![0.0; rows];
+        for j in 0..cols {
+            deterministic_fill(&mut col, salt.wrapping_add(j as u64));
+            let base = p.off + j * p.ld;
+            p.buf[base..base + rows].copy_from_slice(&col);
+        }
+        p
+    }
+
+    fn slice(&self) -> &[f64] {
+        &self.buf[self.off..]
+    }
+
+    fn slice_mut(&mut self) -> &mut [f64] {
+        &mut self.buf[self.off..]
+    }
+
+    /// Dense `rows × cols` copy of the logical panel.
+    fn dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows * self.cols];
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                out[j * self.rows + i] = self.buf[self.off + j * self.ld + i];
+            }
+        }
+        out
+    }
+
+    /// Panics if any padding element (before the offset, past the logical
+    /// rows of a column, or after the last column) was modified.
+    fn assert_padding_intact(&self, what: &str) {
+        for (i, &v) in self.buf[..self.off].iter().enumerate() {
+            assert_eq!(v, SENTINEL, "{what}: prefix padding [{i}] clobbered");
+        }
+        for j in 0..self.cols {
+            let base = self.off + j * self.ld;
+            for r in self.rows..self.ld {
+                let idx = base + r;
+                if idx < self.buf.len() {
+                    assert_eq!(
+                        self.buf[idx], SENTINEL,
+                        "{what}: padding row {r} of column {j} clobbered"
+                    );
+                }
+            }
+        }
+        let tail = self.off + self.ld * self.cols.max(1);
+        for (i, &v) in self.buf[tail..].iter().enumerate() {
+            assert_eq!(v, SENTINEL, "{what}: suffix padding [{i}] clobbered");
+        }
+    }
+}
+
+/// Oracle: `C ← C − A·Bᵀ` by the definitional triple loop on dense copies.
+fn gemm_nt_oracle(c: &mut [f64], m: usize, n: usize, a: &[f64], b: &[f64], k: usize) {
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[p * m + i] * b[p * n + j];
+            }
+            c[j * m + i] -= acc;
+        }
+    }
+}
+
+fn shape_sweep(mut body: impl FnMut(usize, usize, usize)) {
+    for &m in DIMS {
+        for &n in DIMS {
+            for &k in DIMS {
+                body(m, n, k);
+            }
+        }
+    }
+    // A few cache-block crossers (full cartesian product would be slow).
+    for &m in BIG_DIMS {
+        body(m, NR + 1, KC + 9);
+        body(m, 2 * MR + 3, MR - 1);
+    }
+    body(MR + 1, MC + 5, KC + 9);
+    body(2 * MR + 3, KC + 9, MC + 5);
+}
+
+#[test]
+fn gemm_dispatch_and_forced_packed_match_oracle_on_subpanels() {
+    shape_sweep(|m, n, k| {
+        let a = Panel::new(m, k, 11);
+        let b = Panel::new(n, k, 23);
+        let mut want = Panel::new(m, n, 37).dense();
+        gemm_nt_oracle(&mut want, m, n, &a.dense(), &b.dense(), k);
+
+        for forced in [false, true] {
+            let mut c = Panel::new(m, n, 37);
+            let (ldc, lda, ldb) = (c.ld, a.ld, b.ld);
+            if forced {
+                gemm_nt_packed_raw(c.slice_mut(), ldc, m, n, a.slice(), lda, b.slice(), ldb, k);
+            } else {
+                gemm_nt_raw(c.slice_mut(), ldc, m, n, a.slice(), lda, b.slice(), ldb, k);
+            }
+            let rel = max_rel_diff(&c.dense(), &want);
+            assert!(
+                rel <= 1e-13,
+                "gemm m={m} n={n} k={k} forced={forced}: rel diff {rel:e}"
+            );
+            c.assert_padding_intact("gemm C");
+        }
+        a.assert_padding_intact("gemm A");
+        b.assert_padding_intact("gemm B");
+    });
+}
+
+#[test]
+fn gemm_is_bitwise_deterministic_run_to_run() {
+    shape_sweep(|m, n, k| {
+        let a = Panel::new(m, k, 5);
+        let b = Panel::new(n, k, 7);
+        let mut c1 = Panel::new(m, n, 9);
+        let mut c2 = Panel::new(m, n, 9);
+        let (lda, ldb) = (a.ld, b.ld);
+        let ldc = c1.ld;
+        gemm_nt_raw(c1.slice_mut(), ldc, m, n, a.slice(), lda, b.slice(), ldb, k);
+        gemm_nt_raw(c2.slice_mut(), ldc, m, n, a.slice(), lda, b.slice(), ldb, k);
+        assert_eq!(
+            c1.buf, c2.buf,
+            "gemm m={m} n={n} k={k}: runs differ bitwise"
+        );
+    });
+}
+
+#[test]
+fn syrk_matches_gemm_oracle_lower_triangle_on_subpanels() {
+    for &n in DIMS {
+        for &k in DIMS.iter().chain(BIG_DIMS) {
+            let a = Panel::new(n, k, 13);
+            // Oracle: full C ← C − A·Aᵀ, then compare lower halves.
+            let mut want = Panel::new(n, n, 17).dense();
+            gemm_nt_oracle(&mut want, n, n, &a.dense(), &a.dense(), k);
+
+            let mut c = Panel::new(n, n, 17);
+            let (ldc, lda) = (c.ld, a.ld);
+            syrk_lower_raw(c.slice_mut(), ldc, n, a.slice(), lda, k);
+            let got = c.dense();
+            let orig = Panel::new(n, n, 17).dense();
+            for j in 0..n {
+                for i in 0..n {
+                    let (g, w) = (got[j * n.max(1) + i], want[j * n.max(1) + i]);
+                    if i >= j {
+                        let rel = (g - w).abs() / w.abs().max(1.0);
+                        assert!(rel <= 1e-13, "syrk n={n} k={k} at ({i},{j}): {rel:e}");
+                    } else {
+                        // Strict upper triangle must be untouched.
+                        assert_eq!(g, orig[j * n.max(1) + i], "syrk upper ({i},{j})");
+                    }
+                }
+            }
+            c.assert_padding_intact("syrk C");
+            a.assert_padding_intact("syrk A");
+        }
+    }
+}
+
+#[test]
+fn trsm_reconstructs_rhs_on_subpanels() {
+    for &m in DIMS {
+        for &n in DIMS.iter().chain(BIG_DIMS) {
+            // Well-conditioned lower-triangular L with unit-ish diagonal.
+            let mut l = Panel::new(n, n, 29);
+            for j in 0..n {
+                for i in 0..j {
+                    l.buf[l.off + j * l.ld + i] = f64::NAN; // never read
+                }
+                l.buf[l.off + j * l.ld + j] = 2.0 + (j % 3) as f64 * 0.25;
+                for i in j + 1..n {
+                    l.buf[l.off + j * l.ld + i] *= 0.5;
+                }
+            }
+            let b0 = Panel::new(m, n, 31);
+            let mut b = Panel::new(m, n, 31);
+            let (ldb, ldl) = (b.ld, l.ld);
+            trsm_right_lower_trans_raw(b.slice_mut(), ldb, m, n, l.slice(), ldl);
+            // Check X·Lᵀ = B0:   B0[i,j] = Σ_{p≤j} X[i,p]·L[j,p].
+            let x = b.dense();
+            let want = b0.dense();
+            let ld = l.dense();
+            let mut maxrel: f64 = 0.0;
+            for j in 0..n {
+                for i in 0..m {
+                    let mut acc = 0.0;
+                    for p in 0..=j {
+                        acc += x[p * m + i] * ld[p * n + j];
+                    }
+                    maxrel =
+                        maxrel.max((acc - want[j * m + i]).abs() / want[j * m + i].abs().max(1.0));
+                }
+            }
+            assert!(
+                maxrel <= 1e-12,
+                "trsm m={m} n={n}: reconstruction {maxrel:e}"
+            );
+            b.assert_padding_intact("trsm B");
+        }
+    }
+}
+
+#[test]
+fn panel_accumulating_gemms_match_oracle_on_subpanels() {
+    // C += A·B (nn) and C += Aᵀ·B (tn) over the same adversarial sweep.
+    shape_sweep(|m, n, k| {
+        let ann = Panel::new(m, k, 41);
+        let atn = Panel::new(k, m, 43);
+        let b = Panel::new(k, n, 47);
+        let (bd, annd, atnd) = (b.dense(), ann.dense(), atn.dense());
+
+        let mut want_nn = Panel::new(m, n, 53).dense();
+        let mut want_tn = want_nn.clone();
+        for j in 0..n {
+            for i in 0..m {
+                let mut s_nn = 0.0;
+                let mut s_tn = 0.0;
+                for p in 0..k {
+                    s_nn += annd[p * m + i] * bd[j * k + p];
+                    s_tn += atnd[i * k + p] * bd[j * k + p];
+                }
+                want_nn[j * m + i] += s_nn;
+                want_tn[j * m + i] += s_tn;
+            }
+        }
+
+        let mut c = Panel::new(m, n, 53);
+        let (ldc, lda, ldb) = (c.ld, ann.ld, b.ld);
+        gemm_nn_acc_raw(
+            c.slice_mut(),
+            ldc,
+            m,
+            n,
+            ann.slice(),
+            lda,
+            b.slice(),
+            ldb,
+            k,
+        );
+        let rel = max_rel_diff(&c.dense(), &want_nn);
+        assert!(rel <= 1e-13, "gemm_nn_acc m={m} n={n} k={k}: {rel:e}");
+        c.assert_padding_intact("gemm_nn_acc C");
+
+        let mut c = Panel::new(m, n, 53);
+        let (ldc, lda, ldb) = (c.ld, atn.ld, b.ld);
+        gemm_tn_acc_raw(
+            c.slice_mut(),
+            ldc,
+            m,
+            n,
+            atn.slice(),
+            lda,
+            b.slice(),
+            ldb,
+            k,
+        );
+        let rel = max_rel_diff(&c.dense(), &want_tn);
+        assert!(rel <= 1e-13, "gemm_tn_acc m={m} n={n} k={k}: {rel:e}");
+        c.assert_padding_intact("gemm_tn_acc C");
+    });
+}

@@ -81,9 +81,12 @@ pub struct KernelEngine {
     /// When false, everything runs on the CPU regardless of thresholds
     /// (the paper's non-GPU build).
     pub gpu_enabled: bool,
-    /// Use the rayon-parallel kernel variants for CPU work (the
-    /// shared-memory single-rank execution path; distributed ranks keep
-    /// sequential kernels since each rank is one core under flat-MPI).
+    /// Use the thread-parallel kernel variants for CPU work (the
+    /// shared-memory single-rank execution path). Safe to leave on under
+    /// flat-MPI too: the `sympack_dense::par` worker budget divides the
+    /// hardware threads by the live rank count registered via
+    /// `sympack_dense::par::rank_scope`, falling back to the sequential
+    /// packed kernels when the per-rank budget is one thread.
     pub intra_parallel: bool,
 }
 

@@ -183,6 +183,119 @@ impl ServiceMetrics {
     }
 }
 
+/// One wall-clock measurement of a dense kernel at one problem shape, as
+/// recorded by the `kernel_roofline` benchmark.
+#[derive(Debug, Clone)]
+pub struct KernelSample {
+    /// Kernel name (`gemm_nt`, `potrf`, `trsm`, `syrk`, ...).
+    pub kernel: String,
+    /// Code-path variant (`unpacked`, `packed`, `par`, ...).
+    pub variant: String,
+    /// Problem shape; unused dimensions are 0.
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    /// Median wall-clock seconds per call.
+    pub secs: f64,
+    /// Exact flop count of one call.
+    pub flops: u64,
+    /// Bytes of matrix data touched at least once (operand + result
+    /// footprints, not cache-aware traffic).
+    pub bytes: u64,
+}
+
+impl KernelSample {
+    /// Achieved rate in Gflop/s.
+    pub fn gflops(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.flops as f64 / self.secs / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Arithmetic intensity in flops per byte of footprint — the x-axis of a
+    /// roofline plot.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes > 0 {
+            self.flops as f64 / self.bytes as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kernel\":\"{}\",\"variant\":\"{}\",\"m\":{},\"n\":{},\"k\":{},\
+             \"secs\":{},\"flops\":{},\"bytes\":{},\"gflops\":{},\"ai\":{}}}",
+            self.kernel,
+            self.variant,
+            self.m,
+            self.n,
+            self.k,
+            self.secs,
+            self.flops,
+            self.bytes,
+            self.gflops(),
+            self.arithmetic_intensity()
+        )
+    }
+}
+
+/// A full roofline benchmark run: machine context plus every sample.
+/// Serialized to `BENCH_kernels.json` by the `kernel_roofline` binary.
+#[derive(Debug, Clone, Default)]
+pub struct RooflineReport {
+    /// Worker budget of the parallel kernel variants during the run.
+    pub threads: usize,
+    /// Instruction set the microkernel dispatched to (`avx2+fma`, ...).
+    pub isa: String,
+    /// All recorded samples, in measurement order.
+    pub samples: Vec<KernelSample>,
+}
+
+impl RooflineReport {
+    /// New empty report.
+    pub fn new(threads: usize, isa: &str) -> Self {
+        RooflineReport {
+            threads,
+            isa: isa.to_string(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, s: KernelSample) {
+        self.samples.push(s);
+    }
+
+    /// The sample for `(kernel, variant)` at shape `(m, n, k)`, if recorded.
+    pub fn find(
+        &self,
+        kernel: &str,
+        variant: &str,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) -> Option<&KernelSample> {
+        self.samples.iter().find(|s| {
+            s.kernel == kernel && s.variant == variant && s.m == m && s.n == n && s.k == k
+        })
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        let samples: Vec<String> = self.samples.iter().map(KernelSample::to_json).collect();
+        format!(
+            "{{\"threads\":{},\"isa\":\"{}\",\"samples\":[{}]}}",
+            self.threads,
+            self.isa,
+            samples.join(",")
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +348,74 @@ mod tests {
         // Amortized: (10 + 8) / 32 ≈ 0.56 ≪ one-shot 10 + 1 = 11.
         assert!(m.amortized_cost_per_job() < 1.0);
         assert!(m.one_shot_cost_per_job() > 10.0);
+    }
+
+    #[test]
+    fn kernel_sample_rates_and_json() {
+        let s = KernelSample {
+            kernel: "gemm_nt".into(),
+            variant: "packed".into(),
+            m: 256,
+            n: 256,
+            k: 256,
+            secs: 0.001,
+            flops: 2 * 256 * 256 * 256,
+            bytes: 8 * 3 * 256 * 256 + 8 * 256 * 256,
+        };
+        assert!((s.gflops() - 33.554432).abs() < 1e-9);
+        assert!(s.arithmetic_intensity() > 10.0);
+        let json = s.to_json();
+        assert!(json.contains("\"kernel\":\"gemm_nt\""));
+        assert!(json.contains("\"variant\":\"packed\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn roofline_report_find_and_json_balance() {
+        let mut r = RooflineReport::new(4, "avx2+fma");
+        r.push(KernelSample {
+            kernel: "potrf".into(),
+            variant: "blocked".into(),
+            m: 0,
+            n: 128,
+            k: 0,
+            secs: 0.5,
+            flops: 1000,
+            bytes: 800,
+        });
+        r.push(KernelSample {
+            kernel: "potrf".into(),
+            variant: "blocked".into(),
+            m: 0,
+            n: 256,
+            k: 0,
+            secs: 0.25,
+            flops: 2000,
+            bytes: 1600,
+        });
+        assert!(r.find("potrf", "blocked", 0, 256, 0).is_some());
+        assert!(r.find("potrf", "naive", 0, 256, 0).is_none());
+        let json = r.to_json();
+        assert!(json.contains("\"threads\":4"));
+        assert!(json.contains("\"isa\":\"avx2+fma\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn zero_time_and_zero_bytes_are_guarded() {
+        let s = KernelSample {
+            kernel: "x".into(),
+            variant: "y".into(),
+            m: 0,
+            n: 0,
+            k: 0,
+            secs: 0.0,
+            flops: 10,
+            bytes: 0,
+        };
+        assert_eq!(s.gflops(), 0.0);
+        assert_eq!(s.arithmetic_intensity(), 0.0);
     }
 
     #[test]
