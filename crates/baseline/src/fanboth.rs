@@ -38,7 +38,7 @@ use sympack_sparse::SparseSym;
 use sympack_symbolic::{analyze, SymbolicFactor};
 use sympack_trace::Tracer;
 
-use crate::rightlooking::{build_report, BaselineOptions, BaselineReport, RankOut};
+use crate::rightlooking::{build_report, comm_events, BaselineOptions, BaselineReport, RankOut};
 
 /// Incoming notifications.
 #[derive(Debug, Clone, Copy)]
@@ -478,7 +478,7 @@ pub fn try_fanboth_factor_and_solve(
     let report = Runtime::run(config, |rank| {
         run_rank(rank, &sf, &ap, &bp, grid, &opts2, &abort)
     });
-    build_report(a, b, &sf, report.results, report.stats)
+    build_report("fanboth", a, b, &sf, report, opts.trace)
 }
 
 fn run_rank(
@@ -491,6 +491,10 @@ fn run_rank(
     abort: &Arc<AtomicBool>,
 ) -> RankOut {
     let me = rank.id();
+    if opts.trace {
+        // Comm-layer spans (rget/rput/rpc/drain) for the profile.
+        rank.set_tracer(Tracer::new());
+    }
     let mut kernels = if opts.gpu {
         KernelEngine::new_gpu()
     } else {
@@ -551,6 +555,7 @@ fn run_rank(
     if aborted {
         // Skip the solve collectively (sticky job-abort keeps every rank's
         // barrier sequence aligned).
+        trace.extend(comm_events(rank));
         return RankOut {
             error: engine.rt.error.take(),
             factor_time,
@@ -581,6 +586,7 @@ fn run_rank(
         &params,
     );
     trace.extend(std::mem::take(&mut out.trace));
+    trace.extend(comm_events(rank));
     tasks.extend(out.task_counts.iter().map(|&(k, v)| (k.to_string(), v)));
     RankOut {
         error: out.error.take(),

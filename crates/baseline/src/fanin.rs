@@ -32,7 +32,7 @@ use sympack_sparse::SparseSym;
 use sympack_symbolic::{analyze, SymbolicFactor};
 use sympack_trace::{TraceCat, Tracer};
 
-use crate::rightlooking::{build_report, BaselineOptions, BaselineReport, RankOut};
+use crate::rightlooking::{build_report, comm_events, BaselineOptions, BaselineReport, RankOut};
 
 /// Per-receive synchronization cost (same two-sided flavor as the
 /// right-looking baseline).
@@ -450,7 +450,7 @@ pub fn try_fanin_factor_and_solve(
     let report = Runtime::run(config, |rank| {
         run_rank(rank, &sf, &ap, &bp, grid, p, &opts2, &abort)
     });
-    build_report(a, b, &sf, report.results, report.stats)
+    build_report("fanin", a, b, &sf, report, opts.trace)
 }
 
 #[allow(clippy::too_many_arguments)] // one-shot per-rank closure body
@@ -465,6 +465,10 @@ fn run_rank(
     abort: &Arc<AtomicBool>,
 ) -> RankOut {
     let me = rank.id();
+    if opts.trace {
+        // Comm-layer spans (rget/rput/rpc/drain) for the profile.
+        rank.set_tracer(Tracer::new());
+    }
     let mut kernels = if opts.gpu {
         KernelEngine::new_gpu()
     } else {
@@ -526,6 +530,7 @@ fn run_rank(
     if aborted {
         // Skip the solve collectively (sticky job-abort keeps every rank's
         // barrier sequence aligned).
+        trace.extend(comm_events(rank));
         return RankOut {
             error: engine.rt.error.take(),
             factor_time,
@@ -556,6 +561,7 @@ fn run_rank(
         &params,
     );
     trace.extend(std::mem::take(&mut out.trace));
+    trace.extend(comm_events(rank));
     tasks.extend(out.task_counts.iter().map(|&(k, v)| (k.to_string(), v)));
     RankOut {
         error: out.error.take(),

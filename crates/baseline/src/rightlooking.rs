@@ -18,10 +18,11 @@ use sympack_dense::Mat;
 use sympack_gpu::{KernelEngine, OffloadThresholds, OomPolicy, OpCounts};
 use sympack_ordering::{compute_ordering, OrderingKind};
 use sympack_pgas::{
-    FaultPlan, GlobalPtr, MemKind, NetModel, PgasConfig, Rank, Runtime, StatsSnapshot,
+    FaultPlan, GlobalPtr, MemKind, NetModel, PgasConfig, Rank, RunReport, Runtime, StatsSnapshot,
 };
 use sympack_sparse::SparseSym;
 use sympack_symbolic::{analyze, AnalyzeOptions, SymbolicFactor};
+use sympack_trace::profile::Profile;
 use sympack_trace::{TraceCat, TraceEvent, Tracer};
 
 /// Per-receive rendezvous overhead of the two-sided protocol (seconds).
@@ -107,6 +108,9 @@ pub struct BaselineReport {
     pub trace: Vec<TraceEvent>,
     /// Executed tasks per kind, summed over ranks (factorization + solve).
     pub task_counts: Vec<(String, u64)>,
+    /// Assembled flight-recorder profile (None unless
+    /// [`BaselineOptions::trace`]).
+    pub profile: Option<Profile>,
 }
 
 /// What one rank reports back from a baseline run. Shared by the three
@@ -122,14 +126,25 @@ pub(crate) struct RankOut {
 }
 
 /// Assemble the cross-rank [`BaselineReport`] from per-rank outputs,
-/// propagating the first per-rank error (rank order) if any.
+/// propagating the first per-rank error (rank order) if any. All three
+/// baseline families route through here, so the flight-recorder profile
+/// (critical path, wait attribution, comm matrix) is assembled in one place.
 pub(crate) fn build_report(
+    engine: &'static str,
     a: &SparseSym,
     b: &[f64],
     sf: &SymbolicFactor,
-    mut outs: Vec<RankOut>,
-    stats: StatsSnapshot,
+    run: RunReport<RankOut>,
+    traced: bool,
 ) -> Result<BaselineReport, SolverError> {
+    let RunReport {
+        results: mut outs,
+        makespan,
+        final_clocks,
+        stats,
+        comm,
+        ..
+    } = run;
     if let Some(pos) = outs.iter().position(|o| o.error.is_some()) {
         return Err(outs.swap_remove(pos).error.expect("checked"));
     }
@@ -149,16 +164,30 @@ pub(crate) fn build_report(
             *totals.entry(k.clone()).or_insert(0) += v;
         }
     }
+    let factor_time = outs.iter().map(|o| o.factor_time).fold(0.0, f64::max);
+    let solve_time = outs.iter().map(|o| o.solve_time).fold(0.0, f64::max);
+    let op_counts: Vec<OpCounts> = outs.iter().map(|o| o.counts).collect();
+    let trace: Vec<TraceEvent> = outs.into_iter().flat_map(|o| o.trace).collect();
+    let profile =
+        traced.then(|| Profile::build(engine, &trace, makespan, final_clocks.len(), comm));
     Ok(BaselineReport {
         x,
         relative_residual,
-        factor_time: outs.iter().map(|o| o.factor_time).fold(0.0, f64::max),
-        solve_time: outs.iter().map(|o| o.solve_time).fold(0.0, f64::max),
-        op_counts: outs.iter().map(|o| o.counts).collect(),
+        factor_time,
+        solve_time,
+        op_counts,
         stats,
-        trace: outs.into_iter().flat_map(|o| o.trace).collect(),
+        trace,
         task_counts: totals.into_iter().collect(),
+        profile,
     })
+}
+
+/// Drain the rank-level comm tracer (empty when tracing is off).
+pub(crate) fn comm_events(rank: &mut Rank) -> Vec<TraceEvent> {
+    rank.take_tracer()
+        .map(Tracer::into_events)
+        .unwrap_or_default()
 }
 
 /// The two task species of the panel-granular right-looking algorithm.
@@ -521,7 +550,7 @@ pub fn try_baseline_factor_and_solve(
     let report = Runtime::run(config, |rank| {
         run_rank(rank, &sf, &ap, &bp, grid, p, &opts2, &abort)
     });
-    build_report(a, b, &sf, report.results, report.stats)
+    build_report("rightlooking", a, b, &sf, report, opts.trace)
 }
 
 #[allow(clippy::too_many_arguments)] // one-shot per-rank closure body
@@ -536,6 +565,10 @@ fn run_rank(
     abort: &Arc<AtomicBool>,
 ) -> RankOut {
     let me = rank.id();
+    if opts.trace {
+        // Comm-layer spans (rget/rput/rpc/drain) for the profile.
+        rank.set_tracer(Tracer::new());
+    }
     let mut kernels = if opts.gpu {
         KernelEngine::new_gpu()
     } else {
@@ -597,6 +630,7 @@ fn run_rank(
     if aborted {
         // Skip the solve collectively: the sticky job-abort flag makes every
         // rank take this early return, keeping the barriers aligned.
+        trace.extend(comm_events(rank));
         return RankOut {
             error: engine.rt.error.take(),
             factor_time,
@@ -629,6 +663,7 @@ fn run_rank(
         &params,
     );
     trace.extend(std::mem::take(&mut out.trace));
+    trace.extend(comm_events(rank));
     tasks.extend(out.task_counts.iter().map(|&(k, v)| (k.to_string(), v)));
     RankOut {
         error: out.error.take(),

@@ -1,14 +1,21 @@
 //! Task-timeline export: run a traced factorization and write a
-//! Chrome/Perfetto trace (`results/timeline.json`) plus a busy-fraction and
-//! per-category time summary — the observability view of the fan-out
-//! scheduler (which tasks overlapped, where ranks idled). The shared task
-//! runtime traces the baselines too, so a right-looking timeline
+//! Chrome/Perfetto trace (`results/timeline.json`) plus the assembled
+//! flight-recorder profile — critical path, per-rank wait attribution and
+//! comm matrix — the observability view of the fan-out scheduler (which
+//! tasks overlapped, where ranks idled, who talked to whom). The shared
+//! task runtime traces the baselines too, so a right-looking timeline
 //! (`results/timeline_baseline.json`) is emitted alongside for a
 //! side-by-side of the two schedules.
 //!
 //! ```text
-//! cargo run --release -p sympack-bench --bin timeline -- [--quick] [--out PATH]
+//! cargo run --release -p sympack-bench --bin timeline -- \
+//!     [--quick] [--deterministic] [--out PATH] [--profile-json PATH]
 //! ```
+//!
+//! `--profile-json PATH` writes the fan-out run's Profile JSON (schema
+//! `sympack-profile-v1`) for `sympack-prof`; with `--deterministic` the
+//! run uses the lockstep scheduler, so the document is bit-stable across
+//! machines — how the committed `BENCH_profile.json` baseline was made.
 
 use sympack::{SolverOptions, SymPack};
 use sympack_baseline::{baseline_factor_and_solve, BaselineOptions};
@@ -18,7 +25,14 @@ use sympack_trace::TraceEvent;
 
 /// Print busy fractions and the per-category kernel-time split of a trace.
 fn summarize(trace: &[TraceEvent], makespan: f64, n_ranks: usize) {
-    let busy = sympack_trace::busy_fractions(trace, makespan, n_ranks);
+    // Busy = task execution only; comm spans overlap exec spans and would
+    // double-count.
+    let exec: Vec<TraceEvent> = trace
+        .iter()
+        .filter(|e| e.kind == sympack_trace::SpanKind::Exec)
+        .cloned()
+        .collect();
+    let busy = sympack_trace::busy_fractions(&exec, makespan, n_ranks);
     let mut rows = vec![vec!["rank".to_string(), "busy fraction".to_string()]];
     for (rk, f) in busy.iter().enumerate() {
         rows.push(vec![rk.to_string(), format!("{:.1}%", f * 100.0)]);
@@ -33,24 +47,27 @@ fn summarize(trace: &[TraceEvent], makespan: f64, n_ranks: usize) {
     println!("{}", render_table(&rows));
 }
 
-/// Write `trace` as a Chrome/Perfetto JSON file at `out`.
-fn write_trace(out: &str, trace: &[TraceEvent]) {
+/// Write `content` at `out`, creating parent directories.
+fn write_file(out: &str, content: &str, what: &str) {
     if let Some(dir) = std::path::Path::new(out).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    std::fs::write(out, sympack_trace::to_chrome_json(trace)).expect("write trace");
-    println!("Chrome trace written to {out} (open in chrome://tracing or ui.perfetto.dev)");
+    std::fs::write(out, content).expect("write output");
+    println!("{what} written to {out}");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "results/timeline.json".to_string());
+    let deterministic = args.iter().any(|a| a == "--deterministic");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "results/timeline.json".to_string());
+    let profile_json = flag("--profile-json");
     let p = Problem::Bone;
     let a = if quick { p.matrix_quick() } else { p.matrix() };
     let b = test_rhs(a.n());
@@ -58,6 +75,7 @@ fn main() {
         n_nodes: 4,
         ranks_per_node: 2,
         trace: true,
+        deterministic,
         ..Default::default()
     };
     let r = SymPack::factor_and_solve(&a, &b, &opts);
@@ -70,13 +88,24 @@ fn main() {
         r.factor_time * 1e3
     );
     summarize(&r.trace, r.factor_time, n_ranks);
-    write_trace(&out, &r.trace);
+    write_file(
+        &out,
+        &sympack_trace::to_chrome_json(&r.trace),
+        "Chrome trace (open in chrome://tracing or ui.perfetto.dev)",
+    );
+    let profile = r.profile.expect("trace: true assembles the profile");
+    sympack_trace::profile::check_invariants(&profile).expect("profile invariants");
+    println!("\n{}", profile.render_report(10));
+    if let Some(path) = &profile_json {
+        write_file(path, &profile.to_json(), "Profile JSON (for sympack-prof)");
+    }
 
     // The right-looking baseline through the same traced runtime.
     let bopts = BaselineOptions {
         n_nodes: opts.n_nodes,
         ranks_per_node: opts.ranks_per_node,
         trace: true,
+        deterministic,
         ..Default::default()
     };
     let br = baseline_factor_and_solve(&a, &b, &bopts);
@@ -93,5 +122,12 @@ fn main() {
     } else {
         format!("{out}_baseline")
     };
-    write_trace(&bout, &br.trace);
+    write_file(
+        &bout,
+        &sympack_trace::to_chrome_json(&br.trace),
+        "Chrome trace (open in chrome://tracing or ui.perfetto.dev)",
+    );
+    let bprofile = br.profile.expect("trace: true assembles the profile");
+    sympack_trace::profile::check_invariants(&bprofile).expect("baseline profile invariants");
+    println!("\n{}", bprofile.render_report(10));
 }

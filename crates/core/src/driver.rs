@@ -113,10 +113,19 @@ pub struct SolveReport {
     /// (factorization kinds `diag`/`panel`/`update` plus the solve sweep
     /// kinds) — a schedule-invariant the cross-solver tests check.
     pub task_counts: Vec<(String, u64)>,
+    /// Assembled flight-recorder profile (None unless `SolverOptions::trace`).
+    pub profile: Option<sympack_trace::profile::Profile>,
 }
 
 /// The pieces of `x` a rank owns after one triangular solve.
 type XPieces = Vec<(usize, Vec<f64>)>;
+
+/// Drain the rank-level comm tracer (empty when tracing is off).
+fn comm_events(rank: &mut sympack_pgas::Rank) -> Vec<sympack_trace::TraceEvent> {
+    rank.take_tracer()
+        .map(sympack_trace::Tracer::into_events)
+        .unwrap_or_default()
+}
 
 /// What one rank hands back to the driver.
 struct RankOut {
@@ -168,6 +177,10 @@ pub struct MultiSolveReport {
     /// Executed scheduler tasks per kind, summed over ranks (factorization
     /// plus the first solve).
     pub task_counts: Vec<(String, u64)>,
+    /// Assembled flight-recorder profile (None unless `SolverOptions::trace`):
+    /// critical path, per-rank wait attribution and the communication matrix
+    /// over the whole factor+solve timeline.
+    pub profile: Option<sympack_trace::profile::Profile>,
 }
 
 /// A factor gathered to the driver: the composite permutation and the
@@ -217,6 +230,7 @@ impl SymPack {
             n_supernodes,
             trace,
             task_counts,
+            profile,
         } = multi;
         Ok(SolveReport {
             x: xs.pop().expect("one rhs"),
@@ -230,6 +244,7 @@ impl SymPack {
             n_supernodes,
             trace,
             task_counts,
+            profile,
         })
     }
 
@@ -270,6 +285,8 @@ impl SymPack {
             );
             if opts2.trace {
                 engine.rt.tracer = Some(sympack_trace::Tracer::new());
+                // Comm-layer spans (rget/rput/rpc/drain) for the profile.
+                rank.set_tracer(sympack_trace::Tracer::new());
             }
             let (mut engine, factor_time) = FactoEngine::run_to_completion(rank, engine);
             let trace_events = engine
@@ -285,23 +302,27 @@ impl SymPack {
                 .map(|&(k, v)| (k.to_string(), v))
                 .collect();
             if let Some(err) = engine.rt.error.take() {
+                let mut trace = trace_events;
+                trace.extend(comm_events(rank));
                 return RankOut {
                     error: Some(err),
                     factor_time,
                     solves: Vec::new(),
                     counts: engine.kernels.counts,
-                    trace: trace_events,
+                    trace,
                     tasks: facto_tasks,
                 };
             }
             if abort.load(std::sync::atomic::Ordering::SeqCst) {
                 // Another rank failed; it carries the error.
+                let mut trace = trace_events;
+                trace.extend(comm_events(rank));
                 return RankOut {
                     error: None,
                     factor_time,
                     solves: Vec::new(),
                     counts: engine.kernels.counts,
-                    trace: trace_events,
+                    trace,
                     tasks: facto_tasks,
                 };
             }
@@ -380,6 +401,7 @@ impl SymPack {
             }
             let mut trace = trace_events;
             trace.extend(solve_trace);
+            trace.extend(comm_events(rank));
             let mut tasks = facto_tasks;
             tasks.extend(solve_tasks);
             RankOut {
@@ -427,6 +449,15 @@ impl SymPack {
                 *by_kind.entry(k.clone()).or_insert(0) += v;
             }
         }
+        let profile = opts.trace.then(|| {
+            sympack_trace::profile::Profile::build(
+                "fanout",
+                &trace,
+                report.makespan,
+                report.final_clocks.len(),
+                report.comm,
+            )
+        });
         Ok(MultiSolveReport {
             xs,
             relative_residuals,
@@ -439,6 +470,7 @@ impl SymPack {
             n_supernodes: sf.n_supernodes(),
             trace,
             task_counts: by_kind.into_iter().collect(),
+            profile,
         })
     }
 

@@ -4,7 +4,7 @@
 //! [`crate::sched::TaskEngine`].
 
 use crate::map2d::ProcGrid;
-use crate::sched::{self, FetchConfig, FetchMode, TaskEngine};
+use crate::sched::{self, FetchConfig, FetchMode, TaskEngine, TaskKind};
 use crate::storage::BlockStore;
 use crate::taskgraph::{fanout_dests, LocalTasks, RtqPolicy, TaskKey};
 use crate::SolverError;
@@ -146,19 +146,27 @@ impl FactoEngine {
         &self.sf.patterns[j][b.row_offset..b.row_offset + b.n_rows]
     }
 
-    /// Record an available factored block and decrement its consumers.
+    /// Record an available factored block and decrement its consumers,
+    /// naming the producing task as the dependency edge for the profiler.
     fn add_input(&mut self, i: usize, j: usize, data: Mat, ready_at: f64) {
+        let producer = if i == j {
+            TaskKey::Diag { j }
+        } else {
+            TaskKey::Panel { i, j }
+        };
         if i == j {
             if let Some(keys) = self.diag_consumers.get(&j).cloned() {
                 for k in keys {
-                    self.rt.dec(k, ready_at);
+                    self.rt.dec_from(k, ready_at, || producer.trace_label());
                 }
             }
         } else if let Some(keys) = self.consumers.get(&(i, j)).cloned() {
             for k in keys {
-                self.rt.dec(k, ready_at);
+                self.rt.dec_from(k, ready_at, || producer.trace_label());
             }
         }
+        self.rt
+            .add_mem((data.rows() * data.cols() * std::mem::size_of::<f64>()) as u64);
         self.inputs.insert((i, j), InputBlock { data });
     }
 
@@ -315,7 +323,9 @@ impl FactoEngine {
         } else {
             TaskKey::Panel { i: a, j: b }
         };
-        self.rt.dec(succ, now_ready);
+        self.rt.dec_from(succ, now_ready, || {
+            TaskKey::Update { j, a, b }.trace_label()
+        });
     }
 
     /// Drive the factorization to completion. Returns the error if any rank

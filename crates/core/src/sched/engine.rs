@@ -8,7 +8,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use sympack_pgas::{GlobalPtr, Rank};
-use sympack_trace::Tracer;
+use sympack_trace::{SpanKind, TraceEvent, Tracer};
 
 /// Mutable scheduling state of one task.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +51,15 @@ pub struct TaskEngine<K: TaskKind, S = ()> {
     seen_signals: HashSet<GlobalPtr>,
     /// Tasks that have executed — the exactly-once invariant checker.
     executed: HashSet<K>,
+    /// Ready time of the task most recently returned by `pick`, stamped
+    /// onto the span `charge` records (profiler dep-wait attribution).
+    picked_ready: f64,
+    /// Producer label of each task's latest-arriving dependency, recorded
+    /// by [`dec_from`](Self::dec_from) only while tracing (the profiler's
+    /// dependency edges; empty and untouched otherwise).
+    pred: HashMap<K, String>,
+    /// Resident input-buffer gauge (bytes), sampled onto exec spans.
+    mem_bytes: u64,
 }
 
 impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
@@ -81,6 +90,9 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
             tracer: None,
             seen_signals: HashSet::new(),
             executed: HashSet::new(),
+            picked_ready: 0.0,
+            pred: HashMap::new(),
+            mem_bytes: 0,
         }
     }
 
@@ -139,6 +151,31 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
         }
     }
 
+    /// [`dec`](Self::dec) that also names the producer whose arrival this
+    /// decrement represents. While tracing, the label of the *latest*
+    /// arrival is kept per task and stamped onto the execution span as the
+    /// dependency edge for the critical-path walk. The label closure is
+    /// only invoked when a tracer is installed, so the disabled path costs
+    /// nothing beyond the plain `dec`.
+    pub fn dec_from(&mut self, key: K, ready_at: f64, producer: impl FnOnce() -> String) {
+        if self.tracer.is_some() {
+            let latest = self
+                .tasks
+                .get(&key)
+                .is_some_and(|st| ready_at >= st.ready_at);
+            if latest {
+                self.pred.insert(key, producer());
+            }
+        }
+        self.dec(key, ready_at);
+    }
+
+    /// Adjust the resident input-buffer gauge (bytes of fetched panels
+    /// held); sampled onto exec spans as the memory high-water series.
+    pub fn add_mem(&mut self, bytes: u64) {
+        self.mem_bytes = self.mem_bytes.saturating_add(bytes);
+    }
+
     /// Scheduling state of a task (tests and engine assertions).
     pub fn state(&self, key: &K) -> Option<TaskState> {
         self.tasks.get(key).copied()
@@ -149,6 +186,7 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
     pub fn pick(&mut self) -> Option<(K, f64)> {
         let key = self.rtq.pop()?;
         let ready_at = self.tasks[&key].ready_at;
+        self.picked_ready = ready_at;
         Some((key, ready_at))
     }
 
@@ -159,18 +197,30 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
     }
 
     /// Charge an executed task's kernel time (plus the engine's per-task
-    /// overhead) to the virtual clock and record it on the timeline.
+    /// overhead) to the virtual clock and record it on the timeline as a
+    /// typed exec span: kernel/overhead sub-spans, the ready time from the
+    /// enclosing `pick`, the producer edge, and the queue-depth / resident-
+    /// bytes gauges sampled at this task boundary.
     pub fn charge(&mut self, rank: &mut Rank, key: K, secs: f64) {
         let total = secs + self.task_overhead;
         rank.advance(total);
         if let Some(tr) = &mut self.tracer {
-            tr.record(
-                rank.id(),
-                key.trace_label(),
-                key.trace_cat(),
-                rank.now() - total,
-                total,
-            );
+            let end = rank.now();
+            tr.push(TraceEvent {
+                rank: rank.id(),
+                name: key.trace_label(),
+                cat: key.trace_cat(),
+                kind: SpanKind::Exec,
+                start: end - total,
+                dur: total,
+                kernel: secs,
+                overhead: self.task_overhead,
+                ready_at: self.picked_ready,
+                pred: self.pred.get(&key).cloned(),
+                peer: None,
+                bytes: self.mem_bytes,
+                rtq_depth: self.rtq.len() as u32,
+            });
         }
     }
 

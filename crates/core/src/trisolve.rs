@@ -157,15 +157,22 @@ pub enum SolveMsg {
     /// `Y_j` (`w × nrhs`) fanned out to block owners (forward sweep).
     YReady { j: usize, y: Vec<f64> },
     /// `B(i,j)·Y_j` (`m × nrhs`) folded into supernode `i`'s accumulator.
+    /// `j` names the producing GEMV's column for profiling.
     FwdContrib {
         target: usize,
+        j: usize,
         rows: Vec<usize>,
         vals: Vec<f64>,
     },
     /// `X_i` (`w × nrhs`) fanned out to block owners (backward sweep).
     XReady { i: usize, x: Vec<f64> },
     /// `B(i,j)ᵀ·X_i` (`w × nrhs`) folded into supernode `j`'s accumulator.
-    BwdContrib { target: usize, vals: Vec<f64> },
+    /// `i` names the producing GEMV's row for profiling.
+    BwdContrib {
+        target: usize,
+        i: usize,
+        vals: Vec<f64>,
+    },
 }
 
 /// Per-rank solve engine; installed as rank user state during the solve.
@@ -347,11 +354,17 @@ impl SolveEngine {
                 self.yin.insert(j, y);
                 if let Some(targets) = self.my_blocks_by_j.get(&j).cloned() {
                     for i in targets {
-                        self.rt.dec(SolveKey::FwdGemv { i, j }, now);
+                        self.rt
+                            .dec_from(SolveKey::FwdGemv { i, j }, now, || format!("Ly({j})"));
                     }
                 }
             }
-            SolveMsg::FwdContrib { target, rows, vals } => {
+            SolveMsg::FwdContrib {
+                target,
+                j,
+                rows,
+                vals,
+            } => {
                 let first = self.sf.partition.first_col(target);
                 let w = self.sf.partition.width(target);
                 let m = rows.len();
@@ -364,17 +377,20 @@ impl SolveEngine {
                         acc[k * w + (r - first)] -= vals[k * m + ri];
                     }
                 }
-                self.rt.dec(SolveKey::FwdDiag { j: target }, now);
+                self.rt.dec_from(SolveKey::FwdDiag { j: target }, now, || {
+                    format!("Gv({target},{j})")
+                });
             }
             SolveMsg::XReady { i, x } => {
                 self.xin.insert(i, x);
                 if let Some(js) = self.my_blocks_by_i.get(&i).cloned() {
                     for j in js {
-                        self.rt.dec(SolveKey::BwdGemv { i, j }, now);
+                        self.rt
+                            .dec_from(SolveKey::BwdGemv { i, j }, now, || format!("Ltx({i})"));
                     }
                 }
             }
-            SolveMsg::BwdContrib { target, vals } => {
+            SolveMsg::BwdContrib { target, i, vals } => {
                 let acc = self
                     .acc
                     .get_mut(&target)
@@ -382,7 +398,9 @@ impl SolveEngine {
                 for (a, &v) in acc.iter_mut().zip(&vals) {
                     *a -= v;
                 }
-                self.rt.dec(SolveKey::BwdDiag { j: target }, now);
+                self.rt.dec_from(SolveKey::BwdDiag { j: target }, now, || {
+                    format!("Gv'({i},{target})")
+                });
             }
         }
     }
@@ -431,6 +449,7 @@ impl SolveEngine {
                     dest,
                     SolveMsg::FwdContrib {
                         target: i,
+                        j,
                         rows,
                         vals: v,
                     },
@@ -475,7 +494,15 @@ impl SolveEngine {
                 let secs = self.kernel_secs(Op::Gemm, m * w, (2 * m * w * self.nrhs) as u64);
                 self.rt.charge(rank, key, secs);
                 let dest = self.grid.map(j, j);
-                self.send(rank, dest, SolveMsg::BwdContrib { target: j, vals: v });
+                self.send(
+                    rank,
+                    dest,
+                    SolveMsg::BwdContrib {
+                        target: j,
+                        i,
+                        vals: v,
+                    },
+                );
             }
         }
     }

@@ -44,3 +44,4 @@ pub use ptr::{GlobalPtr, MemKind};
 pub use rank::{PgasError, Rank, RgetHandle};
 pub use runtime::{PgasConfig, RunReport, Runtime};
 pub use stats::StatsSnapshot;
+pub use sympack_trace::profile::CommMatrix;

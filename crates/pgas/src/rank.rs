@@ -7,6 +7,7 @@ use crate::segment::DeviceOom;
 use std::any::Any;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use sympack_trace::{SpanKind, TraceCat, TraceEvent, Tracer};
 
 /// CPU overhead charged for initiating any communication operation.
 const ISSUE_OVERHEAD: f64 = 0.2e-6;
@@ -95,6 +96,10 @@ pub struct Rank {
     /// Monotone counter feeding the fault plan's per-op decisions.
     fault_ctr: u64,
     user_state: Option<Box<dyn Any + Send>>,
+    /// Comm-span recorder for the profiler. `None` (the default) records
+    /// nothing; recording never touches the virtual clock either way, so
+    /// enabling it cannot perturb the schedule.
+    tracer: Option<Tracer>,
 }
 
 impl Rank {
@@ -106,6 +111,48 @@ impl Rank {
             barrier_count: 0,
             fault_ctr: 0,
             user_state: None,
+            tracer: None,
+        }
+    }
+
+    /// Install a comm-span tracer: every subsequent rget/rput/copy/payload
+    /// RPC (and non-empty signal drain) records a [`SpanKind`]-typed event
+    /// with peer rank and byte count. Retrieve with [`Rank::take_tracer`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Remove and return the comm-span tracer, if one was installed.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
+    /// Record one comm span `[start, end]` against `peer` (no clock cost).
+    fn record_comm(
+        &mut self,
+        kind: SpanKind,
+        name: &'static str,
+        peer: usize,
+        bytes: usize,
+        start: f64,
+        end: f64,
+    ) {
+        if let Some(tr) = &mut self.tracer {
+            tr.push(TraceEvent {
+                rank: self.id,
+                name: name.to_string(),
+                cat: TraceCat::Comm,
+                kind,
+                start,
+                dur: end - start,
+                kernel: 0.0,
+                overhead: ISSUE_OVERHEAD.min(end - start),
+                ready_at: start,
+                pred: None,
+                peer: Some(peer),
+                bytes: bytes as u64,
+                rtq_depth: 0,
+            });
         }
     }
 
@@ -263,6 +310,7 @@ impl Rank {
     /// Non-blocking one-sided get: fetch `ptr`'s payload toward this rank.
     /// The returned handle carries the virtual completion time.
     pub fn rget(&mut self, ptr: &GlobalPtr) -> RgetHandle {
+        let t0 = self.clock;
         self.clock += ISSUE_OVERHEAD;
         let same_node = self.same_node(ptr.rank);
         let t = self
@@ -272,11 +320,16 @@ impl Rank {
         let data = seg.data.read()[ptr.offset..ptr.offset + ptr.len].to_vec();
         let stats = &self.shared.stats;
         stats.rgets.fetch_add(1, Ordering::Relaxed);
-        stats.record_transfer(ptr.bytes(), same_node, ptr.kind == MemKind::Device);
-        RgetHandle {
-            data,
-            ready_at: self.clock + t,
-        }
+        stats.record_transfer(
+            ptr.rank,
+            self.id,
+            ptr.bytes(),
+            same_node,
+            ptr.kind == MemKind::Device,
+        );
+        let ready_at = self.clock + t;
+        self.record_comm(SpanKind::Rget, "rget", ptr.rank, ptr.bytes(), t0, ready_at);
+        RgetHandle { data, ready_at }
     }
 
     /// Fault-aware [`Rank::rget`]: under an active [`crate::FaultPlan`] the
@@ -293,11 +346,14 @@ impl Rank {
         if plan.rget_times_out(self.id, ctr) {
             // The initiator pays the issue overhead plus the timeout window
             // it spent waiting before giving up on this attempt.
+            let t0 = self.clock;
             self.advance(ISSUE_OVERHEAD + plan.delay_secs.max(10.0e-6));
             self.shared
                 .stats
                 .rget_timeouts
                 .fetch_add(1, Ordering::Relaxed);
+            let end = self.clock;
+            self.record_comm(SpanKind::Rget, "rget_timeout", ptr.rank, 0, t0, end);
             return None;
         }
         let spike = plan.delay(self.id, ctr);
@@ -310,6 +366,7 @@ impl Rank {
     /// completion time (remote visibility).
     pub fn rput(&mut self, data: &[f64], ptr: &GlobalPtr) -> f64 {
         assert!(data.len() <= ptr.len, "payload exceeds allocation");
+        let t0 = self.clock;
         self.clock += ISSUE_OVERHEAD;
         let same_node = self.same_node(ptr.rank);
         let t = self
@@ -319,8 +376,16 @@ impl Rank {
         seg.data.write()[ptr.offset..ptr.offset + data.len()].copy_from_slice(data);
         let stats = &self.shared.stats;
         stats.rputs.fetch_add(1, Ordering::Relaxed);
-        stats.record_transfer(ptr.bytes(), same_node, ptr.kind == MemKind::Device);
-        self.clock + t
+        stats.record_transfer(
+            self.id,
+            ptr.rank,
+            ptr.bytes(),
+            same_node,
+            ptr.kind == MemKind::Device,
+        );
+        let done = self.clock + t;
+        self.record_comm(SpanKind::Rput, "rput", ptr.rank, ptr.bytes(), t0, done);
+        done
     }
 
     /// `upcxx::copy()`: move data between any two memories in the system —
@@ -328,6 +393,7 @@ impl Rank {
     /// endpoint kinds and locations. Returns the virtual completion time.
     pub fn copy(&mut self, src: &GlobalPtr, dst: &GlobalPtr) -> f64 {
         assert_eq!(src.len, dst.len, "copy endpoints must have equal length");
+        let t0 = self.clock;
         self.clock += ISSUE_OVERHEAD;
         let same_node = self.node_of(src.rank) == self.node_of(dst.rank);
         let t = self
@@ -343,11 +409,21 @@ impl Rank {
         let stats = &self.shared.stats;
         stats.copies.fetch_add(1, Ordering::Relaxed);
         stats.record_transfer(
+            src.rank,
+            dst.rank,
             src.bytes(),
             same_node,
             src.kind == MemKind::Device || dst.kind == MemKind::Device,
         );
-        self.clock + t
+        let done = self.clock + t;
+        // Blame the remote endpoint (the local one is free by definition).
+        let peer = if src.rank == self.id {
+            dst.rank
+        } else {
+            src.rank
+        };
+        self.record_comm(SpanKind::Copy, "copy", peer, src.bytes(), t0, done);
+        done
     }
 
     // ----- RPC + progress -----
@@ -365,6 +441,7 @@ impl Rank {
         let ready_at =
             self.clock + self.net().rpc_time(self.same_node(target)) + self.fault_delay(ctr);
         self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.record_msg(self.id, target);
         self.bump_activity();
         self.shared.rpc_queues[target].push(RpcMsg {
             ready_at,
@@ -383,6 +460,7 @@ impl Rank {
         let base = self.clock + self.net().rpc_time(self.same_node(target));
         let Some(plan) = self.shared.config.faults else {
             self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.record_msg(self.id, target);
             self.bump_activity();
             self.shared.rpc_queues[target].push(RpcMsg {
                 ready_at: base,
@@ -400,6 +478,7 @@ impl Rank {
         }
         let ready_at = base + plan.delay(self.id, ctr);
         self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.record_msg(self.id, target);
         self.bump_activity();
         if plan.duplicates_signal(self.id, ctr) {
             self.shared
@@ -428,6 +507,7 @@ impl Rank {
         payload_bytes: usize,
         func: impl FnOnce(&mut Rank) + Send + 'static,
     ) {
+        let t0 = self.clock;
         self.clock += ISSUE_OVERHEAD;
         let same_node = self.same_node(target);
         let ctr = self.next_fault_op();
@@ -441,7 +521,8 @@ impl Rank {
         self.bump_activity();
         self.shared
             .stats
-            .record_transfer(payload_bytes, same_node, false);
+            .record_transfer(self.id, target, payload_bytes, same_node, false);
+        self.record_comm(SpanKind::Rpc, "rpc", target, payload_bytes, t0, ready_at);
         self.shared.rpc_queues[target].push(RpcMsg {
             ready_at,
             func: Box::new(func),
@@ -469,9 +550,22 @@ impl Rank {
         msgs.sort_by(|a, b| a.ready_at.total_cmp(&b.ready_at));
         let n = msgs.len();
         self.bump_activity();
+        let t0 = self.clock;
         for m in msgs {
             self.advance_to(m.ready_at);
             (m.func)(self);
+        }
+        // Signal-drain span: the clock motion spent consuming the inbox
+        // (message arrival waits; handler work is charged by the handlers).
+        if self.tracer.is_some() && self.clock > t0 {
+            let end = self.clock;
+            if let Some(tr) = &mut self.tracer {
+                let mut ev =
+                    TraceEvent::basic(self.id, format!("drain({n})"), TraceCat::Comm, t0, end - t0);
+                ev.kind = SpanKind::Rpc;
+                ev.kernel = 0.0;
+                tr.push(ev);
+            }
         }
         n
     }

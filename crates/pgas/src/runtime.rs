@@ -8,6 +8,7 @@ use crate::stats::{Stats, StatsSnapshot};
 use crate::sync::SegQueue;
 use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::{Arc, Barrier, Condvar, Mutex};
+use sympack_trace::profile::CommMatrix;
 
 /// Job-wide configuration.
 #[derive(Debug, Clone)]
@@ -190,6 +191,8 @@ pub struct RunReport<R> {
     pub final_clocks: Vec<f64>,
     /// Communication counters accumulated during the run.
     pub stats: StatsSnapshot,
+    /// Per-peer (src, dst) traffic matrix accumulated during the run.
+    pub comm: CommMatrix,
 }
 
 /// The runtime: spawns one thread per rank and runs an SPMD closure.
@@ -215,7 +218,7 @@ impl Runtime {
                 .map(|_| SegmentTable::new(config.device_quota))
                 .collect(),
             rpc_queues: (0..n).map(|_| SegQueue::new()).collect(),
-            stats: Stats::default(),
+            stats: Stats::for_ranks(n),
             barrier: Barrier::new(n),
             clock_max: [AtomicU64::new(0), AtomicU64::new(0)],
             activity: AtomicU64::new(0),
@@ -266,6 +269,7 @@ impl Runtime {
             makespan,
             final_clocks,
             stats: shared.stats.snapshot(),
+            comm: shared.stats.snapshot_matrix(),
         }
     }
 }
@@ -590,5 +594,54 @@ mod payload_tests {
         });
         assert_eq!(report.stats.rgets, 10);
         assert_eq!(report.stats.net_bytes, 10 * 128 * 8);
+        // Per-peer attribution: rank 1 pulled everything from rank 0's
+        // segment, and rank 0 sent one RPC to rank 1.
+        assert_eq!(report.comm.n, 2);
+        assert_eq!(report.comm.bytes_between(0, 1), 10 * 128 * 8);
+        assert_eq!(report.comm.bytes_between(1, 0), 0);
+        assert_eq!(report.comm.msgs_between(0, 1), 11);
+    }
+
+    #[test]
+    fn rank_tracer_records_comm_spans_without_clock_cost() {
+        use sympack_trace::SpanKind;
+        let run = |traced: bool| {
+            Runtime::run(PgasConfig::multi_node(2, 1), move |rank| {
+                if traced {
+                    rank.set_tracer(sympack_trace::Tracer::new());
+                }
+                let ptr = rank.alloc(MemKind::Host, 64).unwrap();
+                rank.barrier();
+                let peer = 1 - rank.id();
+                let h = rank.rget(&ptr);
+                let _ = h.wait(rank);
+                let _ = rank.rput(&[1.0; 64], &ptr);
+                rank.rpc_payload(peer, 64 * 8, |_r| {});
+                rank.barrier();
+                while rank.progress() == 0 {
+                    std::thread::yield_now();
+                }
+                rank.barrier();
+                let events = rank
+                    .take_tracer()
+                    .map(sympack_trace::Tracer::into_events)
+                    .unwrap_or_default();
+                (rank.now(), events)
+            })
+        };
+        let traced = run(true);
+        let plain = run(false);
+        // Bit-identical virtual clocks with the tracer on and off.
+        assert_eq!(traced.final_clocks, plain.final_clocks);
+        let (_, events) = &traced.results[0];
+        let kind = |k: SpanKind| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(kind(SpanKind::Rget), 1);
+        assert_eq!(kind(SpanKind::Rput), 1);
+        assert!(kind(SpanKind::Rpc) >= 1);
+        let rget = events.iter().find(|e| e.kind == SpanKind::Rget).unwrap();
+        assert_eq!(rget.bytes, 64 * 8);
+        assert_eq!(rget.peer, Some(0)); // rank 0 fetched its own segment
+        assert!(rget.dur > 0.0);
+        assert!(plain.results[0].1.is_empty());
     }
 }

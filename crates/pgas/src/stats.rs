@@ -2,7 +2,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use sympack_trace::profile::CommMatrix;
+
 /// Shared atomic counters, one set per runtime.
+///
+/// Beyond the global totals, a runtime-sized instance (see
+/// [`Stats::for_ranks`]) keeps a per-peer (src, dst) byte/message matrix
+/// fed by the same `record_transfer` path, exported with
+/// [`Stats::snapshot_matrix`] for the profiler's comm-matrix view. The
+/// `Default` instance has an empty matrix (peer recording is skipped), so
+/// existing call sites keep working.
 #[derive(Debug, Default)]
 pub struct Stats {
     /// One-sided gets issued.
@@ -25,10 +34,33 @@ pub struct Stats {
     pub rpcs_duplicated: AtomicU64,
     /// rget attempts that timed out transiently under fault injection.
     pub rget_timeouts: AtomicU64,
+    /// Number of ranks the per-peer matrix is sized for (0 = disabled).
+    n_ranks: usize,
+    /// Bytes moved src→dst, row-major `src·n + dst`.
+    peer_bytes: Vec<AtomicU64>,
+    /// Messages sent src→dst, row-major `src·n + dst`.
+    peer_msgs: Vec<AtomicU64>,
 }
 
 impl Stats {
-    pub(crate) fn record_transfer(&self, bytes: usize, same_node: bool, device: bool) {
+    /// Counters with a per-peer matrix sized for `n` ranks.
+    pub fn for_ranks(n: usize) -> Stats {
+        Stats {
+            n_ranks: n,
+            peer_bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            peer_msgs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            ..Stats::default()
+        }
+    }
+
+    pub(crate) fn record_transfer(
+        &self,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        same_node: bool,
+        device: bool,
+    ) {
         if same_node {
             self.intra_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         } else {
@@ -36,6 +68,35 @@ impl Stats {
         }
         if device {
             self.device_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+        if src < self.n_ranks && dst < self.n_ranks {
+            let i = src * self.n_ranks + dst;
+            self.peer_bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
+            self.peer_msgs[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one src→dst message that carries no payload (signal RPCs).
+    pub(crate) fn record_msg(&self, src: usize, dst: usize) {
+        if src < self.n_ranks && dst < self.n_ranks {
+            self.peer_msgs[src * self.n_ranks + dst].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time copy of the per-peer (src, dst) traffic matrix.
+    pub fn snapshot_matrix(&self) -> CommMatrix {
+        CommMatrix {
+            n: self.n_ranks,
+            bytes: self
+                .peer_bytes
+                .iter()
+                .map(|x| x.load(Ordering::Relaxed))
+                .collect(),
+            msgs: self
+                .peer_msgs
+                .iter()
+                .map(|x| x.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -78,11 +139,33 @@ mod tests {
     #[test]
     fn record_routes_bytes() {
         let s = Stats::default();
-        s.record_transfer(100, false, false);
-        s.record_transfer(50, true, true);
+        s.record_transfer(0, 1, 100, false, false);
+        s.record_transfer(1, 0, 50, true, true);
         let snap = s.snapshot();
         assert_eq!(snap.net_bytes, 100);
         assert_eq!(snap.intra_bytes, 50);
         assert_eq!(snap.device_bytes, 50);
+        // The default instance has no matrix; recording must not panic.
+        assert_eq!(s.snapshot_matrix().n, 0);
+    }
+
+    #[test]
+    fn sized_stats_fill_the_peer_matrix() {
+        let s = Stats::for_ranks(3);
+        s.record_transfer(0, 2, 100, false, false);
+        s.record_transfer(0, 2, 28, false, false);
+        s.record_transfer(2, 1, 8, true, false);
+        s.record_msg(1, 0);
+        let m = s.snapshot_matrix();
+        assert_eq!(m.n, 3);
+        assert_eq!(m.bytes_between(0, 2), 128);
+        assert_eq!(m.msgs_between(0, 2), 2);
+        assert_eq!(m.bytes_between(2, 1), 8);
+        assert_eq!(m.msgs_between(1, 0), 1);
+        assert_eq!(m.total_bytes(), 136);
+        // Out-of-range peers are ignored, not a panic.
+        s.record_transfer(7, 0, 1, false, false);
+        assert_eq!(s.snapshot_matrix().total_bytes(), 136);
+        assert_eq!(s.snapshot().net_bytes, 129);
     }
 }

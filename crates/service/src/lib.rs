@@ -395,6 +395,9 @@ pub struct Server {
     clock: f64,
     next_id: u64,
     metrics: ServiceMetrics,
+    /// One [`sympack_trace::SpanKind::Request`] span per completed job
+    /// (arrival → completion), for the flight-recorder profile.
+    request_spans: Vec<sympack_trace::TraceEvent>,
 }
 
 impl Server {
@@ -412,6 +415,7 @@ impl Server {
             clock: 0.0,
             next_id: 0,
             metrics,
+            request_spans: Vec::new(),
         }
     }
 
@@ -487,6 +491,17 @@ impl Server {
         let mut done = Vec::with_capacity(take);
         for (i, j) in jobs.into_iter().enumerate() {
             self.metrics.latency.record(self.clock - j.arrival);
+            let mut span = sympack_trace::TraceEvent::basic(
+                0,
+                format!("job-{}", j.id),
+                sympack_trace::TraceCat::Solve,
+                j.arrival,
+                self.clock - j.arrival,
+            );
+            span.kind = sympack_trace::SpanKind::Request;
+            span.kernel = 0.0;
+            span.bytes = (self.session.n() * 8) as u64;
+            self.request_spans.push(span);
             done.push(CompletedJob {
                 id: j.id,
                 x: panel.column(i).to_vec(),
@@ -495,6 +510,14 @@ impl Server {
             });
         }
         Ok(done)
+    }
+
+    /// Per-request spans (one [`sympack_trace::SpanKind::Request`] event per
+    /// completed job, arrival → completion) accumulated over the server's
+    /// lifetime; feed them to `sympack_trace::to_chrome_json` or a Profile
+    /// alongside the solver spans.
+    pub fn request_spans(&self) -> &[sympack_trace::TraceEvent] {
+        &self.request_spans
     }
 
     /// Serve batches until the queue is empty.
@@ -670,6 +693,30 @@ mod tests {
         }
         // Clock advanced past the last arrival plus solve work.
         assert!(server.clock() > 1.5);
+    }
+
+    #[test]
+    fn server_records_one_request_span_per_job() {
+        let a = laplacian_2d(6, 6);
+        let n = a.n();
+        let session = Session::new(&a, &opts(2)).unwrap();
+        let mut server = Server::new(session, ServerConfig::default());
+        for i in 0..3 {
+            server.submit_at(test_rhs(n), i as f64 * 0.25).unwrap();
+        }
+        let done = server.drain().unwrap();
+        let spans = server.request_spans();
+        assert_eq!(spans.len(), done.len());
+        for (span, job) in spans.iter().zip(&done) {
+            assert_eq!(span.kind, sympack_trace::SpanKind::Request);
+            assert_eq!(span.name, format!("job-{}", job.id));
+            assert_eq!(span.start, job.arrival);
+            assert!((span.end() - job.completion).abs() < 1e-15);
+            assert_eq!(span.bytes, (n * 8) as u64);
+        }
+        // Request spans round-trip through the Chrome exporter.
+        let json = sympack_trace::to_chrome_json(spans);
+        assert!(json.contains("job-0"));
     }
 
     #[test]

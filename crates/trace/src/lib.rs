@@ -6,8 +6,16 @@
 //! The [`metrics`] module adds serving-layer observability: counters,
 //! latency distributions and amortization figures for `sympack-service`
 //! sessions, exported as JSON in the same zero-dependency style.
+//!
+//! The [`profile`] module turns a span timeline into an analyzable
+//! [`profile::Profile`]: critical path over the executed task DAG, per-rank
+//! wait attribution, P×P communication matrix and queue/memory series —
+//! the input format of the `sympack-prof` CLI. [`json`] is the minimal
+//! hand-rolled JSON reader those profiles (and tests) parse with.
 
+pub mod json;
 pub mod metrics;
+pub mod profile;
 
 /// Category of a traced interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +51,75 @@ impl TraceCat {
     }
 }
 
+/// What kind of interval a [`TraceEvent`] describes. `Exec` spans are task
+/// executions on a rank's virtual clock; the comm kinds are one-sided
+/// transfers issued by that rank; `Request` spans are serving-layer jobs
+/// (arrival → completion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A scheduled task execution (the `charge` path).
+    Exec,
+    /// A one-sided get (blocking fetch or retry window).
+    Rget,
+    /// A one-sided put.
+    Rput,
+    /// A host↔device or host↔host copy.
+    Copy,
+    /// An active message (signal or payload RPC).
+    Rpc,
+    /// A serving-layer request (arrival to completion).
+    Request,
+}
+
+impl SpanKind {
+    /// Stable lowercase label used in exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Exec => "exec",
+            SpanKind::Rget => "rget",
+            SpanKind::Rput => "rput",
+            SpanKind::Copy => "copy",
+            SpanKind::Rpc => "rpc",
+            SpanKind::Request => "request",
+        }
+    }
+
+    /// Inverse of [`SpanKind::label`].
+    pub fn parse(s: &str) -> Option<SpanKind> {
+        Some(match s {
+            "exec" => SpanKind::Exec,
+            "rget" => SpanKind::Rget,
+            "rput" => SpanKind::Rput,
+            "copy" => SpanKind::Copy,
+            "rpc" => SpanKind::Rpc,
+            "request" => SpanKind::Request,
+            _ => return None,
+        })
+    }
+}
+
+impl TraceCat {
+    /// Inverse of [`TraceCat::label`].
+    pub fn parse(s: &str) -> Option<TraceCat> {
+        Some(match s {
+            "potrf" => TraceCat::Potrf,
+            "trsm" => TraceCat::Trsm,
+            "syrk" => TraceCat::Syrk,
+            "gemm" => TraceCat::Gemm,
+            "comm" => TraceCat::Comm,
+            "solve" => TraceCat::Solve,
+            "other" => TraceCat::Other,
+            _ => return None,
+        })
+    }
+}
+
 /// One traced interval on one rank, in virtual seconds.
+///
+/// Beyond the flat (`rank`, `name`, `cat`, `start`, `dur`) timeline the
+/// event carries the typed-span fields the profiler consumes. Every field
+/// past `dur` has a neutral default (see [`TraceEvent::basic`]) so flat
+/// producers keep working unchanged.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
     /// Rank the interval executed on.
@@ -52,10 +128,57 @@ pub struct TraceEvent {
     pub name: String,
     /// Category for coloring/filtering.
     pub cat: TraceCat,
+    /// Kind of span (task execution, one-sided transfer, request).
+    pub kind: SpanKind,
     /// Virtual start time (seconds).
     pub start: f64,
     /// Duration (seconds).
     pub dur: f64,
+    /// Kernel sub-span within an `Exec` interval (seconds of modeled
+    /// compute; `dur - kernel` before `overhead` is other charged work).
+    pub kernel: f64,
+    /// Runtime overhead sub-span within the interval (seconds).
+    pub overhead: f64,
+    /// When the task became runnable (last dependency arrival). For comm
+    /// spans this equals `start`.
+    pub ready_at: f64,
+    /// Label of the producer whose arrival made the task runnable, when
+    /// the runtime knows it (dependency edge for the critical-path walk).
+    pub pred: Option<String>,
+    /// Peer rank for comm spans (`src` for gets, `dst` for puts/rpc).
+    pub peer: Option<usize>,
+    /// Payload bytes for comm spans; resident input-buffer bytes sampled
+    /// at completion for `Exec` spans (memory high-water series).
+    pub bytes: u64,
+    /// Ready-queue depth sampled when the task finished (`Exec` only).
+    pub rtq_depth: u32,
+}
+
+impl TraceEvent {
+    /// A flat event with neutral span fields: an `Exec` interval whose
+    /// kernel time is the whole duration and that was ready at `start`.
+    pub fn basic(rank: usize, name: String, cat: TraceCat, start: f64, dur: f64) -> TraceEvent {
+        TraceEvent {
+            rank,
+            name,
+            cat,
+            kind: SpanKind::Exec,
+            start,
+            dur,
+            kernel: dur,
+            overhead: 0.0,
+            ready_at: start,
+            pred: None,
+            peer: None,
+            bytes: 0,
+            rtq_depth: 0,
+        }
+    }
+
+    /// End of the interval.
+    pub fn end(&self) -> f64 {
+        self.start + self.dur
+    }
 }
 
 /// A per-rank event collector.
@@ -70,7 +193,8 @@ impl Tracer {
         Tracer::default()
     }
 
-    /// Record one interval.
+    /// Record one flat interval (neutral span fields, see
+    /// [`TraceEvent::basic`]).
     pub fn record(
         &mut self,
         rank: usize,
@@ -79,13 +203,13 @@ impl Tracer {
         start: f64,
         dur: f64,
     ) {
-        self.events.push(TraceEvent {
-            rank,
-            name: name.into(),
-            cat,
-            start,
-            dur,
-        });
+        self.events
+            .push(TraceEvent::basic(rank, name.into(), cat, start, dur));
+    }
+
+    /// Record a fully-specified span.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
     }
 
     /// Number of recorded events.
@@ -112,7 +236,7 @@ pub fn merge(mut lists: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
 }
 
 /// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -126,18 +250,37 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Serialize a timeline as Chrome trace-event JSON (phase `X` complete
-/// events; virtual seconds mapped to microseconds; one "process" per rank).
+/// events; virtual seconds mapped to microseconds; one "process" per rank,
+/// with task executions on thread 0, comm spans on thread 1 and serving
+/// requests on thread 2 so the lanes do not overlap in the viewer).
 pub fn to_chrome_json(events: &[TraceEvent]) -> String {
     let rows: Vec<String> = events
         .iter()
         .map(|e| {
+            let tid = match e.kind {
+                SpanKind::Exec => 0,
+                SpanKind::Request => 2,
+                _ => 1,
+            };
+            let mut args = format!("\"kind\":\"{}\"", e.kind.label());
+            if e.bytes > 0 {
+                args.push_str(&format!(",\"bytes\":{}", e.bytes));
+            }
+            if let Some(p) = e.peer {
+                args.push_str(&format!(",\"peer\":{p}"));
+            }
+            if e.kind == SpanKind::Exec && e.kernel != e.dur {
+                args.push_str(&format!(",\"kernel_us\":{}", e.kernel * 1e6));
+            }
             format!(
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":0}}",
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
                 json_escape(&e.name),
                 e.cat.label(),
                 e.start * 1e6,
                 e.dur * 1e6,
                 e.rank,
+                tid,
+                args,
             )
         })
         .collect();

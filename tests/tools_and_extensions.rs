@@ -19,9 +19,9 @@ fn trace_covers_every_task_of_the_factorization() {
     };
     let r = SymPack::factor_and_solve(&a, &b, &opts);
     assert!(r.relative_residual < 1e-10);
-    // One trace event per factorization task: D + F + U counts from the
-    // analysis. The trace also carries the solve sweep (category `Solve`),
-    // which is counted separately.
+    // One execution span per factorization task: D + F + U counts from the
+    // analysis. The trace also carries the solve sweep (category `Solve`)
+    // and the comm-layer spans (kind != Exec), counted separately.
     let sf = SymPack::analyze_only(&a, &opts);
     let mut expected = sf.n_supernodes(); // diagonals
     for j in 0..sf.n_supernodes() {
@@ -29,9 +29,11 @@ fn trace_covers_every_task_of_the_factorization() {
         expected += m; // panels
         expected += m * (m + 1) / 2; // updates
     }
+    let is_exec = |e: &&sympack_trace::TraceEvent| e.kind == sympack_trace::SpanKind::Exec;
     let facto_events = r
         .trace
         .iter()
+        .filter(is_exec)
         .filter(|e| !matches!(e.cat, sympack_trace::TraceCat::Solve))
         .count();
     assert_eq!(
@@ -41,12 +43,16 @@ fn trace_covers_every_task_of_the_factorization() {
     let solve_events = r
         .trace
         .iter()
+        .filter(is_exec)
         .filter(|e| matches!(e.cat, sympack_trace::TraceCat::Solve))
         .count();
     assert!(solve_events > 0, "solve sweep must be traced too");
-    // Events never overlap on a single rank.
+    let comm_spans = r.trace.iter().filter(|e| !is_exec(e)).count();
+    assert!(comm_spans > 0, "comm layer must be traced too");
+    // Task executions never overlap on a single rank (comm spans may — a
+    // blocking fetch runs inside the dependency gap of the next task).
     let mut by_rank: std::collections::HashMap<usize, Vec<(f64, f64)>> = Default::default();
-    for e in &r.trace {
+    for e in r.trace.iter().filter(is_exec) {
         by_rank
             .entry(e.rank)
             .or_default()
