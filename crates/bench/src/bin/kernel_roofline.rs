@@ -8,13 +8,22 @@
 //! (`gemm_nt_unpacked_raw`, the pre-PR baseline), the packed
 //! register-blocked engine, and the shared-A thread-parallel form.
 //!
-//! Two appendix sweeps justify the dispatch constants baked into
-//! `sympack-dense`:
+//! Two appendix sweeps justify the default dispatch thresholds in
+//! `sympack_dense::KernelConfig`:
 //!
 //! * `--crossover`-style small-size scan: unpacked vs forced-packed GEMM
-//!   around `GEMM_PACK_MIN_FLOPS`,
+//!   around `pack_min_flops`,
 //! * fork-join cost of a scoped worker set, the measurement behind
-//!   `PAR_FLOP_THRESHOLD`.
+//!   `par_flop_threshold`.
+//!
+//! Config modes:
+//!
+//! * `--config k=v,...` — run the whole sweep under a non-default
+//!   [`KernelConfig`] (field overrides by name, e.g. `mc=96,kc=192`).
+//! * `--compare k=v,...` — benchmark the default config against the given
+//!   override on a fixed shape set and write a tuning-comparison report
+//!   (`BENCH_tuning.json`, or `--tuning-json <path>`) consumable by
+//!   `sympack-tune diff`.
 //!
 //! Output: `BENCH_kernels.json` (a `sympack_trace::metrics::RooflineReport`)
 //! and a human-readable table in `results/kernel_roofline.txt`. `--quick`
@@ -23,6 +32,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use sympack_dense::config::KernelConfig;
 use sympack_dense::gemm::{gemm_nt_packed_raw, gemm_nt_unpacked_raw};
 use sympack_dense::microkernel;
 use sympack_dense::par;
@@ -73,6 +83,31 @@ fn spd(n: usize) -> Vec<f64> {
     a
 }
 
+/// Parse `k=v,...` field overrides on top of the default config; exits with
+/// a usage message on unknown fields, bad values, or invalid combinations.
+fn parse_config(spec: &str) -> KernelConfig {
+    let mut cfg = KernelConfig::default();
+    for pair in spec.split(',').filter(|p| !p.is_empty()) {
+        let Some((name, value)) = pair.split_once('=') else {
+            eprintln!("bad --config entry {pair:?}: expected field=value");
+            std::process::exit(2);
+        };
+        let Ok(v) = value.trim().parse::<u64>() else {
+            eprintln!("bad --config value in {pair:?}: expected an integer");
+            std::process::exit(2);
+        };
+        if let Err(e) = cfg.set_field(name.trim(), v) {
+            eprintln!("bad --config entry {pair:?}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid --config: {e}");
+        std::process::exit(2);
+    }
+    cfg
+}
+
 struct Ctx {
     report: RooflineReport,
     txt: String,
@@ -114,6 +149,72 @@ impl Ctx {
     }
 }
 
+/// The `--compare` shape set: tall-panel, square, and separator-ish shapes
+/// spanning the regimes a calibrated config is meant to improve.
+const COMPARE_SHAPES: &[(usize, usize, usize)] = &[
+    (256, 256, 256),
+    (512, 512, 512),
+    (1024, 128, 128),
+    (2048, 64, 64),
+];
+
+/// Benchmark packed GEMM throughput per shape under `cfg`.
+fn compare_rates(cfg: &KernelConfig, shapes: &[(usize, usize, usize)], samples: usize) -> Vec<f64> {
+    shapes
+        .iter()
+        .map(|&(m, n, k)| {
+            let a = fill(m * k, 1);
+            let b = fill(n * k, 2);
+            let mut c = vec![0.0; m * n];
+            let flop = flops::gemm(m, n, k);
+            let secs = median_secs(
+                || gemm_nt_packed_raw(cfg, &mut c, m, m, n, &a, m, &b, n, k),
+                flop,
+                samples,
+            );
+            flop as f64 / secs / 1e9
+        })
+        .collect()
+}
+
+/// `--compare` mode: default vs override config on the fixed shape set,
+/// emitting the tuning-comparison JSON `sympack-tune diff` consumes.
+fn run_compare(spec: &str, json_path: &str, quick: bool) {
+    let candidate = parse_config(spec);
+    let default = KernelConfig::default();
+    let samples = if quick { 3 } else { 7 };
+    let shapes: &[(usize, usize, usize)] = if quick {
+        &COMPARE_SHAPES[..3]
+    } else {
+        COMPARE_SHAPES
+    };
+    let base = compare_rates(&default, shapes, samples);
+    let cand = compare_rates(&candidate, shapes, samples);
+
+    let mut json = String::from("{\n  \"schema\": \"sympack-tuning-compare-v1\",\n");
+    let _ = writeln!(json, "  \"isa\": \"{}\",", microkernel::isa_name());
+    let _ = writeln!(json, "  \"config\": \"{}\",", spec);
+    json.push_str("  \"shapes\": [\n");
+    println!("tuning comparison (packed gemm, candidate = {spec}):");
+    for (i, &(m, n, k)) in shapes.iter().enumerate() {
+        let speedup = cand[i] / base[i];
+        println!(
+            "  m={m:5} n={n:5} k={k:5}  default {b:7.2} GF/s  candidate {c:7.2} GF/s  {speedup:4.2}x",
+            b = base[i],
+            c = cand[i],
+        );
+        let _ = write!(
+            json,
+            "    {{\"m\": {m}, \"n\": {n}, \"k\": {k}, \"default_gflops\": {}, \"candidate_gflops\": {}, \"speedup\": {}}}",
+            base[i], cand[i], speedup
+        );
+        json.push_str(if i + 1 < shapes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(json_path, json).expect("write tuning json");
+    println!("wrote {json_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -123,6 +224,14 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    if let Some(spec) = arg_val("--compare") {
+        let tuning_path = arg_val("--tuning-json").unwrap_or_else(|| "BENCH_tuning.json".into());
+        run_compare(&spec, &tuning_path, quick);
+        return;
+    }
+    let cfg = arg_val("--config")
+        .map(|s| parse_config(&s))
+        .unwrap_or_default();
     let json_path = arg_val("--json").unwrap_or_else(|| "BENCH_kernels.json".to_string());
     let txt_path = arg_val("--out").unwrap_or_else(|| "results/kernel_roofline.txt".to_string());
     let samples = if quick { 3 } else { 7 };
@@ -167,10 +276,10 @@ fn main() {
         let flop = flops::gemm(m, n, k);
         let bytes = 8 * (m * k + n * k + 2 * m * n) as u64;
         ctx.record("gemm_nt", "unpacked", m, n, k, flop, bytes, || {
-            gemm_nt_unpacked_raw(&mut c, m, m, n, &a, m, &b, n, k)
+            gemm_nt_unpacked_raw(&cfg, &mut c, m, m, n, &a, m, &b, n, k)
         });
         let gf = ctx.record("gemm_nt", "packed", m, n, k, flop, bytes, || {
-            gemm_nt_packed_raw(&mut c, m, m, n, &a, m, &b, n, k)
+            gemm_nt_packed_raw(&cfg, &mut c, m, m, n, &a, m, &b, n, k)
         });
         if (m, n, k) == (512, 512, 512) {
             gemm_512_packed = gf;
@@ -181,7 +290,7 @@ fn main() {
         });
         let mut cm = Mat::zeros(m, n);
         ctx.record("gemm_nt", "par", m, n, k, flop, bytes, || {
-            par::gemm_nt_par(&mut cm, &am, &bm)
+            par::gemm_nt_par_cfg(&cfg, &mut cm, &am, &bm)
         });
     }
 
@@ -218,12 +327,12 @@ fn main() {
             8 * 2 * (n * n) as u64,
             || {
                 buf.copy_from_slice(&l);
-                potrf_raw(&mut buf, n, n).unwrap();
+                potrf_raw(&cfg, &mut buf, n, n).unwrap();
             },
         );
         // TRSM: tall panel m = 4n against the factored diagonal block.
         let mut lf = l.clone();
-        potrf_raw(&mut lf, n, n).unwrap();
+        potrf_raw(&cfg, &mut lf, n, n).unwrap();
         let m = 4 * n;
         let b0 = fill(m * n, 5);
         let mut b = b0.clone();
@@ -237,7 +346,7 @@ fn main() {
             8 * (2 * m * n + n * n / 2) as u64,
             || {
                 b.copy_from_slice(&b0);
-                trsm_right_lower_trans_raw(&mut b, m, m, n, &lf, n);
+                trsm_right_lower_trans_raw(&cfg, &mut b, m, m, n, &lf, n);
             },
         );
         // SYRK: n×n lower update by an n×k panel, k = n.
@@ -252,7 +361,7 @@ fn main() {
             k,
             flops::syrk(n, k),
             8 * (n * k + n * n) as u64,
-            || syrk_lower_raw(&mut cs, n, n, &ap, n, k),
+            || syrk_lower_raw(&cfg, &mut cs, n, n, &ap, n, k),
         );
     }
 
@@ -278,12 +387,12 @@ fn main() {
         }
     }
 
-    // ---- Appendix 1: pack/no-pack crossover scan (GEMM_PACK_MIN_FLOPS). ----
+    // ---- Appendix 1: pack/no-pack crossover scan (pack_min_flops). ----
     let _ = writeln!(
         ctx.txt,
-        "\npack crossover scan (unpacked vs forced-packed; dispatch constant \
-         GEMM_PACK_MIN_FLOPS = {}):",
-        sympack_dense::gemm::GEMM_PACK_MIN_FLOPS
+        "\npack crossover scan (unpacked vs forced-packed; dispatch threshold \
+         pack_min_flops = {}):",
+        cfg.pack_min_flops
     );
     let scan: &[usize] = if quick {
         &[16, 24, 32]
@@ -297,10 +406,10 @@ fn main() {
         let flop = flops::gemm(n, n, n);
         let bytes = 8 * 4 * (n * n) as u64;
         let gu = ctx.record("gemm_nt", "xover-unpacked", n, n, n, flop, bytes, || {
-            gemm_nt_unpacked_raw(&mut c, n, n, n, &a, n, &b, n, n)
+            gemm_nt_unpacked_raw(&cfg, &mut c, n, n, n, &a, n, &b, n, n)
         });
         let gp = ctx.record("gemm_nt", "xover-packed", n, n, n, flop, bytes, || {
-            gemm_nt_packed_raw(&mut c, n, n, n, &a, n, &b, n, n)
+            gemm_nt_packed_raw(&cfg, &mut c, n, n, n, &a, n, &b, n, n)
         });
         let _ = writeln!(
             ctx.txt,
@@ -309,7 +418,7 @@ fn main() {
         );
     }
 
-    // ---- Appendix 2: fork-join cost (PAR_FLOP_THRESHOLD). ----
+    // ---- Appendix 2: fork-join cost (par_flop_threshold). ----
     let workers = par::num_threads().max(2);
     let fork_join = median_secs(
         || {
@@ -325,12 +434,12 @@ fn main() {
     let _ = writeln!(
         ctx.txt,
         "\nfork-join of {workers} scoped workers: {:.1} us \
-         (PAR_FLOP_THRESHOLD = {} flop ~ {:.0} us of packed sequential work)",
+         (par_flop_threshold = {} flop ~ {:.0} us of packed sequential work)",
         fork_join * 1e6,
-        par::PAR_FLOP_THRESHOLD,
+        cfg.par_flop_threshold,
         // Quick mode never measures n=512, so fall back to the best packed
         // rate seen this run for the microseconds-of-work conversion.
-        par::PAR_FLOP_THRESHOLD as f64 / (gemm_512_packed.max(best_packed).max(1.0) * 1e3),
+        cfg.par_flop_threshold as f64 / (gemm_512_packed.max(best_packed).max(1.0) * 1e3),
     );
 
     print!("{}", ctx.txt);

@@ -61,6 +61,14 @@ pub struct SolverOptions {
     /// Run ranks in deterministic lockstep (round-robin turnstile) so a
     /// given seed reproduces the exact same schedule and virtual clocks.
     pub deterministic: bool,
+    /// Dense-kernel blocking, dispatch-threshold and ISA configuration,
+    /// threaded into every kernel call made by every rank (and into the
+    /// scheduler's per-task cost estimates). The default reproduces the
+    /// historical compile-time constants bit-for-bit; load a calibrated
+    /// config from `sympack-tune` to adapt blocking to the host machine.
+    /// Validated when the kernel engine is built — an invalid config
+    /// panics at plan/driver construction, before any numeric work.
+    pub kernel_config: sympack_dense::KernelConfig,
 }
 
 impl Default for SolverOptions {
@@ -82,6 +90,7 @@ impl Default for SolverOptions {
             trace: false,
             faults: None,
             deterministic: false,
+            kernel_config: sympack_dense::KernelConfig::default(),
         }
     }
 }

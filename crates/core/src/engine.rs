@@ -116,6 +116,9 @@ impl FactoEngine {
         } = local;
         let mut rt = TaskEngine::with_tasks(tasks, policy, abort);
         rt.seed_ready();
+        // Advisory roofline estimates for progress/makespan prediction —
+        // installed on every rank, never consulted by the RTQ policy.
+        rt.set_estimates(|k| k.estimate_secs(&sf, &kernels.cost, &kernels.config));
         let fetch = FetchConfig {
             device_enabled: kernels.gpu_enabled,
             device_threshold: 64 * 64,

@@ -47,6 +47,9 @@ pub use driver::{
 pub use map2d::ProcGrid;
 pub use plan::{make_kernels, pattern_hash, NumericFactor, PanelSolve, SolvePlan};
 pub use selinv::{selected_inverse, SelectedInverse};
+// Re-exported so solver users can name `SolverOptions::kernel_config`'s
+// type without depending on the dense crate directly.
+pub use sympack_dense::{ConfigError, IsaSelect, KernelConfig};
 pub use taskgraph::{RtqPolicy, TaskKey};
 
 /// Errors surfaced by the solver.

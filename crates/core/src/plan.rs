@@ -31,7 +31,12 @@ use sympack_sparse::SparseSym;
 use sympack_symbolic::{analyze, SymbolicFactor};
 
 /// Build the kernel executor a rank uses under `opts` (GPU mode, offload
-/// thresholds, intra-rank parallelism).
+/// thresholds, intra-rank parallelism, dense-kernel config).
+///
+/// # Panics
+/// Panics if [`SolverOptions::kernel_config`] is invalid — this runs at
+/// plan/driver construction, so a bad config fails fast before any numeric
+/// work or communication starts.
 pub fn make_kernels(opts: &SolverOptions) -> KernelEngine {
     let mut k = if opts.gpu {
         KernelEngine::new_gpu()
@@ -42,7 +47,8 @@ pub fn make_kernels(opts: &SolverOptions) -> KernelEngine {
         k.thresholds = t.clone();
     }
     k.intra_parallel = opts.intra_parallel;
-    k
+    k.with_config(opts.kernel_config.clone())
+        .expect("invalid SolverOptions::kernel_config")
 }
 
 /// FNV-1a hash of a matrix's sparsity structure (order, column pointers,

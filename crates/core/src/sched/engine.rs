@@ -60,6 +60,12 @@ pub struct TaskEngine<K: TaskKind, S = ()> {
     pred: HashMap<K, String>,
     /// Resident input-buffer gauge (bytes), sampled onto exec spans.
     mem_bytes: u64,
+    /// Per-task cost estimates installed by [`set_estimates`]
+    /// (Self::set_estimates); purely advisory — progress prediction only,
+    /// never consulted by `pick`, so the schedule is estimate-independent.
+    estimates: HashMap<K, f64>,
+    /// Sum of estimates of not-yet-completed tasks.
+    est_remaining: f64,
 }
 
 impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
@@ -93,7 +99,38 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
             picked_ready: 0.0,
             pred: HashMap::new(),
             mem_bytes: 0,
+            estimates: HashMap::new(),
+            est_remaining: 0.0,
         }
+    }
+
+    /// Install a per-task cost estimate (seconds) for every registered
+    /// task. The estimates feed [`estimated_remaining`]
+    /// (Self::estimated_remaining) and [`predicted_makespan`]
+    /// (Self::predicted_makespan) and are retired as tasks complete; they
+    /// are never consulted when picking from the RTQ, so installing (or
+    /// skipping) them cannot change the schedule.
+    pub fn set_estimates(&mut self, mut est: impl FnMut(&K) -> f64) {
+        self.estimates.clear();
+        self.est_remaining = 0.0;
+        for k in self.tasks.keys() {
+            let s = est(k).max(0.0);
+            self.estimates.insert(*k, s);
+            self.est_remaining += s;
+        }
+    }
+
+    /// Estimated seconds of kernel work not yet completed (0.0 when no
+    /// estimates are installed).
+    pub fn estimated_remaining(&self) -> f64 {
+        self.est_remaining
+    }
+
+    /// Predicted completion time of this rank, assuming it executes its
+    /// remaining estimated work serially from virtual time `now` — the
+    /// lower bound a perfectly communication-hidden schedule approaches.
+    pub fn predicted_makespan(&self, now: f64) -> f64 {
+        now + self.est_remaining
     }
 
     /// Set the per-task virtual-clock overhead (baseline runtime tax).
@@ -238,6 +275,11 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
         }
         self.done += 1;
         *self.counts.entry(key.kind_name()).or_insert(0) += 1;
+        if let Some(s) = self.estimates.remove(&key) {
+            // Clamp at zero: float subtraction drift must never leave a
+            // finished engine reporting negative remaining work.
+            self.est_remaining = (self.est_remaining - s).max(0.0);
+        }
     }
 
     /// Invariant check at a clean finish (debug builds): every inserted

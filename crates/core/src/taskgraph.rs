@@ -8,6 +8,8 @@
 use crate::map2d::ProcGrid;
 use crate::sched::TaskKind;
 use std::collections::HashMap;
+use sympack_dense::{flops, KernelConfig};
+use sympack_gpu::{CostModel, Op};
 use sympack_symbolic::SymbolicFactor;
 use sympack_trace::TraceCat;
 
@@ -72,6 +74,84 @@ impl TaskKind for TaskKey {
                 }
             }
         }
+    }
+}
+
+impl TaskKey {
+    /// The dense operation this task executes.
+    pub fn op(&self) -> Op {
+        match *self {
+            TaskKey::Diag { .. } => Op::Potrf,
+            TaskKey::Panel { .. } => Op::Trsm,
+            TaskKey::Update { a, b, .. } => {
+                if a == b {
+                    Op::Syrk
+                } else {
+                    Op::Gemm
+                }
+            }
+        }
+    }
+
+    /// Kernel shape `(m, n, k)` from the symbolic block layout, in the
+    /// convention of [`sympack_dense::flops`]: POTRF `(n, 0, 0)`,
+    /// TRSM `(m, n, 0)`, SYRK `(n, k, 0)`, GEMM `(m, n, k)`.
+    ///
+    /// # Panics
+    /// Panics if the task references blocks absent from `sf`'s layout —
+    /// a key/layout mismatch that is always a caller bug.
+    pub fn shape(&self, sf: &SymbolicFactor) -> (usize, usize, usize) {
+        let rows = |i: usize, j: usize| sf.layout.find(i, j).expect("block exists").n_rows;
+        match *self {
+            TaskKey::Diag { j } => (sf.partition.width(j), 0, 0),
+            TaskKey::Panel { i, j } => (rows(i, j), sf.partition.width(j), 0),
+            TaskKey::Update { j, a, b } => {
+                let k = sf.partition.width(j);
+                if a == b {
+                    (rows(a, j), k, 0)
+                } else {
+                    (rows(a, j), rows(b, j), k)
+                }
+            }
+        }
+    }
+
+    /// Flop count of this task from the symbolic layout.
+    pub fn flops(&self, sf: &SymbolicFactor) -> u64 {
+        let (m, n, k) = self.shape(sf);
+        match self.op() {
+            Op::Potrf => flops::potrf(m),
+            Op::Trsm => flops::trsm(m, n),
+            Op::Syrk => flops::syrk(m, n),
+            Op::Gemm => flops::gemm(m, n, k),
+        }
+    }
+
+    /// Estimated operand/result memory traffic in bytes: each operand read
+    /// once, the destination read and written. When the shape clears the
+    /// packed-dispatch threshold of `cfg`, the operands are additionally
+    /// streamed once more through the pack buffers — which is why the
+    /// scheduler's estimate depends on the kernel configuration, not just
+    /// the shape.
+    pub fn bytes(&self, sf: &SymbolicFactor, cfg: &KernelConfig) -> u64 {
+        let (m, n, k) = self.shape(sf);
+        let (operands, dest) = match self.op() {
+            Op::Potrf => (0, m * m),
+            Op::Trsm => (n * n / 2, m * n),
+            Op::Syrk => (m * n, m * m),
+            Op::Gemm => (m * k + n * k, m * n),
+        };
+        let packs = self.op() != Op::Potrf && self.flops(sf) >= cfg.pack_min_flops;
+        let elems = operands * if packs { 2 } else { 1 } + 2 * dest;
+        8 * elems as u64
+    }
+
+    /// Roofline CPU-time estimate for this task: flops and traffic from
+    /// the symbolic layout through [`CostModel::cpu_task_time`]. This is
+    /// the scheduler's *planning* estimate (progress, predicted makespan);
+    /// the executed virtual clock keeps the legacy per-call accounting.
+    pub fn estimate_secs(&self, sf: &SymbolicFactor, cost: &CostModel, cfg: &KernelConfig) -> f64 {
+        cost.cpu_task_time(self.op(), self.flops(sf), self.bytes(sf, cfg))
     }
 }
 
@@ -163,6 +243,16 @@ impl LocalTasks {
             diag_consumers,
             total,
         }
+    }
+
+    /// Estimated total kernel seconds of this rank's slice — the sum of
+    /// per-task roofline estimates (see [`TaskKey::estimate_secs`]); the
+    /// rank-balance numerator for mapping diagnostics.
+    pub fn estimated_secs(&self, sf: &SymbolicFactor, cost: &CostModel, cfg: &KernelConfig) -> f64 {
+        self.tasks
+            .keys()
+            .map(|k| k.estimate_secs(sf, cost, cfg))
+            .sum()
     }
 
     /// Tasks with zero dependencies (initial RTQ contents).
@@ -271,6 +361,57 @@ mod tests {
         }
         let total: usize = lt.tasks.values().map(|s| s.deps).sum();
         assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn estimates_are_positive_and_partition_across_ranks() {
+        let sf = sf();
+        let cost = CostModel::default();
+        let cfg = KernelConfig::default();
+        let single = LocalTasks::build(&sf, &ProcGrid::squarest(1), 0);
+        let total1 = single.estimated_secs(&sf, &cost, &cfg);
+        assert!(total1 > 0.0);
+        for k in single.tasks.keys() {
+            assert!(k.estimate_secs(&sf, &cost, &cfg) > 0.0, "{k:?}");
+            assert!(k.flops(&sf) > 0, "{k:?}");
+        }
+        // The per-rank estimates sum to the single-rank total exactly:
+        // every task is owned by exactly one rank and the estimate only
+        // depends on the task, not the owner.
+        let grid = ProcGrid::squarest(4);
+        let split: f64 = (0..4)
+            .map(|r| LocalTasks::build(&sf, &grid, r).estimated_secs(&sf, &cost, &cfg))
+            .sum();
+        assert!((split - total1).abs() <= 1e-9 * total1);
+    }
+
+    #[test]
+    fn estimate_depends_on_kernel_config_via_pack_traffic() {
+        // A config that never packs predicts less memory traffic than one
+        // that always packs; with a bandwidth-starved cost model the
+        // difference must show up in the time estimate.
+        let sf = sf();
+        let cost = CostModel {
+            mem_bandwidth: 1.0, // absurdly slow: all tasks bandwidth-bound
+            ..Default::default()
+        };
+        let no_pack = KernelConfig {
+            pack_min_flops: u64::MAX,
+            ..Default::default()
+        };
+        let always_pack = KernelConfig {
+            pack_min_flops: 0,
+            ..Default::default()
+        };
+        let lt = LocalTasks::build(&sf, &ProcGrid::squarest(1), 0);
+        let gemm = lt
+            .tasks
+            .keys()
+            .find(|k| k.op() == sympack_gpu::Op::Gemm)
+            .expect("graph has a gemm task");
+        let t_no = gemm.estimate_secs(&sf, &cost, &no_pack);
+        let t_yes = gemm.estimate_secs(&sf, &cost, &always_pack);
+        assert!(t_yes > t_no, "packed traffic must raise the estimate");
     }
 
     #[test]

@@ -412,7 +412,15 @@ impl SolveEngine {
                 let l = store.get((j, j)).expect("diag factor owned");
                 let w = l.rows();
                 let mut rhs = self.acc.remove(&j).expect("accumulator present");
-                trsm_left_lower_notrans_raw(&mut rhs, w, w, self.nrhs, l.as_slice(), l.ld());
+                trsm_left_lower_notrans_raw(
+                    &self.kernels.config,
+                    &mut rhs,
+                    w,
+                    w,
+                    self.nrhs,
+                    l.as_slice(),
+                    l.ld(),
+                );
                 let secs = self.kernel_secs(Op::Trsm, w * w, (w * w * self.nrhs) as u64);
                 self.rt.charge(rank, key, secs);
                 self.y.insert(j, rhs.clone());
@@ -437,7 +445,18 @@ impl SolveEngine {
                 let (m, w) = (b.rows(), b.cols());
                 // V = B(i,j) · Y_j
                 let mut v = vec![0.0; m * self.nrhs];
-                gemm_nn_acc_raw(&mut v, m, m, self.nrhs, b.as_slice(), b.ld(), &yj, w, w);
+                gemm_nn_acc_raw(
+                    &self.kernels.config,
+                    &mut v,
+                    m,
+                    m,
+                    self.nrhs,
+                    b.as_slice(),
+                    b.ld(),
+                    &yj,
+                    w,
+                    w,
+                );
                 let secs = self.kernel_secs(Op::Gemm, m * w, (2 * m * w * self.nrhs) as u64);
                 self.rt.charge(rank, key, secs);
                 let binfo = self.sf.layout.find(i, j).expect("block exists");
@@ -459,7 +478,15 @@ impl SolveEngine {
                 let l = store.get((j, j)).expect("diag factor owned");
                 let w = l.rows();
                 let mut rhs = self.acc.remove(&j).expect("accumulator present");
-                trsm_left_lower_trans_raw(&mut rhs, w, w, self.nrhs, l.as_slice(), l.ld());
+                trsm_left_lower_trans_raw(
+                    &self.kernels.config,
+                    &mut rhs,
+                    w,
+                    w,
+                    self.nrhs,
+                    l.as_slice(),
+                    l.ld(),
+                );
                 let secs = self.kernel_secs(Op::Trsm, w * w, (w * w * self.nrhs) as u64);
                 self.rt.charge(rank, key, secs);
                 self.x.insert(j, rhs.clone());
@@ -490,7 +517,18 @@ impl SolveEngine {
                     }
                 }
                 let mut v = vec![0.0; w * self.nrhs];
-                gemm_tn_acc_raw(&mut v, w, w, self.nrhs, b.as_slice(), b.ld(), &xsub, m, m);
+                gemm_tn_acc_raw(
+                    &self.kernels.config,
+                    &mut v,
+                    w,
+                    w,
+                    self.nrhs,
+                    b.as_slice(),
+                    b.ld(),
+                    &xsub,
+                    m,
+                    m,
+                );
                 let secs = self.kernel_secs(Op::Gemm, m * w, (2 * m * w * self.nrhs) as u64);
                 self.rt.charge(rank, key, secs);
                 let dest = self.grid.map(j, j);

@@ -1,0 +1,374 @@
+//! Runtime kernel configuration.
+//!
+//! Every blocking parameter above the register microkernel is data: the
+//! BLIS cache blocking (`mc/kc/nc`), the panel blocking of the factorization
+//! kernels (`jb/sj/rs/pb/ib/sb/db`, `nb/kb` for the unpacked loop nests) and
+//! the two dispatch thresholds (`pack_min_flops`, `par_flop_threshold`) live
+//! in one [`KernelConfig`] value that callers construct once, validate, and
+//! thread explicitly through every dense entry point. Only the register tile
+//! [`MR`]×[`NR`] stays a compile-time constant — the microkernel is
+//! register-allocated around it.
+//!
+//! [`KernelConfig::default`] reproduces the previously hardcoded constants
+//! exactly, so default-config results are bit-identical to the historical
+//! kernels; the deterministic test suites pin the default config. Calibrated
+//! configs come from the `sympack-tune` sweep (see `crates/tune`).
+
+use crate::microkernel::{Isa, MR, NR};
+use std::fmt;
+
+/// Instruction-set selection policy for the microkernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsaSelect {
+    /// Detect the best available ISA once per process (the default; a pure
+    /// function of the hardware, so results stay reproducible per machine).
+    Auto,
+    /// Force the baseline scalar/SSE2 code path.
+    Portable,
+    /// Require AVX2+FMA; validation fails where the features are missing.
+    Avx2Fma,
+}
+
+/// Typed rejection of an invalid [`KernelConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A blocking parameter is zero.
+    ZeroBlock {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A cache block is not a whole number of register tiles.
+    NotMultiple {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: usize,
+        /// The required divisor (`MR` or `NR`).
+        of: usize,
+    },
+    /// The requested ISA is not available on this machine.
+    IsaUnavailable {
+        /// Name of the requested ISA.
+        requested: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroBlock { field } => {
+                write!(f, "kernel config: `{field}` must be nonzero")
+            }
+            ConfigError::NotMultiple { field, value, of } => write!(
+                f,
+                "kernel config: `{field}` = {value} must be a multiple of {of}"
+            ),
+            ConfigError::IsaUnavailable { requested } => write!(
+                f,
+                "kernel config: ISA `{requested}` is not available on this machine"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Runtime blocking and dispatch configuration for the dense kernels.
+///
+/// Construct (or start from [`KernelConfig::default`]), adjust fields, then
+/// [`validate`](KernelConfig::validate) before handing the value to a kernel
+/// engine. All dense `_cfg` entry points assume a validated config; the
+/// convenience wrappers without a config argument use the default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelConfig {
+    /// Row cache block of the packed GEMM core: the packed `mc × kc` A panel
+    /// stays L2-resident. Must be a multiple of [`MR`].
+    pub mc: usize,
+    /// Inner-product cache block: one packed A strip (`MR × kc`) plus one
+    /// packed B strip (`kc × NR`) should fit in L1 together.
+    pub kc: usize,
+    /// Column cache block bounding the packed B panel (`kc × nc`). Must be a
+    /// multiple of [`NR`].
+    pub nc: usize,
+    /// Column tile of the *unpacked* small-GEMM loop nest.
+    pub nb: usize,
+    /// Inner-product tile of the unpacked loop nest.
+    pub kb: usize,
+    /// SYRK diagonal-tile edge; must be a multiple of [`MR`] (the packed
+    /// SYRK runs diagonal tiles as whole-strip ranges of the shared A pack).
+    pub db: usize,
+    /// TRSM outer panel width (right-looking blocked solve).
+    pub jb: usize,
+    /// TRSM in-panel sub-block width.
+    pub sj: usize,
+    /// TRSM row-strip length of the scalar substitution sweep.
+    pub rs: usize,
+    /// POTRF outer panel width.
+    pub pb: usize,
+    /// POTRF inner (unblocked) tile width.
+    pub ib: usize,
+    /// Panel-solve (left TRSM) diagonal sub-block width.
+    pub sb: usize,
+    /// Below this flop count a GEMM-shaped call runs the unpacked loop nest
+    /// (packing would not amortize).
+    pub pack_min_flops: u64,
+    /// Below this flop count the `par` entry points stay sequential (fork
+    /// and pack-sharing would not amortize).
+    pub par_flop_threshold: u64,
+    /// Microkernel instruction-set selection.
+    pub isa: IsaSelect,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        // These are the historical compile-time constants; the deterministic
+        // test suites pin them (default-config results are bit-identical to
+        // the pre-config kernels).
+        KernelConfig {
+            mc: 128,
+            kc: 256,
+            nc: 512,
+            nb: 64,
+            kb: 128,
+            db: 48,
+            jb: 64,
+            sj: 16,
+            rs: 128,
+            pb: 48,
+            ib: 8,
+            sb: 64,
+            pack_min_flops: 28 * 1024,
+            par_flop_threshold: 2 * 1024 * 1024,
+            isa: IsaSelect::Auto,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// Check the blocking invariants the kernels rely on.
+    ///
+    /// # Errors
+    /// [`ConfigError::ZeroBlock`] for any zero parameter,
+    /// [`ConfigError::NotMultiple`] when `mc`/`db` is not a multiple of
+    /// [`MR`] or `nc` of [`NR`], and [`ConfigError::IsaUnavailable`] when a
+    /// forced ISA is missing on this machine.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, v) in [
+            ("mc", self.mc),
+            ("kc", self.kc),
+            ("nc", self.nc),
+            ("nb", self.nb),
+            ("kb", self.kb),
+            ("db", self.db),
+            ("jb", self.jb),
+            ("sj", self.sj),
+            ("rs", self.rs),
+            ("pb", self.pb),
+            ("ib", self.ib),
+            ("sb", self.sb),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroBlock { field });
+            }
+        }
+        if !self.mc.is_multiple_of(MR) {
+            return Err(ConfigError::NotMultiple {
+                field: "mc",
+                value: self.mc,
+                of: MR,
+            });
+        }
+        if !self.nc.is_multiple_of(NR) {
+            return Err(ConfigError::NotMultiple {
+                field: "nc",
+                value: self.nc,
+                of: NR,
+            });
+        }
+        if !self.db.is_multiple_of(MR) {
+            return Err(ConfigError::NotMultiple {
+                field: "db",
+                value: self.db,
+                of: MR,
+            });
+        }
+        self.resolve_isa().map(|_| ())
+    }
+
+    /// Resolve the ISA selection policy to a concrete microkernel ISA.
+    ///
+    /// # Errors
+    /// [`ConfigError::IsaUnavailable`] when a forced ISA is missing.
+    pub fn resolve_isa(&self) -> Result<Isa, ConfigError> {
+        match self.isa {
+            IsaSelect::Auto => Ok(crate::microkernel::isa()),
+            IsaSelect::Portable => Ok(Isa::Portable),
+            IsaSelect::Avx2Fma => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if crate::microkernel::isa() == Isa::Avx2Fma {
+                        return Ok(Isa::Avx2Fma);
+                    }
+                }
+                Err(ConfigError::IsaUnavailable {
+                    requested: "avx2+fma",
+                })
+            }
+        }
+    }
+
+    /// The resolved ISA of a *validated* config.
+    ///
+    /// # Panics
+    /// Panics when a forced ISA is unavailable — call
+    /// [`validate`](KernelConfig::validate) first.
+    #[inline]
+    pub(crate) fn isa(&self) -> Isa {
+        self.resolve_isa().expect("validated config")
+    }
+
+    /// `(name, value)` pairs of every blocking/threshold field, in a fixed
+    /// order — the serialization and table-printing order of the tuning
+    /// profile.
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
+        [
+            ("mc", self.mc as u64),
+            ("kc", self.kc as u64),
+            ("nc", self.nc as u64),
+            ("nb", self.nb as u64),
+            ("kb", self.kb as u64),
+            ("db", self.db as u64),
+            ("jb", self.jb as u64),
+            ("sj", self.sj as u64),
+            ("rs", self.rs as u64),
+            ("pb", self.pb as u64),
+            ("ib", self.ib as u64),
+            ("sb", self.sb as u64),
+            ("pack_min_flops", self.pack_min_flops),
+            ("par_flop_threshold", self.par_flop_threshold),
+        ]
+    }
+
+    /// Set a field by its [`fields`](KernelConfig::fields) name (profile
+    /// deserialization and `--config k=v` command lines). Unknown names are
+    /// rejected so typos cannot silently tune nothing.
+    ///
+    /// # Errors
+    /// A human-readable message for unknown field names.
+    pub fn set_field(&mut self, name: &str, value: u64) -> Result<(), String> {
+        let v = value as usize;
+        match name {
+            "mc" => self.mc = v,
+            "kc" => self.kc = v,
+            "nc" => self.nc = v,
+            "nb" => self.nb = v,
+            "kb" => self.kb = v,
+            "db" => self.db = v,
+            "jb" => self.jb = v,
+            "sj" => self.sj = v,
+            "rs" => self.rs = v,
+            "pb" => self.pb = v,
+            "ib" => self.ib = v,
+            "sb" => self.sb = v,
+            "pack_min_flops" => self.pack_min_flops = value,
+            "par_flop_threshold" => self.par_flop_threshold = value,
+            other => return Err(format!("unknown kernel config field `{other}`")),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_historical_constants() {
+        let c = KernelConfig::default();
+        c.validate().unwrap();
+        assert_eq!((c.mc, c.kc, c.nc), (128, 256, 512));
+        assert_eq!((c.nb, c.kb, c.db), (64, 128, 48));
+        assert_eq!((c.jb, c.sj, c.rs), (64, 16, 128));
+        assert_eq!((c.pb, c.ib, c.sb), (48, 8, 64));
+        assert_eq!(c.pack_min_flops, 28 * 1024);
+        assert_eq!(c.par_flop_threshold, 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn zero_blocks_are_rejected_with_typed_error() {
+        for field in [
+            "mc", "kc", "nc", "nb", "kb", "db", "jb", "sj", "rs", "pb", "ib", "sb",
+        ] {
+            let mut c = KernelConfig::default();
+            c.set_field(field, 0).unwrap();
+            match c.validate() {
+                Err(ConfigError::ZeroBlock { field: f }) => assert_eq!(f, field),
+                other => panic!("{field}=0: expected ZeroBlock, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn misaligned_cache_blocks_are_rejected() {
+        let c = KernelConfig {
+            mc: MR + 1,
+            ..Default::default()
+        };
+        match c.validate() {
+            Err(ConfigError::NotMultiple {
+                field: "mc", of, ..
+            }) => assert_eq!(of, MR),
+            other => panic!("expected NotMultiple(mc), got {other:?}"),
+        }
+        let c = KernelConfig {
+            nc: NR + 1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NotMultiple { field: "nc", .. })
+        ));
+        let c = KernelConfig {
+            db: MR + 2,
+            ..Default::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NotMultiple { field: "db", .. })
+        ));
+    }
+
+    #[test]
+    fn portable_isa_is_always_available() {
+        let c = KernelConfig {
+            isa: IsaSelect::Portable,
+            ..Default::default()
+        };
+        c.validate().unwrap();
+        assert_eq!(c.resolve_isa().unwrap(), Isa::Portable);
+    }
+
+    #[test]
+    fn field_roundtrip_covers_every_field() {
+        let mut c = KernelConfig::default();
+        for (name, v) in KernelConfig::default().fields() {
+            c.set_field(name, v + MR as u64).unwrap();
+        }
+        for ((_, got), (_, orig)) in c.fields().iter().zip(KernelConfig::default().fields()) {
+            assert_eq!(*got, orig + MR as u64);
+        }
+        assert!(c.set_field("bogus", 1).is_err());
+    }
+
+    #[test]
+    fn error_display_names_the_field() {
+        let e = ConfigError::ZeroBlock { field: "kc" };
+        assert!(e.to_string().contains("kc"));
+        let e = ConfigError::NotMultiple {
+            field: "mc",
+            value: 9,
+            of: 8,
+        };
+        assert!(e.to_string().contains("multiple of 8"));
+    }
+}

@@ -10,37 +10,30 @@
 //! ([`crate::microkernel`]); tiny problems — where packing cannot amortize —
 //! keep the direct two-column loop nest, preserved in
 //! [`gemm_nt_unpacked_raw`] (also the measured "pre-PR" baseline of the
-//! `kernel_roofline` benchmark).
+//! `kernel_roofline` benchmark). The dispatch point and every tile size come
+//! from the caller's [`KernelConfig`] (`pack_min_flops`, `nb`, `kb`).
 
+use crate::config::KernelConfig;
 use crate::mat::Mat;
 use crate::microkernel;
 use crate::pack;
 
-/// Tile sizes of the unpacked fallback, tuned for L1/L2-resident panels.
-const NB: usize = 64;
-const KB: usize = 128;
-
-/// Flop count below which the packed path's pack/writeback traffic costs
-/// more than it saves. Measured by `kernel_roofline --crossover` (see
-/// `results/kernel_roofline.txt`): the packed kernel overtakes the unpacked
-/// one between n = 16 and n = 32 cubed; 2·24³ ≈ 27.6 kflop sits at the
-/// observed break-even.
-pub const GEMM_PACK_MIN_FLOPS: u64 = 28 * 1024;
-
-/// Compute `C ← C − A · Bᵀ` on raw column-major buffers.
+/// Compute `C ← C − A · Bᵀ` on raw column-major buffers under `cfg`.
 ///
 /// * `c`: `m × n` with leading dimension `ldc`
 /// * `a`: `m × k` with leading dimension `lda`
 /// * `b`: `n × k` with leading dimension `ldb`
 ///
 /// Dispatches to the packed register-blocked core when the problem is large
-/// enough to amortize packing, and to [`gemm_nt_unpacked_raw`] otherwise.
+/// enough to amortize packing (`cfg.pack_min_flops`), and to
+/// [`gemm_nt_unpacked_raw`] otherwise.
 ///
 /// # Panics
 /// Panics (via debug assertions and slice bounds) when the buffers are too
 /// small for the given dimensions.
 #[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
 pub fn gemm_nt_raw(
+    cfg: &KernelConfig,
     c: &mut [f64],
     ldc: usize,
     m: usize,
@@ -55,21 +48,22 @@ pub fn gemm_nt_raw(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    if crate::flops::gemm(m, n, k) < GEMM_PACK_MIN_FLOPS {
-        gemm_nt_unpacked_raw(c, ldc, m, n, a, lda, b, ldb, k);
+    if crate::flops::gemm(m, n, k) < cfg.pack_min_flops {
+        gemm_nt_unpacked_raw(cfg, c, ldc, m, n, a, lda, b, ldb, k);
         return;
     }
-    gemm_nt_packed_raw(c, ldc, m, n, a, lda, b, ldb, k);
+    gemm_nt_packed_raw(cfg, c, ldc, m, n, a, lda, b, ldb, k);
 }
 
 /// The packed register-blocked path, unconditionally — no size dispatch.
 ///
 /// [`gemm_nt_raw`] is the entry point the solver uses; this one exists so
 /// the `kernel_roofline` benchmark can measure the packed engine on both
-/// sides of [`GEMM_PACK_MIN_FLOPS`] (the crossover sweep that the constant's
-/// value is derived from).
+/// sides of `cfg.pack_min_flops` (the crossover sweep that threshold's
+/// default is derived from).
 #[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
 pub fn gemm_nt_packed_raw(
+    cfg: &KernelConfig,
     c: &mut [f64],
     ldc: usize,
     m: usize,
@@ -85,6 +79,7 @@ pub fn gemm_nt_packed_raw(
         return;
     }
     microkernel::gemm_packed(
+        cfg,
         c,
         ldc,
         m,
@@ -97,13 +92,14 @@ pub fn gemm_nt_packed_raw(
 }
 
 /// The pre-packing two-column loop nest: `C ← C − A · Bᵀ` reading operands
-/// in place through their leading dimensions.
+/// in place through their leading dimensions, tiled by `cfg.nb`/`cfg.kb`.
 ///
 /// Kept (a) as the small-problem fast path — no packing traffic, which wins
-/// below [`GEMM_PACK_MIN_FLOPS`] — and (b) as the measured baseline the
+/// below `cfg.pack_min_flops` — and (b) as the measured baseline the
 /// `kernel_roofline` benchmark compares the packed engine against.
 #[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
 pub fn gemm_nt_unpacked_raw(
+    cfg: &KernelConfig,
     c: &mut [f64],
     ldc: usize,
     m: usize,
@@ -118,6 +114,7 @@ pub fn gemm_nt_unpacked_raw(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let (nb, kb) = (cfg.nb, cfg.kb);
     // Loop order: jj (n tiles) -> kk (k strips) -> 2-column register
     // microkernel over j -> p -> i. Updating two C columns per k-strip pass
     // reuses every loaded A column twice, which roughly doubles arithmetic
@@ -131,10 +128,10 @@ pub fn gemm_nt_unpacked_raw(
     // guarded variant no faster on dense operands (within noise at n = 256),
     // so both paths now uniformly skip the test — which also keeps the
     // remainder column's rounding behavior identical to the main path's.
-    for jj in (0..n).step_by(NB) {
-        let jend = (jj + NB).min(n);
-        for kk in (0..k).step_by(KB) {
-            let kend = (kk + KB).min(k);
+    for jj in (0..n).step_by(nb) {
+        let jend = (jj + nb).min(n);
+        for kk in (0..k).step_by(kb) {
+            let kend = (kk + kb).min(k);
             let mut j = jj;
             while j + 1 < jend {
                 // Two destination columns, split without overlap.
@@ -194,18 +191,19 @@ pub fn gemm_nt_unpacked_raw(
     }
 }
 
-/// Matrix-level wrapper: `C ← C − A·Bᵀ`.
+/// Matrix-level wrapper with an explicit config: `C ← C − A·Bᵀ`.
 ///
 /// # Panics
 /// Panics if `A.cols() != B.cols()`, `C.rows() != A.rows()`, or
 /// `C.cols() != B.rows()`.
-pub fn gemm_nt(c: &mut Mat, a: &Mat, b: &Mat) {
+pub fn gemm_nt_cfg(cfg: &KernelConfig, c: &mut Mat, a: &Mat, b: &Mat) {
     assert_eq!(a.cols(), b.cols(), "gemm_nt: inner dimensions differ");
     assert_eq!(c.rows(), a.rows(), "gemm_nt: row dimensions differ");
     assert_eq!(c.cols(), b.rows(), "gemm_nt: column dimensions differ");
     let (m, n, k) = (c.rows(), c.cols(), a.cols());
     let (ldc, lda, ldb) = (c.ld(), a.ld(), b.ld());
     gemm_nt_raw(
+        cfg,
         c.as_mut_slice(),
         ldc,
         m,
@@ -216,6 +214,14 @@ pub fn gemm_nt(c: &mut Mat, a: &Mat, b: &Mat) {
         ldb,
         k,
     );
+}
+
+/// Matrix-level wrapper under the default config: `C ← C − A·Bᵀ`.
+///
+/// # Panics
+/// Same as [`gemm_nt_cfg`].
+pub fn gemm_nt(c: &mut Mat, a: &Mat, b: &Mat) {
+    gemm_nt_cfg(&KernelConfig::default(), c, a, b);
 }
 
 #[cfg(test)]
@@ -257,12 +263,14 @@ mod tests {
 
     #[test]
     fn unpacked_baseline_matches_reference() {
+        let cfg = KernelConfig::default();
         for &(m, n, k) in &[(5, 3, 4), (65, 64, 129), (100, 70, 130)] {
             let a = Mat::from_fn(m, k, |r, c| ((r * 13 + c * 7) % 9) as f64 - 4.0);
             let b = Mat::from_fn(n, k, |r, c| ((r * 5 + c * 11) % 13) as f64 * 0.5 - 3.0);
             let mut c1 = Mat::from_fn(m, n, |r, c| (r + c) as f64);
             let mut c2 = c1.clone();
             gemm_nt_unpacked_raw(
+                &cfg,
                 c1.as_mut_slice(),
                 m,
                 m,
@@ -294,8 +302,39 @@ mod tests {
         let mut c = vec![1.0; 8];
         let a = [1.0, 2.0, 9.0, 9.0]; // 2x1, lda=4 would overrun; use lda=2 here
         let b = [3.0, 4.0];
-        gemm_nt_raw(&mut c, 4, 2, 2, &a[..2], 2, &b, 2, 1);
+        gemm_nt_raw(
+            &KernelConfig::default(),
+            &mut c,
+            4,
+            2,
+            2,
+            &a[..2],
+            2,
+            &b,
+            2,
+            1,
+        );
         // C[0,0] = 1 - 1*3, C[1,0] = 1 - 2*3, C[0,1] = 1 - 1*4, C[1,1] = 1 - 2*4
         assert_eq!(&c, &[-2.0, -5.0, 1.0, 1.0, -3.0, -7.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn dispatch_threshold_is_config_driven() {
+        // With pack_min_flops = 0 every call takes the packed path; with
+        // u64::MAX every call stays unpacked. Both must match the oracle.
+        let (m, n, k) = (40, 30, 25);
+        let a = Mat::from_fn(m, k, |r, c| ((r * 13 + c * 7) % 9) as f64 - 4.0);
+        let b = Mat::from_fn(n, k, |r, c| ((r * 5 + c * 11) % 13) as f64 * 0.5 - 3.0);
+        let mut want = Mat::from_fn(m, n, |r, c| (r + c) as f64);
+        gemm_ref(&mut want, &a, &b);
+        for pack_min_flops in [0, u64::MAX] {
+            let cfg = KernelConfig {
+                pack_min_flops,
+                ..Default::default()
+            };
+            let mut c = Mat::from_fn(m, n, |r, c| (r + c) as f64);
+            gemm_nt_cfg(&cfg, &mut c, &a, &b);
+            assert!(c.max_abs_diff(&want) < 1e-10);
+        }
     }
 }

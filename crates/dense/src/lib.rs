@@ -21,13 +21,23 @@
 //!
 //! Large problems run on a BLIS-style packed engine: [`pack`] copies
 //! operands into MR/NR-strip tile-major buffers and [`microkernel`] drives
-//! an 8×4 register-tile FMA kernel under MC/KC/NC cache blocking, with the
-//! AVX2+FMA instantiation selected once at runtime. Problems too small to
-//! amortize packing keep direct loop nests ([`naive`] remains the
+//! an 8×4 register-tile FMA kernel under runtime mc/kc/nc cache blocking,
+//! with the AVX2+FMA instantiation selected once at runtime. Problems too
+//! small to amortize packing keep direct loop nests ([`naive`] remains the
 //! correctness oracle). [`par`] adds scoped-thread parallel variants whose
 //! worker count is bounded by the hardware budget divided across registered
 //! PGAS ranks ([`par::num_threads`]), bit-identical to the sequential path.
+//!
+//! Every blocking parameter, dispatch threshold, and the ISA selection live
+//! in one validated [`KernelConfig`] value. Each kernel exists in two forms:
+//! a `*_cfg` entry point taking `&KernelConfig` explicitly, and the
+//! historical name which runs under [`KernelConfig::default()`] — whose
+//! field values equal the constants the kernels previously compiled in, so
+//! default-config results are bit-identical to earlier releases. Only the
+//! register-tile shape ([`microkernel::MR`] × [`microkernel::NR`]) remains
+//! compile-time.
 
+pub mod config;
 pub mod error;
 pub mod gemm;
 pub mod mat;
@@ -40,13 +50,17 @@ pub mod potrf;
 pub mod syrk;
 pub mod trsm;
 
+pub use config::{ConfigError, IsaSelect, KernelConfig};
 pub use error::DenseError;
-pub use gemm::gemm_nt;
+pub use gemm::{gemm_nt, gemm_nt_cfg};
 pub use mat::Mat;
-pub use panel::{gemm_nn_acc, gemm_tn_acc, trsm_left_lower_notrans, trsm_left_lower_trans};
-pub use potrf::potrf;
-pub use syrk::syrk_lower;
-pub use trsm::trsm_right_lower_trans;
+pub use panel::{
+    gemm_nn_acc, gemm_nn_acc_cfg, gemm_tn_acc, gemm_tn_acc_cfg, trsm_left_lower_notrans,
+    trsm_left_lower_notrans_cfg, trsm_left_lower_trans, trsm_left_lower_trans_cfg,
+};
+pub use potrf::{potrf, potrf_cfg};
+pub use syrk::{syrk_lower, syrk_lower_cfg};
+pub use trsm::{trsm_right_lower_trans, trsm_right_lower_trans_cfg};
 
 /// Floating-point operation counts for the four kernels, used by the
 /// simulated-time cost model in `sympack-gpu` and `sympack-pgas`.

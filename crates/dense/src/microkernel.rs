@@ -3,12 +3,13 @@
 //! This is the single flop engine behind every level-3 kernel in the crate
 //! (GEMM, SYRK, TRSM updates, the blocked POTRF trailing update and the
 //! panel-solve accumulations). The structure is the classical BLIS
-//! decomposition:
+//! decomposition, with the cache blocks `mc/kc/nc` supplied at runtime by a
+//! [`crate::config::KernelConfig`]:
 //!
 //! ```text
-//! for jc in 0..n step NC            // B panel       (stays in L3)
-//!   for pc in 0..k step KC          // pack B(pc,jc) (stays in L2)
-//!     for ic in 0..m step MC        // pack A(ic,pc) (stays in L2/L1)
+//! for jc in 0..n step nc            // B panel       (stays in L3)
+//!   for pc in 0..k step kc          // pack B(pc,jc) (stays in L2)
+//!     for ic in 0..m step mc        // pack A(ic,pc) (stays in L2/L1)
 //!       for jr in 0..nb step NR     //   macro-kernel over register tiles
 //!         for ir in 0..mb step MR
 //!           C[ir:ir+MR, jr:jr+NR] ∓= Apack · Bpack   // microkernel
@@ -19,12 +20,15 @@
 //! multiply-adds per iteration with **no loads or stores of `C`** — and reads
 //! its operands from the contiguous zero-padded strips produced by
 //! [`crate::pack`], so edge tiles take the same code path as interior tiles.
+//! Only the register tile stays compile-time: the microkernel is
+//! register-allocated around `MR`/`NR`.
 //!
 //! Accumulation order per element of `C` is fixed (k ascending, one k-block
 //! at a time) and independent of the surrounding blocking, so results are
 //! bit-deterministic run to run and identical between the sequential path
 //! and the column-partitioned parallel path.
 
+use crate::config::KernelConfig;
 use crate::pack;
 
 /// Register-tile rows. An 8×4 tile holds eight 4-lane AVX2 accumulators
@@ -34,18 +38,6 @@ use crate::pack;
 pub const MR: usize = 8;
 /// Register-tile columns.
 pub const NR: usize = 4;
-/// Row cache-block: the packed `MC × KC` A panel (≈256 KiB) stays L2-resident
-/// across all NR-strips of the current B panel.
-pub const MC: usize = 128;
-/// Inner-product cache-block: one packed A strip (`MR × KC` ≈ 8 KiB) plus one
-/// packed B strip (`KC × NR` ≈ 8 KiB) fit in L1 together.
-pub const KC: usize = 256;
-/// Column cache-block bounding the packed B panel (`KC × NC` ≈ 1 MiB).
-pub const NC: usize = 512;
-
-// The macro-kernel and the shared-A parallel path both assume cache blocks
-// are whole register tiles.
-const _: () = assert!(MC.is_multiple_of(MR) && NC.is_multiple_of(NR));
 
 /// Instruction set the microkernel was compiled for. Detected once per
 /// process; the choice is a pure function of the hardware, so kernel results
@@ -128,8 +120,9 @@ fn microkernel(isa: Isa, kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; MR]
     match isa {
         Isa::Portable => microkernel_body(kc, ap, bp, acc),
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: Isa::Avx2Fma is only produced by isa() after
-        // is_x86_feature_detected!("avx2") && ("fma") both passed.
+        // SAFETY: Isa::Avx2Fma is only produced after
+        // is_x86_feature_detected!("avx2") && ("fma") both passed (either by
+        // isa() or by KernelConfig::resolve_isa validation).
         Isa::Avx2Fma => unsafe { microkernel_avx2(kc, ap, bp, acc) },
     }
 }
@@ -193,7 +186,8 @@ fn macro_kernel(
     }
 }
 
-/// Blocked packed GEMM: `C ∓= op(A)·op(B)` on an `m × n × k` problem.
+/// Blocked packed GEMM: `C ∓= op(A)·op(B)` on an `m × n × k` problem under
+/// the cache blocking of `cfg`.
 ///
 /// The operand orientations are abstracted behind the two block packers
 /// (`pack_a(dst, i0, mb, p0, kb)` / `pack_b(dst, j0, nb, p0, kb)`), so the
@@ -201,6 +195,7 @@ fn macro_kernel(
 /// solve) and `Aᵀ·B` (backward panel solve). `sub` selects `-=` vs `+=`.
 #[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
 pub(crate) fn gemm_packed<PA, PB>(
+    cfg: &KernelConfig,
     c: &mut [f64],
     ldc: usize,
     m: usize,
@@ -216,15 +211,16 @@ pub(crate) fn gemm_packed<PA, PB>(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let isa = isa();
+    let isa = cfg.isa();
+    let (mc, kc, nc) = (cfg.mc, cfg.kc, cfg.nc);
     pack::with_buffers(|pa, pb| {
-        for jc in (0..n).step_by(NC) {
-            let nb = NC.min(n - jc);
-            for pc in (0..k).step_by(KC) {
-                let kb = KC.min(k - pc);
+        for jc in (0..n).step_by(nc) {
+            let nb = nc.min(n - jc);
+            for pc in (0..k).step_by(kc) {
+                let kb = kc.min(k - pc);
                 pack_b(pb, jc, nb, pc, kb);
-                for ic in (0..m).step_by(MC) {
-                    let mb = MC.min(m - ic);
+                for ic in (0..m).step_by(mc) {
+                    let mb = mc.min(m - ic);
                     pack_a(pa, ic, mb, pc, kb);
                     macro_kernel(isa, c, ldc, ic, jc, mb, nb, kb, pa, pb, sub);
                 }
@@ -239,8 +235,11 @@ pub(crate) fn gemm_packed<PA, PB>(
 /// packs only its own `B` strips into thread-local scratch.
 ///
 /// `c` is an `m × n` panel (leading dimension `ldc`) and `pack_b` receives
-/// panel-relative column offsets.
+/// panel-relative column offsets. The pack must have been built with the
+/// same `cfg.kc` (its k-block layout is keyed on it).
+#[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
 pub(crate) fn gemm_packed_shared_a<PB>(
+    cfg: &KernelConfig,
     c: &mut [f64],
     ldc: usize,
     m: usize,
@@ -251,7 +250,7 @@ pub(crate) fn gemm_packed_shared_a<PB>(
 ) where
     PB: Fn(&mut Vec<f64>, usize, usize, usize, usize),
 {
-    gemm_packed_shared_a_rows(c, ldc, 0, m, n, apack, pack_b, sub);
+    gemm_packed_shared_a_rows(cfg, c, ldc, 0, m, n, apack, pack_b, sub);
 }
 
 /// Row-ranged form of [`gemm_packed_shared_a`]: use rows `row0..row0+m` of
@@ -262,6 +261,7 @@ pub(crate) fn gemm_packed_shared_a<PB>(
 /// block against strip subranges instead of re-packing per tile.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_packed_shared_a_rows<PB>(
+    cfg: &KernelConfig,
     c: &mut [f64],
     ldc: usize,
     row0: usize,
@@ -280,15 +280,17 @@ pub(crate) fn gemm_packed_shared_a_rows<PB>(
     let s_begin = row0 / MR;
     let s_end = (row0 + m).div_ceil(MR);
     debug_assert!(s_end <= apack.strips());
-    let isa = isa();
+    let isa = cfg.isa();
+    let (mc, nc) = (cfg.mc, cfg.nc);
     pack::with_buffers(|_pa, pb| {
-        for jc in (0..n).step_by(NC) {
-            let nb = NC.min(n - jc);
+        for jc in (0..n).step_by(nc) {
+            let nb = nc.min(n - jc);
             for (q, (p0, kb)) in apack.blocks().enumerate() {
                 pack_b(pb, jc, nb, p0, kb);
-                // MC blocking over the shared strips keeps the L2 footprint
-                // identical to the thread-local path.
-                let strips_per_mc = MC / MR;
+                // mc blocking over the shared strips keeps the L2 footprint
+                // identical to the thread-local path. mc % MR == 0 is a
+                // validated config invariant.
+                let strips_per_mc = mc / MR;
                 let mut s0 = s_begin;
                 while s0 < s_end {
                     let s1 = (s0 + strips_per_mc).min(s_end);
@@ -332,6 +334,7 @@ mod tests {
     }
 
     fn check(m: usize, n: usize, k: usize) {
+        let cfg = KernelConfig::default();
         let a: Vec<f64> = (0..m * k).map(|v| ((v * 13) % 9) as f64 - 4.0).collect();
         let b: Vec<f64> = (0..n * k)
             .map(|v| ((v * 7) % 11) as f64 * 0.5 - 2.0)
@@ -339,6 +342,7 @@ mod tests {
         let mut c1: Vec<f64> = (0..m * n).map(|v| (v % 5) as f64).collect();
         let mut c2 = c1.clone();
         gemm_packed(
+            &cfg,
             &mut c1,
             m.max(1),
             m,
@@ -359,12 +363,13 @@ mod tests {
 
     #[test]
     fn packed_core_matches_reference_across_tile_edges() {
+        let cfg = KernelConfig::default();
         for &(m, n, k) in &[
             (1, 1, 1),
             (MR - 1, NR - 1, 3),
-            (MR + 1, NR + 1, KC + 1),
+            (MR + 1, NR + 1, cfg.kc + 1),
             (2 * MR + 3, 2 * NR + 1, 17),
-            (MC + 5, NC.min(70) + 3, KC + 9),
+            (cfg.mc + 5, cfg.nc.min(70) + 3, cfg.kc + 9),
             (130, 70, 130),
         ] {
             check(m, n, k);
@@ -373,12 +378,14 @@ mod tests {
 
     #[test]
     fn shared_a_path_is_bit_identical_to_thread_local_path() {
-        let (m, n, k) = (67, 41, KC + 19);
+        let cfg = KernelConfig::default();
+        let (m, n, k) = (67, 41, cfg.kc + 19);
         let a: Vec<f64> = (0..m * k).map(|v| ((v * 3) % 13) as f64 - 6.0).collect();
         let b: Vec<f64> = (0..n * k).map(|v| ((v * 5) % 7) as f64 - 3.0).collect();
         let c0: Vec<f64> = (0..m * n).map(|v| (v % 11) as f64 * 0.25).collect();
         let mut c1 = c0.clone();
         gemm_packed(
+            &cfg,
             &mut c1,
             m,
             m,
@@ -388,9 +395,10 @@ mod tests {
             |dst, j0, nb, p0, kb| pack::pack_b_t(dst, &b, n, j0, nb, p0, kb),
             true,
         );
-        let apack = pack::ApackFull::pack_nt(&a, m, m, k);
+        let apack = pack::ApackFull::pack_nt(&a, m, m, k, cfg.kc);
         let mut c2 = c0.clone();
         gemm_packed_shared_a(
+            &cfg,
             &mut c2,
             m,
             m,
@@ -407,11 +415,13 @@ mod tests {
 
     #[test]
     fn row_ranged_shared_a_matches_full_product_rows() {
-        let (m, n, k) = (61, 23, KC + 7);
+        let cfg = KernelConfig::default();
+        let (m, n, k) = (61, 23, cfg.kc + 7);
         let a: Vec<f64> = (0..m * k).map(|v| ((v * 3) % 13) as f64 - 6.0).collect();
         let b: Vec<f64> = (0..n * k).map(|v| ((v * 5) % 7) as f64 - 3.0).collect();
         let mut cfull = vec![0.0; m * n];
         gemm_packed(
+            &cfg,
             &mut cfull,
             m,
             m,
@@ -421,11 +431,12 @@ mod tests {
             |dst, j0, nb, p0, kb| pack::pack_b_t(dst, &b, n, j0, nb, p0, kb),
             true,
         );
-        let apack = pack::ApackFull::pack_nt(&a, m, m, k);
+        let apack = pack::ApackFull::pack_nt(&a, m, m, k, cfg.kc);
         // Sub-ranges: an interior MR-aligned window and the padded tail.
         for (row0, mm) in [(16usize, 24usize), (40, m - 40), (0, m)] {
             let mut csub = vec![0.0; mm * n];
             gemm_packed_shared_a_rows(
+                &cfg,
                 &mut csub,
                 mm,
                 row0,
@@ -445,5 +456,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn non_default_blocking_matches_reference() {
+        // Same problem under a deliberately odd (but valid) blocking: the
+        // accumulation order is k-ascending regardless of mc/nc, so results
+        // agree with the reference to the bit for the packed core.
+        let (m, n, k) = (77, 53, 90);
+        let a: Vec<f64> = (0..m * k).map(|v| ((v * 13) % 9) as f64 - 4.0).collect();
+        let b: Vec<f64> = (0..n * k).map(|v| ((v * 7) % 11) as f64 - 5.0).collect();
+        let run = |cfg: &KernelConfig| {
+            let mut c = vec![0.0; m * n];
+            gemm_packed(
+                cfg,
+                &mut c,
+                m,
+                m,
+                n,
+                k,
+                |dst, i0, mb, p0, kb| pack::pack_a_nt(dst, &a, m, i0, mb, p0, kb),
+                |dst, j0, nb, p0, kb| pack::pack_b_t(dst, &b, n, j0, nb, p0, kb),
+                true,
+            );
+            c
+        };
+        let base = run(&KernelConfig::default());
+        let small = KernelConfig {
+            mc: 2 * MR,
+            kc: 96,
+            nc: 3 * NR,
+            ..Default::default()
+        };
+        small.validate().unwrap();
+        let alt = run(&small);
+        // Different kc splits the k loop differently, so allow rounding: the
+        // two must agree to GEMM accuracy, and bit-exactly when kc matches.
+        for (x, y) in base.iter().zip(&alt) {
+            assert!((x - y).abs() < 1e-10);
+        }
+        let same_kc = KernelConfig {
+            mc: 2 * MR,
+            nc: 3 * NR,
+            ..Default::default()
+        };
+        same_kc.validate().unwrap();
+        let alt2 = run(&same_kc);
+        assert!(base
+            .iter()
+            .zip(&alt2)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

@@ -23,7 +23,7 @@
 //! (`A`, `Aᵀ`, `B`, `Bᵀ`) has its own packer so GEMM, SYRK, TRSM and the
 //! panel solves all share one microkernel.
 
-use crate::microkernel::{KC, MR, NR};
+use crate::microkernel::{MR, NR};
 use std::cell::RefCell;
 
 thread_local! {
@@ -174,9 +174,11 @@ pub(crate) fn pack_b_nn(
 /// A fully packed no-transpose `A` operand (`m × k`), packed **once** and
 /// shared read-only across the column-panel workers of the parallel GEMM.
 ///
-/// Layout: k-blocks of at most [`KC`] columns, outer to inner: block →
-/// MR-strip → column → row; [`Self::block_strips`] hands the macro-kernel the
-/// exact same strip layout [`pack_a_nt`] produces per block.
+/// Layout: k-blocks of at most `kc` columns (the `kc` of the
+/// [`crate::config::KernelConfig`] the pack was built with — consumers must
+/// run under the same config), outer to inner: block → MR-strip → column →
+/// row; [`Self::block_strips`] hands the macro-kernel the exact same strip
+/// layout [`pack_a_nt`] produces per block.
 pub(crate) struct ApackFull {
     buf: Vec<f64>,
     strips: usize,
@@ -185,14 +187,15 @@ pub(crate) struct ApackFull {
 }
 
 impl ApackFull {
-    /// Pack all of `a` (`m × k`, leading dimension `lda`).
-    pub fn pack_nt(a: &[f64], lda: usize, m: usize, k: usize) -> Self {
+    /// Pack all of `a` (`m × k`, leading dimension `lda`) in k-blocks of at
+    /// most `kc` columns.
+    pub fn pack_nt(a: &[f64], lda: usize, m: usize, k: usize, kc: usize) -> Self {
         let strips = m.div_ceil(MR);
-        let mut blocks = Vec::with_capacity(k.div_ceil(KC).max(1));
+        let mut blocks = Vec::with_capacity(k.div_ceil(kc).max(1));
         let mut buf = vec![0.0; strips * MR * k];
         let mut off = 0;
-        for p0 in (0..k).step_by(KC) {
-            let kb = KC.min(k - p0);
+        for p0 in (0..k).step_by(kc) {
+            let kb = kc.min(k - p0);
             blocks.push((p0, kb, off));
             for s in 0..strips {
                 let i = s * MR;
@@ -316,10 +319,11 @@ mod tests {
 
     #[test]
     fn apack_full_blocks_match_block_packer() {
-        let (m, k) = (21, KC + 7); // forces two k-blocks
+        let kc = 256;
+        let (m, k) = (21, kc + 7); // forces two k-blocks
         let lda = m + 3;
         let a: Vec<f64> = (0..lda * k).map(|v| (v % 29) as f64 - 14.0).collect();
-        let full = ApackFull::pack_nt(&a, lda, m, k);
+        let full = ApackFull::pack_nt(&a, lda, m, k, kc);
         let mut expect = Vec::new();
         for (q, (p0, kb)) in full.blocks().enumerate() {
             pack_a_nt(&mut expect, &a, lda, 0, m, p0, kb);

@@ -16,17 +16,17 @@
 //! subtraction. With `nrhs = 1` the substitution kernels perform exactly the
 //! arithmetic of the scalar `forward_subst`/`backward_subst` routines, column
 //! sweep for column sweep, so the single-vector solve path is unchanged.
+//!
+//! The solve-block width for the blocked left TRSMs comes from the caller's
+//! [`KernelConfig::sb`]: problems with `n <= cfg.sb` run the original
+//! unblocked substitution sweep unchanged — the `nrhs = 1` case must stay
+//! arithmetically identical to the scalar `forward_subst`/`backward_subst`
+//! routines, and small panels gain nothing from blocking.
 
-use crate::gemm::GEMM_PACK_MIN_FLOPS;
+use crate::config::KernelConfig;
 use crate::mat::Mat;
 use crate::microkernel;
 use crate::pack;
-
-/// Solve-block width for the blocked left TRSMs. Problems with `n <= SB` run
-/// the original unblocked substitution sweep unchanged — the `nrhs = 1` case
-/// must stay arithmetically identical to the scalar `forward_subst` /
-/// `backward_subst` routines, and small panels gain nothing from blocking.
-const SB: usize = 64;
 
 /// Unblocked forward substitution sweep over rows `0..n` (the pre-blocking
 /// kernel, kept verbatim as the within-panel solve).
@@ -75,16 +75,17 @@ fn trsm_left_trans_unblocked(
     }
 }
 
-/// Solve `L · Y = B` in place on raw column-major buffers.
+/// Solve `L · Y = B` in place on raw column-major buffers under `cfg`.
 ///
 /// * `l`: `n × n` lower-triangular, leading dimension `ldl`
 /// * `b`: `n × nrhs`, leading dimension `ldb`; overwritten with `Y`
 ///
-/// The strict upper triangle of `l` is never read. For `n > SB` the solve is
-/// blocked: an unblocked sweep on each `SB`-column diagonal block followed by
-/// a rank-`SB` GEMM update of the rows below, so the bulk of the flops run
-/// through the packed register-blocked core.
+/// The strict upper triangle of `l` is never read. For `n > cfg.sb` the
+/// solve is blocked: an unblocked sweep on each `sb`-column diagonal block
+/// followed by a rank-`sb` GEMM update of the rows below, so the bulk of the
+/// flops run through the packed register-blocked core.
 pub fn trsm_left_lower_notrans_raw(
+    cfg: &KernelConfig,
     b: &mut [f64],
     ldb: usize,
     n: usize,
@@ -95,18 +96,19 @@ pub fn trsm_left_lower_notrans_raw(
     if n == 0 || nrhs == 0 {
         return;
     }
-    if n <= SB {
+    let sb = cfg.sb;
+    if n <= sb {
         trsm_left_notrans_unblocked(b, ldb, n, nrhs, l, ldl);
         return;
     }
     // Scratch copy of the solved diagonal-block rows: each column of `b`
     // interleaves solved (read) and trailing (written) rows, so the GEMM
     // operands cannot be split borrows of `b` itself. The copy is
-    // O(SB · nrhs) per block — SB× below the update's flop count.
+    // O(sb · nrhs) per block — sb× below the update's flop count.
     let mut ysolved: Vec<f64> = Vec::new();
     let mut c0 = 0;
     while c0 < n {
-        let cb = SB.min(n - c0);
+        let cb = sb.min(n - c0);
         // Solve the cb × cb diagonal block in place on rows c0..c0+cb.
         {
             let lblock = &l[c0 * ldl + c0..];
@@ -121,6 +123,7 @@ pub fn trsm_left_lower_notrans_raw(
             }
             // B[c0+cb.., :] -= L[c0+cb.., c0..c0+cb] · Y[c0..c0+cb, :].
             gemm_nn_raw_impl(
+                cfg,
                 &mut b[c0 + cb..],
                 ldb,
                 rows_below,
@@ -137,14 +140,15 @@ pub fn trsm_left_lower_notrans_raw(
     }
 }
 
-/// Solve `Lᵀ · X = B` in place on raw column-major buffers.
+/// Solve `Lᵀ · X = B` in place on raw column-major buffers under `cfg`.
 ///
 /// Same shapes as [`trsm_left_lower_notrans_raw`]; `b` is overwritten with
-/// `X`. The strict upper triangle of `l` is never read. For `n > SB` the
+/// `X`. The strict upper triangle of `l` is never read. For `n > cfg.sb` the
 /// solve is blocked bottom-up: each diagonal block first absorbs the
 /// contribution of the already-solved rows below it through a packed
 /// `Aᵀ·B` GEMM, then runs the unblocked sweep.
 pub fn trsm_left_lower_trans_raw(
+    cfg: &KernelConfig,
     b: &mut [f64],
     ldb: usize,
     n: usize,
@@ -155,17 +159,18 @@ pub fn trsm_left_lower_trans_raw(
     if n == 0 || nrhs == 0 {
         return;
     }
-    if n <= SB {
+    let sb = cfg.sb;
+    if n <= sb {
         trsm_left_trans_unblocked(b, ldb, n, nrhs, l, ldl);
         return;
     }
     // Scratch copy of the already-solved rows below the current block (same
     // borrow-splitting constraint as the notrans case).
     let mut xsolved: Vec<f64> = Vec::new();
-    let nblocks = n.div_ceil(SB);
+    let nblocks = n.div_ceil(sb);
     for blk in (0..nblocks).rev() {
-        let c0 = blk * SB;
-        let cb = SB.min(n - c0);
+        let c0 = blk * sb;
+        let cb = sb.min(n - c0);
         let rows_below = n - c0 - cb;
         if rows_below > 0 {
             xsolved.resize(rows_below * nrhs, 0.0);
@@ -176,6 +181,7 @@ pub fn trsm_left_lower_trans_raw(
             }
             // B[c0..c0+cb, :] -= L[c0+cb.., c0..c0+cb]ᵀ · X[c0+cb.., :].
             gemm_tn_raw_impl(
+                cfg,
                 &mut b[c0..],
                 ldb,
                 cb,
@@ -193,35 +199,57 @@ pub fn trsm_left_lower_trans_raw(
     }
 }
 
-/// Matrix-level wrapper: overwrite `B` with the solution `Y` of `L·Y = B`.
+/// Matrix-level wrapper with an explicit config: overwrite `B` with the
+/// solution `Y` of `L·Y = B`.
 ///
 /// # Panics
 /// Panics if `L` is not square or `B.rows() != L.rows()`.
-pub fn trsm_left_lower_notrans(b: &mut Mat, l: &Mat) {
+pub fn trsm_left_lower_notrans_cfg(cfg: &KernelConfig, b: &mut Mat, l: &Mat) {
     assert_eq!(l.rows(), l.cols(), "trsm: L must be square");
     assert_eq!(b.rows(), l.rows(), "trsm: B row count must match L order");
     let (n, nrhs) = (b.rows(), b.cols());
     let (ldb, ldl) = (b.ld(), l.ld());
-    trsm_left_lower_notrans_raw(b.as_mut_slice(), ldb, n, nrhs, l.as_slice(), ldl);
+    trsm_left_lower_notrans_raw(cfg, b.as_mut_slice(), ldb, n, nrhs, l.as_slice(), ldl);
 }
 
-/// Matrix-level wrapper: overwrite `B` with the solution `X` of `Lᵀ·X = B`.
+/// Matrix-level wrapper under the default config: overwrite `B` with the
+/// solution `Y` of `L·Y = B`.
+///
+/// # Panics
+/// Same as [`trsm_left_lower_notrans_cfg`].
+pub fn trsm_left_lower_notrans(b: &mut Mat, l: &Mat) {
+    trsm_left_lower_notrans_cfg(&KernelConfig::default(), b, l);
+}
+
+/// Matrix-level wrapper with an explicit config: overwrite `B` with the
+/// solution `X` of `Lᵀ·X = B`.
 ///
 /// # Panics
 /// Panics if `L` is not square or `B.rows() != L.rows()`.
-pub fn trsm_left_lower_trans(b: &mut Mat, l: &Mat) {
+pub fn trsm_left_lower_trans_cfg(cfg: &KernelConfig, b: &mut Mat, l: &Mat) {
     assert_eq!(l.rows(), l.cols(), "trsm: L must be square");
     assert_eq!(b.rows(), l.rows(), "trsm: B row count must match L order");
     let (n, nrhs) = (b.rows(), b.cols());
     let (ldb, ldl) = (b.ld(), l.ld());
-    trsm_left_lower_trans_raw(b.as_mut_slice(), ldb, n, nrhs, l.as_slice(), ldl);
+    trsm_left_lower_trans_raw(cfg, b.as_mut_slice(), ldb, n, nrhs, l.as_slice(), ldl);
+}
+
+/// Matrix-level wrapper under the default config: overwrite `B` with the
+/// solution `X` of `Lᵀ·X = B`.
+///
+/// # Panics
+/// Same as [`trsm_left_lower_trans_cfg`].
+pub fn trsm_left_lower_trans(b: &mut Mat, l: &Mat) {
+    trsm_left_lower_trans_cfg(&KernelConfig::default(), b, l);
 }
 
 /// Shared `C ← C ± A · B` body: packed register-blocked core when the
-/// problem amortizes packing, the direct loop nest otherwise. `sub` selects
-/// subtraction (used by the blocked forward solve's trailing update).
+/// problem amortizes packing (per `cfg.pack_min_flops`), the direct loop
+/// nest otherwise. `sub` selects subtraction (used by the blocked forward
+/// solve's trailing update).
 #[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
 fn gemm_nn_raw_impl(
+    cfg: &KernelConfig,
     c: &mut [f64],
     ldc: usize,
     m: usize,
@@ -237,8 +265,9 @@ fn gemm_nn_raw_impl(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    if crate::flops::gemm(m, n, k) >= GEMM_PACK_MIN_FLOPS {
+    if crate::flops::gemm(m, n, k) >= cfg.pack_min_flops {
         microkernel::gemm_packed(
+            cfg,
             c,
             ldc,
             m,
@@ -272,6 +301,7 @@ fn gemm_nn_raw_impl(
 /// Shared `C ← C ± Aᵀ · B` body; see [`gemm_nn_raw_impl`].
 #[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
 fn gemm_tn_raw_impl(
+    cfg: &KernelConfig,
     c: &mut [f64],
     ldc: usize,
     m: usize,
@@ -287,8 +317,9 @@ fn gemm_tn_raw_impl(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    if crate::flops::gemm(m, n, k) >= GEMM_PACK_MIN_FLOPS {
+    if crate::flops::gemm(m, n, k) >= cfg.pack_min_flops {
         microkernel::gemm_packed(
+            cfg,
             c,
             ldc,
             m,
@@ -318,13 +349,14 @@ fn gemm_tn_raw_impl(
     }
 }
 
-/// Compute `C ← C + A · B` on raw column-major buffers.
+/// Compute `C ← C + A · B` on raw column-major buffers under `cfg`.
 ///
 /// * `c`: `m × n`, leading dimension `ldc`
 /// * `a`: `m × k`, leading dimension `lda`
 /// * `b`: `k × n`, leading dimension `ldb`
 #[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
 pub fn gemm_nn_acc_raw(
+    cfg: &KernelConfig,
     c: &mut [f64],
     ldc: usize,
     m: usize,
@@ -335,16 +367,17 @@ pub fn gemm_nn_acc_raw(
     ldb: usize,
     k: usize,
 ) {
-    gemm_nn_raw_impl(c, ldc, m, n, a, lda, b, ldb, k, false);
+    gemm_nn_raw_impl(cfg, c, ldc, m, n, a, lda, b, ldb, k, false);
 }
 
-/// Compute `C ← C + Aᵀ · B` on raw column-major buffers.
+/// Compute `C ← C + Aᵀ · B` on raw column-major buffers under `cfg`.
 ///
 /// * `c`: `m × n`, leading dimension `ldc`
 /// * `a`: `k × m`, leading dimension `lda` (transposed operand)
 /// * `b`: `k × n`, leading dimension `ldb`
 #[allow(clippy::too_many_arguments)] // BLAS-style raw interface: (buffer, ld) per operand
 pub fn gemm_tn_acc_raw(
+    cfg: &KernelConfig,
     c: &mut [f64],
     ldc: usize,
     m: usize,
@@ -355,20 +388,21 @@ pub fn gemm_tn_acc_raw(
     ldb: usize,
     k: usize,
 ) {
-    gemm_tn_raw_impl(c, ldc, m, n, a, lda, b, ldb, k, false);
+    gemm_tn_raw_impl(cfg, c, ldc, m, n, a, lda, b, ldb, k, false);
 }
 
-/// Matrix-level wrapper: `C ← C + A·B`.
+/// Matrix-level wrapper with an explicit config: `C ← C + A·B`.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
-pub fn gemm_nn_acc(c: &mut Mat, a: &Mat, b: &Mat) {
+pub fn gemm_nn_acc_cfg(cfg: &KernelConfig, c: &mut Mat, a: &Mat, b: &Mat) {
     assert_eq!(a.cols(), b.rows(), "gemm_nn: inner dimensions differ");
     assert_eq!(c.rows(), a.rows(), "gemm_nn: row dimensions differ");
     assert_eq!(c.cols(), b.cols(), "gemm_nn: column dimensions differ");
     let (m, n, k) = (c.rows(), c.cols(), a.cols());
     let (ldc, lda, ldb) = (c.ld(), a.ld(), b.ld());
     gemm_nn_acc_raw(
+        cfg,
         c.as_mut_slice(),
         ldc,
         m,
@@ -381,17 +415,26 @@ pub fn gemm_nn_acc(c: &mut Mat, a: &Mat, b: &Mat) {
     );
 }
 
-/// Matrix-level wrapper: `C ← C + Aᵀ·B`.
+/// Matrix-level wrapper under the default config: `C ← C + A·B`.
+///
+/// # Panics
+/// Same as [`gemm_nn_acc_cfg`].
+pub fn gemm_nn_acc(c: &mut Mat, a: &Mat, b: &Mat) {
+    gemm_nn_acc_cfg(&KernelConfig::default(), c, a, b);
+}
+
+/// Matrix-level wrapper with an explicit config: `C ← C + Aᵀ·B`.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
-pub fn gemm_tn_acc(c: &mut Mat, a: &Mat, b: &Mat) {
+pub fn gemm_tn_acc_cfg(cfg: &KernelConfig, c: &mut Mat, a: &Mat, b: &Mat) {
     assert_eq!(a.rows(), b.rows(), "gemm_tn: inner dimensions differ");
     assert_eq!(c.rows(), a.cols(), "gemm_tn: row dimensions differ");
     assert_eq!(c.cols(), b.cols(), "gemm_tn: column dimensions differ");
     let (m, n, k) = (c.rows(), c.cols(), a.rows());
     let (ldc, lda, ldb) = (c.ld(), a.ld(), b.ld());
     gemm_tn_acc_raw(
+        cfg,
         c.as_mut_slice(),
         ldc,
         m,
@@ -402,6 +445,14 @@ pub fn gemm_tn_acc(c: &mut Mat, a: &Mat, b: &Mat) {
         ldb,
         k,
     );
+}
+
+/// Matrix-level wrapper under the default config: `C ← C + Aᵀ·B`.
+///
+/// # Panics
+/// Same as [`gemm_tn_acc_cfg`].
+pub fn gemm_tn_acc(c: &mut Mat, a: &Mat, b: &Mat) {
+    gemm_tn_acc_cfg(&KernelConfig::default(), c, a, b);
 }
 
 #[cfg(test)]
@@ -517,8 +568,8 @@ mod tests {
 
     #[test]
     fn blocked_solves_match_unblocked_across_sb_boundary() {
-        // n spans the SB = 64 solve-block boundary; the blocked path must
-        // agree with the unblocked sweep to rounding.
+        // n spans the default sb = 64 solve-block boundary; the blocked path
+        // must agree with the unblocked sweep to rounding.
         for &(n, nrhs) in &[(63, 5), (64, 5), (65, 5), (130, 3), (200, 8), (200, 1)] {
             let l = spd_factor(n);
             let b0 = panel(n, nrhs);
@@ -544,6 +595,37 @@ mod tests {
                 blocked.max_abs_diff(&sweep) < 1e-8,
                 "trans n={n} nrhs={nrhs}"
             );
+        }
+    }
+
+    #[test]
+    fn non_default_solve_block_matches_unblocked() {
+        // A small sb forces the blocked path onto many more block steps; it
+        // must still agree with the plain sweep to rounding.
+        let cfg = KernelConfig {
+            sb: 24,
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        for &(n, nrhs) in &[(65, 5), (130, 3)] {
+            let l = spd_factor(n);
+            let b0 = panel(n, nrhs);
+            let mut blocked = b0.clone();
+            trsm_left_lower_notrans_cfg(&cfg, &mut blocked, &l);
+            let mut sweep = b0.clone();
+            {
+                let (ldb, ldl) = (sweep.ld(), l.ld());
+                trsm_left_notrans_unblocked(sweep.as_mut_slice(), ldb, n, nrhs, l.as_slice(), ldl);
+            }
+            assert!(blocked.max_abs_diff(&sweep) < 1e-8, "notrans n={n}");
+            let mut blocked = b0.clone();
+            trsm_left_lower_trans_cfg(&cfg, &mut blocked, &l);
+            let mut sweep = b0.clone();
+            {
+                let (ldb, ldl) = (sweep.ld(), l.ld());
+                trsm_left_trans_unblocked(sweep.as_mut_slice(), ldb, n, nrhs, l.as_slice(), ldl);
+            }
+            assert!(blocked.max_abs_diff(&sweep) < 1e-8, "trans n={n}");
         }
     }
 
@@ -577,26 +659,28 @@ mod tests {
     fn raw_kernels_respect_leading_dimensions() {
         // Embed a 2×2 C in a 4-row buffer; rows 2..4 of each column must stay
         // untouched by both accumulating kernels.
+        let cfg = KernelConfig::default();
         let mut c = vec![1.0; 8];
         let a = [1.0, 2.0]; // 2×1, lda = 2
         let b = [3.0, 4.0]; // 1×2, ldb = 1
-        gemm_nn_acc_raw(&mut c, 4, 2, 2, &a, 2, &b, 1, 1);
+        gemm_nn_acc_raw(&cfg, &mut c, 4, 2, 2, &a, 2, &b, 1, 1);
         assert_eq!(&c, &[4.0, 7.0, 1.0, 1.0, 5.0, 9.0, 1.0, 1.0]);
         let mut c = vec![0.0; 8];
         let at = [1.0, 2.0]; // 2×1 transposed operand (k=2, m=1), lda = 2
         let bt = [3.0, 4.0, 5.0, 6.0]; // 2×2, ldb = 2
-        gemm_tn_acc_raw(&mut c, 4, 1, 2, &at, 2, &bt, 2, 2);
+        gemm_tn_acc_raw(&cfg, &mut c, 4, 1, 2, &at, 2, &bt, 2, 2);
         assert_eq!(&c, &[11.0, 0.0, 0.0, 0.0, 17.0, 0.0, 0.0, 0.0]);
     }
 
     #[test]
     fn degenerate_dimensions_are_noops() {
+        let cfg = KernelConfig::default();
         let mut empty: Vec<f64> = Vec::new();
-        trsm_left_lower_notrans_raw(&mut empty, 1, 0, 3, &[], 1);
-        trsm_left_lower_trans_raw(&mut empty, 1, 4, 0, &[1.0; 16], 4);
+        trsm_left_lower_notrans_raw(&cfg, &mut empty, 1, 0, 3, &[], 1);
+        trsm_left_lower_trans_raw(&cfg, &mut empty, 1, 4, 0, &[1.0; 16], 4);
         let mut c = vec![7.0; 4];
-        gemm_nn_acc_raw(&mut c, 2, 2, 2, &[], 2, &[], 1, 0);
-        gemm_tn_acc_raw(&mut c, 2, 2, 2, &[], 1, &[], 1, 0);
+        gemm_nn_acc_raw(&cfg, &mut c, 2, 2, 2, &[], 2, &[], 1, 0);
+        gemm_tn_acc_raw(&cfg, &mut c, 2, 2, 2, &[], 1, &[], 1, 0);
         assert_eq!(&c, &[7.0; 4]);
     }
 }

@@ -8,6 +8,11 @@
 //! is a disjoint `&mut` chunk of the column-major buffer handed to exactly
 //! one worker.
 //!
+//! The sequential-fallback decision — below how many flops forking workers
+//! loses to just running the packed sequential kernel — comes from the
+//! caller's [`KernelConfig::par_flop_threshold`] (default 2 Mflop, measured
+//! on the `kernel_roofline` sweep; see `results/kernel_roofline.txt`).
+//!
 //! Two rules bound the live thread count:
 //!
 //! 1. At most [`num_threads`] workers exist per kernel call — chunk lists are
@@ -21,19 +26,11 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::config::KernelConfig;
 use crate::gemm::gemm_nt_raw;
 use crate::mat::Mat;
 use crate::microkernel;
 use crate::pack;
-
-/// Minimum per-call flop count before parallelism pays for itself.
-///
-/// Measured constant (see `results/kernel_roofline.txt`): forking and joining
-/// one scoped worker costs tens of microseconds, during which the packed
-/// sequential kernel retires on the order of a megaflop. Splitting a problem
-/// smaller than a few megaflops therefore loses to running it sequentially;
-/// 2 Mflop is the break-even with a ~2× amortization margin.
-pub const PAR_FLOP_THRESHOLD: u64 = 2 * 1024 * 1024;
 
 /// Count of PGAS rank threads currently live (see [`rank_scope`]).
 static ACTIVE_RANKS: AtomicUsize = AtomicUsize::new(0);
@@ -98,30 +95,37 @@ where
     });
 }
 
-/// Parallel `C ← C − A·Bᵀ`: column panels of `C` are updated concurrently.
+/// Parallel `C ← C − A·Bᵀ` under an explicit config: column panels of `C`
+/// are updated concurrently.
 ///
 /// The `A` operand is packed **once** into MR-strip format
-/// ([`pack::ApackFull`]) and shared read-only by every column-panel worker,
-/// instead of each worker re-packing the same `A` block inside its own
-/// sequential GEMM. Per-element accumulation order (ascending `k`, one
-/// KC-block at a time) is identical to the sequential packed kernel and
-/// independent of the worker count.
-pub fn gemm_nt_par(c: &mut Mat, a: &Mat, b: &Mat) {
+/// ([`pack::ApackFull`], built with the same `cfg.kc` the consumers run
+/// under) and shared read-only by every column-panel worker, instead of each
+/// worker re-packing the same `A` block inside its own sequential GEMM.
+/// Per-element accumulation order (ascending `k`, one `cfg.kc`-block at a
+/// time) is identical to the sequential packed kernel and independent of the
+/// worker count.
+pub fn gemm_nt_par_cfg(cfg: &KernelConfig, c: &mut Mat, a: &Mat, b: &Mat) {
     assert_eq!(a.cols(), b.cols(), "gemm_nt_par: inner dimensions differ");
     assert_eq!(c.rows(), a.rows(), "gemm_nt_par: row dimensions differ");
     assert_eq!(c.cols(), b.rows(), "gemm_nt_par: column dimensions differ");
-    gemm_nt_par_impl(c, a, b, num_threads());
+    gemm_nt_par_impl(cfg, c, a, b, num_threads());
 }
 
-fn gemm_nt_par_impl(c: &mut Mat, a: &Mat, b: &Mat, nworkers: usize) {
+/// Parallel `C ← C − A·Bᵀ` under the default config.
+pub fn gemm_nt_par(c: &mut Mat, a: &Mat, b: &Mat) {
+    gemm_nt_par_cfg(&KernelConfig::default(), c, a, b);
+}
+
+fn gemm_nt_par_impl(cfg: &KernelConfig, c: &mut Mat, a: &Mat, b: &Mat, nworkers: usize) {
     let (m, n, k) = (c.rows(), c.cols(), a.cols());
-    if crate::flops::gemm(m, n, k) < PAR_FLOP_THRESHOLD || n < 2 || nworkers < 2 {
-        crate::gemm::gemm_nt(c, a, b);
+    if crate::flops::gemm(m, n, k) < cfg.par_flop_threshold || n < 2 || nworkers < 2 {
+        crate::gemm::gemm_nt_cfg(cfg, c, a, b);
         return;
     }
     let ldc = c.ld();
     let (lda, ldb) = (a.ld(), b.ld());
-    let apack = pack::ApackFull::pack_nt(a.as_slice(), lda, m, k);
+    let apack = pack::ApackFull::pack_nt(a.as_slice(), lda, m, k, cfg.kc);
     let nchunks = nworkers.min(n);
     let cols_per = n.div_ceil(nchunks);
     par_chunks_mut(
@@ -134,6 +138,7 @@ fn gemm_nt_par_impl(c: &mut Mat, a: &Mat, b: &Mat, nworkers: usize) {
             // Panel of C covers columns j0..j0+jn; the matching operand is
             // rows j0..j0+jn of B.
             microkernel::gemm_packed_shared_a(
+                cfg,
                 cpanel,
                 ldc,
                 m,
@@ -146,18 +151,24 @@ fn gemm_nt_par_impl(c: &mut Mat, a: &Mat, b: &Mat, nworkers: usize) {
     );
 }
 
-/// Parallel `C ← C − A·Aᵀ` (lower triangle): the triangle is split into
-/// column panels whose below-diagonal parts are independent.
-pub fn syrk_lower_par(c: &mut Mat, a: &Mat) {
+/// Parallel `C ← C − A·Aᵀ` (lower triangle) under an explicit config: the
+/// triangle is split into column panels whose below-diagonal parts are
+/// independent.
+pub fn syrk_lower_par_cfg(cfg: &KernelConfig, c: &mut Mat, a: &Mat) {
     assert_eq!(c.rows(), c.cols(), "syrk_lower_par: C must be square");
     assert_eq!(a.rows(), c.rows(), "syrk_lower_par: A rows must match C");
-    syrk_lower_par_impl(c, a, num_threads());
+    syrk_lower_par_impl(cfg, c, a, num_threads());
 }
 
-fn syrk_lower_par_impl(c: &mut Mat, a: &Mat, nworkers: usize) {
+/// Parallel `C ← C − A·Aᵀ` (lower triangle) under the default config.
+pub fn syrk_lower_par(c: &mut Mat, a: &Mat) {
+    syrk_lower_par_cfg(&KernelConfig::default(), c, a);
+}
+
+fn syrk_lower_par_impl(cfg: &KernelConfig, c: &mut Mat, a: &Mat, nworkers: usize) {
     let (n, k) = (c.rows(), a.cols());
-    if crate::flops::syrk(n, k) < PAR_FLOP_THRESHOLD || n < 2 || nworkers < 2 {
-        crate::syrk::syrk_lower(c, a);
+    if crate::flops::syrk(n, k) < cfg.par_flop_threshold || n < 2 || nworkers < 2 {
+        crate::syrk::syrk_lower_cfg(cfg, c, a);
         return;
     }
     let ldc = c.ld();
@@ -177,11 +188,20 @@ fn syrk_lower_par_impl(c: &mut Mat, a: &Mat, nworkers: usize) {
             // j_local * ldc + row. Use the sequential SYRK on the diagonal
             // part and GEMM for the strictly-below rows, both via raw calls.
             // Diagonal jn x jn sub-triangle at rows j0..j0+jn:
-            crate::syrk::syrk_lower_raw(&mut cpanel[j0..], ldc, jn, &a.as_slice()[j0..], lda, k);
+            crate::syrk::syrk_lower_raw(
+                cfg,
+                &mut cpanel[j0..],
+                ldc,
+                jn,
+                &a.as_slice()[j0..],
+                lda,
+                k,
+            );
             // Rows j0+jn..n of this panel: full GEMM block.
             let m = n - j0 - jn;
             if m > 0 {
                 gemm_nt_raw(
+                    cfg,
                     &mut cpanel[j0 + jn..],
                     ldc,
                     m,
@@ -197,19 +217,24 @@ fn syrk_lower_par_impl(c: &mut Mat, a: &Mat, nworkers: usize) {
     );
 }
 
-/// Parallel `X · Lᵀ = B` in place: the rows of `B` are independent, so the
-/// row dimension is split across threads (each thread runs the sequential
-/// blocked TRSM on its horizontal strip).
-pub fn trsm_right_lower_trans_par(b: &mut Mat, l: &Mat) {
+/// Parallel `X · Lᵀ = B` in place under an explicit config: the rows of `B`
+/// are independent, so the row dimension is split across threads (each
+/// thread runs the sequential blocked TRSM on its horizontal strip).
+pub fn trsm_right_lower_trans_par_cfg(cfg: &KernelConfig, b: &mut Mat, l: &Mat) {
     assert_eq!(l.rows(), l.cols(), "trsm_par: L must be square");
     assert_eq!(b.cols(), l.rows(), "trsm_par: B columns must match L order");
-    trsm_right_lower_trans_par_impl(b, l, num_threads());
+    trsm_right_lower_trans_par_impl(cfg, b, l, num_threads());
 }
 
-fn trsm_right_lower_trans_par_impl(b: &mut Mat, l: &Mat, nworkers: usize) {
+/// Parallel `X · Lᵀ = B` in place under the default config.
+pub fn trsm_right_lower_trans_par(b: &mut Mat, l: &Mat) {
+    trsm_right_lower_trans_par_cfg(&KernelConfig::default(), b, l);
+}
+
+fn trsm_right_lower_trans_par_impl(cfg: &KernelConfig, b: &mut Mat, l: &Mat, nworkers: usize) {
     let (m, n) = (b.rows(), b.cols());
-    if crate::flops::trsm(m, n) < PAR_FLOP_THRESHOLD || m < 2 || nworkers < 2 {
-        crate::trsm::trsm_right_lower_trans(b, l);
+    if crate::flops::trsm(m, n) < cfg.par_flop_threshold || m < 2 || nworkers < 2 {
+        crate::trsm::trsm_right_lower_trans_cfg(cfg, b, l);
         return;
     }
     // Rows are independent but interleaved in column-major storage, so we
@@ -235,7 +260,7 @@ fn trsm_right_lower_trans_par_impl(b: &mut Mat, l: &Mat, nworkers: usize) {
         for (r0, s) in strips.iter_mut() {
             let rn = rows_per.min(m - *r0);
             scope.spawn(move || {
-                crate::trsm::trsm_right_lower_trans_raw(s, rn, rn, n, l.as_slice(), l.ld());
+                crate::trsm::trsm_right_lower_trans_raw(cfg, s, rn, rn, n, l.as_slice(), l.ld());
             });
         }
     });
@@ -270,12 +295,13 @@ mod tests {
         // Force the multi-worker shared-A path regardless of the host's core
         // count; the result must match the oracle and be bit-identical to
         // the sequential packed kernel (same per-element accumulation order).
+        let cfg = KernelConfig::default();
         let (m, n, k) = (160, 120, 140);
         let a = Mat::from_fn(m, k, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
         let b = Mat::from_fn(n, k, |r, c| ((r + c * 2) % 5) as f64 - 2.0);
         let c0 = Mat::from_fn(m, n, |r, c| (r + c) as f64);
         let mut cpar = c0.clone();
-        gemm_nt_par_impl(&mut cpar, &a, &b, 4);
+        gemm_nt_par_impl(&cfg, &mut cpar, &a, &b, 4);
         let mut cref = c0.clone();
         gemm_ref(&mut cref, &a, &b);
         assert!(cpar.max_abs_diff(&cref) < 1e-9);
@@ -283,12 +309,35 @@ mod tests {
         crate::gemm::gemm_nt(&mut cseq, &a, &b);
         assert_eq!(cpar.as_slice(), cseq.as_slice(), "par != seq bitwise");
         let mut cpar3 = c0.clone();
-        gemm_nt_par_impl(&mut cpar3, &a, &b, 3);
+        gemm_nt_par_impl(&cfg, &mut cpar3, &a, &b, 3);
         assert_eq!(
             cpar.as_slice(),
             cpar3.as_slice(),
             "worker count changed bits"
         );
+    }
+
+    #[test]
+    fn gemm_par_non_default_config_matches_sequential_bitwise() {
+        // A non-default (but same-kc) blocking must stay bit-identical
+        // between the parallel shared-A path and the sequential packed
+        // kernel under the same config.
+        let cfg = KernelConfig {
+            mc: 5 * microkernel::MR,
+            nc: 9 * microkernel::NR,
+            par_flop_threshold: 1,
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        let (m, n, k) = (150, 110, 130);
+        let a = Mat::from_fn(m, k, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
+        let b = Mat::from_fn(n, k, |r, c| ((r + c * 2) % 5) as f64 - 2.0);
+        let c0 = Mat::from_fn(m, n, |r, c| (r + c) as f64);
+        let mut cpar = c0.clone();
+        gemm_nt_par_impl(&cfg, &mut cpar, &a, &b, 4);
+        let mut cseq = c0.clone();
+        crate::gemm::gemm_nt_cfg(&cfg, &mut cseq, &a, &b);
+        assert_eq!(cpar.as_slice(), cseq.as_slice(), "par != seq bitwise");
     }
 
     #[test]
@@ -312,11 +361,12 @@ mod tests {
 
     #[test]
     fn syrk_par_multi_worker_matches_reference() {
+        let cfg = KernelConfig::default();
         let (n, k) = (220, 80);
         let a = Mat::from_fn(n, k, |r, c| ((r * 5 + c) % 9) as f64 - 4.0);
         let mut c1 = Mat::from_fn(n, n, |r, c| (r * 2 + c) as f64 * 0.5);
         let mut c2 = c1.clone();
-        syrk_lower_par_impl(&mut c1, &a, 4);
+        syrk_lower_par_impl(&cfg, &mut c1, &a, 4);
         syrk_ref(&mut c2, &a);
         for j in 0..n {
             for i in j..n {
@@ -340,12 +390,13 @@ mod tests {
 
     #[test]
     fn trsm_par_multi_worker_matches_reference() {
+        let cfg = KernelConfig::default();
         let (m, n) = (310, 100);
         let spd = Mat::spd_from(n, |r, c| ((r + c * 3) % 7) as f64);
         let l = potrf_ref(&spd).unwrap();
         let b0 = Mat::from_fn(m, n, |r, c| ((r * 2 + c) % 11) as f64 - 5.0);
         let mut b = b0.clone();
-        trsm_right_lower_trans_par_impl(&mut b, &l, 4);
+        trsm_right_lower_trans_par_impl(&cfg, &mut b, &l, 4);
         let expect = trsm_ref(&l, &b0);
         assert!(b.max_abs_diff(&expect) < 1e-8);
     }

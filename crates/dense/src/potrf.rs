@@ -4,23 +4,15 @@
 //! supernode `i` is factored in place into its lower Cholesky factor. The
 //! blocked algorithm is the classical right-looking panel scheme — factor a
 //! diagonal panel, TRSM the sub-panel, SYRK the trailing submatrix — so that
-//! almost all flops run through the level-3 kernels in this crate.
+//! almost all flops run through the level-3 kernels in this crate. The outer
+//! panel width `pb` and the inner diagonal-tile width `ib` come from the
+//! caller's [`KernelConfig`].
 
+use crate::config::KernelConfig;
 use crate::error::DenseError;
 use crate::mat::Mat;
 use crate::syrk::syrk_lower_raw;
 use crate::trsm::trsm_right_lower_trans_raw;
-
-/// Panel width for the blocked factorization.
-const PB: usize = 48;
-
-/// Mini-panel width for the diagonal-tile factorization. The PB×PB diagonal
-/// tile is itself factored by IB-column right-looking steps so that only the
-/// IB×IB corners run the scalar dot-product loop — everything else in the
-/// tile goes through the TRSM/SYRK kernels. Without this second level the
-/// scalar tile factor is ~PB²/n² of the flops but runs an order of magnitude
-/// below the packed rate, which made it ~a quarter of the total wall time.
-const IB: usize = 8;
 
 /// Unblocked in-place lower Cholesky of the leading `n × n` of `a`
 /// (leading dimension `lda`). Only the lower triangle is read and written.
@@ -50,13 +42,16 @@ fn potrf_unblocked(a: &mut [f64], lda: usize, n: usize, col0: usize) -> Result<(
     Ok(())
 }
 
-/// Right-looking factorization of one `n × n` diagonal tile (`n ≤ PB`) in
-/// IB-column steps: scalar-factor the IB×IB corner, TRSM the rows below it,
-/// SYRK the trailing part of the tile. `a` points at the tile's diagonal
-/// element; `tile` is caller-owned scratch (the corner interleaves with the
-/// strip it solves in the same columns, so it is copied out to keep the
-/// borrows disjoint).
+/// Right-looking factorization of one `n × n` diagonal tile (`n ≤ cfg.pb`)
+/// in `cfg.ib`-column steps: scalar-factor the ib×ib corner, TRSM the rows
+/// below it, SYRK the trailing part of the tile. `a` points at the tile's
+/// diagonal element; `tile` is caller-owned scratch (the corner interleaves
+/// with the strip it solves in the same columns, so it is copied out to keep
+/// the borrows disjoint). Without this second level the scalar tile factor
+/// is ~pb²/n² of the flops but runs an order of magnitude below the packed
+/// rate, which made it ~a quarter of the total wall time.
 fn potrf_tile(
+    cfg: &KernelConfig,
     a: &mut [f64],
     lda: usize,
     n: usize,
@@ -65,7 +60,7 @@ fn potrf_tile(
 ) -> Result<(), DenseError> {
     let mut j = 0;
     while j < n {
-        let ib = IB.min(n - j);
+        let ib = cfg.ib.min(n - j);
         potrf_unblocked(&mut a[j * lda + j..], lda, ib, col0 + j)?;
         let m = n - j - ib;
         if m > 0 {
@@ -74,24 +69,37 @@ fn potrf_tile(
                 let src = (j + c) * lda + j;
                 tile[c * ib..c * ib + ib].copy_from_slice(&a[src..src + ib]);
             }
-            trsm_right_lower_trans_raw(&mut a[j * lda + j + ib..], lda, m, ib, tile, ib);
+            trsm_right_lower_trans_raw(cfg, &mut a[j * lda + j + ib..], lda, m, ib, tile, ib);
             // The sub-corner strip (cols j..j+ib, rows j+ib..) lies entirely
             // before column j+ib in memory, so it splits off borrow-disjoint
             // from the trailing target — SYRK reads it strided in place.
             let (lo, hi) = a.split_at_mut((j + ib) * lda);
-            syrk_lower_raw(&mut hi[j + ib..], lda, m, &lo[j * lda + j + ib..], lda, ib);
+            syrk_lower_raw(
+                cfg,
+                &mut hi[j + ib..],
+                lda,
+                m,
+                &lo[j * lda + j + ib..],
+                lda,
+                ib,
+            );
         }
         j += ib;
     }
     Ok(())
 }
 
-/// In-place blocked lower Cholesky on a raw column-major buffer.
+/// In-place blocked lower Cholesky on a raw column-major buffer under `cfg`.
 ///
 /// On success the lower triangle of `a` holds `L` with `A = L·Lᵀ`; the strict
 /// upper triangle is left unmodified. On failure the buffer contents are
 /// unspecified and the error reports the offending global column.
-pub fn potrf_raw(a: &mut [f64], lda: usize, n: usize) -> Result<(), DenseError> {
+pub fn potrf_raw(
+    cfg: &KernelConfig,
+    a: &mut [f64],
+    lda: usize,
+    n: usize,
+) -> Result<(), DenseError> {
     // Workspace for the jb×jb diagonal-tile copy, reused across all panels:
     // one allocation per call keeps the right-looking panel loop itself
     // allocation-free. The level-3 interior — the strip TRSM and the
@@ -100,12 +108,12 @@ pub fn potrf_raw(a: &mut [f64], lda: usize, n: usize) -> Result<(), DenseError> 
     let mut tile: Vec<f64> = Vec::new();
     let mut j = 0;
     while j < n {
-        let jb = PB.min(n - j);
+        let jb = cfg.pb.min(n - j);
         // Factor panel A[j.., j..j+jb]: first the jb x jb diagonal tile
-        // (itself IB-blocked; the scratch vec is free for reuse below).
+        // (itself ib-blocked; the scratch vec is free for reuse below).
         {
             let panel = &mut a[j * lda..];
-            potrf_tile(&mut panel[j..], lda, jb, j, &mut tile)?;
+            potrf_tile(cfg, &mut panel[j..], lda, jb, j, &mut tile)?;
         }
         let m = n - j - jb;
         if m > 0 {
@@ -122,7 +130,7 @@ pub fn potrf_raw(a: &mut [f64], lda: usize, n: usize) -> Result<(), DenseError> 
                 // Strided view of the strip: rows j+jb..n of columns j..j+jb.
                 // Solve in place column panel with ld = lda.
                 let off = j * lda + j + jb;
-                trsm_right_lower_trans_raw(&mut a[off..], lda, m, jb, &tile, jb);
+                trsm_right_lower_trans_raw(cfg, &mut a[off..], lda, m, jb, &tile, jb);
             }
             // Trailing update: A[j+jb.., j+jb..] -= strip * strip^T (SYRK).
             // The strip (cols j..j+jb, rows j+jb..n) lies entirely before
@@ -130,25 +138,41 @@ pub fn potrf_raw(a: &mut [f64], lda: usize, n: usize) -> Result<(), DenseError> 
             // the trailing target; SYRK reads it strided in place — its own
             // internal pack is the only copy the strip takes per panel.
             let (lo, hi) = a.split_at_mut((j + jb) * lda);
-            syrk_lower_raw(&mut hi[j + jb..], lda, m, &lo[j * lda + j + jb..], lda, jb);
+            syrk_lower_raw(
+                cfg,
+                &mut hi[j + jb..],
+                lda,
+                m,
+                &lo[j * lda + j + jb..],
+                lda,
+                jb,
+            );
         }
         j += jb;
     }
     Ok(())
 }
 
-/// In-place blocked lower Cholesky of a [`Mat`].
+/// In-place blocked lower Cholesky of a [`Mat`] with an explicit config.
 ///
 /// On success the lower triangle of `a` holds `L`; the strict upper triangle
 /// is untouched (call [`Mat::zero_upper`] if a clean `L` is needed).
 ///
 /// # Errors
 /// [`DenseError::NotPositiveDefinite`] when a non-positive pivot appears.
-pub fn potrf(a: &mut Mat) -> Result<(), DenseError> {
+pub fn potrf_cfg(cfg: &KernelConfig, a: &mut Mat) -> Result<(), DenseError> {
     assert_eq!(a.rows(), a.cols(), "potrf requires a square matrix");
     let n = a.rows();
     let lda = a.ld();
-    potrf_raw(a.as_mut_slice(), lda, n)
+    potrf_raw(cfg, a.as_mut_slice(), lda, n)
+}
+
+/// In-place blocked lower Cholesky of a [`Mat`] under the default config.
+///
+/// # Errors
+/// Same as [`potrf_cfg`].
+pub fn potrf(a: &mut Mat) -> Result<(), DenseError> {
+    potrf_cfg(&KernelConfig::default(), a)
 }
 
 #[cfg(test)]
@@ -220,6 +244,24 @@ mod tests {
             for i in 0..j {
                 assert_eq!(a[(i, j)], 777.0);
             }
+        }
+    }
+
+    #[test]
+    fn non_default_panels_match_reference() {
+        let cfg = KernelConfig {
+            pb: 16,
+            ib: 4,
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        for n in [49, 97] {
+            let a0 = Mat::spd_from(n, |r, c| ((r * 17 + c * 9) % 23) as f64 * 0.25 - 2.5);
+            let mut a = a0.clone();
+            potrf_cfg(&cfg, &mut a).unwrap();
+            a.zero_upper();
+            let expect = potrf_ref(&a0).unwrap();
+            assert!(a.max_abs_diff(&expect) < 1e-8, "n={n}");
         }
     }
 }

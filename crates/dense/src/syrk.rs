@@ -3,33 +3,41 @@
 //! Used by *Update* tasks `U(i,j,i)` whose target block sits on the diagonal
 //! of the matrix: the update of a diagonal block by a factored panel is
 //! symmetric, so only the lower triangle is computed — this halves the work
-//! relative to GEMM, exactly as BLAS `SYRK` does.
+//! relative to GEMM, exactly as BLAS `SYRK` does. The diagonal-tile width
+//! `db` and the packed-dispatch threshold come from the caller's
+//! [`KernelConfig`]; `db` must be a multiple of [`microkernel::MR`] so tile
+//! boundaries land on packed-strip boundaries (a validated config invariant).
 
-use crate::gemm::{gemm_nt_raw, GEMM_PACK_MIN_FLOPS};
+use crate::config::KernelConfig;
+use crate::gemm::gemm_nt_raw;
 use crate::mat::Mat;
 use crate::microkernel;
 use crate::pack;
 
-/// Diagonal-tile width for the blocked SYRK. Must be a multiple of
-/// [`microkernel::MR`] so tile boundaries land on packed-strip boundaries.
-const DB: usize = 48;
-const _: () = assert!(DB.is_multiple_of(microkernel::MR));
-
 /// Compute `C ← C − A·Aᵀ` updating only the lower triangle, on raw
-/// column-major buffers. `c` is `n × n` (leading dimension `ldc`), `a` is
-/// `n × k` (leading dimension `lda`).
-pub fn syrk_lower_raw(c: &mut [f64], ldc: usize, n: usize, a: &[f64], lda: usize, k: usize) {
+/// column-major buffers under `cfg`. `c` is `n × n` (leading dimension
+/// `ldc`), `a` is `n × k` (leading dimension `lda`).
+pub fn syrk_lower_raw(
+    cfg: &KernelConfig,
+    c: &mut [f64],
+    ldc: usize,
+    n: usize,
+    a: &[f64],
+    lda: usize,
+    k: usize,
+) {
     if n == 0 || k == 0 {
         return;
     }
-    if crate::flops::syrk(n, k) >= GEMM_PACK_MIN_FLOPS {
-        syrk_lower_packed(c, ldc, n, a, lda, k);
+    if crate::flops::syrk(n, k) >= cfg.pack_min_flops {
+        syrk_lower_packed(cfg, c, ldc, n, a, lda, k);
         return;
     }
-    // Small problem: tile the diagonal; each diagonal DB×DB tile gets a
+    let db = cfg.db;
+    // Small problem: tile the diagonal; each diagonal db×db tile gets a
     // triangular update and the panel below it a plain GEMM.
-    for jj in (0..n).step_by(DB) {
-        let jend = (jj + DB).min(n);
+    for jj in (0..n).step_by(db) {
+        let jend = (jj + db).min(n);
         let jb = jend - jj;
         for j in jj..jend {
             for p in 0..k {
@@ -50,6 +58,7 @@ pub fn syrk_lower_raw(c: &mut [f64], ldc: usize, n: usize, a: &[f64], lda: usize
             // C[jend.., jj..jend] -= A[jend.., :] * A[jj..jend, :]^T
             let c_off = jj * ldc + jend;
             gemm_nt_raw(
+                cfg,
                 &mut c[c_off..],
                 ldc,
                 m,
@@ -65,26 +74,37 @@ pub fn syrk_lower_raw(c: &mut [f64], ldc: usize, n: usize, a: &[f64], lda: usize
 }
 
 /// Packed-core SYRK: the `n × k` panel is packed into MR-strip format
-/// **once** ([`pack::ApackFull`]), then every diagonal tile and every
-/// sub-diagonal block runs against strip subranges of that shared pack —
-/// the per-tile GEMM calls of the naive tiling would otherwise re-pack the
-/// same `A` rows `n/DB` times over.
+/// **once** ([`pack::ApackFull`], built with the same `cfg.kc` the consumers
+/// run under), then every diagonal tile and every sub-diagonal block runs
+/// against strip subranges of that shared pack — the per-tile GEMM calls of
+/// the naive tiling would otherwise re-pack the same `A` rows `n/db` times
+/// over.
 ///
-/// Diagonal tiles compute the *full* DB×DB product on the packed core into
+/// Diagonal tiles compute the *full* db×db product on the packed core into
 /// a zeroed scratch and fold in only its lower half: the redundant upper
 /// half costs jb²k extra flops, but at the packed rate that beats running
 /// the needed half on a scalar triangular loop — and the doubling is
-/// confined to a DB/n fraction of the whole update.
-fn syrk_lower_packed(c: &mut [f64], ldc: usize, n: usize, a: &[f64], lda: usize, k: usize) {
-    let apack = pack::ApackFull::pack_nt(a, lda, n, k);
+/// confined to a db/n fraction of the whole update.
+fn syrk_lower_packed(
+    cfg: &KernelConfig,
+    c: &mut [f64],
+    ldc: usize,
+    n: usize,
+    a: &[f64],
+    lda: usize,
+    k: usize,
+) {
+    let apack = pack::ApackFull::pack_nt(a, lda, n, k, cfg.kc);
+    let db = cfg.db;
     let mut tile: Vec<f64> = Vec::new();
-    for jj in (0..n).step_by(DB) {
-        let jend = (jj + DB).min(n);
+    for jj in (0..n).step_by(db) {
+        let jend = (jj + db).min(n);
         let jb = jend - jj;
         // Full jb×jb diagonal-tile product, lower half folded into C.
         tile.clear();
         tile.resize(jb * jb, 0.0);
         microkernel::gemm_packed_shared_a_rows(
+            cfg,
             &mut tile,
             jb,
             jj,
@@ -106,6 +126,7 @@ fn syrk_lower_packed(c: &mut [f64], ldc: usize, n: usize, a: &[f64], lda: usize,
         if m > 0 {
             // C[jend.., jj..jend] -= A[jend.., :] * A[jj..jend, :]^T
             microkernel::gemm_packed_shared_a_rows(
+                cfg,
                 &mut c[jj * ldc + jend..],
                 ldc,
                 jend,
@@ -119,18 +140,28 @@ fn syrk_lower_packed(c: &mut [f64], ldc: usize, n: usize, a: &[f64], lda: usize,
     }
 }
 
-/// Matrix-level wrapper: `C ← C − A·Aᵀ`, lower triangle only.
+/// Matrix-level wrapper with an explicit config: `C ← C − A·Aᵀ`, lower
+/// triangle only.
 ///
 /// The strict upper triangle of `C` is left untouched.
 ///
 /// # Panics
 /// Panics if `C` is not square or `A.rows() != C.rows()`.
-pub fn syrk_lower(c: &mut Mat, a: &Mat) {
+pub fn syrk_lower_cfg(cfg: &KernelConfig, c: &mut Mat, a: &Mat) {
     assert_eq!(c.rows(), c.cols(), "syrk_lower: C must be square");
     assert_eq!(a.rows(), c.rows(), "syrk_lower: A rows must match C");
     let (n, k) = (c.rows(), a.cols());
     let (ldc, lda) = (c.ld(), a.ld());
-    syrk_lower_raw(c.as_mut_slice(), ldc, n, a.as_slice(), lda, k);
+    syrk_lower_raw(cfg, c.as_mut_slice(), ldc, n, a.as_slice(), lda, k);
+}
+
+/// Matrix-level wrapper under the default config: `C ← C − A·Aᵀ`, lower
+/// triangle only.
+///
+/// # Panics
+/// Same as [`syrk_lower_cfg`].
+pub fn syrk_lower(c: &mut Mat, a: &Mat) {
+    syrk_lower_cfg(&KernelConfig::default(), c, a);
 }
 
 #[cfg(test)]
@@ -186,5 +217,27 @@ mod tests {
         let mut c = Mat::eye(4);
         syrk_lower(&mut c, &a);
         assert_eq!(c, Mat::eye(4));
+    }
+
+    #[test]
+    fn non_default_tile_matches_reference() {
+        let cfg = KernelConfig {
+            db: 2 * microkernel::MR,
+            kc: 64,
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        for &(n, k) in &[(49, 20), (97, 33)] {
+            let a = Mat::from_fn(n, k, |r, c| ((r * 11 + c * 3) % 7) as f64 - 3.0);
+            let mut c1 = Mat::from_fn(n, n, |r, c| (r * n + c) as f64 * 0.125);
+            let mut c2 = c1.clone();
+            syrk_lower_cfg(&cfg, &mut c1, &a);
+            syrk_ref(&mut c2, &a);
+            for j in 0..n {
+                for i in j..n {
+                    assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-10);
+                }
+            }
+        }
     }
 }

@@ -5,40 +5,38 @@
 //! the factored diagonal block `L(j,j)` of supernode `j`, each off-diagonal
 //! block `B(i,j)` of the supernode is turned into a factor block by solving
 //! `L(i,j) · L(j,j)ᵀ = B(i,j)` in place.
+//!
+//! Panel blocking comes from the caller's [`KernelConfig`]:
+//!
+//! * `jb` — outer column-panel width. Wide, so the trailing update — the
+//!   GEMM that dominates the flops — runs with inner dimension `jb` and
+//!   streams the trailing columns of `B` only `n/jb` times. Narrowing it
+//!   makes the scalar in-panel share smaller but multiplies those
+//!   memory-bound passes over `C`; 64 measured best on the `kernel_roofline`
+//!   sweep (see `results/kernel_roofline.txt`).
+//! * `sj` — inner sub-block width within a panel. The scalar triangular
+//!   sweep is confined to `sj` columns at a time; the rest of the in-panel
+//!   work runs on the GEMM path, so the truly-scalar flop share is O(sj/n).
+//! * `rs` — row-strip height for the scalar triangular sweep. Row strips of
+//!   the solve are independent (row `i` of column `j` depends only on row
+//!   `i` of earlier columns), so the sweep runs strip-by-strip: an rs×sj
+//!   strip of `B` stays L1-resident across the whole k-loop instead of
+//!   streaming every full column from L2 per AXPY. Each element still sees
+//!   the identical k-ascending update sequence, so results are bit-identical
+//!   to the unstripped sweep.
 
+use crate::config::KernelConfig;
 use crate::gemm::gemm_nt_raw;
 use crate::mat::Mat;
 
-/// Outer column-panel width. Wide, so the trailing update — the GEMM that
-/// dominates the flops — runs with inner dimension `JB` and streams the
-/// trailing columns of `B` only `n/JB` times. Narrowing JB makes the scalar
-/// in-panel share smaller but multiplies those memory-bound passes over `C`;
-/// 64 measured best on the `kernel_roofline` sweep (see
-/// `results/kernel_roofline.txt`).
-const JB: usize = 64;
-
-/// Inner sub-block width within a panel. The scalar triangular sweep is
-/// confined to SJ columns at a time; the rest of the in-panel work
-/// (updating columns `send..jend` by the just-solved SJ columns) runs on
-/// the GEMM path, so the truly-scalar flop share is O(SJ/n).
-const SJ: usize = 16;
-
-/// Row-strip height for the scalar triangular sweep. Row strips of the
-/// solve are independent (row `i` of column `j` depends only on row `i` of
-/// earlier columns), so the sweep runs strip-by-strip: an RS×SJ strip of
-/// `B` (RS·SJ·8 = 16 KiB) stays L1-resident across the whole k-loop instead
-/// of streaming every full column from L2 per AXPY. Each element still sees
-/// the identical k-ascending update sequence, so results are bit-identical
-/// to the unstripped sweep.
-const RS: usize = 128;
-
-/// Solve `X · Lᵀ = B` in place on raw column-major buffers.
+/// Solve `X · Lᵀ = B` in place on raw column-major buffers under `cfg`.
 ///
 /// * `l`: `n × n` lower-triangular, leading dimension `ldl`
 /// * `b`: `m × n`, leading dimension `ldb`; overwritten with `X`
 ///
 /// The strict upper triangle of `l` is never read.
 pub fn trsm_right_lower_trans_raw(
+    cfg: &KernelConfig,
     b: &mut [f64],
     ldb: usize,
     m: usize,
@@ -49,6 +47,7 @@ pub fn trsm_right_lower_trans_raw(
     if m == 0 || n == 0 {
         return;
     }
+    let (jbw, sjw, rs) = (cfg.jb, cfg.sj, cfg.rs);
     // Right-looking blocked sweep over column panels of B. For panel
     // J = [jj, jend):
     //   1. solve the small triangular system against L[J, J] (all updates
@@ -58,18 +57,18 @@ pub fn trsm_right_lower_trans_raw(
     // Right-looking keeps the GEMM's A operand at a fixed jb columns — the
     // just-solved panel, packed once — instead of the left-looking form
     // whose A operand is *all* solved columns, re-packed on every panel
-    // (O(m·n²/JB) packing traffic against O(m·n²) flops).
-    for jj in (0..n).step_by(JB) {
-        let jend = (jj + JB).min(n);
+    // (O(m·n²/jb) packing traffic against O(m·n²) flops).
+    for jj in (0..n).step_by(jbw) {
+        let jend = (jj + jbw).min(n);
         let jb = jend - jj;
-        // In-panel solve, itself blocked: scalar-solve SJ columns, then push
+        // In-panel solve, itself blocked: scalar-solve sj columns, then push
         // their contribution into the remaining panel columns as a GEMM.
-        for sj in (jj..jend).step_by(SJ) {
-            let send = (sj + SJ).min(jend);
+        for sj in (jj..jend).step_by(sjw) {
+            let send = (sj + sjw).min(jend);
             // Unblocked solve of columns sj..send against L[sj..send, sj..send],
-            // strip-mined over rows (see [`RS`]).
-            for i0 in (0..m).step_by(RS) {
-                let rows = RS.min(m - i0);
+            // strip-mined over rows (`cfg.rs`).
+            for i0 in (0..m).step_by(rs) {
+                let rows = rs.min(m - i0);
                 for j in sj..send {
                     for k in sj..j {
                         let ljk = l[k * ldl + j];
@@ -94,6 +93,7 @@ pub fn trsm_right_lower_trans_raw(
                 // B[:, send..jend] -= B[:, sj..send] * (L[send..jend, sj..send])^T
                 let (done, rest) = b.split_at_mut(send * ldb);
                 gemm_nt_raw(
+                    cfg,
                     rest,
                     ldb,
                     m,
@@ -110,6 +110,7 @@ pub fn trsm_right_lower_trans_raw(
             // B[:, jend..] -= B[:, jj..jend] * (L[jend.., jj..jend])^T
             let (done, rest) = b.split_at_mut(jend * ldb);
             gemm_nt_raw(
+                cfg,
                 rest,
                 ldb,
                 m,
@@ -124,11 +125,12 @@ pub fn trsm_right_lower_trans_raw(
     }
 }
 
-/// Matrix-level wrapper: overwrite `B` with the solution `X` of `X·Lᵀ = B`.
+/// Matrix-level wrapper with an explicit config: overwrite `B` with the
+/// solution `X` of `X·Lᵀ = B`.
 ///
 /// # Panics
 /// Panics if `L` is not square or `B.cols() != L.rows()`.
-pub fn trsm_right_lower_trans(b: &mut Mat, l: &Mat) {
+pub fn trsm_right_lower_trans_cfg(cfg: &KernelConfig, b: &mut Mat, l: &Mat) {
     assert_eq!(l.rows(), l.cols(), "trsm: L must be square");
     assert_eq!(
         b.cols(),
@@ -137,7 +139,15 @@ pub fn trsm_right_lower_trans(b: &mut Mat, l: &Mat) {
     );
     let (m, n) = (b.rows(), b.cols());
     let (ldb, ldl) = (b.ld(), l.ld());
-    trsm_right_lower_trans_raw(b.as_mut_slice(), ldb, m, n, l.as_slice(), ldl);
+    trsm_right_lower_trans_raw(cfg, b.as_mut_slice(), ldb, m, n, l.as_slice(), ldl);
+}
+
+/// Matrix-level wrapper under the default config.
+///
+/// # Panics
+/// Same as [`trsm_right_lower_trans_cfg`].
+pub fn trsm_right_lower_trans(b: &mut Mat, l: &Mat) {
+    trsm_right_lower_trans_cfg(&KernelConfig::default(), b, l);
 }
 
 #[cfg(test)]
@@ -197,5 +207,25 @@ mod tests {
         let mut b = b0.clone();
         trsm_right_lower_trans(&mut b, &l);
         assert_eq!(b, b0);
+    }
+
+    #[test]
+    fn non_default_panels_match_reference() {
+        let cfg = KernelConfig {
+            jb: 24,
+            sj: 5,
+            rs: 32,
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        for &(m, n) in &[(10, 49), (33, 96)] {
+            let a = Mat::spd_from(n, |r, c| ((r * 7 + c * 5) % 11) as f64 - 5.0);
+            let l = potrf_ref(&a).unwrap();
+            let b0 = Mat::from_fn(m, n, |r, c| ((r * 3 + c) % 13) as f64 - 6.0);
+            let mut b = b0.clone();
+            trsm_right_lower_trans_cfg(&cfg, &mut b, &l);
+            let expect = trsm_ref(&l, &b0);
+            assert!(b.max_abs_diff(&expect) < 1e-9, "m={m} n={n}");
+        }
     }
 }

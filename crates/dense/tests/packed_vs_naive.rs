@@ -5,15 +5,21 @@
 //! dimension sweeps `{0, 1, MR−1, MR, MR+1, 2·MR+3, …}` so each test hits
 //! empty problems, single-element tiles, full register tiles, one-past
 //! boundaries, and ragged edge strips in both the `m` (MR) and `n` (NR)
-//! directions, as well as shapes that cross the MC/KC/NC cache blocks.
+//! directions, as well as shapes that cross the mc/kc/nc cache blocks.
 //!
 //! Every call runs on a sub-panel of a larger buffer: leading dimensions are
 //! strictly greater than the logical dimension and the operand starts at a
 //! nonzero offset, so any kernel that confuses `ld` with the row count or
 //! writes outside its panel trips the sentinel checks here.
+//!
+//! The sweeps run both under [`KernelConfig::default()`] and under a set of
+//! deliberately skewed configs (tiny cache blocks, odd panel widths, forced
+//! packed dispatch): every validated config must stay within 1e-13 of the
+//! oracle and be bitwise deterministic run-to-run.
 
+use sympack_dense::config::KernelConfig;
 use sympack_dense::gemm::{gemm_nt_packed_raw, gemm_nt_raw};
-use sympack_dense::microkernel::{KC, MC, MR, NR};
+use sympack_dense::microkernel::{MR, NR};
 use sympack_dense::panel::{gemm_nn_acc_raw, gemm_tn_acc_raw};
 use sympack_dense::syrk::syrk_lower_raw;
 use sympack_dense::trsm::trsm_right_lower_trans_raw;
@@ -23,9 +29,54 @@ use sympack_dense::trsm::trsm_right_lower_trans_raw;
 /// which is ≡ 3 mod 4).
 const DIMS: &[usize] = &[0, 1, MR - 1, MR, MR + 1, 2 * MR + 3, 61];
 
-/// Larger sizes that cross the cache-blocking boundaries; kept to a few so
-/// the full cartesian sweep stays fast.
-const BIG_DIMS: &[usize] = &[MC + 5, KC + 9];
+/// Larger sizes that cross the default cache-blocking boundaries
+/// (mc = 128, kc = 256); kept to a few so the full sweep stays fast.
+fn big_dims() -> [usize; 2] {
+    let cfg = KernelConfig::default();
+    [cfg.mc + 5, cfg.kc + 9]
+}
+
+/// Non-default configs every kernel sweep must also pass under: tiny cache
+/// blocks (many mc/kc/nc iterations even on small shapes), odd panel widths,
+/// and a forced-packed dispatch (`pack_min_flops = 0`). All must validate.
+fn skewed_configs() -> Vec<KernelConfig> {
+    let cfgs = vec![
+        // Tiny cache blocks: several blocking iterations on modest shapes.
+        KernelConfig {
+            mc: 2 * MR,
+            kc: 16,
+            nc: 3 * NR,
+            db: MR,
+            pack_min_flops: 0,
+            ..Default::default()
+        },
+        // Odd panel widths everywhere; default cache blocks.
+        KernelConfig {
+            jb: 24,
+            sj: 5,
+            rs: 32,
+            pb: 16,
+            ib: 4,
+            sb: 24,
+            db: 2 * MR,
+            ..Default::default()
+        },
+        // Packed core forced on for every shape, skewed blocks.
+        KernelConfig {
+            mc: 3 * MR,
+            kc: 48,
+            nc: 7 * NR,
+            nb: 16,
+            kb: 32,
+            pack_min_flops: 0,
+            ..Default::default()
+        },
+    ];
+    for cfg in &cfgs {
+        cfg.validate().expect("skewed test config must validate");
+    }
+    cfgs
+}
 
 const SENTINEL: f64 = -777.25;
 
@@ -141,6 +192,7 @@ fn gemm_nt_oracle(c: &mut [f64], m: usize, n: usize, a: &[f64], b: &[f64], k: us
 }
 
 fn shape_sweep(mut body: impl FnMut(usize, usize, usize)) {
+    let [big_m, big_k] = big_dims();
     for &m in DIMS {
         for &n in DIMS {
             for &k in DIMS {
@@ -149,16 +201,17 @@ fn shape_sweep(mut body: impl FnMut(usize, usize, usize)) {
         }
     }
     // A few cache-block crossers (full cartesian product would be slow).
-    for &m in BIG_DIMS {
-        body(m, NR + 1, KC + 9);
+    for &m in &[big_m, big_k] {
+        body(m, NR + 1, big_k);
         body(m, 2 * MR + 3, MR - 1);
     }
-    body(MR + 1, MC + 5, KC + 9);
-    body(2 * MR + 3, KC + 9, MC + 5);
+    body(MR + 1, big_m, big_k);
+    body(2 * MR + 3, big_k, big_m);
 }
 
 #[test]
 fn gemm_dispatch_and_forced_packed_match_oracle_on_subpanels() {
+    let cfg = KernelConfig::default();
     shape_sweep(|m, n, k| {
         let a = Panel::new(m, k, 11);
         let b = Panel::new(n, k, 23);
@@ -169,9 +222,31 @@ fn gemm_dispatch_and_forced_packed_match_oracle_on_subpanels() {
             let mut c = Panel::new(m, n, 37);
             let (ldc, lda, ldb) = (c.ld, a.ld, b.ld);
             if forced {
-                gemm_nt_packed_raw(c.slice_mut(), ldc, m, n, a.slice(), lda, b.slice(), ldb, k);
+                gemm_nt_packed_raw(
+                    &cfg,
+                    c.slice_mut(),
+                    ldc,
+                    m,
+                    n,
+                    a.slice(),
+                    lda,
+                    b.slice(),
+                    ldb,
+                    k,
+                );
             } else {
-                gemm_nt_raw(c.slice_mut(), ldc, m, n, a.slice(), lda, b.slice(), ldb, k);
+                gemm_nt_raw(
+                    &cfg,
+                    c.slice_mut(),
+                    ldc,
+                    m,
+                    n,
+                    a.slice(),
+                    lda,
+                    b.slice(),
+                    ldb,
+                    k,
+                );
             }
             let rel = max_rel_diff(&c.dense(), &want);
             assert!(
@@ -187,6 +262,7 @@ fn gemm_dispatch_and_forced_packed_match_oracle_on_subpanels() {
 
 #[test]
 fn gemm_is_bitwise_deterministic_run_to_run() {
+    let cfg = KernelConfig::default();
     shape_sweep(|m, n, k| {
         let a = Panel::new(m, k, 5);
         let b = Panel::new(n, k, 7);
@@ -194,8 +270,30 @@ fn gemm_is_bitwise_deterministic_run_to_run() {
         let mut c2 = Panel::new(m, n, 9);
         let (lda, ldb) = (a.ld, b.ld);
         let ldc = c1.ld;
-        gemm_nt_raw(c1.slice_mut(), ldc, m, n, a.slice(), lda, b.slice(), ldb, k);
-        gemm_nt_raw(c2.slice_mut(), ldc, m, n, a.slice(), lda, b.slice(), ldb, k);
+        gemm_nt_raw(
+            &cfg,
+            c1.slice_mut(),
+            ldc,
+            m,
+            n,
+            a.slice(),
+            lda,
+            b.slice(),
+            ldb,
+            k,
+        );
+        gemm_nt_raw(
+            &cfg,
+            c2.slice_mut(),
+            ldc,
+            m,
+            n,
+            a.slice(),
+            lda,
+            b.slice(),
+            ldb,
+            k,
+        );
         assert_eq!(
             c1.buf, c2.buf,
             "gemm m={m} n={n} k={k}: runs differ bitwise"
@@ -204,82 +302,148 @@ fn gemm_is_bitwise_deterministic_run_to_run() {
 }
 
 #[test]
-fn syrk_matches_gemm_oracle_lower_triangle_on_subpanels() {
-    for &n in DIMS {
-        for &k in DIMS.iter().chain(BIG_DIMS) {
-            let a = Panel::new(n, k, 13);
-            // Oracle: full C ← C − A·Aᵀ, then compare lower halves.
-            let mut want = Panel::new(n, n, 17).dense();
-            gemm_nt_oracle(&mut want, n, n, &a.dense(), &a.dense(), k);
+fn gemm_under_skewed_configs_matches_oracle_and_is_deterministic() {
+    // Every skewed (but validated) config must stay within the same oracle
+    // tolerance as the default config and remain bitwise run-to-run
+    // deterministic — changing blocking must never change correctness.
+    for (ci, cfg) in skewed_configs().iter().enumerate() {
+        shape_sweep(|m, n, k| {
+            let a = Panel::new(m, k, 11);
+            let b = Panel::new(n, k, 23);
+            let mut want = Panel::new(m, n, 37).dense();
+            gemm_nt_oracle(&mut want, m, n, &a.dense(), &b.dense(), k);
 
-            let mut c = Panel::new(n, n, 17);
-            let (ldc, lda) = (c.ld, a.ld);
-            syrk_lower_raw(c.slice_mut(), ldc, n, a.slice(), lda, k);
-            let got = c.dense();
-            let orig = Panel::new(n, n, 17).dense();
-            for j in 0..n {
-                for i in 0..n {
-                    let (g, w) = (got[j * n.max(1) + i], want[j * n.max(1) + i]);
-                    if i >= j {
-                        let rel = (g - w).abs() / w.abs().max(1.0);
-                        assert!(rel <= 1e-13, "syrk n={n} k={k} at ({i},{j}): {rel:e}");
-                    } else {
-                        // Strict upper triangle must be untouched.
-                        assert_eq!(g, orig[j * n.max(1) + i], "syrk upper ({i},{j})");
+            let mut c1 = Panel::new(m, n, 37);
+            let mut c2 = Panel::new(m, n, 37);
+            let (ldc, lda, ldb) = (c1.ld, a.ld, b.ld);
+            gemm_nt_raw(
+                cfg,
+                c1.slice_mut(),
+                ldc,
+                m,
+                n,
+                a.slice(),
+                lda,
+                b.slice(),
+                ldb,
+                k,
+            );
+            gemm_nt_raw(
+                cfg,
+                c2.slice_mut(),
+                ldc,
+                m,
+                n,
+                a.slice(),
+                lda,
+                b.slice(),
+                ldb,
+                k,
+            );
+            let rel = max_rel_diff(&c1.dense(), &want);
+            assert!(
+                rel <= 1e-13,
+                "gemm cfg#{ci} m={m} n={n} k={k}: rel diff {rel:e}"
+            );
+            assert_eq!(c1.buf, c2.buf, "gemm cfg#{ci} m={m} n={n} k={k}: bits");
+            c1.assert_padding_intact("gemm C (skewed cfg)");
+        });
+    }
+}
+
+#[test]
+fn syrk_matches_gemm_oracle_lower_triangle_on_subpanels() {
+    let default_cfg = KernelConfig::default();
+    let skewed = skewed_configs();
+    let mut configs: Vec<&KernelConfig> = vec![&default_cfg];
+    configs.extend(skewed.iter());
+    for (ci, cfg) in configs.iter().enumerate() {
+        for &n in DIMS {
+            for &k in DIMS.iter().chain(&big_dims()) {
+                let a = Panel::new(n, k, 13);
+                // Oracle: full C ← C − A·Aᵀ, then compare lower halves.
+                let mut want = Panel::new(n, n, 17).dense();
+                gemm_nt_oracle(&mut want, n, n, &a.dense(), &a.dense(), k);
+
+                let mut c = Panel::new(n, n, 17);
+                let (ldc, lda) = (c.ld, a.ld);
+                syrk_lower_raw(cfg, c.slice_mut(), ldc, n, a.slice(), lda, k);
+                let got = c.dense();
+                let orig = Panel::new(n, n, 17).dense();
+                for j in 0..n {
+                    for i in 0..n {
+                        let (g, w) = (got[j * n.max(1) + i], want[j * n.max(1) + i]);
+                        if i >= j {
+                            let rel = (g - w).abs() / w.abs().max(1.0);
+                            assert!(
+                                rel <= 1e-13,
+                                "syrk cfg#{ci} n={n} k={k} at ({i},{j}): {rel:e}"
+                            );
+                        } else {
+                            // Strict upper triangle must be untouched.
+                            assert_eq!(g, orig[j * n.max(1) + i], "syrk upper ({i},{j})");
+                        }
                     }
                 }
+                c.assert_padding_intact("syrk C");
+                a.assert_padding_intact("syrk A");
             }
-            c.assert_padding_intact("syrk C");
-            a.assert_padding_intact("syrk A");
         }
     }
 }
 
 #[test]
 fn trsm_reconstructs_rhs_on_subpanels() {
-    for &m in DIMS {
-        for &n in DIMS.iter().chain(BIG_DIMS) {
-            // Well-conditioned lower-triangular L with unit-ish diagonal.
-            let mut l = Panel::new(n, n, 29);
-            for j in 0..n {
-                for i in 0..j {
-                    l.buf[l.off + j * l.ld + i] = f64::NAN; // never read
-                }
-                l.buf[l.off + j * l.ld + j] = 2.0 + (j % 3) as f64 * 0.25;
-                for i in j + 1..n {
-                    l.buf[l.off + j * l.ld + i] *= 0.5;
-                }
-            }
-            let b0 = Panel::new(m, n, 31);
-            let mut b = Panel::new(m, n, 31);
-            let (ldb, ldl) = (b.ld, l.ld);
-            trsm_right_lower_trans_raw(b.slice_mut(), ldb, m, n, l.slice(), ldl);
-            // Check X·Lᵀ = B0:   B0[i,j] = Σ_{p≤j} X[i,p]·L[j,p].
-            let x = b.dense();
-            let want = b0.dense();
-            let ld = l.dense();
-            let mut maxrel: f64 = 0.0;
-            for j in 0..n {
-                for i in 0..m {
-                    let mut acc = 0.0;
-                    for p in 0..=j {
-                        acc += x[p * m + i] * ld[p * n + j];
+    let default_cfg = KernelConfig::default();
+    let skewed = skewed_configs();
+    let mut configs: Vec<&KernelConfig> = vec![&default_cfg];
+    configs.extend(skewed.iter());
+    for (ci, cfg) in configs.iter().enumerate() {
+        for &m in DIMS {
+            for &n in DIMS.iter().chain(&big_dims()) {
+                // Well-conditioned lower-triangular L with unit-ish diagonal.
+                let mut l = Panel::new(n, n, 29);
+                for j in 0..n {
+                    for i in 0..j {
+                        l.buf[l.off + j * l.ld + i] = f64::NAN; // never read
                     }
-                    maxrel =
-                        maxrel.max((acc - want[j * m + i]).abs() / want[j * m + i].abs().max(1.0));
+                    l.buf[l.off + j * l.ld + j] = 2.0 + (j % 3) as f64 * 0.25;
+                    for i in j + 1..n {
+                        l.buf[l.off + j * l.ld + i] *= 0.5;
+                    }
                 }
+                let b0 = Panel::new(m, n, 31);
+                let mut b = Panel::new(m, n, 31);
+                let (ldb, ldl) = (b.ld, l.ld);
+                trsm_right_lower_trans_raw(cfg, b.slice_mut(), ldb, m, n, l.slice(), ldl);
+                // Check X·Lᵀ = B0:   B0[i,j] = Σ_{p≤j} X[i,p]·L[j,p].
+                let x = b.dense();
+                let want = b0.dense();
+                let ld = l.dense();
+                let mut maxrel: f64 = 0.0;
+                for j in 0..n {
+                    for i in 0..m {
+                        let mut acc = 0.0;
+                        for p in 0..=j {
+                            acc += x[p * m + i] * ld[p * n + j];
+                        }
+                        maxrel = maxrel
+                            .max((acc - want[j * m + i]).abs() / want[j * m + i].abs().max(1.0));
+                    }
+                }
+                assert!(
+                    maxrel <= 1e-12,
+                    "trsm cfg#{ci} m={m} n={n}: reconstruction {maxrel:e}"
+                );
+                b.assert_padding_intact("trsm B");
             }
-            assert!(
-                maxrel <= 1e-12,
-                "trsm m={m} n={n}: reconstruction {maxrel:e}"
-            );
-            b.assert_padding_intact("trsm B");
         }
     }
 }
 
 #[test]
 fn panel_accumulating_gemms_match_oracle_on_subpanels() {
+    let cfg = KernelConfig::default();
     // C += A·B (nn) and C += Aᵀ·B (tn) over the same adversarial sweep.
     shape_sweep(|m, n, k| {
         let ann = Panel::new(m, k, 41);
@@ -305,6 +469,7 @@ fn panel_accumulating_gemms_match_oracle_on_subpanels() {
         let mut c = Panel::new(m, n, 53);
         let (ldc, lda, ldb) = (c.ld, ann.ld, b.ld);
         gemm_nn_acc_raw(
+            &cfg,
             c.slice_mut(),
             ldc,
             m,
@@ -322,6 +487,7 @@ fn panel_accumulating_gemms_match_oracle_on_subpanels() {
         let mut c = Panel::new(m, n, 53);
         let (ldc, lda, ldb) = (c.ld, atn.ld, b.ld);
         gemm_tn_acc_raw(
+            &cfg,
             c.slice_mut(),
             ldc,
             m,

@@ -3,7 +3,7 @@
 use crate::cost::CostModel;
 use crate::offload::{Loc, OffloadThresholds};
 use crate::Op;
-use sympack_dense::{flops, Mat};
+use sympack_dense::{flops, ConfigError, KernelConfig, Mat};
 
 /// CPU/GPU call counters per operation — the data behind the paper's Fig. 6.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -88,6 +88,11 @@ pub struct KernelEngine {
     /// `sympack_dense::par::rank_scope`, falling back to the sequential
     /// packed kernels when the per-rank budget is one thread.
     pub intra_parallel: bool,
+    /// Blocking, dispatch-threshold, and ISA configuration threaded into
+    /// every dense kernel call this engine makes. Always validated: the
+    /// constructors start from [`KernelConfig::default`] and
+    /// [`KernelEngine::with_config`] rejects invalid replacements.
+    pub config: KernelConfig,
 }
 
 impl KernelEngine {
@@ -99,6 +104,7 @@ impl KernelEngine {
             counts: OpCounts::default(),
             gpu_enabled: true,
             intra_parallel: false,
+            config: KernelConfig::default(),
         }
     }
 
@@ -108,6 +114,17 @@ impl KernelEngine {
             gpu_enabled: false,
             ..Self::new_gpu()
         }
+    }
+
+    /// Replace the kernel configuration, validating it first.
+    ///
+    /// # Errors
+    /// Returns the [`ConfigError`] describing the first violated invariant;
+    /// on error the engine keeps its previous (valid) config.
+    pub fn with_config(mut self, config: KernelConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        self.config = config;
+        Ok(self)
     }
 
     /// Decide where an `op` touching `elements` matrix entries runs.
@@ -134,7 +151,7 @@ impl KernelEngine {
     pub fn potrf(&mut self, a: &mut Mat) -> Result<(Loc, f64), sympack_dense::DenseError> {
         let n = a.rows();
         let loc = self.place(Op::Potrf, n * n);
-        sympack_dense::potrf(a)?;
+        sympack_dense::potrf_cfg(&self.config, a)?;
         Ok((loc, self.time_for(Op::Potrf, loc, flops::potrf(n))))
     }
 
@@ -143,9 +160,9 @@ impl KernelEngine {
         let (m, n) = (b.rows(), b.cols());
         let loc = self.place(Op::Trsm, m * n + n * n);
         if self.intra_parallel {
-            sympack_dense::par::trsm_right_lower_trans_par(b, l);
+            sympack_dense::par::trsm_right_lower_trans_par_cfg(&self.config, b, l);
         } else {
-            sympack_dense::trsm_right_lower_trans(b, l);
+            sympack_dense::trsm_right_lower_trans_cfg(&self.config, b, l);
         }
         (loc, self.time_for(Op::Trsm, loc, flops::trsm(m, n)))
     }
@@ -155,9 +172,9 @@ impl KernelEngine {
         let (n, k) = (c.rows(), a.cols());
         let loc = self.place(Op::Syrk, n * k + n * n);
         if self.intra_parallel {
-            sympack_dense::par::syrk_lower_par(c, a);
+            sympack_dense::par::syrk_lower_par_cfg(&self.config, c, a);
         } else {
-            sympack_dense::syrk_lower(c, a);
+            sympack_dense::syrk_lower_cfg(&self.config, c, a);
         }
         (loc, self.time_for(Op::Syrk, loc, flops::syrk(n, k)))
     }
@@ -167,9 +184,9 @@ impl KernelEngine {
         let (m, n, k) = (c.rows(), c.cols(), a.cols());
         let loc = self.place(Op::Gemm, m * k + n * k + m * n);
         if self.intra_parallel {
-            sympack_dense::par::gemm_nt_par(c, a, b);
+            sympack_dense::par::gemm_nt_par_cfg(&self.config, c, a, b);
         } else {
-            sympack_dense::gemm_nt(c, a, b);
+            sympack_dense::gemm_nt_cfg(&self.config, c, a, b);
         }
         (loc, self.time_for(Op::Gemm, loc, flops::gemm(m, n, k)))
     }
@@ -231,6 +248,31 @@ mod tests {
         let (loc, secs) = eng.gemm(&mut c, &a, &b);
         assert_eq!(loc, Loc::Gpu);
         assert!(secs >= eng.cost.kernel_launch);
+    }
+
+    #[test]
+    fn with_config_rejects_invalid_and_keeps_numerics_for_valid() {
+        // Invalid: mc not a multiple of MR.
+        let bad = KernelConfig {
+            mc: sympack_dense::microkernel::MR + 1,
+            ..Default::default()
+        };
+        assert!(KernelEngine::new_cpu().with_config(bad).is_err());
+        // Valid non-default config: factor must still be exact.
+        let cfg = KernelConfig {
+            pb: 16,
+            ib: 4,
+            kc: 64,
+            ..Default::default()
+        };
+        let mut eng = KernelEngine::new_cpu().with_config(cfg.clone()).unwrap();
+        assert_eq!(eng.config, cfg);
+        let a0 = Mat::spd_from(40, |r, c| ((r * 5 + c) % 7) as f64 - 3.0);
+        let mut a = a0.clone();
+        eng.potrf(&mut a).unwrap();
+        a.zero_upper();
+        let recon = a.matmul(&a.transpose());
+        assert!(recon.max_abs_diff(&a0) < 1e-9);
     }
 
     #[test]

@@ -198,6 +198,14 @@ impl Session {
         &self.plan
     }
 
+    /// The dense-kernel configuration every factorization and solve of
+    /// this session runs under (fixed at [`Session::new`] from
+    /// [`SolverOptions::kernel_config`]; per-session, so co-resident
+    /// sessions can carry different tunings).
+    pub fn kernel_config(&self) -> &sympack::KernelConfig {
+        &self.plan.opts.kernel_config
+    }
+
     /// Solve every right-hand side in `panels` with one distributed panel
     /// triangular solve and return the solution panels in the same shapes.
     /// Returns the coalesced solve's virtual makespan; an empty batch is a
@@ -573,6 +581,35 @@ mod tests {
         let one_shot = SymPack::factor_and_solve(&a, &b, &opts(4));
         for (xs, xo) in x.iter().zip(one_shot.x.iter()) {
             assert!((xs - xo).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn session_under_non_default_kernel_config_solves_correctly() {
+        let a = laplacian_2d(9, 8);
+        let b = test_rhs(a.n());
+        let cfg = sympack::KernelConfig {
+            kc: 64,
+            pb: 16,
+            ib: 4,
+            sb: 24,
+            jb: 32,
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        let mut o = opts(2);
+        o.kernel_config = cfg.clone();
+        let session = Session::new(&a, &o).unwrap();
+        assert_eq!(session.kernel_config(), &cfg);
+        let x = session.solve(&b).unwrap();
+        assert!(a.relative_residual(&x, &b) < 1e-10);
+        // Default-config session on the same problem: same solution to
+        // within roundoff from the reordered blocking.
+        let sd = Session::new(&a, &opts(2)).unwrap();
+        assert_eq!(sd.kernel_config(), &sympack::KernelConfig::default());
+        let xd = sd.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(xd.iter()) {
+            assert!((u - v).abs() < 1e-9);
         }
     }
 

@@ -1,0 +1,597 @@
+//! One-shot kernel calibration: measure this machine, fit a
+//! [`KernelProfile`], persist it, and turn it into the runtime knobs the
+//! solver consumes — a [`sympack_dense::KernelConfig`] for the kernels and
+//! a [`sympack_gpu::CostModel`] for the scheduler's task-cost estimates.
+//!
+//! The sweep ([`calibrate`]) times the packed GEMM engine over a grid of
+//! supernode-shaped problems under a set of candidate cache blockings and
+//! keeps the fastest; it then measures the sustained per-operation rates
+//! (GEMM/SYRK/TRSM/POTRF) and the streaming memory bandwidth under the
+//! chosen blocking, and re-derives the two dispatch thresholds
+//! (`pack_min_flops` from the pack/no-pack crossover scan,
+//! `par_flop_threshold` from the measured fork-join cost). [`TuneBudget`]
+//! scales the sweep: [`TuneBudget::quick`] is the CI smoke budget (a few
+//! hundred milliseconds), [`TuneBudget::full`] the real one.
+//!
+//! # Profile file format
+//!
+//! [`KernelProfile::to_json`] writes a single JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "sympack-kernel-profile-v1",
+//!   "isa": "avx2+fma",
+//!   "threads": 8,
+//!   "mem_bandwidth": 21474836480,
+//!   "rates": {"gemm": 9.1e9, "syrk": 8.2e9, "trsm": 5.5e9, "potrf": 3.9e9},
+//!   "config": {"mc": 128, "kc": 256, ..., "par_flop_threshold": 2097152}
+//! }
+//! ```
+//!
+//! `schema` is the versioned magic; `isa` is the resolved microkernel ISA
+//! the measurements were taken with; `threads` the worker budget;
+//! `mem_bandwidth` in bytes/second; `rates` in flops/second per operation;
+//! `config` holds every [`KernelConfig::fields`] entry by name (the ISA
+//! *selection* is pinned to `Auto` on load — a profile is per-machine, and
+//! auto-detection resolves to the same ISA it was measured with).
+//!
+//! Writing uses Rust's shortest-round-trip `{}` float formatting and the
+//! loader parses with `str::parse::<f64>`, so a save → load → save cycle is
+//! byte-identical — the property CI's tune-smoke job checks.
+
+use std::fmt;
+use std::path::Path;
+use std::time::Instant;
+
+use sympack_dense::config::KernelConfig;
+use sympack_dense::gemm::{gemm_nt_packed_raw, gemm_nt_unpacked_raw};
+use sympack_dense::potrf::potrf_raw;
+use sympack_dense::syrk::syrk_lower_raw;
+use sympack_dense::trsm::trsm_right_lower_trans_raw;
+use sympack_dense::{flops, microkernel, par};
+use sympack_gpu::CostModel;
+use sympack_trace::json::{parse, JsonValue};
+
+/// Versioned magic of the profile file format.
+pub const SCHEMA: &str = "sympack-kernel-profile-v1";
+
+/// What went wrong loading a profile.
+#[derive(Debug)]
+pub enum TuneError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file is not valid JSON.
+    Json(String),
+    /// The JSON parsed but is not a profile this version understands
+    /// (wrong schema, missing field, invalid config).
+    Schema(String),
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::Io(e) => write!(f, "profile io: {e}"),
+            TuneError::Json(e) => write!(f, "profile json: {e}"),
+            TuneError::Schema(e) => write!(f, "profile schema: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<std::io::Error> for TuneError {
+    fn from(e: std::io::Error) -> Self {
+        TuneError::Io(e)
+    }
+}
+
+/// A fitted per-machine kernel profile: the chosen configuration plus the
+/// measured machine constants the scheduler's cost model consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Resolved microkernel ISA the measurements were taken with.
+    pub isa: String,
+    /// Worker-thread budget at calibration time.
+    pub threads: usize,
+    /// Measured streaming memory bandwidth (bytes/second).
+    pub mem_bandwidth: f64,
+    /// Sustained GEMM rate (flops/second) under the chosen config.
+    pub gemm_rate: f64,
+    /// Sustained SYRK rate.
+    pub syrk_rate: f64,
+    /// Sustained TRSM rate.
+    pub trsm_rate: f64,
+    /// Sustained POTRF rate.
+    pub potrf_rate: f64,
+    /// The winning kernel configuration.
+    pub config: KernelConfig,
+}
+
+impl KernelProfile {
+    /// The scheduler cost model implied by this profile: per-op CPU rates
+    /// and memory bandwidth from the measurements, GPU constants left at
+    /// their defaults (the sweep is CPU-side).
+    pub fn cost_model(&self) -> CostModel {
+        CostModel {
+            cpu_gemm: self.gemm_rate,
+            cpu_syrk: self.syrk_rate,
+            cpu_trsm: self.trsm_rate,
+            cpu_potrf: self.potrf_rate,
+            mem_bandwidth: self.mem_bandwidth,
+            ..CostModel::default()
+        }
+    }
+
+    /// Serialize to the versioned JSON document (see the module docs for
+    /// the format). Byte-stable: `from_json(to_json()).to_json()` returns
+    /// the same bytes.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln_kv(&mut s, "schema", &JsonValue::Str(SCHEMA.into()), true);
+        let _ = writeln_kv(&mut s, "isa", &JsonValue::Str(self.isa.clone()), true);
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"mem_bandwidth\": {},\n", self.mem_bandwidth));
+        s.push_str(&format!(
+            "  \"rates\": {{\"gemm\": {}, \"syrk\": {}, \"trsm\": {}, \"potrf\": {}}},\n",
+            self.gemm_rate, self.syrk_rate, self.trsm_rate, self.potrf_rate
+        ));
+        s.push_str("  \"config\": {");
+        for (i, (name, v)) in self.config.fields().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{name}\": {v}"));
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parse a document produced by [`KernelProfile::to_json`].
+    ///
+    /// # Errors
+    /// [`TuneError::Json`] for malformed JSON, [`TuneError::Schema`] for a
+    /// wrong/missing schema string, missing fields, or a config that fails
+    /// [`KernelConfig::validate`].
+    pub fn from_json(text: &str) -> Result<KernelProfile, TuneError> {
+        let doc = parse(text).map_err(|e| TuneError::Json(e.to_string()))?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| TuneError::Schema("missing `schema`".into()))?;
+        if schema != SCHEMA {
+            return Err(TuneError::Schema(format!(
+                "unsupported schema `{schema}` (expected `{SCHEMA}`)"
+            )));
+        }
+        let f64_at = |v: &JsonValue, key: &str| -> Result<f64, TuneError> {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| TuneError::Schema(format!("missing numeric `{key}`")))
+        };
+        let rates = doc
+            .get("rates")
+            .ok_or_else(|| TuneError::Schema("missing `rates`".into()))?;
+        let cfg_obj = doc
+            .get("config")
+            .ok_or_else(|| TuneError::Schema("missing `config`".into()))?;
+        let mut config = KernelConfig::default();
+        for (name, _) in KernelConfig::default().fields() {
+            let v = cfg_obj
+                .get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| TuneError::Schema(format!("missing config field `{name}`")))?;
+            config.set_field(name, v).map_err(TuneError::Schema)?;
+        }
+        config
+            .validate()
+            .map_err(|e| TuneError::Schema(e.to_string()))?;
+        Ok(KernelProfile {
+            isa: doc
+                .get("isa")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| TuneError::Schema("missing `isa`".into()))?
+                .to_string(),
+            threads: f64_at(&doc, "threads")? as usize,
+            mem_bandwidth: f64_at(&doc, "mem_bandwidth")?,
+            gemm_rate: f64_at(rates, "gemm")?,
+            syrk_rate: f64_at(rates, "syrk")?,
+            trsm_rate: f64_at(rates, "trsm")?,
+            potrf_rate: f64_at(rates, "potrf")?,
+            config,
+        })
+    }
+
+    /// Write the profile to `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), TuneError> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Load a profile from `path`.
+    ///
+    /// # Errors
+    /// See [`KernelProfile::from_json`] plus [`TuneError::Io`].
+    pub fn load(path: &Path) -> Result<KernelProfile, TuneError> {
+        KernelProfile::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Load the cached profile at `path`, or calibrate under `budget` and
+    /// cache the result there. A stale/corrupt cache (wrong schema, old
+    /// version, bad JSON) is silently re-calibrated, not an error — the
+    /// cache is an optimization.
+    ///
+    /// # Errors
+    /// Only write failures surface; calibration itself cannot fail.
+    pub fn load_or_calibrate(path: &Path, budget: &TuneBudget) -> Result<KernelProfile, TuneError> {
+        if let Ok(p) = KernelProfile::load(path) {
+            return Ok(p);
+        }
+        let p = calibrate(budget);
+        p.save(path)?;
+        Ok(p)
+    }
+}
+
+fn writeln_kv(s: &mut String, key: &str, v: &JsonValue, comma: bool) -> fmt::Result {
+    let val = match v {
+        JsonValue::Str(x) => format!("\"{x}\""),
+        JsonValue::Num(x) => format!("{x}"),
+        _ => unreachable!("scalar writer"),
+    };
+    s.push_str(&format!(
+        "  \"{key}\": {val}{}\n",
+        if comma { "," } else { "" }
+    ));
+    Ok(())
+}
+
+/// How much time the calibration sweep may spend.
+#[derive(Debug, Clone)]
+pub struct TuneBudget {
+    /// Timing windows per measurement (median taken).
+    pub samples: usize,
+    /// Edge length of the rate-measurement problems.
+    pub rate_size: usize,
+    /// Shape grid the candidate configs compete on.
+    pub shapes: Vec<(usize, usize, usize)>,
+    /// Candidate `(mc, kc, nc)` cache blockings (the default blocking is
+    /// always added to the field).
+    pub candidates: Vec<(usize, usize, usize)>,
+}
+
+impl TuneBudget {
+    /// CI smoke budget: one tiny shape, two candidates, ~100 ms total.
+    pub fn quick() -> TuneBudget {
+        TuneBudget {
+            samples: 2,
+            rate_size: 96,
+            shapes: vec![(96, 96, 96)],
+            candidates: vec![(64, 64, 128)],
+        }
+    }
+
+    /// The real sweep: square + tall-panel shapes, a 2-axis blocking grid.
+    pub fn full() -> TuneBudget {
+        TuneBudget {
+            samples: 5,
+            rate_size: 384,
+            shapes: vec![
+                (256, 256, 256),
+                (512, 512, 512),
+                (1024, 128, 128),
+                (2048, 64, 64),
+            ],
+            candidates: vec![
+                (64, 128, 256),
+                (64, 256, 512),
+                (128, 128, 512),
+                (128, 512, 512),
+                (256, 256, 512),
+                (256, 512, 1024),
+            ],
+        }
+    }
+}
+
+fn fill(n: usize, seed: usize) -> Vec<f64> {
+    (0..n)
+        .map(|v| (((v * 13 + seed * 7) % 19) as f64) * 0.25 - 2.0)
+        .collect()
+}
+
+fn median_secs<F: FnMut()>(mut f: F, samples: usize) -> f64 {
+    // Warm-up, timed: sizes the repetition count so every sample window is
+    // a few milliseconds long — single-call windows are pure scheduler
+    // noise for the small shapes the threshold scans use.
+    let t0 = Instant::now();
+    f();
+    let warm = t0.elapsed().as_secs_f64();
+    let reps = ((0.004 / warm.max(1e-9)) as usize).clamp(1, 20_000);
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Seconds the packed GEMM engine spends on `shapes` under `cfg`.
+fn sweep_secs(cfg: &KernelConfig, shapes: &[(usize, usize, usize)], samples: usize) -> f64 {
+    shapes
+        .iter()
+        .map(|&(m, n, k)| {
+            let a = fill(m * k, 1);
+            let b = fill(n * k, 2);
+            let mut c = vec![0.0; m * n];
+            median_secs(
+                || gemm_nt_packed_raw(cfg, &mut c, m, m, n, &a, m, &b, n, k),
+                samples,
+            )
+        })
+        .sum()
+}
+
+/// Streaming memory bandwidth (bytes/second) via a large out-of-cache copy:
+/// each element is read once and written once.
+fn measure_bandwidth(samples: usize) -> f64 {
+    let n = 4 << 20; // 32 MB per buffer: far beyond L2, beyond most L3 slices
+    let src = fill(n, 1);
+    let mut dst = vec![0.0f64; n];
+    let secs = median_secs(
+        || {
+            dst.copy_from_slice(&src);
+            std::hint::black_box(&mut dst);
+        },
+        samples,
+    );
+    (16 * n) as f64 / secs
+}
+
+/// Smallest square GEMM at which the packed engine beats the unpacked loop
+/// nest; returns the flop count of that crossover size (the calibrated
+/// `pack_min_flops`). Falls back to the default threshold when packing
+/// never wins in the scanned range (e.g. under emulation).
+fn measure_pack_crossover(cfg: &KernelConfig, samples: usize) -> u64 {
+    for n in [8usize, 12, 16, 20, 24, 28, 32, 40, 48] {
+        let a = fill(n * n, 1);
+        let b = fill(n * n, 2);
+        let mut c = vec![0.0; n * n];
+        let tu = median_secs(
+            || gemm_nt_unpacked_raw(cfg, &mut c, n, n, n, &a, n, &b, n, n),
+            samples,
+        );
+        let tp = median_secs(
+            || gemm_nt_packed_raw(cfg, &mut c, n, n, n, &a, n, &b, n, n),
+            samples,
+        );
+        if tp <= tu {
+            return flops::gemm(n, n, n);
+        }
+    }
+    KernelConfig::default().pack_min_flops
+}
+
+/// Fork-join cost of one scoped worker set (seconds).
+fn measure_fork_join(samples: usize) -> f64 {
+    let workers = par::num_threads().max(2);
+    median_secs(
+        || {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| std::hint::black_box(0u64));
+                }
+            });
+        },
+        samples,
+    )
+}
+
+/// Run the calibration sweep and fit a [`KernelProfile`].
+///
+/// Deterministic in *structure* (always returns a valid profile with the
+/// budget's candidate set considered), measured in *values* — rates and the
+/// winning config depend on the machine and its load.
+pub fn calibrate(budget: &TuneBudget) -> KernelProfile {
+    // 1. Candidate cache blockings compete on the shape grid.
+    let mut candidates: Vec<KernelConfig> = vec![KernelConfig::default()];
+    for &(mc, kc, nc) in &budget.candidates {
+        let c = KernelConfig {
+            mc,
+            kc,
+            nc,
+            ..Default::default()
+        };
+        if c.validate().is_ok() {
+            candidates.push(c);
+        }
+    }
+    let mut best = 0usize;
+    let mut best_secs = f64::INFINITY;
+    for (i, c) in candidates.iter().enumerate() {
+        let secs = sweep_secs(c, &budget.shapes, budget.samples);
+        if secs < best_secs {
+            best_secs = secs;
+            best = i;
+        }
+    }
+    let mut config = candidates.swap_remove(best);
+
+    // 2. Machine constants under the winning blocking.
+    let mem_bandwidth = measure_bandwidth(budget.samples);
+    let n = budget.rate_size;
+    let a = fill(n * n, 1);
+    let b = fill(n * n, 2);
+    let mut c = vec![0.0; n * n];
+    let gemm_rate = flops::gemm(n, n, n) as f64
+        / median_secs(
+            || gemm_nt_packed_raw(&config, &mut c, n, n, n, &a, n, &b, n, n),
+            budget.samples,
+        );
+    let mut cs = vec![0.0; n * n];
+    let syrk_rate = flops::syrk(n, n) as f64
+        / median_secs(
+            || syrk_lower_raw(&config, &mut cs, n, n, &a, n, n),
+            budget.samples,
+        );
+    // SPD diagonal block for POTRF/TRSM.
+    let mut spd = fill(n * n, 3);
+    for i in 0..n {
+        spd[i * n + i] = spd[i * n + i].abs() + 4.0 * n as f64;
+        for j in 0..i {
+            spd[j * n + i] = spd[i * n + j];
+        }
+    }
+    let mut buf = spd.clone();
+    let potrf_rate = flops::potrf(n) as f64
+        / median_secs(
+            || {
+                buf.copy_from_slice(&spd);
+                potrf_raw(&config, &mut buf, n, n).expect("spd input");
+            },
+            budget.samples,
+        );
+    let mut lf = spd.clone();
+    potrf_raw(&config, &mut lf, n, n).expect("spd input");
+    let m = 2 * n;
+    let b0 = fill(m * n, 5);
+    let mut bt = b0.clone();
+    let trsm_rate = flops::trsm(m, n) as f64
+        / median_secs(
+            || {
+                bt.copy_from_slice(&b0);
+                trsm_right_lower_trans_raw(&config, &mut bt, m, m, n, &lf, n);
+            },
+            budget.samples,
+        );
+
+    // 3. Dispatch thresholds from the measured machine.
+    config.pack_min_flops = measure_pack_crossover(&config, budget.samples);
+    // Parallel dispatch pays off once the sequential work dwarfs the
+    // fork-join cost; 16× is the amortization margin the default (2 Mflop
+    // at ~8 Gflop/s vs ~15 µs fork-join) encodes.
+    let fork_join = measure_fork_join(budget.samples);
+    config.par_flop_threshold =
+        ((16.0 * fork_join * gemm_rate) as u64).clamp(64 * 1024, 64 * 1024 * 1024);
+
+    KernelProfile {
+        isa: microkernel::isa_name().to_string(),
+        threads: par::num_threads(),
+        mem_bandwidth,
+        gemm_rate,
+        syrk_rate,
+        trsm_rate,
+        potrf_rate,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> KernelProfile {
+        KernelProfile {
+            isa: "avx2+fma".into(),
+            threads: 8,
+            mem_bandwidth: 21474836480.5,
+            gemm_rate: 9.123456789012e9,
+            syrk_rate: 0.1 + 8.0e9,
+            trsm_rate: 5.5e9,
+            potrf_rate: 3.9e9,
+            config: KernelConfig {
+                mc: 64,
+                kc: 192,
+                pack_min_flops: 13_824,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_byte_identical() {
+        let p = sample_profile();
+        let j1 = p.to_json();
+        let q = KernelProfile::from_json(&j1).unwrap();
+        assert_eq!(q, p);
+        assert_eq!(q.to_json(), j1, "save → load → save must be byte-stable");
+    }
+
+    #[test]
+    fn wrong_schema_and_missing_fields_are_typed_rejections() {
+        let bad = sample_profile().to_json().replace(SCHEMA, "bogus-v0");
+        assert!(matches!(
+            KernelProfile::from_json(&bad),
+            Err(TuneError::Schema(_))
+        ));
+        assert!(matches!(
+            KernelProfile::from_json("{not json"),
+            Err(TuneError::Json(_))
+        ));
+        let no_rates = sample_profile().to_json().replace("\"rates\"", "\"ratez\"");
+        assert!(matches!(
+            KernelProfile::from_json(&no_rates),
+            Err(TuneError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_config_in_profile_is_rejected() {
+        // mc = 65 violates the MR-multiple invariant (MR = 8).
+        let j = sample_profile()
+            .to_json()
+            .replace("\"mc\": 64", "\"mc\": 65");
+        assert!(matches!(
+            KernelProfile::from_json(&j),
+            Err(TuneError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn cost_model_carries_measured_rates() {
+        let p = sample_profile();
+        let m = p.cost_model();
+        assert_eq!(m.cpu_gemm, p.gemm_rate);
+        assert_eq!(m.cpu_potrf, p.potrf_rate);
+        assert_eq!(m.mem_bandwidth, p.mem_bandwidth);
+        // GPU side untouched.
+        assert_eq!(m.gpu_gemm, CostModel::default().gpu_gemm);
+    }
+
+    #[test]
+    fn quick_calibration_runs_end_to_end() {
+        let p = calibrate(&TuneBudget::quick());
+        p.config.validate().unwrap();
+        assert!(p.gemm_rate > 0.0 && p.syrk_rate > 0.0);
+        assert!(p.trsm_rate > 0.0 && p.potrf_rate > 0.0);
+        assert!(p.mem_bandwidth > 0.0);
+        assert!(p.threads >= 1);
+        assert!(!p.isa.is_empty());
+        // And the fitted profile round-trips bit-stably.
+        let j = p.to_json();
+        assert_eq!(KernelProfile::from_json(&j).unwrap().to_json(), j);
+    }
+
+    #[test]
+    fn load_or_calibrate_caches_and_reloads_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("sympack-tune-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        let _ = std::fs::remove_file(&path);
+        let p1 = KernelProfile::load_or_calibrate(&path, &TuneBudget::quick()).unwrap();
+        let bytes1 = std::fs::read_to_string(&path).unwrap();
+        // Second call must load the cache, not re-measure.
+        let p2 = KernelProfile::load_or_calibrate(&path, &TuneBudget::quick()).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p2.to_json(), bytes1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}
