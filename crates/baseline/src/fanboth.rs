@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack::map2d::ProcGrid;
-use sympack::sched::{self, FetchConfig, FetchMode, TaskEngine};
+use sympack::sched::{self, CommLayer, FetchConfig, FetchMode, TaskEngine};
 use sympack::storage::BlockStore;
 use sympack::trisolve::{self, SolveParams};
 use sympack::{SolverError, TaskKey};
@@ -38,7 +38,9 @@ use sympack_sparse::SparseSym;
 use sympack_symbolic::{analyze, SymbolicFactor};
 use sympack_trace::Tracer;
 
-use crate::rightlooking::{build_report, comm_events, BaselineOptions, BaselineReport, RankOut};
+use crate::rightlooking::{
+    build_report, comm_events, BaselineOptions, BaselineReport, RankOut, SIGNAL_WIRE_BYTES,
+};
 
 /// Incoming notifications.
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +96,8 @@ struct FbEngine {
     /// Outstanding local update contributions per target block.
     my_contribs: HashMap<(usize, usize), usize>,
     fetch: FetchConfig,
+    /// Per-destination signal coalescing (pass-through when off).
+    comm: CommLayer,
     me: usize,
 }
 
@@ -182,6 +186,7 @@ impl FbEngine {
             consumers,
             my_contribs,
             fetch,
+            comm: CommLayer::new(opts.coalesce),
             me: rank,
         }
     }
@@ -236,7 +241,9 @@ impl FbEngine {
 
     fn step(&mut self, rank: &mut Rank) -> bool {
         self.drain_pending(rank);
+        self.comm.tick(rank);
         let Some((key, ready_at)) = self.rt.pick() else {
+            self.comm.flush_all(rank);
             return false;
         };
         self.rt.begin(rank, ready_at);
@@ -330,7 +337,7 @@ impl FbEngine {
             // path; the inbox deduplicates and the stall detector diagnoses
             // drops. try_with_state: a straggling duplicate may land after
             // the state is torn down.
-            rank.rpc_signal(d, move |r| {
+            self.comm.send(rank, d, SIGNAL_WIRE_BYTES, move |r| {
                 r.try_with_state::<FbEngine, _>(|_, st| {
                     st.rt.post_unique(msg);
                 });
@@ -412,7 +419,7 @@ impl FbEngine {
                     rows,
                     cols,
                 };
-                rank.rpc_signal(owner, move |r| {
+                self.comm.send(rank, owner, SIGNAL_WIRE_BYTES, move |r| {
                     r.try_with_state::<FbEngine, _>(|_, st| {
                         st.rt.post_unique(msg);
                     });

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack::map2d::ProcGrid;
-use sympack::sched::{self, FetchConfig, FetchMode, TaskEngine, TaskKind};
+use sympack::sched::{self, CommLayer, FetchConfig, FetchMode, TaskEngine, TaskKind};
 use sympack::storage::BlockStore;
 use sympack::trisolve::{self, SolveParams};
 use sympack::SolverError;
@@ -32,7 +32,9 @@ use sympack_sparse::SparseSym;
 use sympack_symbolic::{analyze, SymbolicFactor};
 use sympack_trace::{TraceCat, Tracer};
 
-use crate::rightlooking::{build_report, comm_events, BaselineOptions, BaselineReport, RankOut};
+use crate::rightlooking::{
+    build_report, comm_events, BaselineOptions, BaselineReport, RankOut, SIGNAL_WIRE_BYTES,
+};
 
 /// Per-receive synchronization cost (same two-sided flavor as the
 /// right-looking baseline).
@@ -166,6 +168,8 @@ struct FiEngine {
     /// Outstanding local contributions per remote target.
     my_contribs: HashMap<usize, usize>,
     fetch: FetchConfig,
+    /// Per-destination signal coalescing (pass-through when off).
+    comm: CommLayer,
     p: usize,
     me: usize,
 }
@@ -239,6 +243,7 @@ impl FiEngine {
             aggs: HashMap::new(),
             my_contribs,
             fetch,
+            comm: CommLayer::new(opts.coalesce),
             p,
             me: rank,
         }
@@ -265,7 +270,9 @@ impl FiEngine {
 
     fn step(&mut self, rank: &mut Rank) -> bool {
         self.drain_pending(rank);
+        self.comm.tick(rank);
         let Some((key, ready_at)) = self.rt.pick() else {
+            self.comm.flush_all(rank);
             return false;
         };
         self.rt.begin(rank, ready_at);
@@ -314,7 +321,7 @@ impl FiEngine {
                     // the inbox deduplicates and the stall detector
                     // diagnoses drops. try_with_state: a straggling
                     // duplicate may land after the state is torn down.
-                    rank.rpc_signal(dest, move |r| {
+                    self.comm.send(rank, dest, SIGNAL_WIRE_BYTES, move |r| {
                         r.try_with_state::<FiEngine, _>(|_, st| {
                             st.rt.post_unique(sig);
                         });

@@ -10,13 +10,14 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack::map2d::ProcGrid;
-use sympack::sched::{self, FetchConfig, FetchMode, TaskEngine, TaskKind};
+use sympack::sched::{self, CommLayer, FetchConfig, FetchMode, TaskEngine, TaskKind};
 use sympack::storage::BlockStore;
 use sympack::trisolve::{self, SolveParams};
 use sympack::{RtqPolicy, SolverError};
 use sympack_dense::Mat;
 use sympack_gpu::{KernelEngine, OffloadThresholds, OomPolicy, OpCounts};
 use sympack_ordering::{compute_ordering, OrderingKind};
+use sympack_pgas::coalesce::{BcastTopology, CoalesceConfig};
 use sympack_pgas::{
     FaultPlan, GlobalPtr, MemKind, NetModel, PgasConfig, Rank, RunReport, Runtime, StatsSnapshot,
 };
@@ -33,6 +34,10 @@ const RENDEZVOUS_OVERHEAD: f64 = 5.0e-6;
 /// dependency tracking, worker selection and queue hand-off. Published
 /// StarPU measurements put this at several microseconds per task.
 const RUNTIME_TASK_OVERHEAD: f64 = 6.0e-6;
+
+/// Modeled wire size of one panel/aggregate notification (global pointer
+/// plus message metadata), charged per sub-frame when signals coalesce.
+pub(crate) use sympack_pgas::coalesce::SIGNAL_WIRE_BYTES;
 
 /// Baseline run configuration (mirrors [`sympack::SolverOptions`] minus the
 /// choices the baseline doesn't have: mapping is 1D).
@@ -66,6 +71,14 @@ pub struct BaselineOptions {
     pub faults: Option<FaultPlan>,
     /// Run ranks in deterministic lockstep (reproducible schedules).
     pub deterministic: bool,
+    /// Broadcast topology knob, accepted for option-surface parity with
+    /// [`sympack::SolverOptions`]. The 1D-mapped baselines broadcast
+    /// panel-granular messages to a handful of destinations, so `Tree`
+    /// degrades to `Flat` here — only the fan-out engine relays.
+    pub bcast: BcastTopology,
+    /// Per-destination signal coalescing (shared comm layer); `None`
+    /// keeps the historical one-RPC-per-signal wire pattern.
+    pub coalesce: Option<CoalesceConfig>,
 }
 
 impl Default for BaselineOptions {
@@ -84,6 +97,8 @@ impl Default for BaselineOptions {
             device_quota: usize::MAX,
             faults: None,
             deterministic: false,
+            bcast: BcastTopology::Flat,
+            coalesce: None,
         }
     }
 }
@@ -298,6 +313,8 @@ struct RlEngine {
     /// Received (or self-broadcast) panels awaiting application.
     inputs: HashMap<usize, Panel>,
     fetch: FetchConfig,
+    /// Per-destination signal coalescing (pass-through when off).
+    comm: CommLayer,
     p: usize,
     me: usize,
 }
@@ -358,6 +375,7 @@ impl RlEngine {
             rt,
             inputs: HashMap::new(),
             fetch,
+            comm: CommLayer::new(opts.coalesce),
             p,
             me: rank,
         }
@@ -382,7 +400,9 @@ impl RlEngine {
 
     fn step(&mut self, rank: &mut Rank) -> bool {
         self.drain_pending(rank);
+        self.comm.tick(rank);
         let Some((key, ready_at)) = self.rt.pick() else {
+            self.comm.flush_all(rank);
             return false;
         };
         self.rt.begin(rank, ready_at);
@@ -434,7 +454,7 @@ impl RlEngine {
                 // inbox deduplicates and the stall detector diagnoses drops.
                 // try_with_state: a straggling duplicate may land after the
                 // factorization state is torn down.
-                rank.rpc_signal(d, move |r| {
+                self.comm.send(rank, d, SIGNAL_WIRE_BYTES, move |r| {
                     r.try_with_state::<RlEngine, _>(|_, st| {
                         st.rt.post_unique(sig);
                     });

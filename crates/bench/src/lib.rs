@@ -78,6 +78,18 @@ impl Problem {
             Problem::Thermal => gen::thermal_like(24, 24, 0.35, 20230),
         }
     }
+
+    /// Generate at the strong-scaling benchmark scale: large enough that
+    /// supernode blocks carry real bandwidth (so communication structure,
+    /// not just latency, decides the outcome at P ≥ 256), small enough
+    /// that a P = 1024 lockstep run stays interactive.
+    pub fn matrix_scaling(&self) -> SparseSym {
+        match self {
+            Problem::Flan => gen::flan_like(13, 13, 13),
+            Problem::Bone => gen::bone_like(14, 14, 14),
+            Problem::Thermal => gen::thermal_like(72, 72, 0.35, 20230),
+        }
+    }
 }
 
 /// Format virtual seconds for the report tables.

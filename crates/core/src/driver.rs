@@ -10,6 +10,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack_gpu::{OffloadThresholds, OomPolicy, OpCounts};
 use sympack_ordering::{compute_ordering, OrderingKind};
+use sympack_pgas::coalesce::{BcastTopology, CoalesceConfig};
 use sympack_pgas::{NetModel, Runtime, StatsSnapshot};
 use sympack_sparse::SparseSym;
 use sympack_symbolic::{analyze, AnalyzeOptions, SymbolicFactor};
@@ -69,6 +70,17 @@ pub struct SolverOptions {
     /// Validated when the kernel engine is built — an invalid config
     /// panics at plan/driver construction, before any numeric work.
     pub kernel_config: sympack_dense::KernelConfig,
+    /// Block-publication wire pattern for the fan-out factorization:
+    /// [`BcastTopology::Flat`] (owner signals every consumer, the
+    /// historical pattern) or [`BcastTopology::Tree`] (k-ary tree over
+    /// node groups with leader relays — wire bytes drop from O(targets)
+    /// to O(log targets) per published block).
+    pub bcast: BcastTopology,
+    /// Per-destination signal coalescing: signals bound for the same rank
+    /// within a scheduling quantum ship as one framed message. `None`
+    /// (default) keeps the historical one-RPC-per-signal wire pattern,
+    /// bit-identical to pre-coalescing schedules.
+    pub coalesce: Option<CoalesceConfig>,
 }
 
 impl Default for SolverOptions {
@@ -91,6 +103,8 @@ impl Default for SolverOptions {
             faults: None,
             deterministic: false,
             kernel_config: sympack_dense::KernelConfig::default(),
+            bcast: BcastTopology::Flat,
+            coalesce: None,
         }
     }
 }
@@ -291,6 +305,8 @@ impl SymPack {
                 opts2.rtq_policy,
                 opts2.oom_policy,
                 Arc::clone(&abort),
+                opts2.bcast,
+                opts2.coalesce,
             );
             if opts2.trace {
                 engine.rt.tracer = Some(sympack_trace::Tracer::new());
@@ -510,6 +526,8 @@ impl SymPack {
                 opts2.rtq_policy,
                 opts2.oom_policy,
                 Arc::clone(&abort),
+                opts2.bcast,
+                opts2.coalesce,
             );
             let (engine, factor_time) = FactoEngine::run_to_completion(rank, engine);
             if let Some(err) = engine.rt.error {
@@ -695,7 +713,12 @@ mod tests {
     fn all_rtq_policies_solve_correctly() {
         let a = random_spd(60, 4, 9);
         let b = test_rhs(60);
-        for policy in [RtqPolicy::Lifo, RtqPolicy::Fifo, RtqPolicy::CriticalPath] {
+        for policy in [
+            RtqPolicy::Lifo,
+            RtqPolicy::Fifo,
+            RtqPolicy::CriticalPath,
+            RtqPolicy::CommAware,
+        ] {
             let r = SymPack::factor_and_solve(
                 &a,
                 &b,
@@ -706,5 +729,94 @@ mod tests {
             );
             assert!(r.relative_residual < 1e-10, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn tree_broadcast_solves_correctly_across_arities() {
+        let a = thermal_like(10, 10, 0.2, 7);
+        let b = test_rhs(a.n());
+        for arity in [2usize, 4] {
+            let r = SymPack::factor_and_solve(
+                &a,
+                &b,
+                &SolverOptions {
+                    n_nodes: 4,
+                    ranks_per_node: 2,
+                    bcast: BcastTopology::Tree { arity },
+                    deterministic: true,
+                    ..Default::default()
+                },
+            );
+            assert!(r.relative_residual < 1e-10, "arity {arity}");
+        }
+    }
+
+    #[test]
+    fn coalesced_signals_solve_correctly() {
+        let a = random_spd(80, 5, 11);
+        let b = test_rhs(80);
+        let r = SymPack::factor_and_solve(
+            &a,
+            &b,
+            &SolverOptions {
+                n_nodes: 2,
+                ranks_per_node: 2,
+                coalesce: Some(CoalesceConfig::default()),
+                deterministic: true,
+                ..Default::default()
+            },
+        );
+        assert!(r.relative_residual < 1e-10);
+    }
+
+    #[test]
+    fn tree_with_coalescing_matches_flat_solution() {
+        let a = thermal_like(9, 9, 0.25, 13);
+        let b = test_rhs(a.n());
+        let base = SolverOptions {
+            n_nodes: 3,
+            ranks_per_node: 2,
+            deterministic: true,
+            ..Default::default()
+        };
+        let flat = SymPack::factor_and_solve(&a, &b, &base);
+        let tree = SymPack::factor_and_solve(
+            &a,
+            &b,
+            &SolverOptions {
+                bcast: BcastTopology::Tree { arity: 2 },
+                coalesce: Some(CoalesceConfig::default()),
+                ..base
+            },
+        );
+        assert!(flat.relative_residual < 1e-10);
+        assert!(tree.relative_residual < 1e-10);
+        // Same arithmetic, different wire pattern: the factors agree to
+        // rounding, so the solutions essentially coincide.
+        let diff = sympack_sparse::vecops::max_abs_diff(&flat.x, &tree.x);
+        let scale = sympack_sparse::vecops::norm_inf(&flat.x).max(1.0);
+        assert!(diff / scale < 1e-8, "solutions diverge: {diff}");
+        // The relay pattern must not inflate task counts (schedule invariant).
+        assert_eq!(flat.task_counts, tree.task_counts);
+    }
+
+    #[test]
+    fn flat_default_is_bit_identical_to_pre_aggregation_schedule() {
+        // Two runs of the default (Flat, no coalescing) options must agree
+        // bit-for-bit in makespan — the pass-through contract that keeps
+        // this PR from perturbing every historical baseline.
+        let a = thermal_like(8, 8, 0.3, 5);
+        let b = test_rhs(a.n());
+        let opts = SolverOptions {
+            n_nodes: 2,
+            ranks_per_node: 2,
+            deterministic: true,
+            ..Default::default()
+        };
+        let r1 = SymPack::factor_and_solve(&a, &b, &opts);
+        let r2 = SymPack::factor_and_solve(&a, &b, &opts);
+        assert_eq!(r1.factor_time.to_bits(), r2.factor_time.to_bits());
+        assert_eq!(r1.solve_time.to_bits(), r2.solve_time.to_bits());
+        assert_eq!(r1.x, r2.x);
     }
 }

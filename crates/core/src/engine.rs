@@ -4,7 +4,7 @@
 //! [`crate::sched::TaskEngine`].
 
 use crate::map2d::ProcGrid;
-use crate::sched::{self, FetchConfig, FetchMode, TaskEngine, TaskKind};
+use crate::sched::{self, CommLayer, FetchConfig, FetchMode, TaskEngine, TaskKind};
 use crate::storage::BlockStore;
 use crate::taskgraph::{fanout_dests, LocalTasks, RtqPolicy, TaskKey};
 use crate::SolverError;
@@ -13,6 +13,9 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use sympack_dense::Mat;
 use sympack_gpu::{KernelEngine, OomPolicy};
+use sympack_pgas::coalesce::{
+    plan_tree, BcastPlan, BcastTopology, CoalesceConfig, SIGNAL_WIRE_BYTES,
+};
 use sympack_pgas::{GlobalPtr, MemKind, Rank};
 use sympack_symbolic::SymbolicFactor;
 
@@ -49,6 +52,14 @@ impl sched::Signal for Signal {
     }
 }
 
+/// A pending relay obligation: this rank is a leader position in a
+/// hierarchical broadcast and must forward the block (re-hosted locally)
+/// to its node members and child leaders once the data arrives.
+struct RelayDuty {
+    plan: Arc<BcastPlan>,
+    pos: usize,
+}
+
 /// Per-rank factorization engine. Installed as the rank's user state so the
 /// RPC `signal` closures can reach it.
 pub struct FactoEngine {
@@ -69,6 +80,15 @@ pub struct FactoEngine {
     /// Signal-resolution data path: host `rget`s, or direct device copies
     /// for blocks of at least `device_threshold` elements (§4.2).
     pub fetch: FetchConfig,
+    /// Block-publication wire pattern: flat owner→targets or k-ary tree
+    /// over node groups with leader relays.
+    topology: BcastTopology,
+    /// Per-destination signal coalescing front-end (pass-through when the
+    /// solver options leave coalescing off).
+    comm: CommLayer,
+    /// Relay obligations keyed by the incoming signal's pointer, installed
+    /// at signal acceptance and discharged when the data arrives.
+    relays: HashMap<GlobalPtr, RelayDuty>,
 }
 
 impl FactoEngine {
@@ -84,10 +104,12 @@ impl FactoEngine {
         policy: RtqPolicy,
         oom_policy: OomPolicy,
         abort: Arc<AtomicBool>,
+        topology: BcastTopology,
+        coalesce: Option<CoalesceConfig>,
     ) -> Self {
         let local = LocalTasks::build(&sf, &grid, rank);
         Self::with_tasks(
-            sf, ap, grid, rank, kernels, policy, oom_policy, abort, local,
+            sf, ap, grid, rank, kernels, policy, oom_policy, abort, topology, coalesce, local,
         )
     }
 
@@ -105,6 +127,8 @@ impl FactoEngine {
         policy: RtqPolicy,
         oom_policy: OomPolicy,
         abort: Arc<AtomicBool>,
+        topology: BcastTopology,
+        coalesce: Option<CoalesceConfig>,
         local: LocalTasks,
     ) -> Self {
         let store = BlockStore::init(&sf, ap, &grid, rank);
@@ -119,6 +143,22 @@ impl FactoEngine {
         // Advisory roofline estimates for progress/makespan prediction —
         // installed on every rank, never consulted by the RTQ policy.
         rt.set_estimates(|k| k.estimate_secs(&sf, &kernels.cost, &kernels.config));
+        if policy == RtqPolicy::CommAware {
+            // Overlap-driven urgency: a factor task's output unblocks this
+            // many *remote* ranks, so producing it early feeds the network
+            // while local update work hides behind the transfers.
+            let keys: Vec<TaskKey> = rt.task_keys();
+            for k in keys {
+                let urg = match k {
+                    TaskKey::Diag { j } => fanout_dests(&sf, &grid, rank, j, j).len(),
+                    TaskKey::Panel { i, j } => fanout_dests(&sf, &grid, rank, i, j).len(),
+                    TaskKey::Update { .. } => 0,
+                };
+                if urg > 0 {
+                    rt.set_urgency(k, urg as u64);
+                }
+            }
+        }
         let fetch = FetchConfig {
             device_enabled: kernels.gpu_enabled,
             device_threshold: 64 * 64,
@@ -135,6 +175,9 @@ impl FactoEngine {
             inputs: HashMap::new(),
             kernels,
             fetch,
+            topology,
+            comm: CommLayer::new(coalesce),
+            relays: HashMap::new(),
         }
     }
 
@@ -174,14 +217,18 @@ impl FactoEngine {
     }
 
     /// Resolve pending signals into data movement (Fig. 4 step 5) through
-    /// the runtime's shared fetch path.
+    /// the runtime's shared fetch path. A signal that carried a relay duty
+    /// discharges it here, once the data has actually arrived.
     fn drain_pending(&mut self, rank: &mut Rank) {
         let signals = self.rt.take_signals();
         if signals.is_empty() {
             return;
         }
         let cfg = self.fetch;
-        let res = sched::drain_signals(rank, signals, &cfg, |_rank, s, data, ready_at| {
+        let res = sched::drain_signals(rank, signals, &cfg, |rank, s, data, ready_at| {
+            if let Some(duty) = self.relays.remove(&s.ptr) {
+                self.forward_relay(rank, &s, &data, ready_at, duty);
+            }
             let m = Mat::from_col_major(s.rows, s.cols, data);
             self.add_input(s.i, s.j, m, ready_at);
         });
@@ -192,6 +239,10 @@ impl FactoEngine {
 
     /// Fan a completed factor block out to the ranks owning dependent tasks
     /// (Fig. 4 steps 1–2: allocate in the shared heap, then `signal` RPCs).
+    /// Under [`BcastTopology::Tree`] the owner only signals its own node's
+    /// consumers plus the first `arity` remote-node leaders; the leaders
+    /// re-host and relay onward ([`FactoEngine::forward_relay`]), so the
+    /// owner's NIC serves O(arity) remote pulls instead of O(targets).
     fn fanout(&mut self, rank: &mut Rank, i: usize, j: usize, data: &Mat) {
         let dests = fanout_dests(&self.sf, &self.grid, rank.id(), i, j);
         if dests.is_empty() {
@@ -201,24 +252,89 @@ impl FactoEngine {
             .alloc(MemKind::Host, data.rows() * data.cols())
             .expect("host allocation cannot fail");
         rank.write_local(&ptr, data.as_slice());
-        let (rows, cols) = (data.rows(), data.cols());
-        for d in dests {
-            let sig = Signal {
-                ptr,
-                i,
-                j,
-                rows,
-                cols,
-            };
-            // Signals ride the droppable/duplicable path; the receiving
-            // inbox deduplicates (post_unique) and the stall detector
-            // diagnoses drops. try_with_state: a straggling duplicate may
-            // land after the factorization state is torn down.
-            rank.rpc_signal(d, move |target| {
+        let sig = Signal {
+            ptr,
+            i,
+            j,
+            rows: data.rows(),
+            cols: data.cols(),
+        };
+        match self.topology {
+            BcastTopology::Flat => {
+                for d in dests {
+                    self.send_signal(rank, d, sig);
+                }
+            }
+            BcastTopology::Tree { arity } => {
+                let plan = Arc::new(plan_tree(rank.id(), &dests, arity, rank.ranks_per_node()));
+                for idx in 0..plan.direct.len() {
+                    self.send_signal(rank, plan.direct[idx], sig);
+                }
+                for pos in plan.root_children() {
+                    self.send_relay(rank, sig, &plan, pos);
+                }
+            }
+        }
+    }
+
+    /// Ship one plain dependency signal toward `dest`, through the
+    /// coalescing layer (pass-through when coalescing is off).
+    fn send_signal(&mut self, rank: &mut Rank, dest: usize, sig: Signal) {
+        // Signals ride the droppable/duplicable path; the receiving
+        // inbox deduplicates (post_unique) and the stall detector
+        // diagnoses drops. try_with_state: a straggling duplicate may
+        // land after the factorization state is torn down.
+        self.comm
+            .send(rank, dest, SIGNAL_WIRE_BYTES, move |target| {
                 target.try_with_state::<FactoEngine, _>(|_, st| {
                     st.rt.post_unique(sig);
                 });
             });
+    }
+
+    /// Ship a signal that also assigns a relay duty: the receiver — the
+    /// leader at tree position `pos` of `plan` — must forward the block
+    /// onward once its data arrives. The duty is installed only on first
+    /// acceptance, so fault-injected duplicates never relay twice.
+    fn send_relay(&mut self, rank: &mut Rank, sig: Signal, plan: &Arc<BcastPlan>, pos: usize) {
+        let dest = plan.leaders[pos];
+        let plan = Arc::clone(plan);
+        self.comm
+            .send(rank, dest, SIGNAL_WIRE_BYTES, move |target| {
+                let plan = Arc::clone(&plan);
+                target.try_with_state::<FactoEngine, _>(|_, st| {
+                    if st.rt.post_unique(sig) {
+                        st.relays.insert(sig.ptr, RelayDuty { plan, pos });
+                    }
+                });
+            });
+    }
+
+    /// Discharge a relay duty: re-host the arrived block in this rank's
+    /// shared heap and signal the leader's node members (flat) plus its
+    /// child leaders (who inherit relay duties of their own). Virtual-time
+    /// honesty: the block cannot leave this rank before it arrived, so the
+    /// leader's clock first advances to the fetch completion time.
+    fn forward_relay(
+        &mut self,
+        rank: &mut Rank,
+        s: &Signal,
+        data: &[f64],
+        ready_at: f64,
+        duty: RelayDuty,
+    ) {
+        rank.advance_to(ready_at);
+        let ptr = rank
+            .alloc(MemKind::Host, data.len())
+            .expect("host allocation cannot fail");
+        rank.write_local(&ptr, data);
+        let fwd = Signal { ptr, ..*s };
+        let RelayDuty { plan, pos } = duty;
+        for idx in 0..plan.members[pos].len() {
+            self.send_signal(rank, plan.members[pos][idx], fwd);
+        }
+        for child in plan.children_of(pos) {
+            self.send_relay(rank, fwd, &plan, child);
         }
     }
 
@@ -226,7 +342,12 @@ impl FactoEngine {
     /// task. Returns `true` if a task executed.
     pub fn step(&mut self, rank: &mut Rank) -> bool {
         self.drain_pending(rank);
+        // Quantum-expired frames flush as virtual time advances; when the
+        // rank has no ready work at all, everything buffered must go out so
+        // a held-back signal can never starve the job into a false stall.
+        self.comm.tick(rank);
         let Some((key, ready_at)) = self.rt.pick() else {
+            self.comm.flush_all(rank);
             return false;
         };
         self.rt.begin(rank, ready_at);

@@ -50,6 +50,10 @@ pub use selinv::{selected_inverse, SelectedInverse};
 // Re-exported so solver users can name `SolverOptions::kernel_config`'s
 // type without depending on the dense crate directly.
 pub use sympack_dense::{ConfigError, IsaSelect, KernelConfig};
+// Re-exported so solver users can name the scaling knobs
+// (`SolverOptions::bcast` / `SolverOptions::coalesce`) without depending
+// on the pgas crate directly.
+pub use sympack_pgas::coalesce::{BcastTopology, CoalesceConfig};
 pub use taskgraph::{RtqPolicy, TaskKey};
 
 /// Errors surfaced by the solver.

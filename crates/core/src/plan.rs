@@ -190,6 +190,8 @@ pub fn factor_numeric(
             opts.rtq_policy,
             opts.oom_policy,
             Arc::clone(&abort),
+            opts.bcast,
+            opts.coalesce,
             tasks[rank.id()].clone(),
         );
         let (mut engine, factor_time) = FactoEngine::run_to_completion(rank, engine);

@@ -1,0 +1,107 @@
+//! The engine-side communication layer: per-destination signal coalescing.
+//!
+//! Engines publish dependency signals through [`CommLayer::send`] instead
+//! of calling [`Rank::rpc_signal`] directly. Disabled (the default), the
+//! layer is a transparent pass-through — bit-identical schedules to the
+//! pre-aggregation engine. Enabled, signals bound for the same rank within
+//! a scheduling quantum are buffered and shipped as one framed message
+//! ([`Rank::rpc_frame`]) whose delivery dispatches every sub-signal into
+//! the receiving engine's inbox — `TaskEngine` semantics are unchanged,
+//! only the wire pattern differs (one latency + one header per batch
+//! instead of per signal).
+//!
+//! Flush triggers, in order of authority:
+//! * **size threshold** — pushing a sub that would overflow
+//!   [`CoalesceConfig::max_bytes`] (or reach `max_subs`) flushes
+//!   immediately ([`CommLayer::send`]);
+//! * **quantum expiry** — [`CommLayer::tick`], called once per engine
+//!   step, flushes destinations whose frame has been open longer than
+//!   [`CoalesceConfig::quantum_secs`] of virtual time;
+//! * **engine idle** — [`CommLayer::flush_all`], called when the engine
+//!   runs out of ready work, drains everything so a buffered signal can
+//!   never cause a false stall while the job waits on it.
+
+use std::sync::Arc;
+use sympack_pgas::coalesce::{Batch, CoalesceConfig, Coalescer};
+use sympack_pgas::Rank;
+
+/// A buffered sub-signal: the delivery closure that would have been the
+/// body of a flat `rpc_signal`.
+type SubSend = Box<dyn Fn(&mut Rank) + Send + Sync>;
+
+/// Per-rank coalescing front-end owned by an engine. `None` inside means
+/// coalescing is off and every send passes straight through.
+pub struct CommLayer {
+    co: Option<Coalescer<SubSend>>,
+}
+
+impl CommLayer {
+    /// A layer with coalescing on (`Some(config)`) or pass-through (`None`).
+    pub fn new(cfg: Option<CoalesceConfig>) -> Self {
+        CommLayer {
+            co: cfg.map(Coalescer::new),
+        }
+    }
+
+    /// True when coalescing is active.
+    pub fn enabled(&self) -> bool {
+        self.co.is_some()
+    }
+
+    /// Send (or buffer) one signal of `payload_bytes` toward `dest`.
+    /// `payload_bytes` is the modeled wire size of the signal's metadata;
+    /// it feeds the frame's byte accounting.
+    pub fn send(
+        &mut self,
+        rank: &mut Rank,
+        dest: usize,
+        payload_bytes: usize,
+        f: impl Fn(&mut Rank) + Send + Sync + Clone + 'static,
+    ) {
+        match &mut self.co {
+            None => rank.rpc_signal(dest, f),
+            Some(co) => {
+                let now = rank.now();
+                if let Some(batch) = co.push(dest, payload_bytes, Box::new(f) as SubSend, now) {
+                    dispatch(rank, batch);
+                }
+            }
+        }
+    }
+
+    /// Flush destinations whose quantum has expired at the rank's current
+    /// virtual time. Call once per engine step.
+    pub fn tick(&mut self, rank: &mut Rank) {
+        if let Some(co) = &mut self.co {
+            let now = rank.now();
+            for batch in co.take_expired(now) {
+                dispatch(rank, batch);
+            }
+        }
+    }
+
+    /// Flush everything (engine idle / out of ready work).
+    pub fn flush_all(&mut self, rank: &mut Rank) {
+        if let Some(co) = &mut self.co {
+            for batch in co.take_all() {
+                dispatch(rank, batch);
+            }
+        }
+    }
+}
+
+/// Ship one flushed batch as a single framed message. The frame closure
+/// holds the sub-closures behind an `Arc` so fault-injected duplication
+/// (which clones the closure) replays the whole batch — each sub must be
+/// idempotent, which the signal inbox's pointer dedup guarantees.
+fn dispatch(rank: &mut Rank, batch: Batch<SubSend>) {
+    let dest = batch.dest;
+    let wire = batch.wire_bytes;
+    let subs: Arc<Vec<SubSend>> = Arc::new(batch.subs.into_iter().map(|(_, f)| f).collect());
+    let n = subs.len();
+    rank.rpc_frame(dest, wire, n, move |r| {
+        for f in subs.iter() {
+            f(r);
+        }
+    });
+}

@@ -138,6 +138,20 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
         self.task_overhead = secs;
     }
 
+    /// Keys of every registered task, in hash-map order. Callers that feed
+    /// the result back into deterministic state (e.g. urgency maps) are
+    /// safe: the urgency map is keyed, not ordered.
+    pub fn task_keys(&self) -> Vec<K> {
+        self.tasks.keys().copied().collect()
+    }
+
+    /// Record a task's urgency for [`RtqPolicy::CommAware`] scheduling
+    /// (how many remote ranks its output unblocks). Advisory under every
+    /// other policy; may be installed before or after the task is ready.
+    pub fn set_urgency(&mut self, key: K, urgency: u64) {
+        self.rtq.set_urgency(key, urgency);
+    }
+
     /// Register an owned task with `deps` outstanding dependencies.
     pub fn insert_task(&mut self, key: K, deps: usize) {
         if self

@@ -26,10 +26,12 @@
 //! ([`TaskEngine::set_task_overhead`], [`FetchMode::Blocking`]), not
 //! per-engine code.
 
+mod comm;
 mod engine;
 mod fetch;
 mod queue;
 
+pub use comm::CommLayer;
 pub use engine::{TaskEngine, TaskState};
 pub use fetch::{drain_signals, fetch, FetchConfig, FetchMode};
 pub use queue::{ReadyQueue, RtqPolicy};

@@ -1,7 +1,8 @@
 //! The ready-task queue (RTQ) and its pop policies.
 
 use super::TaskKind;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{HashMap, VecDeque};
 
 /// Order in which ready tasks are picked from the RTQ.
 ///
@@ -18,6 +19,13 @@ pub enum RtqPolicy {
     /// Prefer tasks on lower-numbered target supernodes (closer to the
     /// critical path of the left-to-right elimination).
     CriticalPath,
+    /// Overlap-driven: prefer tasks whose outputs unblock the most remote
+    /// ranks (the per-task *urgency* installed via
+    /// [`ReadyQueue::set_urgency`] — the fan-out engine uses the remote
+    /// consumer count of each factor task), breaking ties by
+    /// [`TaskKind::priority_key`]. Tasks with no urgency recorded rank
+    /// lowest, so pure-local work yields to communication-critical work.
+    CommAware,
 }
 
 /// The RTQ: a deque of ready tasks popped under an [`RtqPolicy`].
@@ -33,6 +41,10 @@ pub enum RtqPolicy {
 pub struct ReadyQueue<K> {
     q: VecDeque<K>,
     policy: RtqPolicy,
+    /// Per-task urgency consulted by [`RtqPolicy::CommAware`] (absent ⇒ 0).
+    /// Kept outside the deque so it can be installed before tasks become
+    /// ready and survives their residence in the queue.
+    urgency: HashMap<K, u64>,
 }
 
 impl<K: TaskKind> ReadyQueue<K> {
@@ -41,7 +53,14 @@ impl<K: TaskKind> ReadyQueue<K> {
         ReadyQueue {
             q: VecDeque::new(),
             policy,
+            urgency: HashMap::new(),
         }
+    }
+
+    /// Record `key`'s urgency for [`RtqPolicy::CommAware`] pops. May be
+    /// called before the task is pushed; ignored by the other policies.
+    pub fn set_urgency(&mut self, key: K, urgency: u64) {
+        self.urgency.insert(key, urgency);
     }
 
     /// The queue's pop policy.
@@ -75,6 +94,15 @@ impl<K: TaskKind> ReadyQueue<K> {
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, k)| k.priority_key())?;
+                self.q.swap_remove_back(idx)
+            }
+            RtqPolicy::CommAware => {
+                // min_by_key returns the *first* minimal element, so ties
+                // resolve deterministically toward the oldest entry.
+                let (idx, _) = self.q.iter().enumerate().min_by_key(|(_, k)| {
+                    let u = self.urgency.get(k).copied().unwrap_or(0);
+                    (Reverse(u), k.priority_key())
+                })?;
                 self.q.swap_remove_back(idx)
             }
         }
@@ -136,6 +164,27 @@ mod tests {
     #[test]
     fn critical_path_pops_minimum_priority() {
         let mut q = ReadyQueue::new(RtqPolicy::CriticalPath);
+        for v in [3, 1, 4, 2, 5] {
+            q.push(T(v));
+        }
+        assert_eq!(drain(q), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn comm_aware_prefers_urgent_tasks_then_priority() {
+        let mut q = ReadyQueue::new(RtqPolicy::CommAware);
+        for v in [3, 1, 4, 2, 5] {
+            q.push(T(v));
+        }
+        // Task 4 unblocks 3 remote ranks, task 2 unblocks 1; the rest none.
+        q.set_urgency(T(4), 3);
+        q.set_urgency(T(2), 1);
+        assert_eq!(drain(q), vec![4, 2, 1, 3, 5]);
+    }
+
+    #[test]
+    fn comm_aware_without_urgencies_degrades_to_priority_order() {
+        let mut q = ReadyQueue::new(RtqPolicy::CommAware);
         for v in [3, 1, 4, 2, 5] {
             q.push(T(v));
         }

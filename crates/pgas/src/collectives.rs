@@ -7,22 +7,23 @@
 //! `⌈log₂ P⌉ · (latency + size/bandwidth)` critical path, not a magic
 //! constant.
 //!
-//! Collectives temporarily use the rank's user-state slot; any state the
-//! caller installed is stashed and restored around the call, so they may be
-//! invoked between solver phases.
+//! Every message is tagged with a **collective epoch**: a per-rank counter
+//! ([`Rank::coll_next_epoch`]) advanced at the start of each collective.
+//! Collectives are called in the same program order on every rank (the
+//! usual SPMD contract), so the counters agree globally with no extra
+//! communication, and a payload delivered early — a fast root racing ahead
+//! into collective *k+1* while some rank still sits in collective *k* — is
+//! parked under its epoch until the matching collective consumes it.
+//! Back-to-back collectives therefore need no separating barrier; chained
+//! calls cannot overtake each other. (Historically they could: payloads
+//! were untagged in a shared inbox, and a rank inside collective *k* could
+//! drain and mis-consume collective *k+1*'s message. The regression tests
+//! at the bottom pin the fix.)
 //!
-//! Messages carry no collective tag, so two *independent* collectives must
-//! not overlap: separate back-to-back calls with a [`Rank::barrier`] (or a
-//! data dependency, as [`allreduce`] has internally), or a fast root's
-//! message for the second collective can be consumed — and then discarded —
-//! by a rank still inside the first.
+//! Collectives no longer touch the rank's user-state slot at all, so they
+//! may be invoked between (or within) solver phases freely.
 
 use crate::rank::Rank;
-
-/// Internal inbox for an in-flight collective.
-struct CollInbox {
-    msgs: Vec<Vec<f64>>,
-}
 
 /// Children of `me` in a binomial tree rooted at `root` over `n` ranks.
 ///
@@ -59,16 +60,6 @@ fn tree_parent(me: usize, root: usize, n: usize) -> Option<usize> {
     Some((rel - low + root) % n)
 }
 
-/// Stash the caller's user state, run `f`, restore.
-fn with_clean_state<R>(rank: &mut Rank, f: impl FnOnce(&mut Rank) -> R) -> R {
-    let saved = rank.stash_state();
-    rank.set_state(CollInbox { msgs: Vec::new() });
-    let r = f(rank);
-    let _ = rank.take_state::<CollInbox>();
-    rank.restore_state(saved);
-    r
-}
-
 /// Broadcast `data` from `root` to every rank; returns each rank's copy.
 /// Must be called collectively (every rank, same root).
 pub fn broadcast(rank: &mut Rank, root: usize, data: Option<Vec<f64>>) -> Vec<f64> {
@@ -77,31 +68,32 @@ pub fn broadcast(rank: &mut Rank, root: usize, data: Option<Vec<f64>>) -> Vec<f6
         return data.expect("root must supply the payload");
     }
     let me = rank.id();
-    with_clean_state(rank, |rank| {
-        let payload = if me == root {
-            data.expect("root must supply the payload")
-        } else {
-            // Wait for the message from the tree parent.
-            loop {
-                rank.progress();
-                let got = rank.with_state::<CollInbox, _>(|_, inbox| inbox.msgs.pop());
-                if let Some(v) = got {
-                    break v;
-                }
-                std::thread::yield_now();
+    let epoch = rank.coll_next_epoch();
+    let payload = if me == root {
+        data.expect("root must supply the payload")
+    } else {
+        // Wait for this epoch's message from the tree parent; payloads of
+        // later collectives arriving early stay parked under their epoch.
+        loop {
+            rank.progress();
+            let mut got = rank.coll_take(epoch);
+            debug_assert!(got.len() <= 1, "one parent sends one payload");
+            if let Some(v) = got.pop() {
+                break v;
             }
-        };
-        // Relay to subtree children.
-        for child in tree_children(me, root, n) {
-            let copy = payload.clone();
-            let cell = std::sync::Mutex::new(Some(copy));
-            rank.rpc_payload(child, payload.len() * 8, move |r| {
-                let v = cell.lock().unwrap().take().expect("delivered once");
-                r.with_state::<CollInbox, _>(|_, inbox| inbox.msgs.push(v));
-            });
+            std::thread::yield_now();
         }
-        payload
-    })
+    };
+    // Relay to subtree children.
+    for child in tree_children(me, root, n) {
+        let copy = payload.clone();
+        let cell = std::sync::Mutex::new(Some(copy));
+        rank.rpc_payload(child, payload.len() * 8, move |r| {
+            let v = cell.lock().unwrap().take().expect("delivered once");
+            r.coll_deliver(epoch, v);
+        });
+    }
+    payload
 }
 
 /// Element-wise reduction to `root` over every rank's `contrib` (all must
@@ -118,40 +110,38 @@ pub fn reduce(
     }
     let me = rank.id();
     let n_children = tree_children(me, root, n).len();
-    with_clean_state(rank, |rank| {
-        // Gather children's partial reductions.
-        let mut acc = contrib;
-        let mut received = 0;
-        while received < n_children {
-            rank.progress();
-            let msgs = rank.with_state::<CollInbox, _>(|_, inbox| std::mem::take(&mut inbox.msgs));
-            for v in msgs {
-                assert_eq!(
-                    v.len(),
-                    acc.len(),
-                    "reduce contributions must have equal length"
-                );
-                for (a, b) in acc.iter_mut().zip(v) {
-                    *a = op(*a, b);
-                }
-                received += 1;
+    let epoch = rank.coll_next_epoch();
+    // Gather children's partial reductions for this epoch.
+    let mut acc = contrib;
+    let mut received = 0;
+    while received < n_children {
+        rank.progress();
+        for v in rank.coll_take(epoch) {
+            assert_eq!(
+                v.len(),
+                acc.len(),
+                "reduce contributions must have equal length"
+            );
+            for (a, b) in acc.iter_mut().zip(v) {
+                *a = op(*a, b);
             }
-            std::thread::yield_now();
+            received += 1;
         }
-        // Forward up the tree.
-        match tree_parent(me, root, n) {
-            None => Some(acc),
-            Some(parent) => {
-                let cell = std::sync::Mutex::new(Some(acc));
-                let bytes = cell.lock().unwrap().as_ref().unwrap().len() * 8;
-                rank.rpc_payload(parent, bytes, move |r| {
-                    let v = cell.lock().unwrap().take().expect("delivered once");
-                    r.with_state::<CollInbox, _>(|_, inbox| inbox.msgs.push(v));
-                });
-                None
-            }
+        std::thread::yield_now();
+    }
+    // Forward up the tree.
+    match tree_parent(me, root, n) {
+        None => Some(acc),
+        Some(parent) => {
+            let cell = std::sync::Mutex::new(Some(acc));
+            let bytes = cell.lock().unwrap().as_ref().unwrap().len() * 8;
+            rank.rpc_payload(parent, bytes, move |r| {
+                let v = cell.lock().unwrap().take().expect("delivered once");
+                r.coll_deliver(epoch, v);
+            });
+            None
         }
-    })
+    }
 }
 
 /// Allreduce: reduction visible on every rank (reduce to 0, then broadcast).
@@ -314,9 +304,8 @@ mod tests {
                 let t0 = rank.now();
                 let _ = allreduce(rank, vec![1.0], |a, b| a + b);
                 let t1 = rank.now();
-                // Independent collectives must not overlap (see module
-                // docs): fence before the standalone broadcast.
-                rank.barrier();
+                // No fence: epoch tagging makes back-to-back collectives
+                // safe (see the overtaking regression tests below).
                 let _ = broadcast(rank, 0, (rank.id() == 0).then(|| vec![2.0; 256]));
                 let t2 = rank.now();
                 (t0, t1, t2)
@@ -339,6 +328,69 @@ mod tests {
         });
         for r in &report.results {
             assert_eq!(*r, 42);
+        }
+    }
+
+    #[test]
+    fn chained_broadcasts_with_rotating_roots_never_overtake() {
+        // Regression for the chained-collective overtaking bug: with no
+        // barriers between rounds, a fast root's payload for round k+1
+        // arrives while slow ranks still sit in round k. Untagged inboxes
+        // mis-consumed it (the old LIFO pop made it worse); epoch tagging
+        // must route every payload to its own round. Rotating roots and
+        // distinct payloads per round make any mixup visible.
+        for n in [3usize, 5, 8] {
+            let rounds = 6;
+            let report = Runtime::run(PgasConfig::single_node(n), move |rank| {
+                let mut got = Vec::with_capacity(rounds);
+                for round in 0..rounds {
+                    let root = round % n;
+                    let data = (rank.id() == root).then(|| vec![round as f64 * 10.0, root as f64]);
+                    got.push(broadcast(rank, root, data));
+                    // Skew the root ahead so it races into the next round.
+                    if rank.id() == root {
+                        rank.advance(5.0e-6);
+                    }
+                }
+                got
+            });
+            for (id, r) in report.results.iter().enumerate() {
+                for (round, v) in r.iter().enumerate() {
+                    let root = round % n;
+                    assert_eq!(
+                        v,
+                        &vec![round as f64 * 10.0, root as f64],
+                        "n={n} rank={id} round={round}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_allreduces_never_overtake() {
+        // Same regression through the reduce path: consecutive allreduces
+        // with round-dependent contributions, no fences. A cross-round
+        // mis-consumed partial sum would corrupt both rounds' results.
+        for n in [3usize, 4, 7] {
+            let rounds = 5;
+            let report = Runtime::run(PgasConfig::single_node(n), move |rank| {
+                let mut got = Vec::with_capacity(rounds);
+                for round in 0..rounds {
+                    let contrib = vec![(rank.id() + round) as f64];
+                    got.push(allreduce(rank, contrib, |a, b| a + b));
+                    // Stagger ranks so rounds genuinely overlap in the
+                    // message queues.
+                    rank.advance(1.0e-6 * rank.id() as f64);
+                }
+                got
+            });
+            for (id, r) in report.results.iter().enumerate() {
+                for (round, v) in r.iter().enumerate() {
+                    let want = (0..n).map(|i| (i + round) as f64).sum::<f64>();
+                    assert_eq!(v, &vec![want], "n={n} rank={id} round={round}");
+                }
+            }
         }
     }
 }

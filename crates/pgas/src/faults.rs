@@ -14,6 +14,8 @@ const SALT_DUP: u64 = 0x02;
 const SALT_DELAY: u64 = 0x03;
 const SALT_DELAY_MAG: u64 = 0x04;
 const SALT_RGET: u64 = 0x05;
+const SALT_FRAME_DROP: u64 = 0x06;
+const SALT_FRAME_DUP: u64 = 0x07;
 
 /// SplitMix64 finalizer: a well-mixed 64-bit hash of the input.
 fn splitmix64(mut x: u64) -> u64 {
@@ -140,6 +142,21 @@ impl FaultPlan {
     pub fn rget_times_out(&self, rank: usize, counter: u64) -> bool {
         self.decide(self.rget_fail_prob, rank, counter, SALT_RGET)
     }
+
+    /// Should coalesced-frame-op `counter` issued by `rank` be dropped
+    /// whole? Frames reuse the signal drop probability but draw from a
+    /// distinct salt so the coalesced and flat schedules fault
+    /// independently.
+    pub fn drops_frame(&self, rank: usize, counter: u64) -> bool {
+        self.decide(self.drop_prob, rank, counter, SALT_FRAME_DROP)
+    }
+
+    /// Should coalesced-frame-op `counter` issued by `rank` be delivered
+    /// twice? Every sub-frame in the ghost copy replays, so the receiving
+    /// inbox must absorb a whole duplicated batch.
+    pub fn duplicates_frame(&self, rank: usize, counter: u64) -> bool {
+        self.decide(self.dup_prob, rank, counter, SALT_FRAME_DUP)
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +206,22 @@ mod tests {
             }
         }
         assert!(spiked > 100, "expected some spikes, got {spiked}");
+    }
+
+    #[test]
+    fn frame_decisions_use_an_independent_stream() {
+        let p = FaultPlan::chaos(11);
+        let n = 20_000u64;
+        let drops = (0..n).filter(|&c| p.drops_frame(0, c)).count() as f64 / n as f64;
+        let dups = (0..n).filter(|&c| p.duplicates_frame(0, c)).count() as f64 / n as f64;
+        assert!(
+            (drops - p.drop_prob).abs() < 0.01,
+            "frame drop rate {drops}"
+        );
+        assert!((dups - p.dup_prob).abs() < 0.01, "frame dup rate {dups}");
+        // Same counter, different salt: the streams must not be aliases.
+        let aliased = (0..512).all(|c| p.drops_frame(1, c) == p.drops_signal(1, c));
+        assert!(!aliased, "frame drops must not mirror signal drops");
     }
 
     #[test]

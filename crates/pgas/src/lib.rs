@@ -27,6 +27,7 @@
 //!   RDMA, single zero-copy leg) or `Reference` (staged through host
 //!   memory, extra legs + latency), reproducing the paper's Fig. 5 contrast.
 
+pub mod coalesce;
 pub mod collectives;
 pub mod faults;
 pub mod netmodel;
@@ -37,6 +38,7 @@ pub mod segment;
 pub mod stats;
 pub mod sync;
 
+pub use coalesce::{BcastPlan, BcastTopology, CoalesceConfig, Coalescer};
 pub use collectives::{allreduce, broadcast, reduce};
 pub use faults::FaultPlan;
 pub use netmodel::{MemKindsMode, NetModel};

@@ -48,8 +48,22 @@ pub struct NetModel {
     pub reference_overhead: f64,
     /// Latency of delivering and executing a remote procedure call.
     pub rpc_latency: f64,
+    /// Modeled wire footprint of one message *envelope* — packet headers
+    /// plus active-message metadata — charged once per RPC/signal/frame in
+    /// the byte accounting. This is what per-destination coalescing
+    /// amortizes: `n` flat signals pay `n` envelopes, one frame carrying
+    /// `n` sub-signals pays a single envelope plus per-sub headers.
+    /// (Timing of bare signals is unchanged — latency-only, the historical
+    /// model — only the byte ledger sees the envelope.)
+    pub rpc_envelope_bytes: usize,
     /// Memory-kinds implementation in effect.
     pub mode: MemKindsMode,
+    /// Model NIC injection serialization at the data's source: concurrent
+    /// transfers leaving one rank queue on its NIC instead of enjoying
+    /// infinite fan-out. Off by default (the historical behavior); the
+    /// strong-scaling benchmarks enable it so a flat broadcast honestly
+    /// pays O(targets) serialization at the owner.
+    pub model_injection: bool,
 }
 
 impl Default for NetModel {
@@ -66,7 +80,10 @@ impl Default for NetModel {
             // paper's ~5.9x (8 KiB) and ~2.3x (≥1 MiB) marks.
             reference_overhead: 1.2e-6,
             rpc_latency: 3.0e-6,
+            // Ethernet/InfiniBand-class packet + AM header footprint.
+            rpc_envelope_bytes: 128,
             mode: MemKindsMode::Native,
+            model_injection: false,
         }
     }
 }
@@ -114,6 +131,19 @@ impl NetModel {
                     t
                 }
             }
+        }
+    }
+
+    /// NIC occupancy of injecting `bytes` onto the wire at the source —
+    /// the serialization window during which the source NIC cannot start
+    /// another cross-node transfer. `0.0` when injection modeling is off
+    /// or the transfer stays on-node (shared-memory copies don't occupy
+    /// the NIC).
+    pub fn injection_time(&self, bytes: usize, same_node: bool) -> f64 {
+        if !self.model_injection || same_node {
+            0.0
+        } else {
+            bytes as f64 / self.net_bandwidth
         }
     }
 

@@ -5,6 +5,7 @@ use crate::ptr::{GlobalPtr, MemKind};
 use crate::runtime::Shared;
 use crate::segment::DeviceOom;
 use std::any::Any;
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use sympack_trace::{SpanKind, TraceCat, TraceEvent, Tracer};
@@ -100,6 +101,14 @@ pub struct Rank {
     /// nothing; recording never touches the virtual clock either way, so
     /// enabling it cannot perturb the schedule.
     tracer: Option<Tracer>,
+    /// Monotone collective-epoch counter. Every rank calls the same
+    /// sequence of collectives in program order, so counters agree across
+    /// ranks without any extra communication and tag each collective's
+    /// messages unambiguously (see `collectives.rs`).
+    coll_epoch: u64,
+    /// Collective payloads delivered ahead of their collective's start on
+    /// this rank, parked by epoch until consumed.
+    coll_pending: HashMap<u64, Vec<Vec<f64>>>,
 }
 
 impl Rank {
@@ -112,6 +121,8 @@ impl Rank {
             fault_ctr: 0,
             user_state: None,
             tracer: None,
+            coll_epoch: 0,
+            coll_pending: HashMap::new(),
         }
     }
 
@@ -164,6 +175,11 @@ impl Rank {
     /// Total ranks in the job.
     pub fn n_ranks(&self) -> usize {
         self.shared.config.n_ranks
+    }
+
+    /// Configured ranks per (virtual) node.
+    pub fn ranks_per_node(&self) -> usize {
+        self.shared.config.ranks_per_node
     }
 
     /// Node housing rank `r` under the configured ranks-per-node.
@@ -259,6 +275,36 @@ impl Rank {
         }
     }
 
+    // ----- NIC injection serialization -----
+
+    /// Queueing delay (virtual seconds) before `bytes` can start leaving
+    /// rank `src`'s NIC at this rank's current clock, claiming the NIC
+    /// for the injection window. `0.0` — and no shared-state traffic —
+    /// unless [`NetModel::model_injection`] is on and the transfer
+    /// crosses nodes. The occupancy itself (`bytes / bandwidth`) is
+    /// already part of `transfer_time`; only the wait in front of it is
+    /// returned, so an idle NIC reproduces the unmodeled times exactly.
+    fn nic_queue_delay(&self, src: usize, bytes: usize, same_node: bool) -> f64 {
+        let occ = self.net().injection_time(bytes, same_node);
+        if occ <= 0.0 {
+            return 0.0;
+        }
+        let cell = &self.shared.nic_busy[src];
+        loop {
+            let cur = f64::from_bits(cell.load(Ordering::SeqCst));
+            let start = cur.max(self.clock);
+            let cas = cell.compare_exchange(
+                cur.to_bits(),
+                (start + occ).to_bits(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            if cas.is_ok() {
+                return start - self.clock;
+            }
+        }
+    }
+
     // ----- memory -----
 
     /// Allocate `len` elements of `kind` in this rank's shared heap.
@@ -316,6 +362,9 @@ impl Rank {
         let t = self
             .net()
             .transfer_time(ptr.bytes(), same_node, ptr.kind, MemKind::Host);
+        // The data leaves the owner's NIC: queue behind other transfers
+        // it is injecting (no-op unless injection modeling is on).
+        let inj = self.nic_queue_delay(ptr.rank, ptr.bytes(), same_node);
         let seg = self.shared.tables[ptr.rank].get(ptr.seg);
         let data = seg.data.read()[ptr.offset..ptr.offset + ptr.len].to_vec();
         let stats = &self.shared.stats;
@@ -327,7 +376,7 @@ impl Rank {
             same_node,
             ptr.kind == MemKind::Device,
         );
-        let ready_at = self.clock + t;
+        let ready_at = self.clock + t + inj;
         self.record_comm(SpanKind::Rget, "rget", ptr.rank, ptr.bytes(), t0, ready_at);
         RgetHandle { data, ready_at }
     }
@@ -457,10 +506,18 @@ impl Rank {
     /// this behaves exactly like [`Rank::rpc`].
     pub fn rpc_signal(&mut self, target: usize, func: impl Fn(&mut Rank) + Send + Clone + 'static) {
         self.clock += ISSUE_OVERHEAD;
-        let base = self.clock + self.net().rpc_time(self.same_node(target));
+        let same_node = self.same_node(target);
+        let base = self.clock + self.net().rpc_time(same_node);
+        // A bare signal occupies real wire: one envelope plus the
+        // `signal(ptr, meta)` payload. Timing stays latency-only (the
+        // historical model) but the byte ledger sees the full footprint —
+        // this is the per-message cost coalesced frames amortize.
+        let wire = self.net().rpc_envelope_bytes + crate::coalesce::SIGNAL_WIRE_BYTES;
         let Some(plan) = self.shared.config.faults else {
             self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-            self.shared.stats.record_msg(self.id, target);
+            self.shared
+                .stats
+                .record_transfer(self.id, target, wire, same_node, false);
             self.bump_activity();
             self.shared.rpc_queues[target].push(RpcMsg {
                 ready_at: base,
@@ -478,7 +535,9 @@ impl Rank {
         }
         let ready_at = base + plan.delay(self.id, ctr);
         self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-        self.shared.stats.record_msg(self.id, target);
+        self.shared
+            .stats
+            .record_transfer(self.id, target, wire, same_node, false);
         self.bump_activity();
         if plan.duplicates_signal(self.id, ctr) {
             self.shared
@@ -511,11 +570,13 @@ impl Rank {
         self.clock += ISSUE_OVERHEAD;
         let same_node = self.same_node(target);
         let ctr = self.next_fault_op();
+        let inj = self.nic_queue_delay(self.id, payload_bytes, same_node);
         let ready_at = self.clock
             + self.net().rpc_time(same_node)
             + self
                 .net()
                 .transfer_time(payload_bytes, same_node, MemKind::Host, MemKind::Host)
+            + inj
             + self.fault_delay(ctr);
         self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
         self.bump_activity();
@@ -523,6 +584,80 @@ impl Rank {
             .stats
             .record_transfer(self.id, target, payload_bytes, same_node, false);
         self.record_comm(SpanKind::Rpc, "rpc", target, payload_bytes, t0, ready_at);
+        self.shared.rpc_queues[target].push(RpcMsg {
+            ready_at,
+            func: Box::new(func),
+        });
+    }
+
+    /// Send a coalesced *frame*: one wire message of `wire_bytes` carrying
+    /// `n_subs` sub-messages, whose delivery runs `func` (which unpacks
+    /// and dispatches every sub). Charged like a payload RPC of the framed
+    /// size — latency is paid once for the whole batch, which is the point
+    /// of coalescing.
+    ///
+    /// Fault injection applies to the frame as a unit, on an independent
+    /// decision stream from flat signals: a dropped frame loses *all* its
+    /// subs (the stall detector must diagnose it), a duplicated frame
+    /// replays all of them (every sub must be idempotent, which the
+    /// signal inbox's pointer dedup guarantees).
+    pub fn rpc_frame(
+        &mut self,
+        target: usize,
+        wire_bytes: usize,
+        n_subs: usize,
+        func: impl Fn(&mut Rank) + Send + Clone + 'static,
+    ) {
+        let t0 = self.clock;
+        self.clock += ISSUE_OVERHEAD;
+        let same_node = self.same_node(target);
+        // The frame pays one envelope for the whole batch — in time and
+        // in the byte ledger — where flat signals pay one per sub.
+        let wire = self.net().rpc_envelope_bytes + wire_bytes;
+        let inj = self.nic_queue_delay(self.id, wire, same_node);
+        let base = self.clock
+            + self.net().rpc_time(same_node)
+            + self
+                .net()
+                .transfer_time(wire, same_node, MemKind::Host, MemKind::Host)
+            + inj;
+        let plan = self.shared.config.faults;
+        let ctr = plan.is_some().then(|| self.next_fault_op());
+        if let (Some(plan), Some(ctr)) = (&plan, ctr) {
+            if plan.drops_frame(self.id, ctr) {
+                self.shared
+                    .stats
+                    .rpcs_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let ready_at = base + ctr.map_or(0.0, |c| self.fault_delay(c));
+        self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .frame_subs
+            .fetch_add(n_subs as u64, Ordering::Relaxed);
+        self.shared
+            .stats
+            .record_transfer(self.id, target, wire, same_node, false);
+        self.bump_activity();
+        self.record_comm(SpanKind::Rpc, "frame", target, wire, t0, ready_at);
+        if let (Some(plan), Some(ctr)) = (&plan, ctr) {
+            if plan.duplicates_frame(self.id, ctr) {
+                self.shared
+                    .stats
+                    .rpcs_duplicated
+                    .fetch_add(1, Ordering::Relaxed);
+                let dup = func.clone();
+                // The ghost frame arrives strictly later, as a straggler.
+                self.shared.rpc_queues[target].push(RpcMsg {
+                    ready_at: ready_at + plan.delay_secs.max(1.0e-6),
+                    func: Box::new(dup),
+                });
+            }
+        }
         self.shared.rpc_queues[target].push(RpcMsg {
             ready_at,
             func: Box::new(func),
@@ -647,6 +782,31 @@ impl Rank {
     }
 
     // ----- collectives -----
+
+    /// Start a new collective on this rank and return its epoch tag.
+    /// Collectives are called in the same program order on every rank, so
+    /// the per-rank counters agree globally without communication; the
+    /// tag travels with every payload of that collective so a message
+    /// from collective *k+1* can never be consumed by collective *k*
+    /// (the chained-collective overtaking bug).
+    pub fn coll_next_epoch(&mut self) -> u64 {
+        self.coll_epoch += 1;
+        self.coll_epoch
+    }
+
+    /// Deliver a collective payload tagged with `epoch` to this rank
+    /// (called from inside RPC handlers). Parked until the matching
+    /// collective consumes it — even if that collective has not started
+    /// here yet.
+    pub fn coll_deliver(&mut self, epoch: u64, payload: Vec<f64>) {
+        self.coll_pending.entry(epoch).or_default().push(payload);
+    }
+
+    /// Take every payload delivered so far for collective `epoch`
+    /// (possibly none).
+    pub fn coll_take(&mut self, epoch: u64) -> Vec<Vec<f64>> {
+        self.coll_pending.remove(&epoch).unwrap_or_default()
+    }
 
     /// Barrier across all ranks: physical synchronization plus virtual-clock
     /// agreement (every rank leaves with the maximum clock).

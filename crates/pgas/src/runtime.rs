@@ -65,7 +65,12 @@ impl PgasConfig {
 /// bit-reproducible.
 pub(crate) struct Turnstile {
     state: Mutex<TState>,
-    cv: Condvar,
+    /// One condvar per rank: handing the turn to rank `r` notifies only
+    /// `cvs[r]`. With a single shared condvar every turn change woke all
+    /// P waiters just to have P−1 go back to sleep — a thundering herd
+    /// that made lockstep runs quadratic in rank count and unusable at
+    /// the strong-scaling P=1024 mark.
+    cvs: Vec<Condvar>,
 }
 
 struct TState {
@@ -98,7 +103,7 @@ impl Turnstile {
                 parked: vec![false; n],
                 arrivals: 0,
             }),
-            cv: Condvar::new(),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
         }
     }
 
@@ -106,7 +111,7 @@ impl Turnstile {
     pub(crate) fn wait_turn(&self, id: usize) {
         let mut st = self.state.lock().unwrap();
         while st.current != id {
-            st = self.cv.wait(st).unwrap();
+            st = self.cvs[id].wait(st).unwrap();
         }
     }
 
@@ -117,9 +122,9 @@ impl Turnstile {
         debug_assert_eq!(st.current, id, "pass() without holding the turn");
         if let Some(next) = st.next_live(id) {
             st.current = next;
-            self.cv.notify_all();
+            self.cvs[next].notify_one();
             while st.current != id {
-                st = self.cv.wait(st).unwrap();
+                st = self.cvs[id].wait(st).unwrap();
             }
         }
     }
@@ -141,7 +146,7 @@ impl Turnstile {
                 .expect("barrier underfilled yet no runnable rank");
             st.current = next;
         }
-        self.cv.notify_all();
+        self.cvs[st.current].notify_one();
     }
 
     /// Permanently remove `id` from the rotation (its closure returned).
@@ -151,9 +156,9 @@ impl Turnstile {
         if st.current == id {
             if let Some(next) = st.next_live(id) {
                 st.current = next;
+                self.cvs[next].notify_one();
             }
         }
-        self.cv.notify_all();
     }
 }
 
@@ -176,6 +181,10 @@ pub(crate) struct Shared {
     pub abort: AtomicBool,
     /// Lockstep scheduler, present iff `config.deterministic`.
     pub turnstile: Option<Turnstile>,
+    /// Per-rank NIC busy-until virtual times (f64 bits), used only when
+    /// [`NetModel::model_injection`] is on: concurrent cross-node
+    /// transfers leaving one rank serialize on its NIC.
+    pub nic_busy: Vec<AtomicU64>,
 }
 
 /// Result of a run: per-rank return values, the virtual makespan, final
@@ -224,6 +233,7 @@ impl Runtime {
             activity: AtomicU64::new(0),
             abort: AtomicBool::new(false),
             turnstile,
+            nic_busy: (0..n).map(|_| AtomicU64::new(0)).collect(),
             config,
         });
         let mut slots: Vec<Option<(R, f64)>> = (0..n).map(|_| None).collect();

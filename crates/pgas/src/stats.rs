@@ -34,6 +34,10 @@ pub struct Stats {
     pub rpcs_duplicated: AtomicU64,
     /// rget attempts that timed out transiently under fault injection.
     pub rget_timeouts: AtomicU64,
+    /// Coalesced frames sent.
+    pub frames: AtomicU64,
+    /// Sub-messages carried inside coalesced frames.
+    pub frame_subs: AtomicU64,
     /// Number of ranks the per-peer matrix is sized for (0 = disabled).
     n_ranks: usize,
     /// Bytes moved src→dst, row-major `src·n + dst`.
@@ -113,6 +117,8 @@ impl Stats {
             rpcs_dropped: self.rpcs_dropped.load(Ordering::Relaxed),
             rpcs_duplicated: self.rpcs_duplicated.load(Ordering::Relaxed),
             rget_timeouts: self.rget_timeouts.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            frame_subs: self.frame_subs.load(Ordering::Relaxed),
         }
     }
 }
@@ -130,6 +136,8 @@ pub struct StatsSnapshot {
     pub rpcs_dropped: u64,
     pub rpcs_duplicated: u64,
     pub rget_timeouts: u64,
+    pub frames: u64,
+    pub frame_subs: u64,
 }
 
 #[cfg(test)]

@@ -614,6 +614,33 @@ mod tests {
     }
 
     #[test]
+    fn session_with_scaling_knobs_factors_and_refactors() {
+        // The strong-scaling knobs (tree broadcast + signal coalescing)
+        // flow through the session path: SolverOptions → SolvePlan →
+        // factor_numeric, including re-factorization.
+        let a = laplacian_2d(8, 8);
+        let b = test_rhs(a.n());
+        let mut o = opts(4);
+        o.n_nodes = 2;
+        o.ranks_per_node = 2;
+        o.bcast = sympack::BcastTopology::Tree { arity: 2 };
+        o.coalesce = Some(sympack::CoalesceConfig::default());
+        o.deterministic = true;
+        let mut session = Session::new(&a, &o).unwrap();
+        let x = session.solve(&b).unwrap();
+        assert!(a.relative_residual(&x, &b) < 1e-10);
+        // Re-factor on the same pattern with scaled values.
+        let values: Vec<f64> = (0..a.n())
+            .flat_map(|c| a.col_values(c).iter().map(|v| v * 2.0).collect::<Vec<_>>())
+            .collect();
+        session.refactorize(&values).unwrap();
+        let x2 = session.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(x2.iter()) {
+            assert!((u - 2.0 * v).abs() < 1e-9, "A/2 scaling inverts x");
+        }
+    }
+
+    #[test]
     fn batch_solve_returns_per_panel_solutions() {
         let a = laplacian_2d(7, 7);
         let n = a.n();

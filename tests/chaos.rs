@@ -1,7 +1,8 @@
 //! Deterministic schedule-fuzzing and network fault-injection harness.
 //!
-//! Sweeps seeds × fault plans × engines × rank counts through the shared
-//! task runtime in deterministic lockstep mode, asserting that
+//! Sweeps seeds × fault plans × engines × rank counts × comm topologies
+//! through the shared task runtime in deterministic lockstep mode,
+//! asserting that
 //!
 //! * with faults disabled, a run is bit-reproducible (identical virtual
 //!   makespans and per-kind task counts across repeats);
@@ -16,15 +17,24 @@
 //! factorization engine, so the sweep covers all five engines on the shared
 //! runtime (fan-out, right-looking, fan-in, fan-both, solve).
 //!
+//! The `tree` topology runs the full communication-aggregation layer —
+//! per-destination signal coalescing plus (for the fan-out engine) the
+//! hierarchical node-group broadcast over a two-node split — so fault
+//! injection lands on coalesced frames and tree-relay hops too: a dropped
+//! frame loses every sub-frame in it, and a dropped relay starves a whole
+//! subtree, both of which must surface as a diagnosed stall, never a hang
+//! or a wrong answer.
+//!
 //! A failing case panics with a one-line repro command of the form
-//! `CHAOS_SEED=<n> CHAOS_PLAN=<p> CHAOS_ENGINE=<e> CHAOS_RANKS=<r> cargo
-//! test -p sympack-integration --test chaos -- repro --nocapture` and is
-//! appended to `target/chaos-failures.txt` for CI artifact upload.
+//! `CHAOS_SEED=<n> CHAOS_PLAN=<p> CHAOS_ENGINE=<e> CHAOS_RANKS=<r>
+//! CHAOS_TOPO=<t> cargo test -p sympack-integration --test chaos -- repro
+//! --nocapture` and is appended to `target/chaos-failures.txt` for CI
+//! artifact upload.
 //!
 //! `CHAOS_SEED_BUDGET` scales the number of seeds per (plan, engine, ranks)
 //! combination (default 2 → ≥ 100 fuzz runs across the two sweep tests).
 
-use sympack::{SolverError, SolverOptions, SymPack};
+use sympack::{BcastTopology, CoalesceConfig, SolverError, SolverOptions, SymPack};
 use sympack_baseline::{
     try_baseline_factor_and_solve, try_fanboth_factor_and_solve, try_fanin_factor_and_solve,
     BaselineOptions,
@@ -35,7 +45,18 @@ use sympack_sparse::vecops::test_rhs;
 
 const ENGINES: [&str; 4] = ["fanout", "rightlooking", "fanin", "fanboth"];
 const RANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const TOPOLOGIES: [&str; 2] = ["flat", "tree"];
 const RESIDUAL_TOL: f64 = 1e-8;
+
+/// Node split for a topology: `tree` spreads the ranks over two virtual
+/// nodes (so node-group relays actually cross the network), `flat` keeps
+/// the historical single-node layout.
+fn nodes_of(topo: &str, ranks: usize) -> (usize, usize) {
+    match topo {
+        "tree" if ranks >= 2 => (2, ranks / 2),
+        _ => (1, ranks),
+    }
+}
 
 /// Seeds per (plan, engine, ranks) combination.
 fn seed_budget() -> u64 {
@@ -67,23 +88,37 @@ struct RunOutcome {
 }
 
 /// One factor+solve run of `engine` under `plan_name`/`seed` at `ranks`
-/// ranks, in deterministic lockstep mode.
+/// ranks and `topo` comm topology, in deterministic lockstep mode.
 fn run_one(
     engine: &str,
     plan_name: &str,
     seed: u64,
     ranks: usize,
+    topo: &str,
 ) -> Result<RunOutcome, SolverError> {
     let a = gen::laplacian_2d(6, 6);
     let b = test_rhs(a.n());
     let faults = plan_of(plan_name, seed);
+    let (n_nodes, ranks_per_node) = nodes_of(topo, ranks);
+    let tree = topo == "tree";
+    // Under `tree` the full aggregation layer is on: signal coalescing for
+    // every engine, plus the node-group broadcast tree (arity 2, so even
+    // tiny rank counts form relay chains) for the fan-out engine.
+    let bcast = if tree {
+        BcastTopology::Tree { arity: 2 }
+    } else {
+        BcastTopology::Flat
+    };
+    let coalesce = tree.then(CoalesceConfig::default);
     if engine == "fanout" {
         let opts = SolverOptions {
-            n_nodes: 1,
-            ranks_per_node: ranks,
+            n_nodes,
+            ranks_per_node,
             faults,
             deterministic: true,
             refine_steps: 0,
+            bcast,
+            coalesce,
             ..Default::default()
         };
         let r = SymPack::try_factor_and_solve(&a, &b, &opts)?;
@@ -95,10 +130,12 @@ fn run_one(
         });
     }
     let opts = BaselineOptions {
-        n_nodes: 1,
-        ranks_per_node: ranks,
+        n_nodes,
+        ranks_per_node,
         faults,
         deterministic: true,
+        bcast,
+        coalesce,
         ..Default::default()
     };
     let run = match engine {
@@ -117,10 +154,10 @@ fn run_one(
 }
 
 /// One-line command reproducing a failing case.
-fn repro_cmd(engine: &str, plan: &str, seed: u64, ranks: usize) -> String {
+fn repro_cmd(engine: &str, plan: &str, seed: u64, ranks: usize, topo: &str) -> String {
     format!(
         "CHAOS_SEED={seed} CHAOS_PLAN={plan} CHAOS_ENGINE={engine} CHAOS_RANKS={ranks} \
-         cargo test -p sympack-integration --test chaos -- repro --nocapture"
+         CHAOS_TOPO={topo} cargo test -p sympack-integration --test chaos -- repro --nocapture"
     )
 }
 
@@ -139,41 +176,45 @@ fn record_failure(line: &str) {
 }
 
 /// Fail the sweep with a repro command, recording it for artifact upload.
-fn fail_case(engine: &str, plan: &str, seed: u64, ranks: usize, why: &str) -> ! {
-    let cmd = repro_cmd(engine, plan, seed, ranks);
+fn fail_case(engine: &str, plan: &str, seed: u64, ranks: usize, topo: &str, why: &str) -> ! {
+    let cmd = repro_cmd(engine, plan, seed, ranks, topo);
     record_failure(&format!("{why} :: {cmd}"));
     panic!("{why}\nrepro: {cmd}");
 }
 
 #[test]
 fn fault_free_runs_are_bit_deterministic() {
-    for engine in ENGINES {
-        for ranks in [2, 4] {
-            let first = run_one(engine, "none", 0, ranks)
-                .unwrap_or_else(|e| panic!("{engine} P={ranks}: fault-free run failed: {e}"));
-            let second = run_one(engine, "none", 0, ranks)
-                .unwrap_or_else(|e| panic!("{engine} P={ranks}: fault-free rerun failed: {e}"));
-            assert_eq!(
-                first.factor_time.to_bits(),
-                second.factor_time.to_bits(),
-                "{engine} P={ranks}: factor makespan not bit-reproducible \
-                 ({} vs {})",
-                first.factor_time,
-                second.factor_time
-            );
-            assert_eq!(
-                first.solve_time.to_bits(),
-                second.solve_time.to_bits(),
-                "{engine} P={ranks}: solve makespan not bit-reproducible \
-                 ({} vs {})",
-                first.solve_time,
-                second.solve_time
-            );
-            assert_eq!(
-                first.task_counts, second.task_counts,
-                "{engine} P={ranks}: task counts not reproducible"
-            );
-            assert!(first.residual < RESIDUAL_TOL);
+    for topo in TOPOLOGIES {
+        for engine in ENGINES {
+            for ranks in [2, 4] {
+                let first = run_one(engine, "none", 0, ranks, topo).unwrap_or_else(|e| {
+                    panic!("{engine}/{topo} P={ranks}: fault-free run failed: {e}")
+                });
+                let second = run_one(engine, "none", 0, ranks, topo).unwrap_or_else(|e| {
+                    panic!("{engine}/{topo} P={ranks}: fault-free rerun failed: {e}")
+                });
+                assert_eq!(
+                    first.factor_time.to_bits(),
+                    second.factor_time.to_bits(),
+                    "{engine}/{topo} P={ranks}: factor makespan not bit-reproducible \
+                     ({} vs {})",
+                    first.factor_time,
+                    second.factor_time
+                );
+                assert_eq!(
+                    first.solve_time.to_bits(),
+                    second.solve_time.to_bits(),
+                    "{engine}/{topo} P={ranks}: solve makespan not bit-reproducible \
+                     ({} vs {})",
+                    first.solve_time,
+                    second.solve_time
+                );
+                assert_eq!(
+                    first.task_counts, second.task_counts,
+                    "{engine}/{topo} P={ranks}: task counts not reproducible"
+                );
+                assert!(first.residual < RESIDUAL_TOL);
+            }
         }
     }
 }
@@ -184,39 +225,45 @@ fn delay_plans_shift_schedules_without_changing_results() {
     // complete with the correct result, and per-kind task counts must match
     // the fault-free schedule (a schedule invariant).
     let budget = seed_budget();
-    for engine in ENGINES {
-        for &ranks in &RANK_COUNTS {
-            let baseline = run_one(engine, "none", 0, ranks)
-                .unwrap_or_else(|e| panic!("{engine} P={ranks}: fault-free run failed: {e}"));
-            for seed in 0..budget {
-                match run_one(engine, "delays", seed, ranks) {
-                    Ok(out) => {
-                        if out.residual >= RESIDUAL_TOL {
-                            fail_case(
-                                engine,
-                                "delays",
-                                seed,
-                                ranks,
-                                &format!("residual {} exceeds {RESIDUAL_TOL}", out.residual),
-                            );
+    for topo in TOPOLOGIES {
+        for engine in ENGINES {
+            for &ranks in &RANK_COUNTS {
+                let baseline = run_one(engine, "none", 0, ranks, topo).unwrap_or_else(|e| {
+                    panic!("{engine}/{topo} P={ranks}: fault-free run failed: {e}")
+                });
+                for seed in 0..budget {
+                    match run_one(engine, "delays", seed, ranks, topo) {
+                        Ok(out) => {
+                            if out.residual >= RESIDUAL_TOL {
+                                fail_case(
+                                    engine,
+                                    "delays",
+                                    seed,
+                                    ranks,
+                                    topo,
+                                    &format!("residual {} exceeds {RESIDUAL_TOL}", out.residual),
+                                );
+                            }
+                            if out.task_counts != baseline.task_counts {
+                                fail_case(
+                                    engine,
+                                    "delays",
+                                    seed,
+                                    ranks,
+                                    topo,
+                                    "per-kind task counts diverge from the fault-free schedule",
+                                );
+                            }
                         }
-                        if out.task_counts != baseline.task_counts {
-                            fail_case(
-                                engine,
-                                "delays",
-                                seed,
-                                ranks,
-                                "per-kind task counts diverge from the fault-free schedule",
-                            );
-                        }
+                        Err(e) => fail_case(
+                            engine,
+                            "delays",
+                            seed,
+                            ranks,
+                            topo,
+                            &format!("delay-only plan must complete, got {e}"),
+                        ),
                     }
-                    Err(e) => fail_case(
-                        engine,
-                        "delays",
-                        seed,
-                        ranks,
-                        &format!("delay-only plan must complete, got {e}"),
-                    ),
                 }
             }
         }
@@ -226,32 +273,36 @@ fn delay_plans_shift_schedules_without_changing_results() {
 #[test]
 fn duplication_plans_are_absorbed_by_the_idempotent_inbox() {
     let budget = seed_budget();
-    for engine in ENGINES {
-        for &ranks in &RANK_COUNTS {
-            for seed in 0..budget {
-                match run_one(engine, "dup", seed, ranks) {
-                    Ok(out) => {
-                        if out.residual >= RESIDUAL_TOL {
-                            fail_case(
-                                engine,
-                                "dup",
-                                seed,
-                                ranks,
-                                &format!(
-                                    "duplicate delivery changed the result \
-                                     (residual {})",
-                                    out.residual
-                                ),
-                            );
+    for topo in TOPOLOGIES {
+        for engine in ENGINES {
+            for &ranks in &RANK_COUNTS {
+                for seed in 0..budget {
+                    match run_one(engine, "dup", seed, ranks, topo) {
+                        Ok(out) => {
+                            if out.residual >= RESIDUAL_TOL {
+                                fail_case(
+                                    engine,
+                                    "dup",
+                                    seed,
+                                    ranks,
+                                    topo,
+                                    &format!(
+                                        "duplicate delivery changed the result \
+                                         (residual {})",
+                                        out.residual
+                                    ),
+                                );
+                            }
                         }
+                        Err(e) => fail_case(
+                            engine,
+                            "dup",
+                            seed,
+                            ranks,
+                            topo,
+                            &format!("duplication plan must complete, got {e}"),
+                        ),
                     }
-                    Err(e) => fail_case(
-                        engine,
-                        "dup",
-                        seed,
-                        ranks,
-                        &format!("duplication plan must complete, got {e}"),
-                    ),
                 }
             }
         }
@@ -262,42 +313,49 @@ fn duplication_plans_are_absorbed_by_the_idempotent_inbox() {
 fn drop_plans_complete_or_diagnose_a_stall_never_hang() {
     let budget = seed_budget();
     let (mut completed, mut diagnosed) = (0u64, 0u64);
-    for plan in ["drops", "chaos"] {
-        for engine in ENGINES {
-            for &ranks in &RANK_COUNTS {
-                for seed in 0..budget {
-                    match run_one(engine, plan, seed, ranks) {
-                        Ok(out) => {
-                            completed += 1;
-                            if out.residual >= RESIDUAL_TOL {
-                                fail_case(
-                                    engine,
-                                    plan,
-                                    seed,
-                                    ranks,
-                                    &format!(
-                                        "completed with wrong result \
-                                         (residual {})",
-                                        out.residual
-                                    ),
-                                );
+    for topo in TOPOLOGIES {
+        for plan in ["drops", "chaos"] {
+            for engine in ENGINES {
+                for &ranks in &RANK_COUNTS {
+                    for seed in 0..budget {
+                        match run_one(engine, plan, seed, ranks, topo) {
+                            Ok(out) => {
+                                completed += 1;
+                                if out.residual >= RESIDUAL_TOL {
+                                    fail_case(
+                                        engine,
+                                        plan,
+                                        seed,
+                                        ranks,
+                                        topo,
+                                        &format!(
+                                            "completed with wrong result \
+                                             (residual {})",
+                                            out.residual
+                                        ),
+                                    );
+                                }
                             }
+                            // The two diagnosed failure modes of a lossy
+                            // network: the quiescence detector named the
+                            // stall, or the rget retry budget ran out.
+                            // Reaching here at all means the run terminated
+                            // (no hang) — including frame drops (all subs
+                            // lost at once) and relay drops (a starved
+                            // subtree) under the tree topology.
+                            Err(SolverError::Stalled { .. })
+                            | Err(SolverError::FetchTimeout { .. }) => {
+                                diagnosed += 1;
+                            }
+                            Err(e) => fail_case(
+                                engine,
+                                plan,
+                                seed,
+                                ranks,
+                                topo,
+                                &format!("undiagnosed failure mode: {e}"),
+                            ),
                         }
-                        // The two diagnosed failure modes of a lossy
-                        // network: the quiescence detector named the stall,
-                        // or the rget retry budget ran out. Reaching here at
-                        // all means the run terminated (no hang).
-                        Err(SolverError::Stalled { .. })
-                        | Err(SolverError::FetchTimeout { .. }) => {
-                            diagnosed += 1;
-                        }
-                        Err(e) => fail_case(
-                            engine,
-                            plan,
-                            seed,
-                            ranks,
-                            &format!("undiagnosed failure mode: {e}"),
-                        ),
                     }
                 }
             }
@@ -311,8 +369,10 @@ fn drop_plans_complete_or_diagnose_a_stall_never_hang() {
 }
 
 /// Re-run a single failing case from its environment description:
-/// `CHAOS_SEED=<n> CHAOS_PLAN=<p> CHAOS_ENGINE=<e> CHAOS_RANKS=<r> cargo
-/// test -p sympack-integration --test chaos -- repro --nocapture`.
+/// `CHAOS_SEED=<n> CHAOS_PLAN=<p> CHAOS_ENGINE=<e> CHAOS_RANKS=<r>
+/// CHAOS_TOPO=<t> cargo test -p sympack-integration --test chaos -- repro
+/// --nocapture`. `CHAOS_TOPO` defaults to `flat`, so pre-existing repro
+/// lines keep reproducing the same runs.
 #[test]
 fn repro() {
     let Ok(seed) = std::env::var("CHAOS_SEED") else {
@@ -325,12 +385,13 @@ fn repro() {
         .unwrap_or_else(|_| "4".into())
         .parse()
         .expect("CHAOS_RANKS must be an integer");
-    match run_one(&engine, &plan, seed, ranks) {
+    let topo = std::env::var("CHAOS_TOPO").unwrap_or_else(|_| "flat".into());
+    match run_one(&engine, &plan, seed, ranks, &topo) {
         Ok(out) => eprintln!(
-            "repro {engine}/{plan}/seed={seed}/P={ranks}: completed, \
+            "repro {engine}/{plan}/{topo}/seed={seed}/P={ranks}: completed, \
              residual {} factor {}s solve {}s",
             out.residual, out.factor_time, out.solve_time
         ),
-        Err(e) => eprintln!("repro {engine}/{plan}/seed={seed}/P={ranks}: failed with {e}"),
+        Err(e) => eprintln!("repro {engine}/{plan}/{topo}/seed={seed}/P={ranks}: failed with {e}"),
     }
 }
