@@ -32,10 +32,9 @@ use sympack::trisolve::{self, SolveParams};
 use sympack::{SolverError, TaskKey};
 use sympack_dense::Mat;
 use sympack_gpu::KernelEngine;
-use sympack_ordering::compute_ordering;
 use sympack_pgas::{GlobalPtr, MemKind, PgasConfig, Rank, Runtime};
 use sympack_sparse::SparseSym;
-use sympack_symbolic::{analyze, SymbolicFactor};
+use sympack_symbolic::SymbolicFactor;
 use sympack_trace::Tracer;
 
 use crate::rightlooking::{
@@ -469,8 +468,7 @@ pub fn try_fanboth_factor_and_solve(
     opts: &BaselineOptions,
 ) -> Result<BaselineReport, SolverError> {
     assert_eq!(b.len(), a.n());
-    let ordering = compute_ordering(a, opts.ordering);
-    let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
+    let sf = crate::rightlooking::baseline_symbolic(a, opts);
     let ap = Arc::new(a.permute(sf.perm.as_slice()));
     let bp = Arc::new(sf.perm.apply_vec(b));
     let p = opts.n_nodes * opts.ranks_per_node;

@@ -79,6 +79,12 @@ pub struct BaselineOptions {
     /// Per-destination signal coalescing (shared comm layer); `None`
     /// keeps the historical one-RPC-per-signal wire pattern.
     pub coalesce: Option<CoalesceConfig>,
+    /// A pre-computed symbolic factor to reuse (the plan-cache hit path):
+    /// skips ordering + analysis entirely. Must have been analyzed for the
+    /// same matrix pattern under the same `ordering`/`analyze` options —
+    /// callers obtain it from a previous run's analysis or a fleet plan
+    /// cache; with a mismatched factor the numeric phase produces garbage.
+    pub symbolic: Option<Arc<SymbolicFactor>>,
 }
 
 impl Default for BaselineOptions {
@@ -99,6 +105,7 @@ impl Default for BaselineOptions {
             deterministic: false,
             bcast: BcastTopology::Flat,
             coalesce: None,
+            symbolic: None,
         }
     }
 }
@@ -542,6 +549,19 @@ pub fn baseline_factor_and_solve(
     try_baseline_factor_and_solve(a, b, opts).expect("baseline factorization failed")
 }
 
+/// The symbolic factor a baseline run works from: the caller-provided
+/// shared one ([`BaselineOptions::symbolic`], the plan-cache hit path) or a
+/// fresh ordering + analysis.
+pub(crate) fn baseline_symbolic(a: &SparseSym, opts: &BaselineOptions) -> Arc<SymbolicFactor> {
+    match &opts.symbolic {
+        Some(sf) => Arc::clone(sf),
+        None => {
+            let ordering = compute_ordering(a, opts.ordering);
+            Arc::new(analyze(a, &ordering, &opts.analyze))
+        }
+    }
+}
+
 /// Factor and solve with the right-looking baseline.
 ///
 /// # Errors
@@ -554,8 +574,7 @@ pub fn try_baseline_factor_and_solve(
     opts: &BaselineOptions,
 ) -> Result<BaselineReport, SolverError> {
     assert_eq!(b.len(), a.n());
-    let ordering = compute_ordering(a, opts.ordering);
-    let sf = Arc::new(analyze(a, &ordering, &opts.analyze));
+    let sf = baseline_symbolic(a, opts);
     let ap = Arc::new(a.permute(sf.perm.as_slice()));
     let bp = Arc::new(sf.perm.apply_vec(b));
     let p = opts.n_nodes * opts.ranks_per_node;

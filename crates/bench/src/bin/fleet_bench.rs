@@ -1,0 +1,509 @@
+//! Multi-tenant fleet load generator: replays a seeded heavy-tailed tenant
+//! mix over the matrix zoo through the `sympack-fleet` serving layer and
+//! records plan-cache hit rates, LRU eviction churn and per-tenant latency
+//! quantiles.
+//!
+//! ```text
+//! cargo run --release -p sympack-bench --bin fleet_bench             # full sweep → BENCH_fleet.json
+//! cargo run --release -p sympack-bench --bin fleet_bench -- --quick  # quick mix + gates (CI PR job)
+//! cargo run --release -p sympack-bench --bin fleet_bench -- --check  # regression gate vs committed JSON
+//! ```
+//!
+//! Optional artifacts (any mode): `--metrics-json PATH` dumps the last
+//! fleet's cache + per-tenant metrics, `--profile-json PATH` dumps a
+//! flight-recorder profile of the per-request spans that `sympack-prof
+//! report` breaks down by tenant.
+//!
+//! Every mix is seeded and runs entirely in the solver's virtual clocks:
+//! tenant→pattern assignment, fairness weights, job counts and arrivals all
+//! come from one `XorShift64` stream, and no wall-clock value reaches the
+//! JSON, so the recorded rows are bit-stable. The full sweep rewrites
+//! `BENCH_fleet.json` reproducibly; `--check` re-derives the quick-mix rows
+//! and compares them byte-for-byte against the committed file, then
+//! validates the serving invariants on the committed full-mix row:
+//!
+//! * repeated-pattern tenants admit as plan-cache hits (zero analysis);
+//! * the LRU keeps the steady-state resident factor bytes under budget
+//!   while evictions and re-materializations both actually happen.
+
+use std::fmt::Write as _;
+use sympack::SolverOptions;
+use sympack_bench::Problem;
+use sympack_fleet::{Fleet, FleetConfig, TenantId};
+use sympack_service::Session;
+use sympack_sparse::gen::XorShift64;
+use sympack_sparse::SparseSym;
+use sympack_trace::profile::{CommMatrix, Profile};
+
+/// One replayable tenant mix. Heavy-tailed twice over: tenants are
+/// Zipf-assigned to patterns (a hot pattern is shared by many tenants, so
+/// the plan cache pays off) and to traffic classes (most tenants submit a
+/// trickle, a few submit bursts at boosted fairness weight).
+struct MixSpec {
+    name: &'static str,
+    seed: u64,
+    tenants: usize,
+    shards: usize,
+    ranks_per_shard: usize,
+    max_batch: usize,
+    quantum: f64,
+    /// Factor budget as a percentage of the summed per-tenant factor
+    /// demand: < 100 guarantees LRU pressure.
+    budget_pct: u64,
+}
+
+/// CI PR mix: small enough for a debug-build smoke run.
+const QUICK: MixSpec = MixSpec {
+    name: "quick",
+    seed: 0x5eed_f1ee_0000_0001,
+    tenants: 6,
+    shards: 2,
+    ranks_per_shard: 2,
+    max_batch: 4,
+    quantum: 2.0,
+    budget_pct: 60,
+};
+
+/// Nightly mix: more tenants than the budget can keep resident, wider
+/// shards, longer bursts.
+const FULL: MixSpec = MixSpec {
+    name: "full",
+    seed: 0x5eed_f1ee_0000_0002,
+    tenants: 12,
+    shards: 3,
+    ranks_per_shard: 4,
+    max_batch: 8,
+    quantum: 2.0,
+    budget_pct: 55,
+};
+
+/// Heavy-tailed pick over `0..k`: P(i) ∝ 1/(i+1).
+fn zipf(rng: &mut XorShift64, k: usize) -> usize {
+    let h: f64 = (0..k).map(|i| 1.0 / (i + 1) as f64).sum();
+    let mut u = rng.next_f64() * h;
+    for i in 0..k {
+        u -= 1.0 / (i + 1) as f64;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    k - 1
+}
+
+/// Deterministic per-job right-hand side (recomputable for the residual
+/// check without retaining every submitted vector).
+fn rhs_for(tenant: usize, job: u64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i + 1) as f64 * 0.13 + tenant as f64 * 0.71 + job as f64 * 0.37).sin())
+        .collect()
+}
+
+/// The fleet-wide summary of one mix (a row of `BENCH_fleet.json`).
+struct ScenarioRow {
+    mix: &'static str,
+    tenants: usize,
+    patterns: usize,
+    shards: usize,
+    ranks_per_shard: usize,
+    jobs: u64,
+    plan_hits: u64,
+    plan_misses: u64,
+    evictions: u64,
+    rematerializations: u64,
+    budget_bytes: u64,
+    high_water_bytes: u64,
+    resident_bytes: u64,
+    makespan: f64,
+}
+
+impl ScenarioRow {
+    /// Bit-stable JSON line: fixed field order, floats in full-precision
+    /// scientific notation so identical f64 bits give identical text.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"mix\":\"{}\",\"tenants\":{},\"patterns\":{},\"shards\":{},\
+             \"ranks_per_shard\":{},\"jobs\":{},\"plan_hits\":{},\"plan_misses\":{},\
+             \"evictions\":{},\"rematerializations\":{},\"budget_bytes\":{},\
+             \"high_water_bytes\":{},\"resident_bytes\":{},\"makespan\":\"{:.17e}\"}}",
+            self.mix,
+            self.tenants,
+            self.patterns,
+            self.shards,
+            self.ranks_per_shard,
+            self.jobs,
+            self.plan_hits,
+            self.plan_misses,
+            self.evictions,
+            self.rematerializations,
+            self.budget_bytes,
+            self.high_water_bytes,
+            self.resident_bytes,
+            self.makespan,
+        )
+    }
+}
+
+/// One tenant's serving outcome (a row of `BENCH_fleet.json`).
+struct TenantRow {
+    mix: &'static str,
+    tenant: String,
+    pattern: &'static str,
+    shard: usize,
+    weight: f64,
+    plan_hit: bool,
+    evictions: u64,
+    jobs: u64,
+    p50: f64,
+    p99: f64,
+}
+
+impl TenantRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"mix\":\"{}\",\"tenant\":\"{}\",\"pattern\":\"{}\",\"shard\":{},\
+             \"weight\":\"{:.17e}\",\"plan_hit\":{},\"evictions\":{},\"jobs\":{},\
+             \"p50\":\"{:.17e}\",\"p99\":\"{:.17e}\"}}",
+            self.mix,
+            self.tenant,
+            self.pattern,
+            self.shard,
+            self.weight,
+            self.plan_hit,
+            self.evictions,
+            self.jobs,
+            self.p50,
+            self.p99,
+        )
+    }
+}
+
+/// Replay one mix and assert the serving invariants. Returns the rows and
+/// the finished fleet (for the metrics/profile artifacts).
+fn run_mix(spec: &MixSpec) -> (ScenarioRow, Vec<TenantRow>, Fleet) {
+    let mut rng = XorShift64::new(spec.seed);
+    let zoo: Vec<SparseSym> = Problem::ALL.iter().map(|p| p.matrix_quick()).collect();
+
+    // Seeded tenant population: pattern, fairness weight and burst length
+    // are all heavy-tailed draws from the one stream.
+    const WEIGHTS: [f64; 4] = [1.0, 1.0, 2.0, 4.0];
+    const BURSTS: [usize; 4] = [4, 6, 10, 16];
+    let assign: Vec<usize> = (0..spec.tenants)
+        .map(|_| zipf(&mut rng, zoo.len()))
+        .collect();
+    let weights: Vec<f64> = (0..spec.tenants)
+        .map(|_| WEIGHTS[zipf(&mut rng, WEIGHTS.len())])
+        .collect();
+    let bursts: Vec<usize> = (0..spec.tenants)
+        .map(|_| BURSTS[zipf(&mut rng, BURSTS.len())])
+        .collect();
+
+    // Budget sized off probe factorizations of the distinct patterns in
+    // play: a fixed fraction of the total per-tenant demand, so the LRU is
+    // guaranteed to churn.
+    let opts = SolverOptions {
+        n_nodes: 1,
+        ranks_per_node: spec.ranks_per_shard,
+        deterministic: true,
+        ..Default::default()
+    };
+    let mut pattern_bytes = vec![0u64; zoo.len()];
+    for (k, a) in zoo.iter().enumerate() {
+        if assign.contains(&k) {
+            pattern_bytes[k] = Session::new(a, &opts)
+                .expect("probe factorization")
+                .factor_bytes();
+        }
+    }
+    let demand: u64 = assign.iter().map(|&k| pattern_bytes[k]).sum();
+    let budget = demand * spec.budget_pct / 100;
+
+    let config = FleetConfig {
+        shards: spec.shards,
+        factor_budget_bytes: budget,
+        max_pending_per_tenant: 64,
+        max_batch: spec.max_batch,
+        quantum: spec.quantum,
+    };
+    let mut fleet = Fleet::new(&opts, config);
+
+    // Admission: plan-cache hits are exactly the repeated patterns, and a
+    // hit tenant pays zero analysis — the acceptance signal.
+    let mut seen = vec![false; zoo.len()];
+    let mut hits = vec![false; spec.tenants];
+    let ids: Vec<TenantId> = (0..spec.tenants)
+        .map(|t| {
+            let k = assign[t];
+            hits[t] = seen[k];
+            seen[k] = true;
+            fleet
+                .admit(&format!("t{t:02}"), &zoo[k], weights[t])
+                .unwrap_or_else(|e| panic!("{}: admit t{t:02}: {e}", spec.name))
+        })
+        .collect();
+    let distinct = seen.iter().filter(|&&s| s).count();
+    let cache = fleet.cache_metrics();
+    assert_eq!(
+        cache.plan_misses as usize, distinct,
+        "{}: misses",
+        spec.name
+    );
+    assert_eq!(
+        cache.plan_hits as usize,
+        spec.tenants - distinct,
+        "{}: hits",
+        spec.name
+    );
+    for (t, &id) in ids.iter().enumerate() {
+        if hits[t] {
+            assert_eq!(
+                fleet.tenant_analyze_wall_ms(id),
+                0.0,
+                "{}: t{t:02} hit must skip analysis",
+                spec.name
+            );
+        }
+    }
+
+    // Submit every tenant's burst with seeded arrival jitter, then drain
+    // under the fair scheduler.
+    for (t, &id) in ids.iter().enumerate() {
+        let n = zoo[assign[t]].n();
+        for j in 0..bursts[t] {
+            let arrival = j as f64 * 0.02 + rng.next_f64() * 0.01;
+            fleet
+                .submit_at(id, rhs_for(t, j as u64, n), arrival)
+                .unwrap_or_else(|e| panic!("{}: submit t{t:02}/{j}: {e}", spec.name));
+        }
+    }
+    let done = fleet
+        .drain()
+        .unwrap_or_else(|e| panic!("{}: drain: {e}", spec.name));
+    let total_jobs: u64 = bursts.iter().map(|&b| b as u64).sum();
+    assert_eq!(
+        done.len() as u64,
+        total_jobs,
+        "{}: all jobs complete",
+        spec.name
+    );
+    for c in &done {
+        let a = &zoo[assign[c.tenant.0]];
+        let b = rhs_for(c.tenant.0, c.id, a.n());
+        let res = a.relative_residual(&c.x, &b);
+        assert!(
+            res < 1e-8,
+            "{}: t{:02}/job-{} residual {res}",
+            spec.name,
+            c.tenant.0,
+            c.id
+        );
+    }
+
+    // Serving invariants: the budget forced eviction and transparent
+    // re-materialization, yet steady-state residency never exceeded it.
+    let cache = fleet.cache_metrics();
+    assert!(cache.factor_evictions >= 1, "{}: no evictions", spec.name);
+    assert!(
+        cache.rematerializations >= 1,
+        "{}: no rematerializations",
+        spec.name
+    );
+    assert!(
+        cache.resident_high_water_bytes <= budget,
+        "{}: high-water {} over budget {budget}",
+        spec.name,
+        cache.resident_high_water_bytes
+    );
+    assert_eq!(
+        fleet.request_spans().len() as u64,
+        total_jobs,
+        "{}: spans",
+        spec.name
+    );
+
+    let scenario = ScenarioRow {
+        mix: spec.name,
+        tenants: spec.tenants,
+        patterns: distinct,
+        shards: spec.shards,
+        ranks_per_shard: spec.ranks_per_shard,
+        jobs: total_jobs,
+        plan_hits: cache.plan_hits,
+        plan_misses: cache.plan_misses,
+        evictions: cache.factor_evictions,
+        rematerializations: cache.rematerializations,
+        budget_bytes: budget,
+        high_water_bytes: cache.resident_high_water_bytes,
+        resident_bytes: cache.resident_bytes,
+        makespan: fleet.makespan(),
+    };
+    let tenant_rows: Vec<TenantRow> = ids
+        .iter()
+        .enumerate()
+        .map(|(t, &id)| {
+            let m = fleet.tenant_metrics(id);
+            TenantRow {
+                mix: spec.name,
+                tenant: format!("t{t:02}"),
+                pattern: Problem::ALL[assign[t]].name(),
+                // Mirrors the fleet's round-robin shard pinning.
+                shard: t % spec.shards,
+                weight: weights[t],
+                plan_hit: hits[t],
+                evictions: fleet.tenant_evictions(id),
+                jobs: m.jobs_served,
+                p50: m.latency.p50(),
+                p99: m.latency.p99(),
+            }
+        })
+        .collect();
+    (scenario, tenant_rows, fleet)
+}
+
+fn print_summary(s: &ScenarioRow) {
+    println!(
+        "{} mix: {} tenants / {} patterns on {}x{} ranks, {} jobs: \
+         plan {}h/{}m, {} evictions, {} remats, high-water {}/{} B, makespan {:.3e}s",
+        s.mix,
+        s.tenants,
+        s.patterns,
+        s.shards,
+        s.ranks_per_shard,
+        s.jobs,
+        s.plan_hits,
+        s.plan_misses,
+        s.evictions,
+        s.rematerializations,
+        s.high_water_bytes,
+        s.budget_bytes,
+        s.makespan,
+    );
+}
+
+fn render(scenarios: &[ScenarioRow], tenants: &[TenantRow]) -> String {
+    let mut out = String::from("[\n");
+    let total = scenarios.len() + tenants.len();
+    let mut i = 0;
+    for row in scenarios
+        .iter()
+        .map(ScenarioRow::to_json)
+        .chain(tenants.iter().map(TenantRow::to_json))
+    {
+        i += 1;
+        let sep = if i == total { "" } else { "," };
+        let _ = writeln!(out, "{row}{sep}");
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn bench_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json")
+}
+
+/// Dump the optional `--metrics-json` / `--profile-json` artifacts from the
+/// last fleet that ran.
+fn write_artifacts(args: &[String], fleet: &Fleet, spec: &MixSpec) {
+    if let Some(at) = args.iter().position(|a| a == "--metrics-json") {
+        let path = &args[at + 1];
+        std::fs::write(path, fleet.metrics_json() + "\n").expect("write metrics json");
+        println!("wrote fleet metrics to {path}");
+    }
+    if let Some(at) = args.iter().position(|a| a == "--profile-json") {
+        let path = &args[at + 1];
+        let profile = Profile::build(
+            "fleet",
+            fleet.request_spans(),
+            fleet.makespan(),
+            spec.shards,
+            CommMatrix::empty(spec.shards),
+        );
+        std::fs::write(path, profile.to_json()).expect("write profile json");
+        println!("wrote fleet request profile to {path}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+
+    if quick {
+        // CI PR smoke: the quick mix with all its gates, no file.
+        let (scenario, _, fleet) = run_mix(&QUICK);
+        print_summary(&scenario);
+        write_artifacts(&args, &fleet, &QUICK);
+        println!("quick gate passed");
+        return;
+    }
+
+    if check {
+        // Regression gate: the committed quick-mix rows must reproduce
+        // bit-for-bit, and the committed full-mix row must satisfy the
+        // serving invariants.
+        let committed =
+            std::fs::read_to_string(bench_path()).expect("BENCH_fleet.json not committed");
+        let (scenario, tenant_rows, fleet) = run_mix(&QUICK);
+        print_summary(&scenario);
+        for row in
+            std::iter::once(scenario.to_json()).chain(tenant_rows.iter().map(TenantRow::to_json))
+        {
+            assert!(
+                committed.contains(&row),
+                "quick-mix row drifted from committed BENCH_fleet.json:\n{row}"
+            );
+        }
+        // Scan the committed full-mix scenario row (fixed field order makes
+        // this a plain scan, no JSON parser needed).
+        let tag = "{\"mix\":\"full\",\"tenants\":";
+        let line = committed
+            .lines()
+            .find(|l| l.starts_with(tag))
+            .expect("full-mix row missing from BENCH_fleet.json");
+        let grab = |key: &str| -> u64 {
+            let at = line.find(key).expect("field present") + key.len();
+            let rest = &line[at..];
+            let end = rest.find([',', '}']).expect("terminated");
+            rest[..end].parse().expect("u64")
+        };
+        let (hits, misses) = (grab("\"plan_hits\":"), grab("\"plan_misses\":"));
+        let evictions = grab("\"evictions\":");
+        let remat = grab("\"rematerializations\":");
+        let (budget, high) = (grab("\"budget_bytes\":"), grab("\"high_water_bytes\":"));
+        assert!(
+            hits >= 1 && misses >= 1,
+            "full mix must exercise the plan cache"
+        );
+        assert!(evictions >= 1 && remat >= 1, "full mix must churn the LRU");
+        assert!(
+            high <= budget,
+            "full mix high-water {high} over budget {budget}"
+        );
+        write_artifacts(&args, &fleet, &QUICK);
+        println!(
+            "check gate passed (full mix: {hits} hits, {evictions} evictions, \
+             high-water {high}/{budget} B)"
+        );
+        return;
+    }
+
+    // Full sweep: rewrite BENCH_fleet.json with both mixes.
+    let mut scenarios = Vec::new();
+    let mut tenants = Vec::new();
+    let mut last = None;
+    for spec in [&QUICK, &FULL] {
+        let t0 = std::time::Instant::now();
+        let (scenario, tenant_rows, fleet) = run_mix(spec);
+        print_summary(&scenario);
+        println!("  ({:.1}s wall)", t0.elapsed().as_secs_f64());
+        scenarios.push(scenario);
+        tenants.extend(tenant_rows);
+        last = Some(fleet);
+    }
+    let json = render(&scenarios, &tenants);
+    std::fs::write(bench_path(), &json).expect("write BENCH_fleet.json");
+    write_artifacts(&args, last.as_ref().unwrap(), &FULL);
+    println!(
+        "wrote {} rows to BENCH_fleet.json",
+        scenarios.len() + tenants.len()
+    );
+}

@@ -287,10 +287,10 @@ impl SymPack {
             assert_eq!(b.len(), a.n(), "rhs length must match the matrix order");
         }
         let plan = SolvePlan::new(a, opts);
-        let sf = Arc::clone(&plan.sf);
+        let sf = Arc::clone(plan.sf());
         let ap = Arc::new(plan.permute(a));
         let bps: Arc<Vec<Vec<f64>>> = Arc::new(bs.iter().map(|b| sf.perm.apply_vec(b)).collect());
-        let grid = plan.grid;
+        let grid = plan.grid();
         let config = plan.pgas_config();
         let abort = Arc::new(AtomicBool::new(false));
         let opts2 = opts.clone();
@@ -508,9 +508,9 @@ impl SymPack {
         opts: &SolverOptions,
     ) -> Result<GatheredFactor, SolverError> {
         let plan = SolvePlan::new(a, opts);
-        let sf = Arc::clone(&plan.sf);
+        let sf = Arc::clone(plan.sf());
         let ap = Arc::new(plan.permute(a));
-        let grid = plan.grid;
+        let grid = plan.grid();
         let config = plan.pgas_config();
         let abort = Arc::new(AtomicBool::new(false));
         let opts2 = opts.clone();

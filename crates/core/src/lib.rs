@@ -45,7 +45,10 @@ pub use driver::{
     FactorizeOutcome, GatheredFactor, MultiSolveReport, SolveReport, SolverOptions, SymPack,
 };
 pub use map2d::ProcGrid;
-pub use plan::{make_kernels, pattern_hash, NumericFactor, PanelSolve, SolvePlan};
+pub use plan::{
+    factor_store_bytes, make_kernels, pattern_hash, plan_cache_key, NumericFactor, PanelSolve,
+    SolvePlan, SymbolicPlan,
+};
 pub use selinv::{selected_inverse, SelectedInverse};
 // Re-exported so solver users can name `SolverOptions::kernel_config`'s
 // type without depending on the dense crate directly.
@@ -94,6 +97,15 @@ pub enum SolverError {
         /// What differed (length vs. structure).
         detail: String,
     },
+    /// A solve was requested against a session whose numeric factor has
+    /// been evicted from the factor cache (fleet memory-budget pressure).
+    /// The factor must be re-materialized via `refactorize`/
+    /// `ensure_resident` before solving; the fleet does this transparently,
+    /// so the error only surfaces when a caller bypasses it.
+    FactorEvicted {
+        /// Pattern hash of the session whose factor is gone.
+        pattern: u64,
+    },
     /// The quiescence detector diagnosed a stall: every rank went idle with
     /// unfinished tasks and no messages in flight — the signature of a
     /// dropped notification. Reported instead of hanging.
@@ -126,6 +138,10 @@ impl std::fmt::Display for SolverError {
             SolverError::PatternMismatch { expected_nnz, actual_nnz, detail } => write!(
                 f,
                 "refactorization rejected: {detail} (session pattern has {expected_nnz} lower-triangle nonzeros, got {actual_nnz})"
+            ),
+            SolverError::FactorEvicted { pattern } => write!(
+                f,
+                "solve rejected: numeric factor for pattern {pattern:#018x} was evicted under memory pressure; re-materialize via refactorize/ensure_resident first"
             ),
             SolverError::Stalled { rank, done, total, detail } => write!(
                 f,

@@ -1,0 +1,858 @@
+//! Multi-tenant solver fleet: many concurrent sessions sharing ranks, a
+//! pattern-keyed symbolic plan cache, an LRU factor cache under a memory
+//! budget, and fair per-tenant admission.
+//!
+//! The serving layer (`sympack-service`) amortizes analysis for *one*
+//! matrix. A [`Fleet`] hosts many tenants at once — the "millions of users"
+//! shape, where symPACK's front-loaded cost (ordering + symbolic analysis +
+//! mapping dominate the first factorization) is amortized *across* tenants:
+//!
+//! * **Plan cache** ([`PlanCache`]) — symbolic plans keyed by
+//!   [`sympack::pattern_hash`] folded with the analysis/layout options
+//!   ([`sympack::plan_cache_key`]). A tenant whose sparsity pattern was
+//!   seen before skips ordering, analysis and task-graph construction
+//!   entirely: admission is a numeric-only factorization against the shared
+//!   `Arc<SymbolicPlan>` (its analyze wall time is ≈ 0).
+//! * **Sharding** — tenants are assigned round-robin to `shards`
+//!   independent rank gangs; tenants on one shard serialize in that shard's
+//!   virtual clock, different shards overlap. The fleet makespan is the
+//!   max over shard clocks.
+//! * **LRU factor cache** — resident numeric factors are bounded by
+//!   [`FleetConfig::factor_budget_bytes`]; the least-recently-served cold
+//!   tenants' factors are evicted ([`sympack_service::Session`] keeps the
+//!   values and all symbolic state) and re-materialized on demand via a
+//!   numeric re-factorization before the next solve.
+//! * **Fair admission** — weighted deficit round-robin: each scheduling
+//!   round a tenant earns `weight × quantum` service credit and may serve
+//!   at most its accumulated credit (capped by the batch bound), so one hot
+//!   tenant cannot starve the queue; idle tenants forfeit their credit.
+//!
+//! All queueing/latency accounting runs in the solver's virtual clocks, so
+//! a seeded workload replays exactly; per-tenant [`ServiceMetrics`] and
+//! fleet-wide [`FleetCacheMetrics`] export the counters, and per-request
+//! `{tenant}/job-{id}` spans feed the flight-recorder profile.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use sympack::{pattern_hash, plan_cache_key, SolverError, SolverOptions, SymbolicPlan};
+use sympack_service::{RhsPanel, Session};
+use sympack_sparse::SparseSym;
+use sympack_trace::metrics::{FleetCacheMetrics, ServiceMetrics};
+use sympack_trace::{SpanKind, TraceCat, TraceEvent};
+
+/// Errors surfaced by the fleet.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A tenant name was admitted twice.
+    DuplicateTenant {
+        /// The offending name.
+        tenant: String,
+    },
+    /// An operation referenced a tenant the fleet does not host.
+    UnknownTenant {
+        /// The unknown name.
+        tenant: String,
+    },
+    /// Per-tenant admission control rejected the job: that tenant's pending
+    /// queue is at capacity. Other tenants are unaffected.
+    QueueFull {
+        /// The tenant whose queue is full.
+        tenant: String,
+        /// The configured per-tenant queue bound.
+        capacity: usize,
+    },
+    /// A distributed phase failed underneath the fleet.
+    Solver(SolverError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::DuplicateTenant { tenant } => {
+                write!(f, "tenant {tenant:?} is already admitted")
+            }
+            FleetError::UnknownTenant { tenant } => {
+                write!(f, "unknown tenant {tenant:?}")
+            }
+            FleetError::QueueFull { tenant, capacity } => {
+                write!(
+                    f,
+                    "job rejected: tenant {tenant:?} queue is full ({capacity} jobs)"
+                )
+            }
+            FleetError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<SolverError> for FleetError {
+    fn from(e: SolverError) -> FleetError {
+        FleetError::Solver(e)
+    }
+}
+
+/// A symbolic plan cache keyed by [`sympack::plan_cache_key`] (pattern hash
+/// × analysis/layout options). Hits hand out another `Arc` to the shared
+/// plan; misses run the full ordering + analysis + mapping pipeline once.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<u64, Arc<SymbolicPlan>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// New empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// The cached plan for `a` under `opts`, building (and caching) it on a
+    /// miss. Returns the plan and whether it was a hit.
+    pub fn get_or_build(
+        &mut self,
+        a: &SparseSym,
+        opts: &SolverOptions,
+    ) -> (Arc<SymbolicPlan>, bool) {
+        let key = plan_cache_key(pattern_hash(a), opts);
+        if let Some(plan) = self.plans.get(&key) {
+            self.hits += 1;
+            return (Arc::clone(plan), true);
+        }
+        self.misses += 1;
+        let plan = Arc::new(SymbolicPlan::build(a, opts));
+        self.plans.insert(key, Arc::clone(&plan));
+        (plan, false)
+    }
+
+    /// Distinct plans cached.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when nothing was cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Lookups served without analysis.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the full analysis pipeline.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Fleet sizing, budget and fairness policy.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Independent rank gangs. Each admitted tenant is pinned round-robin
+    /// to one shard; tenants on a shard serialize in its virtual clock.
+    pub shards: usize,
+    /// Byte budget for resident numeric factors across all tenants; the
+    /// LRU evicts cold tenants' factors to stay under it. 0 = unlimited.
+    pub factor_budget_bytes: u64,
+    /// Per-tenant pending-queue bound; submissions beyond it are rejected
+    /// with [`FleetError::QueueFull`].
+    pub max_pending_per_tenant: usize,
+    /// Maximum right-hand sides coalesced into one panel solve per tenant
+    /// per scheduling round.
+    pub max_batch: usize,
+    /// Service credit a weight-1.0 tenant earns per scheduling round, in
+    /// jobs. A tenant may serve at most its accumulated credit per round.
+    pub quantum: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 2,
+            factor_budget_bytes: 0,
+            max_pending_per_tenant: 64,
+            max_batch: 16,
+            quantum: 2.0,
+        }
+    }
+}
+
+/// Ticket identifying an admitted tenant (index into admission order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(pub usize);
+
+/// One queued solve request of one tenant.
+#[derive(Debug)]
+struct FleetJob {
+    id: u64,
+    rhs: Vec<f64>,
+    arrival: f64,
+}
+
+/// A completed fleet solve request.
+#[derive(Debug)]
+pub struct FleetCompleted {
+    /// The tenant the job belongs to.
+    pub tenant: TenantId,
+    /// Per-tenant job ticket returned by [`Fleet::submit_at`].
+    pub id: u64,
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Virtual arrival time the job was submitted with.
+    pub arrival: f64,
+    /// Virtual time (on the tenant's shard clock) the coalesced solve
+    /// serving this job finished.
+    pub completion: f64,
+}
+
+#[derive(Debug)]
+struct Tenant {
+    name: String,
+    session: Session,
+    shard: usize,
+    weight: f64,
+    deficit: f64,
+    pending: VecDeque<FleetJob>,
+    next_id: u64,
+    metrics: ServiceMetrics,
+    /// Wall-clock ms of analysis paid at admission (0 on a plan-cache hit).
+    analyze_wall_ms: f64,
+    /// Bytes of this tenant's factor when resident (recorded at install,
+    /// kept across eviction so the LRU can pre-budget re-materialization).
+    factor_bytes: u64,
+    /// Monotone LRU stamp: bumped every time the tenant is served.
+    last_served: u64,
+    evictions: u64,
+}
+
+/// A multi-tenant serving front-end: many [`Session`]s sharded over
+/// independent rank gangs behind one plan cache, one factor budget and one
+/// fair scheduler. See the crate docs for the architecture.
+#[derive(Debug)]
+pub struct Fleet {
+    opts: SolverOptions,
+    config: FleetConfig,
+    plans: PlanCache,
+    tenants: Vec<Tenant>,
+    by_name: HashMap<String, usize>,
+    /// One virtual clock per shard.
+    clocks: Vec<f64>,
+    /// Monotone counter backing the LRU stamps.
+    use_counter: u64,
+    cache: FleetCacheMetrics,
+    request_spans: Vec<TraceEvent>,
+}
+
+impl Fleet {
+    /// New empty fleet. `opts` is the per-shard solver configuration every
+    /// tenant session runs under (rank layout, net model, kernels…); the
+    /// fleet's total rank pool is `config.shards ×
+    /// (opts.n_nodes × opts.ranks_per_node)`.
+    ///
+    /// # Panics
+    /// Panics when `config.shards == 0`, `config.max_batch == 0` or
+    /// `config.quantum <= 0`.
+    pub fn new(opts: &SolverOptions, config: FleetConfig) -> Fleet {
+        assert!(config.shards > 0, "a fleet has at least one shard");
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.quantum > 0.0, "quantum must be positive");
+        Fleet {
+            opts: opts.clone(),
+            config,
+            plans: PlanCache::new(),
+            tenants: Vec::new(),
+            by_name: HashMap::new(),
+            clocks: vec![0.0; config.shards],
+            use_counter: 0,
+            cache: FleetCacheMetrics {
+                factor_budget_bytes: config.factor_budget_bytes,
+                ..FleetCacheMetrics::default()
+            },
+            request_spans: Vec::new(),
+        }
+    }
+
+    /// Admit a tenant with its matrix and fairness weight: plan-cache
+    /// lookup (hit → numeric-only factorization, no analysis), first
+    /// factorization charged to the tenant's shard clock, then LRU budget
+    /// enforcement. Weight 1.0 is the baseline share; 2.0 earns double
+    /// service credit per round.
+    ///
+    /// # Panics
+    /// Panics when `weight <= 0`.
+    ///
+    /// # Errors
+    /// [`FleetError::DuplicateTenant`] on a name collision, otherwise the
+    /// factorization failure modes wrapped in [`FleetError::Solver`].
+    pub fn admit(
+        &mut self,
+        name: &str,
+        a: &SparseSym,
+        weight: f64,
+    ) -> Result<TenantId, FleetError> {
+        assert!(weight > 0.0, "tenant weight must be positive");
+        if self.by_name.contains_key(name) {
+            return Err(FleetError::DuplicateTenant {
+                tenant: name.to_string(),
+            });
+        }
+        let (plan, hit) = self.plans.get_or_build(a, &self.opts);
+        if hit {
+            self.cache.plan_hits += 1;
+        } else {
+            self.cache.plan_misses += 1;
+        }
+        let analyze_wall_ms = if hit { 0.0 } else { plan.analyze_wall_ms };
+        let session = Session::with_plan(a, plan, &self.opts)?;
+        let idx = self.tenants.len();
+        let shard = idx % self.config.shards;
+        self.clocks[shard] += session.first_factor_time();
+        let mut metrics = ServiceMetrics::new();
+        metrics.one_shot_factor_cost = session.first_factor_time();
+        metrics.factor_virtual_total = session.first_factor_time();
+        metrics.analyze_wall_ms = analyze_wall_ms;
+        let factor_bytes = session.factor_bytes();
+        self.use_counter += 1;
+        self.tenants.push(Tenant {
+            name: name.to_string(),
+            session,
+            shard,
+            weight,
+            deficit: 0.0,
+            pending: VecDeque::new(),
+            next_id: 0,
+            metrics,
+            analyze_wall_ms,
+            factor_bytes,
+            last_served: self.use_counter,
+            evictions: 0,
+        });
+        self.by_name.insert(name.to_string(), idx);
+        self.enforce_budget(Some(idx));
+        self.sample_residency();
+        Ok(TenantId(idx))
+    }
+
+    /// Look up an admitted tenant by name.
+    pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.by_name.get(name).copied().map(TenantId)
+    }
+
+    /// Tenant names in admission order.
+    pub fn tenant_names(&self) -> Vec<&str> {
+        self.tenants.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Submit one right-hand side for `tenant`, arriving at virtual time
+    /// `arrival`. Returns a per-tenant job ticket matched by
+    /// [`FleetCompleted::id`].
+    ///
+    /// # Panics
+    /// Panics when `rhs` length differs from the tenant's matrix order.
+    ///
+    /// # Errors
+    /// [`FleetError::UnknownTenant`] / [`FleetError::QueueFull`].
+    pub fn submit_at(
+        &mut self,
+        tenant: TenantId,
+        rhs: Vec<f64>,
+        arrival: f64,
+    ) -> Result<u64, FleetError> {
+        let t = self
+            .tenants
+            .get_mut(tenant.0)
+            .ok_or_else(|| FleetError::UnknownTenant {
+                tenant: format!("#{}", tenant.0),
+            })?;
+        assert_eq!(
+            rhs.len(),
+            t.session.n(),
+            "rhs length must match the tenant matrix"
+        );
+        if t.pending.len() >= self.config.max_pending_per_tenant {
+            t.metrics.jobs_rejected += 1;
+            return Err(FleetError::QueueFull {
+                tenant: t.name.clone(),
+                capacity: self.config.max_pending_per_tenant,
+            });
+        }
+        let id = t.next_id;
+        t.next_id += 1;
+        t.metrics.jobs_submitted += 1;
+        t.pending.push_back(FleetJob { id, rhs, arrival });
+        Ok(id)
+    }
+
+    /// Run one weighted-deficit-round-robin scheduling round: every tenant
+    /// (admission order) earns `weight × quantum` service credit; tenants
+    /// with pending work serve up to `min(credit, max_batch)` jobs as one
+    /// coalesced panel solve on their shard clock, evicted factors are
+    /// re-materialized first (LRU pre-budgeted), and idle tenants forfeit
+    /// their credit. Returns every job completed this round.
+    ///
+    /// # Errors
+    /// [`FleetError::Solver`] when a distributed phase fails.
+    pub fn step(&mut self) -> Result<Vec<FleetCompleted>, FleetError> {
+        let mut done = Vec::new();
+        for i in 0..self.tenants.len() {
+            if self.tenants[i].pending.is_empty() {
+                // Standard DRR: an idle tenant must not bank credit.
+                self.tenants[i].deficit = 0.0;
+                continue;
+            }
+            self.tenants[i].deficit += self.tenants[i].weight * self.config.quantum;
+            let credit = self.tenants[i].deficit.floor() as usize;
+            let take = credit
+                .min(self.config.max_batch)
+                .min(self.tenants[i].pending.len());
+            if take == 0 {
+                continue;
+            }
+            done.extend(self.serve(i, take)?);
+            self.tenants[i].deficit -= take as f64;
+        }
+        Ok(done)
+    }
+
+    /// Run scheduling rounds until every tenant queue is empty.
+    ///
+    /// # Errors
+    /// [`FleetError::Solver`] when a distributed phase fails.
+    pub fn drain(&mut self) -> Result<Vec<FleetCompleted>, FleetError> {
+        let mut all = Vec::new();
+        while self.tenants.iter().any(|t| !t.pending.is_empty()) {
+            all.extend(self.step()?);
+        }
+        Ok(all)
+    }
+
+    /// Serve `take` jobs of tenant `i` as one coalesced panel solve.
+    fn serve(&mut self, i: usize, take: usize) -> Result<Vec<FleetCompleted>, FleetError> {
+        // Re-materialize an evicted factor first, pre-budgeting its known
+        // size so the steady-state resident total never exceeds the budget.
+        let mut service_time = 0.0;
+        if !self.tenants[i].session.is_resident() {
+            self.make_room_for(i);
+            let ft = self.tenants[i]
+                .session
+                .ensure_resident()?
+                .expect("factor was evicted");
+            service_time += ft;
+            self.cache.rematerializations += 1;
+            self.tenants[i].metrics.refactorizations += 1;
+            self.tenants[i].metrics.factor_virtual_total += ft;
+            self.tenants[i].factor_bytes = self.tenants[i].session.factor_bytes();
+            self.enforce_budget(Some(i));
+        }
+        let shard = self.tenants[i].shard;
+        let jobs: Vec<FleetJob> = self.tenants[i].pending.drain(..take).collect();
+        let mut clock = self.clocks[shard];
+        for j in &jobs {
+            clock = clock.max(j.arrival);
+        }
+        let cols: Vec<Vec<f64>> = jobs.iter().map(|j| j.rhs.clone()).collect();
+        let batch = self.tenants[i]
+            .session
+            .solve_batch(&[RhsPanel::from_columns(&cols)])?;
+        service_time += batch.solve_time;
+        clock += service_time;
+        self.clocks[shard] = clock;
+        self.use_counter += 1;
+        self.tenants[i].last_served = self.use_counter;
+        self.tenants[i].metrics.record_batch(take, batch.solve_time);
+        let panel = &batch.panels[0];
+        let n = self.tenants[i].session.n();
+        let mut done = Vec::with_capacity(take);
+        for (k, j) in jobs.into_iter().enumerate() {
+            let latency = clock - j.arrival;
+            self.tenants[i].metrics.latency.record(latency);
+            let mut span = TraceEvent::basic(
+                shard,
+                format!("{}/job-{}", self.tenants[i].name, j.id),
+                TraceCat::Solve,
+                j.arrival,
+                latency,
+            );
+            span.kind = SpanKind::Request;
+            // Service time of the round (re-materialization + coalesced
+            // solve); `dur - kernel` is the wait the profile attributes to
+            // the tenant.
+            span.kernel = service_time.min(latency);
+            span.bytes = (n * 8) as u64;
+            self.request_spans.push(span);
+            done.push(FleetCompleted {
+                tenant: TenantId(i),
+                id: j.id,
+                x: panel.column(k).to_vec(),
+                arrival: j.arrival,
+                completion: clock,
+            });
+        }
+        self.sample_residency();
+        Ok(done)
+    }
+
+    /// Evict least-recently-served tenants (never `keep`) until the
+    /// resident total plus tenant `i`'s known factor size fits the budget.
+    fn make_room_for(&mut self, i: usize) {
+        if self.config.factor_budget_bytes == 0 {
+            return;
+        }
+        let need = self.tenants[i].factor_bytes;
+        let budget = self.config.factor_budget_bytes.saturating_sub(need);
+        self.evict_down_to(budget, Some(i));
+    }
+
+    /// Evict least-recently-served tenants (never `keep`) until the
+    /// resident total is within the configured budget.
+    fn enforce_budget(&mut self, keep: Option<usize>) {
+        if self.config.factor_budget_bytes == 0 {
+            return;
+        }
+        self.evict_down_to(self.config.factor_budget_bytes, keep);
+    }
+
+    fn evict_down_to(&mut self, budget: u64, keep: Option<usize>) {
+        loop {
+            let resident: u64 = self.tenants.iter().map(|t| t.session.factor_bytes()).sum();
+            if resident <= budget {
+                return;
+            }
+            // Coldest resident tenant other than `keep`.
+            let victim = self
+                .tenants
+                .iter()
+                .enumerate()
+                .filter(|(j, t)| Some(*j) != keep && t.session.is_resident())
+                .min_by_key(|(_, t)| t.last_served)
+                .map(|(j, _)| j);
+            let Some(v) = victim else {
+                // Nothing evictable (e.g. a single factor larger than the
+                // budget): the over-budget residual is visible in the
+                // sampled high-water mark.
+                return;
+            };
+            self.tenants[v].session.evict_factor();
+            self.tenants[v].evictions += 1;
+            self.cache.factor_evictions += 1;
+        }
+    }
+
+    /// Record the current resident total into the cache gauges.
+    fn sample_residency(&mut self) {
+        let resident: u64 = self.tenants.iter().map(|t| t.session.factor_bytes()).sum();
+        self.cache.resident_bytes = resident;
+        if resident > self.cache.resident_high_water_bytes {
+            self.cache.resident_high_water_bytes = resident;
+        }
+    }
+
+    /// Virtual clock of one shard.
+    ///
+    /// # Panics
+    /// Panics when `shard >= config.shards`.
+    pub fn shard_clock(&self, shard: usize) -> f64 {
+        self.clocks[shard]
+    }
+
+    /// Fleet makespan: the furthest shard clock.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Fleet-wide cache counters and residency gauges.
+    pub fn cache_metrics(&self) -> &FleetCacheMetrics {
+        &self.cache
+    }
+
+    /// Per-tenant serving metrics.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn tenant_metrics(&self, tenant: TenantId) -> &ServiceMetrics {
+        &self.tenants[tenant.0].metrics
+    }
+
+    /// A tenant's session (matrix order, pattern, residency…).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn session(&self, tenant: TenantId) -> &Session {
+        &self.tenants[tenant.0].session
+    }
+
+    /// Factor evictions a tenant has suffered.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn tenant_evictions(&self, tenant: TenantId) -> u64 {
+        self.tenants[tenant.0].evictions
+    }
+
+    /// Wall-clock ms of analysis the tenant paid at admission — 0 on a
+    /// plan-cache hit (the acceptance signal for pattern reuse).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn tenant_analyze_wall_ms(&self, tenant: TenantId) -> f64 {
+        self.tenants[tenant.0].analyze_wall_ms
+    }
+
+    /// Distinct symbolic plans cached.
+    pub fn plans_cached(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Per-request spans (`{tenant}/job-{id}`, arrival → completion, rank =
+    /// shard) accumulated over the fleet's lifetime, for the
+    /// flight-recorder profile.
+    pub fn request_spans(&self) -> &[TraceEvent] {
+        &self.request_spans
+    }
+
+    /// Serialize the fleet's metrics: cache counters plus one entry per
+    /// tenant (admission order) with its shard, weight, evictions, analyze
+    /// wall ms and serving metrics.
+    pub fn metrics_json(&self) -> String {
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"tenant\":\"{}\",\"shard\":{},\"weight\":{},\
+                     \"evictions\":{},\"analyze_wall_ms\":{},\"metrics\":{}}}",
+                    t.name,
+                    t.shard,
+                    t.weight,
+                    t.evictions,
+                    t.analyze_wall_ms,
+                    t.metrics.to_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"cache\":{},\"makespan\":{},\"tenants\":[{}]}}",
+            self.cache.to_json(),
+            self.makespan(),
+            tenants.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympack_sparse::gen::laplacian_2d;
+    use sympack_sparse::vecops::test_rhs;
+
+    fn opts(p: usize) -> SolverOptions {
+        SolverOptions {
+            n_nodes: 1,
+            ranks_per_node: p,
+            deterministic: true,
+            ..Default::default()
+        }
+    }
+
+    fn config() -> FleetConfig {
+        FleetConfig {
+            shards: 2,
+            factor_budget_bytes: 0,
+            max_pending_per_tenant: 16,
+            max_batch: 4,
+            quantum: 2.0,
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_pattern() {
+        let mut fleet = Fleet::new(&opts(2), config());
+        let a = laplacian_2d(7, 7);
+        let t0 = fleet.admit("alice", &a, 1.0).unwrap();
+        let t1 = fleet.admit("bob", &a, 1.0).unwrap();
+        let other = laplacian_2d(6, 7);
+        let t2 = fleet.admit("carol", &other, 1.0).unwrap();
+        let c = fleet.cache_metrics();
+        assert_eq!(c.plan_hits, 1);
+        assert_eq!(c.plan_misses, 2);
+        assert_eq!(fleet.plans_cached(), 2);
+        // First sight pays analysis; the repeat does not.
+        assert!(fleet.tenant_analyze_wall_ms(t0) > 0.0);
+        assert_eq!(fleet.tenant_analyze_wall_ms(t1), 0.0);
+        assert!(fleet.tenant_analyze_wall_ms(t2) > 0.0);
+        // Shared plan: same pattern, same Arc.
+        assert!(Arc::ptr_eq(
+            &fleet.session(t0).symbolic_plan(),
+            &fleet.session(t1).symbolic_plan()
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_tenants_are_typed_errors() {
+        let mut fleet = Fleet::new(&opts(1), config());
+        let a = laplacian_2d(5, 5);
+        fleet.admit("alice", &a, 1.0).unwrap();
+        match fleet.admit("alice", &a, 1.0) {
+            Err(FleetError::DuplicateTenant { tenant }) => assert_eq!(tenant, "alice"),
+            other => panic!("expected DuplicateTenant, got {other:?}"),
+        }
+        match fleet.submit_at(TenantId(9), test_rhs(a.n()), 0.0) {
+            Err(FleetError::UnknownTenant { .. }) => {}
+            other => panic!("expected UnknownTenant, got {other:?}"),
+        }
+        assert_eq!(fleet.tenant_id("alice"), Some(TenantId(0)));
+        assert_eq!(fleet.tenant_id("bob"), None);
+    }
+
+    #[test]
+    fn per_tenant_queues_bound_admission_independently() {
+        let mut cfg = config();
+        cfg.max_pending_per_tenant = 2;
+        let mut fleet = Fleet::new(&opts(1), cfg);
+        let a = laplacian_2d(5, 5);
+        let alice = fleet.admit("alice", &a, 1.0).unwrap();
+        let bob = fleet.admit("bob", &a, 1.0).unwrap();
+        fleet.submit_at(alice, test_rhs(a.n()), 0.0).unwrap();
+        fleet.submit_at(alice, test_rhs(a.n()), 0.1).unwrap();
+        match fleet.submit_at(alice, test_rhs(a.n()), 0.2) {
+            Err(FleetError::QueueFull { tenant, capacity }) => {
+                assert_eq!(tenant, "alice");
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // A full neighbour queue does not block other tenants.
+        fleet.submit_at(bob, test_rhs(a.n()), 0.2).unwrap();
+        let done = fleet.drain().unwrap();
+        assert_eq!(done.len(), 3);
+    }
+
+    #[test]
+    fn wdrr_serves_hot_and_cold_tenants_by_weight() {
+        let mut cfg = config();
+        cfg.shards = 1; // one shard: strict scheduling contention
+        cfg.max_batch = 4;
+        cfg.quantum = 1.0;
+        let mut fleet = Fleet::new(&opts(1), cfg);
+        let a = laplacian_2d(6, 6);
+        let hot = fleet.admit("hot", &a, 3.0).unwrap();
+        let cold = fleet.admit("cold", &a, 1.0).unwrap();
+        for i in 0..12 {
+            fleet
+                .submit_at(hot, test_rhs(a.n()), i as f64 * 0.01)
+                .unwrap();
+        }
+        for i in 0..4 {
+            fleet
+                .submit_at(cold, test_rhs(a.n()), i as f64 * 0.01)
+                .unwrap();
+        }
+        // Round 1: hot earns 3 credits, cold 1 — no starvation.
+        let round = fleet.step().unwrap();
+        let hot_served = round.iter().filter(|c| c.tenant == hot).count();
+        let cold_served = round.iter().filter(|c| c.tenant == cold).count();
+        assert_eq!(hot_served, 3);
+        assert_eq!(cold_served, 1);
+        // Drain the rest; everyone gets served, ~3:1 per round throughout.
+        let rest = fleet.drain().unwrap();
+        assert_eq!(round.len() + rest.len(), 16);
+        assert_eq!(fleet.tenant_metrics(hot).jobs_served, 12);
+        assert_eq!(fleet.tenant_metrics(cold).jobs_served, 4);
+        // All solutions are correct.
+        let b = test_rhs(a.n());
+        for c in round.iter().chain(rest.iter()) {
+            assert!(a.relative_residual(&c.x, &b) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn shards_overlap_in_virtual_time() {
+        let mut fleet = Fleet::new(&opts(1), config()); // 2 shards
+        let a = laplacian_2d(6, 6);
+        let alice = fleet.admit("alice", &a, 1.0).unwrap(); // shard 0
+        let bob = fleet.admit("bob", &a, 1.0).unwrap(); // shard 1
+        for i in 0..4 {
+            fleet
+                .submit_at(alice, test_rhs(a.n()), i as f64 * 0.01)
+                .unwrap();
+            fleet
+                .submit_at(bob, test_rhs(a.n()), i as f64 * 0.01)
+                .unwrap();
+        }
+        fleet.drain().unwrap();
+        // Both shards advanced, and the fleet makespan is the max — less
+        // than the serialized sum of both shard clocks.
+        let (c0, c1) = (fleet.shard_clock(0), fleet.shard_clock(1));
+        assert!(c0 > 0.0 && c1 > 0.0);
+        assert_eq!(fleet.makespan(), c0.max(c1));
+        assert!(fleet.makespan() < c0 + c1);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_residency_under_budget_and_rematerializes() {
+        let a = laplacian_2d(8, 8);
+        // Find one factor's size, then budget for roughly two of three.
+        let probe = Session::new(&a, &opts(2)).unwrap();
+        let one = probe.factor_bytes();
+        assert!(one > 0);
+        let mut cfg = config();
+        cfg.shards = 1;
+        cfg.factor_budget_bytes = 2 * one + one / 2;
+        let mut fleet = Fleet::new(&opts(2), cfg);
+        let tenants: Vec<TenantId> = ["alice", "bob", "carol"]
+            .iter()
+            .map(|name| fleet.admit(name, &a, 1.0).unwrap())
+            .collect();
+        // Three factors cannot all be resident: someone was evicted.
+        let c = fleet.cache_metrics();
+        assert!(c.factor_evictions >= 1, "evictions: {}", c.factor_evictions);
+        assert!(c.resident_bytes <= cfg.factor_budget_bytes);
+        assert!(c.resident_high_water_bytes <= cfg.factor_budget_bytes);
+        // Serving the evicted tenant re-materializes transparently and the
+        // answer is right.
+        let b = test_rhs(a.n());
+        for &t in &tenants {
+            fleet.submit_at(t, b.clone(), 0.0).unwrap();
+        }
+        let done = fleet.drain().unwrap();
+        assert_eq!(done.len(), 3);
+        for c in &done {
+            assert!(a.relative_residual(&c.x, &b) < 1e-10);
+        }
+        let c = fleet.cache_metrics();
+        assert!(c.rematerializations >= 1);
+        assert!(c.resident_bytes <= cfg.factor_budget_bytes);
+        assert!(c.resident_high_water_bytes <= cfg.factor_budget_bytes);
+        // Metrics JSON is balanced and names every tenant.
+        let json = fleet.metrics_json();
+        for name in ["alice", "bob", "carol"] {
+            assert!(json.contains(&format!("\"tenant\":\"{name}\"")));
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn request_spans_carry_tenant_names_and_service_split() {
+        let mut fleet = Fleet::new(&opts(1), config());
+        let a = laplacian_2d(6, 6);
+        let alice = fleet.admit("alice", &a, 1.0).unwrap();
+        for i in 0..3 {
+            fleet
+                .submit_at(alice, test_rhs(a.n()), i as f64 * 0.1)
+                .unwrap();
+        }
+        let done = fleet.drain().unwrap();
+        let spans = fleet.request_spans();
+        assert_eq!(spans.len(), done.len());
+        for (span, job) in spans.iter().zip(&done) {
+            assert_eq!(span.kind, SpanKind::Request);
+            assert_eq!(span.name, format!("alice/job-{}", job.id));
+            assert!(span.kernel <= span.dur + 1e-15, "service ≤ latency");
+            assert!(span.kernel > 0.0);
+        }
+    }
+}

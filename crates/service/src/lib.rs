@@ -26,8 +26,7 @@ use std::time::Instant;
 
 use sympack::plan::{factor_numeric, solve_panel_distributed};
 use sympack::storage::BlockStore;
-use sympack::taskgraph::LocalTasks;
-use sympack::{pattern_hash, SolvePlan, SolverError, SolverOptions};
+use sympack::{SolvePlan, SolverError, SolverOptions, SymbolicPlan};
 use sympack_sparse::SparseSym;
 use sympack_trace::metrics::ServiceMetrics;
 
@@ -111,22 +110,31 @@ pub struct BatchSolve {
 #[derive(Debug)]
 pub struct Session {
     plan: SolvePlan,
-    tasks: Vec<LocalTasks>,
-    stores: Vec<BlockStore>,
-    /// Original (unpermuted) pattern, kept to validate and rebuild matrices
-    /// for [`Session::refactorize`].
-    n: usize,
-    col_ptr: Vec<usize>,
-    row_idx: Vec<usize>,
+    /// The retained numeric factor; `None` while evicted from the factor
+    /// cache (see [`Session::evict_factor`]).
+    stores: Option<Vec<BlockStore>>,
+    /// Current numeric values (concatenated column values of the analyzed
+    /// pattern), retained so an evicted factor can be re-materialized.
+    values: Vec<f64>,
+    factor_bytes: u64,
     factor_time: f64,
     first_factor_time: f64,
     analyze_wall_ms: f64,
     refactorizations: u64,
+    rematerializations: u64,
+}
+
+fn collect_values(a: &SparseSym) -> Vec<f64> {
+    let mut values = Vec::with_capacity(a.nnz());
+    for c in 0..a.n() {
+        values.extend_from_slice(a.col_values(c));
+    }
+    values
 }
 
 impl Session {
     /// Analyze `a`, build per-rank task graphs and run the first numeric
-    /// factorization.
+    /// factorization — the fresh-analysis (plan-cache miss) path.
     ///
     /// # Errors
     /// Any factorization failure ([`SolverError::NotPositiveDefinite`],
@@ -134,42 +142,133 @@ impl Session {
     pub fn new(a: &SparseSym, opts: &SolverOptions) -> Result<Session, SolverError> {
         let t0 = Instant::now();
         let plan = SolvePlan::new(a, opts);
-        let tasks = plan.build_local_tasks();
         let analyze_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let ap = Arc::new(plan.permute(a));
-        let nf = factor_numeric(&plan, &ap, &tasks)?;
-        let mut row_idx = Vec::with_capacity(a.nnz());
-        for c in 0..a.n() {
-            row_idx.extend_from_slice(a.col_rows(c));
+        Session::factor_first(a, plan, analyze_wall_ms)
+    }
+
+    /// Build a session from a cached [`SymbolicPlan`] — the plan-cache hit
+    /// path: no ordering, no symbolic analysis, no task-graph construction;
+    /// only the numeric factorization runs. The session's
+    /// [`Session::analyze_wall_ms`] is 0 — the defining property of a cache
+    /// hit.
+    ///
+    /// # Errors
+    /// [`SolverError::PatternMismatch`] when `a`'s structure differs from
+    /// the pattern `symbolic` was analyzed for; otherwise the factorization
+    /// failure modes.
+    pub fn with_plan(
+        a: &SparseSym,
+        symbolic: Arc<SymbolicPlan>,
+        opts: &SolverOptions,
+    ) -> Result<Session, SolverError> {
+        if !symbolic.matches(a) {
+            return Err(SolverError::PatternMismatch {
+                expected_nnz: symbolic.pattern_nnz(),
+                actual_nnz: a.nnz(),
+                detail: "matrix structure differs from the cached symbolic plan".to_string(),
+            });
         }
+        let plan = SolvePlan::from_symbolic(symbolic, opts);
+        Session::factor_first(a, plan, 0.0)
+    }
+
+    fn factor_first(
+        a: &SparseSym,
+        plan: SolvePlan,
+        analyze_wall_ms: f64,
+    ) -> Result<Session, SolverError> {
+        let ap = Arc::new(plan.permute(a));
+        let nf = factor_numeric(&plan, &ap)?;
+        let factor_bytes = nf.factor_bytes();
         Ok(Session {
             plan,
-            tasks,
-            stores: nf.stores,
-            n: a.n(),
-            col_ptr: a.col_ptr().to_vec(),
-            row_idx,
+            stores: Some(nf.stores),
+            values: collect_values(a),
+            factor_bytes,
             factor_time: nf.factor_time,
             first_factor_time: nf.factor_time,
             analyze_wall_ms,
             refactorizations: 0,
+            rematerializations: 0,
         })
     }
 
     /// Matrix order.
     pub fn n(&self) -> usize {
-        self.n
+        self.plan.symbolic.n
     }
 
     /// Lower-triangle stored nonzeros of the analyzed pattern — the value
     /// count [`Session::refactorize`] expects.
     pub fn pattern_nnz(&self) -> usize {
-        self.col_ptr[self.n]
+        self.plan.symbolic.pattern_nnz()
     }
 
     /// Structure hash of the analyzed pattern.
     pub fn pattern(&self) -> u64 {
-        self.plan.pattern
+        self.plan.pattern()
+    }
+
+    /// The shared symbolic plan backing this session — hand it to
+    /// [`Session::with_plan`] (or a fleet plan cache) to serve another
+    /// matrix with the same pattern without re-analyzing.
+    pub fn symbolic_plan(&self) -> Arc<SymbolicPlan> {
+        Arc::clone(&self.plan.symbolic)
+    }
+
+    /// Whether the numeric factor is currently materialized (not evicted).
+    pub fn is_resident(&self) -> bool {
+        self.stores.is_some()
+    }
+
+    /// Bytes of numeric factor payload when resident, 0 while evicted.
+    pub fn factor_bytes(&self) -> u64 {
+        if self.stores.is_some() {
+            self.factor_bytes
+        } else {
+            0
+        }
+    }
+
+    /// Drop the numeric factor, keeping all symbolic state and the current
+    /// values. Returns the bytes freed (0 when already evicted). The next
+    /// solve must be preceded by [`Session::ensure_resident`].
+    pub fn evict_factor(&mut self) -> u64 {
+        match self.stores.take() {
+            Some(_) => self.factor_bytes,
+            None => 0,
+        }
+    }
+
+    /// Re-materialize the factor from the retained values if it was
+    /// evicted. Returns `Some(factor_time)` when a re-factorization ran,
+    /// `None` when the factor was already resident.
+    ///
+    /// # Errors
+    /// The factorization failure modes.
+    pub fn ensure_resident(&mut self) -> Result<Option<f64>, SolverError> {
+        if self.stores.is_some() {
+            return Ok(None);
+        }
+        let a = self.plan.symbolic.matrix_from_values(&self.values);
+        let ap = Arc::new(self.plan.permute(&a));
+        let nf = factor_numeric(&self.plan, &ap)?;
+        self.factor_bytes = nf.factor_bytes();
+        self.factor_time = nf.factor_time;
+        self.stores = Some(nf.stores);
+        self.rematerializations += 1;
+        Ok(Some(nf.factor_time))
+    }
+
+    /// Factor re-materializations performed after evictions.
+    pub fn rematerializations(&self) -> u64 {
+        self.rematerializations
+    }
+
+    /// The retained per-rank factor blocks (`None` while evicted) — read
+    /// access for byte-identity checks and storage accounting.
+    pub fn factor_stores(&self) -> Option<&[BlockStore]> {
+        self.stores.as_deref()
     }
 
     /// Virtual makespan of the most recent factorization.
@@ -215,8 +314,9 @@ impl Session {
     /// Panics when a panel's row count differs from the session matrix.
     ///
     /// # Errors
-    /// The solve's fault-injection diagnoses ([`SolverError::Stalled`],
-    /// [`SolverError::FetchTimeout`]).
+    /// [`SolverError::FactorEvicted`] when the factor was evicted and not
+    /// re-materialized, plus the solve's fault-injection diagnoses
+    /// ([`SolverError::Stalled`], [`SolverError::FetchTimeout`]).
     pub fn solve_batch(&self, panels: &[RhsPanel]) -> Result<BatchSolve, SolverError> {
         let total: usize = panels.iter().map(|p| p.nrhs()).sum();
         if total == 0 {
@@ -226,24 +326,27 @@ impl Session {
                 nrhs: 0,
             });
         }
-        let n = self.n;
+        let stores = self.stores.as_ref().ok_or(SolverError::FactorEvicted {
+            pattern: self.plan.pattern(),
+        })?;
+        let n = self.n();
         let mut bp = vec![0.0; n * total];
         let mut k = 0;
         for p in panels {
             assert_eq!(p.n(), n, "rhs panel rows must match the session matrix");
             for c in 0..p.nrhs() {
-                let col = self.plan.sf.perm.apply_vec(p.column(c));
+                let col = self.plan.sf().perm.apply_vec(p.column(c));
                 bp[k * n..(k + 1) * n].copy_from_slice(&col);
                 k += 1;
             }
         }
-        let ps = solve_panel_distributed(&self.plan, &self.stores, &bp, total)?;
+        let ps = solve_panel_distributed(&self.plan, stores, &bp, total)?;
         let mut out = Vec::with_capacity(panels.len());
         let mut k = 0;
         for p in panels {
             let mut data = Vec::with_capacity(n * p.nrhs());
             for _ in 0..p.nrhs() {
-                data.extend(self.plan.sf.perm.unapply_vec(&ps.xp[k * n..(k + 1) * n]));
+                data.extend(self.plan.sf().perm.unapply_vec(&ps.xp[k * n..(k + 1) * n]));
                 k += 1;
             }
             out.push(RhsPanel::new(n, p.nrhs(), data));
@@ -283,23 +386,19 @@ impl Session {
                 detail: "value array length does not match the analyzed pattern".to_string(),
             });
         }
-        let a = SparseSym::from_parts(
-            self.n,
-            self.col_ptr.clone(),
-            self.row_idx.clone(),
-            values.to_vec(),
-        );
+        let a = self.plan.symbolic.matrix_from_values(values);
         self.refactor_with(&a)
     }
 
     /// Numeric re-factorization from a full matrix, which must have exactly
-    /// the session's sparsity structure (checked by [`pattern_hash`]).
+    /// the session's sparsity structure (checked by
+    /// [`sympack::pattern_hash`]).
     ///
     /// # Errors
     /// [`SolverError::PatternMismatch`] when the structure differs;
     /// otherwise the factorization failure modes.
     pub fn refactorize_matrix(&mut self, a: &SparseSym) -> Result<f64, SolverError> {
-        if pattern_hash(a) != self.plan.pattern {
+        if !self.plan.symbolic.matches(a) {
             return Err(SolverError::PatternMismatch {
                 expected_nnz: self.pattern_nnz(),
                 actual_nnz: a.nnz(),
@@ -311,8 +410,10 @@ impl Session {
 
     fn refactor_with(&mut self, a: &SparseSym) -> Result<f64, SolverError> {
         let ap = Arc::new(self.plan.permute(a));
-        let nf = factor_numeric(&self.plan, &ap, &self.tasks)?;
-        self.stores = nf.stores;
+        let nf = factor_numeric(&self.plan, &ap)?;
+        self.factor_bytes = nf.factor_bytes();
+        self.stores = Some(nf.stores);
+        self.values = collect_values(a);
         self.factor_time = nf.factor_time;
         self.refactorizations += 1;
         Ok(nf.factor_time)
@@ -507,7 +608,9 @@ impl Server {
                 self.clock - j.arrival,
             );
             span.kind = sympack_trace::SpanKind::Request;
-            span.kernel = 0.0;
+            // Service time of the coalesced solve; `dur - kernel` is the
+            // queueing wait the profile attributes to the requester.
+            span.kernel = batch.solve_time.min(self.clock - j.arrival);
             span.bytes = (self.session.n() * 8) as u64;
             self.request_spans.push(span);
             done.push(CompletedJob {
@@ -637,6 +740,80 @@ mod tests {
         let x2 = session.solve(&b).unwrap();
         for (u, v) in x.iter().zip(x2.iter()) {
             assert!((u - 2.0 * v).abs() < 1e-9, "A/2 scaling inverts x");
+        }
+    }
+
+    #[test]
+    fn session_with_cached_plan_skips_analysis_and_matches_bits() {
+        let a = laplacian_2d(8, 7);
+        let b = test_rhs(a.n());
+        let mut o = opts(4);
+        o.deterministic = true;
+        let fresh = Session::new(&a, &o).unwrap();
+        let cached = Session::with_plan(&a, fresh.symbolic_plan(), &o).unwrap();
+        // Cache hit: no analysis wall time, same pattern, bit-equal results.
+        assert_eq!(cached.analyze_wall_ms(), 0.0);
+        assert!(fresh.analyze_wall_ms() > 0.0);
+        assert_eq!(cached.pattern(), fresh.pattern());
+        assert_eq!(
+            cached.factor_time().to_bits(),
+            fresh.factor_time().to_bits()
+        );
+        let xf = fresh.solve(&b).unwrap();
+        let xc = cached.solve(&b).unwrap();
+        for (u, v) in xf.iter().zip(xc.iter()) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        // A different pattern is rejected with a typed error.
+        let other = laplacian_2d(8, 6);
+        match Session::with_plan(&other, fresh.symbolic_plan(), &o) {
+            Err(SolverError::PatternMismatch { .. }) => {}
+            other => panic!("expected PatternMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn evicted_factor_rematerializes_and_solves() {
+        let a = laplacian_2d(7, 6);
+        let b = test_rhs(a.n());
+        let mut o = opts(2);
+        o.deterministic = true;
+        let mut session = Session::new(&a, &o).unwrap();
+        let x0 = session.solve(&b).unwrap();
+        let bytes = session.factor_bytes();
+        assert!(bytes > 0);
+        assert!(session.is_resident());
+        // Evict: solves are rejected with a typed error until re-materialized.
+        assert_eq!(session.evict_factor(), bytes);
+        assert!(!session.is_resident());
+        assert_eq!(session.factor_bytes(), 0);
+        assert_eq!(session.evict_factor(), 0);
+        match session.solve(&b) {
+            Err(SolverError::FactorEvicted { pattern }) => {
+                assert_eq!(pattern, session.pattern())
+            }
+            other => panic!("expected FactorEvicted, got {other:?}"),
+        }
+        // Re-materialize from the retained values: bit-identical solves.
+        let ft = session.ensure_resident().unwrap();
+        assert!(ft.is_some());
+        assert_eq!(session.rematerializations(), 1);
+        assert_eq!(session.factor_bytes(), bytes);
+        assert!(session.ensure_resident().unwrap().is_none());
+        let x1 = session.solve(&b).unwrap();
+        for (u, v) in x0.iter().zip(x1.iter()) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        // Eviction after a refactorize re-materializes the *new* values.
+        let values: Vec<f64> = (0..a.n())
+            .flat_map(|c| a.col_values(c).iter().map(|v| v * 2.0).collect::<Vec<_>>())
+            .collect();
+        session.refactorize(&values).unwrap();
+        session.evict_factor();
+        session.ensure_resident().unwrap();
+        let x2 = session.solve(&b).unwrap();
+        for (u, v) in x0.iter().zip(x2.iter()) {
+            assert!((u - 2.0 * v).abs() < 1e-9, "A*2 halves x");
         }
     }
 

@@ -183,6 +183,61 @@ impl ServiceMetrics {
     }
 }
 
+/// Fleet-level cache counters: the symbolic plan cache (a hit skips
+/// ordering + analysis + mapping for a pattern already seen) and the LRU
+/// numeric-factor cache that evicts cold tenants' factors under a byte
+/// budget. Byte figures are steady-state (sampled after budget
+/// enforcement), so `resident_high_water_bytes ≤ factor_budget_bytes`
+/// whenever every single factor fits the budget on its own.
+#[derive(Debug, Default, Clone)]
+pub struct FleetCacheMetrics {
+    /// Tenant admissions whose pattern (under identical analysis/layout
+    /// options) was already in the plan cache — no analysis ran.
+    pub plan_hits: u64,
+    /// Tenant admissions that had to run ordering + analysis + mapping.
+    pub plan_misses: u64,
+    /// Numeric factors dropped by the LRU under budget pressure.
+    pub factor_evictions: u64,
+    /// Evicted factors rebuilt on demand before a solve.
+    pub rematerializations: u64,
+    /// Configured byte budget for resident numeric factors (0 = unlimited).
+    pub factor_budget_bytes: u64,
+    /// Bytes of currently resident numeric factors.
+    pub resident_bytes: u64,
+    /// Largest steady-state resident total observed.
+    pub resident_high_water_bytes: u64,
+}
+
+impl FleetCacheMetrics {
+    /// Plan-cache hit rate over all admissions (0 when none).
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / total as f64
+        }
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"plan_hits\":{},\"plan_misses\":{},\"plan_hit_rate\":{},\
+             \"factor_evictions\":{},\"rematerializations\":{},\
+             \"factor_budget_bytes\":{},\"resident_bytes\":{},\
+             \"resident_high_water_bytes\":{}}}",
+            self.plan_hits,
+            self.plan_misses,
+            self.plan_hit_rate(),
+            self.factor_evictions,
+            self.rematerializations,
+            self.factor_budget_bytes,
+            self.resident_bytes,
+            self.resident_high_water_bytes
+        )
+    }
+}
+
 /// One wall-clock measurement of a dense kernel at one problem shape, as
 /// recorded by the `kernel_roofline` benchmark.
 #[derive(Debug, Clone)]
@@ -416,6 +471,23 @@ mod tests {
         };
         assert_eq!(s.gflops(), 0.0);
         assert_eq!(s.arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn fleet_cache_metrics_rates_and_json() {
+        let mut c = FleetCacheMetrics::default();
+        assert_eq!(c.plan_hit_rate(), 0.0);
+        c.plan_hits = 3;
+        c.plan_misses = 1;
+        c.factor_evictions = 5;
+        c.resident_bytes = 1024;
+        c.resident_high_water_bytes = 2048;
+        assert_eq!(c.plan_hit_rate(), 0.75);
+        let json = c.to_json();
+        assert!(json.contains("\"plan_hits\":3"));
+        assert!(json.contains("\"factor_evictions\":5"));
+        assert!(json.contains("\"resident_high_water_bytes\":2048"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! the text summary, `chrome` exports the span lanes, `diff` compares two
 //! profiles with thresholds for CI regression gating.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::json::{self, JsonValue};
 use crate::{json_escape, SpanKind, TraceCat, TraceEvent};
@@ -799,6 +799,50 @@ impl Profile {
             s.push_str(&items.join("  "));
             s.push('\n');
         }
+
+        // Serving workloads: attribute request latency to tenants, not just
+        // ranks. Request spans are named `{tenant}/job-{id}` (the fleet
+        // layer) with `kernel` carrying the service portion, so the
+        // remainder of each span is queue/scheduling wait charged to the
+        // tenant that suffered it.
+        #[derive(Default)]
+        struct TenantAgg {
+            latencies: Vec<f64>,
+            service: f64,
+            wait: f64,
+        }
+        let mut tenants: BTreeMap<&str, TenantAgg> = BTreeMap::new();
+        for e in self.spans.iter().filter(|e| e.kind == SpanKind::Request) {
+            let tenant = e.name.split_once('/').map_or("-", |(t, _)| t);
+            let agg = tenants.entry(tenant).or_default();
+            agg.latencies.push(e.dur);
+            agg.service += e.kernel;
+            agg.wait += (e.dur - e.kernel).max(0.0);
+        }
+        if !tenants.is_empty() {
+            let quantile = |sorted: &[f64], q: f64| -> f64 {
+                let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+                sorted[idx]
+            };
+            s.push_str(
+                "\nper-tenant requests (latency = completion − arrival, \
+                 wait = latency − service):\n\
+                 tenant           reqs      p50-lat      p99-lat      service         wait\n",
+            );
+            for (tenant, agg) in &tenants {
+                let mut lat = agg.latencies.clone();
+                lat.sort_by(f64::total_cmp);
+                s.push_str(&format!(
+                    "{:<14} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
+                    tenant,
+                    lat.len(),
+                    fmt_time(quantile(&lat, 0.50)),
+                    fmt_time(quantile(&lat, 0.99)),
+                    fmt_time(agg.service),
+                    fmt_time(agg.wait),
+                ));
+            }
+        }
         s
     }
 }
@@ -1066,6 +1110,48 @@ mod tests {
         assert!(rep.contains("per-rank time attribution"), "{rep}");
         assert!(rep.contains("comm matrix"), "{rep}");
         assert!(rep.contains("r0→r1"), "{rep}");
+    }
+
+    #[test]
+    fn report_breaks_requests_down_by_tenant() {
+        // Two tenants' request spans plus one background exec span: the
+        // per-tenant section must appear, group by the name prefix, and
+        // split latency into service (kernel) vs wait (the remainder).
+        let mut alice0 = TraceEvent::basic(0, "alice/job-0".into(), TraceCat::Solve, 0.0, 2.0);
+        alice0.kind = SpanKind::Request;
+        alice0.kernel = 0.5; // 1.5 of wait
+        let mut alice1 = TraceEvent::basic(0, "alice/job-1".into(), TraceCat::Solve, 1.0, 4.0);
+        alice1.kind = SpanKind::Request;
+        alice1.kernel = 1.0;
+        let mut bob = TraceEvent::basic(1, "bob/job-0".into(), TraceCat::Solve, 0.0, 1.0);
+        bob.kind = SpanKind::Request;
+        bob.kernel = 1.0; // pure service, no wait
+        let events = vec![alice0, alice1, bob, ev(0, "a", 0.0, 1.0, 0.0, None)];
+        let p = Profile::build("fleet", &events, 5.0, 2, CommMatrix::empty(2));
+        let rep = p.render_report(5);
+        assert!(rep.contains("per-tenant requests"), "{rep}");
+        // BTreeMap ordering: alice before bob, one row each.
+        let alice_at = rep.find("alice").unwrap();
+        let bob_at = rep.find("bob").unwrap();
+        assert!(alice_at < bob_at, "{rep}");
+        let alice_row = rep.lines().find(|l| l.starts_with("alice")).unwrap();
+        // 2 requests, p50 = p99 = 4s (nearest rank over [2,4] rounds up),
+        // service 0.5+1.0, wait 1.5+3.0.
+        assert!(alice_row.contains(" 2 "), "{alice_row}");
+        assert!(alice_row.contains("4.000 s"), "{alice_row}");
+        assert!(alice_row.contains("1.500 s"), "{alice_row}");
+        assert!(alice_row.contains("4.500 s"), "{alice_row}");
+        let bob_row = rep.lines().find(|l| l.starts_with("bob")).unwrap();
+        assert!(bob_row.contains("0.00 us"), "zero wait: {bob_row}");
+        // A profile with no request spans keeps the section out entirely.
+        let plain = Profile::build(
+            "fanout",
+            &[ev(0, "a", 0.0, 1.0, 0.0, None)],
+            1.0,
+            1,
+            CommMatrix::empty(1),
+        );
+        assert!(!plain.render_report(5).contains("per-tenant requests"));
     }
 
     #[test]

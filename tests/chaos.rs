@@ -39,7 +39,9 @@ use sympack_baseline::{
     try_baseline_factor_and_solve, try_fanboth_factor_and_solve, try_fanin_factor_and_solve,
     BaselineOptions,
 };
+use sympack_fleet::{Fleet, FleetConfig};
 use sympack_pgas::FaultPlan;
+use sympack_service::Session;
 use sympack_sparse::gen;
 use sympack_sparse::vecops::test_rhs;
 
@@ -366,6 +368,87 @@ fn drop_plans_complete_or_diagnose_a_stall_never_hang() {
         completed + diagnosed > 0,
         "sweep executed no cases — budget misconfigured?"
     );
+}
+
+#[test]
+fn eviction_under_faults_rematerializes_correctly() {
+    // LRU churn under message chaos: three single-shard tenants behind a
+    // two-factor budget keep evicting each other, so every scheduling round
+    // re-factorizes an evicted tenant *while* the fault plan delays or
+    // duplicates its messages. Lossless plans must stay invisible to the
+    // serving layer: every answer correct, the budget held, and the churn
+    // counters actually moving.
+    let budget = seed_budget();
+    let a = gen::laplacian_2d(6, 6);
+    let base = SolverOptions {
+        n_nodes: 1,
+        ranks_per_node: 2,
+        deterministic: true,
+        refine_steps: 0,
+        ..Default::default()
+    };
+    let one = Session::new(&a, &base)
+        .expect("probe factorization")
+        .factor_bytes();
+    let config = FleetConfig {
+        shards: 1,
+        factor_budget_bytes: 2 * one + one / 2,
+        max_pending_per_tenant: 16,
+        max_batch: 1,
+        quantum: 1.0,
+    };
+    for plan in ["delays", "dup"] {
+        for seed in 0..budget {
+            let opts = SolverOptions {
+                faults: plan_of(plan, seed),
+                ..base.clone()
+            };
+            let mut fleet = Fleet::new(&opts, config);
+            let tenants: Vec<_> = ["alice", "bob", "carol"]
+                .iter()
+                .map(|name| {
+                    fleet.admit(name, &a, 1.0).unwrap_or_else(|e| {
+                        panic!("{plan}/seed={seed}: admit {name} under faults: {e}")
+                    })
+                })
+                .collect();
+            let b = test_rhs(a.n());
+            for round in 0..3 {
+                for &t in &tenants {
+                    fleet.submit_at(t, b.clone(), round as f64 * 0.1).unwrap();
+                }
+            }
+            let done = fleet
+                .drain()
+                .unwrap_or_else(|e| panic!("{plan}/seed={seed}: fleet drain under faults: {e}"));
+            assert_eq!(done.len(), 9, "{plan}/seed={seed}: all jobs complete");
+            for c in &done {
+                let res = a.relative_residual(&c.x, &b);
+                assert!(
+                    res < RESIDUAL_TOL,
+                    "{plan}/seed={seed}: tenant {} job {} re-factorized wrong under \
+                     faults (residual {res})",
+                    c.tenant.0,
+                    c.id
+                );
+            }
+            let cm = fleet.cache_metrics();
+            assert!(
+                cm.factor_evictions >= 1,
+                "{plan}/seed={seed}: budget never forced an eviction"
+            );
+            assert!(
+                cm.rematerializations >= 1,
+                "{plan}/seed={seed}: no evicted tenant was re-factorized"
+            );
+            assert!(
+                cm.resident_high_water_bytes <= config.factor_budget_bytes,
+                "{plan}/seed={seed}: high-water {} over budget {}",
+                cm.resident_high_water_bytes,
+                config.factor_budget_bytes
+            );
+        }
+    }
 }
 
 /// Re-run a single failing case from its environment description:
