@@ -8,7 +8,8 @@
 //! sympack-prof report profile.json [--top N]       text report to stdout
 //! sympack-prof chrome profile.json [-o out.json]   Chrome trace export
 //! sympack-prof diff old.json new.json \
-//!     [--makespan-pct X] [--crit-pct X]            exit 1 on regression
+//!     [--makespan-pct X] [--crit-pct X] \
+//!     [--published-pct X]                          exit 1 on regression
 //! ```
 //!
 //! `report` prints the makespan, critical path (top-k tasks), per-rank wait
@@ -23,7 +24,7 @@ use sympack_trace::profile::{check_invariants, diff, DiffThresholds, Profile};
 const USAGE: &str = "usage:
   sympack-prof report <profile.json> [--top N]
   sympack-prof chrome <profile.json> [-o <out.json>]
-  sympack-prof diff <old.json> <new.json> [--makespan-pct X] [--crit-pct X]";
+  sympack-prof diff <old.json> <new.json> [--makespan-pct X] [--crit-pct X] [--published-pct X]";
 
 fn load(path: &str) -> Result<Profile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -90,6 +91,9 @@ fn run() -> Result<ExitCode, String> {
             }
             if let Some(v) = take_flag(&mut argv, "--crit-pct")? {
                 thr.crit_pct = v.parse().map_err(|_| "bad --crit-pct".to_string())?;
+            }
+            if let Some(v) = take_flag(&mut argv, "--published-pct")? {
+                thr.published_pct = v.parse().map_err(|_| "bad --published-pct".to_string())?;
             }
             let [old_path, new_path] = argv.as_slice() else {
                 return Err(USAGE.into());

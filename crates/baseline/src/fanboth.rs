@@ -256,7 +256,7 @@ impl FbEngine {
     }
 
     fn exec_diag(&mut self, rank: &mut Rank, j: usize) {
-        let mut diag = self.store.take((j, j)).expect("diag owned");
+        let mut diag = self.store.take((j, j)).expect("diag owned").into_dense();
         let (_, secs) = self
             .kernels
             .potrf(&mut diag)
@@ -280,7 +280,7 @@ impl FbEngine {
     }
 
     fn exec_panel(&mut self, rank: &mut Rank, i: usize, j: usize) {
-        let mut blk = self.store.take((i, j)).expect("panel owned");
+        let mut blk = self.store.take((i, j)).expect("panel owned").into_dense();
         let ldiag = self.inputs.get(&(j, j)).expect("diagonal factor present");
         let (_, secs) = self.kernels.trsm(&mut blk, ldiag);
         self.rt.charge(rank, TaskKey::Panel { i, j }, secs);
@@ -430,7 +430,7 @@ impl FbEngine {
 
 /// Fold an aggregate into the owned target block.
 fn absorb(store: &mut BlockStore, a: usize, b: usize, buf: &Mat) {
-    let m = store.get_mut((a, b)).expect("target owned");
+    let m = store.get_mut((a, b)).expect("target owned").dense_mut();
     if a == b {
         for c in 0..buf.cols() {
             for r in c..buf.rows() {

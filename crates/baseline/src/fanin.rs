@@ -138,7 +138,7 @@ impl sched::Signal for AggSignal {
 /// Add a received (or locally finished) aggregate into the owned blocks.
 fn absorb_aggregate(sf: &SymbolicFactor, store: &mut BlockStore, b: usize, agg: &AggBuffer) {
     {
-        let diag = store.get_mut((b, b)).expect("diag owned");
+        let diag = store.get_mut((b, b)).expect("diag owned").dense_mut();
         for c in 0..agg.diag.cols() {
             for r in c..agg.diag.rows() {
                 diag[(r, c)] += agg.diag[(r, c)];
@@ -146,7 +146,10 @@ fn absorb_aggregate(sf: &SymbolicFactor, store: &mut BlockStore, b: usize, agg: 
         }
     }
     for (info, buf) in sf.layout.blocks_of(b).iter().zip(&agg.blocks) {
-        let m = store.get_mut((info.target, b)).expect("block owned");
+        let m = store
+            .get_mut((info.target, b))
+            .expect("block owned")
+            .dense_mut();
         for c in 0..buf.cols() {
             for r in 0..buf.rows() {
                 m[(r, c)] += buf[(r, c)];
@@ -285,14 +288,18 @@ impl FiEngine {
     /// shipped once the last local contribution lands.
     fn exec_factor(&mut self, rank: &mut Rank, key: FiKey) {
         let j = key.j;
-        let mut diag = self.store.take((j, j)).expect("diag owned");
+        let mut diag = self.store.take((j, j)).expect("diag owned").into_dense();
         let (_, secs) = self
             .kernels
             .potrf(&mut diag)
             .expect("fan-in requires SPD input");
         self.rt.charge(rank, key, secs);
         for bb in self.sf.layout.blocks_of(j).to_vec() {
-            let mut blk = self.store.take((bb.target, j)).expect("block owned");
+            let mut blk = self
+                .store
+                .take((bb.target, j))
+                .expect("block owned")
+                .into_dense();
             let (_, secs) = self.kernels.trsm(&mut blk, &diag);
             self.rt.charge(rank, key, secs);
             self.store.put((bb.target, j), blk);
@@ -347,14 +354,14 @@ impl FiEngine {
                 .store
                 .get((b, j))
                 .expect("factored block local")
-                .clone();
+                .to_dense();
             for ba in blocks_meta.iter().skip(bi) {
                 let a = ba.target;
                 let la = self
                     .store
                     .get((a, j))
                     .expect("factored block local")
-                    .clone();
+                    .to_dense();
                 if a == b {
                     let nb = lb.rows();
                     let mut temp = Mat::zeros(nb, nb);
@@ -362,7 +369,7 @@ impl FiEngine {
                     self.rt.charge(rank, key, secs);
                     let sf = &self.sf;
                     let target: &mut Mat = if local {
-                        self.store.get_mut((b, b)).expect("diag owned")
+                        self.store.get_mut((b, b)).expect("diag owned").dense_mut()
                     } else {
                         &mut self
                             .aggs
@@ -399,7 +406,10 @@ impl FiEngine {
                         .expect("block index");
                     let sf = &self.sf;
                     let target: &mut Mat = if local {
-                        self.store.get_mut((a, b)).expect("target block owned")
+                        self.store
+                            .get_mut((a, b))
+                            .expect("target block owned")
+                            .dense_mut()
                     } else {
                         &mut self
                             .aggs

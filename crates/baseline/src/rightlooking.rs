@@ -285,9 +285,10 @@ fn owner_of(j: usize, p: usize) -> usize {
 /// Pack the factored panel of supernode `j` into one buffer.
 fn pack_panel(sf: &SymbolicFactor, store: &BlockStore, j: usize) -> Vec<f64> {
     let mut out = Vec::new();
-    out.extend_from_slice(store.get((j, j)).expect("diag owned").as_slice());
+    out.extend_from_slice(store.get((j, j)).expect("diag owned").dense().as_slice());
     for b in sf.layout.blocks_of(j) {
-        out.extend_from_slice(store.get((b.target, j)).expect("block owned").as_slice());
+        let blk = store.get((b.target, j)).expect("block owned").dense();
+        out.extend_from_slice(blk.as_slice());
     }
     out
 }
@@ -425,14 +426,18 @@ impl RlEngine {
     /// every rank owning a target (self included, without communication).
     fn exec_factor(&mut self, rank: &mut Rank, j: usize) {
         let key = RlKey::Factor { j };
-        let mut diag = self.store.take((j, j)).expect("diag owned");
+        let mut diag = self.store.take((j, j)).expect("diag owned").into_dense();
         let (_, secs) = self
             .kernels
             .potrf(&mut diag)
             .expect("baseline requires SPD input");
         self.rt.charge(rank, key, secs);
         for bb in self.sf.layout.blocks_of(j).to_vec() {
-            let mut blk = self.store.take((bb.target, j)).expect("block owned");
+            let mut blk = self
+                .store
+                .take((bb.target, j))
+                .expect("block owned")
+                .into_dense();
             let (_, secs) = self.kernels.trsm(&mut blk, &diag);
             self.rt.charge(rank, key, secs);
             self.store.put((bb.target, j), blk);
@@ -501,7 +506,7 @@ impl RlEngine {
                     let mut temp = Mat::zeros(nb, nb);
                     let (_, secs) = self.kernels.syrk(&mut temp, lb);
                     self.rt.charge(rank, key, secs);
-                    let target = self.store.get_mut((b, b)).expect("diag owned");
+                    let target = self.store.get_mut((b, b)).expect("diag owned").dense_mut();
                     for (ci, &gc) in rows_b.iter().enumerate() {
                         let tc = gc - first_b;
                         for (ri, &gr) in rows_b.iter().enumerate().skip(ci) {
@@ -520,7 +525,11 @@ impl RlEngine {
                     let mut temp = Mat::zeros(la.rows(), lb.rows());
                     let (_, secs) = self.kernels.gemm(&mut temp, la, lb);
                     self.rt.charge(rank, key, secs);
-                    let target = self.store.get_mut((a, b)).expect("target block owned");
+                    let target = self
+                        .store
+                        .get_mut((a, b))
+                        .expect("target block owned")
+                        .dense_mut();
                     for (ci, &gc) in rows_b.iter().enumerate() {
                         let tc = gc - first_b;
                         for (ri, &tr) in row_map.iter().enumerate() {

@@ -14,6 +14,7 @@ fn paper_values(p: Problem) -> (u64, u64) {
         Problem::Flan => (1_564_794, 114_165_372),
         Problem::Bone => (914_898, 40_878_708),
         Problem::Thermal => (1_228_045, 8_580_313),
+        Problem::Audikw => (943_695, 77_651_847),
     }
 }
 

@@ -27,11 +27,25 @@ pub enum Problem {
     Bone,
     /// `thermal2` stand-in: very sparse irregular 2D conduction.
     Thermal,
+    /// `audikw_1` stand-in: 3D elasticity, 3 dof/node on a 27-point stencil.
+    Audikw,
 }
 
 impl Problem {
-    /// All problems in the paper's order.
+    /// All problems in the paper's order. (`audikw_1` joins through
+    /// [`Problem::BLR_ZOO`] only, so the committed scaling/profile
+    /// benchmarks keep their historical row sets.)
     pub const ALL: [Problem; 3] = [Problem::Flan, Problem::Bone, Problem::Thermal];
+
+    /// The block low-rank benchmark zoo: the two vector-FEM problems whose
+    /// factors carry real low-rank structure (`boneS10`, `audikw_1`) plus
+    /// the two weakly-compressible controls (`Flan_1565`, `thermal2`).
+    pub const BLR_ZOO: [Problem; 4] = [
+        Problem::Bone,
+        Problem::Audikw,
+        Problem::Flan,
+        Problem::Thermal,
+    ];
 
     /// Parse a CLI name.
     pub fn from_name(s: &str) -> Option<Problem> {
@@ -39,6 +53,7 @@ impl Problem {
             "flan" | "flan_1565" => Some(Problem::Flan),
             "bone" | "bones10" => Some(Problem::Bone),
             "thermal" | "thermal2" => Some(Problem::Thermal),
+            "audikw" | "audikw_1" => Some(Problem::Audikw),
             _ => None,
         }
     }
@@ -49,6 +64,7 @@ impl Problem {
             Problem::Flan => "Flan_1565 (flan_like)",
             Problem::Bone => "boneS10 (bone_like)",
             Problem::Thermal => "thermal2 (thermal_like)",
+            Problem::Audikw => "audikw_1 (audikw_like)",
         }
     }
 
@@ -58,6 +74,7 @@ impl Problem {
             Problem::Flan => "3D model of a steel flange (27-pt brick stand-in)",
             Problem::Bone => "3D trabecular bone (3-dof elasticity stand-in)",
             Problem::Thermal => "steady state thermal (irregular 2D stand-in)",
+            Problem::Audikw => "automotive crankshaft (3-dof 27-pt elasticity stand-in)",
         }
     }
 
@@ -67,6 +84,7 @@ impl Problem {
             Problem::Flan => gen::flan_like(26, 26, 26),
             Problem::Bone => gen::bone_like(14, 14, 14),
             Problem::Thermal => gen::thermal_like(110, 110, 0.35, 20230),
+            Problem::Audikw => gen::audikw_like(16, 16, 16),
         }
     }
 
@@ -76,6 +94,7 @@ impl Problem {
             Problem::Flan => gen::flan_like(7, 7, 7),
             Problem::Bone => gen::bone_like(6, 6, 5),
             Problem::Thermal => gen::thermal_like(24, 24, 0.35, 20230),
+            Problem::Audikw => gen::audikw_like(6, 6, 6),
         }
     }
 
@@ -88,6 +107,19 @@ impl Problem {
             Problem::Flan => gen::flan_like(13, 13, 13),
             Problem::Bone => gen::bone_like(14, 14, 14),
             Problem::Thermal => gen::thermal_like(72, 72, 0.35, 20230),
+            Problem::Audikw => gen::audikw_like(12, 12, 12),
+        }
+    }
+
+    /// Generate at the block low-rank benchmark scale: deep enough
+    /// elimination trees that off-diagonal panels develop numerically
+    /// low-rank structure at engineering tolerances.
+    pub fn matrix_blr(&self) -> SparseSym {
+        match self {
+            Problem::Flan => gen::flan_like(20, 20, 20),
+            Problem::Bone => gen::bone_like(20, 20, 20),
+            Problem::Thermal => gen::thermal_like(110, 110, 0.35, 20230),
+            Problem::Audikw => gen::audikw_like(18, 18, 18),
         }
     }
 }

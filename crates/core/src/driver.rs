@@ -81,6 +81,14 @@ pub struct SolverOptions {
     /// (default) keeps the historical one-RPC-per-signal wire pattern,
     /// bit-identical to pre-coalescing schedules.
     pub coalesce: Option<CoalesceConfig>,
+    /// Block low-rank compression of factored off-diagonal panels: after
+    /// its TRSM, a panel at least `min_block` in both dimensions is
+    /// truncated to relative Frobenius tolerance `tol` and — when the
+    /// factored form is smaller — stored, published, and consumed as
+    /// `U·Vᵀ`. The default (`tol = 0`) disables compression entirely;
+    /// dense-mode schedules and factors are bit-identical to pre-BLR
+    /// builds. Validated when the kernel engine is built.
+    pub blr: sympack_dense::BlrConfig,
 }
 
 impl Default for SolverOptions {
@@ -105,6 +113,7 @@ impl Default for SolverOptions {
             kernel_config: sympack_dense::KernelConfig::default(),
             bcast: BcastTopology::Flat,
             coalesce: None,
+            blr: sympack_dense::BlrConfig::default(),
         }
     }
 }
@@ -122,6 +131,12 @@ pub struct SolveReport {
     pub solve_time: f64,
     /// Per-rank CPU/GPU kernel call counts (Fig. 6 data).
     pub op_counts: Vec<OpCounts>,
+    /// Per-rank block-publication byte accounting (dense vs compressed).
+    pub publish: Vec<crate::engine::PublishStats>,
+    /// Per-rank BLR kernel counters (all zero in dense mode).
+    pub blr_counts: Vec<sympack_gpu::BlrCounters>,
+    /// Total bytes of retained factor blocks across all ranks.
+    pub factor_bytes: u64,
     /// Communication counters.
     pub stats: StatsSnapshot,
     /// Factor nonzeros (from the symbolic phase).
@@ -157,6 +172,10 @@ struct RankOut {
     /// One entry per right-hand side: (solve makespan, owned x pieces).
     solves: Vec<(f64, XPieces)>,
     counts: OpCounts,
+    publish: crate::engine::PublishStats,
+    blr: sympack_gpu::BlrCounters,
+    /// Bytes of this rank's retained factor blocks (stored size).
+    factor_bytes: u64,
     trace: Vec<sympack_trace::TraceEvent>,
     /// Executed scheduler tasks per kind (factorization + first solve).
     tasks: Vec<(String, u64)>,
@@ -187,6 +206,13 @@ pub struct MultiSolveReport {
     pub solve_times: Vec<f64>,
     /// Per-rank kernel call counts (factorization phase).
     pub op_counts: Vec<OpCounts>,
+    /// Per-rank block-publication byte accounting (dense vs compressed).
+    pub publish: Vec<crate::engine::PublishStats>,
+    /// Per-rank BLR kernel counters (all zero in dense mode).
+    pub blr_counts: Vec<sympack_gpu::BlrCounters>,
+    /// Total bytes of retained factor blocks across all ranks (compressed
+    /// blocks at their stored `[U|V]` size).
+    pub factor_bytes: u64,
     /// Communication counters for the whole session.
     pub stats: StatsSnapshot,
     /// Factor nonzeros.
@@ -247,6 +273,9 @@ impl SymPack {
             factor_time,
             mut solve_times,
             op_counts,
+            publish,
+            blr_counts,
+            factor_bytes,
             stats,
             l_nnz,
             flops,
@@ -261,6 +290,9 @@ impl SymPack {
             factor_time,
             solve_time: solve_times.pop().expect("one rhs"),
             op_counts,
+            publish,
+            blr_counts,
+            factor_bytes,
             stats,
             l_nnz,
             flops,
@@ -334,6 +366,9 @@ impl SymPack {
                     factor_time,
                     solves: Vec::new(),
                     counts: engine.kernels.counts,
+                    publish: engine.publish,
+                    blr: engine.kernels.blr_counts,
+                    factor_bytes: engine.store.iter().map(|(_, b)| b.bytes()).sum(),
                     trace,
                     tasks: facto_tasks,
                 };
@@ -347,6 +382,9 @@ impl SymPack {
                     factor_time,
                     solves: Vec::new(),
                     counts: engine.kernels.counts,
+                    publish: engine.publish,
+                    blr: engine.kernels.blr_counts,
+                    factor_bytes: engine.store.iter().map(|(_, b)| b.bytes()).sum(),
                     trace,
                     tasks: facto_tasks,
                 };
@@ -434,6 +472,9 @@ impl SymPack {
                 factor_time,
                 solves,
                 counts: engine.kernels.counts,
+                publish: engine.publish,
+                blr: engine.kernels.blr_counts,
+                factor_bytes: engine.store.iter().map(|(_, b)| b.bytes()).sum(),
                 trace,
                 tasks,
             }
@@ -474,7 +515,7 @@ impl SymPack {
                 *by_kind.entry(k.clone()).or_insert(0) += v;
             }
         }
-        let profile = opts.trace.then(|| {
+        let mut profile = opts.trace.then(|| {
             sympack_trace::profile::Profile::build(
                 "fanout",
                 &trace,
@@ -483,12 +524,33 @@ impl SymPack {
                 report.comm,
             )
         });
+        // Attach per-rank publication accounting only for compressed runs,
+        // so dense-mode profile documents keep their pre-BLR byte layout.
+        if let Some(p) = profile.as_mut() {
+            if opts.blr.enabled() {
+                p.blr = outs
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, o)| sympack_trace::profile::BlrRank {
+                        rank,
+                        dense_bytes: o.publish.dense_bytes,
+                        lr_bytes: o.publish.lr_bytes,
+                        lr_dense_equiv_bytes: o.publish.lr_dense_equiv_bytes,
+                        dense_blocks: o.publish.dense_blocks,
+                        lr_blocks: o.publish.lr_blocks,
+                    })
+                    .collect();
+            }
+        }
         Ok(MultiSolveReport {
             xs,
             relative_residuals,
             factor_time: outs.iter().map(|o| o.factor_time).fold(0.0, f64::max),
             solve_times,
             op_counts: outs.iter().map(|o| o.counts).collect(),
+            publish: outs.iter().map(|o| o.publish).collect(),
+            blr_counts: outs.iter().map(|o| o.blr).collect(),
+            factor_bytes: outs.iter().map(|o| o.factor_bytes).sum(),
             stats: report.stats,
             l_nnz: sf.l_nnz,
             flops: sf.flops,
@@ -536,7 +598,7 @@ impl SymPack {
             let blocks = engine
                 .store
                 .iter()
-                .map(|(k, m)| (*k, m.rows(), m.cols(), m.as_slice().to_vec()))
+                .map(|(k, m)| (*k, m.rows(), m.cols(), m.to_dense().as_slice().to_vec()))
                 .collect();
             (None, factor_time, blocks)
         });

@@ -5,13 +5,13 @@
 
 use crate::map2d::ProcGrid;
 use crate::sched::{self, CommLayer, FetchConfig, FetchMode, TaskEngine, TaskKind};
-use crate::storage::BlockStore;
+use crate::storage::{Block, BlockStore};
 use crate::taskgraph::{fanout_dests, LocalTasks, RtqPolicy, TaskKey};
 use crate::SolverError;
 use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use sympack_dense::Mat;
+use sympack_dense::{LowRankMat, Mat};
 use sympack_gpu::{KernelEngine, OomPolicy};
 use sympack_pgas::coalesce::{
     plan_tree, BcastPlan, BcastTopology, CoalesceConfig, SIGNAL_WIRE_BYTES,
@@ -19,16 +19,22 @@ use sympack_pgas::coalesce::{
 use sympack_pgas::{GlobalPtr, MemKind, Rank};
 use sympack_symbolic::SymbolicFactor;
 
+/// Sentinel rank meaning "dense payload" on the signal wire.
+const DENSE_WIRE: usize = usize::MAX;
+
 /// A factored block available to this rank (produced locally or fetched).
 /// Availability *time* is tracked on the consuming tasks (via their
-/// dependency decrements), not on the block itself.
+/// dependency decrements), not on the block itself. Compressed panels stay
+/// compressed here: the update kernels consume them in factored form.
 #[derive(Debug)]
 struct InputBlock {
-    data: Mat,
+    data: Block,
 }
 
 /// A `signal(ptr, meta)` notification queued by an incoming RPC
-/// (paper Fig. 4, steps 3–4).
+/// (paper Fig. 4, steps 3–4). `lr_rank == usize::MAX` means the pointed-to
+/// payload is the dense column-major block; any other value means the
+/// payload is the concatenated `[U | V]` factors of that rank.
 #[derive(Debug, Clone, Copy)]
 pub struct Signal {
     ptr: GlobalPtr,
@@ -36,6 +42,7 @@ pub struct Signal {
     j: usize,
     rows: usize,
     cols: usize,
+    lr_rank: usize,
 }
 
 impl sched::Signal for Signal {
@@ -46,6 +53,11 @@ impl sched::Signal for Signal {
     fn describe(&self) -> String {
         if self.i == self.j {
             format!("factored diagonal block L({},{})", self.i, self.j)
+        } else if self.lr_rank != DENSE_WIRE {
+            format!(
+                "factored panel block L({},{}) (rank-{} compressed)",
+                self.i, self.j, self.lr_rank
+            )
         } else {
             format!("factored panel block L({},{})", self.i, self.j)
         }
@@ -58,6 +70,41 @@ impl sched::Signal for Signal {
 struct RelayDuty {
     plan: Arc<BcastPlan>,
     pos: usize,
+}
+
+/// Per-rank block-publication accounting: payload bytes this rank placed in
+/// its shared heap for consumers to fetch, split by stored form. For a
+/// compressed publication, `lr_dense_equiv_bytes` records what the same
+/// block would have cost dense — the basis of the compression ratio the
+/// profiler reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishStats {
+    /// Payload bytes of dense block publications.
+    pub dense_bytes: u64,
+    /// Payload bytes of compressed (`[U|V]`) block publications.
+    pub lr_bytes: u64,
+    /// Dense-equivalent bytes of the compressed publications.
+    pub lr_dense_equiv_bytes: u64,
+    /// Blocks published dense.
+    pub dense_blocks: u64,
+    /// Blocks published compressed.
+    pub lr_blocks: u64,
+}
+
+impl PublishStats {
+    /// Merge another rank's stats into this one.
+    pub fn merge(&mut self, other: &PublishStats) {
+        self.dense_bytes += other.dense_bytes;
+        self.lr_bytes += other.lr_bytes;
+        self.lr_dense_equiv_bytes += other.lr_dense_equiv_bytes;
+        self.dense_blocks += other.dense_blocks;
+        self.lr_blocks += other.lr_blocks;
+    }
+
+    /// Total payload bytes published (any form).
+    pub fn published_bytes(&self) -> u64 {
+        self.dense_bytes + self.lr_bytes
+    }
 }
 
 /// Per-rank factorization engine. Installed as the rank's user state so the
@@ -89,6 +136,8 @@ pub struct FactoEngine {
     /// Relay obligations keyed by the incoming signal's pointer, installed
     /// at signal acceptance and discharged when the data arrives.
     relays: HashMap<GlobalPtr, RelayDuty>,
+    /// Block-publication byte accounting (dense vs compressed).
+    pub publish: PublishStats,
 }
 
 impl FactoEngine {
@@ -131,6 +180,13 @@ impl FactoEngine {
         coalesce: Option<CoalesceConfig>,
         local: LocalTasks,
     ) -> Self {
+        let mut kernels = kernels;
+        if kernels.blr.enabled() {
+            // Global truncation scale: ‖A‖_F is permutation-invariant, so
+            // every rank computes the identical value from its copy of the
+            // permuted matrix (the absolute-threshold BLR criterion).
+            kernels.blr_scale = ap.frobenius_norm();
+        }
         let store = BlockStore::init(&sf, ap, &grid, rank);
         let LocalTasks {
             tasks,
@@ -178,6 +234,7 @@ impl FactoEngine {
             topology,
             comm: CommLayer::new(coalesce),
             relays: HashMap::new(),
+            publish: PublishStats::default(),
         }
     }
 
@@ -194,7 +251,10 @@ impl FactoEngine {
 
     /// Record an available factored block and decrement its consumers,
     /// naming the producing task as the dependency edge for the profiler.
-    fn add_input(&mut self, i: usize, j: usize, data: Mat, ready_at: f64) {
+    /// A compressed arrival also corrects the advisory roofline estimates
+    /// of the update tasks that will consume it: their flop and byte costs
+    /// shrink with the operand's stored rank.
+    fn add_input(&mut self, i: usize, j: usize, data: Block, ready_at: f64) {
         let producer = if i == j {
             TaskKey::Diag { j }
         } else {
@@ -211,9 +271,33 @@ impl FactoEngine {
                 self.rt.dec_from(k, ready_at, || producer.trace_label());
             }
         }
-        self.rt
-            .add_mem((data.rows() * data.cols() * std::mem::size_of::<f64>()) as u64);
+        self.rt.add_mem(data.bytes());
+        let compressed = data.is_lowrank();
         self.inputs.insert((i, j), InputBlock { data });
+        if compressed {
+            self.reestimate_consumers(i, j);
+        }
+    }
+
+    /// Re-derive the advisory duration estimates of the update tasks
+    /// consuming input `(i, j)` from the *actual stored form* of their
+    /// operands. Estimates are never consulted by the RTQ policy, so this
+    /// only sharpens progress/makespan prediction — it cannot perturb the
+    /// schedule.
+    fn reestimate_consumers(&mut self, i: usize, j: usize) {
+        let Some(keys) = self.consumers.get(&(i, j)).cloned() else {
+            return;
+        };
+        for k in keys {
+            let TaskKey::Update { j: uj, a, b } = k else {
+                continue;
+            };
+            let ra = self.inputs.get(&(a, uj)).and_then(|ib| ib.data.lr_rank());
+            let rb = self.inputs.get(&(b, uj)).and_then(|ib| ib.data.lr_rank());
+            let secs =
+                k.estimate_secs_stored(&self.sf, &self.kernels.cost, &self.kernels.config, ra, rb);
+            self.rt.update_estimate(k, secs);
+        }
     }
 
     /// Resolve pending signals into data movement (Fig. 4 step 5) through
@@ -229,8 +313,12 @@ impl FactoEngine {
             if let Some(duty) = self.relays.remove(&s.ptr) {
                 self.forward_relay(rank, &s, &data, ready_at, duty);
             }
-            let m = Mat::from_col_major(s.rows, s.cols, data);
-            self.add_input(s.i, s.j, m, ready_at);
+            let blk = if s.lr_rank == DENSE_WIRE {
+                Block::Dense(Mat::from_col_major(s.rows, s.cols, data))
+            } else {
+                Block::LowRank(LowRankMat::from_payload(s.rows, s.cols, s.lr_rank, &data))
+            };
+            self.add_input(s.i, s.j, blk, ready_at);
         });
         if let Err(err) = res {
             self.rt.fail(rank, err);
@@ -243,21 +331,43 @@ impl FactoEngine {
     /// consumers plus the first `arity` remote-node leaders; the leaders
     /// re-host and relay onward ([`FactoEngine::forward_relay`]), so the
     /// owner's NIC serves O(arity) remote pulls instead of O(targets).
-    fn fanout(&mut self, rank: &mut Rank, i: usize, j: usize, data: &Mat) {
+    fn fanout(&mut self, rank: &mut Rank, i: usize, j: usize, data: &Block) {
         let dests = fanout_dests(&self.sf, &self.grid, rank.id(), i, j);
         if dests.is_empty() {
             return;
         }
+        // Compressed panels ship their `[U | V]` factors — (rows+cols)·rank
+        // values instead of rows·cols — so every rget/relay hop downstream
+        // moves (and is charged for) the reduced byte count.
+        let (payload_len, lr_rank) = match data {
+            Block::Dense(m) => (m.rows() * m.cols(), DENSE_WIRE),
+            Block::LowRank(lr) => (lr.payload_len(), lr.rank()),
+        };
+        match data {
+            Block::Dense(_) => {
+                self.publish.dense_blocks += 1;
+                self.publish.dense_bytes += (payload_len * 8) as u64;
+            }
+            Block::LowRank(_) => {
+                self.publish.lr_blocks += 1;
+                self.publish.lr_bytes += (payload_len * 8) as u64;
+                self.publish.lr_dense_equiv_bytes += (data.rows() * data.cols() * 8) as u64;
+            }
+        }
         let ptr = rank
-            .alloc(MemKind::Host, data.rows() * data.cols())
+            .alloc(MemKind::Host, payload_len)
             .expect("host allocation cannot fail");
-        rank.write_local(&ptr, data.as_slice());
+        match data {
+            Block::Dense(m) => rank.write_local(&ptr, m.as_slice()),
+            Block::LowRank(lr) => rank.write_local(&ptr, &lr.to_payload()),
+        }
         let sig = Signal {
             ptr,
             i,
             j,
             rows: data.rows(),
             cols: data.cols(),
+            lr_rank,
         };
         match self.topology {
             BcastTopology::Flat => {
@@ -361,7 +471,11 @@ impl FactoEngine {
     }
 
     fn exec_diag(&mut self, rank: &mut Rank, j: usize) {
-        let mut m = self.store.take((j, j)).expect("diag block owned");
+        let mut m = self
+            .store
+            .take((j, j))
+            .expect("diag block owned")
+            .into_dense();
         match self.kernels.potrf(&mut m) {
             Ok((_loc, secs)) => self.rt.charge(rank, TaskKey::Diag { j }, secs),
             Err(sympack_dense::DenseError::NotPositiveDefinite { column }) => {
@@ -373,25 +487,45 @@ impl FactoEngine {
             }
             Err(other) => panic!("unexpected dense error: {other}"),
         }
-        self.fanout(rank, j, j, &m);
+        let blk = Block::Dense(m);
+        self.fanout(rank, j, j, &blk);
         let now = rank.now();
-        self.store.put((j, j), m.clone());
-        self.add_input(j, j, m, now);
+        self.store.put((j, j), blk.clone());
+        self.add_input(j, j, blk, now);
     }
 
     fn exec_panel(&mut self, rank: &mut Rank, i: usize, j: usize) {
-        let mut b = self.store.take((i, j)).expect("panel block owned");
-        let ldiag = &self
+        let mut b = self
+            .store
+            .take((i, j))
+            .expect("panel block owned")
+            .into_dense();
+        let ldiag = self
             .inputs
             .get(&(j, j))
             .expect("diagonal factor present")
-            .data;
-        let (_loc, secs) = self.kernels.trsm(&mut b, ldiag);
+            .data
+            .dense();
+        let (_loc, mut secs) = self.kernels.trsm(&mut b, ldiag);
+        // BLR: try to truncate the factored panel right after the solve —
+        // before publication — so storage, wire bytes, and every downstream
+        // update see the compressed form. Disabled-tolerance runs skip this
+        // branch entirely and stay bit-identical to the dense engine.
+        let stored = if self.kernels.blr.eligible(b.rows(), b.cols()) {
+            let (lr, csecs) = self.kernels.compress_block(&b);
+            secs += csecs;
+            match lr {
+                Some(lr) => Block::LowRank(lr),
+                None => Block::Dense(b),
+            }
+        } else {
+            Block::Dense(b)
+        };
         self.rt.charge(rank, TaskKey::Panel { i, j }, secs);
-        self.fanout(rank, i, j, &b);
+        self.fanout(rank, i, j, &stored);
         let now = rank.now();
-        self.store.put((i, j), b.clone());
-        self.add_input(i, j, b, now);
+        self.store.put((i, j), stored.clone());
+        self.add_input(i, j, stored, now);
     }
 
     fn exec_update(&mut self, rank: &mut Rank, j: usize, a: usize, b: usize) {
@@ -400,11 +534,15 @@ impl FactoEngine {
             let lb = &self.inputs.get(&(b, j)).expect("input L(b,j) present").data;
             let nb = lb.rows();
             let mut temp = Mat::zeros(nb, nb);
-            let (_loc, secs) = self.kernels.syrk(&mut temp, lb);
+            let (_loc, secs) = self.kernels.syrk_any(&mut temp, lb.as_ref());
             self.rt.charge(rank, TaskKey::Update { j, a, b }, secs);
             let rows_b: Vec<usize> = self.block_rows(b, j).to_vec();
             let first = self.sf.partition.first_col(b);
-            let target = self.store.get_mut((b, b)).expect("diag target owned");
+            let target = self
+                .store
+                .get_mut((b, b))
+                .expect("diag target owned")
+                .dense_mut();
             for (ci, &gc) in rows_b.iter().enumerate() {
                 let tc = gc - first;
                 for (ri, &gr) in rows_b.iter().enumerate().skip(ci) {
@@ -420,13 +558,17 @@ impl FactoEngine {
             );
             let (ma, nb) = (la.rows(), lb.rows());
             let mut temp = Mat::zeros(ma, nb);
-            let (_loc, secs) = self.kernels.gemm(&mut temp, la, lb);
+            let (_loc, secs) = self.kernels.gemm_any(&mut temp, la.as_ref(), lb.as_ref());
             self.rt.charge(rank, TaskKey::Update { j, a, b }, secs);
             let rows_a: Vec<usize> = self.block_rows(a, j).to_vec();
             let rows_b: Vec<usize> = self.block_rows(b, j).to_vec();
             let target_rows: Vec<usize> = self.block_rows(a, b).to_vec();
             let first_b = self.sf.partition.first_col(b);
-            let target = self.store.get_mut((a, b)).expect("target block owned");
+            let target = self
+                .store
+                .get_mut((a, b))
+                .expect("target block owned")
+                .dense_mut();
             // Row map: rows of L(a,j) within supernode a are a subset of the
             // target block's rows (symbolic containment).
             let row_map: Vec<usize> = rows_a

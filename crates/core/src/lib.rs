@@ -51,8 +51,11 @@ pub use plan::{
 };
 pub use selinv::{selected_inverse, SelectedInverse};
 // Re-exported so solver users can name `SolverOptions::kernel_config`'s
-// type without depending on the dense crate directly.
-pub use sympack_dense::{ConfigError, IsaSelect, KernelConfig};
+// and `SolverOptions::blr`'s types without depending on the dense crate
+// directly.
+pub use engine::PublishStats;
+pub use storage::Block;
+pub use sympack_dense::{BlrConfig, ConfigError, IsaSelect, KernelConfig};
 // Re-exported so solver users can name the scaling knobs
 // (`SolverOptions::bcast` / `SolverOptions::coalesce`) without depending
 // on the pgas crate directly.

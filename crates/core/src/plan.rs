@@ -39,9 +39,9 @@ use sympack_symbolic::{analyze, SymbolicFactor};
 /// thresholds, intra-rank parallelism, dense-kernel config).
 ///
 /// # Panics
-/// Panics if [`SolverOptions::kernel_config`] is invalid — this runs at
-/// plan/driver construction, so a bad config fails fast before any numeric
-/// work or communication starts.
+/// Panics if [`SolverOptions::kernel_config`] or [`SolverOptions::blr`] is
+/// invalid — this runs at plan/driver construction, so a bad config fails
+/// fast before any numeric work or communication starts.
 pub fn make_kernels(opts: &SolverOptions) -> KernelEngine {
     let mut k = if opts.gpu {
         KernelEngine::new_gpu()
@@ -52,6 +52,8 @@ pub fn make_kernels(opts: &SolverOptions) -> KernelEngine {
         k.thresholds = t.clone();
     }
     k.intra_parallel = opts.intra_parallel;
+    opts.blr.validate().expect("invalid SolverOptions::blr");
+    k.blr = opts.blr;
     k.with_config(opts.kernel_config.clone())
         .expect("invalid SolverOptions::kernel_config")
 }
@@ -97,6 +99,9 @@ pub fn pattern_hash(a: &SparseSym) -> u64 {
 /// tenants whose matrices share a pattern *and* whose jobs run under the
 /// same analysis/layout options may share one `Arc<SymbolicPlan>`; anything
 /// numeric-only (net model, GPU mode, fault plan…) is deliberately left out.
+/// BLR compression is numeric-only too — it changes how factored panels are
+/// *stored*, not the symbolic structure — so an exact (`tol = 0`) and an
+/// approximate (`tol > 0`) tenant of the same pattern share one plan.
 pub fn plan_cache_key(pattern: u64, opts: &SolverOptions) -> u64 {
     let mut h = FNV_OFFSET;
     fnv_eat(&mut h, pattern);
@@ -316,6 +321,10 @@ pub struct NumericFactor {
     pub factor_time: f64,
     /// Per-rank kernel call counts.
     pub op_counts: Vec<OpCounts>,
+    /// Per-rank block-publication byte accounting (dense vs compressed).
+    pub publish: Vec<crate::engine::PublishStats>,
+    /// Per-rank BLR kernel counters (all zero in dense mode).
+    pub blr_counts: Vec<sympack_gpu::BlrCounters>,
     /// Communication counters of the factorization run.
     pub stats: StatsSnapshot,
 }
@@ -328,12 +337,14 @@ impl NumericFactor {
     }
 }
 
-/// Bytes of numeric factor payload held in a set of per-rank block stores.
+/// Bytes of numeric factor payload held in a set of per-rank block stores —
+/// *actual stored* bytes, so a factor with compressed panels charges its
+/// `(rows+cols)·rank` factored extents, not the symbolic dense extents.
 pub fn factor_store_bytes(stores: &[BlockStore]) -> u64 {
     stores
         .iter()
         .flat_map(|s| s.iter())
-        .map(|(_, m)| (m.rows() * m.cols() * std::mem::size_of::<f64>()) as u64)
+        .map(|(_, m)| m.bytes())
         .sum()
 }
 
@@ -376,19 +387,30 @@ pub fn factor_numeric(plan: &SolvePlan, ap: &Arc<SparseSym>) -> Result<NumericFa
         );
         let (mut engine, factor_time) = FactoEngine::run_to_completion(rank, engine);
         let error = engine.rt.error.take();
-        (error, factor_time, engine.store, engine.kernels.counts)
+        (
+            error,
+            factor_time,
+            engine.store,
+            engine.kernels.counts,
+            engine.publish,
+            engine.kernels.blr_counts,
+        )
     });
     let mut stores = Vec::with_capacity(report.results.len());
     let mut op_counts = Vec::with_capacity(report.results.len());
+    let mut publish = Vec::with_capacity(report.results.len());
+    let mut blr_counts = Vec::with_capacity(report.results.len());
     let mut factor_time = 0.0f64;
     let mut first_error = None;
-    for (error, ft, store, counts) in report.results {
+    for (error, ft, store, counts, pub_stats, blr) in report.results {
         if first_error.is_none() {
             first_error = error;
         }
         factor_time = factor_time.max(ft);
         stores.push(store);
         op_counts.push(counts);
+        publish.push(pub_stats);
+        blr_counts.push(blr);
     }
     if let Some(e) = first_error {
         return Err(e);
@@ -397,6 +419,8 @@ pub fn factor_numeric(plan: &SolvePlan, ap: &Arc<SparseSym>) -> Result<NumericFa
         stores,
         factor_time,
         op_counts,
+        publish,
+        blr_counts,
         stats: report.stats,
     })
 }
@@ -567,8 +591,8 @@ mod tests {
             let mut keys: Vec<_> = s1.iter().map(|(k, _)| *k).collect();
             keys.sort_unstable();
             for k in keys {
-                let m1 = s1.get(k).unwrap();
-                let m2 = s2.get(k).unwrap();
+                let m1 = s1.get(k).unwrap().to_dense();
+                let m2 = s2.get(k).unwrap().to_dense();
                 assert_eq!(m1.as_slice(), m2.as_slice(), "block {k:?}");
             }
         }

@@ -120,6 +120,21 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
         }
     }
 
+    /// Replace the advisory estimate of one not-yet-completed task,
+    /// adjusting the remaining-work sum by the delta. A no-op when no
+    /// estimate was installed for `key` (e.g. [`set_estimates`]
+    /// (Self::set_estimates) was never called, or the task already
+    /// completed) — like installation, correction can never change the
+    /// schedule, only sharpen progress prediction.
+    pub fn update_estimate(&mut self, key: K, secs: f64) {
+        let Some(slot) = self.estimates.get_mut(&key) else {
+            return;
+        };
+        let s = secs.max(0.0);
+        self.est_remaining = (self.est_remaining - *slot + s).max(0.0);
+        *slot = s;
+    }
+
     /// Estimated seconds of kernel work not yet completed (0.0 when no
     /// estimates are installed).
     pub fn estimated_remaining(&self) -> f64 {

@@ -7,7 +7,7 @@
 
 use crate::map2d::ProcGrid;
 use std::collections::HashMap;
-use sympack_dense::Mat;
+use sympack_dense::{BlockRef, LowRankMat, Mat};
 use sympack_sparse::SparseSym;
 use sympack_symbolic::SymbolicFactor;
 
@@ -15,10 +15,118 @@ use sympack_symbolic::SymbolicFactor;
 /// diagonal block of `j` is `(j, j)`.
 pub type BlockKey = (usize, usize);
 
+/// A stored factor block: dense, or compressed to `U·Vᵀ` by the BLR path.
+///
+/// Diagonal blocks and update targets are always `Dense`; only factored
+/// off-diagonal panels may be `LowRank`, and only when the solver runs with
+/// a nonzero compression tolerance.
+#[derive(Debug, Clone)]
+pub enum Block {
+    /// Full `rows × cols` storage.
+    Dense(Mat),
+    /// Factored `U·Vᵀ` storage holding `(rows + cols) · rank` values.
+    LowRank(LowRankMat),
+}
+
+impl Block {
+    /// Row count of the block this value represents.
+    pub fn rows(&self) -> usize {
+        match self {
+            Block::Dense(m) => m.rows(),
+            Block::LowRank(lr) => lr.rows(),
+        }
+    }
+
+    /// Column count of the block this value represents.
+    pub fn cols(&self) -> usize {
+        match self {
+            Block::Dense(m) => m.cols(),
+            Block::LowRank(lr) => lr.cols(),
+        }
+    }
+
+    /// Bytes of f64 payload actually stored (dense extent for `Dense`,
+    /// factored extent for `LowRank`) — the number the memory gauge and the
+    /// fleet's cache charge.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Block::Dense(m) => (m.rows() * m.cols() * 8) as u64,
+            Block::LowRank(lr) => lr.bytes(),
+        }
+    }
+
+    /// True when stored in factored form.
+    pub fn is_lowrank(&self) -> bool {
+        matches!(self, Block::LowRank(_))
+    }
+
+    /// Stored rank (`None` for dense blocks).
+    pub fn lr_rank(&self) -> Option<usize> {
+        match self {
+            Block::Dense(_) => None,
+            Block::LowRank(lr) => Some(lr.rank()),
+        }
+    }
+
+    /// Borrow as a dense matrix. Panics on a low-rank block: callers on the
+    /// dense-only paths (diagonal blocks, update targets) use this to state
+    /// the invariant rather than silently densify.
+    pub fn dense(&self) -> &Mat {
+        match self {
+            Block::Dense(m) => m,
+            Block::LowRank(_) => panic!("block stored low-rank where dense storage is invariant"),
+        }
+    }
+
+    /// Mutably borrow as a dense matrix. Panics on a low-rank block.
+    pub fn dense_mut(&mut self) -> &mut Mat {
+        match self {
+            Block::Dense(m) => m,
+            Block::LowRank(_) => panic!("block stored low-rank where dense storage is invariant"),
+        }
+    }
+
+    /// Consume into a dense matrix, expanding a low-rank block.
+    pub fn into_dense(self) -> Mat {
+        match self {
+            Block::Dense(m) => m,
+            Block::LowRank(lr) => lr.to_dense(),
+        }
+    }
+
+    /// Dense copy of the block, expanding a low-rank block.
+    pub fn to_dense(&self) -> Mat {
+        match self {
+            Block::Dense(m) => m.clone(),
+            Block::LowRank(lr) => lr.to_dense(),
+        }
+    }
+
+    /// Borrow as a kernel operand.
+    pub fn as_ref(&self) -> BlockRef<'_> {
+        match self {
+            Block::Dense(m) => BlockRef::Dense(m),
+            Block::LowRank(lr) => BlockRef::LowRank(lr),
+        }
+    }
+}
+
+impl From<Mat> for Block {
+    fn from(m: Mat) -> Block {
+        Block::Dense(m)
+    }
+}
+
+impl From<LowRankMat> for Block {
+    fn from(lr: LowRankMat) -> Block {
+        Block::LowRank(lr)
+    }
+}
+
 /// This rank's slice of the factor.
 #[derive(Debug, Default)]
 pub struct BlockStore {
-    blocks: HashMap<BlockKey, Mat>,
+    blocks: HashMap<BlockKey, Block>,
 }
 
 impl BlockStore {
@@ -68,27 +176,32 @@ impl BlockStore {
                 }
             }
         }
-        BlockStore { blocks }
+        BlockStore {
+            blocks: blocks
+                .into_iter()
+                .map(|(k, m)| (k, Block::Dense(m)))
+                .collect(),
+        }
     }
 
     /// Borrow an owned block.
-    pub fn get(&self, key: BlockKey) -> Option<&Mat> {
+    pub fn get(&self, key: BlockKey) -> Option<&Block> {
         self.blocks.get(&key)
     }
 
     /// Mutably borrow an owned block.
-    pub fn get_mut(&mut self, key: BlockKey) -> Option<&mut Mat> {
+    pub fn get_mut(&mut self, key: BlockKey) -> Option<&mut Block> {
         self.blocks.get_mut(&key)
     }
 
     /// Take a block out (e.g. to run a kernel without aliasing).
-    pub fn take(&mut self, key: BlockKey) -> Option<Mat> {
+    pub fn take(&mut self, key: BlockKey) -> Option<Block> {
         self.blocks.remove(&key)
     }
 
-    /// Put a block (back).
-    pub fn put(&mut self, key: BlockKey, m: Mat) {
-        self.blocks.insert(key, m);
+    /// Put a block (back); accepts dense and low-rank forms.
+    pub fn put(&mut self, key: BlockKey, m: impl Into<Block>) {
+        self.blocks.insert(key, m.into());
     }
 
     /// Number of blocks held.
@@ -102,7 +215,7 @@ impl BlockStore {
     }
 
     /// Iterate over held blocks.
-    pub fn iter(&self) -> impl Iterator<Item = (&BlockKey, &Mat)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockKey, &Block)> {
         self.blocks.iter()
     }
 }
@@ -137,14 +250,14 @@ mod tests {
             for c in sf.partition.cols(j) {
                 for (&r, &v) in ap.col_rows(c).iter().zip(ap.col_values(c)) {
                     if r <= last {
-                        let m = store.get((j, j)).unwrap();
+                        let m = store.get((j, j)).unwrap().dense();
                         assert_eq!(m[(r - first, c - first)], v);
                     } else {
                         let t = sf.partition.supno(r);
                         let b = sf.layout.find(t, j).unwrap();
                         let rows = &sf.patterns[j][b.row_offset..b.row_offset + b.n_rows];
                         let ri = rows.binary_search(&r).unwrap();
-                        let m = store.get((t, j)).unwrap();
+                        let m = store.get((t, j)).unwrap().dense();
                         assert_eq!(m[(ri, c - first)], v);
                     }
                 }

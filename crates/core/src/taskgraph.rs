@@ -153,6 +153,62 @@ impl TaskKey {
     pub fn estimate_secs(&self, sf: &SymbolicFactor, cost: &CostModel, cfg: &KernelConfig) -> f64 {
         cost.cpu_task_time(self.op(), self.flops(sf), self.bytes(sf, cfg))
     }
+
+    /// Like [`TaskKey::estimate_secs`], but for update tasks whose operands
+    /// are known to be *stored* low-rank (`ra`/`rb` = stored rank of
+    /// `L(a,j)`/`L(b,j)`, `None` = dense): flops follow the factored-form
+    /// kernels in `sympack_gpu` and bytes charge the actual `(rows+cols)·r`
+    /// payloads instead of the symbolic dense extents. Non-update tasks and
+    /// all-dense operands reduce to the symbolic estimate exactly.
+    pub fn estimate_secs_stored(
+        &self,
+        sf: &SymbolicFactor,
+        cost: &CostModel,
+        cfg: &KernelConfig,
+        ra: Option<usize>,
+        rb: Option<usize>,
+    ) -> f64 {
+        let TaskKey::Update { a, b, .. } = *self else {
+            return self.estimate_secs(sf, cost, cfg);
+        };
+        if ra.is_none() && rb.is_none() {
+            return self.estimate_secs(sf, cost, cfg);
+        }
+        let (m, n, k) = self.shape(sf);
+        let (fl, operands, dest) = if a == b {
+            // SYRK with a rank-r operand: G = Vᵀ·V, W = U·G, C −= W·Uᵀ.
+            let (n_, k_) = (m as u64, n as u64);
+            let r = rb.or(ra).expect("checked above") as u64;
+            (
+                2 * k_ * r * r + 2 * n_ * r * r + 2 * n_ * n_ * r,
+                ((n_ + k_) * r) as usize,
+                m * m,
+            )
+        } else {
+            let (m_, n_, k_) = (m as u64, n as u64, k as u64);
+            let bytes_a = ra.map_or(m * k, |r| (m + k) * r);
+            let bytes_b = rb.map_or(n * k, |r| (n + k) * r);
+            let fl = match (ra, rb) {
+                (Some(ra), Some(rb)) => {
+                    let (ra, rb) = (ra as u64, rb as u64);
+                    2 * k_ * ra * rb + 2 * m_ * ra * rb + 2 * m_ * n_ * rb
+                }
+                (Some(ra), None) => {
+                    let ra = ra as u64;
+                    2 * n_ * k_ * ra + 2 * m_ * n_ * ra
+                }
+                (None, Some(rb)) => {
+                    let rb = rb as u64;
+                    2 * m_ * k_ * rb + 2 * m_ * n_ * rb
+                }
+                (None, None) => unreachable!("checked above"),
+            };
+            (fl, bytes_a + bytes_b, m * n)
+        };
+        let packs = fl >= cfg.pack_min_flops;
+        let elems = operands * if packs { 2 } else { 1 } + 2 * dest;
+        cost.cpu_task_time(self.op(), fl, 8 * elems as u64)
+    }
 }
 
 /// The slice of the task graph owned by one rank. `Clone` lets a solver

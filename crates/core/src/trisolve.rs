@@ -32,7 +32,7 @@
 
 use crate::map2d::ProcGrid;
 use crate::sched::{self, LoopExit, RtqPolicy, TaskEngine, TaskKind};
-use crate::storage::BlockStore;
+use crate::storage::{Block, BlockStore};
 use crate::SolverError;
 use std::collections::HashMap;
 use std::sync::atomic::AtomicBool;
@@ -409,7 +409,7 @@ impl SolveEngine {
     fn exec(&mut self, rank: &mut Rank, store: &BlockStore, key: SolveKey) {
         match key {
             SolveKey::FwdDiag { j } => {
-                let l = store.get((j, j)).expect("diag factor owned");
+                let l = store.get((j, j)).expect("diag factor owned").dense();
                 let w = l.rows();
                 let mut rhs = self.acc.remove(&j).expect("accumulator present");
                 trsm_left_lower_notrans_raw(
@@ -443,21 +443,61 @@ impl SolveEngine {
                 let yj = self.yin.get(&j).expect("y_j arrived").clone();
                 let b = store.get((i, j)).expect("block owned");
                 let (m, w) = (b.rows(), b.cols());
-                // V = B(i,j) · Y_j
+                // V = B(i,j) · Y_j — in factored form `U·(Vᵀ·Y_j)` when the
+                // panel is stored compressed.
                 let mut v = vec![0.0; m * self.nrhs];
-                gemm_nn_acc_raw(
-                    &self.kernels.config,
-                    &mut v,
-                    m,
-                    m,
-                    self.nrhs,
-                    b.as_slice(),
-                    b.ld(),
-                    &yj,
-                    w,
-                    w,
-                );
-                let secs = self.kernel_secs(Op::Gemm, m * w, (2 * m * w * self.nrhs) as u64);
+                let secs = match b {
+                    Block::Dense(b) => {
+                        gemm_nn_acc_raw(
+                            &self.kernels.config,
+                            &mut v,
+                            m,
+                            m,
+                            self.nrhs,
+                            b.as_slice(),
+                            b.ld(),
+                            &yj,
+                            w,
+                            w,
+                        );
+                        self.kernel_secs(Op::Gemm, m * w, (2 * m * w * self.nrhs) as u64)
+                    }
+                    Block::LowRank(lr) => {
+                        let r = lr.rank();
+                        if r > 0 {
+                            let mut t = vec![0.0; r * self.nrhs];
+                            gemm_tn_acc_raw(
+                                &self.kernels.config,
+                                &mut t,
+                                r,
+                                r,
+                                self.nrhs,
+                                lr.v().as_slice(),
+                                lr.v().ld(),
+                                &yj,
+                                w,
+                                w,
+                            );
+                            gemm_nn_acc_raw(
+                                &self.kernels.config,
+                                &mut v,
+                                m,
+                                m,
+                                self.nrhs,
+                                lr.u().as_slice(),
+                                lr.u().ld(),
+                                &t,
+                                r,
+                                r,
+                            );
+                        }
+                        self.kernel_secs(
+                            Op::Gemm,
+                            (m + w) * r,
+                            (2 * r * (m + w) * self.nrhs) as u64,
+                        )
+                    }
+                };
                 self.rt.charge(rank, key, secs);
                 let binfo = self.sf.layout.find(i, j).expect("block exists");
                 let rows =
@@ -475,7 +515,7 @@ impl SolveEngine {
                 );
             }
             SolveKey::BwdDiag { j } => {
-                let l = store.get((j, j)).expect("diag factor owned");
+                let l = store.get((j, j)).expect("diag factor owned").dense();
                 let w = l.rows();
                 let mut rhs = self.acc.remove(&j).expect("accumulator present");
                 trsm_left_lower_trans_raw(
@@ -516,20 +556,60 @@ impl SolveEngine {
                         xsub[k * m + ri] = xi[k * wi + (gr - first_i)];
                     }
                 }
+                // V = B(i,j)ᵀ · X_i[rows] — `V·(Uᵀ·X)` when compressed.
                 let mut v = vec![0.0; w * self.nrhs];
-                gemm_tn_acc_raw(
-                    &self.kernels.config,
-                    &mut v,
-                    w,
-                    w,
-                    self.nrhs,
-                    b.as_slice(),
-                    b.ld(),
-                    &xsub,
-                    m,
-                    m,
-                );
-                let secs = self.kernel_secs(Op::Gemm, m * w, (2 * m * w * self.nrhs) as u64);
+                let secs = match b {
+                    Block::Dense(b) => {
+                        gemm_tn_acc_raw(
+                            &self.kernels.config,
+                            &mut v,
+                            w,
+                            w,
+                            self.nrhs,
+                            b.as_slice(),
+                            b.ld(),
+                            &xsub,
+                            m,
+                            m,
+                        );
+                        self.kernel_secs(Op::Gemm, m * w, (2 * m * w * self.nrhs) as u64)
+                    }
+                    Block::LowRank(lr) => {
+                        let r = lr.rank();
+                        if r > 0 {
+                            let mut t = vec![0.0; r * self.nrhs];
+                            gemm_tn_acc_raw(
+                                &self.kernels.config,
+                                &mut t,
+                                r,
+                                r,
+                                self.nrhs,
+                                lr.u().as_slice(),
+                                lr.u().ld(),
+                                &xsub,
+                                m,
+                                m,
+                            );
+                            gemm_nn_acc_raw(
+                                &self.kernels.config,
+                                &mut v,
+                                w,
+                                w,
+                                self.nrhs,
+                                lr.v().as_slice(),
+                                lr.v().ld(),
+                                &t,
+                                r,
+                                r,
+                            );
+                        }
+                        self.kernel_secs(
+                            Op::Gemm,
+                            (m + w) * r,
+                            (2 * r * (m + w) * self.nrhs) as u64,
+                        )
+                    }
+                };
                 self.rt.charge(rank, key, secs);
                 let dest = self.grid.map(j, j);
                 self.send(

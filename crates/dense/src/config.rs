@@ -51,6 +51,14 @@ pub enum ConfigError {
         /// Name of the requested ISA.
         requested: &'static str,
     },
+    /// A block low-rank compression parameter is out of range
+    /// (see [`crate::lowrank::BlrConfig::validate`]).
+    InvalidBlr {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Why the value was rejected.
+        why: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -67,6 +75,9 @@ impl fmt::Display for ConfigError {
                 f,
                 "kernel config: ISA `{requested}` is not available on this machine"
             ),
+            ConfigError::InvalidBlr { field, why } => {
+                write!(f, "blr config: `{field}` {why}")
+            }
         }
     }
 }

@@ -40,6 +40,7 @@
 pub mod config;
 pub mod error;
 pub mod gemm;
+pub mod lowrank;
 pub mod mat;
 pub mod microkernel;
 pub mod naive;
@@ -53,6 +54,7 @@ pub mod trsm;
 pub use config::{ConfigError, IsaSelect, KernelConfig};
 pub use error::DenseError;
 pub use gemm::{gemm_nt, gemm_nt_cfg};
+pub use lowrank::{compress, recompress, BlockRef, BlrConfig, LowRankMat};
 pub use mat::Mat;
 pub use panel::{
     gemm_nn_acc, gemm_nn_acc_cfg, gemm_tn_acc, gemm_tn_acc_cfg, trsm_left_lower_notrans,

@@ -3,7 +3,10 @@
 use crate::cost::CostModel;
 use crate::offload::{Loc, OffloadThresholds};
 use crate::Op;
-use sympack_dense::{flops, ConfigError, KernelConfig, Mat};
+use sympack_dense::lowrank::{self, BlockRef, BlrConfig, LowRankMat};
+use sympack_dense::{
+    flops, gemm_nn_acc_cfg, gemm_nt_cfg, gemm_tn_acc_cfg, ConfigError, KernelConfig, Mat,
+};
 
 /// CPU/GPU call counters per operation — the data behind the paper's Fig. 6.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -67,6 +70,30 @@ impl OpCounts {
     }
 }
 
+/// Counters of the block low-rank path (all zero in dense mode).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlrCounters {
+    /// Factored panels stored (and published) in compressed form.
+    pub compressed: u64,
+    /// Eligible panels that stayed dense (tolerance rank too high or the
+    /// factored form not smaller).
+    pub declined: u64,
+    /// GEMM/SYRK updates executed with at least one low-rank operand.
+    pub lr_updates: u64,
+    /// Low-rank products re-truncated to a lower rank before materializing.
+    pub recompressed: u64,
+}
+
+impl BlrCounters {
+    /// Merge another counter set into this one (rank aggregation).
+    pub fn merge(&mut self, other: &BlrCounters) {
+        self.compressed += other.compressed;
+        self.declined += other.declined;
+        self.lr_updates += other.lr_updates;
+        self.recompressed += other.recompressed;
+    }
+}
+
 /// Executes factorization kernels: the arithmetic is always done for real
 /// (so the factor is exact); the returned `f64` is the *modeled* execution
 /// time at the location the offload heuristic picked.
@@ -93,6 +120,19 @@ pub struct KernelEngine {
     /// constructors start from [`KernelConfig::default`] and
     /// [`KernelEngine::with_config`] rejects invalid replacements.
     pub config: KernelConfig,
+    /// Block low-rank compression knobs. The default (`tol = 0`) disables
+    /// the compressed paths entirely: [`KernelEngine::compress_block`] is
+    /// never called and [`KernelEngine::gemm_any`]/[`KernelEngine::syrk_any`]
+    /// only ever see dense operands, so dense-mode results stay bit-identical
+    /// to the pre-BLR engine.
+    pub blr: BlrConfig,
+    /// Global Frobenius scale of the problem (`‖A‖_F`), set by the engine at
+    /// factorization start. When positive, truncation uses the absolute
+    /// threshold `blr.tol · blr_scale` (the global-threshold BLR criterion);
+    /// when zero, truncation is relative to each block's own norm.
+    pub blr_scale: f64,
+    /// Call counters of the block low-rank path.
+    pub blr_counts: BlrCounters,
 }
 
 impl KernelEngine {
@@ -105,6 +145,9 @@ impl KernelEngine {
             gpu_enabled: true,
             intra_parallel: false,
             config: KernelConfig::default(),
+            blr: BlrConfig::default(),
+            blr_scale: 0.0,
+            blr_counts: BlrCounters::default(),
         }
     }
 
@@ -189,6 +232,161 @@ impl KernelEngine {
             sympack_dense::gemm_nt_cfg(&self.config, c, a, b);
         }
         (loc, self.time_for(Op::Gemm, loc, flops::gemm(m, n, k)))
+    }
+
+    /// Try to compress a factored off-diagonal panel. Returns the low-rank
+    /// form (or `None` when the panel is ineligible or compression does not
+    /// pay) plus the modeled seconds spent on the truncated factorization.
+    ///
+    /// Compression arithmetic is charged as GEMM time at the same placement
+    /// the panel's kernels use: the pivoted Gram–Schmidt sweep is a sequence
+    /// of rank-1 panel products with the same roofline behaviour, and runs
+    /// wherever the freshly factored panel lives (device-resident truncation
+    /// when the panel was offloaded).
+    pub fn compress_block(&mut self, a: &Mat) -> (Option<LowRankMat>, f64) {
+        let (m, n) = (a.rows(), a.cols());
+        if !self.blr.eligible(m, n) {
+            return (None, 0.0);
+        }
+        let lr = if self.blr_scale > 0.0 {
+            lowrank::compress_raw_abs(
+                a.as_slice(),
+                m,
+                n,
+                a.ld(),
+                self.blr.tol * self.blr_scale,
+                self.blr.max_rank,
+            )
+        } else {
+            lowrank::compress(a, self.blr.tol, self.blr.max_rank)
+        };
+        let sweep_rank = match &lr {
+            Some(lr) => lr.rank(),
+            // A declined panel paid for the sweep up to the profitability
+            // bound (or the configured cap), where `compress` aborts.
+            None => self.blr.max_rank.min((m * n) / (m + n).max(1)),
+        };
+        let loc = self.place(Op::Gemm, m * n);
+        let secs = self.time_for(Op::Gemm, loc, lowrank::compress_flops(m, n, sweep_rank));
+        match &lr {
+            Some(_) => self.blr_counts.compressed += 1,
+            None => self.blr_counts.declined += 1,
+        }
+        (lr, secs)
+    }
+
+    /// Symmetric update `C ← C − A·Aᵀ` where `A` may be stored low-rank.
+    /// Dense operands take the exact [`KernelEngine::syrk`] path (bit-identical
+    /// to pre-BLR); a rank-`r` operand runs the factored form
+    /// `G = Vᵀ·V`, `W = U·G`, `C ← C − W·Uᵀ` and is charged its actual flops.
+    pub fn syrk_any(&mut self, c: &mut Mat, a: BlockRef<'_>) -> (Loc, f64) {
+        let lr = match a {
+            BlockRef::Dense(a) => return self.syrk(c, a),
+            BlockRef::LowRank(lr) => lr,
+        };
+        self.blr_counts.lr_updates += 1;
+        let (n, k, r) = (c.rows(), lr.cols(), lr.rank());
+        let loc = self.place(Op::Syrk, (n + k) * r + n * n);
+        if r > 0 {
+            let mut g = Mat::zeros(r, r);
+            gemm_tn_acc_cfg(&self.config, &mut g, lr.v(), lr.v());
+            let mut w = Mat::zeros(n, r);
+            gemm_nn_acc_cfg(&self.config, &mut w, lr.u(), &g);
+            gemm_nt_cfg(&self.config, c, &w, lr.u());
+        }
+        let fl = 2 * (k as u64) * (r as u64) * (r as u64)
+            + 2 * (n as u64) * (r as u64) * (r as u64)
+            + 2 * (n as u64) * (n as u64) * (r as u64);
+        (loc, self.time_for(Op::Syrk, loc, fl))
+    }
+
+    /// General update `C ← C − A·Bᵀ` where either operand may be stored
+    /// low-rank. Dense×dense takes the exact [`KernelEngine::gemm`] path
+    /// (bit-identical to pre-BLR); compressed operands run in factored form
+    /// and are charged their actual flops. When both operands are compressed
+    /// and the product rank is large relative to the destination, the product
+    /// is re-truncated before materializing.
+    pub fn gemm_any(&mut self, c: &mut Mat, a: BlockRef<'_>, b: BlockRef<'_>) -> (Loc, f64) {
+        let (ma, nb) = (c.rows(), c.cols());
+        match (a, b) {
+            (BlockRef::Dense(a), BlockRef::Dense(b)) => self.gemm(c, a, b),
+            (BlockRef::LowRank(la), BlockRef::Dense(b)) => {
+                // C ← C − Ua·(B·Va)ᵀ.
+                self.blr_counts.lr_updates += 1;
+                let (k, r) = (la.cols(), la.rank());
+                let loc = self.place(Op::Gemm, la.payload_len() + nb * k + ma * nb);
+                if r > 0 {
+                    let mut p = Mat::zeros(nb, r);
+                    gemm_nn_acc_cfg(&self.config, &mut p, b, la.v());
+                    gemm_nt_cfg(&self.config, c, la.u(), &p);
+                }
+                let fl = 2 * (nb as u64) * (k as u64) * (r as u64)
+                    + 2 * (ma as u64) * (nb as u64) * (r as u64);
+                (loc, self.time_for(Op::Gemm, loc, fl))
+            }
+            (BlockRef::Dense(a), BlockRef::LowRank(lb)) => {
+                // C ← C − (A·Vb)·Ubᵀ.
+                self.blr_counts.lr_updates += 1;
+                let (k, r) = (lb.cols(), lb.rank());
+                let loc = self.place(Op::Gemm, ma * k + lb.payload_len() + ma * nb);
+                if r > 0 {
+                    let mut p = Mat::zeros(ma, r);
+                    gemm_nn_acc_cfg(&self.config, &mut p, a, lb.v());
+                    gemm_nt_cfg(&self.config, c, &p, lb.u());
+                }
+                let fl = 2 * (ma as u64) * (k as u64) * (r as u64)
+                    + 2 * (ma as u64) * (nb as u64) * (r as u64);
+                (loc, self.time_for(Op::Gemm, loc, fl))
+            }
+            (BlockRef::LowRank(la), BlockRef::LowRank(lb)) => {
+                // S = Vaᵀ·Vb, W = Ua·S, C ← C − W·Ubᵀ.
+                self.blr_counts.lr_updates += 1;
+                let (k, ra, rb) = (la.cols(), la.rank(), lb.rank());
+                let loc = self.place(Op::Gemm, la.payload_len() + lb.payload_len() + ma * nb);
+                let mut fl = 2 * (k as u64) * (ra as u64) * (rb as u64)
+                    + 2 * (ma as u64) * (ra as u64) * (rb as u64);
+                if ra > 0 && rb > 0 {
+                    let mut s = Mat::zeros(ra, rb);
+                    gemm_tn_acc_cfg(&self.config, &mut s, la.v(), lb.v());
+                    let mut w = Mat::zeros(ma, rb);
+                    gemm_nn_acc_cfg(&self.config, &mut w, la.u(), &s);
+                    // The product has rank ≤ min(ra, rb); when the carrier
+                    // rank rb overshoots the destination badly, re-truncate
+                    // (W, Ub) before paying the 2·ma·nb·rb materialization.
+                    let mut mat_rank = rb;
+                    if 2 * rb >= ma.min(nb) && self.blr.enabled() {
+                        fl += lowrank::recompress_flops(ma, nb, rb, rb);
+                        let t = if self.blr_scale > 0.0 {
+                            lowrank::recompress_abs(
+                                &w,
+                                lb.u(),
+                                self.blr.tol * self.blr_scale,
+                                self.blr.max_rank,
+                            )
+                        } else {
+                            lowrank::recompress(&w, lb.u(), self.blr.tol, self.blr.max_rank)
+                        };
+                        if let Some(t) = t {
+                            if t.rank() < rb {
+                                self.blr_counts.recompressed += 1;
+                                mat_rank = t.rank();
+                                if mat_rank > 0 {
+                                    gemm_nt_cfg(&self.config, c, t.u(), t.v());
+                                }
+                            } else {
+                                gemm_nt_cfg(&self.config, c, &w, lb.u());
+                            }
+                        } else {
+                            gemm_nt_cfg(&self.config, c, &w, lb.u());
+                        }
+                    } else {
+                        gemm_nt_cfg(&self.config, c, &w, lb.u());
+                    }
+                    fl += 2 * (ma as u64) * (nb as u64) * (mat_rank as u64);
+                }
+                (loc, self.time_for(Op::Gemm, loc, fl))
+            }
+        }
     }
 }
 

@@ -24,7 +24,7 @@ pub mod offload;
 
 pub use analytic::{analytical_thresholds, autotune, KernelSample};
 pub use cost::CostModel;
-pub use engine::{KernelEngine, OpCounts};
+pub use engine::{BlrCounters, KernelEngine, OpCounts};
 pub use offload::{Loc, OffloadThresholds, OomPolicy};
 
 /// The four dense operations of the factorization (paper Fig. 6 categories).

@@ -92,6 +92,20 @@ impl SparseSym {
         }
     }
 
+    /// Frobenius norm of the full symmetric matrix (off-diagonal entries
+    /// counted twice). Used as the global scale of the block low-rank
+    /// truncation threshold.
+    pub fn frobenius_norm(&self) -> f64 {
+        let mut s = 0.0f64;
+        for c in 0..self.n {
+            for (k, &r) in self.col_rows(c).iter().enumerate() {
+                let v = self.col_values(c)[k];
+                s += if r == c { v * v } else { 2.0 * v * v };
+            }
+        }
+        s.sqrt()
+    }
+
     /// Symmetric matrix–vector product `y = A·x` using only the stored
     /// lower triangle.
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {

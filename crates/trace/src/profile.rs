@@ -173,6 +173,36 @@ impl RankBreakdown {
     }
 }
 
+/// Per-rank block-publication byte accounting in BLR mode: what each rank
+/// shipped dense vs compressed, and what the compressed publications would
+/// have cost dense (the basis of the compression ratio).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlrRank {
+    pub rank: usize,
+    /// Payload bytes of dense block publications.
+    pub dense_bytes: u64,
+    /// Payload bytes of compressed (`[U|V]`) block publications.
+    pub lr_bytes: u64,
+    /// Dense-equivalent bytes of the compressed publications.
+    pub lr_dense_equiv_bytes: u64,
+    /// Blocks published dense.
+    pub dense_blocks: u64,
+    /// Blocks published compressed.
+    pub lr_blocks: u64,
+}
+
+impl BlrRank {
+    /// Total payload bytes this rank actually published (any form).
+    pub fn published(&self) -> u64 {
+        self.dense_bytes + self.lr_bytes
+    }
+
+    /// What the same publications would have cost with every block dense.
+    pub fn dense_equiv(&self) -> u64 {
+        self.dense_bytes + self.lr_dense_equiv_bytes
+    }
+}
+
 /// A complete per-run profile: the analyzable flight-recorder output.
 #[derive(Debug, Clone)]
 pub struct Profile {
@@ -191,6 +221,10 @@ pub struct Profile {
     pub ranks: Vec<RankBreakdown>,
     /// P×P communication matrix.
     pub comm: CommMatrix,
+    /// Per-rank publication accounting — populated (by the driver) only
+    /// when the run used BLR compression, so dense-mode profile documents
+    /// are byte-identical to their pre-BLR form.
+    pub blr: Vec<BlrRank>,
     /// The full span list (sorted by start), for Chrome export and series.
     pub spans: Vec<TraceEvent>,
 }
@@ -229,6 +263,7 @@ impl Profile {
             crit_by_cat,
             ranks,
             comm,
+            blr: Vec::new(),
             spans,
         }
     }
@@ -489,6 +524,26 @@ impl Profile {
             u64_list(&self.comm.bytes),
             u64_list(&self.comm.msgs)
         ));
+        // BLR publication accounting — only present for compressed runs,
+        // keeping dense-mode documents byte-identical to the old schema.
+        if !self.blr.is_empty() {
+            let rows: Vec<String> = self
+                .blr
+                .iter()
+                .map(|b| {
+                    format!(
+                        "{{\"rank\":{},\"dense_bytes\":{},\"lr_bytes\":{},\"lr_dense_equiv_bytes\":{},\"dense_blocks\":{},\"lr_blocks\":{}}}",
+                        b.rank,
+                        b.dense_bytes,
+                        b.lr_bytes,
+                        b.lr_dense_equiv_bytes,
+                        b.dense_blocks,
+                        b.lr_blocks
+                    )
+                })
+                .collect();
+            s.push_str(&format!("\"blr\":[\n{}\n],\n", rows.join(",\n")));
+        }
         // Spans.
         let spans: Vec<String> = self.spans.iter().map(span_to_json).collect();
         s.push_str(&format!("\"spans\":[\n{}\n]\n}}\n", spans.join(",\n")));
@@ -577,6 +632,22 @@ impl Profile {
             },
             None => CommMatrix::default(),
         };
+        let blr = doc
+            .get("blr")
+            .and_then(|v| v.as_array())
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|b| {
+                Some(BlrRank {
+                    rank: b.get("rank")?.as_u64()? as usize,
+                    dense_bytes: b.get("dense_bytes")?.as_u64()?,
+                    lr_bytes: b.get("lr_bytes")?.as_u64()?,
+                    lr_dense_equiv_bytes: b.get("lr_dense_equiv_bytes")?.as_u64()?,
+                    dense_blocks: b.get("dense_blocks")?.as_u64()?,
+                    lr_blocks: b.get("lr_blocks")?.as_u64()?,
+                })
+            })
+            .collect();
         let spans = doc
             .get("spans")
             .and_then(|v| v.as_array())
@@ -593,6 +664,7 @@ impl Profile {
             crit_by_cat,
             ranks,
             comm,
+            blr,
             spans,
         })
     }
@@ -800,6 +872,39 @@ impl Profile {
             s.push('\n');
         }
 
+        // BLR compression summary (only present for compressed runs).
+        if !self.blr.is_empty() {
+            s.push_str(
+                "\nblock publications (dense vs low-rank):\n\
+                 rank  dense-blocks  lr-blocks  dense-bytes     lr-bytes  dense-equiv  ratio\n",
+            );
+            let mut tot = BlrRank::default();
+            for b in &self.blr {
+                let ratio = b.dense_equiv() as f64 / b.published().max(1) as f64;
+                s.push_str(&format!(
+                    "{:>4} {:>13} {:>10} {:>12} {:>12} {:>12} {:>5.2}x\n",
+                    b.rank,
+                    b.dense_blocks,
+                    b.lr_blocks,
+                    fmt_bytes(b.dense_bytes),
+                    fmt_bytes(b.lr_bytes),
+                    fmt_bytes(b.dense_equiv()),
+                    ratio
+                ));
+                tot.dense_bytes += b.dense_bytes;
+                tot.lr_bytes += b.lr_bytes;
+                tot.lr_dense_equiv_bytes += b.lr_dense_equiv_bytes;
+                tot.dense_blocks += b.dense_blocks;
+                tot.lr_blocks += b.lr_blocks;
+            }
+            s.push_str(&format!(
+                "total published {} vs {} dense-equivalent: {:.2}x compression\n",
+                fmt_bytes(tot.published()),
+                fmt_bytes(tot.dense_equiv()),
+                tot.dense_equiv() as f64 / tot.published().max(1) as f64
+            ));
+        }
+
         // Serving workloads: attribute request latency to tenants, not just
         // ranks. Request spans are named `{tenant}/job-{id}` (the fleet
         // layer) with `kernel` carrying the service portion, so the
@@ -854,6 +959,10 @@ pub struct DiffThresholds {
     pub makespan_pct: f64,
     /// Allowed critical-path growth (%).
     pub crit_pct: f64,
+    /// Allowed published-byte growth (%) — gated only when both profiles
+    /// carry BLR publication accounting, so dense-vs-dense diffs are
+    /// unaffected.
+    pub published_pct: f64,
 }
 
 impl Default for DiffThresholds {
@@ -861,6 +970,7 @@ impl Default for DiffThresholds {
         DiffThresholds {
             makespan_pct: 5.0,
             crit_pct: 5.0,
+            published_pct: 10.0,
         }
     }
 }
@@ -936,6 +1046,34 @@ pub fn diff(old: &Profile, new: &Profile, thr: &DiffThresholds) -> ProfileDiff {
         fmt_bytes(new.comm.total_bytes()),
         growth_pct(old.comm.total_bytes() as f64, new.comm.total_bytes() as f64)
     ));
+    // Published-byte gate: compare BLR publication accounting when both
+    // runs recorded it (compressed runs). A compression regression shows
+    // up as published-byte growth even when the makespan holds steady.
+    if !old.blr.is_empty() && !new.blr.is_empty() {
+        let pub_of = |p: &Profile| p.blr.iter().map(|b| b.published()).sum::<u64>() as f64;
+        let ratio_of = |p: &Profile| {
+            let de: u64 = p.blr.iter().map(|b| b.dense_equiv()).sum();
+            let pb: u64 = p.blr.iter().map(|b| b.published()).sum();
+            de as f64 / pb.max(1) as f64
+        };
+        let (po, pn) = (pub_of(old), pub_of(new));
+        let g = growth_pct(po, pn);
+        let mut row = format!(
+            "  {:<14} {:>12} → {:<12} ({:+.2}%)  compression {:.2}x → {:.2}x",
+            "published",
+            fmt_bytes(po as u64),
+            fmt_bytes(pn as u64),
+            g,
+            ratio_of(old),
+            ratio_of(new)
+        );
+        if g > thr.published_pct {
+            row.push_str(&format!("  REGRESSED (> {:.1}%)", thr.published_pct));
+            regressed = true;
+        }
+        row.push('\n');
+        s.push_str(&row);
+    }
     s.push_str(if regressed {
         "verdict: REGRESSION past threshold\n"
     } else {
@@ -1152,6 +1290,66 @@ mod tests {
             CommMatrix::empty(1),
         );
         assert!(!plain.render_report(5).contains("per-tenant requests"));
+    }
+
+    #[test]
+    fn blr_section_roundtrips_and_renders() {
+        let events = vec![ev(0, "a", 0.0, 1.0, 0.0, None)];
+        let mut p = Profile::build("fanout", &events, 1.0, 2, CommMatrix::empty(2));
+        // Dense runs leave the section out entirely: the document must be
+        // byte-identical to the pre-BLR schema and the report silent.
+        assert!(!p.to_json().contains("\"blr\""));
+        assert!(!p.render_report(5).contains("block publications"));
+        p.blr = vec![
+            BlrRank {
+                rank: 0,
+                dense_bytes: 8_000,
+                lr_bytes: 2_000,
+                lr_dense_equiv_bytes: 10_000,
+                dense_blocks: 4,
+                lr_blocks: 6,
+            },
+            BlrRank {
+                rank: 1,
+                dense_bytes: 1_000,
+                lr_bytes: 0,
+                lr_dense_equiv_bytes: 0,
+                dense_blocks: 2,
+                lr_blocks: 0,
+            },
+        ];
+        let q = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(q.blr, p.blr);
+        let rep = p.render_report(5);
+        assert!(rep.contains("block publications"), "{rep}");
+        // total published 11 KB vs 19 KB dense-equivalent → 1.73x.
+        assert!(rep.contains("1.73x compression"), "{rep}");
+    }
+
+    #[test]
+    fn diff_gates_published_bytes() {
+        let events = vec![ev(0, "a", 0.0, 1.0, 0.0, None)];
+        let mut old = Profile::build("t", &events, 1.0, 1, CommMatrix::empty(1));
+        old.blr = vec![BlrRank {
+            rank: 0,
+            dense_bytes: 1_000,
+            lr_bytes: 1_000,
+            lr_dense_equiv_bytes: 5_000,
+            dense_blocks: 1,
+            lr_blocks: 1,
+        }];
+        let mut new = old.clone();
+        // Compression got worse: same makespan, 50% more published bytes.
+        new.blr[0].lr_bytes = 2_000;
+        let d = diff(&old, &new, &DiffThresholds::default());
+        assert!(d.regressed, "{}", d.report);
+        assert!(d.report.contains("published"), "{}", d.report);
+        let same = diff(&old, &old, &DiffThresholds::default());
+        assert!(!same.regressed, "{}", same.report);
+        // Profiles without the section (dense runs) are never gated on it.
+        let plain = Profile::build("t", &events, 1.0, 1, CommMatrix::empty(1));
+        let d2 = diff(&plain, &plain, &DiffThresholds::default());
+        assert!(!d2.report.contains("published"), "{}", d2.report);
     }
 
     #[test]

@@ -478,3 +478,76 @@ fn repro() {
         Err(e) => eprintln!("repro {engine}/{plan}/{topo}/seed={seed}/P={ranks}: failed with {e}"),
     }
 }
+
+#[test]
+fn blr_mode_under_faults_stays_accurate_and_never_hangs() {
+    // Compressed publications ride the same signal/rget machinery as dense
+    // ones — a low-rank `[U|V]` payload dropped, delayed or duplicated must
+    // behave exactly like a dense block would: lossless plans (delays, dup)
+    // complete with the residual inside the BLR tolerance budget, and drop
+    // plans either complete correctly or surface a diagnosed stall, never a
+    // hang and never a silently wrong answer.
+    let budget = seed_budget();
+    let a = gen::bone_like(6, 6, 5);
+    let b = test_rhs(a.n());
+    let opts_for = |ranks: usize, faults: Option<FaultPlan>| {
+        let (n_nodes, ranks_per_node) = nodes_of("tree", ranks);
+        SolverOptions {
+            n_nodes,
+            ranks_per_node,
+            faults,
+            deterministic: true,
+            // tol=1e-6 with two refinement steps: the factorization is
+            // approximate, the refined solution is not (≪ RESIDUAL_TOL).
+            refine_steps: 2,
+            blr: sympack::BlrConfig {
+                tol: 1e-6,
+                min_block: 8,
+                max_rank: usize::MAX,
+            },
+            ..Default::default()
+        }
+    };
+    for ranks in [2usize, 4] {
+        // The fault-free baseline must actually exercise the compressed
+        // path — otherwise the sweep tests nothing.
+        let base = SymPack::try_factor_and_solve(&a, &b, &opts_for(ranks, None))
+            .unwrap_or_else(|e| panic!("P={ranks}: fault-free BLR run failed: {e}"));
+        let compressed: u64 = base.blr_counts.iter().map(|c| c.compressed).sum();
+        assert!(compressed > 0, "P={ranks}: BLR chaos case never compressed");
+        assert!(base.relative_residual < RESIDUAL_TOL);
+        for plan in ["delays", "dup", "drops"] {
+            for seed in 0..budget {
+                let opts = opts_for(ranks, plan_of(plan, seed));
+                match SymPack::try_factor_and_solve(&a, &b, &opts) {
+                    Ok(r) => {
+                        if r.relative_residual >= RESIDUAL_TOL {
+                            fail_case(
+                                "fanout-blr",
+                                plan,
+                                seed,
+                                ranks,
+                                "tree",
+                                &format!(
+                                    "BLR run completed with wrong result \
+                                     (residual {})",
+                                    r.relative_residual
+                                ),
+                            );
+                        }
+                    }
+                    Err(SolverError::Stalled { .. } | SolverError::FetchTimeout { .. })
+                        if plan == "drops" => {} // diagnosed, not hung
+                    Err(e) => fail_case(
+                        "fanout-blr",
+                        plan,
+                        seed,
+                        ranks,
+                        "tree",
+                        &format!("{plan} plan must complete or diagnose, got {e}"),
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -49,8 +49,8 @@ fn assert_factors_bit_identical(label: &str, fresh: &Session, cached: &Session) 
         keys_b.sort_unstable();
         assert_eq!(keys, keys_b, "{label}: rank {r} block keys");
         for k in keys {
-            let m1 = a.get(k).unwrap();
-            let m2 = b.get(k).unwrap();
+            let m1 = a.get(k).unwrap().to_dense();
+            let m2 = b.get(k).unwrap().to_dense();
             assert_bits_eq(
                 &format!("{label}: rank {r} block {k:?}"),
                 m1.as_slice(),

@@ -158,6 +158,7 @@ fn diff_gate_flags_regressions_past_threshold() {
     let loose = DiffThresholds {
         makespan_pct: 25.0,
         crit_pct: 25.0,
+        ..Default::default()
     };
     assert!(!diff(&base, &slow, &loose).regressed);
     // Critical-path growth alone also trips the gate.
@@ -204,4 +205,49 @@ fn tracing_does_not_perturb_deterministic_clocks() {
     let bplain = brun(false);
     assert_eq!(btraced.factor_time.to_bits(), bplain.factor_time.to_bits());
     assert_eq!(btraced.solve_time.to_bits(), bplain.solve_time.to_bits());
+}
+
+#[test]
+fn blr_runs_carry_publication_accounting_in_the_profile() {
+    // A traced BLR run must attach the per-rank publication section (dense
+    // vs low-rank bytes), render the compression summary, survive the JSON
+    // codec, and trip the diff gate on published-byte growth; a dense run's
+    // document stays byte-identical to the pre-BLR schema (no `blr` key).
+    let a = gen::bone_like(6, 6, 5);
+    let b = test_rhs(a.n());
+    let dense = SymPack::factor_and_solve(&a, &b, &fanout_opts())
+        .profile
+        .expect("dense profile");
+    assert!(dense.blr.is_empty());
+    assert!(!dense.to_json().contains("\"blr\""));
+    let opts = SolverOptions {
+        blr: sympack::BlrConfig {
+            tol: 1e-6,
+            min_block: 8,
+            max_rank: usize::MAX,
+        },
+        refine_steps: 2,
+        ..fanout_opts()
+    };
+    let r = SymPack::factor_and_solve(&a, &b, &opts);
+    let p = r.profile.expect("blr profile");
+    assert_eq!(p.blr.len(), 4, "one entry per rank");
+    let lr_blocks: u64 = p.blr.iter().map(|x| x.lr_blocks).sum();
+    assert!(lr_blocks > 0, "BLR run published no compressed blocks");
+    let published: u64 = p.blr.iter().map(|x| x.published()).sum();
+    let dense_equiv: u64 = p.blr.iter().map(|x| x.dense_equiv()).sum();
+    assert!(published < dense_equiv, "compression must shrink publications");
+    // Profile section must agree with the report's own accounting.
+    let report_published: u64 = r.publish.iter().map(|s| s.published_bytes()).sum();
+    assert_eq!(published, report_published);
+    let q = Profile::from_json(&p.to_json()).expect("codec");
+    assert_eq!(q.blr, p.blr);
+    assert!(p.render_report(5).contains("block publications"));
+    // Doubling the published bytes regresses past the default 10% gate.
+    let mut worse = p.clone();
+    for x in &mut worse.blr {
+        x.lr_bytes *= 2;
+    }
+    let d = diff(&p, &worse, &DiffThresholds::default());
+    assert!(d.regressed, "{}", d.report);
 }
