@@ -10,9 +10,11 @@
 //! ```
 //!
 //! Optional artifacts (any mode): `--metrics-json PATH` dumps the last
-//! fleet's cache + per-tenant metrics, `--profile-json PATH` dumps a
-//! flight-recorder profile of the per-request spans that `sympack-prof
-//! report` breaks down by tenant.
+//! fleet's cache + per-tenant metrics, `--telemetry-json PATH` dumps the
+//! live-telemetry snapshot document (render or validate it with
+//! `sympack-top --replay`), `--profile-json PATH` dumps a flight-recorder
+//! profile of the per-request spans that `sympack-prof report` breaks down
+//! by tenant.
 //!
 //! Every mix is seeded and runs entirely in the solver's virtual clocks:
 //! tenant→pattern assignment, fairness weights, job counts and arrivals all
@@ -407,6 +409,11 @@ fn write_artifacts(args: &[String], fleet: &Fleet, spec: &MixSpec) {
         let path = &args[at + 1];
         std::fs::write(path, fleet.metrics_json() + "\n").expect("write metrics json");
         println!("wrote fleet metrics to {path}");
+    }
+    if let Some(at) = args.iter().position(|a| a == "--telemetry-json") {
+        let path = &args[at + 1];
+        std::fs::write(path, fleet.telemetry_json() + "\n").expect("write telemetry json");
+        println!("wrote fleet telemetry snapshot to {path}");
     }
     if let Some(at) = args.iter().position(|a| a == "--profile-json") {
         let path = &args[at + 1];

@@ -56,6 +56,13 @@ pub struct SolverOptions {
     /// Collect a per-task execution timeline (see `sympack-trace`); events
     /// are returned in the report for Chrome-trace export.
     pub trace: bool,
+    /// Collect live telemetry (counters, gauges, histograms, time-series
+    /// rings sampled on the virtual clock) and run a per-rank health
+    /// watchdog. Retrieve the merged snapshot and health events through
+    /// [`SymPack::try_factor_and_solve_observed`]; snapshots are
+    /// bit-deterministic under `deterministic` lockstep. Telemetry never
+    /// touches the virtual clocks, so modeled makespans are unchanged.
+    pub telemetry: bool,
     /// Seeded network fault injection (delays, drops, duplicates) on the
     /// signal/rget paths; `None` = reliable network.
     pub faults: Option<sympack_pgas::FaultPlan>,
@@ -108,6 +115,7 @@ impl Default for SolverOptions {
             intra_parallel: false,
             refine_steps: 0,
             trace: false,
+            telemetry: false,
             faults: None,
             deterministic: false,
             kernel_config: sympack_dense::KernelConfig::default(),
@@ -179,6 +187,10 @@ struct RankOut {
     trace: Vec<sympack_trace::TraceEvent>,
     /// Executed scheduler tasks per kind (factorization + first solve).
     tasks: Vec<(String, u64)>,
+    /// This rank's telemetry snapshot (None unless `SolverOptions::telemetry`).
+    telemetry: Option<sympack_trace::telemetry::TelemetrySnapshot>,
+    /// Health events this rank's watchdog raised.
+    health: Vec<sympack_trace::health::HealthEvent>,
 }
 
 /// Outcome of factorization without a solve (used by benches that time the
@@ -314,6 +326,24 @@ impl SymPack {
         bs: &[Vec<f64>],
         opts: &SolverOptions,
     ) -> Result<MultiSolveReport, SolverError> {
+        Self::try_factor_and_solve_observed(a, bs, opts).0
+    }
+
+    /// [`SymPack::try_factor_and_solve_multi`] plus the telemetry plane:
+    /// returns the merged [`sympack_trace::telemetry::TelemetryReport`]
+    /// (per-rank instrument snapshots + watchdog health events) alongside
+    /// the solve result. The report is `Some` whenever
+    /// [`SolverOptions::telemetry`] is set — *including* when the run
+    /// itself failed, which is exactly when a stalled rank's health events
+    /// matter most.
+    pub fn try_factor_and_solve_observed(
+        a: &SparseSym,
+        bs: &[Vec<f64>],
+        opts: &SolverOptions,
+    ) -> (
+        Result<MultiSolveReport, SolverError>,
+        Option<sympack_trace::telemetry::TelemetryReport>,
+    ) {
         assert!(!bs.is_empty(), "need at least one right-hand side");
         for b in bs {
             assert_eq!(b.len(), a.n(), "rhs length must match the matrix order");
@@ -345,7 +375,19 @@ impl SymPack {
                 // Comm-layer spans (rget/rput/rpc/drain) for the profile.
                 rank.set_tracer(sympack_trace::Tracer::new());
             }
+            if opts2.telemetry {
+                // Scheduler instruments sample on the virtual clock after
+                // every charged task; the watchdog rides the rank so it
+                // also sees the solve phase's idle polls.
+                engine.rt.telemetry = Some(Box::new(
+                    sympack_trace::telemetry::SchedTelemetry::new(rank.id()),
+                ));
+                rank.set_watchdog(sympack_trace::health::Watchdog::new(
+                    sympack_trace::health::WatchRules::default(),
+                ));
+            }
             let (mut engine, factor_time) = FactoEngine::run_to_completion(rank, engine);
+            let tel_snapshot = engine.rt.telemetry.take().map(|t| t.snapshot());
             let trace_events = engine
                 .rt
                 .tracer
@@ -361,6 +403,13 @@ impl SymPack {
             if let Some(err) = engine.rt.error.take() {
                 let mut trace = trace_events;
                 trace.extend(comm_events(rank));
+                let health = rank
+                    .take_watchdog()
+                    .map(sympack_trace::health::Watchdog::into_events)
+                    .unwrap_or_default();
+                if opts2.trace {
+                    trace.extend(health.iter().map(|h| h.to_trace_event(rank.id())));
+                }
                 return RankOut {
                     error: Some(err),
                     factor_time,
@@ -371,12 +420,21 @@ impl SymPack {
                     factor_bytes: engine.store.iter().map(|(_, b)| b.bytes()).sum(),
                     trace,
                     tasks: facto_tasks,
+                    telemetry: tel_snapshot,
+                    health,
                 };
             }
             if abort.load(std::sync::atomic::Ordering::SeqCst) {
                 // Another rank failed; it carries the error.
                 let mut trace = trace_events;
                 trace.extend(comm_events(rank));
+                let health = rank
+                    .take_watchdog()
+                    .map(sympack_trace::health::Watchdog::into_events)
+                    .unwrap_or_default();
+                if opts2.trace {
+                    trace.extend(health.iter().map(|h| h.to_trace_event(rank.id())));
+                }
                 return RankOut {
                     error: None,
                     factor_time,
@@ -387,6 +445,8 @@ impl SymPack {
                     factor_bytes: engine.store.iter().map(|(_, b)| b.bytes()).sum(),
                     trace,
                     tasks: facto_tasks,
+                    telemetry: tel_snapshot,
+                    health,
                 };
             }
             let mut solves = Vec::with_capacity(bps.len());
@@ -465,6 +525,13 @@ impl SymPack {
             let mut trace = trace_events;
             trace.extend(solve_trace);
             trace.extend(comm_events(rank));
+            let health = rank
+                .take_watchdog()
+                .map(sympack_trace::health::Watchdog::into_events)
+                .unwrap_or_default();
+            if opts2.trace {
+                trace.extend(health.iter().map(|h| h.to_trace_event(rank.id())));
+            }
             let mut tasks = facto_tasks;
             tasks.extend(solve_tasks);
             RankOut {
@@ -477,12 +544,27 @@ impl SymPack {
                 factor_bytes: engine.store.iter().map(|(_, b)| b.bytes()).sum(),
                 trace,
                 tasks,
+                telemetry: tel_snapshot,
+                health,
             }
         });
-        // Propagate the first error (rank order) if any.
+        // Assemble the telemetry report before the error check so a stalled
+        // or aborted run still surfaces its snapshots and health events.
         let mut outs = report.results;
+        let telemetry_report = opts.telemetry.then(|| {
+            let snaps: Vec<_> = outs.iter_mut().filter_map(|o| o.telemetry.take()).collect();
+            let health = outs
+                .iter_mut()
+                .flat_map(|o| std::mem::take(&mut o.health))
+                .collect::<Vec<_>>();
+            sympack_trace::telemetry::TelemetryReport::from_ranks(snaps, health)
+        });
+        // Propagate the first error (rank order) if any.
         if let Some(pos) = outs.iter().position(|o| o.error.is_some()) {
-            return Err(outs.swap_remove(pos).error.expect("checked"));
+            return (
+                Err(outs.swap_remove(pos).error.expect("checked")),
+                telemetry_report,
+            );
         }
         // Assemble each permuted solution from the per-rank pieces.
         let n = a.n();
@@ -542,23 +624,26 @@ impl SymPack {
                     .collect();
             }
         }
-        Ok(MultiSolveReport {
-            xs,
-            relative_residuals,
-            factor_time: outs.iter().map(|o| o.factor_time).fold(0.0, f64::max),
-            solve_times,
-            op_counts: outs.iter().map(|o| o.counts).collect(),
-            publish: outs.iter().map(|o| o.publish).collect(),
-            blr_counts: outs.iter().map(|o| o.blr).collect(),
-            factor_bytes: outs.iter().map(|o| o.factor_bytes).sum(),
-            stats: report.stats,
-            l_nnz: sf.l_nnz,
-            flops: sf.flops,
-            n_supernodes: sf.n_supernodes(),
-            trace,
-            task_counts: by_kind.into_iter().collect(),
-            profile,
-        })
+        (
+            Ok(MultiSolveReport {
+                xs,
+                relative_residuals,
+                factor_time: outs.iter().map(|o| o.factor_time).fold(0.0, f64::max),
+                solve_times,
+                op_counts: outs.iter().map(|o| o.counts).collect(),
+                publish: outs.iter().map(|o| o.publish).collect(),
+                blr_counts: outs.iter().map(|o| o.blr).collect(),
+                factor_bytes: outs.iter().map(|o| o.factor_bytes).sum(),
+                stats: report.stats,
+                l_nnz: sf.l_nnz,
+                flops: sf.flops,
+                n_supernodes: sf.n_supernodes(),
+                trace,
+                task_counts: by_kind.into_iter().collect(),
+                profile,
+            }),
+            telemetry_report,
+        )
     }
 
     /// Factor `A` and gather the distributed factor into one sparse matrix.

@@ -45,6 +45,11 @@ pub struct TaskEngine<K: TaskKind, S = ()> {
     abort: Arc<AtomicBool>,
     /// Optional task-timeline collector.
     pub tracer: Option<Tracer>,
+    /// Optional live-telemetry bundle: task throughput, dep-wait, RTQ
+    /// depth, resident bytes and the rank's comm counters, sampled into
+    /// time-series rings at task boundaries. Like the tracer, updating it
+    /// never touches the virtual clock.
+    pub telemetry: Option<Box<sympack_trace::telemetry::SchedTelemetry>>,
     /// Signal pointers already accepted: the inbox is idempotent, so a
     /// duplicated `signal(ptr, meta)` delivery (network retry, fault
     /// injection) is absorbed instead of double-decrementing dependants.
@@ -94,6 +99,7 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
             error: None,
             abort,
             tracer: None,
+            telemetry: None,
             seen_signals: HashSet::new(),
             executed: HashSet::new(),
             picked_ready: 0.0,
@@ -270,6 +276,19 @@ impl<K: TaskKind, S: Send + 'static> TaskEngine<K, S> {
     pub fn charge(&mut self, rank: &mut Rank, key: K, secs: f64) {
         let total = secs + self.task_overhead;
         rank.advance(total);
+        if let Some(tel) = &mut self.telemetry {
+            let end = rank.now();
+            // Dep-wait: how long this task sat ready before starting.
+            let dep_wait = (end - total - self.picked_ready).max(0.0);
+            tel.on_task(
+                end,
+                total,
+                dep_wait,
+                self.rtq.len(),
+                self.mem_bytes,
+                rank.comm_sample(),
+            );
+        }
         if let Some(tr) = &mut self.tracer {
             let end = rank.now();
             tr.push(TraceEvent {

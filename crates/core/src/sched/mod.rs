@@ -141,12 +141,22 @@ where
         }
         let activity = rank.global_activity();
         if executed > 0 || activity != last_activity || rank.now() > clock_before {
+            if idle > 0 {
+                // Progress resumed: close the watchdog's stall episode.
+                rank.watchdog_idle(0);
+            }
             idle = 0;
             last_activity = activity;
-        } else if let Some(limit) = threshold {
+        } else {
             idle += 1;
-            if idle >= limit && rank.rpc_queue_empty() {
-                return LoopExit::Stalled;
+            // The health watchdog sees every idle poll and raises a
+            // `Stalled` event at its own (lower) threshold — the diagnosis
+            // always lands before the quiescence abort below fires.
+            rank.watchdog_idle(idle);
+            if let Some(limit) = threshold {
+                if idle >= limit && rank.rpc_queue_empty() {
+                    return LoopExit::Stalled;
+                }
             }
         }
         if !rank.deterministic() {

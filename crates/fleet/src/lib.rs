@@ -38,7 +38,13 @@ use std::sync::Arc;
 use sympack::{pattern_hash, plan_cache_key, SolverError, SolverOptions, SymbolicPlan};
 use sympack_service::{RhsPanel, Session};
 use sympack_sparse::SparseSym;
+use sympack_trace::health::{HealthEvent, WatchRules, WatchSample, Watchdog};
+use sympack_trace::json::{Arr, Obj};
 use sympack_trace::metrics::{FleetCacheMetrics, ServiceMetrics};
+use sympack_trace::telemetry::{
+    CounterId, GaugeId, HistId, SloPolicy, SloTracker, Telemetry, TelemetrySnapshot,
+    SNAPSHOT_SCHEMA,
+};
 use sympack_trace::{SpanKind, TraceCat, TraceEvent};
 
 /// Errors surfaced by the fleet.
@@ -227,6 +233,22 @@ struct Tenant {
     /// Monotone LRU stamp: bumped every time the tenant is served.
     last_served: u64,
     evictions: u64,
+    /// Compliance against this tenant's latency objective (the default
+    /// policy has an unbounded objective, so nothing burns until
+    /// [`Fleet::set_slo`] tightens it).
+    slo: SloTracker,
+    /// Handles into the fleet registry, all labeled `tenant="name"`.
+    instruments: TenantInstruments,
+}
+
+/// Per-tenant instrument handles into the fleet-level registry.
+#[derive(Debug, Clone, Copy)]
+struct TenantInstruments {
+    latency: HistId,
+    served: CounterId,
+    served_bytes: CounterId,
+    evictions: CounterId,
+    pending: GaugeId,
 }
 
 /// A multi-tenant serving front-end: many [`Session`]s sharded over
@@ -245,6 +267,20 @@ pub struct Fleet {
     use_counter: u64,
     cache: FleetCacheMetrics,
     request_spans: Vec<TraceEvent>,
+    /// The live registry: per-tenant latency/served/eviction instruments
+    /// plus fleet-wide residency gauges, sampled on the (monotone) fleet
+    /// makespan so every ring's timestamps are nondecreasing.
+    tel: Telemetry,
+    /// Fleet-wide gauges.
+    resident_gauge: GaugeId,
+    backlog_gauge: GaugeId,
+    /// Health watchdog, evaluated after every scheduling round.
+    watchdog: Watchdog,
+    /// Monotone sampling clock: the latest virtual time any instrument was
+    /// sampled at. Submissions can carry arrivals ahead of the shard
+    /// clocks, so rings tick at `max(makespan, last tick, event time)` to
+    /// keep every series nondecreasing.
+    sample_clock: f64,
 }
 
 impl Fleet {
@@ -260,6 +296,9 @@ impl Fleet {
         assert!(config.shards > 0, "a fleet has at least one shard");
         assert!(config.max_batch > 0, "max_batch must be positive");
         assert!(config.quantum > 0.0, "quantum must be positive");
+        let mut tel = Telemetry::new();
+        let resident_gauge = tel.gauge("sympack_fleet_resident_bytes", &[]);
+        let backlog_gauge = tel.gauge("sympack_fleet_backlog_jobs", &[]);
         Fleet {
             opts: opts.clone(),
             config,
@@ -273,7 +312,19 @@ impl Fleet {
                 ..FleetCacheMetrics::default()
             },
             request_spans: Vec::new(),
+            tel,
+            resident_gauge,
+            backlog_gauge,
+            watchdog: Watchdog::new(WatchRules::default()),
+            sample_clock: 0.0,
         }
+    }
+
+    /// Sampling tick: push every instrument's current value into its ring
+    /// at a monotone virtual time.
+    fn tick(&mut self, at: f64) {
+        self.sample_clock = self.sample_clock.max(at).max(self.makespan());
+        self.tel.sample(self.sample_clock);
     }
 
     /// Admit a tenant with its matrix and fairness weight: plan-cache
@@ -317,6 +368,14 @@ impl Fleet {
         metrics.analyze_wall_ms = analyze_wall_ms;
         let factor_bytes = session.factor_bytes();
         self.use_counter += 1;
+        let labels: &[(&str, &str)] = &[("tenant", name)];
+        let instruments = TenantInstruments {
+            latency: self.tel.histogram("sympack_fleet_latency_seconds", labels),
+            served: self.tel.counter("sympack_fleet_jobs_served_total", labels),
+            served_bytes: self.tel.counter("sympack_fleet_served_bytes_total", labels),
+            evictions: self.tel.counter("sympack_fleet_evictions_total", labels),
+            pending: self.tel.gauge("sympack_fleet_pending_jobs", labels),
+        };
         self.tenants.push(Tenant {
             name: name.to_string(),
             session,
@@ -330,6 +389,8 @@ impl Fleet {
             factor_bytes,
             last_served: self.use_counter,
             evictions: 0,
+            slo: SloTracker::new(SloPolicy::default()),
+            instruments,
         });
         self.by_name.insert(name.to_string(), idx);
         self.enforce_budget(Some(idx));
@@ -384,6 +445,11 @@ impl Fleet {
         t.next_id += 1;
         t.metrics.jobs_submitted += 1;
         t.pending.push_back(FleetJob { id, rhs, arrival });
+        let (instruments, depth) = (t.instruments, t.pending.len());
+        self.tel.set(instruments.pending, depth as f64);
+        let backlog: u64 = self.tenants.iter().map(|t| t.pending.len() as u64).sum();
+        self.tel.set(self.backlog_gauge, backlog as f64);
+        self.tick(arrival);
         Ok(id)
     }
 
@@ -415,6 +481,7 @@ impl Fleet {
             done.extend(self.serve(i, take)?);
             self.tenants[i].deficit -= take as f64;
         }
+        self.observe_health();
         Ok(done)
     }
 
@@ -467,9 +534,12 @@ impl Fleet {
         let panel = &batch.panels[0];
         let n = self.tenants[i].session.n();
         let mut done = Vec::with_capacity(take);
+        let instruments = self.tenants[i].instruments;
         for (k, j) in jobs.into_iter().enumerate() {
             let latency = clock - j.arrival;
             self.tenants[i].metrics.latency.record(latency);
+            self.tenants[i].slo.record(latency);
+            self.tel.observe(instruments.latency, latency);
             let mut span = TraceEvent::basic(
                 shard,
                 format!("{}/job-{}", self.tenants[i].name, j.id),
@@ -492,7 +562,15 @@ impl Fleet {
                 completion: clock,
             });
         }
+        self.tel.inc(instruments.served, take as u64);
+        self.tel
+            .inc(instruments.served_bytes, (take * n * 8) as u64);
+        self.tel
+            .set_counter_total(instruments.evictions, self.tenants[i].evictions);
+        self.tel
+            .set(instruments.pending, self.tenants[i].pending.len() as f64);
         self.sample_residency();
+        self.tick(clock);
         Ok(done)
     }
 
@@ -539,6 +617,9 @@ impl Fleet {
             self.tenants[v].session.evict_factor();
             self.tenants[v].evictions += 1;
             self.cache.factor_evictions += 1;
+            let ins = self.tenants[v].instruments;
+            self.tel
+                .set_counter_total(ins.evictions, self.tenants[v].evictions);
         }
     }
 
@@ -549,6 +630,37 @@ impl Fleet {
         if resident > self.cache.resident_high_water_bytes {
             self.cache.resident_high_water_bytes = resident;
         }
+        self.tel.set(self.resident_gauge, resident as f64);
+        let backlog: u64 = self.tenants.iter().map(|t| t.pending.len() as u64).sum();
+        self.tel.set(self.backlog_gauge, backlog as f64);
+    }
+
+    /// One watchdog evaluation over the fleet's current state: cumulative
+    /// served jobs vs backlog (stall), fullest queue fraction (saturation),
+    /// cumulative evictions (thrash) and per-tenant SLO burn rates.
+    fn observe_health(&mut self) {
+        let progress: u64 = self.tenants.iter().map(|t| t.metrics.jobs_served).sum();
+        let backlog: u64 = self.tenants.iter().map(|t| t.pending.len() as u64).sum();
+        let cap = self.config.max_pending_per_tenant.max(1) as f64;
+        let queue_frac = self
+            .tenants
+            .iter()
+            .map(|t| t.pending.len() as f64 / cap)
+            .fold(0.0, f64::max);
+        let burn: Vec<(&str, f64)> = self
+            .tenants
+            .iter()
+            .map(|t| (t.name.as_str(), t.slo.burn_rate()))
+            .collect();
+        let now = self.sample_clock.max(self.makespan());
+        self.watchdog.observe(&WatchSample {
+            now,
+            progress,
+            backlog,
+            queue_frac,
+            evictions: self.cache.factor_evictions,
+            burn: &burn,
+        });
     }
 
     /// Virtual clock of one shard.
@@ -614,32 +726,104 @@ impl Fleet {
         &self.request_spans
     }
 
+    /// Set (or replace) a tenant's latency objective. Replacing the policy
+    /// resets the tenant's good/bad tallies — compliance is judged against
+    /// one policy at a time. The default policy admitted with the tenant
+    /// has an unbounded objective, so nothing burns until this is called.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn set_slo(&mut self, tenant: TenantId, policy: SloPolicy) {
+        self.tenants[tenant.0].slo = SloTracker::new(policy);
+    }
+
+    /// A tenant's SLO tracker (policy, compliance, burn rate).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn slo(&self, tenant: TenantId) -> &SloTracker {
+        &self.tenants[tenant.0].slo
+    }
+
+    /// Health events the fleet watchdog has raised so far.
+    pub fn health_events(&self) -> &[HealthEvent] {
+        self.watchdog.events()
+    }
+
+    /// Immutable snapshot of every live instrument (values + ring series).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.tel.snapshot()
+    }
+
+    /// Prometheus-style text exposition of the live instruments.
+    pub fn render_telemetry_text(&self) -> String {
+        self.tel.render_text()
+    }
+
+    /// The complete live-telemetry document `sympack-top` renders: schema
+    /// header, per-tenant serving/SLO state, the instrument snapshot and
+    /// the health event stream. Byte-deterministic for a fixed workload:
+    /// every figure is a count or a virtual time, collections iterate in
+    /// admission or sorted key order, and wall-clock values (the tenants'
+    /// `analyze_wall_ms`) are deliberately excluded — those live in
+    /// [`Fleet::metrics_json`], which is not replay-compared.
+    pub fn telemetry_json(&self) -> String {
+        let mut tenants = Arr::new();
+        for t in &self.tenants {
+            tenants.push(
+                Obj::new()
+                    .str("tenant", &t.name)
+                    .u64("shard", t.shard as u64)
+                    .f64("weight", t.weight)
+                    .u64("evictions", t.evictions)
+                    .u64("pending", t.pending.len() as u64)
+                    .bool("resident", t.session.is_resident())
+                    .u64("jobs_submitted", t.metrics.jobs_submitted)
+                    .u64("jobs_rejected", t.metrics.jobs_rejected)
+                    .u64("jobs_served", t.metrics.jobs_served)
+                    .u64("batches", t.metrics.batches)
+                    .u64("refactorizations", t.metrics.refactorizations)
+                    .raw("latency", &t.metrics.latency.to_json())
+                    .raw("slo", &t.slo.to_json())
+                    .finish(),
+            );
+        }
+        Obj::new()
+            .str("schema", SNAPSHOT_SCHEMA)
+            .str("kind", "fleet")
+            .f64("makespan", self.makespan())
+            .raw("cache", &self.cache.to_json())
+            .raw("tenants", &tenants.finish())
+            .raw("telemetry", &self.telemetry_snapshot().to_json())
+            .raw(
+                "health",
+                &sympack_trace::health::health_events_json(self.watchdog.events()),
+            )
+            .finish()
+    }
+
     /// Serialize the fleet's metrics: cache counters plus one entry per
     /// tenant (admission order) with its shard, weight, evictions, analyze
     /// wall ms and serving metrics.
     pub fn metrics_json(&self) -> String {
-        let tenants: Vec<String> = self
-            .tenants
-            .iter()
-            .map(|t| {
-                format!(
-                    "{{\"tenant\":\"{}\",\"shard\":{},\"weight\":{},\
-                     \"evictions\":{},\"analyze_wall_ms\":{},\"metrics\":{}}}",
-                    t.name,
-                    t.shard,
-                    t.weight,
-                    t.evictions,
-                    t.analyze_wall_ms,
-                    t.metrics.to_json()
-                )
-            })
-            .collect();
-        format!(
-            "{{\"cache\":{},\"makespan\":{},\"tenants\":[{}]}}",
-            self.cache.to_json(),
-            self.makespan(),
-            tenants.join(",")
-        )
+        let mut tenants = Arr::new();
+        for t in &self.tenants {
+            tenants.push(
+                Obj::new()
+                    .str("tenant", &t.name)
+                    .u64("shard", t.shard as u64)
+                    .f64("weight", t.weight)
+                    .u64("evictions", t.evictions)
+                    .f64("analyze_wall_ms", t.analyze_wall_ms)
+                    .raw("metrics", &t.metrics.to_json())
+                    .finish(),
+            );
+        }
+        Obj::new()
+            .raw("cache", &self.cache.to_json())
+            .f64("makespan", self.makespan())
+            .raw("tenants", &tenants.finish())
+            .finish()
     }
 }
 
@@ -833,6 +1017,62 @@ mod tests {
             assert!(json.contains(&format!("\"tenant\":\"{name}\"")));
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn telemetry_document_tracks_slo_burn_and_health() {
+        let mut cfg = config();
+        cfg.shards = 1;
+        cfg.max_batch = 1;
+        cfg.max_pending_per_tenant = 4;
+        let mut fleet = Fleet::new(&opts(1), cfg);
+        let a = laplacian_2d(6, 6);
+        let alice = fleet.admit("alice", &a, 1.0).unwrap();
+        // Impossible objective: every served request burns error budget.
+        fleet.set_slo(alice, SloPolicy::new(1e-12, 0.99));
+        for i in 0..4 {
+            fleet
+                .submit_at(alice, test_rhs(a.n()), i as f64 * 0.01)
+                .unwrap();
+        }
+        fleet.drain().unwrap();
+        assert!(fleet.slo(alice).burn_rate() > 1.0);
+        assert!(
+            fleet
+                .health_events()
+                .iter()
+                .any(|e| e.kind == sympack_trace::health::HealthKind::SloBurn
+                    && e.subject == "alice"),
+            "expected an SloBurn event, got {:?}",
+            fleet.health_events()
+        );
+        // The document parses, carries the schema header, and every ring
+        // series has nondecreasing timestamps.
+        let doc = fleet.telemetry_json();
+        let v = sympack_trace::json::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("sympack-telemetry-v1")
+        );
+        assert_eq!(v.get("kind").and_then(|s| s.as_str()), Some("fleet"));
+        let series = v
+            .get("telemetry")
+            .and_then(|t| t.get("series"))
+            .and_then(|s| s.as_array())
+            .expect("series section");
+        assert!(!series.is_empty());
+        for entry in series {
+            let pts = entry.get("points").and_then(|p| p.as_array()).unwrap();
+            let ts: Vec<f64> = pts
+                .iter()
+                .map(|p| p.as_array().unwrap()[0].as_f64().unwrap())
+                .collect();
+            assert!(ts.windows(2).all(|w| w[0] <= w[1]), "series went backwards");
+        }
+        // Text exposition names the per-tenant instruments.
+        let text = fleet.render_telemetry_text();
+        assert!(text.contains("sympack_fleet_jobs_served_total{tenant=\"alice\"} 4"));
+        assert!(text.contains("sympack_fleet_resident_bytes"));
     }
 
     #[test]

@@ -84,6 +84,10 @@ impl RgetHandle {
 /// An RPC message queued at a target rank.
 pub(crate) struct RpcMsg {
     pub ready_at: f64,
+    /// Wire footprint of the message (envelope + payload), carried so the
+    /// receiver's drain can account bytes-in-flight without touching the
+    /// global atomic stats (which other ranks race on).
+    pub wire: usize,
     pub func: Box<dyn FnOnce(&mut Rank) + Send>,
 }
 
@@ -101,6 +105,15 @@ pub struct Rank {
     /// nothing; recording never touches the virtual clock either way, so
     /// enabling it cannot perturb the schedule.
     tracer: Option<Tracer>,
+    /// Per-rank comm counters for the live telemetry plane. Written only
+    /// by this rank's thread (unlike the global atomic [`crate::Stats`]),
+    /// so in lockstep mode they are a pure function of the schedule —
+    /// bit-deterministic. Always maintained; reading is the opt-in part.
+    comm: sympack_trace::telemetry::CommSample,
+    /// Health watchdog for the live telemetry plane. `None` (the default)
+    /// observes nothing; like the tracer, observing never touches the
+    /// virtual clock.
+    watchdog: Option<sympack_trace::health::Watchdog>,
     /// Monotone collective-epoch counter. Every rank calls the same
     /// sequence of collectives in program order, so counters agree across
     /// ranks without any extra communication and tag each collective's
@@ -121,6 +134,8 @@ impl Rank {
             fault_ctr: 0,
             user_state: None,
             tracer: None,
+            comm: sympack_trace::telemetry::CommSample::default(),
+            watchdog: None,
             coll_epoch: 0,
             coll_pending: HashMap::new(),
         }
@@ -136,6 +151,43 @@ impl Rank {
     /// Remove and return the comm-span tracer, if one was installed.
     pub fn take_tracer(&mut self) -> Option<Tracer> {
         self.tracer.take()
+    }
+
+    /// Install a health watchdog: the solver's event loop feeds it
+    /// idle-poll counts (via [`Rank::watchdog_idle`]) so `Stalled`-class
+    /// health events are raised *before* the engine's own quiescence abort
+    /// threshold. Retrieve with [`Rank::take_watchdog`].
+    pub fn set_watchdog(&mut self, watchdog: sympack_trace::health::Watchdog) {
+        self.watchdog = Some(watchdog);
+    }
+
+    /// Remove and return the watchdog, if one was installed.
+    pub fn take_watchdog(&mut self) -> Option<sympack_trace::health::Watchdog> {
+        self.watchdog.take()
+    }
+
+    /// Event-loop hook: the caller observed `idle_polls` consecutive polls
+    /// with no progress. Forwards to the watchdog (if any) at the current
+    /// virtual time; `idle_polls == 0` resets the stall episode.
+    pub fn watchdog_idle(&mut self, idle_polls: u64) {
+        if let Some(w) = &mut self.watchdog {
+            let subject = format!("rank{}", self.id);
+            w.observe_idle(self.clock, idle_polls, &subject);
+        }
+    }
+
+    /// This rank's deterministic comm-layer view for the telemetry plane:
+    /// cumulative sends/deliveries/drops/retries plus the in-flight
+    /// queue depth and bytes observed at the most recent inbox drain.
+    pub fn comm_sample(&self) -> sympack_trace::telemetry::CommSample {
+        self.comm
+    }
+
+    /// Per-rank ledger of one outgoing message of `wire` bytes (telemetry
+    /// plane; the global atomic stats are recorded separately).
+    fn note_send(&mut self, wire: usize) {
+        self.comm.msgs_sent += 1;
+        self.comm.bytes_sent += wire as u64;
     }
 
     /// Record one comm span `[start, end]` against `peer` (no clock cost).
@@ -401,6 +453,7 @@ impl Rank {
                 .stats
                 .rget_timeouts
                 .fetch_add(1, Ordering::Relaxed);
+            self.comm.rget_retries += 1;
             let end = self.clock;
             self.record_comm(SpanKind::Rget, "rget_timeout", ptr.rank, 0, t0, end);
             return None;
@@ -489,11 +542,14 @@ impl Rank {
         let ctr = self.next_fault_op();
         let ready_at =
             self.clock + self.net().rpc_time(self.same_node(target)) + self.fault_delay(ctr);
+        let wire = self.net().rpc_envelope_bytes;
         self.shared.stats.rpcs.fetch_add(1, Ordering::Relaxed);
         self.shared.stats.record_msg(self.id, target);
+        self.note_send(wire);
         self.bump_activity();
         self.shared.rpc_queues[target].push(RpcMsg {
             ready_at,
+            wire,
             func: Box::new(func),
         });
     }
@@ -518,9 +574,11 @@ impl Rank {
             self.shared
                 .stats
                 .record_transfer(self.id, target, wire, same_node, false);
+            self.note_send(wire);
             self.bump_activity();
             self.shared.rpc_queues[target].push(RpcMsg {
                 ready_at: base,
+                wire,
                 func: Box::new(func),
             });
             return;
@@ -531,6 +589,7 @@ impl Rank {
                 .stats
                 .rpcs_dropped
                 .fetch_add(1, Ordering::Relaxed);
+            self.comm.sends_dropped += 1;
             return;
         }
         let ready_at = base + plan.delay(self.id, ctr);
@@ -538,6 +597,7 @@ impl Rank {
         self.shared
             .stats
             .record_transfer(self.id, target, wire, same_node, false);
+        self.note_send(wire);
         self.bump_activity();
         if plan.duplicates_signal(self.id, ctr) {
             self.shared
@@ -548,11 +608,13 @@ impl Rank {
             // The ghost copy arrives strictly later, as a straggler would.
             self.shared.rpc_queues[target].push(RpcMsg {
                 ready_at: ready_at + plan.delay_secs.max(1.0e-6),
+                wire,
                 func: Box::new(dup),
             });
         }
         self.shared.rpc_queues[target].push(RpcMsg {
             ready_at,
+            wire,
             func: Box::new(func),
         });
     }
@@ -583,9 +645,11 @@ impl Rank {
         self.shared
             .stats
             .record_transfer(self.id, target, payload_bytes, same_node, false);
+        self.note_send(payload_bytes);
         self.record_comm(SpanKind::Rpc, "rpc", target, payload_bytes, t0, ready_at);
         self.shared.rpc_queues[target].push(RpcMsg {
             ready_at,
+            wire: payload_bytes,
             func: Box::new(func),
         });
     }
@@ -629,6 +693,7 @@ impl Rank {
                     .stats
                     .rpcs_dropped
                     .fetch_add(1, Ordering::Relaxed);
+                self.comm.sends_dropped += 1;
                 return;
             }
         }
@@ -642,6 +707,7 @@ impl Rank {
         self.shared
             .stats
             .record_transfer(self.id, target, wire, same_node, false);
+        self.note_send(wire);
         self.bump_activity();
         self.record_comm(SpanKind::Rpc, "frame", target, wire, t0, ready_at);
         if let (Some(plan), Some(ctr)) = (&plan, ctr) {
@@ -654,12 +720,14 @@ impl Rank {
                 // The ghost frame arrives strictly later, as a straggler.
                 self.shared.rpc_queues[target].push(RpcMsg {
                     ready_at: ready_at + plan.delay_secs.max(1.0e-6),
+                    wire,
                     func: Box::new(dup),
                 });
             }
         }
         self.shared.rpc_queues[target].push(RpcMsg {
             ready_at,
+            wire,
             func: Box::new(func),
         });
     }
@@ -684,6 +752,15 @@ impl Rank {
         }
         msgs.sort_by(|a, b| a.ready_at.total_cmp(&b.ready_at));
         let n = msgs.len();
+        // In-flight accounting for the telemetry plane: whatever was
+        // queued at this drain is what was "in flight" toward this rank.
+        // Deterministic in lockstep mode (the turnstile makes queue
+        // contents a pure function of the schedule).
+        let wire: u64 = msgs.iter().map(|m| m.wire as u64).sum();
+        self.comm.inflight_msgs = n as u64;
+        self.comm.inflight_bytes = wire;
+        self.comm.delivered_msgs += n as u64;
+        self.comm.delivered_bytes += wire;
         self.bump_activity();
         let t0 = self.clock;
         for m in msgs {

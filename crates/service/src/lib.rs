@@ -518,6 +518,11 @@ pub struct Server {
     /// One [`sympack_trace::SpanKind::Request`] span per completed job
     /// (arrival → completion), for the flight-recorder profile.
     request_spans: Vec<sympack_trace::TraceEvent>,
+    /// Live instruments (admission, queue depth, batch size, latency),
+    /// sampled on the server's virtual clock at every admission decision
+    /// and batch completion. Always on: updates are plain stores plus a
+    /// ring push, and never touch the virtual clock.
+    telemetry: sympack_trace::telemetry::ServiceTelemetry,
 }
 
 impl Server {
@@ -536,6 +541,7 @@ impl Server {
             next_id: 0,
             metrics,
             request_spans: Vec::new(),
+            telemetry: sympack_trace::telemetry::ServiceTelemetry::new(),
         }
     }
 
@@ -559,6 +565,12 @@ impl Server {
         &self.metrics
     }
 
+    /// The live instrument bundle (counters/gauges/histograms plus their
+    /// time-series rings); snapshot or render it at any point in the run.
+    pub fn telemetry(&self) -> &sympack_trace::telemetry::ServiceTelemetry {
+        &self.telemetry
+    }
+
     /// Submit one right-hand side arriving at virtual time `arrival`.
     /// Returns a job ticket matched by [`CompletedJob::id`].
     ///
@@ -576,6 +588,8 @@ impl Server {
         );
         if self.pending.len() >= self.config.max_pending {
             self.metrics.jobs_rejected += 1;
+            self.telemetry
+                .on_reject(self.clock.max(arrival), self.pending.len());
             return Err(ServiceError::QueueFull {
                 capacity: self.config.max_pending,
             });
@@ -584,6 +598,8 @@ impl Server {
         self.next_id += 1;
         self.metrics.jobs_submitted += 1;
         self.pending.push_back(Job { id, rhs, arrival });
+        self.telemetry
+            .on_submit(self.clock.max(arrival), self.pending.len());
         Ok(id)
     }
 
@@ -607,6 +623,9 @@ impl Server {
         let batch = self.session.solve_batch(&[RhsPanel::from_columns(&cols)])?;
         self.clock += batch.solve_time;
         self.metrics.record_batch(take, batch.solve_time);
+        let latencies: Vec<f64> = jobs.iter().map(|j| self.clock - j.arrival).collect();
+        self.telemetry
+            .on_batch(self.clock, take, &latencies, self.pending.len());
         let panel = &batch.panels[0];
         let mut done = Vec::with_capacity(take);
         for (i, j) in jobs.into_iter().enumerate() {

@@ -58,6 +58,151 @@ impl JsonValue {
     }
 }
 
+// ----- writer -----
+//
+// The reverse direction: every metrics/telemetry document in the workspace
+// (`ServiceMetrics`, `FleetCacheMetrics`, roofline samples, telemetry
+// snapshots) is emitted through these two builders instead of hand-rolled
+// `format!` strings, so the formatting rules live in exactly one place:
+// numbers use Rust's shortest-roundtrip `Display` (bit-deterministic for a
+// given value), strings go through `json_escape`, and no whitespace is ever
+// emitted (committed artifacts are byte-compared in CI).
+
+/// Format an `f64` the way every writer in this crate does: `Display`
+/// (shortest roundtrip). Non-finite values have no JSON spelling; callers
+/// are expected to keep them out (empty-distribution quantiles are defined
+/// as 0.0 for exactly this reason).
+pub fn fmt_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "non-finite value in a JSON document");
+    format!("{v}")
+}
+
+/// Builder for a JSON object: `Obj::new().u64("a", 1).finish()` →
+/// `{"a":1}`. Field order is emission order; keys are escaped.
+#[derive(Debug, Default)]
+pub struct Obj {
+    out: String,
+}
+
+impl Obj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Obj { out: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.out.is_empty() {
+            self.out.push(',');
+        }
+        self.out.push('"');
+        self.out.push_str(&crate::json_escape(k));
+        self.out.push_str("\":");
+    }
+
+    /// Unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Float field (`Display` formatting, matching every writer here).
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.out.push_str(&fmt_f64(v));
+        self
+    }
+
+    /// Boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Escaped string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.out.push('"');
+        self.out.push_str(&crate::json_escape(v));
+        self.out.push('"');
+        self
+    }
+
+    /// Pre-rendered JSON field (a nested object/array built separately).
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.out.push_str(v);
+        self
+    }
+
+    /// Close the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.out)
+    }
+}
+
+/// Builder for a JSON array of pre-rendered elements.
+#[derive(Debug, Default)]
+pub struct Arr {
+    items: Vec<String>,
+}
+
+impl Arr {
+    /// Start an empty array.
+    pub fn new() -> Self {
+        Arr::default()
+    }
+
+    /// Append one pre-rendered JSON element.
+    pub fn raw(mut self, v: impl Into<String>) -> Self {
+        self.items.push(v.into());
+        self
+    }
+
+    /// Append one pre-rendered element in place (loop-friendly).
+    pub fn push(&mut self, v: impl Into<String>) {
+        self.items.push(v.into());
+    }
+
+    /// Append one float element.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.items.push(fmt_f64(v));
+        self
+    }
+
+    /// Close the array.
+    pub fn finish(self) -> String {
+        format!("[{}]", self.items.join(","))
+    }
+}
+
+/// Render a parsed [`JsonValue`] back to compact JSON (numbers via
+/// [`fmt_f64`], strings escaped). `parse(write(v)) == v` for any finite
+/// tree; used by `sympack-top --replay` to normalize snapshots.
+pub fn write(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(x) => fmt_f64(*x),
+        JsonValue::Str(s) => format!("\"{}\"", crate::json_escape(s)),
+        JsonValue::Arr(items) => {
+            let mut a = Arr::new();
+            for it in items {
+                a.push(write(it));
+            }
+            a.finish()
+        }
+        JsonValue::Obj(fields) => {
+            let mut o = Obj::new();
+            for (k, val) in fields {
+                o = o.raw(k, &write(val));
+            }
+            o.finish()
+        }
+    }
+}
+
 /// Parse error with a byte offset into the input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -343,6 +488,43 @@ mod tests {
         assert!(parse("\"unterminated").is_err());
         assert!(parse("{}extra").is_err());
         assert!(parse("01a").is_err());
+    }
+
+    #[test]
+    fn obj_and_arr_builders_emit_parseable_json() {
+        let doc = Obj::new()
+            .u64("count", 3)
+            .f64("mean", 2.5)
+            .bool("ok", true)
+            .str("name", "weird\"quote\\slash\n")
+            .raw("nested", &Obj::new().f64("x", -0.25).finish())
+            .raw("list", &Arr::new().f64(1.0).f64(2.0).finish())
+            .finish();
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("mean").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            v.get("name").unwrap().as_str(),
+            Some("weird\"quote\\slash\n")
+        );
+        assert_eq!(
+            v.get("nested").unwrap().get("x").unwrap().as_f64(),
+            Some(-0.25)
+        );
+        assert_eq!(v.get("list").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(Arr::new().finish(), "[]");
+    }
+
+    #[test]
+    fn write_roundtrips_parsed_trees() {
+        let doc = r#"{"a":[1,2.5,-0.03],"b":{"c":"x\ny","d":null},"e":true}"#;
+        let v = parse(doc).unwrap();
+        let out = write(&v);
+        assert_eq!(parse(&out).unwrap(), v);
+        // Idempotent: writing the reparse reproduces the same bytes.
+        assert_eq!(write(&parse(&out).unwrap()), out);
     }
 
     #[test]

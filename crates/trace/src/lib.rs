@@ -11,11 +11,21 @@
 //! [`profile::Profile`]: critical path over the executed task DAG, per-rank
 //! wait attribution, P×P communication matrix and queue/memory series —
 //! the input format of the `sympack-prof` CLI. [`json`] is the minimal
-//! hand-rolled JSON reader those profiles (and tests) parse with.
+//! hand-rolled JSON reader (and, since the telemetry plane, the single
+//! shared writer) those profiles (and tests) parse with.
+//!
+//! The [`telemetry`] module is the *live* counterpart to the post-hoc
+//! profile: a lock-cheap instrument registry (counters / gauges /
+//! log-bucketed histograms) sampled into time-series rings on the virtual
+//! clock, and [`health`] is the rule-based watchdog that turns those
+//! signals into typed `HealthEvent`s (stalls, queue saturation, eviction
+//! thrash, SLO burn) — the data plane behind `sympack-top`.
 
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod telemetry;
 
 /// Category of a traced interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -75,14 +75,13 @@ impl Histogram {
 
     /// JSON object with count/mean/p50/p99/max.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
-            self.count(),
-            self.mean(),
-            self.p50(),
-            self.p99(),
-            self.max()
-        )
+        crate::json::Obj::new()
+            .u64("count", self.count() as u64)
+            .f64("mean", self.mean())
+            .f64("p50", self.p50())
+            .f64("p99", self.p99())
+            .f64("max", self.max())
+            .finish()
     }
 }
 
@@ -159,27 +158,21 @@ impl ServiceMetrics {
 
     /// Serialize as a JSON object.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"jobs_submitted\":{},\"jobs_rejected\":{},\"jobs_served\":{},\
-             \"batches\":{},\"coalesced_jobs\":{},\"refactorizations\":{},\
-             \"batch_sizes\":{},\"latency_virtual_secs\":{},\
-             \"solve_virtual_total\":{},\"factor_virtual_total\":{},\
-             \"amortized_cost_per_job\":{},\"one_shot_cost_per_job\":{},\
-             \"analyze_wall_ms\":{}}}",
-            self.jobs_submitted,
-            self.jobs_rejected,
-            self.jobs_served,
-            self.batches,
-            self.coalesced_jobs,
-            self.refactorizations,
-            self.batch_sizes.to_json(),
-            self.latency.to_json(),
-            self.solve_virtual_total,
-            self.factor_virtual_total,
-            self.amortized_cost_per_job(),
-            self.one_shot_cost_per_job(),
-            self.analyze_wall_ms
-        )
+        crate::json::Obj::new()
+            .u64("jobs_submitted", self.jobs_submitted)
+            .u64("jobs_rejected", self.jobs_rejected)
+            .u64("jobs_served", self.jobs_served)
+            .u64("batches", self.batches)
+            .u64("coalesced_jobs", self.coalesced_jobs)
+            .u64("refactorizations", self.refactorizations)
+            .raw("batch_sizes", &self.batch_sizes.to_json())
+            .raw("latency_virtual_secs", &self.latency.to_json())
+            .f64("solve_virtual_total", self.solve_virtual_total)
+            .f64("factor_virtual_total", self.factor_virtual_total)
+            .f64("amortized_cost_per_job", self.amortized_cost_per_job())
+            .f64("one_shot_cost_per_job", self.one_shot_cost_per_job())
+            .f64("analyze_wall_ms", self.analyze_wall_ms)
+            .finish()
     }
 }
 
@@ -221,20 +214,16 @@ impl FleetCacheMetrics {
 
     /// Serialize as a JSON object.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"plan_hits\":{},\"plan_misses\":{},\"plan_hit_rate\":{},\
-             \"factor_evictions\":{},\"rematerializations\":{},\
-             \"factor_budget_bytes\":{},\"resident_bytes\":{},\
-             \"resident_high_water_bytes\":{}}}",
-            self.plan_hits,
-            self.plan_misses,
-            self.plan_hit_rate(),
-            self.factor_evictions,
-            self.rematerializations,
-            self.factor_budget_bytes,
-            self.resident_bytes,
-            self.resident_high_water_bytes
-        )
+        crate::json::Obj::new()
+            .u64("plan_hits", self.plan_hits)
+            .u64("plan_misses", self.plan_misses)
+            .f64("plan_hit_rate", self.plan_hit_rate())
+            .u64("factor_evictions", self.factor_evictions)
+            .u64("rematerializations", self.rematerializations)
+            .u64("factor_budget_bytes", self.factor_budget_bytes)
+            .u64("resident_bytes", self.resident_bytes)
+            .u64("resident_high_water_bytes", self.resident_high_water_bytes)
+            .finish()
     }
 }
 
@@ -281,20 +270,18 @@ impl KernelSample {
 
     /// Serialize as a JSON object.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"kernel\":\"{}\",\"variant\":\"{}\",\"m\":{},\"n\":{},\"k\":{},\
-             \"secs\":{},\"flops\":{},\"bytes\":{},\"gflops\":{},\"ai\":{}}}",
-            self.kernel,
-            self.variant,
-            self.m,
-            self.n,
-            self.k,
-            self.secs,
-            self.flops,
-            self.bytes,
-            self.gflops(),
-            self.arithmetic_intensity()
-        )
+        crate::json::Obj::new()
+            .str("kernel", &self.kernel)
+            .str("variant", &self.variant)
+            .u64("m", self.m as u64)
+            .u64("n", self.n as u64)
+            .u64("k", self.k as u64)
+            .f64("secs", self.secs)
+            .u64("flops", self.flops)
+            .u64("bytes", self.bytes)
+            .f64("gflops", self.gflops())
+            .f64("ai", self.arithmetic_intensity())
+            .finish()
     }
 }
 
@@ -341,13 +328,15 @@ impl RooflineReport {
 
     /// Serialize as a JSON object.
     pub fn to_json(&self) -> String {
-        let samples: Vec<String> = self.samples.iter().map(KernelSample::to_json).collect();
-        format!(
-            "{{\"threads\":{},\"isa\":\"{}\",\"samples\":[{}]}}",
-            self.threads,
-            self.isa,
-            samples.join(",")
-        )
+        let mut samples = crate::json::Arr::new();
+        for s in &self.samples {
+            samples.push(s.to_json());
+        }
+        crate::json::Obj::new()
+            .u64("threads", self.threads as u64)
+            .str("isa", &self.isa)
+            .raw("samples", &samples.finish())
+            .finish()
     }
 }
 

@@ -5,7 +5,9 @@
 //! per-rank time classes summing to the makespan) and round-trip through
 //! the profile JSON codec bit-identically.
 
+use sympack_trace::metrics::Histogram;
 use sympack_trace::profile::{check_invariants, CommMatrix, Profile};
+use sympack_trace::telemetry::{LogHistogram, Telemetry};
 use sympack_trace::{json, merge, to_chrome_json, SpanKind, TraceCat, TraceEvent};
 
 /// xorshift64* — deterministic, no external crates.
@@ -262,5 +264,157 @@ fn random_profiles_roundtrip_through_json_bit_identically() {
         assert_eq!(p.n_ranks, p2.n_ranks);
         assert_eq!(p.spans.len(), p2.spans.len());
         check_invariants(&p2).unwrap_or_else(|e| panic!("seed {seed} reparsed: {e}"));
+    }
+}
+
+/// Random latency-like samples: mostly small positive values with the
+/// occasional large outlier, zero, and exact repeats — the shapes that
+/// stress bucket-edge interpolation.
+fn random_samples(rng: &mut Rng, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|_| match rng.below(8) {
+            0 => 0.0,
+            1 => rng.f64() * 1e3,         // outlier
+            2 => 1e-6,                    // exact repeat magnet
+            _ => 1e-6 + rng.f64() * 1e-2, // typical latency
+        })
+        .collect()
+}
+
+#[test]
+fn exact_histogram_quantiles_are_monotone_and_bounded() {
+    for seed in 0..60 {
+        let mut rng = Rng::new(211 * seed + 5);
+        let mut h = Histogram::new();
+        let n = 1 + rng.below(200);
+        let samples = random_samples(&mut rng, n);
+        for &s in &samples {
+            h.record(s);
+        }
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(
+                v >= prev,
+                "seed {seed}: quantile({q}) = {v} < quantile({}) = {prev}",
+                (i as f64 - 1.0) / 100.0
+            );
+            assert!(
+                (lo..=hi).contains(&v),
+                "seed {seed}: quantile({q}) = {v} outside observed [{lo}, {hi}]"
+            );
+            prev = v;
+        }
+    }
+}
+
+#[test]
+fn log_histogram_quantiles_are_monotone_and_bounded() {
+    for seed in 0..60 {
+        let mut rng = Rng::new(389 * seed + 11);
+        let mut h = LogHistogram::new();
+        let n = 1 + rng.below(200);
+        let samples = random_samples(&mut rng, n);
+        for &s in &samples {
+            h.record(s);
+        }
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "seed {seed}: quantile({q}) = {v} not monotone");
+            // Interpolated values are clamped to the observed range, never
+            // a raw bucket edge outside it.
+            assert!(
+                v >= lo - 1e-12 && v <= hi + 1e-12,
+                "seed {seed}: quantile({q}) = {v} outside observed [{lo}, {hi}]"
+            );
+            prev = v;
+        }
+        assert_eq!(h.quantile(0.0), lo, "seed {seed}: q=0 is the minimum");
+        assert_eq!(h.quantile(1.0), hi, "seed {seed}: q=1 is the maximum");
+    }
+}
+
+#[test]
+fn empty_histograms_quantile_to_zero_not_nan() {
+    let h = Histogram::new();
+    assert_eq!(h.p50(), 0.0);
+    assert_eq!(h.p99(), 0.0);
+    assert_eq!(h.quantile(0.25), 0.0);
+    let lh = LogHistogram::new();
+    assert_eq!(lh.p50(), 0.0);
+    assert_eq!(lh.p99(), 0.0);
+    assert_eq!(lh.quantile(0.0), 0.0);
+    assert_eq!(lh.quantile(1.0), 0.0);
+}
+
+#[test]
+fn log_histogram_merge_matches_recording_the_union() {
+    for seed in 0..30 {
+        let mut rng = Rng::new(577 * seed + 3);
+        let na = rng.below(100);
+        let a = random_samples(&mut rng, na);
+        let nb = rng.below(100);
+        let b = random_samples(&mut rng, nb);
+        let mut ha = LogHistogram::new();
+        let mut hb = LogHistogram::new();
+        let mut hu = LogHistogram::new();
+        for &s in &a {
+            ha.record(s);
+            hu.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+            hu.record(s);
+        }
+        ha.merge_from(&hb);
+        assert_eq!(ha.count(), hu.count(), "seed {seed}");
+        // Bucketized shape is exactly the union; the mean may differ by an
+        // ULP because merging regroups the floating-point sum.
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                ha.quantile(q).to_bits(),
+                hu.quantile(q).to_bits(),
+                "seed {seed}: quantile({q}) merge != union"
+            );
+        }
+        assert_eq!(ha.min().to_bits(), hu.min().to_bits(), "seed {seed}");
+        assert_eq!(ha.max().to_bits(), hu.max().to_bits(), "seed {seed}");
+        assert!(
+            (ha.mean() - hu.mean()).abs() <= 1e-12 * hu.mean().abs().max(1.0),
+            "seed {seed}: merged mean {} far from union mean {}",
+            ha.mean(),
+            hu.mean()
+        );
+    }
+}
+
+#[test]
+fn telemetry_snapshot_json_roundtrips_through_the_writer() {
+    for seed in 0..20 {
+        let mut rng = Rng::new(733 * seed + 17);
+        let mut tel = Telemetry::new();
+        let c = tel.counter("prop_total", &[("rank", "0")]);
+        let g = tel.gauge("prop_depth", &[]);
+        let h = tel.histogram("prop_latency_seconds", &[("tenant", "π \"q\"")]);
+        for tick in 0..rng.below(20) {
+            tel.inc(c, rng.next() % 100);
+            tel.set(g, rng.f64() * 50.0);
+            let n = rng.below(10);
+            for &s in &random_samples(&mut rng, n) {
+                tel.observe(h, s);
+            }
+            tel.sample(tick as f64 * 1e-3);
+        }
+        let doc = tel.snapshot().to_json();
+        let v = json::parse(&doc).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let v2 = json::parse(&json::write(&v)).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(v, v2, "seed {seed}: writer round-trip changed the tree");
     }
 }

@@ -236,7 +236,10 @@ fn blr_runs_carry_publication_accounting_in_the_profile() {
     assert!(lr_blocks > 0, "BLR run published no compressed blocks");
     let published: u64 = p.blr.iter().map(|x| x.published()).sum();
     let dense_equiv: u64 = p.blr.iter().map(|x| x.dense_equiv()).sum();
-    assert!(published < dense_equiv, "compression must shrink publications");
+    assert!(
+        published < dense_equiv,
+        "compression must shrink publications"
+    );
     // Profile section must agree with the report's own accounting.
     let report_published: u64 = r.publish.iter().map(|s| s.published_bytes()).sum();
     assert_eq!(published, report_published);
